@@ -1,0 +1,32 @@
+#![forbid(unsafe_code)]
+
+//! Static and dynamic taint-analysis tools for the DexLego evaluation.
+//!
+//! This crate supplies the *consumers* of DexLego's reassembled DEX files:
+//!
+//! * [`taint`] — a whole-program static taint engine over
+//!   [`dexlego_dex::DexFile`]s: per-method register-level propagation
+//!   (flow-sensitive or -insensitive), interprocedural method summaries,
+//!   field-based heap abstraction, constant tracking for reflection
+//!   resolution, optional implicit-flow and inter-component modelling.
+//! * [`tools`] — capability profiles emulating FlowDroid, DroidSafe, and
+//!   HornDroid. The profiles differ along documented axes (flow
+//!   sensitivity, implicit flows, ICC modelling, array precision, call
+//!   depth) so that the *relative* behaviour of the three tools on the
+//!   benchmark corpus reproduces the paper's Tables II/III and Figure 5.
+//! * [`dynamic`] — TaintDroid/TaintART emulations running on the simulated
+//!   runtime, with their documented blind spots (no implicit flows, no
+//!   callback-context tracking, emulator detectability, taint loss through
+//!   files) for Table IV.
+//! * [`metrics`] — sensitivity/specificity/F-measure (the paper's
+//!   Formula 1).
+
+pub mod dynamic;
+pub mod metrics;
+pub mod sources_sinks;
+pub mod taint;
+pub mod tools;
+
+pub use metrics::{f_measure, Confusion};
+pub use taint::{analyze, AnalysisConfig, AnalysisResult};
+pub use tools::{flowdroid, droidsafe, horndroid, ToolProfile};

@@ -1,0 +1,102 @@
+//! Source/sink classification and framework-method taint summaries shared
+//! by the static engine and the dynamic trackers.
+
+/// How the static engine should treat a framework method invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameworkModel {
+    /// Returns freshly tainted sensitive data.
+    Source,
+    /// Leaks the taint of the given argument slots (0 = receiver or first
+    /// arg of a static call).
+    Sink(Vec<usize>),
+    /// Propagates the union of all argument taints to the return value.
+    PropagateToReturn,
+    /// Propagates argument taints into the receiver (slot 0) and to the
+    /// return value (e.g. `StringBuilder.append`).
+    PropagateToReceiverAndReturn,
+    /// Writes its value argument into the inter-component store
+    /// (`putExtra`-like). Slot index of the value argument given.
+    IccPut(usize),
+    /// Reads from the inter-component store (`getExtra`-like).
+    IccGet,
+    /// No taint effect.
+    Neutral,
+}
+
+/// Classifies a framework method by `class->name` signature prefix.
+///
+/// # Example
+///
+/// ```
+/// use dexlego_analysis::sources_sinks::{classify, FrameworkModel};
+/// assert_eq!(
+///     classify("Landroid/telephony/TelephonyManager;", "getDeviceId"),
+///     FrameworkModel::Source
+/// );
+/// ```
+pub fn classify(class: &str, name: &str) -> FrameworkModel {
+    match (class, name) {
+        ("Landroid/telephony/TelephonyManager;", "getDeviceId" | "getSimSerialNumber")
+        | ("Landroid/location/LocationManager;", "getLastKnownLocation")
+        | ("Landroid/net/wifi/WifiInfo;", "getSSID")
+        | ("Lcom/dexlego/Sensitive;", "getSensitiveData") => FrameworkModel::Source,
+        // sendTextMessage(dest, scAddr, text, sentIntent, deliveryIntent):
+        // slot 0 is the receiver, the text is slot 3.
+        ("Landroid/telephony/SmsManager;", "sendTextMessage") => FrameworkModel::Sink(vec![3]),
+        ("Landroid/util/Log;", "i" | "d" | "e" | "w") => FrameworkModel::Sink(vec![1]),
+        ("Lcom/dexlego/Net;", "send") => FrameworkModel::Sink(vec![0]),
+        (
+            "Ljava/lang/String;",
+            "concat" | "valueOf" | "toLowerCase" | "trim" | "length" | "hashCode" | "equals",
+        ) => FrameworkModel::PropagateToReturn,
+        ("Ljava/lang/StringBuilder;", "append" | "appendInt") => {
+            FrameworkModel::PropagateToReceiverAndReturn
+        }
+        ("Ljava/lang/StringBuilder;", "toString") => FrameworkModel::PropagateToReturn,
+        ("Ljava/lang/Object;", "toString") => FrameworkModel::PropagateToReturn,
+        ("Lcom/dexlego/Crypto;", "decrypt") => FrameworkModel::PropagateToReturn,
+        ("Ljava/lang/Integer;", "parseInt") => FrameworkModel::PropagateToReturn,
+        ("Lcom/dexlego/Icc;", "putExtra") => FrameworkModel::IccPut(1),
+        ("Lcom/dexlego/Icc;", "getExtra") => FrameworkModel::IccGet,
+        // Files.write / Files.read intentionally Neutral: no evaluated tool
+        // models leaks through the external filesystem (Table IV,
+        // PrivateDataLeak3).
+        _ => FrameworkModel::Neutral,
+    }
+}
+
+/// Whether a class descriptor belongs to the (simulated) framework rather
+/// than application code.
+pub fn is_framework_class(desc: &str) -> bool {
+    desc.starts_with("Ljava/")
+        || desc.starts_with("Landroid/")
+        || desc.starts_with("Ldalvik/")
+        || desc.starts_with("Lcom/dexlego/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_slots_match_framework_signatures() {
+        assert_eq!(
+            classify("Landroid/telephony/SmsManager;", "sendTextMessage"),
+            FrameworkModel::Sink(vec![3])
+        );
+        assert_eq!(classify("Lcom/dexlego/Net;", "send"), FrameworkModel::Sink(vec![0]));
+    }
+
+    #[test]
+    fn files_are_neutral() {
+        assert_eq!(classify("Lcom/dexlego/Files;", "write"), FrameworkModel::Neutral);
+        assert_eq!(classify("Lcom/dexlego/Files;", "read"), FrameworkModel::Neutral);
+    }
+
+    #[test]
+    fn framework_prefixes() {
+        assert!(is_framework_class("Ljava/lang/String;"));
+        assert!(is_framework_class("Lcom/dexlego/Modification;"));
+        assert!(!is_framework_class("Lcom/test/Main;"));
+    }
+}

@@ -1,0 +1,450 @@
+//! Capability-axis tests for the static taint engine: each test pins the
+//! behaviour difference that separates the three tool profiles.
+
+use dexlego_analysis::tools::{all_tools, droidsafe, flowdroid, horndroid};
+use dexlego_dalvik::builder::ProgramBuilder;
+use dexlego_dalvik::{Insn, Opcode};
+use dexlego_dex::DexFile;
+
+const SRC_CLASS: &str = "Lcom/dexlego/Sensitive;";
+const SRC: &str = "getSensitiveData";
+const NET: &str = "Lcom/dexlego/Net;";
+
+fn move_result_obj(m: &mut dexlego_dalvik::builder::MethodBuilder<'_>, reg: u32) {
+    let mut mr = Insn::of(Opcode::MoveResultObject);
+    mr.a = reg;
+    m.asm.push(mr);
+}
+
+fn call_source(m: &mut dexlego_dalvik::builder::MethodBuilder<'_>, reg: u32) {
+    m.invoke(
+        Opcode::InvokeStatic,
+        SRC_CLASS,
+        SRC,
+        &[],
+        "Ljava/lang/String;",
+        &[],
+    );
+    move_result_obj(m, reg);
+}
+
+fn call_sink(m: &mut dexlego_dalvik::builder::MethodBuilder<'_>, reg: u32) {
+    m.invoke(
+        Opcode::InvokeStatic,
+        NET,
+        "send",
+        &["Ljava/lang/String;"],
+        "V",
+        &[reg],
+    );
+}
+
+fn direct_leak_dex() -> DexFile {
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 2, |m| {
+            call_source(m, 0);
+            call_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    pb.build().unwrap()
+}
+
+#[test]
+fn all_tools_find_direct_leak() {
+    let dex = direct_leak_dex();
+    for tool in all_tools() {
+        let result = tool.run(&dex);
+        assert!(result.leaky(), "{} must flag direct leak", tool.name);
+    }
+}
+
+#[test]
+fn no_tool_flags_clean_app() {
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 2, |m| {
+            m.const_str(0, "hello");
+            call_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    for tool in all_tools() {
+        assert!(!tool.run(&dex).leaky(), "{} false positive", tool.name);
+    }
+}
+
+#[test]
+fn overwrite_kill_separates_flow_sensitivity() {
+    // v0 = source; v0 = "clean"; sink(v0): a flow-sensitive analysis kills
+    // the taint; flow-insensitive (DroidSafe) reports it.
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 2, |m| {
+            call_source(m, 0);
+            m.const_str(0, "clean");
+            call_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    assert!(!flowdroid().run(&dex).leaky(), "FlowDroid is flow-sensitive");
+    assert!(!horndroid().run(&dex).leaky(), "HornDroid is flow-sensitive");
+    assert!(droidsafe().run(&dex).leaky(), "DroidSafe is flow-insensitive");
+}
+
+#[test]
+fn implicit_flow_only_horndroid() {
+    // if (source-derived flag != 0) { leakedValue = "1" } sink(leakedValue)
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 4, |m| {
+            call_source(m, 0);
+            // length of the secret controls the branch (explicit taint into
+            // the condition register, then only implicit flow onward).
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/String;",
+                "length",
+                &[],
+                "I",
+                &[0],
+            );
+            let mut mr = Insn::of(Opcode::MoveResult);
+            mr.a = 1;
+            m.asm.push(mr);
+            let skip = m.asm.new_label();
+            m.const_str(2, "zero");
+            m.asm.if_z(Opcode::IfEqz, 1, skip);
+            m.const_str(2, "nonzero");
+            m.asm.bind(skip);
+            call_sink(m, 2);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    assert!(!flowdroid().run(&dex).leaky());
+    assert!(!droidsafe().run(&dex).leaky());
+    assert!(horndroid().run(&dex).leaky(), "HornDroid models implicit flows");
+}
+
+#[test]
+fn icc_flow_missed_by_flowdroid() {
+    // Component A: putExtra(source); Component B: sink(getExtra()).
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/A;", |c| {
+        c.static_method("sendIt", &[], "V", 3, |m| {
+            call_source(m, 0);
+            m.const_str(1, "key");
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Icc;",
+                "putExtra",
+                &["Ljava/lang/String;", "Ljava/lang/String;"],
+                "V",
+                &[1, 0],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    pb.class("Lapp/B;", |c| {
+        c.static_method("receiveIt", &[], "V", 3, |m| {
+            m.const_str(0, "key");
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Icc;",
+                "getExtra",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/String;",
+                &[0],
+            );
+            move_result_obj(m, 1);
+            call_sink(m, 1);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    assert!(!flowdroid().run(&dex).leaky(), "FlowDroid lacks ICC");
+    assert!(droidsafe().run(&dex).leaky(), "DroidSafe models ICC");
+    assert!(horndroid().run(&dex).leaky(), "HornDroid models ICC");
+}
+
+#[test]
+fn unknown_index_array_flow_dropped_by_horndroid_only() {
+    // arr[i] = source with i from Input.nextInt(); sink(arr[0]).
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 6, |m| {
+            call_source(m, 0);
+            m.asm.const4(1, 4);
+            m.new_array(2, 1, "[Ljava/lang/String;");
+            m.invoke(Opcode::InvokeStatic, "Lcom/dexlego/Input;", "nextInt", &[], "I", &[]);
+            let mut mr = Insn::of(Opcode::MoveResult);
+            mr.a = 3;
+            m.asm.push(mr);
+            m.asm.binop(Opcode::AputObject, 0, 2, 3);
+            m.asm.const4(4, 0);
+            m.asm.binop(Opcode::AgetObject, 5, 2, 4);
+            call_sink(m, 5);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    assert!(flowdroid().run(&dex).leaky(), "coarse arrays keep the flow");
+    assert!(droidsafe().run(&dex).leaky(), "coarse arrays keep the flow");
+    assert!(
+        !horndroid().run(&dex).leaky(),
+        "value-sensitive arrays drop unknown-index writes"
+    );
+}
+
+#[test]
+fn deep_call_chain_exceeds_droidsafe_depth() {
+    // source -> f1 -> ... -> f8 -> sink (chain of 8 wrappers).
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        for i in 0..8u32 {
+            let next_call: String = if i == 7 { String::new() } else { format!("f{}", i + 1) };
+            c.static_method(&format!("f{i}"), &["Ljava/lang/String;"], "V", 1, move |m| {
+                let p = m.param_reg(0);
+                if next_call.is_empty() {
+                    call_sink(m, p);
+                } else {
+                    m.invoke(
+                        Opcode::InvokeStatic,
+                        "Lapp/Main;",
+                        &next_call,
+                        &["Ljava/lang/String;"],
+                        "V",
+                        &[p],
+                    );
+                }
+                m.asm.ret(Opcode::ReturnVoid, 0);
+            });
+        }
+        c.static_method("go", &[], "V", 2, |m| {
+            call_source(m, 0);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lapp/Main;",
+                "f0",
+                &["Ljava/lang/String;"],
+                "V",
+                &[0],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    assert!(flowdroid().run(&dex).leaky(), "unbounded depth");
+    assert!(horndroid().run(&dex).leaky(), "unbounded depth");
+    assert!(!droidsafe().run(&dex).leaky(), "depth-limited analysis");
+}
+
+#[test]
+fn constant_string_reflection_resolved_by_all() {
+    // Method m = Class.forName("app.Hidden").getMethod("leak"); m.invoke(...)
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Hidden;", |c| {
+        c.static_method("leakIt", &["Ljava/lang/String;"], "V", 1, |m| {
+            let p = m.param_reg(0);
+            call_sink(m, p);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 6, |m| {
+            m.const_str(0, "app.Hidden");
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Ljava/lang/Class;",
+                "forName",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/Class;",
+                &[0],
+            );
+            move_result_obj(m, 1);
+            m.const_str(2, "leakIt");
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/Class;",
+                "getMethod",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/reflect/Method;",
+                &[1, 2],
+            );
+            move_result_obj(m, 3);
+            call_source(m, 4);
+            m.asm.const4(5, 0);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/reflect/Method;",
+                "invoke",
+                &["Ljava/lang/Object;", "[Ljava/lang/Object;"],
+                "Ljava/lang/Object;",
+                &[3, 5, 4],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    // The paper-era FlowDroid does not resolve reflection by itself; the
+    // string-analysis-equipped tools do.
+    assert!(!flowdroid().run(&dex).leaky(), "FlowDroid lacks reflection");
+    assert!(droidsafe().run(&dex).leaky(), "DroidSafe resolves constants");
+    assert!(horndroid().run(&dex).leaky(), "HornDroid resolves constants");
+}
+
+#[test]
+fn encrypted_reflection_missed_by_all() {
+    // The class name string is decrypted at runtime; no tool resolves it.
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Hidden;", |c| {
+        c.static_method("leakIt", &["Ljava/lang/String;"], "V", 1, |m| {
+            let p = m.param_reg(0);
+            call_sink(m, p);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 6, |m| {
+            m.const_str(0, "APP\u{2e}hIDDEN"); // junk that decrypts at runtime
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Crypto;",
+                "decrypt",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/String;",
+                &[0],
+            );
+            move_result_obj(m, 0);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Ljava/lang/Class;",
+                "forName",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/Class;",
+                &[0],
+            );
+            move_result_obj(m, 1);
+            m.const_str(2, "leakIt");
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/Class;",
+                "getMethod",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/reflect/Method;",
+                &[1, 2],
+            );
+            move_result_obj(m, 3);
+            call_source(m, 4);
+            m.asm.const4(5, 0);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/reflect/Method;",
+                "invoke",
+                &["Ljava/lang/Object;", "[Ljava/lang/Object;"],
+                "Ljava/lang/Object;",
+                &[3, 5, 4],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    for tool in all_tools() {
+        assert!(
+            !tool.run(&dex).leaky(),
+            "{}: encrypted reflection is unresolvable statically",
+            tool.name
+        );
+    }
+}
+
+#[test]
+fn dead_code_flow_is_reported_by_all() {
+    // The leaking method is never called — entry-point over-approximation
+    // still reports it (the dead-code false-positive mechanism).
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("neverCalled", &[], "V", 2, |m| {
+            call_source(m, 0);
+            call_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        c.static_method("go", &[], "V", 1, |m| {
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    for tool in all_tools() {
+        assert!(tool.run(&dex).leaky(), "{}: dead code analyzed", tool.name);
+    }
+}
+
+#[test]
+fn field_flow_across_methods() {
+    // callback A stores tainted data in a static field; callback B reads
+    // and leaks it. All tools connect field flows.
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_field("stash", "Ljava/lang/String;", None);
+        c.static_method("writeIt", &[], "V", 2, |m| {
+            call_source(m, 0);
+            m.sput(Opcode::SputObject, 0, "Lapp/Main;", "stash", "Ljava/lang/String;");
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        c.static_method("readIt", &[], "V", 2, |m| {
+            m.sget(Opcode::SgetObject, 0, "Lapp/Main;", "stash", "Ljava/lang/String;");
+            call_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    for tool in all_tools() {
+        assert!(tool.run(&dex).leaky(), "{}: static-field flow", tool.name);
+    }
+}
+
+#[test]
+fn stringbuilder_propagation() {
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 3, |m| {
+            call_source(m, 0);
+            m.new_instance(1, "Ljava/lang/StringBuilder;");
+            m.invoke(
+                Opcode::InvokeDirect,
+                "Ljava/lang/StringBuilder;",
+                "<init>",
+                &[],
+                "V",
+                &[1],
+            );
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/StringBuilder;",
+                "append",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/StringBuilder;",
+                &[1, 0],
+            );
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/StringBuilder;",
+                "toString",
+                &[],
+                "Ljava/lang/String;",
+                &[1],
+            );
+            move_result_obj(m, 2);
+            call_sink(m, 2);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    for tool in all_tools() {
+        assert!(tool.run(&dex).leaky(), "{}: StringBuilder flow", tool.name);
+    }
+}

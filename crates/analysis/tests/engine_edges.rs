@@ -1,0 +1,299 @@
+//! Edge-case tests for the static taint engine: leak-site counting, chain
+//! depth accounting, ICC hop depth, benign structures, and the
+//! Known-constant lattice.
+
+use dexlego_analysis::taint::{analyze, AnalysisConfig};
+use dexlego_analysis::tools::{all_tools, droidsafe, horndroid};
+use dexlego_dalvik::builder::ProgramBuilder;
+use dexlego_dalvik::{Insn, Opcode};
+
+fn mr_obj(m: &mut dexlego_dalvik::builder::MethodBuilder<'_>, reg: u32) {
+    let mut mr = Insn::of(Opcode::MoveResultObject);
+    mr.a = reg;
+    m.asm.push(mr);
+}
+
+fn call_source(m: &mut dexlego_dalvik::builder::MethodBuilder<'_>, reg: u32) {
+    m.invoke(
+        Opcode::InvokeStatic,
+        "Lcom/dexlego/Sensitive;",
+        "getSensitiveData",
+        &[],
+        "Ljava/lang/String;",
+        &[],
+    );
+    mr_obj(m, reg);
+}
+
+fn call_sink(m: &mut dexlego_dalvik::builder::MethodBuilder<'_>, reg: u32) {
+    m.invoke(
+        Opcode::InvokeStatic,
+        "Lcom/dexlego/Net;",
+        "send",
+        &["Ljava/lang/String;"],
+        "V",
+        &[reg],
+    );
+}
+
+#[test]
+fn distinct_sink_sites_are_counted_separately() {
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 2, |m| {
+            call_source(m, 0);
+            call_sink(m, 0);
+            call_sink(m, 0);
+            call_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    let result = analyze(&dex, &AnalysisConfig::default());
+    assert_eq!(result.leaks.len(), 3, "one leak per sink call site");
+}
+
+#[test]
+fn depth_counts_interprocedural_hops() {
+    // source -> w1 -> w2 -> sink: the meeting point sees the full chain.
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("w2", &["Ljava/lang/String;"], "V", 1, |m| {
+            let p = m.param_reg(0);
+            call_sink(m, p);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        c.static_method("w1", &["Ljava/lang/String;"], "V", 1, |m| {
+            let p = m.param_reg(0);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lapp/Main;",
+                "w2",
+                &["Ljava/lang/String;"],
+                "V",
+                &[p],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        c.static_method("go", &[], "V", 2, |m| {
+            call_source(m, 0);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lapp/Main;",
+                "w1",
+                &["Ljava/lang/String;"],
+                "V",
+                &[0],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    let result = analyze(&dex, &AnalysisConfig::default());
+    // The shallowest report of the flow sits in `go` at the w1 call.
+    let min_depth = result.leaks.iter().map(|l| l.depth).min().unwrap();
+    assert!(min_depth >= 2, "chain depth accounted: {min_depth}");
+    // A depth cap below the chain suppresses it; above keeps it.
+    let capped = analyze(
+        &dex,
+        &AnalysisConfig {
+            max_call_depth: Some(1),
+            ..AnalysisConfig::default()
+        },
+    );
+    assert!(!capped.leaky(), "cap 1 suppresses a 2-hop chain");
+    let roomy = analyze(
+        &dex,
+        &AnalysisConfig {
+            max_call_depth: Some(6),
+            ..AnalysisConfig::default()
+        },
+    );
+    assert!(roomy.leaky(), "cap 6 keeps it");
+}
+
+#[test]
+fn icc_through_wrapper_returns() {
+    // putExtra(source-through-a-return) ... getExtra -> sink.
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/A;", |c| {
+        c.static_method("fetch", &[], "Ljava/lang/String;", 2, |m| {
+            call_source(m, 0);
+            m.asm.ret(Opcode::ReturnObject, 0);
+        });
+        c.static_method("sendIt", &[], "V", 3, |m| {
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lapp/A;",
+                "fetch",
+                &[],
+                "Ljava/lang/String;",
+                &[],
+            );
+            mr_obj(m, 0);
+            m.const_str(1, "k");
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Icc;",
+                "putExtra",
+                &["Ljava/lang/String;", "Ljava/lang/String;"],
+                "V",
+                &[1, 0],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    pb.class("Lapp/B;", |c| {
+        c.static_method("recv", &[], "V", 3, |m| {
+            m.const_str(0, "k");
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Icc;",
+                "getExtra",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/String;",
+                &[0],
+            );
+            mr_obj(m, 1);
+            call_sink(m, 1);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    assert!(droidsafe().run(&dex).leaky());
+    assert!(horndroid().run(&dex).leaky());
+}
+
+#[test]
+fn overwrite_then_retaint_found_by_flow_sensitive() {
+    // v = source; v = "clean"; v = source; sink(v): the *second* taint
+    // survives strong updates.
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 2, |m| {
+            call_source(m, 0);
+            m.const_str(0, "clean");
+            call_source(m, 0);
+            call_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    for tool in all_tools() {
+        assert!(tool.run(&dex).leaky(), "{}", tool.name);
+    }
+}
+
+#[test]
+fn taint_survives_cross_register_shuffle() {
+    // Moving taint through several registers and a concat keeps it alive.
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 6, |m| {
+            call_source(m, 0);
+            m.asm.move_reg(dexlego_dalvik::asm::MoveKind::Object, 1, 0);
+            m.asm.move_reg(dexlego_dalvik::asm::MoveKind::Object, 2, 1);
+            m.const_str(3, "-suffix");
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/String;",
+                "concat",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/String;",
+                &[2, 3],
+            );
+            mr_obj(m, 4);
+            call_sink(m, 4);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    for tool in all_tools() {
+        assert!(tool.run(&dex).leaky(), "{}", tool.name);
+    }
+}
+
+#[test]
+fn conflicting_constants_join_to_unknown_reflection_unresolved() {
+    // Two paths define different method-name constants; the join loses the
+    // constant so the reflective target stays unresolved even for the
+    // string-tracking tools. (Conservative under-approximation.)
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Hidden;", |c| {
+        c.static_method("leakIt", &["Ljava/lang/String;"], "V", 1, |m| {
+            let p = m.param_reg(0);
+            call_sink(m, p);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        c.static_method("other", &["Ljava/lang/String;"], "V", 1, |m| {
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &["I"], "V", 8, |m| {
+            let flag = m.param_reg(0);
+            let (other, join) = (m.asm.new_label(), m.asm.new_label());
+            m.const_str(2, "leakIt");
+            m.asm.if_z(Opcode::IfNez, flag, other);
+            m.asm.goto(join);
+            m.asm.bind(other);
+            m.const_str(2, "other");
+            m.asm.bind(join);
+            m.const_str(0, "app.Hidden");
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Ljava/lang/Class;",
+                "forName",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/Class;",
+                &[0],
+            );
+            mr_obj(m, 1);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/Class;",
+                "getMethod",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/reflect/Method;",
+                &[1, 2],
+            );
+            mr_obj(m, 3);
+            call_source(m, 4);
+            m.asm.const4(5, 0);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/reflect/Method;",
+                "invoke",
+                &["Ljava/lang/Object;", "[Ljava/lang/Object;"],
+                "Ljava/lang/Object;",
+                &[3, 5, 4],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    assert!(!droidsafe().run(&dex).leaky());
+    assert!(!horndroid().run(&dex).leaky());
+}
+
+#[test]
+fn framework_classes_are_not_analyzed_as_roots() {
+    // A leak-shaped method inside a com.dexlego class must not count.
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lcom/dexlego/Helper;", |c| {
+        c.static_method("leakish", &[], "V", 2, |m| {
+            call_source(m, 0);
+            call_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 1, |m| {
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    for tool in all_tools() {
+        assert!(!tool.run(&dex).leaky(), "{}", tool.name);
+    }
+}

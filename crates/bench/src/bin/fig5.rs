@@ -1,0 +1,5 @@
+//! Regenerates Figure 5.
+fn main() {
+    let results = dexlego_bench::table2::run();
+    println!("{}", dexlego_bench::fig5::format(&dexlego_bench::fig5::run(&results)));
+}

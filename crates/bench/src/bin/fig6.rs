@@ -1,0 +1,4 @@
+//! Regenerates Figure 6.
+fn main() {
+    println!("{}", dexlego_bench::fig6::format(&dexlego_bench::fig6::run()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table I.
+fn main() {
+    let (counts, cells) = dexlego_bench::table1::run();
+    println!("{}", dexlego_bench::table1::format(&counts, &cells));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Tables II and III.
+fn main() {
+    let results = dexlego_bench::table2::run();
+    println!("{}", dexlego_bench::table2::format(&results));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table IV.
+fn main() {
+    println!("{}", dexlego_bench::table4::format(&dexlego_bench::table4::run()));
+}

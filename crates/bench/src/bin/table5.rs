@@ -1,0 +1,4 @@
+//! Regenerates Table V.
+fn main() {
+    println!("{}", dexlego_bench::table5::format(&dexlego_bench::table5::run()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table VI.
+fn main() {
+    println!("{}", dexlego_bench::table6::format(&dexlego_bench::table6::run()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table VII.
+fn main() {
+    println!("{}", dexlego_bench::table7::format(&dexlego_bench::table7::run()));
+}

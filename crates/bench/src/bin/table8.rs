@@ -1,0 +1,4 @@
+//! Regenerates Table VIII.
+fn main() {
+    println!("{}", dexlego_bench::table8::format(&dexlego_bench::table8::run()));
+}

@@ -1,0 +1,57 @@
+//! Shared experiment plumbing: running DexLego over benchmark samples.
+
+use dexlego_core::pipeline::{reveal, RevealOutcome};
+use dexlego_dex::DexFile;
+use dexlego_droidbench::{drive_sample, Sample};
+use dexlego_runtime::Runtime;
+
+/// Fuzzing seeds used for every sample execution (three sessions, as a
+/// small Sapienz-style campaign).
+pub const SEEDS: [u64; 3] = [0x5eed_0001, 0x5eed_0002, 0x5eed_0003];
+
+/// Events fired per fuzzing session.
+pub const EVENTS: usize = 4;
+
+/// A sample together with its DexLego-revealed DEX.
+pub struct RevealedSample {
+    /// The revealed (reassembled) DEX.
+    pub dex: DexFile,
+    /// Dump-file size in bytes.
+    pub dump_size: usize,
+}
+
+/// Runs the standard DexLego pipeline over one sample: install under
+/// collection, drive three fuzzing sessions, reassemble.
+///
+/// # Panics
+///
+/// Panics if reassembly fails (a harness bug, not an experiment outcome).
+pub fn reveal_sample(sample: &Sample) -> RevealedSample {
+    let mut rt = Runtime::new();
+    let outcome: RevealOutcome = reveal(&mut rt, |rt, obs| {
+        if sample.install(rt, obs).is_err() {
+            return;
+        }
+        for seed in SEEDS {
+            drive_sample(rt, obs, sample, seed, EVENTS);
+        }
+    })
+    .unwrap_or_else(|e| panic!("{}: reveal failed: {e}", sample.name));
+    // Mechanical RQ1 check on every corpus reveal: the reassembled DEX
+    // contains everything that was collected.
+    let problems = dexlego_core::pipeline::validate_reveal(&outcome.files, &outcome.dex);
+    assert!(
+        problems.is_empty(),
+        "{}: reveal validation failed: {problems:?}",
+        sample.name
+    );
+    RevealedSample {
+        dex: outcome.dex,
+        dump_size: outcome.dump_size,
+    }
+}
+
+/// Renders a markdown-ish table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}

@@ -1,0 +1,54 @@
+//! Figure 5: F-measures of the three static tools across the four
+//! treatments (original / DexHunter / AppSpear / DexLego).
+
+use crate::table2::Table2Results;
+
+/// One bar group of Figure 5.
+#[derive(Debug, Clone)]
+pub struct FMeasures {
+    /// Tool name.
+    pub tool: &'static str,
+    /// F-measure on original samples.
+    pub original: f64,
+    /// F-measure after DexHunter (== AppSpear here, as in the paper).
+    pub dexhunter: f64,
+    /// F-measure after AppSpear.
+    pub appspear: f64,
+    /// F-measure after DexLego.
+    pub dexlego: f64,
+}
+
+/// Derives Figure 5 from the Table II/III results.
+pub fn run(results: &Table2Results) -> Vec<FMeasures> {
+    results
+        .original
+        .iter()
+        .zip(&results.baseline_unpacked)
+        .zip(&results.dexlego)
+        .map(|((orig, base), dexlego)| FMeasures {
+            tool: orig.tool,
+            original: orig.confusion.f_measure(),
+            dexhunter: base.confusion.f_measure(),
+            appspear: base.confusion.f_measure(),
+            dexlego: dexlego.confusion.f_measure(),
+        })
+        .collect()
+}
+
+/// Formats Figure 5 as a table of percentages.
+pub fn format(measures: &[FMeasures]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5 — F-measures (%)\n");
+    out.push_str("tool        | original | DexHunter | AppSpear | DexLego\n");
+    for m in measures {
+        out.push_str(&format!(
+            "{:<11} | {:>7.1}% | {:>8.1}% | {:>7.1}% | {:>6.1}%\n",
+            m.tool,
+            m.original * 100.0,
+            m.dexhunter * 100.0,
+            m.appspear * 100.0,
+            m.dexlego * 100.0,
+        ));
+    }
+    out
+}

@@ -1,0 +1,193 @@
+//! Figure 6: CF-Bench-style performance scores under the unmodified
+//! runtime versus the runtime with DexLego's JIT collection attached.
+//!
+//! A *score* is work completed per unit time (higher is better), measured
+//! for a Java-heavy workload (pure bytecode), a native-heavy workload
+//! (most time inside native methods, which the collector does not trace),
+//! and the CF-Bench-style overall blend.
+
+use std::time::Instant;
+
+use dexlego_core::JitCollector;
+use dexlego_dalvik::builder::ProgramBuilder;
+use dexlego_dalvik::{Insn, Opcode};
+use dexlego_dex::DexFile;
+use dexlego_runtime::observer::NullObserver;
+use dexlego_runtime::{RetVal, Runtime, Slot};
+
+/// Scores for one runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Scores {
+    /// Java (bytecode-interpretation) score.
+    pub java: f64,
+    /// Native score.
+    pub native: f64,
+    /// Overall score (CF-Bench weights the memory/overall mix; we use the
+    /// geometric mean of the two components).
+    pub overall: f64,
+}
+
+/// Figure 6 result: both configurations plus derived slowdowns.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6 {
+    /// Unmodified ART scores.
+    pub unmodified: Scores,
+    /// DexLego-instrumented scores.
+    pub dexlego: Scores,
+}
+
+impl Fig6 {
+    /// (java, native, overall) slowdown factors.
+    pub fn slowdown(&self) -> (f64, f64, f64) {
+        (
+            self.unmodified.java / self.dexlego.java,
+            self.unmodified.native / self.dexlego.native,
+            self.unmodified.overall / self.dexlego.overall,
+        )
+    }
+}
+
+/// Builds the benchmark app: `javaWork(n)` spins in bytecode, `nativeWork
+/// (n)` spends its time inside a native method.
+fn benchmark_app() -> (DexFile, String) {
+    let entry = "Lcfbench/Main;".to_owned();
+    let mut pb = ProgramBuilder::new();
+    pb.class(&entry, |c| {
+        // int javaWork(int n): tight arithmetic loop.
+        c.static_method("javaWork", &["I"], "I", 3, |m| {
+            let n = m.param_reg(0);
+            let (top, done) = (m.asm.new_label(), m.asm.new_label());
+            m.asm.const4(0, 0); // acc
+            m.asm.const4(1, 0); // i
+            m.asm.bind(top);
+            m.asm.if_cmp(Opcode::IfGe, 1, n, done);
+            m.asm.binop(Opcode::AddInt, 0, 0, 1);
+            m.asm.binop_lit8(Opcode::XorIntLit8, 0, 0, 0x2f);
+            m.asm.binop_lit8(Opcode::MulIntLit8, 0, 0, 3);
+            m.asm.binop_lit8(Opcode::AddIntLit8, 1, 1, 1);
+            m.asm.goto(top);
+            m.asm.bind(done);
+            m.asm.ret(Opcode::Return, 0);
+        });
+        // int nativeWork(int n): loop of calls into a heavy native.
+        c.static_method("nativeWork", &["I"], "I", 3, |m| {
+            let n = m.param_reg(0);
+            let (top, done) = (m.asm.new_label(), m.asm.new_label());
+            m.asm.const4(0, 0);
+            m.asm.const4(1, 0);
+            m.asm.bind(top);
+            m.asm.if_cmp(Opcode::IfGe, 1, n, done);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcfbench/NativeWork;",
+                "spin",
+                &["I"],
+                "I",
+                &[0],
+            );
+            let mut mr = Insn::of(Opcode::MoveResult);
+            mr.a = 0;
+            m.asm.push(mr);
+            m.asm.binop_lit8(Opcode::AddIntLit8, 1, 1, 1);
+            m.asm.goto(top);
+            m.asm.bind(done);
+            m.asm.ret(Opcode::Return, 0);
+        });
+    });
+    (pb.build().expect("assembles"), entry)
+}
+
+fn setup_runtime(dex: &DexFile) -> Runtime {
+    let mut rt = Runtime::new();
+    rt.load_dex(dex, "app").expect("loads");
+    // The heavy native: a Rust-side spin that dwarfs its call overhead.
+    rt.natives
+        .register("Lcfbench/NativeWork;", "spin", "(I)I", |_, _, args| {
+            let mut acc = args[0].as_int();
+            for i in 0..2_000 {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            Ok(RetVal::Single(Slot::from_int(acc)))
+        });
+    rt
+}
+
+fn score<F>(mut run_once: F) -> f64
+where
+    F: FnMut(),
+{
+    // Work per millisecond over a fixed number of iterations.
+    const ITERS: u32 = 12;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        run_once();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    f64::from(ITERS) / (elapsed * 1000.0)
+}
+
+fn measure(collected: bool) -> Scores {
+    let (dex, entry) = benchmark_app();
+    let java = {
+        let mut rt = setup_runtime(&dex);
+        let mut collector = JitCollector::new();
+        let mut null = NullObserver;
+        score(|| {
+            let obs: &mut dyn dexlego_runtime::RuntimeObserver = if collected {
+                &mut collector
+            } else {
+                &mut null
+            };
+            rt.call_static(obs, &entry, "javaWork", "(I)I", &[Slot::from_int(20_000)])
+                .expect("runs");
+        })
+    };
+    let native = {
+        let mut rt = setup_runtime(&dex);
+        let mut collector = JitCollector::new();
+        let mut null = NullObserver;
+        score(|| {
+            let obs: &mut dyn dexlego_runtime::RuntimeObserver = if collected {
+                &mut collector
+            } else {
+                &mut null
+            };
+            rt.call_static(obs, &entry, "nativeWork", "(I)I", &[Slot::from_int(300)])
+                .expect("runs");
+        })
+    };
+    Scores {
+        java,
+        native,
+        overall: (java * native).sqrt(),
+    }
+}
+
+/// Runs Figure 6.
+pub fn run() -> Fig6 {
+    Fig6 {
+        unmodified: measure(false),
+        dexlego: measure(true),
+    }
+}
+
+/// Formats Figure 6.
+pub fn format(f: &Fig6) -> String {
+    let (java, native, overall) = f.slowdown();
+    format!(
+        "Figure 6 — CF-Bench-style scores (higher is better)\n\
+         config      | java    | native  | overall\n\
+         unmodified  | {:>7.2} | {:>7.2} | {:>7.2}\n\
+         DexLego     | {:>7.2} | {:>7.2} | {:>7.2}\n\
+         slowdown    | {:>6.2}x | {:>6.2}x | {:>6.2}x\n",
+        f.unmodified.java,
+        f.unmodified.native,
+        f.unmodified.overall,
+        f.dexlego.java,
+        f.dexlego.native,
+        f.dexlego.overall,
+        java,
+        native,
+        overall,
+    )
+}

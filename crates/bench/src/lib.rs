@@ -1,0 +1,22 @@
+#![forbid(unsafe_code)]
+
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation, each with a function that computes the result and a
+//! formatter that prints it in the paper's shape.
+//!
+//! Binaries under `src/bin/` (`table1` … `table8`, `fig5`, `fig6`, `all`)
+//! call these functions; `cargo run -p dexlego-bench --bin all` regenerates
+//! every number for EXPERIMENTS.md.
+
+pub mod common;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+
+pub use common::{reveal_sample, RevealedSample};

@@ -1,0 +1,84 @@
+//! Table VI: the five F-Droid applications — instruction counts and the
+//! size of DexLego's collection ("dump") files after a fuzzing campaign.
+
+use dexlego_core::coverage::EventFuzzer;
+use dexlego_core::pipeline::reveal;
+use dexlego_droidbench::appgen::{generate, AppSpec, GeneratedApp};
+use dexlego_runtime::Runtime;
+
+/// The paper's five F-Droid apps with their instruction counts.
+pub const APPS: [(&str, &str, usize); 5] = [
+    ("be.ppareit.swiftp", "2.14.2", 8_812),
+    ("fr.gaulupeau.apps.InThePoche", "2.0.0b1", 29_231),
+    ("org.gnucash.android", "2.1.7", 56_565),
+    ("org.liberty.android.fantastischmemopro", "10.9.993", 57_575),
+    ("com.fastaccess.github", "2.1.0", 93_913),
+];
+
+/// One row of Table VI.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Package name.
+    pub package: &'static str,
+    /// Version.
+    pub version: &'static str,
+    /// Generated instruction count.
+    pub insns: usize,
+    /// Dump-file size in bytes after the fuzzing campaign.
+    pub dump_size: usize,
+}
+
+/// Builds the coverage-profile app for a Table VI/VII package.
+pub fn build_app(package: &str, target: usize) -> GeneratedApp {
+    generate(&AppSpec::coverage_profile(
+        &package.replace('.', "/"),
+        target,
+    ))
+}
+
+/// Runs Table VI.
+pub fn run() -> Vec<Row> {
+    APPS.iter()
+        .map(|&(package, version, target)| {
+            let app = build_app(package, target);
+            let mut rt = Runtime::new();
+            let entry = app.entry.clone();
+            let dex = app.dex.clone();
+            let outcome = reveal(&mut rt, move |rt, obs| {
+                if rt.load_dex_observed(&dex, "app", obs).is_err() {
+                    return;
+                }
+                let mut fuzzer = EventFuzzer::new(0xf00d, 6);
+                for _ in 0..3 {
+                    fuzzer.run(rt, obs, &entry);
+                }
+            })
+            .expect("reveal succeeds");
+            Row {
+                package,
+                version,
+                insns: app.insn_count,
+                dump_size: outcome.dump_size,
+            }
+        })
+        .collect()
+}
+
+/// Formats Table VI.
+pub fn format(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table VI — F-Droid samples\n");
+    out.push_str("package                                  | version   | # insns | dump size\n");
+    for r in rows {
+        let size = if r.dump_size >= 1 << 20 {
+            format!("{:.2} MB", r.dump_size as f64 / (1 << 20) as f64)
+        } else {
+            format!("{:.2} KB", r.dump_size as f64 / 1024.0)
+        };
+        out.push_str(&format!(
+            "{:<40} | {:<9} | {:>7} | {}\n",
+            r.package, r.version, r.insns, size
+        ));
+    }
+    out
+}

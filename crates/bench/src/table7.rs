@@ -1,0 +1,92 @@
+//! Table VII: code coverage of Sapienz-style fuzzing alone versus fuzzing
+//! plus DexLego's force-execution module, averaged over the five F-Droid
+//! apps at every granularity JaCoCo reports.
+
+use dexlego_core::coverage::{measure, CoverageRecorder, CoverageReport, EventFuzzer};
+use dexlego_core::force::iterative_force;
+use dexlego_runtime::Runtime;
+
+use crate::table6::{build_app, APPS};
+
+/// The two rows of Table VII.
+#[derive(Debug, Clone, Copy)]
+pub struct Table7 {
+    /// Coverage from fuzzing alone.
+    pub sapienz: CoverageReport,
+    /// Coverage from fuzzing plus force execution.
+    pub with_force: CoverageReport,
+}
+
+fn average(reports: &[CoverageReport]) -> CoverageReport {
+    let n = reports.len().max(1) as f64;
+    CoverageReport {
+        class: reports.iter().map(|r| r.class).sum::<f64>() / n,
+        method: reports.iter().map(|r| r.method).sum::<f64>() / n,
+        line: reports.iter().map(|r| r.line).sum::<f64>() / n,
+        branch: reports.iter().map(|r| r.branch).sum::<f64>() / n,
+        instruction: reports.iter().map(|r| r.instruction).sum::<f64>() / n,
+    }
+}
+
+/// Runs Table VII.
+pub fn run() -> Table7 {
+    let mut fuzz_reports = Vec::new();
+    let mut force_reports = Vec::new();
+    for &(package, _, target) in &APPS {
+        let app = build_app(package, target);
+
+        // Fuzzing alone.
+        {
+            let mut rt = Runtime::new();
+            rt.load_dex(&app.dex, "app").expect("loads");
+            let mut recorder = CoverageRecorder::new();
+            let mut fuzzer = EventFuzzer::new(0xace0_ba5e, 8);
+            for _ in 0..4 {
+                fuzzer.run(&mut rt, &mut recorder, &app.entry);
+            }
+            fuzz_reports.push(measure(&rt, &recorder));
+        }
+
+        // Fuzzing + iterative force execution (Figure 4), with the same
+        // fuzzing session as the "previous execution".
+        {
+            let mut rt = Runtime::new();
+            rt.load_dex(&app.dex, "app").expect("loads");
+            let mut recorder = CoverageRecorder::new();
+            let entry = app.entry.clone();
+            let mut drive = |rt: &mut Runtime,
+                             obs: &mut dyn dexlego_runtime::RuntimeObserver| {
+                let mut fuzzer = EventFuzzer::new(0xace0_ba5e, 8);
+                for _ in 0..2 {
+                    fuzzer.run(rt, obs, &entry);
+                }
+            };
+            let (_cov, _stats) = iterative_force(&mut rt, &mut drive, &mut recorder, 6);
+            force_reports.push(measure(&rt, &recorder));
+        }
+    }
+    Table7 {
+        sapienz: average(&fuzz_reports),
+        with_force: average(&force_reports),
+    }
+}
+
+/// Formats Table VII.
+pub fn format(t: &Table7) -> String {
+    let mut out = String::new();
+    out.push_str("Table VII — coverage (%) averaged over the F-Droid apps\n");
+    out.push_str("                  | class | method | line | branch | instruction\n");
+    out.push_str(&format!(
+        "Sapienz           | {:>5.0} | {:>6.0} | {:>4.0} | {:>6.0} | {:>11.0}\n",
+        t.sapienz.class, t.sapienz.method, t.sapienz.line, t.sapienz.branch, t.sapienz.instruction
+    ));
+    out.push_str(&format!(
+        "Sapienz + DexLego | {:>5.0} | {:>6.0} | {:>4.0} | {:>6.0} | {:>11.0}\n",
+        t.with_force.class,
+        t.with_force.method,
+        t.with_force.line,
+        t.with_force.branch,
+        t.with_force.instruction
+    ));
+    out
+}

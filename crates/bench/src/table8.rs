@@ -1,0 +1,104 @@
+//! Table VIII: application launch time with and without DexLego, mean and
+//! standard deviation over 30 launches of three popular-app stand-ins.
+
+use std::time::Instant;
+
+use dexlego_core::JitCollector;
+use dexlego_droidbench::appgen::{generate, AppSpec};
+use dexlego_runtime::class::SigKey;
+use dexlego_runtime::observer::NullObserver;
+use dexlego_runtime::{Runtime, RuntimeObserver, Slot};
+
+/// The paper's three applications with stand-in code sizes (launch cost is
+/// dominated by class initialisation and `onCreate` work).
+pub const APPS: [(&str, &str, usize); 3] = [
+    ("Snapchat", "9.43.0.0", 24_000),
+    ("Instagram", "9.7.0", 18_000),
+    ("WhatsApp", "2.16.310", 7_000),
+];
+
+/// One row of Table VIII.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Version.
+    pub version: &'static str,
+    /// Mean / std launch time (ms) on the unmodified runtime.
+    pub original: (f64, f64),
+    /// Mean / std launch time (ms) with DexLego collecting.
+    pub dexlego: (f64, f64),
+}
+
+fn mean_std(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+fn launch_times(dex: &dexlego_dex::DexFile, entry: &str, collected: bool, runs: usize) -> Vec<f64> {
+    (0..runs)
+        .map(|_| {
+            // Each launch is a cold start: fresh runtime, fresh linking.
+            let mut rt = Runtime::new();
+            let mut collector = JitCollector::new();
+            let mut null = NullObserver;
+            let obs: &mut dyn RuntimeObserver = if collected {
+                &mut collector
+            } else {
+                &mut null
+            };
+            let start = Instant::now();
+            rt.load_dex_observed(dex, "app", obs).expect("loads");
+            let activity = rt.new_instance(obs, entry).expect("instantiates");
+            let class = rt.find_class(entry).expect("linked");
+            if let Some(on_create) =
+                rt.resolve_method(class, &SigKey::new("onCreate", "(Landroid/os/Bundle;)V"))
+            {
+                let _ = rt.call_method(obs, on_create, &[Slot::of(activity), Slot::of(0)]);
+            }
+            start.elapsed().as_secs_f64() * 1000.0
+        })
+        .collect()
+}
+
+/// Runs Table VIII.
+pub fn run() -> Vec<Row> {
+    APPS.iter()
+        .map(|&(app, version, size)| {
+            let generated = generate(&AppSpec::plain_profile(
+                &format!("popular/{}", app.to_lowercase()),
+                size,
+            ));
+            let original = mean_std(&launch_times(&generated.dex, &generated.entry, false, 30));
+            let dexlego = mean_std(&launch_times(&generated.dex, &generated.entry, true, 30));
+            Row {
+                app,
+                version,
+                original,
+                dexlego,
+            }
+        })
+        .collect()
+}
+
+/// Formats Table VIII.
+pub fn format(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table VIII — launch time (ms), 30 runs\n");
+    out.push_str("app       | version   | original mean/std | DexLego mean/std | slowdown\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} | {:<9} | {:>8.2} / {:<6.2} | {:>8.2} / {:<6.2} | {:>5.2}x\n",
+            r.app,
+            r.version,
+            r.original.0,
+            r.original.1,
+            r.dexlego.0,
+            r.dexlego.1,
+            r.dexlego.0 / r.original.0.max(1e-9),
+        ));
+    }
+    out
+}

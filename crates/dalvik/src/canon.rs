@@ -1,0 +1,355 @@
+//! Pool canonicalisation: sorting a [`DexFile`]'s pools per the format
+//! specification and rewriting every embedded index.
+//!
+//! The binary DEX format requires its pools sorted (strings by code-point
+//! order, types by descriptor index, fields/methods by class/name/type).
+//! Models built by interning are in insertion order, so before a
+//! reassembled DEX is written out, [`canonicalize`] produces an equivalent
+//! model with sorted pools, remapping indices in id items, class defs,
+//! static values, catch handlers, **and instruction streams** (which is why
+//! this pass lives here rather than in `dexlego-dex`: it must decode and
+//! re-encode instructions).
+
+use dexlego_dex::value::EncodedValue;
+use dexlego_dex::{ClassDef, CodeItem, DexFile};
+
+use crate::decode::decode_method;
+use crate::encode::encode_decoded;
+use crate::insn::Decoded;
+use crate::opcode::IndexKind;
+use crate::Result;
+
+/// Index remapping tables produced by sorting the pools.
+#[derive(Debug, Default)]
+struct Remap {
+    string: Vec<u32>,
+    type_: Vec<u32>,
+    proto: Vec<u32>,
+    field: Vec<u32>,
+    method: Vec<u32>,
+}
+
+/// Returns an equivalent `DexFile` whose pools satisfy the binary format's
+/// sorting invariants, with all indices (including those inside instruction
+/// streams) rewritten.
+///
+/// # Errors
+///
+/// Fails if an instruction stream cannot be decoded (e.g. a method body
+/// carrying an encrypted payload); canonicalise only fully-revealed models.
+///
+/// # Example
+///
+/// ```
+/// use dexlego_dex::{DexFile, verify::{verify, Strictness}};
+/// use dexlego_dalvik::canon::canonicalize;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dex = DexFile::new();
+/// dex.intern_string("zzz");
+/// dex.intern_string("aaa");
+/// let sorted = canonicalize(&dex)?;
+/// verify(&sorted, Strictness::Sorted)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn canonicalize(dex: &DexFile) -> Result<DexFile> {
+    let mut remap = Remap::default();
+
+    // Strings: sort by UTF-16 code-point order (Rust string comparison is by
+    // Unicode scalar, which matches for BMP content; supplementary planes
+    // compare after surrogates either way for our corpus).
+    let mut string_order: Vec<usize> = (0..dex.strings().len()).collect();
+    string_order.sort_by(|&a, &b| dex.strings()[a].cmp(&dex.strings()[b]));
+    remap.string = invert(&string_order);
+    let strings: Vec<String> = string_order
+        .iter()
+        .map(|&i| dex.strings()[i].clone())
+        .collect();
+
+    // Types: sorted by (remapped) descriptor string index.
+    let mut type_order: Vec<usize> = (0..dex.type_ids().len()).collect();
+    type_order.sort_by_key(|&i| remap.string[dex.type_ids()[i] as usize]);
+    remap.type_ = invert(&type_order);
+    let type_ids: Vec<u32> = type_order
+        .iter()
+        .map(|&i| remap.string[dex.type_ids()[i] as usize])
+        .collect();
+
+    // Protos: sorted by return type then parameter list.
+    let proto_key = |p: &dexlego_dex::ProtoIdItem| {
+        (
+            remap.type_[p.return_type as usize],
+            p.parameters
+                .iter()
+                .map(|&t| remap.type_[t as usize])
+                .collect::<Vec<_>>(),
+        )
+    };
+    let mut proto_order: Vec<usize> = (0..dex.protos().len()).collect();
+    proto_order.sort_by_key(|&i| proto_key(&dex.protos()[i]));
+    remap.proto = invert(&proto_order);
+    let protos: Vec<dexlego_dex::ProtoIdItem> = proto_order
+        .iter()
+        .map(|&i| {
+            let p = &dex.protos()[i];
+            dexlego_dex::ProtoIdItem {
+                shorty: remap.string[p.shorty as usize],
+                return_type: remap.type_[p.return_type as usize],
+                parameters: p.parameters.iter().map(|&t| remap.type_[t as usize]).collect(),
+            }
+        })
+        .collect();
+
+    // Fields: by class, then name, then type.
+    let mut field_order: Vec<usize> = (0..dex.field_ids().len()).collect();
+    field_order.sort_by_key(|&i| {
+        let f = &dex.field_ids()[i];
+        (
+            remap.type_[f.class as usize],
+            remap.string[f.name as usize],
+            remap.type_[f.type_ as usize],
+        )
+    });
+    remap.field = invert(&field_order);
+    let field_ids: Vec<dexlego_dex::FieldIdItem> = field_order
+        .iter()
+        .map(|&i| {
+            let f = &dex.field_ids()[i];
+            dexlego_dex::FieldIdItem {
+                class: remap.type_[f.class as usize],
+                type_: remap.type_[f.type_ as usize],
+                name: remap.string[f.name as usize],
+            }
+        })
+        .collect();
+
+    // Methods: by class, then name, then proto.
+    let mut method_order: Vec<usize> = (0..dex.method_ids().len()).collect();
+    method_order.sort_by_key(|&i| {
+        let m = &dex.method_ids()[i];
+        (
+            remap.type_[m.class as usize],
+            remap.string[m.name as usize],
+            remap.proto[m.proto as usize],
+        )
+    });
+    remap.method = invert(&method_order);
+    let method_ids: Vec<dexlego_dex::MethodIdItem> = method_order
+        .iter()
+        .map(|&i| {
+            let m = &dex.method_ids()[i];
+            dexlego_dex::MethodIdItem {
+                class: remap.type_[m.class as usize],
+                proto: remap.proto[m.proto as usize],
+                name: remap.string[m.name as usize],
+            }
+        })
+        .collect();
+
+    // Class defs: remap indices, rewrite bodies, sort member lists, and
+    // order the defs by class type index.
+    let mut class_defs: Vec<ClassDef> = dex
+        .class_defs()
+        .iter()
+        .map(|c| remap_class(c, &remap))
+        .collect::<Result<_>>()?;
+    class_defs.sort_by_key(|c| c.class_idx);
+
+    Ok(DexFile::from_pools(
+        strings, type_ids, protos, field_ids, method_ids, class_defs,
+    ))
+}
+
+fn invert(order: &[usize]) -> Vec<u32> {
+    let mut inverse = vec![0u32; order.len()];
+    for (new, &old) in order.iter().enumerate() {
+        inverse[old] = new as u32;
+    }
+    inverse
+}
+
+fn remap_class(class: &ClassDef, remap: &Remap) -> Result<ClassDef> {
+    let mut out = class.clone();
+    out.class_idx = remap.type_[class.class_idx as usize];
+    out.superclass = class.superclass.map(|t| remap.type_[t as usize]);
+    out.interfaces = class.interfaces.iter().map(|&t| remap.type_[t as usize]).collect();
+    out.source_file = class.source_file.map(|s| remap.string[s as usize]);
+    out.static_values = class
+        .static_values
+        .iter()
+        .map(|v| remap_value(v, remap))
+        .collect();
+    if let Some(data) = &mut out.class_data {
+        for field in data
+            .static_fields
+            .iter_mut()
+            .chain(data.instance_fields.iter_mut())
+        {
+            field.field_idx = remap.field[field.field_idx as usize];
+        }
+        data.static_fields.sort_by_key(|f| f.field_idx);
+        data.instance_fields.sort_by_key(|f| f.field_idx);
+        for method in data.methods_mut() {
+            method.method_idx = remap.method[method.method_idx as usize];
+            if let Some(code) = &mut method.code {
+                *code = remap_code(code, remap)?;
+            }
+        }
+        data.direct_methods.sort_by_key(|m| m.method_idx);
+        data.virtual_methods.sort_by_key(|m| m.method_idx);
+    }
+    Ok(out)
+}
+
+fn remap_value(value: &EncodedValue, remap: &Remap) -> EncodedValue {
+    match value {
+        EncodedValue::String(i) => EncodedValue::String(remap.string[*i as usize]),
+        EncodedValue::Type(i) => EncodedValue::Type(remap.type_[*i as usize]),
+        EncodedValue::Field(i) => EncodedValue::Field(remap.field[*i as usize]),
+        EncodedValue::Enum(i) => EncodedValue::Enum(remap.field[*i as usize]),
+        EncodedValue::Method(i) => EncodedValue::Method(remap.method[*i as usize]),
+        EncodedValue::Array(items) => {
+            EncodedValue::Array(items.iter().map(|v| remap_value(v, remap)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+fn remap_code(code: &CodeItem, remap: &Remap) -> Result<CodeItem> {
+    let mut out = code.clone();
+    // Rewrite indices in place; every format keeps its unit length when only
+    // the index changes (index width is fixed per format), so addresses,
+    // branch offsets, and try ranges are unaffected.
+    let mut units = code.insns.clone();
+    for (addr, decoded) in decode_method(&code.insns)? {
+        if let Decoded::Insn(mut insn) = decoded {
+            let mapped = match insn.op.index_kind() {
+                IndexKind::None => continue,
+                IndexKind::String => remap.string[insn.idx as usize],
+                IndexKind::Type => remap.type_[insn.idx as usize],
+                IndexKind::Field => remap.field[insn.idx as usize],
+                IndexKind::Method => remap.method[insn.idx as usize],
+            };
+            if mapped == insn.idx {
+                continue;
+            }
+            insn.idx = mapped;
+            let encoded = encode_decoded(&Decoded::Insn(insn))?;
+            units[addr as usize..addr as usize + encoded.len()].copy_from_slice(&encoded);
+        }
+    }
+    out.insns = units;
+    for handler in &mut out.handlers {
+        for clause in &mut handler.catches {
+            clause.type_idx = remap.type_[clause.type_idx as usize];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::MethodAssembler;
+    use crate::opcode::Opcode;
+    use dexlego_dex::verify::{verify, Strictness};
+    use dexlego_dex::{AccessFlags, EncodedMethod};
+
+    fn build_unsorted() -> DexFile {
+        let mut dex = DexFile::new();
+        // Intern in reverse-alphabetical order to force remapping.
+        dex.intern_string("zz-last");
+        let t = dex.intern_type("Lzz/Main;");
+        dex.intern_type("Laa/Other;");
+        let callee = dex.intern_method("Lzz/Main;", "zz_callee", "V", &[]);
+        let m = dex.intern_method("Lzz/Main;", "aa_entry", "V", &[]);
+        let s = dex.intern_string("aa-string");
+        let f = dex.intern_field("Lzz/Main;", "I", "counter");
+
+        let mut asm = MethodAssembler::new();
+        asm.const_string(0, s);
+        asm.field_op(Opcode::Sget, 1, 0, f);
+        asm.invoke(Opcode::InvokeStatic, callee, &[]);
+        asm.ret(Opcode::ReturnVoid, 0);
+        let code = dexlego_dex::CodeItem::new(2, 0, 0, asm.assemble().unwrap());
+
+        let mut def = ClassDef::new(t);
+        let data = def.class_data.as_mut().unwrap();
+        data.static_fields.push(dexlego_dex::file::EncodedField {
+            field_idx: f,
+            access: AccessFlags::STATIC,
+        });
+        data.direct_methods.push(EncodedMethod {
+            method_idx: callee,
+            access: AccessFlags::STATIC,
+            code: Some(dexlego_dex::CodeItem::new(0, 0, 0, vec![0x000e])),
+        });
+        data.direct_methods.push(EncodedMethod {
+            method_idx: m,
+            access: AccessFlags::STATIC,
+            code: Some(code),
+        });
+        // Not ascending by method_idx: canonicalize must fix this.
+        dex.add_class(def);
+        dex
+    }
+
+    #[test]
+    fn canonical_model_passes_strict_verify() {
+        let dex = build_unsorted();
+        assert!(verify(&dex, Strictness::Sorted).is_err());
+        let canonical = canonicalize(&dex).unwrap();
+        verify(&canonical, Strictness::Sorted).unwrap();
+    }
+
+    #[test]
+    fn instruction_references_survive() {
+        let dex = build_unsorted();
+        let canonical = canonicalize(&dex).unwrap();
+        let class = canonical.find_class("Lzz/Main;").unwrap();
+        let data = class.class_data.as_ref().unwrap();
+        // Find aa_entry's code and check its references resolve to the same
+        // strings/signatures as before.
+        let entry = data
+            .methods()
+            .find(|m| {
+                canonical
+                    .method_signature(m.method_idx)
+                    .is_ok_and(|s| s.contains("aa_entry"))
+            })
+            .expect("entry method");
+        let code = entry.code.as_ref().unwrap();
+        let insns = decode_method(&code.insns).unwrap();
+        let const_str = insns[0].1.as_insn().unwrap();
+        assert_eq!(canonical.string(const_str.idx).unwrap(), "aa-string");
+        let sget = insns[1].1.as_insn().unwrap();
+        assert_eq!(
+            canonical.field_signature(sget.idx).unwrap(),
+            "Lzz/Main;->counter:I"
+        );
+        let invoke = insns[2].1.as_insn().unwrap();
+        assert_eq!(
+            canonical.method_signature(invoke.idx).unwrap(),
+            "Lzz/Main;->zz_callee()V"
+        );
+    }
+
+    #[test]
+    fn canonicalize_then_write_then_read_roundtrips() {
+        let dex = build_unsorted();
+        let canonical = canonicalize(&dex).unwrap();
+        let bytes = dexlego_dex::writer::write_dex(&canonical).unwrap();
+        let back = dexlego_dex::reader::read_dex(&bytes).unwrap();
+        assert_eq!(back, canonical);
+        verify(&back, Strictness::Sorted).unwrap();
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let dex = build_unsorted();
+        let once = canonicalize(&dex).unwrap();
+        let twice = canonicalize(&once).unwrap();
+        assert_eq!(once, twice);
+    }
+}

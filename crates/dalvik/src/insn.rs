@@ -1,0 +1,185 @@
+//! Decoded instruction values.
+
+use crate::opcode::{Format, IndexKind, Opcode};
+
+/// A decoded Dalvik instruction.
+///
+/// Operands are stored in a flat, format-agnostic representation:
+///
+/// * `a`, `b`, `c` — register operands (unused ones are zero),
+/// * `lit` — literal constant (for `const*` and `*lit*` forms),
+/// * `off` — branch offset in code units, relative to the instruction start
+///   (for branches and 31t payload references),
+/// * `idx` — constant-pool index (see [`Opcode::index_kind`]),
+/// * `regs` — argument registers for `35c`/`3rc` forms.
+///
+/// Which fields are meaningful is determined by [`Opcode::format`]. The
+/// encoder ([`crate::encode::encode_insn`]) validates ranges, so a
+/// decode→encode round trip is lossless.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Insn {
+    /// The opcode.
+    pub op: Opcode,
+    /// First register operand (vA).
+    pub a: u32,
+    /// Second register operand (vB).
+    pub b: u32,
+    /// Third register operand (vC).
+    pub c: u32,
+    /// Literal constant operand.
+    pub lit: i64,
+    /// Branch offset in code units, relative to this instruction's address.
+    pub off: i32,
+    /// Constant-pool index operand.
+    pub idx: u32,
+    /// Argument registers for invoke-style instructions.
+    pub regs: Vec<u32>,
+}
+
+impl Default for Opcode {
+    fn default() -> Opcode {
+        Opcode::Nop
+    }
+}
+
+impl Insn {
+    /// Creates an instruction with all operands zeroed.
+    pub fn of(op: Opcode) -> Insn {
+        Insn {
+            op,
+            ..Insn::default()
+        }
+    }
+
+    /// Length of this instruction in 16-bit code units.
+    pub fn units(&self) -> usize {
+        self.op.format().units()
+    }
+
+    /// The branch target address given this instruction's own address,
+    /// for branch instructions.
+    pub fn target(&self, addr: u32) -> u32 {
+        addr.wrapping_add(self.off as u32)
+    }
+
+    /// Whether this instruction's index operand is of `kind`.
+    pub fn references(&self, kind: IndexKind) -> bool {
+        self.op.index_kind() == kind
+    }
+
+    /// Registers read or written by the instruction, in operand order
+    /// (approximate; used for diagnostics, not verification).
+    pub fn registers(&self) -> Vec<u32> {
+        match self.op.format() {
+            Format::F10x | Format::F10t | Format::F20t | Format::F30t => vec![],
+            Format::F11n | Format::F11x | Format::F21t | Format::F21s | Format::F21h
+            | Format::F21c | Format::F31i | Format::F31t | Format::F31c | Format::F51l => {
+                vec![self.a]
+            }
+            Format::F12x | Format::F22x | Format::F22t | Format::F22s | Format::F22b
+            | Format::F22c | Format::F32x => vec![self.a, self.b],
+            Format::F23x => vec![self.a, self.b, self.c],
+            Format::F35c | Format::F3rc => self.regs.clone(),
+        }
+    }
+}
+
+/// A decoded element of an instruction stream: either a real instruction or
+/// one of the three payload pseudo-instructions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Decoded {
+    /// A regular instruction.
+    Insn(Insn),
+    /// `packed-switch-payload`: consecutive keys starting at `first_key`.
+    PackedSwitchPayload {
+        /// The lowest (first) switch key.
+        first_key: i32,
+        /// Branch offsets relative to the referencing `packed-switch`.
+        targets: Vec<i32>,
+    },
+    /// `sparse-switch-payload`: sorted keys with matching targets.
+    SparseSwitchPayload {
+        /// Switch keys, ascending.
+        keys: Vec<i32>,
+        /// Branch offsets relative to the referencing `sparse-switch`.
+        targets: Vec<i32>,
+    },
+    /// `fill-array-data-payload`: raw element bytes.
+    FillArrayDataPayload {
+        /// Bytes per element (1, 2, 4, or 8).
+        element_width: u16,
+        /// Element data, `element_width * size` bytes.
+        data: Vec<u8>,
+    },
+}
+
+impl Decoded {
+    /// Length in 16-bit code units.
+    pub fn units(&self) -> usize {
+        match self {
+            Decoded::Insn(insn) => insn.units(),
+            Decoded::PackedSwitchPayload { targets, .. } => 4 + targets.len() * 2,
+            Decoded::SparseSwitchPayload { keys, .. } => 2 + keys.len() * 4,
+            Decoded::FillArrayDataPayload { data, .. } => 4 + (data.len() + 1) / 2,
+        }
+    }
+
+    /// The contained instruction, if this is not a payload.
+    pub fn as_insn(&self) -> Option<&Insn> {
+        match self {
+            Decoded::Insn(insn) => Some(insn),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_computation_wraps_backwards() {
+        let mut insn = Insn::of(Opcode::Goto);
+        insn.off = -3;
+        assert_eq!(insn.target(10), 7);
+        insn.off = 5;
+        assert_eq!(insn.target(10), 15);
+    }
+
+    #[test]
+    fn payload_unit_lengths() {
+        let p = Decoded::PackedSwitchPayload {
+            first_key: 0,
+            targets: vec![1, 2, 3],
+        };
+        assert_eq!(p.units(), 4 + 6);
+        let s = Decoded::SparseSwitchPayload {
+            keys: vec![1, 5],
+            targets: vec![10, 20],
+        };
+        assert_eq!(s.units(), 2 + 8);
+        let f = Decoded::FillArrayDataPayload {
+            element_width: 4,
+            data: vec![0; 12],
+        };
+        assert_eq!(f.units(), 4 + 6);
+        let f_odd = Decoded::FillArrayDataPayload {
+            element_width: 1,
+            data: vec![0; 3],
+        };
+        assert_eq!(f_odd.units(), 4 + 2);
+    }
+
+    #[test]
+    fn registers_by_format() {
+        let mut insn = Insn::of(Opcode::AddInt);
+        insn.a = 1;
+        insn.b = 2;
+        insn.c = 3;
+        assert_eq!(insn.registers(), vec![1, 2, 3]);
+        let mut inv = Insn::of(Opcode::InvokeStatic);
+        inv.regs = vec![4, 5];
+        assert_eq!(inv.registers(), vec![4, 5]);
+        assert!(Insn::of(Opcode::Nop).registers().is_empty());
+    }
+}

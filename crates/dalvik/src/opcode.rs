@@ -1,0 +1,472 @@
+//! The Dalvik 035 opcode table.
+
+/// Instruction encoding formats, named as in the Dalvik documentation: the
+/// first digit is the length in 16-bit code units, the second the number of
+/// register operands, and the letter encodes the extra payload kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Format {
+    F10x,
+    F12x,
+    F11n,
+    F11x,
+    F10t,
+    F20t,
+    F22x,
+    F21t,
+    F21s,
+    F21h,
+    F21c,
+    F23x,
+    F22b,
+    F22t,
+    F22s,
+    F22c,
+    F32x,
+    F30t,
+    F31t,
+    F31i,
+    F31c,
+    F35c,
+    F3rc,
+    F51l,
+}
+
+impl Format {
+    /// Instruction length in 16-bit code units.
+    pub const fn units(self) -> usize {
+        match self {
+            Format::F10x | Format::F12x | Format::F11n | Format::F11x | Format::F10t => 1,
+            Format::F20t
+            | Format::F22x
+            | Format::F21t
+            | Format::F21s
+            | Format::F21h
+            | Format::F21c
+            | Format::F23x
+            | Format::F22b
+            | Format::F22t
+            | Format::F22s
+            | Format::F22c => 2,
+            Format::F32x | Format::F30t | Format::F31t | Format::F31i | Format::F31c
+            | Format::F35c | Format::F3rc => 3,
+            Format::F51l => 5,
+        }
+    }
+}
+
+/// What kind of constant-pool index an instruction's index operand holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// No index operand.
+    None,
+    /// String pool index.
+    String,
+    /// Type pool index.
+    Type,
+    /// Field pool index.
+    Field,
+    /// Method pool index.
+    Method,
+}
+
+macro_rules! opcodes {
+    ($(($value:literal, $variant:ident, $mnemonic:literal, $format:ident, $index:ident)),* $(,)?) => {
+        /// A Dalvik bytecode opcode.
+        ///
+        /// The discriminant equals the opcode byte.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(u8)]
+        #[allow(missing_docs)]
+        pub enum Opcode {
+            $($variant = $value),*
+        }
+
+        impl Opcode {
+            /// Decodes an opcode byte.
+            pub const fn from_u8(byte: u8) -> Option<Opcode> {
+                match byte {
+                    $($value => Some(Opcode::$variant),)*
+                    _ => None,
+                }
+            }
+
+            /// The smali mnemonic.
+            pub const fn mnemonic(self) -> &'static str {
+                match self {
+                    $(Opcode::$variant => $mnemonic),*
+                }
+            }
+
+            /// The encoding format.
+            pub const fn format(self) -> Format {
+                match self {
+                    $(Opcode::$variant => Format::$format),*
+                }
+            }
+
+            /// What constant-pool index (if any) the instruction carries.
+            pub const fn index_kind(self) -> IndexKind {
+                match self {
+                    $(Opcode::$variant => IndexKind::$index),*
+                }
+            }
+
+            /// All defined opcodes, in opcode-byte order.
+            pub const ALL: &'static [Opcode] = &[$(Opcode::$variant),*];
+        }
+    };
+}
+
+opcodes! {
+    (0x00, Nop, "nop", F10x, None),
+    (0x01, Move, "move", F12x, None),
+    (0x02, MoveFrom16, "move/from16", F22x, None),
+    (0x03, Move16, "move/16", F32x, None),
+    (0x04, MoveWide, "move-wide", F12x, None),
+    (0x05, MoveWideFrom16, "move-wide/from16", F22x, None),
+    (0x06, MoveWide16, "move-wide/16", F32x, None),
+    (0x07, MoveObject, "move-object", F12x, None),
+    (0x08, MoveObjectFrom16, "move-object/from16", F22x, None),
+    (0x09, MoveObject16, "move-object/16", F32x, None),
+    (0x0a, MoveResult, "move-result", F11x, None),
+    (0x0b, MoveResultWide, "move-result-wide", F11x, None),
+    (0x0c, MoveResultObject, "move-result-object", F11x, None),
+    (0x0d, MoveException, "move-exception", F11x, None),
+    (0x0e, ReturnVoid, "return-void", F10x, None),
+    (0x0f, Return, "return", F11x, None),
+    (0x10, ReturnWide, "return-wide", F11x, None),
+    (0x11, ReturnObject, "return-object", F11x, None),
+    (0x12, Const4, "const/4", F11n, None),
+    (0x13, Const16, "const/16", F21s, None),
+    (0x14, Const, "const", F31i, None),
+    (0x15, ConstHigh16, "const/high16", F21h, None),
+    (0x16, ConstWide16, "const-wide/16", F21s, None),
+    (0x17, ConstWide32, "const-wide/32", F31i, None),
+    (0x18, ConstWide, "const-wide", F51l, None),
+    (0x19, ConstWideHigh16, "const-wide/high16", F21h, None),
+    (0x1a, ConstString, "const-string", F21c, String),
+    (0x1b, ConstStringJumbo, "const-string/jumbo", F31c, String),
+    (0x1c, ConstClass, "const-class", F21c, Type),
+    (0x1d, MonitorEnter, "monitor-enter", F11x, None),
+    (0x1e, MonitorExit, "monitor-exit", F11x, None),
+    (0x1f, CheckCast, "check-cast", F21c, Type),
+    (0x20, InstanceOf, "instance-of", F22c, Type),
+    (0x21, ArrayLength, "array-length", F12x, None),
+    (0x22, NewInstance, "new-instance", F21c, Type),
+    (0x23, NewArray, "new-array", F22c, Type),
+    (0x24, FilledNewArray, "filled-new-array", F35c, Type),
+    (0x25, FilledNewArrayRange, "filled-new-array/range", F3rc, Type),
+    (0x26, FillArrayData, "fill-array-data", F31t, None),
+    (0x27, Throw, "throw", F11x, None),
+    (0x28, Goto, "goto", F10t, None),
+    (0x29, Goto16, "goto/16", F20t, None),
+    (0x2a, Goto32, "goto/32", F30t, None),
+    (0x2b, PackedSwitch, "packed-switch", F31t, None),
+    (0x2c, SparseSwitch, "sparse-switch", F31t, None),
+    (0x2d, CmplFloat, "cmpl-float", F23x, None),
+    (0x2e, CmpgFloat, "cmpg-float", F23x, None),
+    (0x2f, CmplDouble, "cmpl-double", F23x, None),
+    (0x30, CmpgDouble, "cmpg-double", F23x, None),
+    (0x31, CmpLong, "cmp-long", F23x, None),
+    (0x32, IfEq, "if-eq", F22t, None),
+    (0x33, IfNe, "if-ne", F22t, None),
+    (0x34, IfLt, "if-lt", F22t, None),
+    (0x35, IfGe, "if-ge", F22t, None),
+    (0x36, IfGt, "if-gt", F22t, None),
+    (0x37, IfLe, "if-le", F22t, None),
+    (0x38, IfEqz, "if-eqz", F21t, None),
+    (0x39, IfNez, "if-nez", F21t, None),
+    (0x3a, IfLtz, "if-ltz", F21t, None),
+    (0x3b, IfGez, "if-gez", F21t, None),
+    (0x3c, IfGtz, "if-gtz", F21t, None),
+    (0x3d, IfLez, "if-lez", F21t, None),
+    (0x44, Aget, "aget", F23x, None),
+    (0x45, AgetWide, "aget-wide", F23x, None),
+    (0x46, AgetObject, "aget-object", F23x, None),
+    (0x47, AgetBoolean, "aget-boolean", F23x, None),
+    (0x48, AgetByte, "aget-byte", F23x, None),
+    (0x49, AgetChar, "aget-char", F23x, None),
+    (0x4a, AgetShort, "aget-short", F23x, None),
+    (0x4b, Aput, "aput", F23x, None),
+    (0x4c, AputWide, "aput-wide", F23x, None),
+    (0x4d, AputObject, "aput-object", F23x, None),
+    (0x4e, AputBoolean, "aput-boolean", F23x, None),
+    (0x4f, AputByte, "aput-byte", F23x, None),
+    (0x50, AputChar, "aput-char", F23x, None),
+    (0x51, AputShort, "aput-short", F23x, None),
+    (0x52, Iget, "iget", F22c, Field),
+    (0x53, IgetWide, "iget-wide", F22c, Field),
+    (0x54, IgetObject, "iget-object", F22c, Field),
+    (0x55, IgetBoolean, "iget-boolean", F22c, Field),
+    (0x56, IgetByte, "iget-byte", F22c, Field),
+    (0x57, IgetChar, "iget-char", F22c, Field),
+    (0x58, IgetShort, "iget-short", F22c, Field),
+    (0x59, Iput, "iput", F22c, Field),
+    (0x5a, IputWide, "iput-wide", F22c, Field),
+    (0x5b, IputObject, "iput-object", F22c, Field),
+    (0x5c, IputBoolean, "iput-boolean", F22c, Field),
+    (0x5d, IputByte, "iput-byte", F22c, Field),
+    (0x5e, IputChar, "iput-char", F22c, Field),
+    (0x5f, IputShort, "iput-short", F22c, Field),
+    (0x60, Sget, "sget", F21c, Field),
+    (0x61, SgetWide, "sget-wide", F21c, Field),
+    (0x62, SgetObject, "sget-object", F21c, Field),
+    (0x63, SgetBoolean, "sget-boolean", F21c, Field),
+    (0x64, SgetByte, "sget-byte", F21c, Field),
+    (0x65, SgetChar, "sget-char", F21c, Field),
+    (0x66, SgetShort, "sget-short", F21c, Field),
+    (0x67, Sput, "sput", F21c, Field),
+    (0x68, SputWide, "sput-wide", F21c, Field),
+    (0x69, SputObject, "sput-object", F21c, Field),
+    (0x6a, SputBoolean, "sput-boolean", F21c, Field),
+    (0x6b, SputByte, "sput-byte", F21c, Field),
+    (0x6c, SputChar, "sput-char", F21c, Field),
+    (0x6d, SputShort, "sput-short", F21c, Field),
+    (0x6e, InvokeVirtual, "invoke-virtual", F35c, Method),
+    (0x6f, InvokeSuper, "invoke-super", F35c, Method),
+    (0x70, InvokeDirect, "invoke-direct", F35c, Method),
+    (0x71, InvokeStatic, "invoke-static", F35c, Method),
+    (0x72, InvokeInterface, "invoke-interface", F35c, Method),
+    (0x74, InvokeVirtualRange, "invoke-virtual/range", F3rc, Method),
+    (0x75, InvokeSuperRange, "invoke-super/range", F3rc, Method),
+    (0x76, InvokeDirectRange, "invoke-direct/range", F3rc, Method),
+    (0x77, InvokeStaticRange, "invoke-static/range", F3rc, Method),
+    (0x78, InvokeInterfaceRange, "invoke-interface/range", F3rc, Method),
+    (0x7b, NegInt, "neg-int", F12x, None),
+    (0x7c, NotInt, "not-int", F12x, None),
+    (0x7d, NegLong, "neg-long", F12x, None),
+    (0x7e, NotLong, "not-long", F12x, None),
+    (0x7f, NegFloat, "neg-float", F12x, None),
+    (0x80, NegDouble, "neg-double", F12x, None),
+    (0x81, IntToLong, "int-to-long", F12x, None),
+    (0x82, IntToFloat, "int-to-float", F12x, None),
+    (0x83, IntToDouble, "int-to-double", F12x, None),
+    (0x84, LongToInt, "long-to-int", F12x, None),
+    (0x85, LongToFloat, "long-to-float", F12x, None),
+    (0x86, LongToDouble, "long-to-double", F12x, None),
+    (0x87, FloatToInt, "float-to-int", F12x, None),
+    (0x88, FloatToLong, "float-to-long", F12x, None),
+    (0x89, FloatToDouble, "float-to-double", F12x, None),
+    (0x8a, DoubleToInt, "double-to-int", F12x, None),
+    (0x8b, DoubleToLong, "double-to-long", F12x, None),
+    (0x8c, DoubleToFloat, "double-to-float", F12x, None),
+    (0x8d, IntToByte, "int-to-byte", F12x, None),
+    (0x8e, IntToChar, "int-to-char", F12x, None),
+    (0x8f, IntToShort, "int-to-short", F12x, None),
+    (0x90, AddInt, "add-int", F23x, None),
+    (0x91, SubInt, "sub-int", F23x, None),
+    (0x92, MulInt, "mul-int", F23x, None),
+    (0x93, DivInt, "div-int", F23x, None),
+    (0x94, RemInt, "rem-int", F23x, None),
+    (0x95, AndInt, "and-int", F23x, None),
+    (0x96, OrInt, "or-int", F23x, None),
+    (0x97, XorInt, "xor-int", F23x, None),
+    (0x98, ShlInt, "shl-int", F23x, None),
+    (0x99, ShrInt, "shr-int", F23x, None),
+    (0x9a, UshrInt, "ushr-int", F23x, None),
+    (0x9b, AddLong, "add-long", F23x, None),
+    (0x9c, SubLong, "sub-long", F23x, None),
+    (0x9d, MulLong, "mul-long", F23x, None),
+    (0x9e, DivLong, "div-long", F23x, None),
+    (0x9f, RemLong, "rem-long", F23x, None),
+    (0xa0, AndLong, "and-long", F23x, None),
+    (0xa1, OrLong, "or-long", F23x, None),
+    (0xa2, XorLong, "xor-long", F23x, None),
+    (0xa3, ShlLong, "shl-long", F23x, None),
+    (0xa4, ShrLong, "shr-long", F23x, None),
+    (0xa5, UshrLong, "ushr-long", F23x, None),
+    (0xa6, AddFloat, "add-float", F23x, None),
+    (0xa7, SubFloat, "sub-float", F23x, None),
+    (0xa8, MulFloat, "mul-float", F23x, None),
+    (0xa9, DivFloat, "div-float", F23x, None),
+    (0xaa, RemFloat, "rem-float", F23x, None),
+    (0xab, AddDouble, "add-double", F23x, None),
+    (0xac, SubDouble, "sub-double", F23x, None),
+    (0xad, MulDouble, "mul-double", F23x, None),
+    (0xae, DivDouble, "div-double", F23x, None),
+    (0xaf, RemDouble, "rem-double", F23x, None),
+    (0xb0, AddInt2addr, "add-int/2addr", F12x, None),
+    (0xb1, SubInt2addr, "sub-int/2addr", F12x, None),
+    (0xb2, MulInt2addr, "mul-int/2addr", F12x, None),
+    (0xb3, DivInt2addr, "div-int/2addr", F12x, None),
+    (0xb4, RemInt2addr, "rem-int/2addr", F12x, None),
+    (0xb5, AndInt2addr, "and-int/2addr", F12x, None),
+    (0xb6, OrInt2addr, "or-int/2addr", F12x, None),
+    (0xb7, XorInt2addr, "xor-int/2addr", F12x, None),
+    (0xb8, ShlInt2addr, "shl-int/2addr", F12x, None),
+    (0xb9, ShrInt2addr, "shr-int/2addr", F12x, None),
+    (0xba, UshrInt2addr, "ushr-int/2addr", F12x, None),
+    (0xbb, AddLong2addr, "add-long/2addr", F12x, None),
+    (0xbc, SubLong2addr, "sub-long/2addr", F12x, None),
+    (0xbd, MulLong2addr, "mul-long/2addr", F12x, None),
+    (0xbe, DivLong2addr, "div-long/2addr", F12x, None),
+    (0xbf, RemLong2addr, "rem-long/2addr", F12x, None),
+    (0xc0, AndLong2addr, "and-long/2addr", F12x, None),
+    (0xc1, OrLong2addr, "or-long/2addr", F12x, None),
+    (0xc2, XorLong2addr, "xor-long/2addr", F12x, None),
+    (0xc3, ShlLong2addr, "shl-long/2addr", F12x, None),
+    (0xc4, ShrLong2addr, "shr-long/2addr", F12x, None),
+    (0xc5, UshrLong2addr, "ushr-long/2addr", F12x, None),
+    (0xc6, AddFloat2addr, "add-float/2addr", F12x, None),
+    (0xc7, SubFloat2addr, "sub-float/2addr", F12x, None),
+    (0xc8, MulFloat2addr, "mul-float/2addr", F12x, None),
+    (0xc9, DivFloat2addr, "div-float/2addr", F12x, None),
+    (0xca, RemFloat2addr, "rem-float/2addr", F12x, None),
+    (0xcb, AddDouble2addr, "add-double/2addr", F12x, None),
+    (0xcc, SubDouble2addr, "sub-double/2addr", F12x, None),
+    (0xcd, MulDouble2addr, "mul-double/2addr", F12x, None),
+    (0xce, DivDouble2addr, "div-double/2addr", F12x, None),
+    (0xcf, RemDouble2addr, "rem-double/2addr", F12x, None),
+    (0xd0, AddIntLit16, "add-int/lit16", F22s, None),
+    (0xd1, RsubInt, "rsub-int", F22s, None),
+    (0xd2, MulIntLit16, "mul-int/lit16", F22s, None),
+    (0xd3, DivIntLit16, "div-int/lit16", F22s, None),
+    (0xd4, RemIntLit16, "rem-int/lit16", F22s, None),
+    (0xd5, AndIntLit16, "and-int/lit16", F22s, None),
+    (0xd6, OrIntLit16, "or-int/lit16", F22s, None),
+    (0xd7, XorIntLit16, "xor-int/lit16", F22s, None),
+    (0xd8, AddIntLit8, "add-int/lit8", F22b, None),
+    (0xd9, RsubIntLit8, "rsub-int/lit8", F22b, None),
+    (0xda, MulIntLit8, "mul-int/lit8", F22b, None),
+    (0xdb, DivIntLit8, "div-int/lit8", F22b, None),
+    (0xdc, RemIntLit8, "rem-int/lit8", F22b, None),
+    (0xdd, AndIntLit8, "and-int/lit8", F22b, None),
+    (0xde, OrIntLit8, "or-int/lit8", F22b, None),
+    (0xdf, XorIntLit8, "xor-int/lit8", F22b, None),
+    (0xe0, ShlIntLit8, "shl-int/lit8", F22b, None),
+    (0xe1, ShrIntLit8, "shr-int/lit8", F22b, None),
+    (0xe2, UshrIntLit8, "ushr-int/lit8", F22b, None),
+}
+
+impl Opcode {
+    /// Whether this instruction unconditionally transfers control (no
+    /// fall-through).
+    pub const fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Opcode::ReturnVoid
+                | Opcode::Return
+                | Opcode::ReturnWide
+                | Opcode::ReturnObject
+                | Opcode::Throw
+                | Opcode::Goto
+                | Opcode::Goto16
+                | Opcode::Goto32
+        )
+    }
+
+    /// Whether this is a conditional branch (`if-*`).
+    pub const fn is_conditional_branch(self) -> bool {
+        (self as u8) >= 0x32 && (self as u8) <= 0x3d
+    }
+
+    /// Whether this is any invoke instruction.
+    pub const fn is_invoke(self) -> bool {
+        matches!(
+            self,
+            Opcode::InvokeVirtual
+                | Opcode::InvokeSuper
+                | Opcode::InvokeDirect
+                | Opcode::InvokeStatic
+                | Opcode::InvokeInterface
+                | Opcode::InvokeVirtualRange
+                | Opcode::InvokeSuperRange
+                | Opcode::InvokeDirectRange
+                | Opcode::InvokeStaticRange
+                | Opcode::InvokeInterfaceRange
+        )
+    }
+
+    /// Whether this is any return instruction.
+    pub const fn is_return(self) -> bool {
+        matches!(
+            self,
+            Opcode::ReturnVoid | Opcode::Return | Opcode::ReturnWide | Opcode::ReturnObject
+        )
+    }
+
+    /// Whether this is a relative-branch instruction (goto, if, or a
+    /// payload-referencing 31t instruction).
+    pub const fn has_branch_target(self) -> bool {
+        matches!(
+            self,
+            Opcode::Goto
+                | Opcode::Goto16
+                | Opcode::Goto32
+                | Opcode::PackedSwitch
+                | Opcode::SparseSwitch
+                | Opcode::FillArrayData
+        ) || self.is_conditional_branch()
+    }
+}
+
+/// Payload pseudo-opcode identifiers (the high byte of a unit whose low byte
+/// is 0x00).
+pub mod payload {
+    /// `packed-switch-payload` identifier unit.
+    pub const PACKED_SWITCH: u16 = 0x0100;
+    /// `sparse-switch-payload` identifier unit.
+    pub const SPARSE_SWITCH: u16 = 0x0200;
+    /// `fill-array-data-payload` identifier unit.
+    pub const FILL_ARRAY_DATA: u16 = 0x0300;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_match_opcode_bytes() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+        }
+    }
+
+    #[test]
+    fn unused_gaps_are_unknown() {
+        for byte in [0x3eu8, 0x43, 0x73, 0x79, 0x7a, 0xe3, 0xff] {
+            assert_eq!(Opcode::from_u8(byte), None, "{byte:#x} should be unused");
+        }
+    }
+
+    #[test]
+    fn table_has_expected_size() {
+        // 256 minus the unused gaps: 0x3e-0x43 (6), 0x73 (1), 0x79-0x7a (2),
+        // 0xe3-0xff (29).
+        assert_eq!(Opcode::ALL.len(), 256 - 6 - 1 - 2 - 29);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Opcode::Goto.is_terminator());
+        assert!(Opcode::ReturnVoid.is_terminator());
+        assert!(!Opcode::IfEq.is_terminator());
+        assert!(Opcode::IfEq.is_conditional_branch());
+        assert!(Opcode::IfLez.is_conditional_branch());
+        assert!(!Opcode::Goto.is_conditional_branch());
+        assert!(Opcode::InvokeStatic.is_invoke());
+        assert!(Opcode::InvokeInterfaceRange.is_invoke());
+        assert!(!Opcode::Nop.is_invoke());
+        assert!(Opcode::PackedSwitch.has_branch_target());
+        assert!(Opcode::IfEqz.has_branch_target());
+        assert!(!Opcode::AddInt.has_branch_target());
+    }
+
+    #[test]
+    fn index_kinds() {
+        assert_eq!(Opcode::ConstString.index_kind(), IndexKind::String);
+        assert_eq!(Opcode::NewInstance.index_kind(), IndexKind::Type);
+        assert_eq!(Opcode::Iget.index_kind(), IndexKind::Field);
+        assert_eq!(Opcode::InvokeVirtual.index_kind(), IndexKind::Method);
+        assert_eq!(Opcode::AddInt.index_kind(), IndexKind::None);
+    }
+
+    #[test]
+    fn format_lengths() {
+        assert_eq!(Opcode::Nop.format().units(), 1);
+        assert_eq!(Opcode::ConstString.format().units(), 2);
+        assert_eq!(Opcode::InvokeVirtual.format().units(), 3);
+        assert_eq!(Opcode::ConstWide.format().units(), 5);
+    }
+}

@@ -1,0 +1,246 @@
+//! Extracting a subset of classes from a [`DexFile`] into a fresh,
+//! self-contained [`DexFile`] (used by multi-DEX packers that split an
+//! application across separately encrypted payloads).
+
+use dexlego_dex::file::{EncodedField, EncodedMethod};
+use dexlego_dex::value::EncodedValue;
+use dexlego_dex::{ClassDef, CodeItem, DexFile};
+
+use crate::decode::decode_method;
+use crate::encode::encode_decoded;
+use crate::insn::Decoded;
+use crate::opcode::IndexKind;
+use crate::Result;
+
+/// Copies the classes selected by `keep` into a new model, re-interning
+/// every pool reference (including those embedded in instruction streams).
+///
+/// # Errors
+///
+/// Fails if a kept method's bytecode cannot be decoded.
+///
+/// # Example
+///
+/// ```
+/// use dexlego_dex::{DexFile, ClassDef};
+/// use dexlego_dalvik::subset::extract_classes;
+///
+/// # fn main() -> Result<(), dexlego_dalvik::DalvikError> {
+/// let mut dex = DexFile::new();
+/// let a = dex.intern_type("La;");
+/// let b = dex.intern_type("Lb;");
+/// dex.add_class(ClassDef::new(a));
+/// dex.add_class(ClassDef::new(b));
+/// let only_a = extract_classes(&dex, |d| d == "La;")?;
+/// assert!(only_a.find_class("La;").is_some());
+/// assert!(only_a.find_class("Lb;").is_none());
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract_classes(
+    dex: &DexFile,
+    mut keep: impl FnMut(&str) -> bool,
+) -> Result<DexFile> {
+    let mut out = DexFile::new();
+    for class in dex.class_defs() {
+        let Ok(desc) = dex.type_descriptor(class.class_idx) else { continue };
+        if !keep(desc) {
+            continue;
+        }
+        let class_idx = out.intern_type(desc);
+        let mut def = ClassDef::new(class_idx);
+        def.access = class.access;
+        def.superclass = class
+            .superclass
+            .and_then(|t| dex.type_descriptor(t).ok())
+            .map(|d| out.intern_type(d));
+        def.interfaces = class
+            .interfaces
+            .iter()
+            .filter_map(|&t| dex.type_descriptor(t).ok())
+            .map(|d| out.intern_type(d))
+            .collect();
+        def.static_values = class
+            .static_values
+            .iter()
+            .map(|v| remap_value(dex, &mut out, v))
+            .collect();
+        if let Some(data) = &class.class_data {
+            let out_data = def.class_data.as_mut().expect("fresh class data");
+            for (is_static, fields) in
+                [(true, &data.static_fields), (false, &data.instance_fields)]
+            {
+                for field in fields {
+                    let Ok(id) = dex.field_id(field.field_idx) else { continue };
+                    let (Ok(c), Ok(t), Ok(n)) = (
+                        dex.type_descriptor(id.class),
+                        dex.type_descriptor(id.type_),
+                        dex.string(id.name),
+                    ) else {
+                        continue;
+                    };
+                    let encoded = EncodedField {
+                        field_idx: out.intern_field(&c.to_owned(), &t.to_owned(), &n.to_owned()),
+                        access: field.access,
+                    };
+                    if is_static {
+                        out_data.static_fields.push(encoded);
+                    } else {
+                        out_data.instance_fields.push(encoded);
+                    }
+                }
+            }
+            for (is_direct, methods) in
+                [(true, &data.direct_methods), (false, &data.virtual_methods)]
+            {
+                for method in methods {
+                    let Some(idx) = intern_method_ref(dex, &mut out, method.method_idx) else {
+                        continue;
+                    };
+                    let code = match &method.code {
+                        Some(code) => Some(remap_code(dex, &mut out, code)?),
+                        None => None,
+                    };
+                    let encoded = EncodedMethod {
+                        method_idx: idx,
+                        access: method.access,
+                        code,
+                    };
+                    if is_direct {
+                        out_data.direct_methods.push(encoded);
+                    } else {
+                        out_data.virtual_methods.push(encoded);
+                    }
+                }
+            }
+            out_data.static_fields.sort_by_key(|f| f.field_idx);
+            out_data.instance_fields.sort_by_key(|f| f.field_idx);
+            out_data.direct_methods.sort_by_key(|m| m.method_idx);
+            out_data.virtual_methods.sort_by_key(|m| m.method_idx);
+        }
+        out.add_class(def);
+    }
+    Ok(out)
+}
+
+fn intern_method_ref(dex: &DexFile, out: &mut DexFile, idx: u32) -> Option<u32> {
+    let id = dex.method_id(idx).ok()?;
+    let class = dex.type_descriptor(id.class).ok()?.to_owned();
+    let name = dex.string(id.name).ok()?.to_owned();
+    let proto = dex.proto(id.proto).ok()?;
+    let params: Vec<String> = proto
+        .parameters
+        .iter()
+        .filter_map(|&t| dex.type_descriptor(t).ok().map(str::to_owned))
+        .collect();
+    let ret = dex.type_descriptor(proto.return_type).ok()?.to_owned();
+    let param_refs: Vec<&str> = params.iter().map(String::as_str).collect();
+    Some(out.intern_method(&class, &name, &ret, &param_refs))
+}
+
+fn intern_field_ref(dex: &DexFile, out: &mut DexFile, idx: u32) -> Option<u32> {
+    let id = dex.field_id(idx).ok()?;
+    let class = dex.type_descriptor(id.class).ok()?.to_owned();
+    let type_ = dex.type_descriptor(id.type_).ok()?.to_owned();
+    let name = dex.string(id.name).ok()?.to_owned();
+    Some(out.intern_field(&class, &type_, &name))
+}
+
+fn remap_value(dex: &DexFile, out: &mut DexFile, value: &EncodedValue) -> EncodedValue {
+    match value {
+        EncodedValue::String(i) => match dex.string(*i) {
+            Ok(s) => EncodedValue::String(out.intern_string(&s.to_owned())),
+            Err(_) => EncodedValue::Null,
+        },
+        EncodedValue::Type(i) => match dex.type_descriptor(*i) {
+            Ok(t) => EncodedValue::Type(out.intern_type(&t.to_owned())),
+            Err(_) => EncodedValue::Null,
+        },
+        EncodedValue::Array(items) => {
+            EncodedValue::Array(items.iter().map(|v| remap_value(dex, out, v)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+fn remap_code(dex: &DexFile, out: &mut DexFile, code: &CodeItem) -> Result<CodeItem> {
+    let mut new = code.clone();
+    let mut units = code.insns.clone();
+    for (pc, decoded) in decode_method(&code.insns)? {
+        if let Decoded::Insn(mut insn) = decoded {
+            let mapped = match insn.op.index_kind() {
+                IndexKind::None => continue,
+                IndexKind::String => dex
+                    .string(insn.idx)
+                    .ok()
+                    .map(|s| out.intern_string(&s.to_owned())),
+                IndexKind::Type => dex
+                    .type_descriptor(insn.idx)
+                    .ok()
+                    .map(|t| out.intern_type(&t.to_owned())),
+                IndexKind::Field => intern_field_ref(dex, out, insn.idx),
+                IndexKind::Method => intern_method_ref(dex, out, insn.idx),
+            };
+            let Some(mapped) = mapped else { continue };
+            if mapped != insn.idx {
+                insn.idx = mapped;
+                let encoded = encode_decoded(&Decoded::Insn(insn))?;
+                units[pc as usize..pc as usize + encoded.len()].copy_from_slice(&encoded);
+            }
+        }
+    }
+    new.insns = units;
+    for handler in &mut new.handlers {
+        for clause in &mut handler.catches {
+            if let Ok(t) = dex.type_descriptor(clause.type_idx) {
+                clause.type_idx = out.intern_type(&t.to_owned());
+            }
+        }
+    }
+    Ok(new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn subset_is_self_contained_and_runs_references() {
+        let mut pb = ProgramBuilder::new();
+        pb.class("La/Keep;", |c| {
+            c.static_method("go", &[], "V", 2, |m| {
+                m.const_str(0, "kept-string");
+                m.invoke(Opcode::InvokeStatic, "La/Drop;", "helper", &[], "V", &[]);
+                m.asm.ret(Opcode::ReturnVoid, 0);
+            });
+        });
+        pb.class("La/Drop;", |c| {
+            c.static_method("helper", &[], "V", 1, |m| {
+                m.const_str(0, "dropped-string");
+                m.asm.ret(Opcode::ReturnVoid, 0);
+            });
+        });
+        let dex = pb.build().unwrap();
+        let subset = extract_classes(&dex, |d| d == "La/Keep;").unwrap();
+        assert!(subset.find_class("La/Keep;").is_some());
+        assert!(subset.find_class("La/Drop;").is_none());
+        // Cross-class method reference survives as a method_id.
+        assert!(subset
+            .method_ids()
+            .iter()
+            .any(|m| subset.type_descriptor(m.class).unwrap() == "La/Drop;"));
+        // The kept code decodes and its string resolves in the new pools.
+        let class = subset.find_class("La/Keep;").unwrap();
+        let code = class.class_data.as_ref().unwrap().direct_methods[0]
+            .code
+            .as_ref()
+            .unwrap();
+        let insns = decode_method(&code.insns).unwrap();
+        let cs = insns[0].1.as_insn().unwrap();
+        assert_eq!(subset.string(cs.idx).unwrap(), "kept-string");
+        dexlego_dex::verify::verify(&subset, dexlego_dex::verify::Strictness::Referential)
+            .unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! Access flags for classes, fields, and methods.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Java/Dalvik access flags bitset.
+///
+/// This is a thin newtype over the raw `u32` used in `class_def_item`,
+/// `encoded_field`, and `encoded_method` structures.
+///
+/// # Example
+///
+/// ```
+/// use dexlego_dex::AccessFlags;
+/// let f = AccessFlags::PUBLIC | AccessFlags::STATIC;
+/// assert!(f.contains(AccessFlags::PUBLIC));
+/// assert!(!f.contains(AccessFlags::NATIVE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct AccessFlags(pub u32);
+
+impl AccessFlags {
+    /// `public` visibility.
+    pub const PUBLIC: AccessFlags = AccessFlags(0x1);
+    /// `private` visibility.
+    pub const PRIVATE: AccessFlags = AccessFlags(0x2);
+    /// `protected` visibility.
+    pub const PROTECTED: AccessFlags = AccessFlags(0x4);
+    /// `static` member.
+    pub const STATIC: AccessFlags = AccessFlags(0x8);
+    /// `final` class/member.
+    pub const FINAL: AccessFlags = AccessFlags(0x10);
+    /// `synchronized` method.
+    pub const SYNCHRONIZED: AccessFlags = AccessFlags(0x20);
+    /// `volatile` field.
+    pub const VOLATILE: AccessFlags = AccessFlags(0x40);
+    /// Compiler-bridged method.
+    pub const BRIDGE: AccessFlags = AccessFlags(0x40);
+    /// `transient` field.
+    pub const TRANSIENT: AccessFlags = AccessFlags(0x80);
+    /// Varargs method.
+    pub const VARARGS: AccessFlags = AccessFlags(0x80);
+    /// `native` method (no bytecode; dispatched to the native registry).
+    pub const NATIVE: AccessFlags = AccessFlags(0x100);
+    /// `interface` class.
+    pub const INTERFACE: AccessFlags = AccessFlags(0x200);
+    /// `abstract` class/method.
+    pub const ABSTRACT: AccessFlags = AccessFlags(0x400);
+    /// `strictfp` method.
+    pub const STRICT: AccessFlags = AccessFlags(0x800);
+    /// Synthetic (compiler-generated) item. DexLego's instrument class and
+    /// method variants are marked synthetic.
+    pub const SYNTHETIC: AccessFlags = AccessFlags(0x1000);
+    /// Annotation class.
+    pub const ANNOTATION: AccessFlags = AccessFlags(0x2000);
+    /// Enum class/field.
+    pub const ENUM: AccessFlags = AccessFlags(0x4000);
+    /// Constructor (`<init>` / `<clinit>`).
+    pub const CONSTRUCTOR: AccessFlags = AccessFlags(0x1_0000);
+    /// `synchronized` declared on a native method.
+    pub const DECLARED_SYNCHRONIZED: AccessFlags = AccessFlags(0x2_0000);
+
+    /// The empty flag set.
+    pub const fn empty() -> AccessFlags {
+        AccessFlags(0)
+    }
+
+    /// Whether every flag in `other` is set in `self`.
+    pub const fn contains(self, other: AccessFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Raw flag bits.
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is a static member.
+    pub const fn is_static(self) -> bool {
+        self.contains(AccessFlags::STATIC)
+    }
+
+    /// Whether this is a native method.
+    pub const fn is_native(self) -> bool {
+        self.contains(AccessFlags::NATIVE)
+    }
+
+    /// Whether this is an abstract method or class.
+    pub const fn is_abstract(self) -> bool {
+        self.contains(AccessFlags::ABSTRACT)
+    }
+}
+
+impl BitOr for AccessFlags {
+    type Output = AccessFlags;
+    fn bitor(self, rhs: AccessFlags) -> AccessFlags {
+        AccessFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for AccessFlags {
+    fn bitor_assign(&mut self, rhs: AccessFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl From<u32> for AccessFlags {
+    fn from(bits: u32) -> AccessFlags {
+        AccessFlags(bits)
+    }
+}
+
+impl fmt::Display for AccessFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: &[(u32, &str)] = &[
+            (0x1, "public"),
+            (0x2, "private"),
+            (0x4, "protected"),
+            (0x8, "static"),
+            (0x10, "final"),
+            (0x20, "synchronized"),
+            (0x100, "native"),
+            (0x200, "interface"),
+            (0x400, "abstract"),
+            (0x1000, "synthetic"),
+            (0x1_0000, "constructor"),
+        ];
+        let mut first = true;
+        for &(bit, name) in NAMES {
+            if self.0 & bit != 0 {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(none)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn or_and_contains() {
+        let f = AccessFlags::PUBLIC | AccessFlags::STATIC | AccessFlags::FINAL;
+        assert!(f.contains(AccessFlags::STATIC));
+        assert!(f.contains(AccessFlags::PUBLIC | AccessFlags::FINAL));
+        assert!(!f.contains(AccessFlags::NATIVE));
+        assert!(f.is_static());
+    }
+
+    #[test]
+    fn display_lists_flags() {
+        let f = AccessFlags::PUBLIC | AccessFlags::NATIVE;
+        assert_eq!(f.to_string(), "public native");
+        assert_eq!(AccessFlags::empty().to_string(), "(none)");
+    }
+}

@@ -1,0 +1,144 @@
+//! Adler-32 and SHA-1 implementations for the DEX header checksum and
+//! signature fields.
+//!
+//! Implemented in-crate (both are short, fully specified algorithms) to keep
+//! the dependency set to the approved list.
+
+/// Computes the Adler-32 checksum of `data`, as stored in the DEX header's
+/// `checksum` field (covering everything after the checksum itself).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(dexlego_dex::checksum::adler32(b"Wikipedia"), 0x11E60398);
+/// ```
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65521;
+    // Process in chunks small enough that the u32 accumulators cannot
+    // overflow before reduction (5552 is the standard zlib bound).
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Computes the SHA-1 digest of `data`, as stored in the DEX header's
+/// `signature` field (covering everything after the signature itself).
+///
+/// # Example
+///
+/// ```
+/// let d = dexlego_dex::checksum::sha1(b"abc");
+/// assert_eq!(d[..4], [0xa9, 0x99, 0x3e, 0x36]);
+/// ```
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+
+    let ml = (data.len() as u64) * 8;
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&ml.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5a82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn adler32_long_input_reduces_correctly() {
+        // 100k of 0xff exercises the chunked modular reduction.
+        let data = vec![0xffu8; 100_000];
+        // Reference value computed with the canonical zlib algorithm.
+        let mut a: u64 = 1;
+        let mut b: u64 = 0;
+        for &byte in &data {
+            a = (a + u64::from(byte)) % 65521;
+            b = (b + a) % 65521;
+        }
+        assert_eq!(adler32(&data), ((b as u32) << 16) | a as u32);
+    }
+
+    #[test]
+    fn sha1_known_vectors() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn sha1_multiblock_padding_edge() {
+        // 55, 56, 63, 64 byte messages hit every padding branch.
+        for n in [55usize, 56, 63, 64, 119, 120] {
+            let data = vec![b'x'; n];
+            let d = sha1(&data);
+            assert_eq!(d.len(), 20);
+            // Sanity: digest differs from the empty digest.
+            assert_ne!(hex(&d), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for DEX parsing, serialisation, and verification.
+
+use std::fmt;
+
+/// Error produced by DEX reading, writing, or verification.
+///
+/// # Example
+///
+/// ```
+/// use dexlego_dex::{reader, DexError};
+/// let err = reader::read_dex(&[0u8; 4]).unwrap_err();
+/// assert!(matches!(err, DexError::Truncated { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DexError {
+    /// The input ended before a complete structure could be read.
+    Truncated {
+        /// Offset at which more bytes were required.
+        offset: usize,
+        /// What was being read.
+        what: &'static str,
+    },
+    /// The file magic did not match a supported DEX version.
+    BadMagic([u8; 8]),
+    /// The endian tag was not [`crate::ENDIAN_CONSTANT`].
+    BadEndianTag(u32),
+    /// The Adler-32 checksum stored in the header does not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// The SHA-1 signature stored in the header does not match the payload.
+    SignatureMismatch,
+    /// An index referenced a pool entry that does not exist.
+    IndexOutOfRange {
+        /// Which pool the index was for.
+        pool: &'static str,
+        /// The offending index.
+        index: u32,
+        /// Number of entries in the pool.
+        len: usize,
+    },
+    /// A ULEB128/SLEB128 value was malformed (too long or truncated).
+    BadLeb128,
+    /// A string was not valid MUTF-8.
+    BadMutf8 {
+        /// Byte offset of the offending sequence within the string data.
+        offset: usize,
+    },
+    /// A structural invariant of the format was violated.
+    Invalid(String),
+    /// The file is larger than the format can represent.
+    TooLarge(usize),
+}
+
+impl fmt::Display for DexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DexError::Truncated { offset, what } => {
+                write!(f, "truncated input at offset {offset} while reading {what}")
+            }
+            DexError::BadMagic(m) => write!(f, "unrecognised dex magic {m:02x?}"),
+            DexError::BadEndianTag(t) => write!(f, "unsupported endian tag {t:#010x}"),
+            DexError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "adler-32 checksum mismatch: header {stored:#010x}, computed {computed:#010x}"
+            ),
+            DexError::SignatureMismatch => write!(f, "sha-1 signature mismatch"),
+            DexError::IndexOutOfRange { pool, index, len } => {
+                write!(f, "{pool} index {index} out of range (pool has {len} entries)")
+            }
+            DexError::BadLeb128 => write!(f, "malformed leb128 value"),
+            DexError::BadMutf8 { offset } => {
+                write!(f, "invalid mutf-8 sequence at byte {offset}")
+            }
+            DexError::Invalid(msg) => write!(f, "invalid dex structure: {msg}"),
+            DexError::TooLarge(n) => write!(f, "file of {n} bytes exceeds format limits"),
+        }
+    }
+}
+
+impl std::error::Error for DexError {}
+
+/// Convenience alias for results with [`DexError`].
+pub type Result<T> = std::result::Result<T, DexError>;

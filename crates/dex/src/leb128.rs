@@ -1,0 +1,211 @@
+//! LEB128 variable-length integer codecs used throughout the DEX format.
+//!
+//! The DEX format uses three flavours: unsigned (`uleb128`), signed
+//! (`sleb128`), and `uleb128p1` (unsigned, biased by one so that `-1` — the
+//! "no value" marker — encodes as a single zero byte).
+
+use crate::error::{DexError, Result};
+
+/// Maximum number of bytes a DEX LEB128 value may occupy (32-bit payloads).
+pub const MAX_LEN: usize = 5;
+
+/// Encodes `value` as ULEB128, appending to `out`.
+///
+/// # Example
+///
+/// ```
+/// let mut buf = Vec::new();
+/// dexlego_dex::leb128::write_uleb128(&mut buf, 0x80);
+/// assert_eq!(buf, [0x80, 0x01]);
+/// ```
+pub fn write_uleb128(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encodes `value` as SLEB128, appending to `out`.
+pub fn write_sleb128(out: &mut Vec<u8>, mut value: i32) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        let done = (value == 0 && sign_clear) || (value == -1 && !sign_clear);
+        if done {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encodes `value` as ULEB128p1 (value plus one), appending to `out`.
+///
+/// `-1` encodes as a single `0x00` byte.
+pub fn write_uleb128p1(out: &mut Vec<u8>, value: i64) {
+    debug_assert!((-1..=u32::MAX as i64).contains(&value));
+    write_uleb128(out, (value + 1) as u32);
+}
+
+/// Decodes a ULEB128 value from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// Returns [`DexError::BadLeb128`] if the value is truncated or longer than
+/// five bytes, the DEX maximum for 32-bit payloads.
+pub fn read_uleb128(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let mut result: u32 = 0;
+    for i in 0..MAX_LEN {
+        let byte = *buf.get(*pos).ok_or(DexError::BadLeb128)?;
+        *pos += 1;
+        result |= u32::from(byte & 0x7f) << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+    }
+    Err(DexError::BadLeb128)
+}
+
+/// Decodes an SLEB128 value from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// Returns [`DexError::BadLeb128`] on truncated or over-long input.
+pub fn read_sleb128(buf: &[u8], pos: &mut usize) -> Result<i32> {
+    let mut result: i32 = 0;
+    let mut shift = 0u32;
+    for _ in 0..MAX_LEN {
+        let byte = *buf.get(*pos).ok_or(DexError::BadLeb128)?;
+        *pos += 1;
+        result |= i32::from(byte & 0x7f) << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 32 && byte & 0x40 != 0 {
+                result |= -1i32 << shift;
+            }
+            return Ok(result);
+        }
+    }
+    Err(DexError::BadLeb128)
+}
+
+/// Decodes a ULEB128p1 value (stored value minus one).
+///
+/// # Errors
+///
+/// Returns [`DexError::BadLeb128`] on truncated or over-long input.
+pub fn read_uleb128p1(buf: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(i64::from(read_uleb128(buf, pos)?) - 1)
+}
+
+/// Number of bytes `value` occupies when ULEB128-encoded.
+pub fn uleb128_len(value: u32) -> usize {
+    match value {
+        0..=0x7f => 1,
+        0x80..=0x3fff => 2,
+        0x4000..=0x1f_ffff => 3,
+        0x20_0000..=0xfff_ffff => 4,
+        _ => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u(v: u32) -> u32 {
+        let mut buf = Vec::new();
+        write_uleb128(&mut buf, v);
+        assert_eq!(buf.len(), uleb128_len(v));
+        let mut pos = 0;
+        let got = read_uleb128(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        got
+    }
+
+    fn roundtrip_s(v: i32) -> i32 {
+        let mut buf = Vec::new();
+        write_sleb128(&mut buf, v);
+        let mut pos = 0;
+        let got = read_sleb128(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        got
+    }
+
+    #[test]
+    fn uleb128_known_vectors() {
+        // Vectors from the dex format specification.
+        let mut buf = Vec::new();
+        write_uleb128(&mut buf, 0);
+        assert_eq!(buf, [0x00]);
+        buf.clear();
+        write_uleb128(&mut buf, 1);
+        assert_eq!(buf, [0x01]);
+        buf.clear();
+        write_uleb128(&mut buf, 127);
+        assert_eq!(buf, [0x7f]);
+        buf.clear();
+        write_uleb128(&mut buf, 16256);
+        assert_eq!(buf, [0x80, 0x7f]);
+    }
+
+    #[test]
+    fn sleb128_known_vectors() {
+        let mut buf = Vec::new();
+        write_sleb128(&mut buf, 0);
+        assert_eq!(buf, [0x00]);
+        buf.clear();
+        write_sleb128(&mut buf, 1);
+        assert_eq!(buf, [0x01]);
+        buf.clear();
+        write_sleb128(&mut buf, -1);
+        assert_eq!(buf, [0x7f]);
+        buf.clear();
+        write_sleb128(&mut buf, -128);
+        assert_eq!(buf, [0x80, 0x7f]);
+    }
+
+    #[test]
+    fn uleb128_roundtrip_extremes() {
+        for v in [0, 1, 0x7f, 0x80, 0x3fff, 0x4000, u32::MAX] {
+            assert_eq!(roundtrip_u(v), v);
+        }
+    }
+
+    #[test]
+    fn sleb128_roundtrip_extremes() {
+        for v in [0, 1, -1, 63, 64, -64, -65, i32::MAX, i32::MIN] {
+            assert_eq!(roundtrip_s(v), v);
+        }
+    }
+
+    #[test]
+    fn uleb128p1_minus_one_is_zero_byte() {
+        let mut buf = Vec::new();
+        write_uleb128p1(&mut buf, -1);
+        assert_eq!(buf, [0x00]);
+        let mut pos = 0;
+        assert_eq!(read_uleb128p1(&buf, &mut pos).unwrap(), -1);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut pos = 0;
+        assert_eq!(read_uleb128(&[0x80], &mut pos), Err(DexError::BadLeb128));
+        let mut pos = 0;
+        assert_eq!(read_sleb128(&[0xff, 0xff], &mut pos), Err(DexError::BadLeb128));
+    }
+
+    #[test]
+    fn overlong_input_rejected() {
+        let mut pos = 0;
+        let six = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01];
+        assert_eq!(read_uleb128(&six, &mut pos), Err(DexError::BadLeb128));
+    }
+}

@@ -1,0 +1,74 @@
+#![forbid(unsafe_code)]
+
+//! Dalvik Executable (DEX) container format.
+//!
+//! This crate implements the on-disk DEX format used by Android's Dalvik and
+//! ART runtimes: an in-memory model ([`DexFile`]), a binary [`reader`], a
+//! binary [`writer`] that lays out a spec-conformant file (header, id pools,
+//! data section, map list, Adler-32 checksum and SHA-1 signature), and a
+//! structural [`verify`] pass.
+//!
+//! It is the substrate underneath the DexLego reproduction: the reassembler
+//! in `dexlego-core` emits [`DexFile`] values and serialises them with
+//! [`writer::write_dex`], and the static-analysis tools in `dexlego-analysis`
+//! consume [`DexFile`] values parsed back by [`reader::read_dex`].
+//!
+//! # Example
+//!
+//! ```
+//! use dexlego_dex::{DexFile, writer, reader};
+//!
+//! # fn main() -> Result<(), dexlego_dex::DexError> {
+//! let mut dex = DexFile::new();
+//! dex.intern_string("hello");
+//! let bytes = writer::write_dex(&dex)?;
+//! let back = reader::read_dex(&bytes)?;
+//! assert!(back.strings().iter().any(|s| s == "hello"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod access;
+pub mod checksum;
+pub mod code;
+pub mod error;
+pub mod file;
+pub mod leb128;
+pub mod mutf8;
+pub mod reader;
+pub mod value;
+pub mod verify;
+pub mod writer;
+
+pub use access::AccessFlags;
+pub use code::{CodeItem, EncodedCatchHandler, TryItem};
+pub use error::DexError;
+pub use file::{
+    ClassData, ClassDef, DexFile, EncodedField, EncodedMethod, FieldIdItem, MethodIdItem,
+    ProtoIdItem,
+};
+pub use value::EncodedValue;
+
+/// Index into the string pool of a [`DexFile`].
+pub type StringIdx = u32;
+/// Index into the type-id pool of a [`DexFile`].
+pub type TypeIdx = u32;
+/// Index into the proto-id pool of a [`DexFile`].
+pub type ProtoIdx = u32;
+/// Index into the field-id pool of a [`DexFile`].
+pub type FieldIdx = u32;
+/// Index into the method-id pool of a [`DexFile`].
+pub type MethodIdx = u32;
+
+/// Sentinel "no index" value used by the DEX format (e.g. a class with no
+/// superclass).
+pub const NO_INDEX: u32 = 0xffff_ffff;
+
+/// The DEX magic for version 035 (Android 6.0 era, as used in the paper).
+pub const DEX_MAGIC: [u8; 8] = *b"dex\n035\0";
+
+/// Constant `endian_tag` value for little-endian DEX files.
+pub const ENDIAN_CONSTANT: u32 = 0x1234_5678;
+
+/// Size of the fixed DEX header in bytes.
+pub const HEADER_SIZE: u32 = 0x70;

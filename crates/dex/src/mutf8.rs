@@ -1,0 +1,173 @@
+//! Modified UTF-8 (MUTF-8) codec.
+//!
+//! DEX string data uses the JVM's "modified UTF-8": U+0000 is encoded as the
+//! two-byte sequence `C0 80`, supplementary characters are encoded as CESU-8
+//! surrogate pairs (two three-byte sequences), and there are no four-byte
+//! sequences.
+
+use crate::error::{DexError, Result};
+
+/// Encodes a Rust string as MUTF-8 bytes (without the trailing NUL).
+///
+/// # Example
+///
+/// ```
+/// let bytes = dexlego_dex::mutf8::encode("a\u{0}b");
+/// assert_eq!(bytes, [b'a', 0xc0, 0x80, b'b']);
+/// ```
+pub fn encode(s: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(s.len());
+    for ch in s.chars() {
+        let cp = ch as u32;
+        match cp {
+            0 => out.extend_from_slice(&[0xc0, 0x80]),
+            0x01..=0x7f => out.push(cp as u8),
+            0x80..=0x7ff => {
+                out.push(0xc0 | (cp >> 6) as u8);
+                out.push(0x80 | (cp & 0x3f) as u8);
+            }
+            0x800..=0xffff => {
+                out.push(0xe0 | (cp >> 12) as u8);
+                out.push(0x80 | ((cp >> 6) & 0x3f) as u8);
+                out.push(0x80 | (cp & 0x3f) as u8);
+            }
+            _ => {
+                // Encode as a CESU-8 surrogate pair.
+                let v = cp - 0x1_0000;
+                let hi = 0xd800 + (v >> 10);
+                let lo = 0xdc00 + (v & 0x3ff);
+                for unit in [hi, lo] {
+                    out.push(0xe0 | (unit >> 12) as u8);
+                    out.push(0x80 | ((unit >> 6) & 0x3f) as u8);
+                    out.push(0x80 | (unit & 0x3f) as u8);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Number of UTF-16 code units in `s`, which is what the DEX
+/// `string_data_item` length prefix counts.
+pub fn utf16_len(s: &str) -> usize {
+    s.chars().map(char::len_utf16).sum()
+}
+
+/// Decodes MUTF-8 `bytes` (without trailing NUL) into a Rust string.
+///
+/// # Errors
+///
+/// Returns [`DexError::BadMutf8`] on malformed sequences, including unpaired
+/// surrogates and truncated multi-byte sequences.
+pub fn decode(bytes: &[u8]) -> Result<String> {
+    let mut out = String::with_capacity(bytes.len());
+    let mut i = 0;
+    let mut pending_hi: Option<(u32, usize)> = None;
+    while i < bytes.len() {
+        let start = i;
+        let b0 = bytes[i];
+        i += 1;
+        let unit: u32 = if b0 & 0x80 == 0 {
+            if b0 == 0 {
+                return Err(DexError::BadMutf8 { offset: start });
+            }
+            u32::from(b0)
+        } else if b0 & 0xe0 == 0xc0 {
+            let b1 = *bytes.get(i).ok_or(DexError::BadMutf8 { offset: start })?;
+            i += 1;
+            if b1 & 0xc0 != 0x80 {
+                return Err(DexError::BadMutf8 { offset: start });
+            }
+            (u32::from(b0 & 0x1f) << 6) | u32::from(b1 & 0x3f)
+        } else if b0 & 0xf0 == 0xe0 {
+            if i + 1 >= bytes.len() + 1 && i >= bytes.len() {
+                return Err(DexError::BadMutf8 { offset: start });
+            }
+            let b1 = *bytes.get(i).ok_or(DexError::BadMutf8 { offset: start })?;
+            let b2 = *bytes.get(i + 1).ok_or(DexError::BadMutf8 { offset: start })?;
+            i += 2;
+            if b1 & 0xc0 != 0x80 || b2 & 0xc0 != 0x80 {
+                return Err(DexError::BadMutf8 { offset: start });
+            }
+            (u32::from(b0 & 0x0f) << 12) | (u32::from(b1 & 0x3f) << 6) | u32::from(b2 & 0x3f)
+        } else {
+            return Err(DexError::BadMutf8 { offset: start });
+        };
+
+        if let Some((hi, hi_off)) = pending_hi.take() {
+            if (0xdc00..=0xdfff).contains(&unit) {
+                let cp = 0x1_0000 + ((hi - 0xd800) << 10) + (unit - 0xdc00);
+                out.push(char::from_u32(cp).ok_or(DexError::BadMutf8 { offset: hi_off })?);
+                continue;
+            }
+            return Err(DexError::BadMutf8 { offset: hi_off });
+        }
+        match unit {
+            0xd800..=0xdbff => pending_hi = Some((unit, start)),
+            0xdc00..=0xdfff => return Err(DexError::BadMutf8 { offset: start }),
+            _ => out.push(char::from_u32(unit).ok_or(DexError::BadMutf8 { offset: start })?),
+        }
+    }
+    if let Some((_, off)) = pending_hi {
+        return Err(DexError::BadMutf8 { offset: off });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_roundtrip() {
+        let s = "Lcom/test/Main;->advancedLeak()V";
+        assert_eq!(decode(&encode(s)).unwrap(), s);
+    }
+
+    #[test]
+    fn embedded_nul_uses_two_bytes() {
+        let enc = encode("\u{0}");
+        assert_eq!(enc, [0xc0, 0x80]);
+        assert_eq!(decode(&enc).unwrap(), "\u{0}");
+    }
+
+    #[test]
+    fn bmp_roundtrip() {
+        let s = "包装-Дальвик-ユニット";
+        assert_eq!(decode(&encode(s)).unwrap(), s);
+    }
+
+    #[test]
+    fn supplementary_uses_surrogate_pair() {
+        let s = "\u{1f600}";
+        let enc = encode(s);
+        assert_eq!(enc.len(), 6);
+        assert_eq!(decode(&enc).unwrap(), s);
+        assert_eq!(utf16_len(s), 2);
+    }
+
+    #[test]
+    fn raw_nul_byte_rejected() {
+        assert!(decode(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn unpaired_surrogate_rejected() {
+        // A lone high surrogate D800 as CESU-8.
+        let enc = [0xed, 0xa0, 0x80];
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn truncated_sequence_rejected() {
+        assert!(decode(&[0xc3]).is_err());
+        assert!(decode(&[0xe4, 0xb8]).is_err());
+    }
+
+    #[test]
+    fn utf16_len_counts_units() {
+        assert_eq!(utf16_len("abc"), 3);
+        assert_eq!(utf16_len("中"), 1);
+        assert_eq!(utf16_len("\u{1f600}a"), 3);
+    }
+}

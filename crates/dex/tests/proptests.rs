@@ -1,0 +1,153 @@
+//! Property-based tests for the DEX container codecs.
+
+use dexlego_dex::file::{ClassDef, EncodedField, EncodedMethod};
+use dexlego_dex::value::EncodedValue;
+use dexlego_dex::{leb128, mutf8, reader, writer, AccessFlags, CodeItem, DexFile};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn uleb128_roundtrips(v in any::<u32>()) {
+        let mut buf = Vec::new();
+        leb128::write_uleb128(&mut buf, v);
+        prop_assert!(buf.len() <= leb128::MAX_LEN);
+        prop_assert_eq!(buf.len(), leb128::uleb128_len(v));
+        let mut pos = 0;
+        prop_assert_eq!(leb128::read_uleb128(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn sleb128_roundtrips(v in any::<i32>()) {
+        let mut buf = Vec::new();
+        leb128::write_sleb128(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(leb128::read_sleb128(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn uleb128p1_roundtrips(v in -1i64..=u32::MAX as i64) {
+        let mut buf = Vec::new();
+        leb128::write_uleb128p1(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(leb128::read_uleb128p1(&buf, &mut pos).unwrap(), v);
+    }
+
+    #[test]
+    fn mutf8_roundtrips(s in "\\PC*") {
+        let enc = mutf8::encode(&s);
+        prop_assert_eq!(mutf8::decode(&enc).unwrap(), s.clone());
+        // The encoding never contains a raw NUL (string data is
+        // NUL-terminated on disk).
+        prop_assert!(!enc.contains(&0));
+    }
+
+    #[test]
+    fn mutf8_arbitrary_unicode_roundtrips(s in proptest::collection::vec(any::<char>(), 0..64)) {
+        let s: String = s.into_iter().collect();
+        let enc = mutf8::encode(&s);
+        prop_assert_eq!(mutf8::decode(&enc).unwrap(), s);
+    }
+
+    #[test]
+    fn encoded_value_int_roundtrips(v in any::<i32>()) {
+        let mut buf = Vec::new();
+        EncodedValue::Int(v).write(&mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(EncodedValue::read(&buf, &mut pos).unwrap(), EncodedValue::Int(v));
+    }
+
+    #[test]
+    fn encoded_value_long_roundtrips(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        EncodedValue::Long(v).write(&mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(EncodedValue::read(&buf, &mut pos).unwrap(), EncodedValue::Long(v));
+    }
+
+    #[test]
+    fn encoded_value_double_roundtrips(v in any::<f64>()) {
+        let mut buf = Vec::new();
+        EncodedValue::Double(v).write(&mut buf);
+        let mut pos = 0;
+        match EncodedValue::read(&buf, &mut pos).unwrap() {
+            EncodedValue::Double(back) => {
+                prop_assert_eq!(back.to_bits(), v.to_bits());
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}
+
+/// Strategy for simple class/member names.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,10}"
+}
+
+fn type_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("I".to_owned()),
+        Just("J".to_owned()),
+        Just("Z".to_owned()),
+        Just("Ljava/lang/String;".to_owned()),
+        name_strategy().prop_map(|n| format!("Lgen/{n};")),
+        name_strategy().prop_map(|n| format!("[Lgen/{n};")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random models survive write→read→write as a fixpoint.
+    #[test]
+    fn dex_write_read_fixpoint(
+        strings in proptest::collection::vec("\\PC{0,12}", 0..8),
+        classes in proptest::collection::vec((name_strategy(), type_strategy(), name_strategy()), 0..5),
+        units in proptest::collection::vec(any::<u16>(), 0..6),
+    ) {
+        let mut dex = DexFile::new();
+        for s in &strings {
+            dex.intern_string(s);
+        }
+        for (i, (cname, ftype, mname)) in classes.iter().enumerate() {
+            let desc = format!("Lgen/{cname}{i};");
+            let t = dex.intern_type(&desc);
+            let f = dex.intern_field(&desc, ftype, "field");
+            let m = dex.intern_method(&desc, mname, "V", &[]);
+            let mut def = ClassDef::new(t);
+            let data = def.class_data.as_mut().unwrap();
+            data.static_fields.push(EncodedField {
+                field_idx: f,
+                access: AccessFlags::STATIC,
+            });
+            // Raw units need not decode — the container carries them
+            // opaquely, like a packer's encrypted body.
+            data.direct_methods.push(EncodedMethod {
+                method_idx: m,
+                access: AccessFlags::STATIC,
+                code: Some(CodeItem::new(4, 0, 0, units.clone())),
+            });
+            dex.add_class(def);
+        }
+
+        let bytes1 = writer::write_dex(&dex).unwrap();
+        let back = reader::read_dex(&bytes1).unwrap();
+        prop_assert_eq!(&back, &dex);
+        let bytes2 = writer::write_dex(&back).unwrap();
+        prop_assert_eq!(bytes1, bytes2);
+    }
+
+    /// Flipping any byte of the payload is detected by the checksum.
+    #[test]
+    fn corruption_always_detected(flip in 12usize..200, bit in 0u8..8) {
+        let mut dex = DexFile::new();
+        dex.intern_method("Lgen/A;", "m", "V", &[]);
+        let mut bytes = writer::write_dex(&dex).unwrap();
+        let at = flip % bytes.len();
+        if at >= 12 {
+            bytes[at] ^= 1 << bit;
+            prop_assert!(reader::read_dex(&bytes).is_err());
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Just-in-time collection: Algorithm 1 and the collecting observer.
+
+pub mod collector;
+pub mod tree;
+
+pub use collector::JitCollector;
+pub use tree::{CollectedInsn, CollectionTree, NodeId, TreeNode};

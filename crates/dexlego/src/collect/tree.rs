@@ -1,0 +1,307 @@
+//! The collection tree: the paper's Algorithm 1 and Figure 3 data
+//! structures.
+//!
+//! One [`CollectionTree`] records all instructions executed during a single
+//! execution of a method. The root node's Instruction List (IL) is the
+//! baseline; whenever an instruction with an already-recorded `dex_pc`
+//! differs from the recorded one, the bytecode has been modified at runtime
+//! and a child node (a *divergence branch*) is forked. The Instruction
+//! Index Map (IIM) maps `dex_pc` values to IL indices for the comparisons.
+
+use std::collections::HashMap;
+
+/// Index of a node within its [`CollectionTree`].
+pub type NodeId = usize;
+
+/// A captured instruction: its `dex_pc` and exact code units, plus any
+/// switch/array payload it references (payloads are not themselves executed,
+/// so they are captured alongside the referencing instruction).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CollectedInsn {
+    /// Index of the instruction in the method's code-unit array.
+    pub dex_pc: u32,
+    /// Raw code units (`SameIns` in Algorithm 1 compares these).
+    pub units: Vec<u16>,
+    /// Payload units for `packed-switch`/`sparse-switch`/`fill-array-data`,
+    /// with the original payload offset (relative to the instruction).
+    pub payload: Option<(i32, Vec<u16>)>,
+}
+
+/// One node of the collection tree (the `TreeNode` structure of Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TreeNode {
+    /// Instruction List: executed instructions in first-execution order.
+    pub il: Vec<CollectedInsn>,
+    /// Instruction Index Map: `dex_pc` → index in [`Self::il`].
+    pub iim: HashMap<u32, usize>,
+    /// `sm_start`: the `dex_pc` where this divergence branch begins
+    /// (meaningless for the root, which uses 0).
+    pub sm_start: u32,
+    /// `sm_end`: the `dex_pc` where this branch converged back to its
+    /// parent, if it did.
+    pub sm_end: Option<u32>,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Child divergence branches, in creation order.
+    pub children: Vec<NodeId>,
+}
+
+/// The collection result for a single execution of one method.
+///
+/// # Example
+///
+/// ```
+/// use dexlego_core::collect::CollectionTree;
+/// let mut tree = CollectionTree::new();
+/// tree.observe(0, &[0x0012], None); // const/4 v0, #0
+/// tree.observe(1, &[0x000e], None); // return-void
+/// tree.observe(0, &[0x1012], None); // modified! const/4 v0, #1
+/// assert_eq!(tree.node_count(), 2); // root + one divergence branch
+/// ```
+#[derive(Debug, Clone, Eq)]
+pub struct CollectionTree {
+    nodes: Vec<TreeNode>,
+    current: NodeId,
+}
+
+impl PartialEq for CollectionTree {
+    /// Structural equality: the `current` cursor is transient collection
+    /// state and is ignored (it is not serialised either).
+    fn eq(&self, other: &CollectionTree) -> bool {
+        self.nodes == other.nodes
+    }
+}
+
+impl Default for CollectionTree {
+    fn default() -> CollectionTree {
+        CollectionTree::new()
+    }
+}
+
+impl CollectionTree {
+    /// Creates a tree with an empty root node as the current node.
+    pub fn new() -> CollectionTree {
+        CollectionTree {
+            nodes: vec![TreeNode::default()],
+            current: 0,
+        }
+    }
+
+    /// The root node id.
+    pub const fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Number of nodes (1 = no self-modification observed).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &TreeNode {
+        &self.nodes[id]
+    }
+
+    /// All nodes in creation order.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Total collected instructions across all nodes.
+    pub fn total_insns(&self) -> usize {
+        self.nodes.iter().map(|n| n.il.len()).sum()
+    }
+
+    /// Processes one executed instruction (the body of Algorithm 1's loop).
+    pub fn observe(&mut self, dex_pc: u32, units: &[u16], payload: Option<(i32, Vec<u16>)>) {
+        // Case 1: dex_pc already recorded in the current node.
+        if let Some(&pos_in_il) = self.nodes[self.current].iim.get(&dex_pc) {
+            let old_ins = &self.nodes[self.current].il[pos_in_il];
+            if old_ins.units == units {
+                // Same instruction re-executed (loop): nothing to record.
+                return;
+            }
+            // Divergence: the instruction at this dex_pc changed since we
+            // recorded it. Fork a child branch.
+            let child = self.nodes.len();
+            self.nodes.push(TreeNode {
+                sm_start: dex_pc,
+                parent: Some(self.current),
+                ..TreeNode::default()
+            });
+            self.nodes[self.current].children.push(child);
+            self.current = child;
+            // Fall through: record the instruction in the new node.
+        } else if let Some(parent) = self.nodes[self.current].parent {
+            // Case 2: unseen in the current (divergence) node — check for
+            // convergence back to the parent.
+            if let Some(&pos_in_il) = self.nodes[parent].iim.get(&dex_pc) {
+                if self.nodes[parent].il[pos_in_il].units == units {
+                    // The divergence branch converges: this layer of
+                    // self-modification ended.
+                    self.nodes[self.current].sm_end = Some(dex_pc);
+                    self.current = parent;
+                    return;
+                }
+            }
+        }
+        // Record as a new instruction of the current node.
+        let node = &mut self.nodes[self.current];
+        let pos = node.il.len();
+        node.il.push(CollectedInsn {
+            dex_pc,
+            units: units.to_vec(),
+            payload,
+        });
+        node.iim.insert(dex_pc, pos);
+    }
+
+    /// Structural equality ignoring the `current` cursor — used to keep
+    /// only unique trees across multiple executions of a method.
+    pub fn same_shape(&self, other: &CollectionTree) -> bool {
+        self.nodes == other.nodes
+    }
+
+    /// Replaces the node storage wholesale (deserialisation support).
+    pub(crate) fn replace_nodes(&mut self, nodes: Vec<TreeNode>) {
+        self.nodes = nodes;
+        self.current = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(units: &[u16]) -> Vec<u16> {
+        units.to_vec()
+    }
+
+    #[test]
+    fn straight_line_records_in_order() {
+        let mut t = CollectionTree::new();
+        t.observe(0, &ins(&[0x0012]), None);
+        t.observe(1, &ins(&[0x0013, 0x002a]), None);
+        t.observe(3, &ins(&[0x000f]), None);
+        assert_eq!(t.node_count(), 1);
+        let root = t.node(t.root());
+        assert_eq!(root.il.len(), 3);
+        assert_eq!(root.iim[&0], 0);
+        assert_eq!(root.iim[&1], 1);
+        assert_eq!(root.iim[&3], 2);
+    }
+
+    #[test]
+    fn loop_does_not_duplicate() {
+        let mut t = CollectionTree::new();
+        for _ in 0..10 {
+            t.observe(0, &ins(&[0x0090]), None);
+            t.observe(2, &ins(&[0x0028]), None);
+        }
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.node(0).il.len(), 2);
+    }
+
+    #[test]
+    fn modification_forks_child() {
+        let mut t = CollectionTree::new();
+        t.observe(0, &ins(&[0xaaaa]), None);
+        t.observe(1, &ins(&[0xbbbb]), None);
+        // Re-execute pc 1 with different units -> divergence.
+        t.observe(1, &ins(&[0xcccc]), None);
+        assert_eq!(t.node_count(), 2);
+        let child = t.node(1);
+        assert_eq!(child.sm_start, 1);
+        assert_eq!(child.parent, Some(0));
+        assert_eq!(child.il.len(), 1);
+        assert_eq!(child.il[0].units, ins(&[0xcccc]));
+        assert_eq!(t.node(0).children, vec![1]);
+    }
+
+    #[test]
+    fn divergence_converges_back_to_parent() {
+        let mut t = CollectionTree::new();
+        t.observe(0, &ins(&[0xaaaa]), None); // baseline pc0
+        t.observe(1, &ins(&[0xbbbb]), None); // baseline pc1
+        t.observe(2, &ins(&[0xdddd]), None); // baseline pc2
+        t.observe(1, &ins(&[0xcccc]), None); // diverge at pc1
+        t.observe(2, &ins(&[0xdddd]), None); // same as parent pc2 -> converge
+        assert_eq!(t.node_count(), 2);
+        let child = t.node(1);
+        assert_eq!(child.sm_start, 1);
+        assert_eq!(child.sm_end, Some(2));
+        // After convergence the current node is the root again: a new pc
+        // lands in the root.
+        t.observe(5, &ins(&[0xeeee]), None);
+        assert_eq!(t.node(0).il.len(), 4);
+    }
+
+    #[test]
+    fn nested_divergence_layers() {
+        let mut t = CollectionTree::new();
+        t.observe(0, &ins(&[0x00aa]), None);
+        t.observe(1, &ins(&[0x00bb]), None);
+        t.observe(1, &ins(&[0x00cc]), None); // layer 1 divergence
+        t.observe(1, &ins(&[0x00dd]), None); // wait: same node sees pc1 again with different units -> layer 2
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.node(2).parent, Some(1));
+        assert_eq!(t.node(2).sm_start, 1);
+    }
+
+    #[test]
+    fn code1_scenario_shapes_tree_like_listing1() {
+        // Modelled on the paper's Code 1 / Listing 1: a loop whose body at
+        // "pc 8" is `invoke normal` in iteration one and `invoke sink` in
+        // iteration two, converging at "pc 11" (the tamper call).
+        let normal = ins(&[0x206e, 0x0001, 0x0043]);
+        let sink = ins(&[0x206e, 0x0002, 0x0043]);
+        let tamper = ins(&[0x206e, 0x0003, 0x0053]);
+        let mut t = CollectionTree::new();
+        // iteration 1
+        t.observe(0, &ins(&[0x0071, 0x0000, 0x0000]), None); // source
+        t.observe(3, &ins(&[0x000c]), None);
+        t.observe(4, &ins(&[0x0012]), None); // i = 0
+        t.observe(5, &ins(&[0x2212]), None); // const 2
+        t.observe(6, &ins(&[0x0235, 0x000b]), None); // if-ge
+        t.observe(8, &normal, None);
+        t.observe(11, &tamper, None);
+        t.observe(14, &ins(&[0x01d8, 0x0101]), None); // i++
+        t.observe(16, &ins(&[0xf328]), None); // goto
+        // iteration 2: pc 8 now holds `sink`
+        t.observe(5, &ins(&[0x2212]), None);
+        t.observe(6, &ins(&[0x0235, 0x000b]), None);
+        t.observe(8, &sink, None); // divergence!
+        t.observe(11, &tamper, None); // convergence
+        t.observe(14, &ins(&[0x01d8, 0x0101]), None);
+        t.observe(16, &ins(&[0xf328]), None);
+        // loop exits
+        t.observe(5, &ins(&[0x2212]), None);
+        t.observe(6, &ins(&[0x0235, 0x000b]), None);
+        t.observe(17, &ins(&[0x000e]), None); // return-void
+
+        // Exactly the Listing 1 shape: a root and one child holding one
+        // instruction (the sink invoke).
+        assert_eq!(t.node_count(), 2);
+        let child = t.node(1);
+        assert_eq!(child.il.len(), 1);
+        assert_eq!(child.il[0].units, sink);
+        assert_eq!(child.sm_start, 8);
+        assert_eq!(child.sm_end, Some(11));
+        // The root kept `normal` at pc 8.
+        let root = t.node(0);
+        assert_eq!(root.il[root.iim[&8]].units, normal);
+    }
+
+    #[test]
+    fn same_shape_ignores_cursor() {
+        let mut a = CollectionTree::new();
+        let mut b = CollectionTree::new();
+        for t in [&mut a, &mut b] {
+            t.observe(0, &[0x0012], None);
+            t.observe(1, &[0x000e], None);
+        }
+        assert!(a.same_shape(&b));
+        b.observe(0, &[0x1112], None); // diverge in b only
+        assert!(!a.same_shape(&b));
+    }
+}

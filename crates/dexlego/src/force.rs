@@ -1,0 +1,401 @@
+//! Force execution (paper §IV-E, Figure 4).
+//!
+//! The first force-execution prototype for "Android" (here: for the
+//! simulated ART). Each iteration:
+//!
+//! 1. **Branch analysis** — from the coverage of all previous executions,
+//!    identify Uncovered Conditional Branches (UCBs): `(branch, direction)`
+//!    pairs never taken.
+//! 2. **Path analysis** — over the method's CFG, compute the sequence of
+//!    branch decisions leading from the method entry to each UCB.
+//! 3. **Forced run** — re-execute the app with an observer that overrides
+//!    the branch decisions along the path (and tolerates unhandled
+//!    exceptions, since forced paths may be infeasible).
+//!
+//! Iteration stops when a round discovers no new coverage or the iteration
+//! budget is exhausted.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dexlego_dalvik::{decode_method, Decoded, Opcode};
+use dexlego_runtime::class::MethodImpl;
+use dexlego_runtime::observer::RuntimeObserver;
+use dexlego_runtime::{MethodId, Runtime};
+
+/// Records which branch directions have executed (the "result of the
+/// previous execution" in Figure 4).
+#[derive(Debug, Default)]
+pub struct BranchCoverage {
+    covered: HashSet<(MethodId, u32, bool)>,
+    entered: HashSet<MethodId>,
+}
+
+impl BranchCoverage {
+    /// Creates empty coverage.
+    pub fn new() -> BranchCoverage {
+        BranchCoverage::default()
+    }
+
+    /// Number of `(branch, direction)` pairs covered.
+    pub fn covered_count(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Whether a direction of a branch has been observed.
+    pub fn is_covered(&self, method: MethodId, dex_pc: u32, direction: bool) -> bool {
+        self.covered.contains(&(method, dex_pc, direction))
+    }
+
+    /// Methods entered at least once.
+    pub fn entered_methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.entered.iter().copied()
+    }
+}
+
+impl RuntimeObserver for BranchCoverage {
+    fn on_method_enter(&mut self, _rt: &Runtime, method: MethodId) {
+        self.entered.insert(method);
+    }
+    fn on_branch(&mut self, _rt: &Runtime, method: MethodId, dex_pc: u32, taken: bool) {
+        self.covered.insert((method, dex_pc, taken));
+    }
+}
+
+/// An Uncovered Conditional Branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ucb {
+    /// Containing method.
+    pub method: MethodId,
+    /// `dex_pc` of the conditional branch.
+    pub dex_pc: u32,
+    /// The direction (`true` = taken) not yet covered.
+    pub direction: bool,
+}
+
+/// A path to a UCB: the branch decisions to force, in order, ending with
+/// the UCB's own missing direction. Saved "into a file" in the paper; here
+/// it is the in-memory equivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForcedPath {
+    /// The method the path applies to.
+    pub method: MethodId,
+    /// `(dex_pc, direction)` decisions from method entry.
+    pub decisions: Vec<(u32, bool)>,
+}
+
+/// Identifies every UCB among methods that have been entered.
+pub fn find_ucbs(rt: &Runtime, coverage: &BranchCoverage) -> Vec<Ucb> {
+    let mut ucbs = Vec::new();
+    let mut methods: Vec<MethodId> = coverage.entered_methods().collect();
+    methods.sort();
+    for method in methods {
+        let MethodImpl::Bytecode { insns, .. } = &rt.method(method).body else {
+            continue;
+        };
+        let Ok(decoded) = decode_method(insns) else { continue };
+        for (pc, d) in decoded {
+            let Decoded::Insn(insn) = d else { continue };
+            if !insn.op.is_conditional_branch() {
+                continue;
+            }
+            for direction in [true, false] {
+                if !coverage.is_covered(method, pc, direction) {
+                    ucbs.push(Ucb {
+                        method,
+                        dex_pc: pc,
+                        direction,
+                    });
+                }
+            }
+        }
+    }
+    ucbs
+}
+
+/// Computes the branch-decision path from the method entry to `ucb` via BFS
+/// over the method's CFG. Returns `None` when the UCB is unreachable in the
+/// CFG (e.g. inside an exception handler).
+pub fn path_to_ucb(rt: &Runtime, ucb: Ucb) -> Option<ForcedPath> {
+    let MethodImpl::Bytecode { insns, .. } = &rt.method(ucb.method).body else {
+        return None;
+    };
+    let decoded = decode_method(insns).ok()?;
+    let index: HashMap<u32, &Decoded> = decoded.iter().map(|(pc, d)| (*pc, d)).collect();
+
+    // BFS storing the decision list used to reach each pc.
+    let mut visited: HashSet<u32> = HashSet::new();
+    let mut queue: VecDeque<(u32, Vec<(u32, bool)>)> = VecDeque::new();
+    queue.push_back((0, Vec::new()));
+    while let Some((pc, decisions)) = queue.pop_front() {
+        if !visited.insert(pc) {
+            continue;
+        }
+        if pc == ucb.dex_pc {
+            let mut final_decisions = decisions;
+            final_decisions.push((ucb.dex_pc, ucb.direction));
+            return Some(ForcedPath {
+                method: ucb.method,
+                decisions: final_decisions,
+            });
+        }
+        let Some(d) = index.get(&pc) else { continue };
+        let Decoded::Insn(insn) = d else { continue };
+        let next = pc + insn.units() as u32;
+        match insn.op {
+            Opcode::Goto | Opcode::Goto16 | Opcode::Goto32 => {
+                queue.push_back((insn.target(pc), decisions));
+            }
+            op if op.is_conditional_branch() => {
+                let mut taken = decisions.clone();
+                taken.push((pc, true));
+                queue.push_back((insn.target(pc), taken));
+                let mut fall = decisions;
+                fall.push((pc, false));
+                queue.push_back((next, fall));
+            }
+            Opcode::PackedSwitch | Opcode::SparseSwitch => {
+                // Switch arms are traversable but not forcible; path search
+                // may pass through any arm or the fall-through.
+                if let Some(payload) = index.get(&insn.target(pc)) {
+                    let targets: Vec<i32> = match payload {
+                        Decoded::PackedSwitchPayload { targets, .. } => targets.clone(),
+                        Decoded::SparseSwitchPayload { targets, .. } => targets.clone(),
+                        _ => Vec::new(),
+                    };
+                    for rel in targets {
+                        queue.push_back((pc.wrapping_add(rel as u32), decisions.clone()));
+                    }
+                }
+                queue.push_back((next, decisions));
+            }
+            op if op.is_return() || op == Opcode::Throw => {}
+            _ => queue.push_back((next, decisions)),
+        }
+    }
+    None
+}
+
+/// The forcing observer: follows one [`ForcedPath`] per method cursor-wise
+/// (the cursor resets on each entry into the method), overriding exactly
+/// the decisions along the paths, and tolerates unhandled exceptions
+/// (paper: "we monitor the unhandled exception in the interpreter and
+/// tolerate it by directly clear the exception").
+///
+/// Multiple paths compose interprocedurally: reaching an uncovered branch
+/// inside a method that is itself only reachable through a forced branch
+/// requires forcing both the caller's path and the callee's path in the
+/// same run.
+#[derive(Debug)]
+pub struct Forcer {
+    paths: HashMap<MethodId, Vec<(u32, bool)>>,
+    cursors: HashMap<MethodId, usize>,
+}
+
+impl Forcer {
+    /// Creates a forcer for one path.
+    pub fn new(path: ForcedPath) -> Forcer {
+        Forcer::with_paths(vec![path])
+    }
+
+    /// Creates a forcer composing several per-method paths. Later paths for
+    /// the same method override earlier ones.
+    pub fn with_paths(paths: Vec<ForcedPath>) -> Forcer {
+        let mut map = HashMap::new();
+        for p in paths {
+            map.insert(p.method, p.decisions);
+        }
+        Forcer {
+            paths: map,
+            cursors: HashMap::new(),
+        }
+    }
+}
+
+impl RuntimeObserver for Forcer {
+    fn on_method_enter(&mut self, _rt: &Runtime, method: MethodId) {
+        if self.paths.contains_key(&method) {
+            self.cursors.insert(method, 0);
+        }
+    }
+
+    fn override_branch(
+        &mut self,
+        _rt: &Runtime,
+        method: MethodId,
+        dex_pc: u32,
+        _would_take: bool,
+    ) -> Option<bool> {
+        let decisions = self.paths.get(&method)?;
+        let cursor = self.cursors.entry(method).or_insert(0);
+        let &(pc, direction) = decisions.get(*cursor)?;
+        if pc == dex_pc {
+            *cursor += 1;
+            Some(direction)
+        } else {
+            None
+        }
+    }
+
+    fn tolerate_exceptions(&self) -> bool {
+        true
+    }
+}
+
+/// Statistics from an iterative force-execution session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForceStats {
+    /// Number of Figure-4 iterations performed.
+    pub iterations: usize,
+    /// Forced runs executed.
+    pub forced_runs: usize,
+    /// UCBs for which no CFG path was found.
+    pub unreachable_ucbs: usize,
+}
+
+/// Runs the iterative force-execution loop of Figure 4.
+///
+/// `drive` performs one full execution of the target application (e.g. one
+/// fuzzing session); `extra` is chained into every run (DexLego chains its
+/// [`crate::JitCollector`] here so collection continues during forcing).
+pub fn iterative_force<F>(
+    rt: &mut Runtime,
+    drive: &mut F,
+    extra: &mut dyn RuntimeObserver,
+    max_iterations: usize,
+) -> (BranchCoverage, ForceStats)
+where
+    F: FnMut(&mut Runtime, &mut dyn RuntimeObserver),
+{
+    let mut coverage = BranchCoverage::new();
+    let mut stats = ForceStats::default();
+    // Which forced paths were active when a method was first entered —
+    // composing them lets later iterations re-reach methods that are only
+    // reachable through forced branches.
+    let mut provenance: HashMap<MethodId, Vec<ForcedPath>> = HashMap::new();
+
+    // Previous execution: a plain run.
+    {
+        let mut entered = EnteredSet::default();
+        let mut obs = ChainMut(&mut entered, &mut ChainMut(&mut coverage, extra));
+        drive(rt, &mut obs);
+        for m in entered.methods {
+            provenance.entry(m).or_default();
+        }
+    }
+
+    let mut attempted: HashSet<Ucb> = HashSet::new();
+    for _ in 0..max_iterations {
+        stats.iterations += 1;
+        let before = coverage.covered_count();
+        let ucbs: Vec<Ucb> = find_ucbs(rt, &coverage)
+            .into_iter()
+            .filter(|u| !attempted.contains(u))
+            .collect();
+        if ucbs.is_empty() {
+            break;
+        }
+        for ucb in ucbs {
+            attempted.insert(ucb);
+            if coverage.is_covered(ucb.method, ucb.dex_pc, ucb.direction) {
+                continue; // a previous forced run already got there
+            }
+            let Some(path) = path_to_ucb(rt, ucb) else {
+                stats.unreachable_ucbs += 1;
+                continue;
+            };
+            let mut paths = provenance.get(&ucb.method).cloned().unwrap_or_default();
+            paths.push(path);
+            let active_paths = paths.clone();
+            let mut forcer = Forcer::with_paths(paths);
+            let mut entered = EnteredSet::default();
+            {
+                let mut inner = ChainMut(&mut coverage, extra);
+                let mut with_cov = ChainMut(&mut entered, &mut inner);
+                let mut obs = ChainMut(&mut forcer, &mut with_cov);
+                drive(rt, &mut obs);
+            }
+            stats.forced_runs += 1;
+            for m in entered.methods {
+                provenance.entry(m).or_insert_with(|| active_paths.clone());
+            }
+        }
+        if coverage.covered_count() == before {
+            break; // no new UCB coverage generated this iteration
+        }
+    }
+    (coverage, stats)
+}
+
+/// Records which methods a run entered (for force-path provenance).
+#[derive(Default)]
+struct EnteredSet {
+    methods: HashSet<MethodId>,
+}
+
+impl RuntimeObserver for EnteredSet {
+    fn on_method_enter(&mut self, _rt: &Runtime, method: MethodId) {
+        self.methods.insert(method);
+    }
+}
+
+/// Chains two mutable observer references (the owned
+/// [`dexlego_runtime::observer::Pair`] requires ownership; forcing needs
+/// borrows).
+pub struct ChainMut<'a, A: ?Sized, B: ?Sized>(pub &'a mut A, pub &'a mut B);
+
+impl<A, B> RuntimeObserver for ChainMut<'_, A, B>
+where
+    A: RuntimeObserver + ?Sized,
+    B: RuntimeObserver + ?Sized,
+{
+    fn on_class_load(&mut self, rt: &Runtime, class: dexlego_runtime::ClassId) {
+        self.0.on_class_load(rt, class);
+        self.1.on_class_load(rt, class);
+    }
+    fn on_class_init(&mut self, rt: &Runtime, class: dexlego_runtime::ClassId) {
+        self.0.on_class_init(rt, class);
+        self.1.on_class_init(rt, class);
+    }
+    fn on_method_enter(&mut self, rt: &Runtime, method: MethodId) {
+        self.0.on_method_enter(rt, method);
+        self.1.on_method_enter(rt, method);
+    }
+    fn on_method_exit(&mut self, rt: &Runtime, method: MethodId) {
+        self.0.on_method_exit(rt, method);
+        self.1.on_method_exit(rt, method);
+    }
+    fn on_instruction(&mut self, rt: &Runtime, event: &dexlego_runtime::observer::InsnEvent<'_>) {
+        self.0.on_instruction(rt, event);
+        self.1.on_instruction(rt, event);
+    }
+    fn on_branch(&mut self, rt: &Runtime, method: MethodId, dex_pc: u32, taken: bool) {
+        self.0.on_branch(rt, method, dex_pc, taken);
+        self.1.on_branch(rt, method, dex_pc, taken);
+    }
+    fn on_reflective_call(&mut self, rt: &Runtime, caller: MethodId, site: u32, target: MethodId) {
+        self.0.on_reflective_call(rt, caller, site, target);
+        self.1.on_reflective_call(rt, caller, site, target);
+    }
+    fn on_dynamic_load(&mut self, rt: &Runtime, source: &str, classes: &[dexlego_runtime::ClassId]) {
+        self.0.on_dynamic_load(rt, source, classes);
+        self.1.on_dynamic_load(rt, source, classes);
+    }
+    fn on_exception(&mut self, rt: &Runtime, method: MethodId, dex_pc: u32) {
+        self.0.on_exception(rt, method, dex_pc);
+        self.1.on_exception(rt, method, dex_pc);
+    }
+    fn override_branch(
+        &mut self,
+        rt: &Runtime,
+        method: MethodId,
+        dex_pc: u32,
+        would_take: bool,
+    ) -> Option<bool> {
+        self.0
+            .override_branch(rt, method, dex_pc, would_take)
+            .or_else(|| self.1.override_branch(rt, method, dex_pc, would_take))
+    }
+    fn tolerate_exceptions(&self) -> bool {
+        self.0.tolerate_exceptions() || self.1.tolerate_exceptions()
+    }
+}

@@ -1,0 +1,101 @@
+#![forbid(unsafe_code)]
+
+//! DexLego: reassembleable bytecode extraction for aiding static analysis.
+//!
+//! This crate is the Rust reproduction of the DexLego system (Ning & Zhang,
+//! DSN 2018). It implements the paper's pipeline end to end against the
+//! simulated ART in [`dexlego_runtime`]:
+//!
+//! 1. **Just-in-time collection** ([`collect`]): a [`RuntimeObserver`] that
+//!    records classes, fields, static values, methods, and — at instruction
+//!    level — executed bytecode, organised into *collection trees* (the
+//!    paper's Algorithm 1) that capture self-modifying code as divergence
+//!    branches.
+//! 2. **Offline reassembly** ([`reassemble`]): merging each method's
+//!    collection trees into a single instruction array by inserting
+//!    synthetic branches on static fields of a generated instrument class
+//!    (`LModification;`), merging multiple execution variants, replacing
+//!    reflective calls with direct calls, and emitting a valid DEX file.
+//! 3. **Force execution** ([`force`]): the paper's iterative
+//!    coverage-improvement module — identify Uncovered Conditional Branches,
+//!    compute branch-decision paths, re-run with interpreter-level branch
+//!    forcing and exception tolerance.
+//! 4. **Baselines** ([`baseline`]): DexHunter- and AppSpear-style
+//!    method-level dump extractors used for the Table III comparison.
+//! 5. **Coverage** ([`coverage`]): a JaCoCo-style coverage recorder and the
+//!    Sapienz-style random event fuzzer.
+//!
+//! [`RuntimeObserver`]: dexlego_runtime::RuntimeObserver
+//!
+//! # Example
+//!
+//! See [`pipeline::reveal`] for the one-call "execute, collect, reassemble"
+//! entry point used by the examples and benchmarks.
+
+pub mod baseline;
+pub mod collect;
+pub mod coverage;
+pub mod files;
+pub mod force;
+pub mod pipeline;
+pub mod reassemble;
+
+pub use collect::collector::JitCollector;
+pub use files::CollectionFiles;
+pub use pipeline::{reveal, RevealOutcome};
+
+use std::fmt;
+
+/// Errors from collection, reassembly, or force execution.
+#[derive(Debug)]
+pub enum DexLegoError {
+    /// Underlying runtime failure.
+    Runtime(dexlego_runtime::RuntimeError),
+    /// Bytecode encode/decode failure.
+    Dalvik(dexlego_dalvik::DalvikError),
+    /// DEX model failure.
+    Dex(dexlego_dex::DexError),
+    /// Collection-file (de)serialisation failure.
+    Codec(String),
+    /// Reassembly invariant violation.
+    Reassembly(String),
+}
+
+impl fmt::Display for DexLegoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DexLegoError::Runtime(e) => write!(f, "runtime error: {e}"),
+            DexLegoError::Dalvik(e) => write!(f, "bytecode error: {e}"),
+            DexLegoError::Dex(e) => write!(f, "dex error: {e}"),
+            DexLegoError::Codec(m) => write!(f, "collection file codec error: {m}"),
+            DexLegoError::Reassembly(m) => write!(f, "reassembly error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DexLegoError {}
+
+impl From<dexlego_runtime::RuntimeError> for DexLegoError {
+    fn from(e: dexlego_runtime::RuntimeError) -> DexLegoError {
+        DexLegoError::Runtime(e)
+    }
+}
+
+impl From<dexlego_dalvik::DalvikError> for DexLegoError {
+    fn from(e: dexlego_dalvik::DalvikError) -> DexLegoError {
+        DexLegoError::Dalvik(e)
+    }
+}
+
+impl From<dexlego_dex::DexError> for DexLegoError {
+    fn from(e: dexlego_dex::DexError) -> DexLegoError {
+        DexLegoError::Dex(e)
+    }
+}
+
+/// Convenience alias for results with [`DexLegoError`].
+pub type Result<T> = std::result::Result<T, DexLegoError>;
+
+/// The descriptor of the generated instrument class whose static boolean
+/// fields guard synthetic branches (paper §IV-B, Code 4).
+pub const INSTRUMENT_CLASS: &str = "Lcom/dexlego/Modification;";

@@ -1,0 +1,157 @@
+//! The end-to-end DexLego pipeline of Figure 1: execute the target
+//! application under JIT collection (optionally with force execution), then
+//! reassemble the collected files into a new DEX offline.
+
+use dexlego_dalvik::canon::canonicalize;
+use dexlego_dex::DexFile;
+use dexlego_runtime::observer::RuntimeObserver;
+use dexlego_runtime::Runtime;
+
+use crate::collect::JitCollector;
+use crate::files::CollectionFiles;
+use crate::force::{iterative_force, ForceStats};
+use crate::reassemble::reassemble;
+use crate::Result;
+
+/// The result of revealing an application.
+#[derive(Debug)]
+pub struct RevealOutcome {
+    /// The collection files produced by JIT collection.
+    pub files: CollectionFiles,
+    /// The reassembled DEX (canonicalised, ready to serialise).
+    pub dex: DexFile,
+    /// Size in bytes of the serialised collection files ("dump file size",
+    /// Table VI).
+    pub dump_size: usize,
+}
+
+/// Runs `drive` under JIT collection and reassembles the result.
+///
+/// `drive` receives the runtime and the collecting observer and should
+/// execute the application however the experiment requires (launch an
+/// activity, run a fuzzer, replay events). Execution errors inside the
+/// driver should be swallowed by the driver itself — a crashed app still
+/// yields a valid partial collection, as in the paper.
+///
+/// # Errors
+///
+/// Propagates reassembly failures.
+///
+/// # Example
+///
+/// ```
+/// use dexlego_core::pipeline::reveal;
+/// use dexlego_runtime::Runtime;
+///
+/// let mut rt = Runtime::new();
+/// let outcome = reveal(&mut rt, |_rt, _obs| {
+///     // drive the app here
+/// }).unwrap();
+/// assert_eq!(outcome.files.methods.len(), 0);
+/// ```
+pub fn reveal<F>(rt: &mut Runtime, mut drive: F) -> Result<RevealOutcome>
+where
+    F: FnMut(&mut Runtime, &mut dyn RuntimeObserver),
+{
+    let mut collector = JitCollector::new();
+    drive(rt, &mut collector);
+    finish(rt, collector, None)
+}
+
+/// Like [`reveal`], but additionally runs the iterative force-execution
+/// module (Figure 4) to improve coverage, collecting throughout.
+///
+/// # Errors
+///
+/// Propagates reassembly failures.
+pub fn reveal_with_force<F>(
+    rt: &mut Runtime,
+    mut drive: F,
+    max_iterations: usize,
+) -> Result<(RevealOutcome, ForceStats)>
+where
+    F: FnMut(&mut Runtime, &mut dyn RuntimeObserver),
+{
+    let mut collector = JitCollector::new();
+    let (_coverage, stats) = iterative_force(rt, &mut drive, &mut collector, max_iterations);
+    let outcome = finish(rt, collector, Some(stats))?;
+    Ok((outcome, stats))
+}
+
+/// Validates a reveal result mechanically (the automated form of the
+/// paper's RQ1 manual check): every collected instruction's opcode appears
+/// in the reassembled body of its method (original or a variant), and
+/// every collected method is present.
+///
+/// Returns the list of violations (empty = validated).
+pub fn validate_reveal(files: &CollectionFiles, dex: &DexFile) -> Vec<String> {
+    use std::collections::HashMap;
+    let mut problems = Vec::new();
+    for record in &files.methods {
+        // Gather the reassembled opcode multiset across the method and its
+        // variants.
+        let Some(class) = dex.find_class(&record.key.class) else {
+            problems.push(format!("{}: class missing from output", record.key));
+            continue;
+        };
+        let mut reassembled: HashMap<u8, usize> = HashMap::new();
+        let mut found_method = false;
+        if let Some(data) = &class.class_data {
+            for method in data.methods() {
+                let Ok(sig) = dex.method_signature(method.method_idx) else { continue };
+                let base = format!("{}->{}", record.key.class, record.key.name);
+                if !(sig.starts_with(&format!("{base}(")) || sig.contains(&format!("{}$v", base)))
+                {
+                    continue;
+                }
+                found_method = true;
+                if let Some(code) = &method.code {
+                    if let Ok(decoded) = dexlego_dalvik::decode_method(&code.insns) {
+                        for (_, d) in decoded {
+                            if let dexlego_dalvik::Decoded::Insn(insn) = d {
+                                *reassembled.entry(insn.op as u8).or_default() += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !found_method {
+            problems.push(format!("{}: method missing from output", record.key));
+            continue;
+        }
+        // Collected opcodes (union over trees; variants cover per-tree).
+        for tree in &record.trees {
+            for node in tree.nodes() {
+                for ins in &node.il {
+                    let op = (ins.units[0] & 0xff) as u8;
+                    if !reassembled.contains_key(&op)
+                        && dexlego_dalvik::Opcode::from_u8(op).is_some()
+                    {
+                        problems.push(format!(
+                            "{}: collected opcode {:#04x} at pc {} missing from output",
+                            record.key, op, ins.dex_pc
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    problems
+}
+
+fn finish(
+    _rt: &mut Runtime,
+    collector: JitCollector,
+    _stats: Option<ForceStats>,
+) -> Result<RevealOutcome> {
+    let files = collector.into_files();
+    let dump_size = files.to_bytes().len();
+    let dex = reassemble(&files)?;
+    let dex = canonicalize(&dex).map_err(crate::DexLegoError::Dalvik)?;
+    Ok(RevealOutcome {
+        files,
+        dex,
+        dump_size,
+    })
+}

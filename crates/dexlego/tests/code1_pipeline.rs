@@ -1,0 +1,366 @@
+//! End-to-end reproduction of the paper's running example (Code 1 → Code 2
+//! / Code 3 → Listing 1 → Code 4): a native method rewrites the bytecode of
+//! `advancedLeak` between loop iterations to hide a taint flow; DexLego's
+//! instruction-level collection captures both versions and the reassembled
+//! DEX exposes source *and* sink on reachable paths.
+
+use dexlego_core::{pipeline::reveal, INSTRUMENT_CLASS};
+use dexlego_dalvik::builder::{ProgramBuilder, StaticInit};
+use dexlego_dalvik::{decode_method, encode_insn, Decoded, Insn, Opcode};
+use dexlego_dex::verify::{verify, Strictness};
+use dexlego_runtime::class::{MethodImpl, SigKey};
+use dexlego_runtime::{Runtime, Slot};
+
+const MAIN: &str = "Lcom/test/Main;";
+
+/// Builds the Code 1 application. Returns the DEX plus the pool indices the
+/// tamper native needs (decoy string index, and method indices of `normal`
+/// and `sink`).
+fn build_code1() -> (dexlego_dex::DexFile, u32, u32, u32) {
+    let mut pb = ProgramBuilder::new();
+    pb.class(MAIN, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.static_field(
+            "PHONE",
+            "Ljava/lang/String;",
+            Some(StaticInit::Str("800-123-456".into())),
+        );
+        // advancedLeak()V — locals v0..v2, this = v3. Laid out to match the
+        // paper's Code 2 exactly (see comments for dex_pc values).
+        c.method("advancedLeak", &[], "V", 3, |m| {
+            let this = m.this_reg();
+            let (l0, l1) = (m.asm.new_label(), m.asm.new_label());
+            // pc 0..2: invoke-static getSensitiveData (the source)
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Sensitive;",
+                "getSensitiveData",
+                &[],
+                "Ljava/lang/String;",
+                &[],
+            );
+            // pc 3: move-result-object v0
+            let mut mr = Insn::of(Opcode::MoveResultObject);
+            mr.a = 0;
+            m.asm.push(mr);
+            // pc 4: const/4 v1, #0
+            m.asm.const4(1, 0);
+            // pc 5 (L0): const/4 v2, #2
+            m.asm.bind(l0);
+            m.asm.const4(2, 2);
+            // pc 6..7: if-ge v1, v2 -> L1
+            m.asm.if_cmp(Opcode::IfGe, 1, 2, l1);
+            // pc 8..10: invoke-virtual {this, v0} normal(String)
+            m.invoke(
+                Opcode::InvokeVirtual,
+                MAIN,
+                "normal",
+                &["Ljava/lang/String;"],
+                "V",
+                &[this, 0],
+            );
+            // pc 11..13: invoke-virtual {this, v1} bytecodeTamper(I)
+            m.invoke(
+                Opcode::InvokeVirtual,
+                MAIN,
+                "bytecodeTamper",
+                &["I"],
+                "V",
+                &[this, 1],
+            );
+            // pc 14..15: add-int/lit8 v1, v1, #1
+            m.asm.binop_lit8(Opcode::AddIntLit8, 1, 1, 1);
+            // pc 16: goto L0
+            m.asm.goto(l0);
+            // pc 17 (L1): return-void
+            m.asm.bind(l1);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        c.method("normal", &["Ljava/lang/String;"], "V", 0, |m| {
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        // sink(String): SmsManager.getDefault().sendTextMessage(PHONE, null,
+        // param, null, null)
+        c.method("sink", &["Ljava/lang/String;"], "V", 6, |m| {
+            let param = m.param_reg(0);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Landroid/telephony/SmsManager;",
+                "getDefault",
+                &[],
+                "Landroid/telephony/SmsManager;",
+                &[],
+            );
+            let mut mr = Insn::of(Opcode::MoveResultObject);
+            mr.a = 0;
+            m.asm.push(mr);
+            m.sget(Opcode::SgetObject, 1, MAIN, "PHONE", "Ljava/lang/String;");
+            m.asm.const4(2, 0);
+            m.asm.move_reg(dexlego_dalvik::asm::MoveKind::Object, 3, param);
+            m.asm.const4(4, 0);
+            m.asm.const4(5, 0);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Landroid/telephony/SmsManager;",
+                "sendTextMessage",
+                &[
+                    "Ljava/lang/String;",
+                    "Ljava/lang/String;",
+                    "Ljava/lang/String;",
+                    "Ljava/lang/String;",
+                    "Ljava/lang/String;",
+                ],
+                "V",
+                &[0, 1, 2, 3, 4, 5],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        c.native_method("bytecodeTamper", &["I"], "V");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 0, |m| {
+            let this = m.this_reg();
+            m.invoke(Opcode::InvokeVirtual, MAIN, "advancedLeak", &[], "V", &[this]);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let mut dex = pb.build().unwrap();
+    let decoy = dex.intern_string("non-sensitive data");
+    let normal_idx = dex.intern_method(MAIN, "normal", "V", &["Ljava/lang/String;"]);
+    let sink_idx = dex.intern_method(MAIN, "sink", "V", &["Ljava/lang/String;"]);
+    (dex, decoy, normal_idx, sink_idx)
+}
+
+/// Registers the `bytecodeTamper` native implementing the paper's comment
+/// block: iteration 0 hides the source and swaps `normal` for `sink`;
+/// iteration 1 restores the original bytecode.
+fn register_tamper(rt: &mut Runtime, decoy: u32, normal_idx: u32, sink_idx: u32) {
+    let main = rt.find_class(MAIN).unwrap();
+    let leak = rt
+        .resolve_method(main, &SigKey::new("advancedLeak", "()V"))
+        .unwrap();
+    rt.natives.register(MAIN, "bytecodeTamper", "(I)V", move |rt, _, args| {
+        let i = args[1].as_int();
+        let MethodImpl::Bytecode { insns, .. } = &mut rt.method_mut(leak).body else {
+            panic!("advancedLeak must be bytecode");
+        };
+        if i == 0 {
+            // Line 11 -> `String a = "non-sensitive data"` :
+            // const-string v0, decoy ; nop ; nop   (replaces 4 units)
+            let mut cs = Insn::of(Opcode::ConstString);
+            cs.a = 0;
+            cs.idx = decoy;
+            let cs_units = encode_insn(&cs).unwrap();
+            insns[0] = cs_units[0];
+            insns[1] = cs_units[1];
+            insns[2] = 0x0000; // nop
+            insns[3] = 0x0000; // nop
+            // Line 13 -> sink(a): swap the method index at pc 8 (unit 9
+            // holds the method index of the 35c encoding).
+            let mut inv = Insn::of(Opcode::InvokeVirtual);
+            inv.idx = sink_idx;
+            inv.regs = vec![3, 0];
+            let inv_units = encode_insn(&inv).unwrap();
+            insns[8..11].copy_from_slice(&inv_units);
+        } else {
+            // Restore Line 11 (invoke-static source + move-result-object).
+            let src = rt_original_prologue();
+            let MethodImpl::Bytecode { insns, .. } = &mut rt.method_mut(leak).body else {
+                unreachable!();
+            };
+            insns[..4].copy_from_slice(&src);
+            let mut inv = Insn::of(Opcode::InvokeVirtual);
+            inv.idx = normal_idx;
+            inv.regs = vec![3, 0];
+            let inv_units = encode_insn(&inv).unwrap();
+            insns[8..11].copy_from_slice(&inv_units);
+        }
+        Ok(dexlego_runtime::RetVal::Void)
+    });
+}
+
+/// The original first four units of `advancedLeak` (captured from a fresh
+/// build so restore is exact).
+fn rt_original_prologue() -> [u16; 4] {
+    let (dex, _, _, _) = build_code1();
+    let class = dex.find_class(MAIN).unwrap();
+    let method = class
+        .class_data
+        .as_ref()
+        .unwrap()
+        .methods()
+        .find(|m| {
+            dex.method_signature(m.method_idx)
+                .is_ok_and(|s| s.contains("advancedLeak"))
+        })
+        .unwrap();
+    let code = method.code.as_ref().unwrap();
+    [code.insns[0], code.insns[1], code.insns[2], code.insns[3]]
+}
+
+fn method_invoked_signatures(dex: &dexlego_dex::DexFile, insns: &[u16]) -> Vec<String> {
+    decode_method(insns)
+        .unwrap()
+        .into_iter()
+        .filter_map(|(_, d)| match d {
+            Decoded::Insn(insn) if insn.op.is_invoke() => {
+                Some(dex.method_signature(insn.idx).unwrap())
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn code1_reveals_both_normal_and_sink() {
+    let (dex, decoy, normal_idx, sink_idx) = build_code1();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    register_tamper(&mut rt, decoy, normal_idx, sink_idx);
+
+    let outcome = reveal(&mut rt, |rt, obs| {
+        let activity = rt.new_instance(obs, MAIN).unwrap();
+        let main = rt.find_class(MAIN).unwrap();
+        let on_create = rt
+            .resolve_method(main, &SigKey::new("onCreate", "(Landroid/os/Bundle;)V"))
+            .unwrap();
+        rt.call_method(obs, on_create, &[Slot::of(activity), Slot::of(0)])
+            .unwrap();
+    })
+    .unwrap();
+
+    // --- collection shape matches Listing 1 -------------------------------
+    let leak_record = outcome
+        .files
+        .methods
+        .iter()
+        .find(|m| m.key.name == "advancedLeak")
+        .expect("advancedLeak collected");
+    assert_eq!(leak_record.trees.len(), 1, "one unique tree");
+    let tree = &leak_record.trees[0];
+    assert_eq!(tree.node_count(), 2, "root + one divergence branch");
+    let child = tree.node(1);
+    assert_eq!(child.il.len(), 1, "child holds only the sink invoke");
+    assert_eq!(child.sm_start, 8);
+    assert_eq!(child.sm_end, Some(11));
+
+    // --- reassembled DEX exposes both call targets -------------------------
+    let out = &outcome.dex;
+    verify(out, Strictness::Sorted).unwrap();
+    let class = out.find_class(MAIN).expect("Main present");
+    let leak = class
+        .class_data
+        .as_ref()
+        .unwrap()
+        .methods()
+        .find(|m| {
+            out.method_signature(m.method_idx)
+                .is_ok_and(|s| s.contains("advancedLeak()V"))
+        })
+        .expect("advancedLeak in output");
+    let code = leak.code.as_ref().unwrap();
+    let invoked = method_invoked_signatures(out, &code.insns);
+    assert!(
+        invoked.iter().any(|s| s.contains("getSensitiveData")),
+        "source call present: {invoked:?}"
+    );
+    assert!(
+        invoked.iter().any(|s| s.contains("->normal(")),
+        "baseline normal() present: {invoked:?}"
+    );
+    assert!(
+        invoked.iter().any(|s| s.contains("->sink(")),
+        "divergent sink() present: {invoked:?}"
+    );
+
+    // The divergence guard reads the instrument class.
+    let uses_guard = decode_method(&code.insns)
+        .unwrap()
+        .iter()
+        .any(|(_, d)| match d {
+            Decoded::Insn(insn) if insn.op == Opcode::SgetBoolean => out
+                .field_signature(insn.idx)
+                .is_ok_and(|s| s.starts_with(INSTRUMENT_CLASS)),
+            _ => false,
+        });
+    assert!(uses_guard, "synthetic branch guards the divergent block");
+
+    // The instrument class itself is defined.
+    assert!(out.find_class(INSTRUMENT_CLASS).is_some());
+
+    // Static value survived collection.
+    let phone_ok = class.static_values.iter().any(|v| {
+        matches!(v, dexlego_dex::EncodedValue::String(idx)
+            if out.string(*idx).is_ok_and(|s| s == "800-123-456"))
+    });
+    assert!(phone_ok, "PHONE static value collected and reassembled");
+
+    // --- the output is a real, parseable DEX file --------------------------
+    let bytes = dexlego_dex::writer::write_dex(out).unwrap();
+    let back = dexlego_dex::reader::read_dex(&bytes).unwrap();
+    assert_eq!(&back, out);
+    assert!(outcome.dump_size > 0);
+}
+
+#[test]
+fn method_level_baselines_miss_the_sink() {
+    // DexHunter/AppSpear dump after execution: the tamper restored the
+    // original code, so the dump contains `normal` but never `sink`
+    // (paper §IV-A: the dump is either Code 2 or Code 3).
+    let (dex, decoy, normal_idx, sink_idx) = build_code1();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    register_tamper(&mut rt, decoy, normal_idx, sink_idx);
+
+    let mut obs = dexlego_runtime::observer::NullObserver;
+    let activity = rt.new_instance(&mut obs, MAIN).unwrap();
+    let main = rt.find_class(MAIN).unwrap();
+    let on_create = rt
+        .resolve_method(main, &SigKey::new("onCreate", "(Landroid/os/Bundle;)V"))
+        .unwrap();
+    rt.call_method(&mut obs, on_create, &[Slot::of(activity), Slot::of(0)])
+        .unwrap();
+
+    for kind in [
+        dexlego_core::baseline::BaselineKind::DexHunter,
+        dexlego_core::baseline::BaselineKind::AppSpear,
+    ] {
+        let dump = dexlego_core::baseline::dump(&rt, kind).unwrap();
+        let class = dump.find_class(MAIN).unwrap();
+        let leak = class
+            .class_data
+            .as_ref()
+            .unwrap()
+            .methods()
+            .find(|m| {
+                dump.method_signature(m.method_idx)
+                    .is_ok_and(|s| s.contains("advancedLeak"))
+            })
+            .unwrap();
+        let invoked = method_invoked_signatures(&dump, &leak.code.as_ref().unwrap().insns);
+        assert!(
+            invoked.iter().any(|s| s.contains("->normal(")),
+            "{kind:?}: dump holds the restored baseline"
+        );
+        assert!(
+            !invoked.iter().any(|s| s.contains("->sink(")),
+            "{kind:?}: method-level dump cannot see the transient sink"
+        );
+    }
+}
+
+#[test]
+fn sink_actually_leaks_at_runtime() {
+    // Sanity: the second loop iteration really sends the tainted data.
+    let (dex, decoy, normal_idx, sink_idx) = build_code1();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    register_tamper(&mut rt, decoy, normal_idx, sink_idx);
+    let mut obs = dexlego_runtime::observer::NullObserver;
+    let activity = rt.new_instance(&mut obs, MAIN).unwrap();
+    let main = rt.find_class(MAIN).unwrap();
+    let on_create = rt
+        .resolve_method(main, &SigKey::new("onCreate", "(Landroid/os/Bundle;)V"))
+        .unwrap();
+    rt.call_method(&mut obs, on_create, &[Slot::of(activity), Slot::of(0)])
+        .unwrap();
+    assert_eq!(rt.log.tainted_sinks().count(), 1);
+}

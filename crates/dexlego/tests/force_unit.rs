@@ -1,0 +1,152 @@
+//! Focused tests for the force-execution machinery: UCB identification,
+//! CFG path computation, forcer cursor semantics, and the coverage
+//! recorder's metrics.
+
+use dexlego_core::coverage::{measure, CoverageRecorder};
+use dexlego_core::force::{find_ucbs, iterative_force, path_to_ucb, BranchCoverage, Forcer, Ucb};
+use dexlego_dalvik::builder::ProgramBuilder;
+use dexlego_dalvik::Opcode;
+use dexlego_runtime::class::SigKey;
+use dexlego_runtime::observer::RuntimeObserver;
+use dexlego_runtime::{MethodId, Runtime, Slot};
+
+/// int gate(int x) { if (x == 7) return 1; return 0; }
+fn gated_runtime() -> (Runtime, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    pb.class("La;", |c| {
+        c.static_method("gate", &["I"], "I", 2, |m| {
+            let x = m.param_reg(0);
+            let hit = m.asm.new_label();
+            m.asm.const4(0, 7);
+            m.asm.if_cmp(Opcode::IfEq, x, 0, hit);
+            m.asm.const4(1, 0);
+            m.asm.ret(Opcode::Return, 1);
+            m.asm.bind(hit);
+            m.asm.const4(1, 1);
+            m.asm.ret(Opcode::Return, 1);
+        });
+    });
+    let dex = pb.build().unwrap();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    let class = rt.find_class("La;").unwrap();
+    let method = rt.resolve_method(class, &SigKey::new("gate", "(I)I")).unwrap();
+    (rt, method)
+}
+
+#[test]
+fn ucbs_are_uncovered_directions_of_entered_methods() {
+    let (mut rt, method) = gated_runtime();
+    let mut coverage = BranchCoverage::new();
+    // One run with x=0: the branch falls through (taken=false covered).
+    rt.call_method(&mut coverage, method, &[Slot::from_int(0)])
+        .unwrap();
+    let ucbs = find_ucbs(&rt, &coverage);
+    assert_eq!(ucbs.len(), 1);
+    assert!(ucbs[0].direction, "only the taken direction is uncovered");
+    assert_eq!(ucbs[0].method, method);
+
+    // Never-entered methods contribute no UCBs.
+    let empty = BranchCoverage::new();
+    assert!(find_ucbs(&rt, &empty).is_empty());
+}
+
+#[test]
+fn path_to_ucb_lists_decisions_in_order() {
+    let (rt, method) = gated_runtime();
+    // Path to take the branch at its pc.
+    let decoded = {
+        use dexlego_runtime::class::MethodImpl;
+        let MethodImpl::Bytecode { insns, .. } = &rt.method(method).body else {
+            panic!()
+        };
+        dexlego_dalvik::decode_method(insns).unwrap()
+    };
+    let branch_pc = decoded
+        .iter()
+        .find_map(|(pc, d)| match d {
+            dexlego_dalvik::Decoded::Insn(i) if i.op.is_conditional_branch() => Some(*pc),
+            _ => None,
+        })
+        .unwrap();
+    let path = path_to_ucb(
+        &rt,
+        Ucb {
+            method,
+            dex_pc: branch_pc,
+            direction: true,
+        },
+    )
+    .expect("branch reachable from entry");
+    assert_eq!(path.decisions.last(), Some(&(branch_pc, true)));
+}
+
+#[test]
+fn forcer_applies_decisions_once_per_entry() {
+    let (mut rt, method) = gated_runtime();
+    let path = {
+        let mut coverage = BranchCoverage::new();
+        rt.call_method(&mut coverage, method, &[Slot::from_int(0)])
+            .unwrap();
+        let ucb = find_ucbs(&rt, &coverage).remove(0);
+        path_to_ucb(&rt, ucb).unwrap()
+    };
+    let mut forcer = Forcer::new(path);
+    // Forcing makes gate(0) behave like gate(7).
+    let forced = rt.call_method(&mut forcer, method, &[Slot::from_int(0)]).unwrap();
+    assert_eq!(forced.as_int(), Some(1));
+    // The cursor resets on re-entry: a second forced call behaves the same.
+    let again = rt.call_method(&mut forcer, method, &[Slot::from_int(0)]).unwrap();
+    assert_eq!(again.as_int(), Some(1));
+}
+
+#[test]
+fn iterative_force_converges_and_stops() {
+    let (mut rt, method) = gated_runtime();
+    let mut drive = |rt: &mut Runtime, obs: &mut dyn RuntimeObserver| {
+        let _ = rt.call_method(obs, method, &[Slot::from_int(0)]);
+    };
+    let mut extra = dexlego_runtime::observer::NullObserver;
+    let (coverage, stats) = iterative_force(&mut rt, &mut drive, &mut extra, 10);
+    // Both directions end covered; iteration stopped well before the cap.
+    assert!(coverage.is_covered(method, 1, true));
+    assert!(coverage.is_covered(method, 1, false));
+    assert!(stats.iterations < 10);
+    assert_eq!(stats.forced_runs, 1);
+}
+
+#[test]
+fn coverage_recorder_measures_all_granularities() {
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lc/Main;", |c| {
+        c.static_method("half", &["I"], "I", 2, |m| {
+            let x = m.param_reg(0);
+            let neg = m.asm.new_label();
+            m.asm.if_z(Opcode::IfLtz, x, neg);
+            m.asm.const4(0, 1);
+            m.asm.ret(Opcode::Return, 0);
+            m.asm.bind(neg);
+            m.asm.const4(0, -1);
+            m.asm.ret(Opcode::Return, 0);
+        });
+        c.static_method("never", &[], "V", 1, |m| {
+            m.asm.nop();
+            m.asm.nop();
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    let mut recorder = CoverageRecorder::new();
+    rt.call_static(&mut recorder, "Lc/Main;", "half", "(I)I", &[Slot::from_int(5)])
+        .unwrap();
+    let report = measure(&rt, &recorder);
+    // One of two methods entered.
+    assert!((report.method - 50.0).abs() < 1.0, "{report:?}");
+    // One of two branch directions covered.
+    assert!((report.branch - 50.0).abs() < 1.0, "{report:?}");
+    // Instruction coverage strictly between 0 and 100.
+    assert!(report.instruction > 0.0 && report.instruction < 100.0);
+    assert!(report.class > 99.0, "single class counted as hit");
+}

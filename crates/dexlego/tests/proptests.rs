@@ -1,0 +1,193 @@
+//! Property-based tests for Algorithm 1's collection tree and the
+//! collection-file codec.
+
+use dexlego_core::collect::CollectionTree;
+use dexlego_core::files::{
+    ClassRecord, CollectedValue, CollectionFiles, FieldRecord, MethodKey, MethodRecord,
+    PoolRecord,
+};
+use proptest::prelude::*;
+
+/// A simulated execution trace: (dex_pc, instruction-unit value) pairs.
+/// Low cardinality so that repeats, loops, and modifications all occur.
+fn trace_strategy() -> impl Strategy<Value = Vec<(u32, u16)>> {
+    proptest::collection::vec((0u32..12, 0u16..4), 1..120)
+}
+
+proptest! {
+    /// Structural invariants of Algorithm 1 hold for arbitrary traces:
+    /// every node's IIM is a bijection onto its IL indices, children record
+    /// valid parents, and each IL holds at most one instruction per dex_pc.
+    #[test]
+    fn tree_invariants_hold(trace in trace_strategy()) {
+        let mut tree = CollectionTree::new();
+        for &(pc, unit) in &trace {
+            tree.observe(pc, &[unit], None);
+        }
+        for (id, node) in tree.nodes().iter().enumerate() {
+            // IIM maps dex_pc -> IL index, bijectively.
+            prop_assert_eq!(node.iim.len(), node.il.len());
+            for (pc, &idx) in &node.iim {
+                prop_assert_eq!(&node.il[idx].dex_pc, pc);
+            }
+            // Parent/child links are consistent.
+            if let Some(parent) = node.parent {
+                prop_assert!(parent < tree.node_count());
+                prop_assert!(tree.node(parent).children.contains(&id));
+            } else {
+                prop_assert_eq!(id, 0);
+            }
+            for &child in &node.children {
+                prop_assert_eq!(tree.node(child).parent, Some(id));
+            }
+        }
+    }
+
+    /// A trace with a unique instruction per dex_pc (no modification) never
+    /// forks: the tree stays a single node regardless of control flow.
+    #[test]
+    fn unmodified_trace_single_node(pcs in proptest::collection::vec(0u32..32, 1..80)) {
+        let mut tree = CollectionTree::new();
+        for &pc in &pcs {
+            // The instruction at each pc is a function of the pc alone.
+            tree.observe(pc, &[pc as u16 | 0x100], None);
+        }
+        prop_assert_eq!(tree.node_count(), 1);
+        // The root IL holds exactly the distinct pcs.
+        let distinct: std::collections::HashSet<u32> = pcs.iter().copied().collect();
+        prop_assert_eq!(tree.node(0).il.len(), distinct.len());
+    }
+
+    /// Each observed event records at most one instruction, and a loop
+    /// (repeating the same instruction at the same pc) records nothing —
+    /// the code-scale property that motivates the tree. Note the bound is
+    /// per *event*: an adversary alternating two instruction versions at
+    /// one pc forks a sibling branch per flip (exactly what Algorithm 1
+    /// does), so the tree is not bounded by distinct (pc, units) pairs.
+    #[test]
+    fn code_scale_is_bounded_by_events(trace in trace_strategy()) {
+        let mut tree = CollectionTree::new();
+        for &(pc, unit) in &trace {
+            tree.observe(pc, &[unit], None);
+        }
+        prop_assert!(tree.total_insns() <= trace.len());
+        // And a pure loop records exactly one copy.
+        let mut looped = CollectionTree::new();
+        for _ in 0..50 {
+            for &(pc, unit) in trace.iter().take(3) {
+                looped.observe(pc + 100, &[unit], None);
+            }
+        }
+        let distinct: std::collections::HashSet<u32> =
+            trace.iter().take(3).map(|&(pc, _)| pc + 100).collect();
+        prop_assert!(looped.node(0).il.len() <= trace.len().min(3).max(distinct.len()));
+    }
+
+    /// Observing the same trace twice produces identical shapes
+    /// (determinism — the dedup in the collector relies on it).
+    #[test]
+    fn observation_is_deterministic(trace in trace_strategy()) {
+        let mut a = CollectionTree::new();
+        let mut b = CollectionTree::new();
+        for &(pc, unit) in &trace {
+            a.observe(pc, &[unit], None);
+            b.observe(pc, &[unit], None);
+        }
+        prop_assert!(a.same_shape(&b));
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = CollectedValue> {
+    prop_oneof![
+        any::<bool>().prop_map(CollectedValue::Bool),
+        any::<i32>().prop_map(CollectedValue::Int),
+        any::<i64>().prop_map(CollectedValue::Long),
+        any::<f32>().prop_map(CollectedValue::Float),
+        any::<f64>().prop_map(CollectedValue::Double),
+        "\\PC{0,16}".prop_map(CollectedValue::Str),
+        Just(CollectedValue::Null),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The binary collection-file codec is lossless for arbitrary content.
+    #[test]
+    fn collection_files_roundtrip(
+        class_names in proptest::collection::vec("[a-z]{1,8}", 0..4),
+        field_values in proptest::collection::vec(value_strategy(), 0..4),
+        trace in trace_strategy(),
+    ) {
+        let mut files = CollectionFiles::default();
+        for (i, name) in class_names.iter().enumerate() {
+            files.classes.push(ClassRecord {
+                descriptor: format!("Lgen/{name}{i};"),
+                superclass: (i % 2 == 0).then(|| "Ljava/lang/Object;".to_owned()),
+                interfaces: vec![],
+                access: 1,
+                source: "app".to_owned(),
+                fields: field_values
+                    .iter()
+                    .enumerate()
+                    .map(|(j, v)| FieldRecord {
+                        name: format!("f{j}"),
+                        type_desc: "I".to_owned(),
+                        access: 0x9,
+                        is_static: true,
+                        static_value: Some(v.clone()),
+                    })
+                    .collect(),
+            });
+        }
+        let mut tree = CollectionTree::new();
+        for &(pc, unit) in &trace {
+            tree.observe(pc, &[unit, unit ^ 0xffff], None);
+        }
+        files.pools.push(PoolRecord {
+            source: "app".to_owned(),
+            strings: class_names.clone(),
+            types: vec!["I".to_owned()],
+            methods: vec![("La;".to_owned(), "m".to_owned(), "()V".to_owned())],
+            fields: vec![],
+        });
+        files.methods.push(MethodRecord {
+            key: MethodKey {
+                class: "La;".to_owned(),
+                name: "m".to_owned(),
+                descriptor: "()V".to_owned(),
+            },
+            pool: 0,
+            access: 1,
+            registers: 4,
+            ins: 1,
+            return_type: "V".to_owned(),
+            params: vec![],
+            tries: vec![],
+            trees: vec![tree],
+        });
+
+        let bytes = files.to_bytes();
+        let back = CollectionFiles::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, files);
+    }
+
+    /// The codec rejects any truncation without panicking.
+    #[test]
+    fn codec_truncation_rejected(cut_fraction in 0.0f64..0.999) {
+        let mut files = CollectionFiles::default();
+        files.classes.push(ClassRecord {
+            descriptor: "La;".to_owned(),
+            superclass: None,
+            interfaces: vec!["Lx;".to_owned()],
+            access: 1,
+            source: "app".to_owned(),
+            fields: vec![],
+        });
+        let bytes = files.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            prop_assert!(CollectionFiles::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

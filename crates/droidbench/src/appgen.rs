@@ -1,0 +1,424 @@
+//! Synthetic application generator for the scale experiments.
+//!
+//! Generates runnable apps with a target instruction count and a controlled
+//! coverage structure: directly reachable code, input-gated code (a fuzzer
+//! rarely reaches it; force execution does), dead code, and
+//! exception-handler code (reached by neither — the paper's third cause of
+//! missed instructions). These parameters shape Tables I, VI, VII and the
+//! performance workloads of Figure 6 / Table VIII.
+
+use dexlego_dalvik::builder::{MethodBuilder, ProgramBuilder};
+use dexlego_dalvik::{decode_method, Decoded, Insn, Opcode};
+use dexlego_dex::{CodeItem, DexFile};
+
+/// Specification of a generated application.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Package path, e.g. `"aosp/calculator"`.
+    pub package: String,
+    /// Approximate total bytecode instruction count.
+    pub target_insns: usize,
+    /// Fraction of filler methods reachable directly from `onCreate`.
+    pub reachable_fraction: f64,
+    /// Fraction reachable only under improbable fuzz input.
+    pub gated_fraction: f64,
+    /// Fraction in never-invoked classes (dead code).
+    pub dead_fraction: f64,
+    /// Fraction guarded by never-taken catch handlers.
+    pub catch_fraction: f64,
+    /// Number of UI callbacks to register.
+    pub callbacks: usize,
+}
+
+impl AppSpec {
+    /// A balanced default profile for coverage experiments, roughly shaped
+    /// to reproduce Table VII's Sapienz-vs-force-execution gap.
+    pub fn coverage_profile(package: &str, target_insns: usize) -> AppSpec {
+        AppSpec {
+            package: package.to_owned(),
+            target_insns,
+            reachable_fraction: 0.22,
+            gated_fraction: 0.55,
+            dead_fraction: 0.13,
+            catch_fraction: 0.10,
+            callbacks: 3,
+        }
+    }
+
+    /// A fully-reachable profile for the unpacking correctness experiments
+    /// (Table I apps exercise everything they contain).
+    pub fn plain_profile(package: &str, target_insns: usize) -> AppSpec {
+        AppSpec {
+            package: package.to_owned(),
+            target_insns,
+            reachable_fraction: 1.0,
+            gated_fraction: 0.0,
+            dead_fraction: 0.0,
+            catch_fraction: 0.0,
+            callbacks: 1,
+        }
+    }
+}
+
+/// A generated application.
+#[derive(Debug, Clone)]
+pub struct GeneratedApp {
+    /// The app's DEX.
+    pub dex: DexFile,
+    /// Entry activity descriptor.
+    pub entry: String,
+    /// Actual instruction count (decoded, excluding payloads).
+    pub insn_count: usize,
+}
+
+/// Counts decoded instructions (not code units, not payloads) in a DEX.
+pub fn count_insns(dex: &DexFile) -> usize {
+    dex.class_defs()
+        .iter()
+        .filter_map(|c| c.class_data.as_ref())
+        .flat_map(|d| d.methods())
+        .filter_map(|m| m.code.as_ref())
+        .map(|code: &CodeItem| {
+            decode_method(&code.insns)
+                .map(|v| {
+                    v.iter()
+                        .filter(|(_, d)| matches!(d, Decoded::Insn(_)))
+                        .count()
+                })
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+/// Emits a filler body of exactly `n` instructions (including the return).
+///
+/// Roughly every eleventh instruction group is a conditional branch whose
+/// taken direction is unreachable under normal semantics (the condition
+/// register is a non-negative constant tested with `if-ltz`) — real code's
+/// error paths, which only force execution covers.
+fn filler_body(m: &mut MethodBuilder<'_>, n: usize, flavor: usize) {
+    debug_assert!(n >= 2);
+    m.asm.const4(1, 0);
+    let mut emitted = 1;
+    let mut chunk = 0usize;
+    while emitted < n - 1 {
+        if emitted % 11 == 0 && n - 1 - emitted >= 3 {
+            m.asm.const4(0, ((flavor + chunk) % 7) as i64);
+            let skip = m.asm.new_label();
+            m.asm.if_z(Opcode::IfLtz, 0, skip);
+            m.asm.binop_lit8(Opcode::AddIntLit8, 1, 1, 1);
+            m.asm.bind(skip);
+            emitted += 3;
+            chunk += 1;
+        } else {
+            match (emitted + flavor) % 3 {
+                0 => m.asm.binop_lit8(Opcode::MulIntLit8, 1, 1, 2),
+                1 => m.asm.binop_lit8(Opcode::XorIntLit8, 1, 1, 0x15),
+                _ => m.asm.binop_lit8(Opcode::ShrIntLit8, 1, 1, 1),
+            };
+            emitted += 1;
+        }
+    }
+    m.asm.ret(Opcode::Return, 1);
+}
+
+/// A filler body whose second half sits in a catch handler that never runs.
+fn filler_body_with_catch(m: &mut MethodBuilder<'_>, n: usize, flavor: usize) {
+    // Emit half the instructions normally; the "catch" half is dead code
+    // after the return, registered as a handler range by post-processing.
+    let half = (n / 2).max(2);
+    m.asm.const4(0, (flavor % 5) as i64);
+    let mut emitted = 1;
+    while emitted < half - 1 {
+        m.asm.binop_lit8(Opcode::AddIntLit8, 0, 0, 1);
+        emitted += 1;
+    }
+    m.asm.ret(Opcode::Return, 0);
+    emitted += 1;
+    // Handler block (reached only through the exception table): real catch
+    // code branches on the failure it observed, so give it conditional
+    // branches too — neither direction is ever covered, not even by force
+    // execution (the expected exceptions are never thrown; paper §V-D
+    // cause 3).
+    let mut chunk = 0usize;
+    while emitted < n - 1 {
+        if chunk % 6 == 0 && n - 1 - emitted >= 2 {
+            let skip = m.asm.new_label();
+            m.asm.if_z(Opcode::IfLtz, 0, skip);
+            m.asm.bind(skip);
+            emitted += 1;
+        } else {
+            m.asm.binop_lit8(Opcode::SubInt2addr, 0, 0, 0);
+            emitted += 1;
+        }
+        chunk += 1;
+    }
+    m.asm.ret(Opcode::Return, 0);
+}
+
+/// Generates an application from `spec`. Builds twice: the first pass
+/// measures the real overhead, the second sizes the padding method to land
+/// on the instruction target.
+pub fn generate(spec: &AppSpec) -> GeneratedApp {
+    const BODY: usize = 40;
+    let mut method_count =
+        (spec.target_insns.saturating_sub(60) / (BODY + 2)).max(1);
+    let mut pad = 2usize;
+    let mut best = generate_with_pad(spec, method_count, pad);
+    for _ in 0..4 {
+        let count = best.insn_count as i64;
+        let target = spec.target_insns as i64;
+        if count < target {
+            pad += (target - count) as usize;
+        } else if count > target + 4 {
+            let excess = (count - target) as usize;
+            let drop = (excess / (BODY + 1)).max(1);
+            method_count = method_count.saturating_sub(drop).max(1);
+        } else {
+            break;
+        }
+        best = generate_with_pad(spec, method_count, pad);
+    }
+    best
+}
+
+fn generate_with_pad(spec: &AppSpec, method_count: usize, remainder: usize) -> GeneratedApp {
+    const BODY: usize = 40;
+    let entry = format!("L{}/Main;", spec.package);
+
+    let n_dead = (method_count as f64 * spec.dead_fraction) as usize;
+    let n_catch = (method_count as f64 * spec.catch_fraction) as usize;
+    let n_gated = (method_count as f64 * spec.gated_fraction) as usize;
+    let n_plain = method_count - n_dead - n_catch - n_gated;
+
+    let mut pb = ProgramBuilder::new();
+
+    // Filler classes, ten methods each. Dead methods live in their own
+    // classes (the paper's `CmdTemplate` observation).
+    let mut plain_refs: Vec<(String, String)> = Vec::new();
+    let mut gated_refs: Vec<(String, String)> = Vec::new();
+    let mut class_i = 0usize;
+    let mut emit_class = |pb: &mut ProgramBuilder,
+                          kind: &str,
+                          count: usize,
+                          refs: Option<&mut Vec<(String, String)>>,
+                          catches: bool|
+     -> Vec<String> {
+        let mut class_names = Vec::new();
+        let mut local_refs = Vec::new();
+        let mut remaining = count;
+        while remaining > 0 {
+            let in_class = remaining.min(10);
+            let class_name = format!("L{}/{}{class_i};", spec.package, kind);
+            class_i += 1;
+            pb.class(&class_name, |c| {
+                for k in 0..in_class {
+                    let name = format!("m{k}");
+                    if catches {
+                        c.static_method(&name, &[], "I", 2, |m| {
+                            filler_body_with_catch(m, BODY, k);
+                        });
+                    } else {
+                        c.static_method(&name, &[], "I", 2, |m| {
+                            filler_body(m, BODY, k);
+                        });
+                    }
+                    local_refs.push((class_name.clone(), name));
+                }
+            });
+            class_names.push(class_name);
+            remaining -= in_class;
+        }
+        if let Some(refs) = refs {
+            refs.extend(local_refs);
+        }
+        class_names
+    };
+
+    emit_class(&mut pb, "Reach", n_plain, Some(&mut plain_refs), false);
+    emit_class(&mut pb, "Gated", n_gated, Some(&mut gated_refs), false);
+    emit_class(&mut pb, "Dead", n_dead, None, false);
+    let catch_fixups = emit_class(&mut pb, "Handler", n_catch, Some(&mut plain_refs), true);
+
+    // Callback listeners.
+    let mut listeners = Vec::new();
+    for k in 0..spec.callbacks {
+        let listener = format!("L{}/Listener{k};", spec.package);
+        let target = plain_refs.get(k % plain_refs.len().max(1)).cloned();
+        pb.class(&listener, |c| {
+            c.implements("Landroid/view/View$OnClickListener;");
+            c.method("onClick", &["Landroid/view/View;"], "V", 2, |m| {
+                if let Some((class, name)) = &target {
+                    m.invoke(Opcode::InvokeStatic, class, name, &[], "I", &[]);
+                    let mut mr = Insn::of(Opcode::MoveResult);
+                    mr.a = 0;
+                    m.asm.push(mr);
+                }
+                m.asm.ret(Opcode::ReturnVoid, 0);
+            });
+        });
+        listeners.push(listener);
+    }
+
+    // Entry activity: onCreate registers callbacks and runs the dispatcher;
+    // the dispatcher calls every plain method and gates the gated ones
+    // behind improbable input equalities.
+    let entry2 = entry.clone();
+    let plain2 = plain_refs.clone();
+    let gated2 = gated_refs.clone();
+    let listeners2 = listeners.clone();
+    pb.class(&entry, move |c| {
+        c.superclass("Landroid/app/Activity;");
+        let listeners3 = listeners2.clone();
+        let entry3 = entry2.clone();
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, move |m| {
+            for listener in &listeners3 {
+                m.new_instance(0, listener);
+                m.new_instance(1, "Landroid/view/View;");
+                m.invoke(
+                    Opcode::InvokeVirtual,
+                    "Landroid/view/View;",
+                    "setOnClickListener",
+                    &["Landroid/view/View$OnClickListener;"],
+                    "V",
+                    &[1, 0],
+                );
+            }
+            m.invoke(Opcode::InvokeStatic, &entry3, "dispatch", &[], "V", &[]);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        let plain3 = plain2.clone();
+        let gated3 = gated2.clone();
+        c.static_method("dispatch", &[], "V", 4, move |m| {
+            for (class, name) in &plain3 {
+                m.invoke(Opcode::InvokeStatic, class, name, &[], "I", &[]);
+            }
+            for (k, (class, name)) in gated3.iter().enumerate() {
+                // if (Input.nextIntBound(1024) == k % 1024) gated();
+                m.asm.const4(0, 1024);
+                m.invoke(
+                    Opcode::InvokeStatic,
+                    "Lcom/dexlego/Input;",
+                    "nextIntBound",
+                    &["I"],
+                    "I",
+                    &[0],
+                );
+                let mut mr = Insn::of(Opcode::MoveResult);
+                mr.a = 1;
+                m.asm.push(mr);
+                m.asm.const4(2, (k % 1024) as i64);
+                let skip = m.asm.new_label();
+                m.asm.if_cmp(Opcode::IfNe, 1, 2, skip);
+                m.invoke(Opcode::InvokeStatic, class, name, &[], "I", &[]);
+                m.asm.bind(skip);
+            }
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        // Remainder filler to hit the instruction target.
+        c.static_method("pad", &[], "I", 2, move |m| {
+            filler_body(m, remainder.max(2), 1);
+        });
+    });
+
+    let mut dex = pb.build().expect("generated app assembles");
+
+    // Install never-firing catch handlers over the Handler classes' tails.
+    install_catch_tables(&mut dex, &catch_fixups);
+
+    let insn_count = count_insns(&dex);
+    GeneratedApp {
+        dex,
+        entry,
+        insn_count,
+    }
+}
+
+/// Adds a catch-all try/handler covering the first half of each method in
+/// the named classes, with the handler at the post-return tail.
+fn install_catch_tables(dex: &mut DexFile, class_names: &[String]) {
+    let names: std::collections::HashSet<&str> =
+        class_names.iter().map(String::as_str).collect();
+    let matches: Vec<usize> = dex
+        .class_defs()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            dex.type_descriptor(c.class_idx)
+                .is_ok_and(|d| names.contains(d))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    for i in matches {
+        let class = &mut dex.class_defs_mut()[i];
+        let Some(data) = &mut class.class_data else { continue };
+        for method in data.direct_methods.iter_mut() {
+            let Some(code) = &mut method.code else { continue };
+            // Find the first return; the handler starts right after it.
+            let Ok(decoded) = decode_method(&code.insns) else { continue };
+            let Some((ret_pc, _)) = decoded.iter().find(|(_, d)| {
+                matches!(d, Decoded::Insn(insn) if insn.op.is_return())
+            }) else {
+                continue;
+            };
+            let handler_pc = ret_pc + 1;
+            if (handler_pc as usize) >= code.insns.len() {
+                continue;
+            }
+            code.handlers.push(dexlego_dex::EncodedCatchHandler {
+                catches: vec![],
+                catch_all_addr: Some(handler_pc),
+            });
+            code.tries.push(dexlego_dex::TryItem {
+                start_addr: 0,
+                insn_count: *ret_pc as u16 + 1,
+                handler_index: code.handlers.len() - 1,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_instruction_targets_approximately() {
+        for target in [217usize, 2_507, 8_812] {
+            let app = generate(&AppSpec::plain_profile("gen/test", target));
+            let err = (app.insn_count as f64 - target as f64).abs() / target as f64;
+            assert!(
+                err < 0.05,
+                "target {target}, got {} ({:.0}% off)",
+                app.insn_count,
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn generated_app_verifies_and_runs() {
+        let app = generate(&AppSpec::coverage_profile("gen/run", 2_000));
+        dexlego_dex::verify::verify(&app.dex, dexlego_dex::verify::Strictness::Referential)
+            .unwrap();
+        let mut rt = dexlego_runtime::Runtime::new();
+        rt.load_dex(&app.dex, "app").unwrap();
+        let mut obs = dexlego_runtime::observer::NullObserver;
+        let activity = rt.new_instance(&mut obs, &app.entry).unwrap();
+        let class = rt.find_class(&app.entry).unwrap();
+        let on_create = rt
+            .resolve_method(
+                class,
+                &dexlego_runtime::class::SigKey::new("onCreate", "(Landroid/os/Bundle;)V"),
+            )
+            .unwrap();
+        rt.call_method(
+            &mut obs,
+            on_create,
+            &[dexlego_runtime::Slot::of(activity), dexlego_runtime::Slot::of(0)],
+        )
+        .unwrap();
+        assert!(rt.stats.insns > 100);
+        assert!(!rt.callbacks.is_empty());
+    }
+}

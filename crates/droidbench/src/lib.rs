@@ -1,0 +1,22 @@
+#![forbid(unsafe_code)]
+
+//! The benchmark corpus: a generated DroidBench-style suite of 134
+//! labelled samples (119 "existing" plus the paper's 15 contributed ones)
+//! and synthetic application generators for the scale experiments.
+//!
+//! Every sample is a real program: it is built as bytecode, runs on the
+//! simulated runtime (leaky samples actually leak), is analysable by the
+//! static tools, and is packable by the packers. Sample categories are
+//! chosen so that the *mechanical* interaction between category semantics
+//! and tool capability profiles reproduces the per-tool true/false-positive
+//! structure of the paper's Tables II and III (the full derivation is in
+//! DESIGN.md).
+
+pub mod appgen;
+pub mod categories;
+pub mod driver;
+pub mod samples;
+
+pub use categories::Category;
+pub use driver::drive_sample;
+pub use samples::{build_suite, Sample, TamperSpec};

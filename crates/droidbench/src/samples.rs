@@ -1,0 +1,1226 @@
+//! Construction of the 134 benchmark samples.
+//!
+//! Each builder produces a complete runnable program exhibiting exactly the
+//! behaviour its [`Category`] describes. Leaky samples genuinely leak at
+//! runtime (modulo environment gating); benign samples genuinely do not.
+
+use dexlego_dalvik::builder::{MethodBuilder, ProgramBuilder};
+use dexlego_dalvik::canon::canonicalize;
+use dexlego_dalvik::{encode_insn, Insn, Opcode};
+use dexlego_dex::DexFile;
+use dexlego_runtime::class::{MethodImpl, SigKey};
+use dexlego_runtime::{RetVal, Runtime};
+
+use crate::categories::Category;
+
+/// A patch a self-modifying native applies to its target's code units.
+#[derive(Debug, Clone)]
+pub struct Patch {
+    /// The native's `int` argument value that triggers this patch.
+    pub when_arg: i32,
+    /// Unit offset in the target method's code.
+    pub at: usize,
+    /// Replacement units.
+    pub units: Vec<u16>,
+}
+
+/// Specification of a bytecode-tampering native method (the sample's
+/// equivalent of the paper's `bytecodeTamper`).
+#[derive(Debug, Clone)]
+pub struct TamperSpec {
+    /// Class declaring the native.
+    pub native_class: String,
+    /// Native method name (signature `(I)V`, instance).
+    pub native_name: String,
+    /// Target method whose code is rewritten: (class, name, descriptor).
+    pub target: (String, String, String),
+    /// Patches keyed by the native's argument.
+    pub patches: Vec<Patch>,
+}
+
+/// One benchmark sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Unique sample name, e.g. `direct_03`.
+    pub name: String,
+    /// Behavioural category (determines the ground-truth label).
+    pub category: Category,
+    /// The sample's DEX.
+    pub dex: DexFile,
+    /// Entry activity descriptor.
+    pub entry: String,
+    /// Tampering natives to register at install time.
+    pub tampers: Vec<TamperSpec>,
+}
+
+impl Sample {
+    /// Ground truth: does the sample leak?
+    pub fn leaky(&self) -> bool {
+        self.category.leaky()
+    }
+
+    /// Loads the sample and registers its tamper natives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linker failures.
+    pub fn install(
+        &self,
+        rt: &mut Runtime,
+        obs: &mut dyn dexlego_runtime::RuntimeObserver,
+    ) -> Result<(), dexlego_runtime::RuntimeError> {
+        rt.load_dex_observed(&self.dex, "app", obs)?;
+        for spec in &self.tampers {
+            let target = spec.target.clone();
+            let patches = spec.patches.clone();
+            rt.natives.register(
+                &spec.native_class,
+                &spec.native_name,
+                "(I)V",
+                move |rt, _, args| {
+                    let arg = args.last().copied().unwrap_or_default().as_int();
+                    let class = rt.find_class(&target.0).ok_or_else(|| {
+                        dexlego_runtime::RuntimeError::ClassNotFound(target.0.clone())
+                    })?;
+                    let method = rt
+                        .resolve_method(class, &SigKey::new(&target.1, &target.2))
+                        .ok_or_else(|| {
+                            dexlego_runtime::RuntimeError::MethodNotFound(target.1.clone())
+                        })?;
+                    if let MethodImpl::Bytecode { insns, .. } = &mut rt.method_mut(method).body {
+                        for patch in patches.iter().filter(|p| p.when_arg == arg) {
+                            insns[patch.at..patch.at + patch.units.len()]
+                                .copy_from_slice(&patch.units);
+                        }
+                    }
+                    Ok(RetVal::Void)
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+// ---- shared emission helpers --------------------------------------------------
+
+const SOURCE_CLASS: &str = "Lcom/dexlego/Sensitive;";
+const NET: &str = "Lcom/dexlego/Net;";
+
+fn mr_obj(m: &mut MethodBuilder<'_>, reg: u32) {
+    let mut mr = Insn::of(Opcode::MoveResultObject);
+    mr.a = reg;
+    m.asm.push(mr);
+}
+
+fn mr_int(m: &mut MethodBuilder<'_>, reg: u32) {
+    let mut mr = Insn::of(Opcode::MoveResult);
+    mr.a = reg;
+    m.asm.push(mr);
+}
+
+fn emit_source(m: &mut MethodBuilder<'_>, reg: u32) {
+    m.invoke(
+        Opcode::InvokeStatic,
+        SOURCE_CLASS,
+        "getSensitiveData",
+        &[],
+        "Ljava/lang/String;",
+        &[],
+    );
+    mr_obj(m, reg);
+}
+
+fn emit_sink(m: &mut MethodBuilder<'_>, reg: u32) {
+    m.invoke(
+        Opcode::InvokeStatic,
+        NET,
+        "send",
+        &["Ljava/lang/String;"],
+        "V",
+        &[reg],
+    );
+}
+
+fn emit_input_bound(m: &mut MethodBuilder<'_>, dst: u32, bound_reg: u32, bound: i64) {
+    m.asm.const4(bound_reg, bound);
+    m.invoke(
+        Opcode::InvokeStatic,
+        "Lcom/dexlego/Input;",
+        "nextIntBound",
+        &["I"],
+        "I",
+        &[bound_reg],
+    );
+    mr_int(m, dst);
+}
+
+/// XOR "encryption" matching the runtime's `Crypto.decrypt` involution.
+fn enc(s: &str) -> String {
+    s.chars().map(|c| ((c as u8) ^ 0x20) as char).collect()
+}
+
+/// Emits `Method m = Class.forName(name).getMethod(method)` with optionally
+/// encrypted constant strings, boxes `src_reg` into an `Object[1]` at the
+/// given index mode, and invokes reflectively.
+///
+/// Register plan (locals must be >= 8): v0 name, v1 class, v2 method name,
+/// v3 Method, v4 boxed array, v5 scratch idx, v6 scratch len, v7 null.
+fn emit_reflective_leak(
+    m: &mut MethodBuilder<'_>,
+    class_dotted: &str,
+    method_name: &str,
+    encrypted: bool,
+    unknown_index: bool,
+    src_reg: u32,
+) {
+    if encrypted {
+        m.const_str(0, &enc(class_dotted));
+        m.invoke(
+            Opcode::InvokeStatic,
+            "Lcom/dexlego/Crypto;",
+            "decrypt",
+            &["Ljava/lang/String;"],
+            "Ljava/lang/String;",
+            &[0],
+        );
+        mr_obj(m, 0);
+    } else {
+        m.const_str(0, class_dotted);
+    }
+    m.invoke(
+        Opcode::InvokeStatic,
+        "Ljava/lang/Class;",
+        "forName",
+        &["Ljava/lang/String;"],
+        "Ljava/lang/Class;",
+        &[0],
+    );
+    mr_obj(m, 1);
+    if encrypted {
+        m.const_str(2, &enc(method_name));
+        m.invoke(
+            Opcode::InvokeStatic,
+            "Lcom/dexlego/Crypto;",
+            "decrypt",
+            &["Ljava/lang/String;"],
+            "Ljava/lang/String;",
+            &[2],
+        );
+        mr_obj(m, 2);
+    } else {
+        m.const_str(2, method_name);
+    }
+    m.invoke(
+        Opcode::InvokeVirtual,
+        "Ljava/lang/Class;",
+        "getMethod",
+        &["Ljava/lang/String;"],
+        "Ljava/lang/reflect/Method;",
+        &[1, 2],
+    );
+    mr_obj(m, 3);
+    // Box the argument.
+    m.asm.const4(6, 1);
+    m.new_array(4, 6, "[Ljava/lang/Object;");
+    if unknown_index {
+        emit_input_bound(m, 5, 6, 1); // always 0 at runtime, unknown statically
+    } else {
+        m.asm.const4(5, 0);
+    }
+    m.asm.binop(Opcode::AputObject, src_reg, 4, 5);
+    m.asm.const4(7, 0);
+    m.invoke(
+        Opcode::InvokeVirtual,
+        "Ljava/lang/reflect/Method;",
+        "invoke",
+        &["Ljava/lang/Object;", "[Ljava/lang/Object;"],
+        "Ljava/lang/Object;",
+        &[3, 7, 4],
+    );
+}
+
+fn finish_activity(pb: &mut ProgramBuilder, _entry: &str) -> DexFile {
+    pb.build().expect("sample assembles")
+}
+
+fn class_to_dotted(desc: &str) -> String {
+    desc.trim_start_matches('L')
+        .trim_end_matches(';')
+        .replace('/', ".")
+}
+
+// ---- category builders ---------------------------------------------------------
+
+fn direct(i: usize) -> Sample {
+    let entry = format!("Lbench/direct{i:02}/Main;");
+    let mut pb = ProgramBuilder::new();
+    let pattern = i % 6;
+    pb.class(&entry, |c| {
+        c.superclass("Landroid/app/Activity;");
+        match pattern {
+            // Plain source-to-sink.
+            0 => {
+                c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, |m| {
+                    emit_source(m, 0);
+                    emit_sink(m, 0);
+                    m.asm.ret(Opcode::ReturnVoid, 0);
+                });
+            }
+            // Through a helper method.
+            1 => {
+                let entry2 = entry.clone();
+                c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, move |m| {
+                    emit_source(m, 0);
+                    m.invoke(
+                        Opcode::InvokeStatic,
+                        &entry2,
+                        "pass",
+                        &["Ljava/lang/String;"],
+                        "V",
+                        &[0],
+                    );
+                    m.asm.ret(Opcode::ReturnVoid, 0);
+                });
+                c.static_method("pass", &["Ljava/lang/String;"], "V", 1, |m| {
+                    let p = m.param_reg(0);
+                    emit_sink(m, p);
+                    m.asm.ret(Opcode::ReturnVoid, 0);
+                });
+            }
+            // Through a StringBuilder.
+            2 => {
+                c.method("onCreate", &["Landroid/os/Bundle;"], "V", 3, |m| {
+                    emit_source(m, 0);
+                    m.new_instance(1, "Ljava/lang/StringBuilder;");
+                    m.invoke(
+                        Opcode::InvokeDirect,
+                        "Ljava/lang/StringBuilder;",
+                        "<init>",
+                        &[],
+                        "V",
+                        &[1],
+                    );
+                    m.invoke(
+                        Opcode::InvokeVirtual,
+                        "Ljava/lang/StringBuilder;",
+                        "append",
+                        &["Ljava/lang/String;"],
+                        "Ljava/lang/StringBuilder;",
+                        &[1, 0],
+                    );
+                    m.invoke(
+                        Opcode::InvokeVirtual,
+                        "Ljava/lang/StringBuilder;",
+                        "toString",
+                        &[],
+                        "Ljava/lang/String;",
+                        &[1],
+                    );
+                    mr_obj(m, 2);
+                    emit_sink(m, 2);
+                    m.asm.ret(Opcode::ReturnVoid, 0);
+                });
+            }
+            // Stashed in a static field, leaked from a second method.
+            3 => {
+                let entry2 = entry.clone();
+                let entry3 = entry.clone();
+                c.static_field("stash", "Ljava/lang/String;", None);
+                c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, move |m| {
+                    emit_source(m, 0);
+                    m.sput(Opcode::SputObject, 0, &entry2, "stash", "Ljava/lang/String;");
+                    m.invoke(Opcode::InvokeStatic, &entry2, "flush", &[], "V", &[]);
+                    m.asm.ret(Opcode::ReturnVoid, 0);
+                });
+                c.static_method("flush", &[], "V", 2, move |m| {
+                    m.sget(Opcode::SgetObject, 0, &entry3, "stash", "Ljava/lang/String;");
+                    emit_sink(m, 0);
+                    m.asm.ret(Opcode::ReturnVoid, 0);
+                });
+            }
+            // Accumulated through String.concat in a loop.
+            4 => {
+                c.method("onCreate", &["Landroid/os/Bundle;"], "V", 4, |m| {
+                    m.const_str(0, "prefix:");
+                    emit_source(m, 1);
+                    m.asm.const4(2, 0);
+                    let (top, done) = (m.asm.new_label(), m.asm.new_label());
+                    m.asm.bind(top);
+                    m.asm.const4(3, 2);
+                    m.asm.if_cmp(Opcode::IfGe, 2, 3, done);
+                    m.invoke(
+                        Opcode::InvokeVirtual,
+                        "Ljava/lang/String;",
+                        "concat",
+                        &["Ljava/lang/String;"],
+                        "Ljava/lang/String;",
+                        &[0, 1],
+                    );
+                    mr_obj(m, 0);
+                    m.asm.binop_lit8(Opcode::AddIntLit8, 2, 2, 1);
+                    m.asm.goto(top);
+                    m.asm.bind(done);
+                    emit_sink(m, 0);
+                    m.asm.ret(Opcode::ReturnVoid, 0);
+                });
+            }
+            // Every switch arm leaks.
+            _ => {
+                c.method("onCreate", &["Landroid/os/Bundle;"], "V", 4, |m| {
+                    emit_source(m, 0);
+                    emit_input_bound(m, 1, 2, 3);
+                    let arms: Vec<_> = (0..3).map(|_| m.asm.new_label()).collect();
+                    let end = m.asm.new_label();
+                    m.asm.packed_switch(1, 0, arms.clone());
+                    emit_sink(m, 0); // default arm
+                    m.asm.goto(end);
+                    for arm in arms {
+                        m.asm.bind(arm);
+                        emit_sink(m, 0);
+                        m.asm.goto(end);
+                    }
+                    m.asm.bind(end);
+                    m.asm.ret(Opcode::ReturnVoid, 0);
+                });
+            }
+        }
+    });
+    Sample {
+        name: format!("direct_{i:02}"),
+        category: Category::Direct,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn callback(i: usize) -> Sample {
+    let entry = format!("Lbench/callback{i}/Main;");
+    let listener = format!("Lbench/callback{i}/Listener;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&listener, |c| {
+        c.implements("Landroid/view/View$OnClickListener;");
+        c.method("onClick", &["Landroid/view/View;"], "V", 2, |m| {
+            emit_source(m, 0);
+            emit_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let listener2 = listener.clone();
+    pb.class(&entry, move |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, move |m| {
+            m.new_instance(0, &listener2);
+            m.new_instance(1, "Landroid/view/View;");
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Landroid/view/View;",
+                "setOnClickListener",
+                &["Landroid/view/View$OnClickListener;"],
+                "V",
+                &[1, 0],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("callback_{i}"),
+        category: Category::Callback,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn array_index_leak(i: usize) -> Sample {
+    let entry = format!("Lbench/arrleak{i}/Main;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&entry, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 5, |m| {
+            emit_source(m, 0);
+            m.asm.const4(1, 2);
+            m.new_array(2, 1, "[Ljava/lang/String;");
+            m.asm.const4(3, 1);
+            m.asm.binop(Opcode::AputObject, 0, 2, 3);
+            m.asm.binop(Opcode::AgetObject, 4, 2, 3);
+            emit_sink(m, 4);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("array_leak_{i}"),
+        category: Category::ArrayIndexLeak,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn tablet_gated() -> Sample {
+    let entry = "Lbench/tablet/Main;".to_owned();
+    let mut pb = ProgramBuilder::new();
+    pb.class(&entry, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, |m| {
+            m.invoke(Opcode::InvokeStatic, "Lcom/dexlego/Env;", "isTablet", &[], "Z", &[]);
+            mr_int(m, 0);
+            let skip = m.asm.new_label();
+            m.asm.if_z(Opcode::IfEqz, 0, skip);
+            emit_source(m, 1);
+            emit_sink(m, 1);
+            m.asm.bind(skip);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: "tablet_gated".to_owned(),
+        category: Category::TabletGated,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn reflection_const(i: usize) -> Sample {
+    let entry = format!("Lbench/reflconst{i}/Main;");
+    let hidden = format!("Lbench/reflconst{i}/Hidden;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&hidden, |c| {
+        c.static_method("leakIt", &["Ljava/lang/String;"], "V", 1, |m| {
+            let p = m.param_reg(0);
+            emit_sink(m, p);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dotted = class_to_dotted(&hidden);
+    pb.class(&entry, move |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 9, move |m| {
+            emit_source(m, 8);
+            emit_reflective_leak(m, &dotted, "leakIt", false, false, 8);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("reflection_const_{i}"),
+        category: Category::ReflectionConst,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn reflection_hidden(i: usize, boxed: bool) -> Sample {
+    let tag = if boxed { "reflbox" } else { "reflenc" };
+    let entry = format!("Lbench/{tag}{i}/Main;");
+    let hidden = format!("Lbench/{tag}{i}/Hidden;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&hidden, |c| {
+        c.static_method("leakIt", &["Ljava/lang/String;"], "V", 1, |m| {
+            let p = m.param_reg(0);
+            emit_sink(m, p);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dotted = class_to_dotted(&hidden);
+    pb.class(&entry, move |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 9, move |m| {
+            emit_source(m, 8);
+            emit_reflective_leak(m, &dotted, "leakIt", true, boxed, 8);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("{tag}_{i}"),
+        category: if boxed {
+            Category::ReflectionBoxed
+        } else {
+            Category::ReflectionEncrypted
+        },
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn icc(i: usize) -> Sample {
+    let entry = format!("Lbench/icc{i:02}/Sender;");
+    let receiver = format!("Lbench/icc{i:02}/Receiver;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&receiver, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, |m| {
+            m.const_str(0, "secret-key");
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Icc;",
+                "getExtra",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/String;",
+                &[0],
+            );
+            mr_obj(m, 1);
+            emit_sink(m, 1);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let receiver2 = receiver.clone();
+    pb.class(&entry, move |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 3, move |m| {
+            emit_source(m, 0);
+            m.const_str(1, "secret-key");
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Icc;",
+                "putExtra",
+                &["Ljava/lang/String;", "Ljava/lang/String;"],
+                "V",
+                &[1, 0],
+            );
+            // "Start" the receiving component.
+            m.new_instance(2, &receiver2);
+            m.invoke(Opcode::InvokeDirect, &receiver2, "<init>", &[], "V", &[2]);
+            m.asm.const4(1, 0);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                &receiver2,
+                "onCreate",
+                &["Landroid/os/Bundle;"],
+                "V",
+                &[2, 1],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("icc_{i:02}"),
+        category: Category::Icc,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn implicit(i: usize) -> Sample {
+    let entry = format!("Lbench/implicit{i}/Main;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&entry, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 4, |m| {
+            emit_source(m, 0);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/String;",
+                "length",
+                &[],
+                "I",
+                &[0],
+            );
+            mr_int(m, 1);
+            let skip = m.asm.new_label();
+            m.const_str(2, "short");
+            m.asm.const4(3, 5);
+            m.asm.if_cmp(Opcode::IfLt, 1, 3, skip);
+            m.const_str(2, "long");
+            m.asm.bind(skip);
+            emit_sink(m, 2);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("implicit_{i}"),
+        category: Category::Implicit,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn dynamic_loading(i: usize) -> Sample {
+    let entry = format!("Lbench/dynload{i}/Main;");
+    let payload_class = format!("Lbench/dynload{i}/Payload;");
+    // Build the payload DEX.
+    let mut payload_pb = ProgramBuilder::new();
+    payload_pb.class(&payload_class, |c| {
+        c.static_method("run", &[], "V", 2, |m| {
+            emit_source(m, 0);
+            emit_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let payload = payload_pb.build().expect("payload assembles");
+    let payload_bytes =
+        dexlego_dex::writer::write_dex(&canonicalize(&payload).expect("canonical payload"))
+            .expect("payload serialises");
+
+    let mut pb = ProgramBuilder::new();
+    let payload_class2 = payload_class.clone();
+    pb.class(&entry, move |c| {
+        c.superclass("Landroid/app/Activity;");
+        let bytes = payload_bytes.clone();
+        let pc = payload_class2.clone();
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, move |m| {
+            m.asm.const4(0, bytes.len() as i64);
+            m.new_array(1, 0, "[B");
+            m.asm.fill_array_data(1, 1, bytes.clone());
+            m.new_instance(0, "Ldalvik/system/DexClassLoader;");
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ldalvik/system/DexClassLoader;",
+                "loadDexBytes",
+                &["[B"],
+                "V",
+                &[0, 1],
+            );
+            m.invoke(Opcode::InvokeStatic, &pc, "run", &[], "V", &[]);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("dynload_{i}"),
+        category: Category::DynamicLoading,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+/// Builds the Code-1 style self-modifying `advancedLeak` layout shared by
+/// the two self-modifying categories. Returns the sample with its tamper.
+fn self_modifying(i: usize, deep: bool) -> Sample {
+    let tag = if deep { "selfmoddeep" } else { "selfmod" };
+    let entry = format!("Lbench/{tag}{i}/Main;");
+    let mut pb = ProgramBuilder::new();
+    let entry_for_class = entry.clone();
+    pb.class(&entry, move |c| {
+        let entry = entry_for_class.clone();
+        c.superclass("Landroid/app/Activity;");
+        // Layout identical to the paper's Code 2 (dex_pc in comments).
+        let entry2 = entry.clone();
+        c.method("advancedLeak", &[], "V", 3, move |m| {
+            let this = m.this_reg();
+            let (l0, l1) = (m.asm.new_label(), m.asm.new_label());
+            emit_source(m, 0); // pc 0..3 (invoke 3 units + move-result 1)
+            m.asm.const4(1, 0); // pc 4
+            m.asm.bind(l0);
+            m.asm.const4(2, 2); // pc 5
+            m.asm.if_cmp(Opcode::IfGe, 1, 2, l1); // pc 6..7
+            m.invoke(
+                // pc 8..10
+                Opcode::InvokeVirtual,
+                &entry2,
+                "normal",
+                &["Ljava/lang/String;"],
+                "V",
+                &[this, 0],
+            );
+            m.invoke(
+                // pc 11..13
+                Opcode::InvokeVirtual,
+                &entry2,
+                "bytecodeTamper",
+                &["I"],
+                "V",
+                &[this, 1],
+            );
+            m.asm.binop_lit8(Opcode::AddIntLit8, 1, 1, 1); // pc 14..15
+            m.asm.goto(l0); // pc 16
+            m.asm.bind(l1);
+            m.asm.ret(Opcode::ReturnVoid, 0); // pc 17
+        });
+        c.method("normal", &["Ljava/lang/String;"], "V", 0, |m| {
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        if deep {
+            // Wrapper chain: deep0 .. deep7 -> sink.
+            for d in 0..8u32 {
+                let entry3 = entry.clone();
+                c.static_method(
+                    &format!("deep{d}"),
+                    &["Ljava/lang/String;"],
+                    "V",
+                    1,
+                    move |m| {
+                        let p = m.param_reg(0);
+                        if d == 7 {
+                            emit_sink(m, p);
+                        } else {
+                            m.invoke(
+                                Opcode::InvokeStatic,
+                                &entry3,
+                                &format!("deep{}", d + 1),
+                                &["Ljava/lang/String;"],
+                                "V",
+                                &[p],
+                            );
+                        }
+                        m.asm.ret(Opcode::ReturnVoid, 0);
+                    },
+                );
+            }
+        } else {
+            let entry3 = entry.clone();
+            c.method("sink", &["Ljava/lang/String;"], "V", 1, move |m| {
+                let _ = &entry3;
+                let p = m.param_reg(0);
+                emit_sink(m, p);
+                m.asm.ret(Opcode::ReturnVoid, 0);
+            });
+        }
+        c.native_method("bytecodeTamper", &["I"], "V");
+        let entry4 = entry.clone();
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 0, move |m| {
+            let this = m.this_reg();
+            m.invoke(Opcode::InvokeVirtual, &entry4, "advancedLeak", &[], "V", &[this]);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let mut dex = pb.build().expect("sample assembles");
+
+    // Compute patch units against the built pools.
+    let original_units: Vec<u16> = {
+        let class = dex.find_class(&entry).expect("entry built");
+        let leak = class
+            .class_data
+            .as_ref()
+            .expect("class data")
+            .methods()
+            .find(|m| {
+                dex.method_signature(m.method_idx)
+                    .is_ok_and(|s| s.contains("advancedLeak"))
+            })
+            .expect("advancedLeak");
+        leak.code.as_ref().expect("code").insns.clone()
+    };
+    let decoy = dex.intern_string("harmless");
+    let hidden_target_idx = if deep {
+        dex.intern_method(&entry, "deep0", "V", &["Ljava/lang/String;"])
+    } else {
+        dex.intern_method(&entry, "sink", "V", &["Ljava/lang/String;"])
+    };
+    let normal_idx = dex.intern_method(&entry, "normal", "V", &["Ljava/lang/String;"]);
+
+    let mut cs = Insn::of(Opcode::ConstString);
+    cs.a = 0;
+    cs.idx = decoy;
+    let cs_units = encode_insn(&cs).expect("const-string encodes");
+    let hide_prologue = vec![cs_units[0], cs_units[1], 0x0000, 0x0000];
+
+    let mut hidden_inv = Insn::of(if deep {
+        Opcode::InvokeStatic
+    } else {
+        Opcode::InvokeVirtual
+    });
+    hidden_inv.idx = hidden_target_idx;
+    hidden_inv.regs = if deep { vec![0] } else { vec![3, 0] };
+    let hidden_units = encode_insn(&hidden_inv).expect("hidden invoke encodes");
+
+    let mut normal_inv = Insn::of(Opcode::InvokeVirtual);
+    normal_inv.idx = normal_idx;
+    normal_inv.regs = vec![3, 0];
+    let normal_units = encode_insn(&normal_inv).expect("normal invoke encodes");
+
+    let tamper = TamperSpec {
+        native_class: entry.clone(),
+        native_name: "bytecodeTamper".to_owned(),
+        target: (entry.clone(), "advancedLeak".to_owned(), "()V".to_owned()),
+        patches: vec![
+            Patch {
+                when_arg: 0,
+                at: 0,
+                units: hide_prologue,
+            },
+            Patch {
+                when_arg: 0,
+                at: 8,
+                units: hidden_units,
+            },
+            Patch {
+                when_arg: 1,
+                at: 0,
+                units: original_units[0..4].to_vec(),
+            },
+            Patch {
+                when_arg: 1,
+                at: 8,
+                units: normal_units,
+            },
+        ],
+    };
+
+    Sample {
+        name: format!("{tag}_{i}"),
+        category: if deep {
+            Category::SelfModifyingDeep
+        } else {
+            Category::SelfModifying
+        },
+        dex,
+        entry,
+        tampers: vec![tamper],
+    }
+}
+
+fn dead_code_method(i: usize) -> Sample {
+    let entry = format!("Lbench/deadm{i}/Main;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&entry, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, |m| {
+            m.const_str(0, "benign");
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Landroid/util/Log;",
+                "i",
+                &["Ljava/lang/String;", "Ljava/lang/String;"],
+                "I",
+                &[0, 0],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+        c.static_method("neverCalled", &[], "V", 2, |m| {
+            emit_source(m, 0);
+            emit_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("dead_method_{i}"),
+        category: Category::DeadCodeMethod,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn dead_code_branch(i: usize) -> Sample {
+    let entry = format!("Lbench/deadb{i}/Main;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&entry, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 3, |m| {
+            m.asm.const4(0, 0);
+            let leak = m.asm.new_label();
+            let end = m.asm.new_label();
+            m.asm.if_z(Opcode::IfNez, 0, leak); // never taken: v0 == 0
+            m.asm.goto(end);
+            m.asm.bind(leak);
+            emit_source(m, 1);
+            emit_sink(m, 1);
+            m.asm.bind(end);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("dead_branch_{i}"),
+        category: Category::DeadCodeBranch,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn array_unknown_index(i: usize) -> Sample {
+    let entry = format!("Lbench/arrsep{i}/Main;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&entry, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 7, |m| {
+            emit_source(m, 0);
+            m.asm.const4(1, 3);
+            m.new_array(2, 1, "[Ljava/lang/String;");
+            // Write index in {1, 2}: statically unknown, never 0.
+            emit_input_bound(m, 3, 4, 2);
+            m.asm.binop_lit8(Opcode::AddIntLit8, 3, 3, 1);
+            m.asm.binop(Opcode::AputObject, 0, 2, 3);
+            m.asm.const4(5, 0);
+            m.asm.binop(Opcode::AgetObject, 6, 2, 5);
+            emit_sink(m, 6);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("array_unknown_{i}"),
+        category: Category::ArrayUnknownIndex,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn overwrite_benign(i: usize) -> Sample {
+    let entry = format!("Lbench/overwrite{i}/Main;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&entry, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, |m| {
+            emit_source(m, 0);
+            m.const_str(0, "overwritten");
+            emit_sink(m, 0);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("overwrite_{i}"),
+        category: Category::OverwriteBenign,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn implicit_benign(i: usize) -> Sample {
+    let entry = format!("Lbench/impben{i}/Main;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&entry, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 4, |m| {
+            emit_source(m, 0);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Ljava/lang/String;",
+                "length",
+                &[],
+                "I",
+                &[0],
+            );
+            mr_int(m, 1);
+            let skip = m.asm.new_label();
+            m.asm.if_z(Opcode::IfEqz, 1, skip);
+            m.asm.nop();
+            m.asm.bind(skip);
+            m.const_str(2, "constant");
+            emit_sink(m, 2);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("implicit_benign_{i}"),
+        category: Category::ImplicitBenign,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+/// Shared shape of the three fuzz-path samples: a hidden (encrypted
+/// reflection) connector, reachable only under fuzzed input, links a
+/// producer `A` and a consumer `B`.
+fn fuzz_path(kind: Category) -> Sample {
+    let (tag, name) = match kind {
+        Category::FuzzPathAll => ("fuzzall", "fuzz_path_all"),
+        Category::FuzzPathFlowInsens => ("fuzzfi", "fuzz_path_flow_insensitive"),
+        _ => ("fuzzimp", "fuzz_path_implicit"),
+    };
+    let entry = format!("Lbench/{tag}/Main;");
+    let helpers = format!("Lbench/{tag}/Helpers;");
+    let mut pb = ProgramBuilder::new();
+    let kind2 = kind;
+    pb.class(&helpers, move |c| {
+        match kind2 {
+            Category::FuzzPathFlowInsens => {
+                // produce(): v = source; v = "clean"; return v
+                c.static_method("produce", &[], "Ljava/lang/String;", 2, |m| {
+                    emit_source(m, 0);
+                    m.const_str(0, "clean");
+                    m.asm.ret(Opcode::ReturnObject, 0);
+                });
+            }
+            _ => {
+                c.static_method("produce", &[], "Ljava/lang/String;", 2, |m| {
+                    emit_source(m, 0);
+                    m.asm.ret(Opcode::ReturnObject, 0);
+                });
+            }
+        }
+        match kind2 {
+            Category::FuzzPathImplicit => {
+                // consume(p): branch on p, sink a constant.
+                c.static_method("consume", &["Ljava/lang/String;"], "V", 3, |m| {
+                    let p = m.param_reg(0);
+                    m.invoke(
+                        Opcode::InvokeVirtual,
+                        "Ljava/lang/String;",
+                        "length",
+                        &[],
+                        "I",
+                        &[p],
+                    );
+                    mr_int(m, 0);
+                    let skip = m.asm.new_label();
+                    m.asm.if_z(Opcode::IfEqz, 0, skip);
+                    m.asm.nop();
+                    m.asm.bind(skip);
+                    m.const_str(1, "fixed");
+                    emit_sink(m, 1);
+                    m.asm.ret(Opcode::ReturnVoid, 0);
+                });
+            }
+            _ => {
+                c.static_method("consume", &["Ljava/lang/String;"], "V", 1, |m| {
+                    let p = m.param_reg(0);
+                    emit_sink(m, p);
+                    m.asm.ret(Opcode::ReturnVoid, 0);
+                });
+            }
+        }
+    });
+    let helpers_dotted = class_to_dotted(&helpers);
+    pb.class(&entry, move |c| {
+        c.superclass("Landroid/app/Activity;");
+        let dotted = helpers_dotted.clone();
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 12, move |m| {
+            // Repeatedly sample fuzz input; with pseudo-random inputs the
+            // connector triggers with overwhelming probability — but no
+            // realistic user input reaches it.
+            let end = m.asm.new_label();
+            let connector = m.asm.new_label();
+            m.asm.const4(9, 0);
+            let top = m.asm.new_label();
+            m.asm.bind(top);
+            m.asm.const4(10, 8);
+            m.asm.if_cmp(Opcode::IfGe, 9, 10, end);
+            emit_input_bound(m, 11, 10, 4);
+            m.asm.const4(10, 2);
+            m.asm.if_cmp(Opcode::IfEq, 11, 10, connector);
+            m.asm.binop_lit8(Opcode::AddIntLit8, 9, 9, 1);
+            m.asm.goto(top);
+            m.asm.bind(connector);
+            // t = Helpers.produce(); reflectively call Helpers.consume(t).
+            m.invoke(
+                Opcode::InvokeStatic,
+                &format!("L{};", dotted.replace('.', "/")),
+                "produce",
+                &[],
+                "Ljava/lang/String;",
+                &[],
+            );
+            mr_obj(m, 8);
+            emit_reflective_leak(m, &dotted, "consume", true, false, 8);
+            m.asm.bind(end);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: name.to_owned(),
+        category: kind,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+fn plain_benign(i: usize) -> Sample {
+    let entry = format!("Lbench/plain{i}/Main;");
+    let mut pb = ProgramBuilder::new();
+    pb.class(&entry, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 4, |m| {
+            m.asm.const4(0, i as i64 % 8);
+            m.asm.binop_lit8(Opcode::AddIntLit8, 1, 0, 3);
+            m.asm.binop(Opcode::MulInt, 2, 1, 0);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Ljava/lang/String;",
+                "valueOf",
+                &["I"],
+                "Ljava/lang/String;",
+                &[2],
+            );
+            mr_obj(m, 3);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Landroid/util/Log;",
+                "i",
+                &["Ljava/lang/String;", "Ljava/lang/String;"],
+                "I",
+                &[3, 3],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    Sample {
+        name: format!("plain_{i}"),
+        category: Category::PlainBenign,
+        dex: finish_activity(&mut pb, &entry),
+        entry,
+        tampers: vec![],
+    }
+}
+
+/// Builds the complete 134-sample suite.
+pub fn build_suite() -> Vec<Sample> {
+    let mut suite = Vec::with_capacity(134);
+    for (category, count) in Category::composition() {
+        for i in 0..count {
+            suite.push(match category {
+                Category::Direct => direct(i),
+                Category::Callback => callback(i),
+                Category::ArrayIndexLeak => array_index_leak(i),
+                Category::TabletGated => tablet_gated(),
+                Category::ReflectionConst => reflection_const(i),
+                Category::Icc => icc(i),
+                Category::Implicit => implicit(i),
+                Category::ReflectionEncrypted => reflection_hidden(i, false),
+                Category::ReflectionBoxed => reflection_hidden(i, true),
+                Category::DynamicLoading => dynamic_loading(i),
+                Category::SelfModifying => self_modifying(i, false),
+                Category::SelfModifyingDeep => self_modifying(i, true),
+                Category::DeadCodeMethod => dead_code_method(i),
+                Category::DeadCodeBranch => dead_code_branch(i),
+                Category::ArrayUnknownIndex => array_unknown_index(i),
+                Category::OverwriteBenign => overwrite_benign(i),
+                Category::ImplicitBenign => implicit_benign(i),
+                Category::FuzzPathAll => fuzz_path(Category::FuzzPathAll),
+                Category::FuzzPathFlowInsens => fuzz_path(Category::FuzzPathFlowInsens),
+                Category::FuzzPathImplicit => fuzz_path(Category::FuzzPathImplicit),
+                Category::PlainBenign => plain_benign(i),
+            });
+        }
+    }
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_134_samples_111_leaky() {
+        let suite = build_suite();
+        assert_eq!(suite.len(), 134);
+        assert_eq!(suite.iter().filter(|s| s.leaky()).count(), 111);
+        // Names are unique.
+        let mut names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 134);
+    }
+
+    #[test]
+    fn every_sample_verifies() {
+        for sample in build_suite() {
+            dexlego_dex::verify::verify(
+                &sample.dex,
+                dexlego_dex::verify::Strictness::Referential,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", sample.name));
+            assert!(
+                sample.dex.find_class(&sample.entry).is_some(),
+                "{}: entry class missing",
+                sample.name
+            );
+        }
+    }
+
+    #[test]
+    fn enc_is_involution_of_decrypt() {
+        let s = "bench.reflenc0.Hidden";
+        let e = enc(s);
+        assert_ne!(e, s);
+        assert_eq!(enc(&e), s);
+    }
+}

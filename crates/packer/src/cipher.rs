@@ -1,0 +1,91 @@
+//! Payload ciphers used by the packer profiles.
+//!
+//! Real packers use proprietary stream ciphers; what matters for the
+//! reproduction is the observable property — the payload bytes are
+//! unparseable at rest and recoverable at runtime — so two light symmetric
+//! ciphers suffice.
+
+/// Cipher algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cipher {
+    /// Xorshift-keystream XOR cipher.
+    XorStream,
+    /// RC4-style byte-permutation stream cipher.
+    Rc4Lite,
+}
+
+impl Cipher {
+    /// Encrypts (or, being symmetric, decrypts) `data` under `key`.
+    pub fn apply(self, key: u64, data: &[u8]) -> Vec<u8> {
+        match self {
+            Cipher::XorStream => xor_stream(key, data),
+            Cipher::Rc4Lite => rc4_lite(key, data),
+        }
+    }
+}
+
+fn xor_stream(key: u64, data: &[u8]) -> Vec<u8> {
+    let mut state = key | 1;
+    data.iter()
+        .map(|&b| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            b ^ (state as u8)
+        })
+        .collect()
+}
+
+fn rc4_lite(key: u64, data: &[u8]) -> Vec<u8> {
+    // Standard RC4 KSA/PRGA over the 8-byte key.
+    let key_bytes = key.to_le_bytes();
+    let mut s: [u8; 256] = std::array::from_fn(|i| i as u8);
+    let mut j: u8 = 0;
+    for i in 0..256 {
+        j = j
+            .wrapping_add(s[i])
+            .wrapping_add(key_bytes[i % key_bytes.len()]);
+        s.swap(i, j as usize);
+    }
+    let (mut i, mut j) = (0u8, 0u8);
+    data.iter()
+        .map(|&b| {
+            i = i.wrapping_add(1);
+            j = j.wrapping_add(s[i as usize]);
+            s.swap(i as usize, j as usize);
+            let k = s[(s[i as usize].wrapping_add(s[j as usize])) as usize];
+            b ^ k
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_ciphers_roundtrip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for cipher in [Cipher::XorStream, Cipher::Rc4Lite] {
+            let enc = cipher.apply(0xdead_beef, &data);
+            assert_ne!(enc, data, "{cipher:?} must actually transform");
+            let dec = cipher.apply(0xdead_beef, &enc);
+            assert_eq!(dec, data, "{cipher:?} must roundtrip");
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails_to_decrypt() {
+        let data = b"dex\n035\0payload".to_vec();
+        let enc = Cipher::Rc4Lite.apply(1, &data);
+        let dec = Cipher::Rc4Lite.apply(2, &enc);
+        assert_ne!(dec, data);
+    }
+
+    #[test]
+    fn encrypted_dex_is_unparseable() {
+        let dex = dexlego_dex::writer::write_dex(&dexlego_dex::DexFile::new()).unwrap();
+        let enc = Cipher::XorStream.apply(7, &dex);
+        assert!(dexlego_dex::reader::read_dex_unchecked(&enc).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+#![forbid(unsafe_code)]
+
+//! Simulated Android packers (paper §V-A, Table I).
+//!
+//! A packer replaces an application's DEX with a *shell*: a small loader
+//! whose bytecode carries the original DEX encrypted (embedded via
+//! `fill-array-data`), decrypts it at runtime through a "native" stub, loads
+//! it dynamically, and finally transfers control to the original entry
+//! activity. Static analysis of the packed app sees only the shell.
+//!
+//! Five profiles reproduce the packing strategies of the platforms the
+//! paper evaluates (whole-file vs split payloads, different ciphers, eager
+//! vs lazy unpacking), plus an [`PackerId::Advanced`] profile that re-hides
+//! code after execution — the "interleaved packing and unpacking" adversary
+//! that defeats dump-based unpackers (§I).
+
+pub mod cipher;
+pub mod profiles;
+pub mod shell;
+
+pub use profiles::PackerId;
+pub use shell::{pack, PackedApp};
+
+use std::fmt;
+
+/// Packer errors.
+#[derive(Debug)]
+pub enum PackerError {
+    /// Underlying DEX failure.
+    Dex(dexlego_dex::DexError),
+    /// Underlying bytecode failure.
+    Dalvik(dexlego_dalvik::DalvikError),
+    /// Underlying runtime failure.
+    Runtime(dexlego_runtime::RuntimeError),
+    /// The app to pack is structurally unusable (e.g. missing entry class).
+    BadInput(String),
+}
+
+impl fmt::Display for PackerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackerError::Dex(e) => write!(f, "dex error: {e}"),
+            PackerError::Dalvik(e) => write!(f, "bytecode error: {e}"),
+            PackerError::Runtime(e) => write!(f, "runtime error: {e}"),
+            PackerError::BadInput(m) => write!(f, "cannot pack: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PackerError {}
+
+impl From<dexlego_dex::DexError> for PackerError {
+    fn from(e: dexlego_dex::DexError) -> PackerError {
+        PackerError::Dex(e)
+    }
+}
+impl From<dexlego_dalvik::DalvikError> for PackerError {
+    fn from(e: dexlego_dalvik::DalvikError) -> PackerError {
+        PackerError::Dalvik(e)
+    }
+}
+impl From<dexlego_runtime::RuntimeError> for PackerError {
+    fn from(e: dexlego_runtime::RuntimeError) -> PackerError {
+        PackerError::Runtime(e)
+    }
+}
+
+/// Convenience alias for results with [`PackerError`].
+pub type Result<T> = std::result::Result<T, PackerError>;

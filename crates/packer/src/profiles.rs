@@ -1,0 +1,132 @@
+//! Packer platform profiles.
+
+use crate::cipher::Cipher;
+
+/// The packing platforms evaluated in Table I, plus the advanced
+/// interleaved/re-hiding adversary discussed in the introduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackerId {
+    /// Qihoo 360: whole-DEX XOR stream, unpacked eagerly at attach time.
+    P360,
+    /// Alibaba: whole-DEX RC4-style cipher.
+    Alibaba,
+    /// Tencent: the app is split into two separately encrypted payloads
+    /// loaded one after the other.
+    Tencent,
+    /// Baidu: whole-DEX XOR stream, unpacked lazily inside `onCreate`.
+    Baidu,
+    /// Bangcle: split payloads with RC4-style cipher, second stage loaded
+    /// lazily.
+    Bangcle,
+    /// Advanced adversary: like 360, but a native re-encrypts (garbles) the
+    /// unpacked code in memory after the entry activity finishes — dumps
+    /// taken "at the end" recover nothing.
+    Advanced,
+}
+
+/// Behavioural parameters of a profile.
+#[derive(Debug, Clone, Copy)]
+pub struct Profile {
+    /// Display name of the platform.
+    pub name: &'static str,
+    /// Payload cipher.
+    pub cipher: Cipher,
+    /// Number of encrypted payload stages (1 or 2).
+    pub stages: usize,
+    /// Whether the final stage is unpacked lazily, immediately before the
+    /// original entry runs (vs eagerly at shell start).
+    pub lazy_final_stage: bool,
+    /// Whether code is re-hidden in memory after execution.
+    pub rehide_after_run: bool,
+    /// Key material.
+    pub key: u64,
+}
+
+impl PackerId {
+    /// The profile parameters of this platform.
+    pub fn profile(self) -> Profile {
+        match self {
+            PackerId::P360 => Profile {
+                name: "360",
+                cipher: Cipher::XorStream,
+                stages: 1,
+                lazy_final_stage: false,
+                rehide_after_run: false,
+                key: 0x0360_0360_0360_0360,
+            },
+            PackerId::Alibaba => Profile {
+                name: "Alibaba",
+                cipher: Cipher::Rc4Lite,
+                stages: 1,
+                lazy_final_stage: false,
+                rehide_after_run: false,
+                key: 0xa11b_aba0_5eed_0001,
+            },
+            PackerId::Tencent => Profile {
+                name: "Tencent",
+                cipher: Cipher::XorStream,
+                stages: 2,
+                lazy_final_stage: false,
+                rehide_after_run: false,
+                key: 0x7e0c_e017_7e0c_e017,
+            },
+            PackerId::Baidu => Profile {
+                name: "Baidu",
+                cipher: Cipher::XorStream,
+                stages: 1,
+                lazy_final_stage: true,
+                rehide_after_run: false,
+                key: 0xba1d_0ba1_d0ba_1d00,
+            },
+            PackerId::Bangcle => Profile {
+                name: "Bangcle",
+                cipher: Cipher::Rc4Lite,
+                stages: 2,
+                lazy_final_stage: true,
+                rehide_after_run: false,
+                key: 0xbac1_e000_bac1_e000,
+            },
+            PackerId::Advanced => Profile {
+                name: "Advanced (interleaved/re-hiding)",
+                cipher: Cipher::XorStream,
+                stages: 1,
+                lazy_final_stage: false,
+                rehide_after_run: true,
+                key: 0xad7a_9ced_0000_0001,
+            },
+        }
+    }
+
+    /// All platform profiles in the order of Table I (excluding the
+    /// advanced adversary).
+    pub fn table1() -> [PackerId; 5] {
+        [
+            PackerId::P360,
+            PackerId::Alibaba,
+            PackerId::Tencent,
+            PackerId::Baidu,
+            PackerId::Bangcle,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_distinct() {
+        let keys: Vec<u64> = PackerId::table1().iter().map(|p| p.profile().key).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+    }
+
+    #[test]
+    fn split_profiles_have_two_stages() {
+        assert_eq!(PackerId::Tencent.profile().stages, 2);
+        assert_eq!(PackerId::Bangcle.profile().stages, 2);
+        assert_eq!(PackerId::P360.profile().stages, 1);
+    }
+}

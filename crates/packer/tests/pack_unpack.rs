@@ -1,0 +1,192 @@
+//! End-to-end packer tests: every profile hides the app from static
+//! analysis, every profile is defeated by DexLego's JIT collection, and the
+//! re-hiding adversary additionally defeats dump-based baselines.
+
+use dexlego_analysis::tools::all_tools;
+use dexlego_core::baseline::{dump, BaselineKind};
+use dexlego_core::pipeline::reveal;
+use dexlego_dalvik::builder::ProgramBuilder;
+use dexlego_dalvik::{Insn, Opcode};
+use dexlego_dex::DexFile;
+use dexlego_packer::{pack, PackerId};
+use dexlego_runtime::Runtime;
+
+const ENTRY: &str = "Lapp/Main;";
+
+/// A small app whose `onCreate` leaks the device id to the network.
+fn leaky_app() -> DexFile {
+    let mut pb = ProgramBuilder::new();
+    pb.class(ENTRY, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, |m| {
+            let this = m.this_reg();
+            m.const_str(0, "phone");
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Landroid/content/Context;",
+                "getSystemService",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/Object;",
+                &[this, 0],
+            );
+            let mut mr0 = Insn::of(Opcode::MoveResultObject);
+            mr0.a = 0;
+            m.asm.push(mr0);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Landroid/telephony/TelephonyManager;",
+                "getDeviceId",
+                &[],
+                "Ljava/lang/String;",
+                &[0],
+            );
+            let mut mr = Insn::of(Opcode::MoveResultObject);
+            mr.a = 1;
+            m.asm.push(mr);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Net;",
+                "send",
+                &["Ljava/lang/String;"],
+                "V",
+                &[1],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    pb.build().unwrap()
+}
+
+#[test]
+fn original_app_is_flagged_but_shell_is_not() {
+    let app = leaky_app();
+    for tool in all_tools() {
+        assert!(tool.run(&app).leaky(), "{} finds the plain leak", tool.name);
+    }
+    for id in PackerId::table1() {
+        let packed = pack(&app, ENTRY, id).unwrap();
+        assert!(
+            packed.shell_dex.find_class(ENTRY).is_none(),
+            "{id:?}: original class must not appear in the shell"
+        );
+        for tool in all_tools() {
+            assert!(
+                !tool.run(&packed.shell_dex).leaky(),
+                "{}: shell of {id:?} must look benign",
+                tool.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_packer_runs_and_leaks_at_runtime() {
+    for id in PackerId::table1() {
+        let app = leaky_app();
+        let packed = pack(&app, ENTRY, id).unwrap();
+        let mut rt = Runtime::new();
+        packed.install(&mut rt).unwrap();
+        let mut obs = dexlego_runtime::observer::NullObserver;
+        packed.launch(&mut rt, &mut obs).unwrap();
+        assert_eq!(
+            rt.log.tainted_sinks().count(),
+            1,
+            "{id:?}: the packed app must behave like the original"
+        );
+    }
+}
+
+#[test]
+fn dexlego_reveals_every_packer() {
+    for id in PackerId::table1() {
+        let app = leaky_app();
+        let packed = pack(&app, ENTRY, id).unwrap();
+        let mut rt = Runtime::new();
+        let packed2 = packed.clone();
+        let outcome = reveal(&mut rt, move |rt, obs| {
+            packed2.install_observed(rt, obs).unwrap();
+            packed2.launch(rt, obs).unwrap();
+        })
+        .unwrap();
+        // The revealed DEX contains the original entry class again and all
+        // tools find the flow.
+        assert!(
+            outcome.dex.find_class(ENTRY).is_some(),
+            "{id:?}: unpacked class reassembled"
+        );
+        for tool in all_tools() {
+            assert!(
+                tool.run(&outcome.dex).leaky(),
+                "{}: flow visible after DexLego on {id:?}",
+                tool.name
+            );
+        }
+    }
+}
+
+#[test]
+fn baselines_beat_simple_packers_but_not_rehiding() {
+    // Simple packer: dump after run contains the original code.
+    let app = leaky_app();
+    let packed = pack(&app, ENTRY, PackerId::P360).unwrap();
+    let mut rt = Runtime::new();
+    packed.install(&mut rt).unwrap();
+    let mut obs = dexlego_runtime::observer::NullObserver;
+    packed.launch(&mut rt, &mut obs).unwrap();
+    let dumped = dump(&rt, BaselineKind::DexHunter).unwrap();
+    for tool in all_tools() {
+        assert!(
+            tool.run(&dumped).leaky(),
+            "{}: DexHunter unpacks a plain packer",
+            tool.name
+        );
+    }
+
+    // Re-hiding adversary: the dump holds garbled units.
+    let packed = pack(&app, ENTRY, PackerId::Advanced).unwrap();
+    let mut rt = Runtime::new();
+    packed.install(&mut rt).unwrap();
+    packed.launch(&mut rt, &mut obs).unwrap();
+    let dumped = dump(&rt, BaselineKind::DexHunter).unwrap();
+    for tool in all_tools() {
+        assert!(
+            !tool.run(&dumped).leaky(),
+            "{}: dump-based extraction loses re-hidden code",
+            tool.name
+        );
+    }
+    // ... while DexLego, collecting during execution, still reveals it.
+    let mut rt = Runtime::new();
+    let packed2 = packed.clone();
+    let outcome = reveal(&mut rt, move |rt, obs| {
+        packed2.install_observed(rt, obs).unwrap();
+        packed2.launch(rt, obs).unwrap();
+    })
+    .unwrap();
+    for tool in all_tools() {
+        assert!(
+            tool.run(&outcome.dex).leaky(),
+            "{}: DexLego defeats the re-hiding adversary",
+            tool.name
+        );
+    }
+}
+
+#[test]
+fn split_packers_load_both_stages() {
+    let app = leaky_app();
+    for id in [PackerId::Tencent, PackerId::Bangcle] {
+        let packed = pack(&app, ENTRY, id).unwrap();
+        let mut rt = Runtime::new();
+        packed.install(&mut rt).unwrap();
+        let mut obs = dexlego_runtime::observer::NullObserver;
+        packed.launch(&mut rt, &mut obs).unwrap();
+        let loads = rt
+            .log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, dexlego_runtime::RuntimeEvent::DynamicLoad { .. }))
+            .count();
+        assert_eq!(loads, 2, "{id:?} must unpack two stages");
+    }
+}

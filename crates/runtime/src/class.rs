@@ -1,0 +1,201 @@
+//! Runtime class, field, and method representations produced by the linker.
+
+use std::collections::HashMap;
+
+use dexlego_dex::AccessFlags;
+
+use crate::value::WideValue;
+
+/// Identifier of a linked runtime class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub usize);
+
+/// Identifier of a linked runtime field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(pub usize);
+
+/// Identifier of a linked runtime method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId(pub usize);
+
+/// A method signature key used for resolution: name plus descriptor string
+/// (e.g. `("advancedLeak", "()V")`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SigKey {
+    /// Method name.
+    pub name: String,
+    /// Descriptor: `(` parameter descriptors `)` return descriptor.
+    pub descriptor: String,
+}
+
+impl SigKey {
+    /// Builds a key from name and descriptor.
+    pub fn new(name: &str, descriptor: &str) -> SigKey {
+        SigKey {
+            name: name.to_owned(),
+            descriptor: descriptor.to_owned(),
+        }
+    }
+}
+
+/// A linked class.
+#[derive(Debug, Clone)]
+pub struct RuntimeClass {
+    /// Type descriptor, e.g. `Lcom/test/Main;`.
+    pub descriptor: String,
+    /// Superclass, if linked.
+    pub superclass: Option<ClassId>,
+    /// Implemented interfaces.
+    pub interfaces: Vec<ClassId>,
+    /// Access flags.
+    pub access: AccessFlags,
+    /// Declared methods, keyed by signature.
+    pub methods: HashMap<SigKey, MethodId>,
+    /// Declared fields, keyed by name.
+    pub fields: HashMap<String, FieldId>,
+    /// Static field storage (populated at initialisation).
+    pub statics: HashMap<FieldId, WideValue>,
+    /// Whether `<clinit>` has run.
+    pub initialized: bool,
+    /// Tag of the DEX source this class came from (APK name, dynamic load
+    /// tag, or `"<framework>"`).
+    pub source: String,
+}
+
+/// Category of a method's implementation.
+#[derive(Debug, Clone)]
+pub enum MethodImpl {
+    /// Interpreted bytecode. The code units are mutable at runtime —
+    /// self-modifying code rewrites them in place.
+    Bytecode {
+        /// Number of registers.
+        registers: u16,
+        /// Number of argument registers (highest registers).
+        ins: u16,
+        /// The instruction stream, mutable.
+        insns: Vec<u16>,
+        /// Try/catch ranges, as in the code item.
+        tries: Vec<dexlego_dex::TryItem>,
+        /// Handler lists.
+        handlers: Vec<dexlego_dex::EncodedCatchHandler>,
+    },
+    /// Dispatched to the native registry by signature.
+    Native,
+    /// Abstract — resolved via virtual dispatch, never executed directly.
+    Abstract,
+}
+
+/// A linked method.
+#[derive(Debug, Clone)]
+pub struct RuntimeMethod {
+    /// Declaring class.
+    pub class: ClassId,
+    /// Method name.
+    pub name: String,
+    /// Full descriptor, e.g. `(ILjava/lang/String;)V`.
+    pub descriptor: String,
+    /// Parameter type descriptors.
+    pub params: Vec<String>,
+    /// Return type descriptor.
+    pub return_type: String,
+    /// Access flags.
+    pub access: AccessFlags,
+    /// Implementation.
+    pub body: MethodImpl,
+}
+
+impl RuntimeMethod {
+    /// Number of argument slots (wide parameters count twice), including
+    /// `this` for instance methods.
+    pub fn arg_slots(&self) -> usize {
+        let mut n = if self.access.is_static() { 0 } else { 1 };
+        for p in &self.params {
+            n += match p.as_str() {
+                "J" | "D" => 2,
+                _ => 1,
+            };
+        }
+        n
+    }
+
+    /// Whether the return type is wide (`J` or `D`).
+    pub fn returns_wide(&self) -> bool {
+        matches!(self.return_type.as_str(), "J" | "D")
+    }
+
+    /// Signature key for resolution.
+    pub fn sig_key(&self) -> SigKey {
+        SigKey::new(&self.name, &self.descriptor)
+    }
+}
+
+/// A linked field.
+#[derive(Debug, Clone)]
+pub struct RuntimeField {
+    /// Declaring class.
+    pub class: ClassId,
+    /// Field name.
+    pub name: String,
+    /// Type descriptor.
+    pub type_desc: String,
+    /// Access flags.
+    pub access: AccessFlags,
+}
+
+/// Builds a descriptor string from parameter and return descriptors.
+pub fn descriptor_of(params: &[String], return_type: &str) -> String {
+    let mut d = String::from("(");
+    for p in params {
+        d.push_str(p);
+    }
+    d.push(')');
+    d.push_str(return_type);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn method(params: &[&str], ret: &str, is_static: bool) -> RuntimeMethod {
+        let params: Vec<String> = params.iter().map(|s| s.to_string()).collect();
+        RuntimeMethod {
+            class: ClassId(0),
+            name: "m".into(),
+            descriptor: descriptor_of(&params, ret),
+            params,
+            return_type: ret.into(),
+            access: if is_static {
+                AccessFlags::STATIC
+            } else {
+                AccessFlags::PUBLIC
+            },
+            body: MethodImpl::Native,
+        }
+    }
+
+    #[test]
+    fn arg_slots_counts_this_and_wides() {
+        assert_eq!(method(&[], "V", true).arg_slots(), 0);
+        assert_eq!(method(&[], "V", false).arg_slots(), 1);
+        assert_eq!(method(&["I", "J", "D", "Lfoo;"], "V", true).arg_slots(), 6);
+        assert_eq!(method(&["J"], "V", false).arg_slots(), 3);
+    }
+
+    #[test]
+    fn descriptor_formatting() {
+        assert_eq!(
+            descriptor_of(&["I".into(), "Lfoo;".into()], "V"),
+            "(ILfoo;)V"
+        );
+        assert_eq!(descriptor_of(&[], "J"), "()J");
+    }
+
+    #[test]
+    fn wide_returns_detected() {
+        assert!(method(&[], "J", true).returns_wide());
+        assert!(method(&[], "D", true).returns_wide());
+        assert!(!method(&[], "I", true).returns_wide());
+        assert!(!method(&[], "Lfoo;", true).returns_wide());
+    }
+}

@@ -1,0 +1,145 @@
+//! Runtime event log: sources, sinks, and other security-relevant events
+//! recorded by framework natives.
+//!
+//! The dynamic-analysis emulations in `dexlego-analysis` read this log; the
+//! benchmark ground truth is defined in terms of tainted sink events.
+
+use crate::class::MethodId;
+
+/// The kind of sensitive source an API models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceKind {
+    /// Device identifier (IMEI).
+    DeviceId,
+    /// Location (latitude/longitude).
+    Location,
+    /// Wi-Fi SSID.
+    Ssid,
+    /// Contact data.
+    Contacts,
+    /// Generic sensitive data (DroidBench's `getSensitiveData`).
+    Generic,
+}
+
+/// The kind of sink an API models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SinkKind {
+    /// Outgoing SMS (`sendTextMessage`).
+    Sms,
+    /// Network transmission.
+    Network,
+    /// Log output.
+    Log,
+    /// External file write.
+    FileWrite,
+}
+
+/// One entry in the runtime's security event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeEvent {
+    /// A sensitive source API returned data carrying `taint`.
+    SourceRead {
+        /// What kind of source.
+        kind: SourceKind,
+        /// Taint label minted for the returned data.
+        taint: u32,
+        /// Method that called the source.
+        caller: Option<MethodId>,
+        /// Nesting depth of framework-invoked callbacks at the time.
+        callback_depth: u32,
+    },
+    /// A sink API was invoked; `arg_taint` is the union of taints on its
+    /// data arguments.
+    SinkCall {
+        /// What kind of sink.
+        kind: SinkKind,
+        /// Combined taint of the data arguments.
+        arg_taint: u32,
+        /// Stringified payload (for reports).
+        payload: String,
+        /// Method that called the sink.
+        caller: Option<MethodId>,
+        /// Nesting depth of framework-invoked callbacks at the time.
+        callback_depth: u32,
+    },
+    /// An external file was written with tainted data (PrivateDataLeak3
+    /// pattern: leak through the filesystem).
+    FileRoundTrip {
+        /// Taint written.
+        taint: u32,
+    },
+    /// A secondary DEX was loaded dynamically.
+    DynamicLoad {
+        /// Source tag under which it was linked.
+        source: String,
+        /// Number of classes it contributed.
+        classes: usize,
+    },
+    /// A reflective invocation was resolved to a concrete target.
+    ReflectiveInvoke {
+        /// The resolved target.
+        target: MethodId,
+    },
+}
+
+/// An append-only event log.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    events: Vec<RuntimeEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: RuntimeEvent) {
+        self.events.push(event);
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[RuntimeEvent] {
+        &self.events
+    }
+
+    /// Clears the log (between fuzzing iterations).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Sink calls whose arguments carried taint.
+    pub fn tainted_sinks(&self) -> impl Iterator<Item = &RuntimeEvent> {
+        self.events.iter().filter(|e| {
+            matches!(e, RuntimeEvent::SinkCall { arg_taint, .. } if *arg_taint != 0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tainted_sinks_filters() {
+        let mut log = EventLog::new();
+        log.push(RuntimeEvent::SinkCall {
+            kind: SinkKind::Sms,
+            arg_taint: 0,
+            payload: "clean".into(),
+            caller: None,
+            callback_depth: 0,
+        });
+        log.push(RuntimeEvent::SinkCall {
+            kind: SinkKind::Sms,
+            arg_taint: 1,
+            payload: "dirty".into(),
+            caller: None,
+            callback_depth: 0,
+        });
+        assert_eq!(log.tainted_sinks().count(), 1);
+        log.clear();
+        assert!(log.events().is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! The object heap: instances, arrays, strings, and reflection objects.
+
+use std::collections::HashMap;
+
+use crate::class::{ClassId, FieldId, MethodId};
+use crate::value::WideValue;
+
+/// An object handle. `0` is the null reference.
+pub type ObjRef = u32;
+
+/// The payload of a heap object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjKind {
+    /// A class instance with per-field 64-bit storage.
+    Instance {
+        /// The instance's runtime class.
+        class: ClassId,
+        /// Field values; absent entries read as zero/null.
+        fields: HashMap<FieldId, WideValue>,
+    },
+    /// An array of 64-bit element storage (category narrowing is applied by
+    /// the typed `aget`/`aput` instructions).
+    Array {
+        /// Element type descriptor (e.g. `"I"` or `"Ljava/lang/String;"`).
+        elem_desc: String,
+        /// Element storage.
+        data: Vec<WideValue>,
+    },
+    /// A `java.lang.String`.
+    Str(String),
+    /// A `java.lang.Class` reflection object.
+    Class(ClassId),
+    /// A `java.lang.reflect.Method` reflection object.
+    Method(MethodId),
+    /// A `java.lang.Throwable`-like exception object.
+    Throwable {
+        /// The exception's type descriptor.
+        type_desc: String,
+        /// Detail message.
+        message: String,
+    },
+}
+
+/// One heap cell: payload plus an object-level taint used for objects whose
+/// contents are opaque (strings in particular).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeapObject {
+    /// The object payload.
+    pub kind: ObjKind,
+    /// Object-level taint mask.
+    pub taint: u32,
+}
+
+/// A growable heap of [`HeapObject`]s addressed by [`ObjRef`] handles.
+///
+/// # Example
+///
+/// ```
+/// use dexlego_runtime::heap::{Heap, ObjKind};
+/// let mut heap = Heap::new();
+/// let h = heap.alloc_string("imei-123".to_owned(), 0);
+/// assert_eq!(heap.as_string(h), Some("imei-123"));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Heap {
+    objects: Vec<HeapObject>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Number of live objects (handles are never reclaimed).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the heap has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Allocates an object, returning its non-null handle.
+    pub fn alloc(&mut self, kind: ObjKind, taint: u32) -> ObjRef {
+        self.objects.push(HeapObject { kind, taint });
+        self.objects.len() as ObjRef
+    }
+
+    /// Allocates a string object.
+    pub fn alloc_string(&mut self, s: String, taint: u32) -> ObjRef {
+        self.alloc(ObjKind::Str(s), taint)
+    }
+
+    /// Allocates an instance of `class` with zeroed fields.
+    pub fn alloc_instance(&mut self, class: ClassId) -> ObjRef {
+        self.alloc(
+            ObjKind::Instance {
+                class,
+                fields: HashMap::new(),
+            },
+            0,
+        )
+    }
+
+    /// Allocates an array of `len` zeroed elements.
+    pub fn alloc_array(&mut self, elem_desc: &str, len: usize) -> ObjRef {
+        self.alloc(
+            ObjKind::Array {
+                elem_desc: elem_desc.to_owned(),
+                data: vec![WideValue::default(); len],
+            },
+            0,
+        )
+    }
+
+    /// The object behind `r`, or `None` for null/dangling handles.
+    pub fn get(&self, r: ObjRef) -> Option<&HeapObject> {
+        if r == 0 {
+            return None;
+        }
+        self.objects.get(r as usize - 1)
+    }
+
+    /// Mutable access to the object behind `r`.
+    pub fn get_mut(&mut self, r: ObjRef) -> Option<&mut HeapObject> {
+        if r == 0 {
+            return None;
+        }
+        self.objects.get_mut(r as usize - 1)
+    }
+
+    /// The string contents if `r` is a string object.
+    pub fn as_string(&self, r: ObjRef) -> Option<&str> {
+        match self.get(r) {
+            Some(HeapObject {
+                kind: ObjKind::Str(s),
+                ..
+            }) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The runtime class if `r` is an instance.
+    pub fn instance_class(&self, r: ObjRef) -> Option<ClassId> {
+        match self.get(r) {
+            Some(HeapObject {
+                kind: ObjKind::Instance { class, .. },
+                ..
+            }) => Some(*class),
+            _ => None,
+        }
+    }
+
+    /// Array length if `r` is an array.
+    pub fn array_len(&self, r: ObjRef) -> Option<usize> {
+        match self.get(r) {
+            Some(HeapObject {
+                kind: ObjKind::Array { data, .. },
+                ..
+            }) => Some(data.len()),
+            _ => None,
+        }
+    }
+
+    /// Reads an instance field (zero/null if never written).
+    pub fn read_field(&self, r: ObjRef, field: FieldId) -> Option<WideValue> {
+        match self.get(r) {
+            Some(HeapObject {
+                kind: ObjKind::Instance { fields, .. },
+                ..
+            }) => Some(fields.get(&field).copied().unwrap_or_default()),
+            _ => None,
+        }
+    }
+
+    /// Writes an instance field.
+    pub fn write_field(&mut self, r: ObjRef, field: FieldId, value: WideValue) -> bool {
+        match self.get_mut(r) {
+            Some(HeapObject {
+                kind: ObjKind::Instance { fields, .. },
+                ..
+            }) => {
+                fields.insert(field, value);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_reads_as_none() {
+        let heap = Heap::new();
+        assert!(heap.get(0).is_none());
+        assert!(heap.as_string(0).is_none());
+    }
+
+    #[test]
+    fn handles_are_one_based_and_stable() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_string("a".into(), 0);
+        let b = heap.alloc_string("b".into(), 0);
+        assert_eq!(a, 1);
+        assert_eq!(b, 2);
+        assert_eq!(heap.as_string(a), Some("a"));
+        assert_eq!(heap.as_string(b), Some("b"));
+    }
+
+    #[test]
+    fn instance_fields_default_to_zero() {
+        let mut heap = Heap::new();
+        let obj = heap.alloc_instance(ClassId(3));
+        let f = FieldId(7);
+        assert_eq!(heap.read_field(obj, f), Some(WideValue::default()));
+        assert!(heap.write_field(obj, f, WideValue::from_long(42)));
+        assert_eq!(heap.read_field(obj, f).unwrap().as_long(), 42);
+    }
+
+    #[test]
+    fn field_access_on_non_instance_fails() {
+        let mut heap = Heap::new();
+        let s = heap.alloc_string("x".into(), 0);
+        assert!(heap.read_field(s, FieldId(0)).is_none());
+        assert!(!heap.write_field(s, FieldId(0), WideValue::default()));
+    }
+
+    #[test]
+    fn arrays_track_length() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array("I", 5);
+        assert_eq!(heap.array_len(arr), Some(5));
+        assert_eq!(heap.array_len(0), None);
+    }
+}

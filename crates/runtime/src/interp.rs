@@ -1,0 +1,1382 @@
+//! The bytecode interpreter.
+//!
+//! A faithful (if simplified) analogue of ART's `ExecuteSwitchImpl`: a
+//! register frame of 32-bit slots, a `dex_pc` into the method's 16-bit code
+//! unit array, and a fetch→observe→execute loop. Observers see every
+//! instruction *before* it executes, with its raw units — the hook DexLego's
+//! Algorithm 1 builds its collection trees on. Because code units are
+//! re-fetched from the (mutable) method on every iteration, self-modifying
+//! native code behaves exactly as on Android.
+//!
+//! Taint is propagated through explicit data flow only (moves, arithmetic,
+//! field/array traffic, call arguments and returns) — deliberately *not*
+//! through branch conditions, reproducing the implicit-flow blind spot of
+//! runtime taint trackers that Table IV of the paper demonstrates.
+
+use dexlego_dalvik::{decode_insn, Decoded, Insn, Opcode};
+
+use crate::class::{MethodId, MethodImpl};
+use crate::heap::{ObjKind, ObjRef};
+use crate::natives::native_key;
+use crate::observer::{InsnEvent, RuntimeObserver};
+use crate::runtime::{Result, Runtime, RuntimeError};
+use crate::value::{RetVal, Slot, WideValue};
+
+/// Outcome of running one frame: a return value or a thrown exception that
+/// escaped the frame.
+enum Outcome {
+    Ret(RetVal),
+    Threw(ObjRef),
+}
+
+/// Executes `method` with `args` (argument slots, wide values pre-split).
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::UncaughtException`] if a Java exception escapes
+/// the outermost frame (unless the observer tolerates exceptions), or a
+/// hard error for linkage/decoding/budget failures.
+pub fn execute(
+    rt: &mut Runtime,
+    obs: &mut dyn RuntimeObserver,
+    method: MethodId,
+    args: &[Slot],
+) -> Result<RetVal> {
+    if rt.exec_stack.is_empty() {
+        rt.budget_start = rt.stats.insns;
+    }
+    match execute_inner(rt, obs, method, args, 0)? {
+        Outcome::Ret(v) => Ok(v),
+        Outcome::Threw(exc) => {
+            let (type_desc, message) = describe_throwable(rt, exc);
+            Err(RuntimeError::UncaughtException { type_desc, message })
+        }
+    }
+}
+
+fn describe_throwable(rt: &Runtime, exc: ObjRef) -> (String, String) {
+    match rt.heap.get(exc).map(|o| &o.kind) {
+        Some(ObjKind::Throwable { type_desc, message }) => (type_desc.clone(), message.clone()),
+        Some(ObjKind::Instance { class, .. }) => {
+            (rt.class(*class).descriptor.clone(), String::new())
+        }
+        _ => ("Ljava/lang/Throwable;".to_owned(), String::new()),
+    }
+}
+
+/// The runtime class of an arbitrary heap object (strings and reflection
+/// objects map to their framework classes).
+pub fn runtime_class_of_obj(rt: &mut Runtime, obj: ObjRef) -> Option<crate::class::ClassId> {
+    match rt.heap.get(obj).map(|o| o.kind.clone()) {
+        Some(ObjKind::Instance { class, .. }) => Some(class),
+        Some(ObjKind::Str(_)) => Some(rt.ensure_class_stub("Ljava/lang/String;")),
+        Some(ObjKind::Class(_)) => Some(rt.ensure_class_stub("Ljava/lang/Class;")),
+        Some(ObjKind::Method(_)) => Some(rt.ensure_class_stub("Ljava/lang/reflect/Method;")),
+        Some(ObjKind::Array { .. }) => Some(rt.ensure_class_stub("Ljava/lang/Object;")),
+        Some(ObjKind::Throwable { type_desc, .. }) => Some(rt.ensure_class_stub(&type_desc)),
+        None => None,
+    }
+}
+
+fn execute_inner(
+    rt: &mut Runtime,
+    obs: &mut dyn RuntimeObserver,
+    method: MethodId,
+    args: &[Slot],
+    depth: usize,
+) -> Result<Outcome> {
+    if depth >= rt.env.max_depth {
+        return Err(RuntimeError::StackOverflow);
+    }
+    rt.stats.frames += 1;
+    obs.on_method_enter(rt, method);
+
+    let outcome = match &rt.method(method).body {
+        MethodImpl::Native => {
+            rt.stats.native_calls += 1;
+            let m = rt.method(method);
+            let key = native_key(&rt.class(m.class).descriptor, &m.name, &m.descriptor);
+            let f = rt
+                .natives
+                .lookup(&key)
+                .ok_or(RuntimeError::NativeMissing(key))?;
+            match f(rt, obs, args) {
+                Ok(v) => Ok(Outcome::Ret(v)),
+                Err(RuntimeError::UncaughtException { type_desc, message }) => {
+                    // Natives throw by returning UncaughtException; convert
+                    // to a heap throwable so callers can catch it.
+                    let exc = rt.heap.alloc(
+                        ObjKind::Throwable { type_desc, message },
+                        0,
+                    );
+                    Ok(Outcome::Threw(exc))
+                }
+                Err(e) => Err(e),
+            }
+        }
+        MethodImpl::Abstract => Err(RuntimeError::MethodNotFound(format!(
+            "abstract method invoked: {}",
+            rt.method_name(method)
+        ))),
+        MethodImpl::Bytecode { registers, ins, .. } => {
+            let registers = *registers as usize;
+            let ins = *ins as usize;
+            if args.len() != ins {
+                return Err(RuntimeError::Internal(format!(
+                    "{}: expected {} argument slots, got {}",
+                    rt.method_name(method),
+                    ins,
+                    args.len()
+                )));
+            }
+            rt.exec_stack.push((method, 0));
+            let result = run_frame(rt, obs, method, registers, ins, args, depth);
+            rt.exec_stack.pop();
+            result
+        }
+    };
+
+    obs.on_method_exit(rt, method);
+    outcome
+}
+
+/// Fetches the current instruction's decoded form and raw units.
+fn fetch(rt: &Runtime, method: MethodId, pc: u32) -> Result<(Insn, Vec<u16>)> {
+    let MethodImpl::Bytecode { insns, .. } = &rt.method(method).body else {
+        return Err(RuntimeError::Internal("fetch on non-bytecode method".into()));
+    };
+    if pc as usize >= insns.len() {
+        return Err(RuntimeError::Internal(format!(
+            "{}: dex_pc {} past end of {}-unit method",
+            rt.method_name(method),
+            pc,
+            insns.len()
+        )));
+    }
+    match decode_insn(insns, pc as usize)? {
+        Decoded::Insn(insn) => {
+            let len = insn.units();
+            let units = insns[pc as usize..pc as usize + len].to_vec();
+            Ok((insn, units))
+        }
+        _ => Err(RuntimeError::Internal(format!(
+            "{}: execution reached payload at dex_pc {}",
+            rt.method_name(method),
+            pc
+        ))),
+    }
+}
+
+/// Reads the payload referenced by a 31t instruction.
+fn fetch_payload(rt: &Runtime, method: MethodId, payload_pc: u32) -> Result<Decoded> {
+    let MethodImpl::Bytecode { insns, .. } = &rt.method(method).body else {
+        return Err(RuntimeError::Internal("fetch on non-bytecode method".into()));
+    };
+    Ok(decode_insn(insns, payload_pc as usize)?)
+}
+
+struct Frame {
+    regs: Vec<Slot>,
+    last_result: RetVal,
+    caught: Option<ObjRef>,
+}
+
+impl Frame {
+    fn reg(&self, i: u32) -> Slot {
+        self.regs[i as usize]
+    }
+    fn set(&mut self, i: u32, v: Slot) {
+        self.regs[i as usize] = v;
+    }
+    fn wide(&self, i: u32) -> WideValue {
+        WideValue::join(self.regs[i as usize], self.regs[i as usize + 1])
+    }
+    fn set_wide(&mut self, i: u32, v: WideValue) {
+        let (lo, hi) = v.split();
+        self.regs[i as usize] = lo;
+        self.regs[i as usize + 1] = hi;
+    }
+}
+
+enum Thrown {
+    Java(&'static str, String),
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_frame(
+    rt: &mut Runtime,
+    obs: &mut dyn RuntimeObserver,
+    method: MethodId,
+    registers: usize,
+    ins: usize,
+    args: &[Slot],
+    depth: usize,
+) -> Result<Outcome> {
+    let mut frame = Frame {
+        regs: vec![Slot::default(); registers],
+        last_result: RetVal::Void,
+        caught: None,
+    };
+    frame.regs[registers - ins..].copy_from_slice(args);
+    let mut pc: u32 = 0;
+
+    'dispatch: loop {
+        rt.stats.insns += 1;
+        if rt.stats.insns - rt.budget_start > rt.env.insn_budget {
+            return Err(RuntimeError::BudgetExhausted);
+        }
+        let (insn, units) = fetch(rt, method, pc)?;
+        if let Some(top) = rt.exec_stack.last_mut() {
+            top.1 = pc;
+        }
+        obs.on_instruction(
+            rt,
+            &InsnEvent {
+                method,
+                dex_pc: pc,
+                insn: &insn,
+                units: &units,
+            },
+        );
+        let next_pc = pc + insn.units() as u32;
+
+        // Instruction execution. `thrown` carries a pending Java exception
+        // raised by this instruction.
+        let mut thrown: Option<Thrown> = None;
+        let mut thrown_obj: Option<ObjRef> = None;
+
+        macro_rules! throw_java {
+            ($ty:expr, $msg:expr) => {{
+                thrown = Some(Thrown::Java($ty, $msg));
+            }};
+        }
+
+        match insn.op {
+            Opcode::Nop => {}
+
+            // ---- moves -----------------------------------------------------
+            Opcode::Move | Opcode::MoveFrom16 | Opcode::Move16 | Opcode::MoveObject
+            | Opcode::MoveObjectFrom16 | Opcode::MoveObject16 => {
+                frame.set(insn.a, frame.reg(insn.b));
+            }
+            Opcode::MoveWide | Opcode::MoveWideFrom16 | Opcode::MoveWide16 => {
+                let v = frame.wide(insn.b);
+                frame.set_wide(insn.a, v);
+            }
+            Opcode::MoveResult | Opcode::MoveResultObject => match frame.last_result {
+                RetVal::Single(s) => frame.set(insn.a, s),
+                _ => frame.set(insn.a, Slot::default()),
+            },
+            Opcode::MoveResultWide => match frame.last_result {
+                RetVal::Wide(w) => frame.set_wide(insn.a, w),
+                _ => frame.set_wide(insn.a, WideValue::default()),
+            },
+            Opcode::MoveException => {
+                let caught = frame.caught.take().unwrap_or(0);
+                frame.set(insn.a, Slot::of(caught));
+            }
+
+            // ---- returns ---------------------------------------------------
+            Opcode::ReturnVoid => return Ok(Outcome::Ret(RetVal::Void)),
+            Opcode::Return | Opcode::ReturnObject => {
+                return Ok(Outcome::Ret(RetVal::Single(frame.reg(insn.a))))
+            }
+            Opcode::ReturnWide => {
+                return Ok(Outcome::Ret(RetVal::Wide(frame.wide(insn.a))))
+            }
+
+            // ---- constants -------------------------------------------------
+            Opcode::Const4 | Opcode::Const16 | Opcode::Const | Opcode::ConstHigh16 => {
+                frame.set(insn.a, Slot::of(insn.lit as i32 as u32));
+            }
+            Opcode::ConstWide16 | Opcode::ConstWide32 | Opcode::ConstWide
+            | Opcode::ConstWideHigh16 => {
+                frame.set_wide(insn.a, WideValue::from_long(insn.lit));
+            }
+            Opcode::ConstString | Opcode::ConstStringJumbo => {
+                let s = resolve_string(rt, method, insn.idx)?;
+                let r = rt.intern_string(&s);
+                frame.set(insn.a, Slot::of(r));
+            }
+            Opcode::ConstClass => {
+                let desc = resolve_type(rt, method, insn.idx)?;
+                let class = rt
+                    .find_class(&desc)
+                    .unwrap_or_else(|| rt.ensure_class_stub(&desc));
+                let r = rt.heap.alloc(ObjKind::Class(class), 0);
+                frame.set(insn.a, Slot::of(r));
+            }
+
+            // ---- monitors (single-threaded: no-ops) -------------------------
+            Opcode::MonitorEnter | Opcode::MonitorExit => {
+                if frame.reg(insn.a).raw == 0 {
+                    throw_java!("Ljava/lang/NullPointerException;", "monitor on null".into());
+                }
+            }
+
+            // ---- casts / type tests -----------------------------------------
+            Opcode::CheckCast => {
+                let obj = frame.reg(insn.a).raw;
+                if obj != 0 {
+                    let desc = resolve_type(rt, method, insn.idx)?;
+                    if let (Some(target), Some(actual)) =
+                        (rt.find_class(&desc), runtime_class_of_obj(rt, obj))
+                    {
+                        // Lenient where hierarchy is only partially known
+                        // (stub classes report Object as supertype).
+                        let target_is_stub = rt.class(target).source == "<framework>";
+                        if !target_is_stub && !rt.is_subtype(actual, target) {
+                            throw_java!(
+                                "Ljava/lang/ClassCastException;",
+                                format!("{} -> {}", rt.class(actual).descriptor, desc)
+                            );
+                        }
+                    }
+                }
+            }
+            Opcode::InstanceOf => {
+                let obj = frame.reg(insn.b).raw;
+                let desc = resolve_type(rt, method, insn.idx)?;
+                let result = if obj == 0 {
+                    false
+                } else {
+                    match (rt.find_class(&desc), runtime_class_of_obj(rt, obj)) {
+                        (Some(target), Some(actual)) => rt.is_subtype(actual, target),
+                        _ => false,
+                    }
+                };
+                frame.set(insn.a, Slot::of(u32::from(result)));
+            }
+
+            // ---- allocation --------------------------------------------------
+            Opcode::NewInstance => {
+                let desc = resolve_type(rt, method, insn.idx)?;
+                let class = rt
+                    .find_class(&desc)
+                    .unwrap_or_else(|| rt.ensure_class_stub(&desc));
+                rt.ensure_initialized(obs, class)?;
+                let r = rt.heap.alloc_instance(class);
+                frame.set(insn.a, Slot::of(r));
+            }
+            Opcode::NewArray => {
+                let len = frame.reg(insn.b).as_int();
+                if len < 0 {
+                    throw_java!(
+                        "Ljava/lang/NegativeArraySizeException;",
+                        len.to_string()
+                    );
+                } else {
+                    let desc = resolve_type(rt, method, insn.idx)?;
+                    let elem = desc.strip_prefix('[').unwrap_or("I").to_owned();
+                    let r = rt.heap.alloc_array(&elem, len as usize);
+                    frame.set(insn.a, Slot::of(r));
+                }
+            }
+            Opcode::ArrayLength => {
+                let arr = frame.reg(insn.b).raw;
+                match rt.heap.array_len(arr) {
+                    Some(n) => frame.set(insn.a, Slot::of(n as u32)),
+                    None => throw_java!(
+                        "Ljava/lang/NullPointerException;",
+                        "array-length on null".into()
+                    ),
+                }
+            }
+            Opcode::FilledNewArray | Opcode::FilledNewArrayRange => {
+                let desc = resolve_type(rt, method, insn.idx)?;
+                let elem = desc.strip_prefix('[').unwrap_or("I").to_owned();
+                let r = rt.heap.alloc_array(&elem, insn.regs.len());
+                for (i, &reg) in insn.regs.iter().enumerate() {
+                    let v = frame.reg(reg);
+                    if let Some(obj) = rt.heap.get_mut(r) {
+                        if let ObjKind::Array { data, .. } = &mut obj.kind {
+                            data[i] = WideValue {
+                                raw: u64::from(v.raw),
+                                taint: v.taint,
+                            };
+                        }
+                    }
+                }
+                frame.last_result = RetVal::Single(Slot::of(r));
+            }
+            Opcode::FillArrayData => {
+                let arr = frame.reg(insn.a).raw;
+                let payload = fetch_payload(rt, method, insn.target(pc))?;
+                if let Decoded::FillArrayDataPayload {
+                    element_width,
+                    data,
+                } = payload
+                {
+                    if rt.heap.array_len(arr).is_none() {
+                        throw_java!(
+                            "Ljava/lang/NullPointerException;",
+                            "fill-array-data on null".into()
+                        );
+                    } else if let Some(obj) = rt.heap.get_mut(arr) {
+                        if let ObjKind::Array { data: dst, .. } = &mut obj.kind {
+                            let w = element_width as usize;
+                            for (i, chunk) in data.chunks(w).enumerate() {
+                                if i >= dst.len() {
+                                    break;
+                                }
+                                let mut v: u64 = 0;
+                                for (j, &b) in chunk.iter().enumerate() {
+                                    v |= u64::from(b) << (8 * j);
+                                }
+                                dst[i] = WideValue::of(v);
+                            }
+                        }
+                    }
+                } else {
+                    return Err(RuntimeError::Internal(
+                        "fill-array-data target is not an array payload".into(),
+                    ));
+                }
+            }
+
+            // ---- exceptions ---------------------------------------------------
+            Opcode::Throw => {
+                let exc = frame.reg(insn.a).raw;
+                if exc == 0 {
+                    throw_java!("Ljava/lang/NullPointerException;", "throw null".into());
+                } else {
+                    thrown_obj = Some(exc);
+                }
+            }
+
+            // ---- unconditional branches ----------------------------------------
+            Opcode::Goto | Opcode::Goto16 | Opcode::Goto32 => {
+                pc = insn.target(pc);
+                continue 'dispatch;
+            }
+
+            // ---- switches --------------------------------------------------------
+            Opcode::PackedSwitch | Opcode::SparseSwitch => {
+                let key = frame.reg(insn.a).as_int();
+                let payload = fetch_payload(rt, method, insn.target(pc))?;
+                let target = match payload {
+                    Decoded::PackedSwitchPayload { first_key, targets } => {
+                        let idx = i64::from(key) - i64::from(first_key);
+                        if idx >= 0 && (idx as usize) < targets.len() {
+                            Some(targets[idx as usize])
+                        } else {
+                            None
+                        }
+                    }
+                    Decoded::SparseSwitchPayload { keys, targets } => keys
+                        .iter()
+                        .position(|&k| k == key)
+                        .map(|i| targets[i]),
+                    _ => {
+                        return Err(RuntimeError::Internal(
+                            "switch target is not a switch payload".into(),
+                        ))
+                    }
+                };
+                if let Some(off) = target {
+                    pc = pc.wrapping_add(off as u32);
+                    continue 'dispatch;
+                }
+            }
+
+            // ---- comparisons ------------------------------------------------------
+            Opcode::CmplFloat | Opcode::CmpgFloat => {
+                let a = frame.reg(insn.b);
+                let b = frame.reg(insn.c);
+                let (x, y) = (a.as_float(), b.as_float());
+                let r = if x.is_nan() || y.is_nan() {
+                    if insn.op == Opcode::CmplFloat { -1 } else { 1 }
+                } else if x < y {
+                    -1
+                } else {
+                    i32::from(x > y)
+                };
+                frame.set(
+                    insn.a,
+                    Slot {
+                        raw: r as u32,
+                        taint: a.taint | b.taint,
+                    },
+                );
+            }
+            Opcode::CmplDouble | Opcode::CmpgDouble => {
+                let a = frame.wide(insn.b);
+                let b = frame.wide(insn.c);
+                let (x, y) = (a.as_double(), b.as_double());
+                let r = if x.is_nan() || y.is_nan() {
+                    if insn.op == Opcode::CmplDouble { -1 } else { 1 }
+                } else if x < y {
+                    -1
+                } else {
+                    i32::from(x > y)
+                };
+                frame.set(
+                    insn.a,
+                    Slot {
+                        raw: r as u32,
+                        taint: a.taint | b.taint,
+                    },
+                );
+            }
+            Opcode::CmpLong => {
+                let a = frame.wide(insn.b);
+                let b = frame.wide(insn.c);
+                let r = match a.as_long().cmp(&b.as_long()) {
+                    std::cmp::Ordering::Less => -1i32,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                frame.set(
+                    insn.a,
+                    Slot {
+                        raw: r as u32,
+                        taint: a.taint | b.taint,
+                    },
+                );
+            }
+
+            // ---- conditional branches ------------------------------------------------
+            Opcode::IfEq | Opcode::IfNe | Opcode::IfLt | Opcode::IfGe | Opcode::IfGt
+            | Opcode::IfLe => {
+                let a = frame.reg(insn.a).as_int();
+                let b = frame.reg(insn.b).as_int();
+                let would_take = match insn.op {
+                    Opcode::IfEq => a == b,
+                    Opcode::IfNe => a != b,
+                    Opcode::IfLt => a < b,
+                    Opcode::IfGe => a >= b,
+                    Opcode::IfGt => a > b,
+                    _ => a <= b,
+                };
+                let take = obs
+                    .override_branch(rt, method, pc, would_take)
+                    .unwrap_or(would_take);
+                obs.on_branch(rt, method, pc, take);
+                if take {
+                    pc = insn.target(pc);
+                    continue 'dispatch;
+                }
+            }
+            Opcode::IfEqz | Opcode::IfNez | Opcode::IfLtz | Opcode::IfGez | Opcode::IfGtz
+            | Opcode::IfLez => {
+                let a = frame.reg(insn.a).as_int();
+                let would_take = match insn.op {
+                    Opcode::IfEqz => a == 0,
+                    Opcode::IfNez => a != 0,
+                    Opcode::IfLtz => a < 0,
+                    Opcode::IfGez => a >= 0,
+                    Opcode::IfGtz => a > 0,
+                    _ => a <= 0,
+                };
+                let take = obs
+                    .override_branch(rt, method, pc, would_take)
+                    .unwrap_or(would_take);
+                obs.on_branch(rt, method, pc, take);
+                if take {
+                    pc = insn.target(pc);
+                    continue 'dispatch;
+                }
+            }
+
+            // ---- array element access ---------------------------------------------------
+            Opcode::Aget | Opcode::AgetObject | Opcode::AgetBoolean | Opcode::AgetByte
+            | Opcode::AgetChar | Opcode::AgetShort => {
+                match array_read(rt, &frame, insn.b, insn.c) {
+                    Ok(v) => frame.set(
+                        insn.a,
+                        Slot {
+                            raw: v.raw as u32,
+                            taint: v.taint,
+                        },
+                    ),
+                    Err(t) => thrown = Some(t),
+                }
+            }
+            Opcode::AgetWide => match array_read(rt, &frame, insn.b, insn.c) {
+                Ok(v) => frame.set_wide(insn.a, v),
+                Err(t) => thrown = Some(t),
+            },
+            Opcode::Aput | Opcode::AputObject | Opcode::AputBoolean | Opcode::AputByte
+            | Opcode::AputChar | Opcode::AputShort => {
+                let v = frame.reg(insn.a);
+                if let Err(t) = array_write(
+                    rt,
+                    &frame,
+                    insn.b,
+                    insn.c,
+                    WideValue {
+                        raw: u64::from(v.raw),
+                        taint: v.taint,
+                    },
+                ) {
+                    thrown = Some(t);
+                }
+            }
+            Opcode::AputWide => {
+                let v = frame.wide(insn.a);
+                if let Err(t) = array_write(rt, &frame, insn.b, insn.c, v) {
+                    thrown = Some(t);
+                }
+            }
+
+            // ---- instance fields -----------------------------------------------------------
+            Opcode::Iget | Opcode::IgetObject | Opcode::IgetBoolean | Opcode::IgetByte
+            | Opcode::IgetChar | Opcode::IgetShort | Opcode::IgetWide => {
+                let obj = frame.reg(insn.b).raw;
+                if obj == 0 {
+                    throw_java!("Ljava/lang/NullPointerException;", "iget on null".into());
+                } else {
+                    let field = resolve_field_ref(rt, method, insn.idx)?;
+                    let v = rt.heap.read_field(obj, field).unwrap_or_default();
+                    if insn.op == Opcode::IgetWide {
+                        frame.set_wide(insn.a, v);
+                    } else {
+                        frame.set(
+                            insn.a,
+                            Slot {
+                                raw: v.raw as u32,
+                                taint: v.taint,
+                            },
+                        );
+                    }
+                }
+            }
+            Opcode::Iput | Opcode::IputObject | Opcode::IputBoolean | Opcode::IputByte
+            | Opcode::IputChar | Opcode::IputShort | Opcode::IputWide => {
+                let obj = frame.reg(insn.b).raw;
+                if obj == 0 {
+                    throw_java!("Ljava/lang/NullPointerException;", "iput on null".into());
+                } else {
+                    let field = resolve_field_ref(rt, method, insn.idx)?;
+                    let v = if insn.op == Opcode::IputWide {
+                        frame.wide(insn.a)
+                    } else {
+                        let s = frame.reg(insn.a);
+                        WideValue {
+                            raw: u64::from(s.raw),
+                            taint: s.taint,
+                        }
+                    };
+                    rt.heap.write_field(obj, field, v);
+                }
+            }
+
+            // ---- static fields ---------------------------------------------------------------
+            Opcode::Sget | Opcode::SgetObject | Opcode::SgetBoolean | Opcode::SgetByte
+            | Opcode::SgetChar | Opcode::SgetShort | Opcode::SgetWide => {
+                let field = resolve_field_ref(rt, method, insn.idx)?;
+                let v = rt.static_get(obs, field)?;
+                if insn.op == Opcode::SgetWide {
+                    frame.set_wide(insn.a, v);
+                } else {
+                    frame.set(
+                        insn.a,
+                        Slot {
+                            raw: v.raw as u32,
+                            taint: v.taint,
+                        },
+                    );
+                }
+            }
+            Opcode::Sput | Opcode::SputObject | Opcode::SputBoolean | Opcode::SputByte
+            | Opcode::SputChar | Opcode::SputShort | Opcode::SputWide => {
+                let field = resolve_field_ref(rt, method, insn.idx)?;
+                let v = if insn.op == Opcode::SputWide {
+                    frame.wide(insn.a)
+                } else {
+                    let s = frame.reg(insn.a);
+                    WideValue {
+                        raw: u64::from(s.raw),
+                        taint: s.taint,
+                    }
+                };
+                rt.static_put(obs, field, v)?;
+            }
+
+            // ---- invocations --------------------------------------------------------------------
+            op if op.is_invoke() => {
+                let args: Vec<Slot> = insn.regs.iter().map(|&r| frame.reg(r)).collect();
+                match dispatch_invoke(rt, obs, method, &insn, &args, depth)? {
+                    Outcome::Ret(v) => frame.last_result = v,
+                    Outcome::Threw(exc) => thrown_obj = Some(exc),
+                }
+            }
+
+            // ---- unary ops --------------------------------------------------------------------
+            Opcode::NegInt => unary_int(&mut frame, &insn, |v| v.wrapping_neg()),
+            Opcode::NotInt => unary_int(&mut frame, &insn, |v| !v),
+            Opcode::NegLong => unary_long(&mut frame, &insn, |v| v.wrapping_neg()),
+            Opcode::NotLong => unary_long(&mut frame, &insn, |v| !v),
+            Opcode::NegFloat => {
+                let v = frame.reg(insn.b);
+                frame.set(
+                    insn.a,
+                    Slot {
+                        raw: (-v.as_float()).to_bits(),
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::NegDouble => {
+                let v = frame.wide(insn.b);
+                frame.set_wide(
+                    insn.a,
+                    WideValue {
+                        raw: (-v.as_double()).to_bits(),
+                        taint: v.taint,
+                    },
+                );
+            }
+
+            // ---- conversions ------------------------------------------------------------------
+            Opcode::IntToLong => {
+                let v = frame.reg(insn.b);
+                frame.set_wide(
+                    insn.a,
+                    WideValue {
+                        raw: i64::from(v.as_int()) as u64,
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::IntToFloat => {
+                let v = frame.reg(insn.b);
+                frame.set(
+                    insn.a,
+                    Slot {
+                        raw: (v.as_int() as f32).to_bits(),
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::IntToDouble => {
+                let v = frame.reg(insn.b);
+                frame.set_wide(
+                    insn.a,
+                    WideValue {
+                        raw: f64::from(v.as_int()).to_bits(),
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::LongToInt => {
+                let v = frame.wide(insn.b);
+                frame.set(
+                    insn.a,
+                    Slot {
+                        raw: v.as_long() as i32 as u32,
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::LongToFloat => {
+                let v = frame.wide(insn.b);
+                frame.set(
+                    insn.a,
+                    Slot {
+                        raw: (v.as_long() as f32).to_bits(),
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::LongToDouble => {
+                let v = frame.wide(insn.b);
+                frame.set_wide(
+                    insn.a,
+                    WideValue {
+                        raw: (v.as_long() as f64).to_bits(),
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::FloatToInt => {
+                let v = frame.reg(insn.b);
+                frame.set(
+                    insn.a,
+                    Slot {
+                        raw: clamp_f2i(v.as_float()) as u32,
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::FloatToLong => {
+                let v = frame.reg(insn.b);
+                frame.set_wide(
+                    insn.a,
+                    WideValue {
+                        raw: clamp_f2l(f64::from(v.as_float())) as u64,
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::FloatToDouble => {
+                let v = frame.reg(insn.b);
+                frame.set_wide(
+                    insn.a,
+                    WideValue {
+                        raw: f64::from(v.as_float()).to_bits(),
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::DoubleToInt => {
+                let v = frame.wide(insn.b);
+                frame.set(
+                    insn.a,
+                    Slot {
+                        raw: clamp_f2i(v.as_double() as f32) as u32,
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::DoubleToLong => {
+                let v = frame.wide(insn.b);
+                frame.set_wide(
+                    insn.a,
+                    WideValue {
+                        raw: clamp_f2l(v.as_double()) as u64,
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::DoubleToFloat => {
+                let v = frame.wide(insn.b);
+                frame.set(
+                    insn.a,
+                    Slot {
+                        raw: (v.as_double() as f32).to_bits(),
+                        taint: v.taint,
+                    },
+                );
+            }
+            Opcode::IntToByte => unary_int(&mut frame, &insn, |v| i32::from(v as i8)),
+            Opcode::IntToChar => unary_int(&mut frame, &insn, |v| i32::from(v as u16)),
+            Opcode::IntToShort => unary_int(&mut frame, &insn, |v| i32::from(v as i16)),
+
+            // ---- int arithmetic (23x and 2addr) ------------------------------------------------
+            op if int_binop(op).is_some() => {
+                let f = int_binop(op).expect("guard");
+                let two_addr = (op as u8) >= 0xb0;
+                let (b, c) = if two_addr {
+                    (insn.a, insn.b)
+                } else {
+                    (insn.b, insn.c)
+                };
+                let x = frame.reg(b);
+                let y = frame.reg(c);
+                if matches!(
+                    op,
+                    Opcode::DivInt | Opcode::RemInt | Opcode::DivInt2addr | Opcode::RemInt2addr
+                ) && y.as_int() == 0
+                {
+                    throw_java!("Ljava/lang/ArithmeticException;", "divide by zero".into());
+                } else {
+                    frame.set(
+                        insn.a,
+                        Slot {
+                            raw: f(x.as_int(), y.as_int()) as u32,
+                            taint: x.taint | y.taint,
+                        },
+                    );
+                }
+            }
+
+            // ---- long arithmetic -----------------------------------------------------------------
+            op if long_binop(op).is_some() => {
+                let f = long_binop(op).expect("guard");
+                let two_addr = (op as u8) >= 0xb0;
+                let (b, c) = if two_addr {
+                    (insn.a, insn.b)
+                } else {
+                    (insn.b, insn.c)
+                };
+                let x = frame.wide(b);
+                // Shift amounts for longs are int registers.
+                let is_shift = matches!(
+                    op,
+                    Opcode::ShlLong
+                        | Opcode::ShrLong
+                        | Opcode::UshrLong
+                        | Opcode::ShlLong2addr
+                        | Opcode::ShrLong2addr
+                        | Opcode::UshrLong2addr
+                );
+                let (y_val, y_taint) = if is_shift {
+                    let s = frame.reg(c);
+                    (i64::from(s.as_int()), s.taint)
+                } else {
+                    let w = frame.wide(c);
+                    (w.as_long(), w.taint)
+                };
+                if matches!(
+                    op,
+                    Opcode::DivLong | Opcode::RemLong | Opcode::DivLong2addr | Opcode::RemLong2addr
+                ) && y_val == 0
+                {
+                    throw_java!("Ljava/lang/ArithmeticException;", "divide by zero".into());
+                } else {
+                    frame.set_wide(
+                        insn.a,
+                        WideValue {
+                            raw: f(x.as_long(), y_val) as u64,
+                            taint: x.taint | y_taint,
+                        },
+                    );
+                }
+            }
+
+            // ---- float/double arithmetic ------------------------------------------------------------
+            op if float_binop(op).is_some() => {
+                let f = float_binop(op).expect("guard");
+                let two_addr = (op as u8) >= 0xb0;
+                let (b, c) = if two_addr {
+                    (insn.a, insn.b)
+                } else {
+                    (insn.b, insn.c)
+                };
+                let x = frame.reg(b);
+                let y = frame.reg(c);
+                frame.set(
+                    insn.a,
+                    Slot {
+                        raw: f(x.as_float(), y.as_float()).to_bits(),
+                        taint: x.taint | y.taint,
+                    },
+                );
+            }
+            op if double_binop(op).is_some() => {
+                let f = double_binop(op).expect("guard");
+                let two_addr = (op as u8) >= 0xb0;
+                let (b, c) = if two_addr {
+                    (insn.a, insn.b)
+                } else {
+                    (insn.b, insn.c)
+                };
+                let x = frame.wide(b);
+                let y = frame.wide(c);
+                frame.set_wide(
+                    insn.a,
+                    WideValue {
+                        raw: f(x.as_double(), y.as_double()).to_bits(),
+                        taint: x.taint | y.taint,
+                    },
+                );
+            }
+
+            // ---- literal int arithmetic ----------------------------------------------------------------
+            op if lit_binop(op).is_some() => {
+                let f = lit_binop(op).expect("guard");
+                let x = frame.reg(insn.b);
+                let lit = insn.lit as i32;
+                if matches!(
+                    op,
+                    Opcode::DivIntLit16 | Opcode::RemIntLit16 | Opcode::DivIntLit8 | Opcode::RemIntLit8
+                ) && lit == 0
+                {
+                    throw_java!("Ljava/lang/ArithmeticException;", "divide by zero".into());
+                } else {
+                    frame.set(
+                        insn.a,
+                        Slot {
+                            raw: f(x.as_int(), lit) as u32,
+                            taint: x.taint,
+                        },
+                    );
+                }
+            }
+
+            other => {
+                return Err(RuntimeError::Internal(format!(
+                    "unimplemented opcode {}",
+                    other.mnemonic()
+                )))
+            }
+        }
+
+        // ---- exception delivery --------------------------------------------
+        if let Some(Thrown::Java(ty, msg)) = thrown {
+            let exc = rt.heap.alloc(
+                ObjKind::Throwable {
+                    type_desc: ty.to_owned(),
+                    message: msg,
+                },
+                0,
+            );
+            thrown_obj = Some(exc);
+        }
+        if let Some(exc) = thrown_obj {
+            obs.on_exception(rt, method, pc);
+            match find_handler(rt, method, pc, exc) {
+                Some(handler_pc) => {
+                    frame.caught = Some(exc);
+                    rt.last_exception = Some(exc);
+                    pc = handler_pc;
+                    continue 'dispatch;
+                }
+                None => {
+                    if obs.tolerate_exceptions() {
+                        // Force execution: clear the exception and step over
+                        // the faulting instruction (paper §IV-E).
+                        rt.last_exception = None;
+                        pc = next_pc;
+                        continue 'dispatch;
+                    }
+                    return Ok(Outcome::Threw(exc));
+                }
+            }
+        }
+
+        pc = next_pc;
+    }
+}
+
+fn clamp_f2i(v: f32) -> i32 {
+    if v.is_nan() {
+        0
+    } else if v >= i32::MAX as f32 {
+        i32::MAX
+    } else if v <= i32::MIN as f32 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+fn clamp_f2l(v: f64) -> i64 {
+    if v.is_nan() {
+        0
+    } else if v >= i64::MAX as f64 {
+        i64::MAX
+    } else if v <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+fn unary_int(frame: &mut Frame, insn: &Insn, f: impl Fn(i32) -> i32) {
+    let v = frame.reg(insn.b);
+    frame.set(
+        insn.a,
+        Slot {
+            raw: f(v.as_int()) as u32,
+            taint: v.taint,
+        },
+    );
+}
+
+fn unary_long(frame: &mut Frame, insn: &Insn, f: impl Fn(i64) -> i64) {
+    let v = frame.wide(insn.b);
+    frame.set_wide(
+        insn.a,
+        WideValue {
+            raw: f(v.as_long()) as u64,
+            taint: v.taint,
+        },
+    );
+}
+
+type IntOp = fn(i32, i32) -> i32;
+type LongOp = fn(i64, i64) -> i64;
+
+fn int_binop(op: Opcode) -> Option<IntOp> {
+    Some(match op {
+        Opcode::AddInt | Opcode::AddInt2addr => |a, b| a.wrapping_add(b),
+        Opcode::SubInt | Opcode::SubInt2addr => |a, b| a.wrapping_sub(b),
+        Opcode::MulInt | Opcode::MulInt2addr => |a, b| a.wrapping_mul(b),
+        Opcode::DivInt | Opcode::DivInt2addr => |a, b| a.wrapping_div(b),
+        Opcode::RemInt | Opcode::RemInt2addr => |a, b| a.wrapping_rem(b),
+        Opcode::AndInt | Opcode::AndInt2addr => |a, b| a & b,
+        Opcode::OrInt | Opcode::OrInt2addr => |a, b| a | b,
+        Opcode::XorInt | Opcode::XorInt2addr => |a, b| a ^ b,
+        Opcode::ShlInt | Opcode::ShlInt2addr => |a, b| a.wrapping_shl(b as u32 & 31),
+        Opcode::ShrInt | Opcode::ShrInt2addr => |a, b| a.wrapping_shr(b as u32 & 31),
+        Opcode::UshrInt | Opcode::UshrInt2addr => |a, b| ((a as u32) >> (b as u32 & 31)) as i32,
+        _ => return None,
+    })
+}
+
+fn long_binop(op: Opcode) -> Option<LongOp> {
+    Some(match op {
+        Opcode::AddLong | Opcode::AddLong2addr => |a: i64, b| a.wrapping_add(b),
+        Opcode::SubLong | Opcode::SubLong2addr => |a: i64, b| a.wrapping_sub(b),
+        Opcode::MulLong | Opcode::MulLong2addr => |a: i64, b| a.wrapping_mul(b),
+        Opcode::DivLong | Opcode::DivLong2addr => |a: i64, b| a.wrapping_div(b),
+        Opcode::RemLong | Opcode::RemLong2addr => |a: i64, b| a.wrapping_rem(b),
+        Opcode::AndLong | Opcode::AndLong2addr => |a, b| a & b,
+        Opcode::OrLong | Opcode::OrLong2addr => |a, b| a | b,
+        Opcode::XorLong | Opcode::XorLong2addr => |a, b| a ^ b,
+        Opcode::ShlLong | Opcode::ShlLong2addr => |a: i64, b| a.wrapping_shl(b as u32 & 63),
+        Opcode::ShrLong | Opcode::ShrLong2addr => |a: i64, b| a.wrapping_shr(b as u32 & 63),
+        Opcode::UshrLong | Opcode::UshrLong2addr => {
+            |a: i64, b| ((a as u64) >> (b as u32 & 63)) as i64
+        }
+        _ => return None,
+    })
+}
+
+fn float_binop(op: Opcode) -> Option<fn(f32, f32) -> f32> {
+    Some(match op {
+        Opcode::AddFloat | Opcode::AddFloat2addr => |a, b| a + b,
+        Opcode::SubFloat | Opcode::SubFloat2addr => |a, b| a - b,
+        Opcode::MulFloat | Opcode::MulFloat2addr => |a, b| a * b,
+        Opcode::DivFloat | Opcode::DivFloat2addr => |a, b| a / b,
+        Opcode::RemFloat | Opcode::RemFloat2addr => |a, b| a % b,
+        _ => return None,
+    })
+}
+
+fn double_binop(op: Opcode) -> Option<fn(f64, f64) -> f64> {
+    Some(match op {
+        Opcode::AddDouble | Opcode::AddDouble2addr => |a, b| a + b,
+        Opcode::SubDouble | Opcode::SubDouble2addr => |a, b| a - b,
+        Opcode::MulDouble | Opcode::MulDouble2addr => |a, b| a * b,
+        Opcode::DivDouble | Opcode::DivDouble2addr => |a, b| a / b,
+        Opcode::RemDouble | Opcode::RemDouble2addr => |a, b| a % b,
+        _ => return None,
+    })
+}
+
+fn lit_binop(op: Opcode) -> Option<IntOp> {
+    Some(match op {
+        Opcode::AddIntLit16 | Opcode::AddIntLit8 => |a, b| a.wrapping_add(b),
+        Opcode::RsubInt | Opcode::RsubIntLit8 => |a, b| b.wrapping_sub(a),
+        Opcode::MulIntLit16 | Opcode::MulIntLit8 => |a, b| a.wrapping_mul(b),
+        Opcode::DivIntLit16 | Opcode::DivIntLit8 => |a, b| a.wrapping_div(b),
+        Opcode::RemIntLit16 | Opcode::RemIntLit8 => |a, b| a.wrapping_rem(b),
+        Opcode::AndIntLit16 | Opcode::AndIntLit8 => |a, b| a & b,
+        Opcode::OrIntLit16 | Opcode::OrIntLit8 => |a, b| a | b,
+        Opcode::XorIntLit16 | Opcode::XorIntLit8 => |a, b| a ^ b,
+        Opcode::ShlIntLit8 => |a, b| a.wrapping_shl(b as u32 & 31),
+        Opcode::ShrIntLit8 => |a, b| a.wrapping_shr(b as u32 & 31),
+        Opcode::UshrIntLit8 => |a, b| ((a as u32) >> (b as u32 & 31)) as i32,
+        _ => return None,
+    })
+}
+
+enum ArrayFault {}
+
+fn array_read(rt: &Runtime, frame: &Frame, arr_reg: u32, idx_reg: u32) -> std::result::Result<WideValue, Thrown> {
+    let _phantom: Option<ArrayFault> = None;
+    let arr = frame.reg(arr_reg).raw;
+    let idx = frame.reg(idx_reg).as_int();
+    match rt.heap.get(arr).map(|o| &o.kind) {
+        Some(ObjKind::Array { data, .. }) => {
+            if idx < 0 || idx as usize >= data.len() {
+                Err(Thrown::Java(
+                    "Ljava/lang/ArrayIndexOutOfBoundsException;",
+                    format!("index {idx}, length {}", data.len()),
+                ))
+            } else {
+                Ok(data[idx as usize])
+            }
+        }
+        _ => Err(Thrown::Java(
+            "Ljava/lang/NullPointerException;",
+            "array access on null".into(),
+        )),
+    }
+}
+
+fn array_write(
+    rt: &mut Runtime,
+    frame: &Frame,
+    arr_reg: u32,
+    idx_reg: u32,
+    value: WideValue,
+) -> std::result::Result<(), Thrown> {
+    let arr = frame.reg(arr_reg).raw;
+    let idx = frame.reg(idx_reg).as_int();
+    match rt.heap.get_mut(arr).map(|o| &mut o.kind) {
+        Some(ObjKind::Array { data, .. }) => {
+            if idx < 0 || idx as usize >= data.len() {
+                Err(Thrown::Java(
+                    "Ljava/lang/ArrayIndexOutOfBoundsException;",
+                    format!("index {idx}, length {}", data.len()),
+                ))
+            } else {
+                data[idx as usize] = value;
+                Ok(())
+            }
+        }
+        _ => Err(Thrown::Java(
+            "Ljava/lang/NullPointerException;",
+            "array access on null".into(),
+        )),
+    }
+}
+
+// ---- operand resolution against the method's dex table ----------------------
+
+fn source_of(rt: &Runtime, method: MethodId) -> Result<usize> {
+    rt.method_source(method).ok_or_else(|| {
+        RuntimeError::Internal(format!(
+            "no dex source for bytecode method {}",
+            rt.method_name(method)
+        ))
+    })
+}
+
+fn resolve_string(rt: &Runtime, method: MethodId, idx: u32) -> Result<String> {
+    let table = rt.dex_table(source_of(rt, method)?);
+    table
+        .strings
+        .get(idx as usize)
+        .cloned()
+        .ok_or_else(|| RuntimeError::Internal(format!("string index {idx} out of range")))
+}
+
+fn resolve_type(rt: &Runtime, method: MethodId, idx: u32) -> Result<String> {
+    let table = rt.dex_table(source_of(rt, method)?);
+    table
+        .types
+        .get(idx as usize)
+        .cloned()
+        .ok_or_else(|| RuntimeError::Internal(format!("type index {idx} out of range")))
+}
+
+fn resolve_field_ref(rt: &mut Runtime, method: MethodId, idx: u32) -> Result<crate::class::FieldId> {
+    let table = rt.dex_table(source_of(rt, method)?);
+    let (class_desc, name, type_desc) = table
+        .fields
+        .get(idx as usize)
+        .cloned()
+        .ok_or_else(|| RuntimeError::Internal(format!("field index {idx} out of range")))?;
+    let class = match rt.find_class(&class_desc) {
+        Some(c) => c,
+        None => rt.ensure_class_stub(&class_desc),
+    };
+    match rt.resolve_field(class, &name) {
+        Some(f) => Ok(f),
+        // Framework fields appear on demand (e.g. instrument-class guards).
+        None => Ok(rt.register_field(&class_desc, &name, &type_desc)),
+    }
+}
+
+fn dispatch_invoke(
+    rt: &mut Runtime,
+    obs: &mut dyn RuntimeObserver,
+    caller: MethodId,
+    insn: &Insn,
+    args: &[Slot],
+    depth: usize,
+) -> Result<Outcome> {
+    let table = rt.dex_table(source_of(rt, caller)?);
+    let (class_desc, sig) = table
+        .methods
+        .get(insn.idx as usize)
+        .cloned()
+        .ok_or_else(|| RuntimeError::Internal(format!("method index {} out of range", insn.idx)))?;
+
+    let is_static = matches!(insn.op, Opcode::InvokeStatic | Opcode::InvokeStaticRange);
+    let is_virtual = matches!(
+        insn.op,
+        Opcode::InvokeVirtual
+            | Opcode::InvokeVirtualRange
+            | Opcode::InvokeInterface
+            | Opcode::InvokeInterfaceRange
+    );
+
+    let start_class = if is_virtual {
+        let receiver = args.first().copied().unwrap_or_default().raw;
+        if receiver == 0 {
+            let exc = rt.heap.alloc(
+                ObjKind::Throwable {
+                    type_desc: "Ljava/lang/NullPointerException;".to_owned(),
+                    message: format!("invoke on null receiver: {class_desc}->{}", sig.name),
+                },
+                0,
+            );
+            return Ok(Outcome::Threw(exc));
+        }
+        runtime_class_of_obj(rt, receiver)
+            .unwrap_or_else(|| rt.ensure_class_stub(&class_desc))
+    } else {
+        match rt.find_class(&class_desc) {
+            Some(c) => c,
+            None => rt.ensure_class_stub(&class_desc),
+        }
+    };
+
+    let resolved = rt
+        .resolve_method(start_class, &sig)
+        .or_else(|| {
+            // Fall back to the statically named class (e.g. receiver is a
+            // stub but the declaration exists elsewhere).
+            rt.find_class(&class_desc)
+                .and_then(|c| rt.resolve_method(c, &sig))
+        });
+    let target = match resolved {
+        Some(t) => t,
+        None => {
+            // Framework fallback: a native registered under the statically
+            // named class (e.g. `Context.getSystemService` invoked on an
+            // `Activity` receiver) is callable without stub wiring.
+            let key = native_key(&class_desc, &sig.name, &sig.descriptor);
+            if let Some(f) = rt.natives.lookup(&key) {
+                rt.stats.native_calls += 1;
+                return match f(rt, obs, args) {
+                    Ok(v) => Ok(Outcome::Ret(v)),
+                    Err(RuntimeError::UncaughtException { type_desc, message }) => {
+                        let exc = rt
+                            .heap
+                            .alloc(ObjKind::Throwable { type_desc, message }, 0);
+                        Ok(Outcome::Threw(exc))
+                    }
+                    Err(e) => Err(e),
+                };
+            }
+            return Err(RuntimeError::MethodNotFound(format!(
+                "{class_desc}->{}{}",
+                sig.name, sig.descriptor
+            )));
+        }
+    };
+
+    if is_static {
+        let class = rt.method(target).class;
+        rt.ensure_initialized(obs, class)?;
+    }
+    execute_inner(rt, obs, target, args, depth + 1)
+}
+
+fn find_handler(rt: &mut Runtime, method: MethodId, pc: u32, exc: ObjRef) -> Option<u32> {
+    let exc_desc = describe_throwable(rt, exc).0;
+    let MethodImpl::Bytecode {
+        tries, handlers, ..
+    } = &rt.method(method).body
+    else {
+        return None;
+    };
+    let tries = tries.clone();
+    let handlers = handlers.clone();
+    let source = rt.method_source(method)?;
+    for t in &tries {
+        if pc < t.start_addr || pc >= t.start_addr + u32::from(t.insn_count) {
+            continue;
+        }
+        let Some(handler) = handlers.get(t.handler_index) else {
+            continue;
+        };
+        for clause in &handler.catches {
+            let catch_desc = rt
+                .dex_table(source)
+                .types
+                .get(clause.type_idx as usize)
+                .cloned();
+            let Some(catch_desc) = catch_desc else { continue };
+            // Match exact type, or catch broad throwable supertypes.
+            let matches = catch_desc == exc_desc
+                || catch_desc == "Ljava/lang/Throwable;"
+                || catch_desc == "Ljava/lang/Exception;"
+                || catch_desc == "Ljava/lang/RuntimeException;";
+            if matches {
+                return Some(clause.addr);
+            }
+        }
+        if let Some(addr) = handler.catch_all_addr {
+            return Some(addr);
+        }
+    }
+    None
+}

@@ -1,0 +1,334 @@
+//! The class linker: loading [`DexFile`] models into the runtime.
+//!
+//! Mirrors ART's flow from the paper's Figure 2: the DEX is "extracted from
+//! the APK" (here: passed in as a model), classes are linked, and static
+//! values are installed when `<clinit>` runs. Dynamic loading
+//! (`DexClassLoader`) goes through the same path with a different source
+//! tag, which is how the paper's dynamic-loading samples work.
+
+use std::collections::HashMap;
+
+use dexlego_dex::value::EncodedValue;
+use dexlego_dex::{AccessFlags, DexFile};
+
+use crate::class::{
+    descriptor_of, ClassId, FieldId, MethodId, MethodImpl, RuntimeClass, RuntimeField,
+    RuntimeMethod, SigKey,
+};
+use crate::observer::RuntimeObserver;
+use crate::runtime::{DexTable, Result, Runtime, RuntimeError};
+use crate::value::WideValue;
+
+impl Runtime {
+    /// Loads every class of `dex` under the given source tag, returning the
+    /// new class ids. The DEX's constant pools are captured in a
+    /// [`DexTable`] for instruction-operand resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Dex`] if the model's indices are inconsistent.
+    pub fn load_dex(&mut self, dex: &DexFile, source: &str) -> Result<Vec<ClassId>> {
+        self.load_dex_observed(dex, source, &mut crate::observer::NullObserver)
+    }
+
+    /// [`Self::load_dex`] with observer notifications (class-load events are
+    /// part of DexLego's collection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Dex`] if the model's indices are inconsistent.
+    pub fn load_dex_observed(
+        &mut self,
+        dex: &DexFile,
+        source: &str,
+        obs: &mut dyn RuntimeObserver,
+    ) -> Result<Vec<ClassId>> {
+        let source_idx = self.dex_tables.len();
+        self.dex_tables.push(build_table(dex, source)?);
+
+        // First pass: create classes (so forward references resolve).
+        let mut new_classes = Vec::new();
+        let mut def_of: HashMap<ClassId, usize> = HashMap::new();
+        for (i, def) in dex.class_defs().iter().enumerate() {
+            let desc = dex.type_descriptor(def.class_idx)?.to_owned();
+            if self.class_by_desc.contains_key(&desc) {
+                // Re-definition (e.g. unpacked original over shell): later
+                // definitions shadow by replacing the registry entry.
+                let id = ClassId(self.classes.len());
+                self.classes.push(empty_class(&desc, def.access, source));
+                self.class_by_desc.insert(desc, id);
+                new_classes.push(id);
+                def_of.insert(id, i);
+                continue;
+            }
+            let id = ClassId(self.classes.len());
+            self.classes.push(empty_class(&desc, def.access, source));
+            self.class_by_desc.insert(desc, id);
+            new_classes.push(id);
+            def_of.insert(id, i);
+        }
+
+        // Second pass: link supertypes, members, bodies.
+        for &class_id in &new_classes {
+            let def = &dex.class_defs()[def_of[&class_id]];
+            let superclass = match def.superclass {
+                Some(t) => {
+                    let sdesc = dex.type_descriptor(t)?.to_owned();
+                    Some(
+                        self.find_class(&sdesc)
+                            .unwrap_or_else(|| self.ensure_class_stub(&sdesc)),
+                    )
+                }
+                None => None,
+            };
+            let mut interfaces = Vec::new();
+            for &t in &def.interfaces {
+                let idesc = dex.type_descriptor(t)?.to_owned();
+                interfaces.push(
+                    self.find_class(&idesc)
+                        .unwrap_or_else(|| self.ensure_class_stub(&idesc)),
+                );
+            }
+            self.class_mut(class_id).superclass = superclass;
+            self.class_mut(class_id).interfaces = interfaces;
+
+            let Some(data) = &def.class_data else { continue };
+
+            // Fields.
+            let mut static_fields_in_order = Vec::new();
+            for (is_static, list) in [(true, &data.static_fields), (false, &data.instance_fields)]
+            {
+                for ef in list {
+                    let fid_item = dex.field_id(ef.field_idx)?;
+                    let name = dex.string(fid_item.name)?.to_owned();
+                    let type_desc = dex.type_descriptor(fid_item.type_)?.to_owned();
+                    let id = FieldId(self.fields.len());
+                    self.fields.push(RuntimeField {
+                        class: class_id,
+                        name: name.clone(),
+                        type_desc,
+                        access: ef.access,
+                    });
+                    self.class_mut(class_id).fields.insert(name, id);
+                    if is_static {
+                        static_fields_in_order.push(id);
+                    }
+                }
+            }
+
+            // Static values from the encoded array (by position).
+            for (i, value) in def.static_values.iter().enumerate() {
+                if let Some(&fid) = static_fields_in_order.get(i) {
+                    let wide = encoded_to_wide(self, dex, value)?;
+                    self.class_mut(class_id).statics.insert(fid, wide);
+                }
+            }
+
+            // Methods.
+            for (_is_direct, list) in [(true, &data.direct_methods), (false, &data.virtual_methods)]
+            {
+                for em in list {
+                    let mid_item = dex.method_id(em.method_idx)?;
+                    let name = dex.string(mid_item.name)?.to_owned();
+                    let proto = dex.proto(mid_item.proto)?;
+                    let params: Vec<String> = proto
+                        .parameters
+                        .iter()
+                        .map(|&t| dex.type_descriptor(t).map(str::to_owned))
+                        .collect::<std::result::Result<_, _>>()?;
+                    let return_type = dex.type_descriptor(proto.return_type)?.to_owned();
+                    let descriptor = descriptor_of(&params, &return_type);
+                    let body = match &em.code {
+                        Some(code) => MethodImpl::Bytecode {
+                            registers: code.registers_size,
+                            ins: code.ins_size,
+                            insns: code.insns.clone(),
+                            tries: code.tries.clone(),
+                            handlers: code.handlers.clone(),
+                        },
+                        None if em.access.is_native() => MethodImpl::Native,
+                        None => MethodImpl::Abstract,
+                    };
+                    let id = MethodId(self.methods.len());
+                    self.methods.push(RuntimeMethod {
+                        class: class_id,
+                        name: name.clone(),
+                        descriptor: descriptor.clone(),
+                        params,
+                        return_type,
+                        access: em.access,
+                        body,
+                    });
+                    self.class_mut(class_id)
+                        .methods
+                        .insert(SigKey::new(&name, &descriptor), id);
+                }
+            }
+        }
+
+        // Attach the dex source index to bytecode methods (needed to resolve
+        // instruction operands against the right pools).
+        for &class_id in &new_classes {
+            let method_ids: Vec<MethodId> =
+                self.class(class_id).methods.values().copied().collect();
+            for m in method_ids {
+                self.method_source.insert(m, source_idx);
+            }
+        }
+
+        for &c in &new_classes {
+            obs.on_class_load(self, c);
+        }
+        Ok(new_classes)
+    }
+}
+
+fn empty_class(descriptor: &str, access: AccessFlags, source: &str) -> RuntimeClass {
+    RuntimeClass {
+        descriptor: descriptor.to_owned(),
+        superclass: None,
+        interfaces: Vec::new(),
+        access,
+        methods: HashMap::new(),
+        fields: HashMap::new(),
+        statics: HashMap::new(),
+        initialized: false,
+        source: source.to_owned(),
+    }
+}
+
+fn build_table(dex: &DexFile, source: &str) -> Result<DexTable> {
+    let mut table = DexTable {
+        source: source.to_owned(),
+        ..DexTable::default()
+    };
+    table.strings = dex.strings().to_vec();
+    for i in 0..dex.type_ids().len() {
+        table.types.push(dex.type_descriptor(i as u32)?.to_owned());
+    }
+    for m in dex.method_ids() {
+        let class = dex.type_descriptor(m.class)?.to_owned();
+        let name = dex.string(m.name)?.to_owned();
+        let proto = dex.proto(m.proto)?;
+        let params: Vec<String> = proto
+            .parameters
+            .iter()
+            .map(|&t| dex.type_descriptor(t).map(str::to_owned))
+            .collect::<std::result::Result<_, _>>()?;
+        let ret = dex.type_descriptor(proto.return_type)?.to_owned();
+        table
+            .methods
+            .push((class, SigKey::new(&name, &descriptor_of(&params, &ret))));
+    }
+    for f in dex.field_ids() {
+        table.fields.push((
+            dex.type_descriptor(f.class)?.to_owned(),
+            dex.string(f.name)?.to_owned(),
+            dex.type_descriptor(f.type_)?.to_owned(),
+        ));
+    }
+    Ok(table)
+}
+
+fn encoded_to_wide(rt: &mut Runtime, dex: &DexFile, value: &EncodedValue) -> Result<WideValue> {
+    Ok(match value {
+        EncodedValue::Byte(v) => WideValue::from_long(i64::from(*v)),
+        EncodedValue::Short(v) => WideValue::from_long(i64::from(*v)),
+        EncodedValue::Char(v) => WideValue::of(u64::from(*v)),
+        EncodedValue::Int(v) => WideValue::of(*v as u32 as u64),
+        EncodedValue::Long(v) => WideValue::from_long(*v),
+        EncodedValue::Float(v) => WideValue::of(u64::from(v.to_bits())),
+        EncodedValue::Double(v) => WideValue::from_double(*v),
+        EncodedValue::Boolean(b) => WideValue::of(u64::from(*b)),
+        EncodedValue::Null => WideValue::of(0),
+        EncodedValue::String(idx) => {
+            let s = dex.string(*idx)?.to_owned();
+            WideValue::of(u64::from(rt.intern_string(&s)))
+        }
+        EncodedValue::Type(_)
+        | EncodedValue::Field(_)
+        | EncodedValue::Method(_)
+        | EncodedValue::Enum(_)
+        | EncodedValue::Array(_) => {
+            return Err(RuntimeError::Internal(
+                "unsupported encoded static value kind".into(),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dexlego_dex::file::{EncodedField, EncodedMethod};
+    use dexlego_dex::{ClassDef, CodeItem};
+
+    fn tiny_dex() -> DexFile {
+        let mut dex = DexFile::new();
+        let obj = dex.intern_type("Ljava/lang/Object;");
+        let t = dex.intern_type("Lcom/test/Main;");
+        let m = dex.intern_method("Lcom/test/Main;", "answer", "I", &[]);
+        let f = dex.intern_field("Lcom/test/Main;", "Ljava/lang/String;", "PHONE");
+        let phone = dex.intern_string("800-123-456");
+        let mut def = ClassDef::new(t);
+        def.superclass = Some(obj);
+        def.static_values.push(EncodedValue::String(phone));
+        let data = def.class_data.as_mut().unwrap();
+        data.static_fields.push(EncodedField {
+            field_idx: f,
+            access: AccessFlags::STATIC | AccessFlags::FINAL,
+        });
+        data.direct_methods.push(EncodedMethod {
+            method_idx: m,
+            access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+            // const/16 v0, #42 ; return v0
+            code: Some(CodeItem::new(1, 0, 0, vec![0x0013, 42, 0x000f])),
+        });
+        dex.add_class(def);
+        dex
+    }
+
+    #[test]
+    fn classes_link_with_stub_superclass() {
+        let mut rt = Runtime::new();
+        let classes = rt.load_dex(&tiny_dex(), "app").unwrap();
+        assert_eq!(classes.len(), 1);
+        let main = rt.find_class("Lcom/test/Main;").unwrap();
+        let sup = rt.class(main).superclass.unwrap();
+        assert_eq!(rt.class(sup).descriptor, "Ljava/lang/Object;");
+        assert_eq!(rt.class(main).source, "app");
+    }
+
+    #[test]
+    fn static_string_values_install_on_init() {
+        let mut rt = Runtime::new();
+        rt.load_dex(&tiny_dex(), "app").unwrap();
+        let main = rt.find_class("Lcom/test/Main;").unwrap();
+        let f = rt.resolve_field(main, "PHONE").unwrap();
+        let mut obs = crate::observer::NullObserver;
+        let v = rt.static_get(&mut obs, f).unwrap();
+        let s = rt.heap.as_string(v.raw as u32).unwrap();
+        assert_eq!(s, "800-123-456");
+    }
+
+    #[test]
+    fn dex_table_captures_pools() {
+        let mut rt = Runtime::new();
+        rt.load_dex(&tiny_dex(), "app").unwrap();
+        let table = rt.dex_table(0);
+        assert!(table.strings.iter().any(|s| s == "800-123-456"));
+        assert!(table.methods.iter().any(|(c, s)| c == "Lcom/test/Main;" && s.name == "answer"));
+        assert!(table.fields.iter().any(|(_, n, _)| n == "PHONE"));
+    }
+
+    #[test]
+    fn redefinition_shadows_earlier_class() {
+        let mut rt = Runtime::new();
+        rt.load_dex(&tiny_dex(), "shell").unwrap();
+        let first = rt.find_class("Lcom/test/Main;").unwrap();
+        rt.load_dex(&tiny_dex(), "unpacked").unwrap();
+        let second = rt.find_class("Lcom/test/Main;").unwrap();
+        assert_ne!(first, second);
+        assert_eq!(rt.class(second).source, "unpacked");
+    }
+}

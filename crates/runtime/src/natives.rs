@@ -1,0 +1,844 @@
+//! Native-method registry and the simulated Android framework.
+//!
+//! Real ART dispatches `native` methods through JNI; here a native method is
+//! a Rust closure receiving `&mut Runtime`. That is exactly the power the
+//! paper's adversary has: JNI code can rewrite a loaded method's bytecode
+//! (self-modifying code, Code 1), load DEX files dynamically, or perform
+//! sensitive operations. It is also how we model the framework: sources
+//! (device id, location, SSID), sinks (SMS, network, log, files), UI
+//! callback registration, and the reflection API.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::class::{MethodId, SigKey};
+use crate::events::{RuntimeEvent, SinkKind, SourceKind};
+use crate::heap::ObjKind;
+use crate::observer::RuntimeObserver;
+use crate::runtime::{Result, Runtime, RuntimeError};
+use crate::value::{RetVal, Slot, WideValue};
+
+/// Signature of a native-method implementation.
+pub type NativeFn = Rc<dyn Fn(&mut Runtime, &mut dyn RuntimeObserver, &[Slot]) -> Result<RetVal>>;
+
+/// Registry of native methods keyed by
+/// `"Lclass;->name(descriptor)return"` strings.
+#[derive(Default, Clone)]
+pub struct NativeRegistry {
+    table: HashMap<String, NativeFn>,
+}
+
+impl std::fmt::Debug for NativeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeRegistry")
+            .field("methods", &self.table.len())
+            .finish()
+    }
+}
+
+/// Builds a registry key.
+pub fn native_key(class_desc: &str, name: &str, descriptor: &str) -> String {
+    format!("{class_desc}->{name}{descriptor}")
+}
+
+impl NativeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> NativeRegistry {
+        NativeRegistry::default()
+    }
+
+    /// Registers (or replaces) an implementation.
+    pub fn register(
+        &mut self,
+        class_desc: &str,
+        name: &str,
+        descriptor: &str,
+        f: impl Fn(&mut Runtime, &mut dyn RuntimeObserver, &[Slot]) -> Result<RetVal> + 'static,
+    ) {
+        self.table
+            .insert(native_key(class_desc, name, descriptor), Rc::new(f));
+    }
+
+    /// Looks up an implementation.
+    pub fn lookup(&self, key: &str) -> Option<NativeFn> {
+        self.table.get(key).cloned()
+    }
+
+    /// Number of registered natives.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no natives are registered.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// Convenience: register a native *and* its resolvable method stub.
+pub fn register_native(
+    rt: &mut Runtime,
+    class_desc: &str,
+    name: &str,
+    params: &[&str],
+    return_type: &str,
+    f: impl Fn(&mut Runtime, &mut dyn RuntimeObserver, &[Slot]) -> Result<RetVal> + 'static,
+) -> MethodId {
+    let id = rt.register_native_method(class_desc, name, params, return_type);
+    let descriptor = rt.method(id).descriptor.clone();
+    rt.natives.register(class_desc, name, &descriptor, f);
+    id
+}
+
+fn string_of(rt: &Runtime, slot: Slot) -> (String, u32) {
+    let obj_taint = rt.heap.get(slot.raw).map_or(0, |o| o.taint);
+    let s = rt
+        .heap
+        .as_string(slot.raw)
+        .map(str::to_owned)
+        .unwrap_or_else(|| {
+            if slot.raw == 0 {
+                "null".to_owned()
+            } else {
+                format!("<obj#{}>", slot.raw)
+            }
+        });
+    (s, slot.taint | obj_taint)
+}
+
+fn ret_string(rt: &mut Runtime, s: String, taint: u32) -> RetVal {
+    let r = rt.heap.alloc_string(s, taint);
+    RetVal::Single(Slot { raw: r, taint })
+}
+
+fn caller_of(rt: &Runtime) -> Option<MethodId> {
+    rt.exec_stack.last().map(|&(m, _)| m)
+}
+
+fn source_native(rt: &mut Runtime, kind: SourceKind, value: &str) -> RetVal {
+    let taint = rt.mint_taint();
+    rt.log.push(RuntimeEvent::SourceRead {
+        kind,
+        taint,
+        caller: caller_of(rt),
+        callback_depth: rt.callback_depth,
+    });
+    ret_string(rt, value.to_owned(), taint)
+}
+
+fn sink_native(rt: &mut Runtime, kind: SinkKind, data_args: &[Slot]) {
+    let mut taint = 0;
+    let mut payload = String::new();
+    for &arg in data_args {
+        let (s, t) = string_of(rt, arg);
+        taint |= t;
+        if !payload.is_empty() {
+            payload.push('|');
+        }
+        payload.push_str(&s);
+    }
+    rt.log.push(RuntimeEvent::SinkCall {
+        kind,
+        arg_taint: taint,
+        payload,
+        caller: caller_of(rt),
+        callback_depth: rt.callback_depth,
+    });
+}
+
+/// Registers the simulated Android framework: `java.lang` basics, source
+/// and sink APIs, UI callback registration, the reflection API, and the
+/// dynamic DEX loader. Called by [`Runtime::new`].
+pub fn register_framework(rt: &mut Runtime) {
+    // ---- java.lang.Object ---------------------------------------------------
+    register_native(rt, "Ljava/lang/Object;", "<init>", &[], "V", |_, _, _| {
+        Ok(RetVal::Void)
+    });
+    register_native(
+        rt,
+        "Ljava/lang/Object;",
+        "getClass",
+        &[],
+        "Ljava/lang/Class;",
+        |rt, _, args| {
+            let class = crate::interp::runtime_class_of_obj(rt, args[0].raw)
+                .unwrap_or_else(|| rt.ensure_class_stub("Ljava/lang/Object;"));
+            let r = rt.heap.alloc(ObjKind::Class(class), 0);
+            Ok(RetVal::Single(Slot::of(r)))
+        },
+    );
+    register_native(
+        rt,
+        "Ljava/lang/Object;",
+        "toString",
+        &[],
+        "Ljava/lang/String;",
+        |rt, _, args| {
+            let (s, t) = string_of(rt, args[0]);
+            Ok(ret_string(rt, s, t))
+        },
+    );
+
+    // ---- java.lang.String ---------------------------------------------------
+    register_native(
+        rt,
+        "Ljava/lang/String;",
+        "equals",
+        &["Ljava/lang/Object;"],
+        "Z",
+        |rt, _, args| {
+            let a = rt.heap.as_string(args[0].raw).map(str::to_owned);
+            let b = rt.heap.as_string(args[1].raw).map(str::to_owned);
+            let eq = a.is_some() && a == b;
+            Ok(RetVal::Single(Slot {
+                raw: u32::from(eq),
+                taint: args[0].taint | args[1].taint,
+            }))
+        },
+    );
+    register_native(rt, "Ljava/lang/String;", "length", &[], "I", |rt, _, args| {
+        let (s, t) = string_of(rt, args[0]);
+        Ok(RetVal::Single(Slot {
+            raw: s.chars().count() as u32,
+            taint: t,
+        }))
+    });
+    register_native(
+        rt,
+        "Ljava/lang/String;",
+        "concat",
+        &["Ljava/lang/String;"],
+        "Ljava/lang/String;",
+        |rt, _, args| {
+            let (a, ta) = string_of(rt, args[0]);
+            let (b, tb) = string_of(rt, args[1]);
+            Ok(ret_string(rt, a + &b, ta | tb))
+        },
+    );
+    register_native(
+        rt,
+        "Ljava/lang/String;",
+        "valueOf",
+        &["I"],
+        "Ljava/lang/String;",
+        |rt, _, args| Ok(ret_string(rt, args[0].as_int().to_string(), args[0].taint)),
+    );
+    register_native(
+        rt,
+        "Ljava/lang/String;",
+        "hashCode",
+        &[],
+        "I",
+        |rt, _, args| {
+            let (s, t) = string_of(rt, args[0]);
+            let mut h: i32 = 0;
+            for c in s.encode_utf16() {
+                h = h.wrapping_mul(31).wrapping_add(i32::from(c as i16));
+            }
+            Ok(RetVal::Single(Slot {
+                raw: h as u32,
+                taint: t,
+            }))
+        },
+    );
+
+    // ---- java.lang.StringBuilder --------------------------------------------
+    register_native(rt, "Ljava/lang/StringBuilder;", "<init>", &[], "V", |rt, _, args| {
+        rt.sb_buffers.insert(args[0].raw, (String::new(), 0));
+        Ok(RetVal::Void)
+    });
+    register_native(
+        rt,
+        "Ljava/lang/StringBuilder;",
+        "append",
+        &["Ljava/lang/String;"],
+        "Ljava/lang/StringBuilder;",
+        |rt, _, args| {
+            let (s, t) = string_of(rt, args[1]);
+            let entry = rt.sb_buffers.entry(args[0].raw).or_default();
+            entry.0.push_str(&s);
+            entry.1 |= t;
+            Ok(RetVal::Single(args[0]))
+        },
+    );
+    register_native(
+        rt,
+        "Ljava/lang/StringBuilder;",
+        "appendInt",
+        &["I"],
+        "Ljava/lang/StringBuilder;",
+        |rt, _, args| {
+            let entry = rt.sb_buffers.entry(args[0].raw).or_default();
+            entry.0.push_str(&args[1].as_int().to_string());
+            entry.1 |= args[1].taint;
+            Ok(RetVal::Single(args[0]))
+        },
+    );
+    register_native(
+        rt,
+        "Ljava/lang/StringBuilder;",
+        "toString",
+        &[],
+        "Ljava/lang/String;",
+        |rt, _, args| {
+            let (s, t) = rt.sb_buffers.get(&args[0].raw).cloned().unwrap_or_default();
+            Ok(ret_string(rt, s, t))
+        },
+    );
+
+    // ---- system services --------------------------------------------------------
+    register_native(
+        rt,
+        "Landroid/content/Context;",
+        "getSystemService",
+        &["Ljava/lang/String;"],
+        "Ljava/lang/Object;",
+        |rt, _, args| {
+            let (name, _) = string_of(rt, args[1]);
+            let desc = match name.as_str() {
+                "phone" => "Landroid/telephony/TelephonyManager;",
+                "location" => "Landroid/location/LocationManager;",
+                "wifi" => "Landroid/net/wifi/WifiInfo;",
+                _ => "Ljava/lang/Object;",
+            };
+            let class = rt.ensure_class_stub(desc);
+            let obj = rt.heap.alloc_instance(class);
+            Ok(RetVal::Single(Slot::of(obj)))
+        },
+    );
+
+    // ---- sources --------------------------------------------------------------
+    register_native(
+        rt,
+        "Landroid/telephony/TelephonyManager;",
+        "getDeviceId",
+        &[],
+        "Ljava/lang/String;",
+        |rt, _, _| Ok(source_native(rt, SourceKind::DeviceId, "358240051111110")),
+    );
+    register_native(
+        rt,
+        "Landroid/telephony/TelephonyManager;",
+        "getSimSerialNumber",
+        &[],
+        "Ljava/lang/String;",
+        |rt, _, _| Ok(source_native(rt, SourceKind::DeviceId, "89014103211118510720")),
+    );
+    register_native(
+        rt,
+        "Landroid/location/LocationManager;",
+        "getLastKnownLocation",
+        &["Ljava/lang/String;"],
+        "Ljava/lang/String;",
+        |rt, _, _| Ok(source_native(rt, SourceKind::Location, "42.3314,-83.0458")),
+    );
+    register_native(
+        rt,
+        "Landroid/net/wifi/WifiInfo;",
+        "getSSID",
+        &[],
+        "Ljava/lang/String;",
+        |rt, _, _| Ok(source_native(rt, SourceKind::Ssid, "\"compass-lab\"")),
+    );
+    register_native(
+        rt,
+        "Lcom/dexlego/Sensitive;",
+        "getSensitiveData",
+        &[],
+        "Ljava/lang/String;",
+        |rt, _, _| Ok(source_native(rt, SourceKind::Generic, "top-secret")),
+    );
+
+    // ---- sinks ---------------------------------------------------------------
+    register_native(
+        rt,
+        "Landroid/telephony/SmsManager;",
+        "getDefault",
+        &[],
+        "Landroid/telephony/SmsManager;",
+        |rt, obs, _| {
+            let r = {
+                let _ = &obs;
+                let obj = rt.find_class("Landroid/telephony/SmsManager;").map(|c| c);
+                let class = obj.unwrap_or_else(|| rt.ensure_class_stub("Landroid/telephony/SmsManager;"));
+                rt.heap.alloc_instance(class)
+            };
+            Ok(RetVal::Single(Slot::of(r)))
+        },
+    );
+    register_native(
+        rt,
+        "Landroid/telephony/SmsManager;",
+        "sendTextMessage",
+        &[
+            "Ljava/lang/String;",
+            "Ljava/lang/String;",
+            "Ljava/lang/String;",
+            "Ljava/lang/String;",
+            "Ljava/lang/String;",
+        ],
+        "V",
+        |rt, _, args| {
+            // args: this, dest, scAddr, text, sentIntent, deliveryIntent.
+            sink_native(rt, SinkKind::Sms, &[args[3]]);
+            Ok(RetVal::Void)
+        },
+    );
+    register_native(
+        rt,
+        "Landroid/util/Log;",
+        "i",
+        &["Ljava/lang/String;", "Ljava/lang/String;"],
+        "I",
+        |rt, _, args| {
+            sink_native(rt, SinkKind::Log, &[args[1]]);
+            Ok(RetVal::Single(Slot::of(0)))
+        },
+    );
+    register_native(
+        rt,
+        "Lcom/dexlego/Net;",
+        "send",
+        &["Ljava/lang/String;"],
+        "V",
+        |rt, _, args| {
+            sink_native(rt, SinkKind::Network, &[args[0]]);
+            Ok(RetVal::Void)
+        },
+    );
+
+    // ---- simulated external files (PrivateDataLeak3 pattern) ------------------
+    register_native(
+        rt,
+        "Lcom/dexlego/Files;",
+        "write",
+        &["Ljava/lang/String;", "Ljava/lang/String;"],
+        "V",
+        |rt, _, args| {
+            let (path, _) = string_of(rt, args[0]);
+            let (data, taint) = string_of(rt, args[1]);
+            if taint != 0 {
+                rt.log.push(RuntimeEvent::FileRoundTrip { taint });
+            }
+            rt.external_files.insert(path, (data, taint));
+            Ok(RetVal::Void)
+        },
+    );
+    register_native(
+        rt,
+        "Lcom/dexlego/Files;",
+        "read",
+        &["Ljava/lang/String;"],
+        "Ljava/lang/String;",
+        |rt, _, args| {
+            let (path, _) = string_of(rt, args[0]);
+            let (data, _stored_taint) = rt.external_files.get(&path).cloned().unwrap_or_default();
+            // Taint is intentionally dropped across the file boundary: no
+            // runtime taint tracker in the paper's evaluation follows this
+            // flow (Table IV, PrivateDataLeak3).
+            Ok(ret_string(rt, data, 0))
+        },
+    );
+
+    // ---- environment probes ----------------------------------------------------
+    register_native(rt, "Lcom/dexlego/Env;", "isEmulator", &[], "Z", |rt, _, _| {
+        Ok(RetVal::Single(Slot::of(u32::from(rt.env.is_emulator))))
+    });
+    register_native(rt, "Lcom/dexlego/Env;", "isTablet", &[], "Z", |rt, _, _| {
+        Ok(RetVal::Single(Slot::of(u32::from(rt.env.is_tablet))))
+    });
+
+    // ---- UI callbacks -----------------------------------------------------------
+    register_native(
+        rt,
+        "Landroid/view/View;",
+        "setOnClickListener",
+        &["Landroid/view/View$OnClickListener;"],
+        "V",
+        |rt, _, args| {
+            let listener = args[1].raw;
+            if let Some(class) = crate::interp::runtime_class_of_obj(rt, listener) {
+                if let Some(m) = rt.resolve_method(
+                    class,
+                    &SigKey::new("onClick", "(Landroid/view/View;)V"),
+                ) {
+                    rt.callbacks.push(crate::runtime::Callback {
+                        receiver: listener,
+                        method: m,
+                        kind: "onClick".to_owned(),
+                    });
+                }
+            }
+            Ok(RetVal::Void)
+        },
+    );
+
+    // ---- reflection ---------------------------------------------------------------
+    register_native(
+        rt,
+        "Ljava/lang/Class;",
+        "forName",
+        &["Ljava/lang/String;"],
+        "Ljava/lang/Class;",
+        |rt, _, args| {
+            let (name, _) = string_of(rt, args[0]);
+            // Accept both dotted names and descriptors.
+            let desc = if name.starts_with('L') && name.ends_with(';') {
+                name.clone()
+            } else {
+                format!("L{};", name.replace('.', "/"))
+            };
+            match rt.find_class(&desc) {
+                Some(c) => {
+                    let r = rt.heap.alloc(ObjKind::Class(c), 0);
+                    Ok(RetVal::Single(Slot::of(r)))
+                }
+                None => Ok(RetVal::Single(Slot::of(0))),
+            }
+        },
+    );
+    register_native(
+        rt,
+        "Ljava/lang/Class;",
+        "getMethod",
+        &["Ljava/lang/String;"],
+        "Ljava/lang/reflect/Method;",
+        |rt, _, args| {
+            let class = match rt.heap.get(args[0].raw).map(|o| &o.kind) {
+                Some(&ObjKind::Class(c)) => c,
+                _ => return Ok(RetVal::Single(Slot::of(0))),
+            };
+            let (name, _) = string_of(rt, args[1]);
+            // Simplified reflection: match by name only, as the samples do.
+            let found = rt.class(class).methods.iter().find_map(|(sig, &m)| {
+                if sig.name == name {
+                    Some(m)
+                } else {
+                    None
+                }
+            });
+            match found {
+                Some(m) => {
+                    let r = rt.heap.alloc(ObjKind::Method(m), 0);
+                    Ok(RetVal::Single(Slot::of(r)))
+                }
+                None => Ok(RetVal::Single(Slot::of(0))),
+            }
+        },
+    );
+    register_native(
+        rt,
+        "Ljava/lang/Class;",
+        "getDeclaredMethods",
+        &[],
+        "[Ljava/lang/reflect/Method;",
+        |rt, _, args| {
+            let class = match rt.heap.get(args[0].raw).map(|o| &o.kind) {
+                Some(&ObjKind::Class(c)) => c,
+                _ => return Ok(RetVal::Single(Slot::of(0))),
+            };
+            // Deterministic order: sort by name for reproducibility.
+            let mut methods: Vec<(String, MethodId)> = rt
+                .class(class)
+                .methods
+                .iter()
+                .filter(|(sig, _)| !sig.name.starts_with('<'))
+                .map(|(sig, &m)| (sig.name.clone(), m))
+                .collect();
+            methods.sort();
+            let arr = rt
+                .heap
+                .alloc_array("Ljava/lang/reflect/Method;", methods.len());
+            for (i, (_, m)) in methods.into_iter().enumerate() {
+                let h = rt.heap.alloc(ObjKind::Method(m), 0);
+                if let Some(obj) = rt.heap.get_mut(arr) {
+                    if let ObjKind::Array { data, .. } = &mut obj.kind {
+                        data[i] = WideValue::of(u64::from(h));
+                    }
+                }
+            }
+            Ok(RetVal::Single(Slot::of(arr)))
+        },
+    );
+    register_native(
+        rt,
+        "Ljava/lang/reflect/Method;",
+        "invoke",
+        &["Ljava/lang/Object;", "[Ljava/lang/Object;"],
+        "Ljava/lang/Object;",
+        |rt, obs, args| {
+            let target = match rt.heap.get(args[0].raw).map(|o| &o.kind) {
+                Some(&ObjKind::Method(m)) => m,
+                _ => {
+                    return Err(RuntimeError::UncaughtException {
+                        type_desc: "Ljava/lang/NullPointerException;".into(),
+                        message: "Method.invoke on null Method".into(),
+                    })
+                }
+            };
+            // Report the resolved target to the observer with the *caller's*
+            // call site (the invoke instruction on Method.invoke).
+            if let Some(&(caller, site)) = rt.exec_stack.last() {
+                obs.on_reflective_call(rt, caller, site, target);
+            }
+            rt.log.push(RuntimeEvent::ReflectiveInvoke { target });
+            // Unpack arguments: receiver + boxed array elements.
+            let mut call_args: Vec<Slot> = Vec::new();
+            let is_static = rt.method(target).access.is_static();
+            if !is_static {
+                call_args.push(args[1]);
+            }
+            if args[2].raw != 0 {
+                if let Some(obj) = rt.heap.get(args[2].raw) {
+                    if let ObjKind::Array { data, .. } = &obj.kind {
+                        for w in data.clone() {
+                            call_args.push(Slot {
+                                raw: w.raw as u32,
+                                taint: w.taint,
+                            });
+                        }
+                    }
+                }
+            }
+            match crate::interp::execute(rt, obs, target, &call_args)? {
+                RetVal::Void => Ok(RetVal::Single(Slot::of(0))),
+                other => Ok(other),
+            }
+        },
+    );
+
+    // ---- dynamic loading ------------------------------------------------------------
+    register_native(
+        rt,
+        "Ldalvik/system/DexClassLoader;",
+        "loadDexBytes",
+        &["[B"],
+        "V",
+        |rt, obs, args| {
+            // Instance-method convention: args[0] is the loader (may be
+            // null), args[1] the byte array.
+            let bytes: Vec<u8> = match rt.heap.get(args[1].raw).map(|o| &o.kind) {
+                Some(ObjKind::Array { data, .. }) => {
+                    data.iter().map(|w| w.raw as u8).collect()
+                }
+                _ => {
+                    return Err(RuntimeError::Internal(
+                        "loadDexBytes expects a byte array".into(),
+                    ))
+                }
+            };
+            let dex = dexlego_dex::reader::read_dex_unchecked(&bytes)?;
+            let tag = format!("dynamic:{}", rt.dex_source_count());
+            let classes = rt.load_dex_observed(&dex, &tag, obs)?;
+            rt.log.push(RuntimeEvent::DynamicLoad {
+                source: tag.clone(),
+                classes: classes.len(),
+            });
+            obs.on_dynamic_load(rt, &tag, &classes);
+            Ok(RetVal::Void)
+        },
+    );
+
+    // ---- string decryption helper (encrypted-reflection samples) --------------------
+    register_native(
+        rt,
+        "Lcom/dexlego/Crypto;",
+        "decrypt",
+        &["Ljava/lang/String;"],
+        "Ljava/lang/String;",
+        |rt, _, args| {
+            let (enc, t) = string_of(rt, args[0]);
+            let dec: String = enc.chars().map(|c| ((c as u8) ^ 0x20) as char).collect();
+            Ok(ret_string(rt, dec, t))
+        },
+    );
+
+    // ---- inter-component extras (Intent putExtra/getExtra analogue) ------------------
+    register_native(
+        rt,
+        "Lcom/dexlego/Icc;",
+        "putExtra",
+        &["Ljava/lang/String;", "Ljava/lang/String;"],
+        "V",
+        |rt, _, args| {
+            let (key, _) = string_of(rt, args[0]);
+            let (value, taint) = string_of(rt, args[1]);
+            rt.icc_extras.insert(key, (value, taint));
+            Ok(RetVal::Void)
+        },
+    );
+    register_native(
+        rt,
+        "Lcom/dexlego/Icc;",
+        "getExtra",
+        &["Ljava/lang/String;"],
+        "Ljava/lang/String;",
+        |rt, _, args| {
+            let (key, _) = string_of(rt, args[0]);
+            let (value, taint) = rt.icc_extras.get(&key).cloned().unwrap_or_default();
+            Ok(ret_string(rt, value, taint))
+        },
+    );
+
+    // ---- fuzz input -------------------------------------------------------------------
+    register_native(rt, "Lcom/dexlego/Input;", "nextInt", &[], "I", |rt, _, _| {
+        rt.input_state ^= rt.input_state << 13;
+        rt.input_state ^= rt.input_state >> 7;
+        rt.input_state ^= rt.input_state << 17;
+        Ok(RetVal::Single(Slot::of(rt.input_state as u32)))
+    });
+    register_native(
+        rt,
+        "Lcom/dexlego/Input;",
+        "nextIntBound",
+        &["I"],
+        "I",
+        |rt, _, args| {
+            rt.input_state ^= rt.input_state << 13;
+            rt.input_state ^= rt.input_state >> 7;
+            rt.input_state ^= rt.input_state << 17;
+            let bound = args[0].as_int().max(1) as u64;
+            Ok(RetVal::Single(Slot::of((rt.input_state % bound) as u32)))
+        },
+    );
+
+    // ---- Integer helpers --------------------------------------------------------------
+    register_native(
+        rt,
+        "Ljava/lang/Integer;",
+        "parseInt",
+        &["Ljava/lang/String;"],
+        "I",
+        |rt, _, args| {
+            let (s, t) = string_of(rt, args[0]);
+            Ok(RetVal::Single(Slot {
+                raw: s.trim().parse::<i32>().unwrap_or(0) as u32,
+                taint: t,
+            }))
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NullObserver;
+
+    #[test]
+    fn framework_registers_nonempty() {
+        let rt = Runtime::new();
+        assert!(rt.natives.len() > 20);
+        assert!(rt
+            .natives
+            .lookup("Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;")
+            .is_some());
+    }
+
+    #[test]
+    fn source_mints_taint_and_logs() {
+        let mut rt = Runtime::new();
+        let mut obs = NullObserver;
+        let ret = rt
+            .call_static(
+                &mut obs,
+                "Lcom/dexlego/Sensitive;",
+                "getSensitiveData",
+                "()Ljava/lang/String;",
+                &[Slot::of(0)],
+            )
+            .unwrap();
+        let slot = match ret {
+            RetVal::Single(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_ne!(slot.taint, 0);
+        assert_eq!(rt.heap.as_string(slot.raw), Some("top-secret"));
+        assert_eq!(rt.log.events().len(), 1);
+    }
+
+    #[test]
+    fn sink_records_arg_taint() {
+        let mut rt = Runtime::new();
+        let tainted = rt.heap.alloc_string("leak".into(), 0);
+        let mut obs = NullObserver;
+        // this, dest, scAddr, text (tainted via slot), sentIntent, deliveryIntent
+        let args = [
+            Slot::of(0),
+            Slot::of(0),
+            Slot::of(0),
+            Slot {
+                raw: tainted,
+                taint: 0b100,
+            },
+            Slot::of(0),
+            Slot::of(0),
+        ];
+        rt.call_static(
+            &mut obs,
+            "Landroid/telephony/SmsManager;",
+            "sendTextMessage",
+            "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V",
+            &args,
+        )
+        .unwrap();
+        assert_eq!(rt.log.tainted_sinks().count(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip_drops_taint_but_logs() {
+        let mut rt = Runtime::new();
+        let mut obs = NullObserver;
+        let path = rt.heap.alloc_string("/sdcard/x".into(), 0);
+        let data = rt.heap.alloc_string("secret".into(), 0);
+        rt.call_static(
+            &mut obs,
+            "Lcom/dexlego/Files;",
+            "write",
+            "(Ljava/lang/String;Ljava/lang/String;)V",
+            &[Slot::of(path), Slot { raw: data, taint: 1 }],
+        )
+        .unwrap();
+        let back = rt
+            .call_static(
+                &mut obs,
+                "Lcom/dexlego/Files;",
+                "read",
+                "(Ljava/lang/String;)Ljava/lang/String;",
+                &[Slot::of(path)],
+            )
+            .unwrap();
+        let slot = match back {
+            RetVal::Single(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(slot.taint, 0);
+        assert_eq!(rt.heap.as_string(slot.raw), Some("secret"));
+        assert!(rt
+            .log
+            .events()
+            .iter()
+            .any(|e| matches!(e, RuntimeEvent::FileRoundTrip { .. })));
+    }
+
+    #[test]
+    fn crypto_decrypt_is_involution() {
+        let mut rt = Runtime::new();
+        let mut obs = NullObserver;
+        let encrypt = |rt: &mut Runtime, obs: &mut NullObserver, s: &str| {
+            let h = rt.heap.alloc_string(s.into(), 0);
+            let ret = rt
+                .call_static(
+                    obs,
+                    "Lcom/dexlego/Crypto;",
+                    "decrypt",
+                    "(Ljava/lang/String;)Ljava/lang/String;",
+                    &[Slot::of(h)],
+                )
+                .unwrap();
+            rt.heap.as_string(ret.as_obj().unwrap()).unwrap().to_owned()
+        };
+        let once = encrypt(&mut rt, &mut obs, "advancedLeak");
+        let twice = encrypt(&mut rt, &mut obs, &once);
+        assert_eq!(twice, "advancedLeak");
+    }
+}

@@ -1,0 +1,157 @@
+//! The instrumentation surface of the runtime.
+//!
+//! [`RuntimeObserver`] is the seam where DexLego's just-in-time collection
+//! attaches: every hook corresponds to an instrumentation point the paper
+//! adds to ART (class-linker collection, interpreter instruction collection,
+//! reflective-target resolution, and the force-execution branch override).
+
+use dexlego_dalvik::Insn;
+
+use crate::class::{ClassId, MethodId};
+use crate::runtime::Runtime;
+
+/// Per-instruction event delivered to observers before the instruction
+/// executes.
+#[derive(Debug, Clone)]
+pub struct InsnEvent<'a> {
+    /// The executing method.
+    pub method: MethodId,
+    /// The `dex_pc` — index of the instruction in the method's unit array.
+    pub dex_pc: u32,
+    /// The decoded instruction.
+    pub insn: &'a Insn,
+    /// The raw code units of the instruction (what `SameIns` compares).
+    pub units: &'a [u16],
+}
+
+/// Callbacks and steering hooks invoked by the class linker and interpreter.
+///
+/// All methods have no-op defaults, so observers implement only what they
+/// need. [`NullObserver`] is the trivial implementation.
+pub trait RuntimeObserver {
+    /// A class was linked (loaded) from a DEX source.
+    fn on_class_load(&mut self, _rt: &Runtime, _class: ClassId) {}
+
+    /// A class finished `<clinit>` initialisation, statics installed.
+    fn on_class_init(&mut self, _rt: &Runtime, _class: ClassId) {}
+
+    /// A method frame was entered.
+    fn on_method_enter(&mut self, _rt: &Runtime, _method: MethodId) {}
+
+    /// A method frame exited (normally or via exception).
+    fn on_method_exit(&mut self, _rt: &Runtime, _method: MethodId) {}
+
+    /// An instruction is about to execute.
+    fn on_instruction(&mut self, _rt: &Runtime, _event: &InsnEvent<'_>) {}
+
+    /// A conditional branch at `dex_pc` evaluated to `taken`.
+    fn on_branch(&mut self, _rt: &Runtime, _method: MethodId, _dex_pc: u32, _taken: bool) {}
+
+    /// A reflective call site resolved to `target` (the hook DexLego uses to
+    /// replace reflection with direct calls).
+    fn on_reflective_call(
+        &mut self,
+        _rt: &Runtime,
+        _caller: MethodId,
+        _call_site: u32,
+        _target: MethodId,
+    ) {
+    }
+
+    /// A secondary DEX was loaded at runtime.
+    fn on_dynamic_load(&mut self, _rt: &Runtime, _source: &str, _classes: &[ClassId]) {}
+
+    /// An exception was thrown at `dex_pc` (before handler search).
+    fn on_exception(&mut self, _rt: &Runtime, _method: MethodId, _dex_pc: u32) {}
+
+    /// Force-execution hook: return `Some(outcome)` to override a
+    /// conditional branch's decision at `dex_pc`. `would_take` is the
+    /// outcome the condition actually evaluated to.
+    fn override_branch(
+        &mut self,
+        _rt: &Runtime,
+        _method: MethodId,
+        _dex_pc: u32,
+        _would_take: bool,
+    ) -> Option<bool> {
+        None
+    }
+
+    /// Whether unhandled exceptions should be cleared and execution resumed
+    /// at the next instruction (force-execution crash tolerance).
+    fn tolerate_exceptions(&self) -> bool {
+        false
+    }
+}
+
+/// An observer that does nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl RuntimeObserver for NullObserver {}
+
+/// Chains two observers; both receive every event, the first non-`None`
+/// branch override wins, and exception tolerance is the OR of the two.
+///
+/// # Example
+///
+/// ```
+/// use dexlego_runtime::observer::{NullObserver, Pair, RuntimeObserver};
+/// let mut pair = Pair(NullObserver, NullObserver);
+/// assert!(!pair.tolerate_exceptions());
+/// ```
+#[derive(Debug, Default)]
+pub struct Pair<A, B>(pub A, pub B);
+
+impl<A: RuntimeObserver, B: RuntimeObserver> RuntimeObserver for Pair<A, B> {
+    fn on_class_load(&mut self, rt: &Runtime, class: ClassId) {
+        self.0.on_class_load(rt, class);
+        self.1.on_class_load(rt, class);
+    }
+    fn on_class_init(&mut self, rt: &Runtime, class: ClassId) {
+        self.0.on_class_init(rt, class);
+        self.1.on_class_init(rt, class);
+    }
+    fn on_method_enter(&mut self, rt: &Runtime, method: MethodId) {
+        self.0.on_method_enter(rt, method);
+        self.1.on_method_enter(rt, method);
+    }
+    fn on_method_exit(&mut self, rt: &Runtime, method: MethodId) {
+        self.0.on_method_exit(rt, method);
+        self.1.on_method_exit(rt, method);
+    }
+    fn on_instruction(&mut self, rt: &Runtime, event: &InsnEvent<'_>) {
+        self.0.on_instruction(rt, event);
+        self.1.on_instruction(rt, event);
+    }
+    fn on_branch(&mut self, rt: &Runtime, method: MethodId, dex_pc: u32, taken: bool) {
+        self.0.on_branch(rt, method, dex_pc, taken);
+        self.1.on_branch(rt, method, dex_pc, taken);
+    }
+    fn on_reflective_call(&mut self, rt: &Runtime, caller: MethodId, site: u32, target: MethodId) {
+        self.0.on_reflective_call(rt, caller, site, target);
+        self.1.on_reflective_call(rt, caller, site, target);
+    }
+    fn on_dynamic_load(&mut self, rt: &Runtime, source: &str, classes: &[ClassId]) {
+        self.0.on_dynamic_load(rt, source, classes);
+        self.1.on_dynamic_load(rt, source, classes);
+    }
+    fn on_exception(&mut self, rt: &Runtime, method: MethodId, dex_pc: u32) {
+        self.0.on_exception(rt, method, dex_pc);
+        self.1.on_exception(rt, method, dex_pc);
+    }
+    fn override_branch(
+        &mut self,
+        rt: &Runtime,
+        method: MethodId,
+        dex_pc: u32,
+        would_take: bool,
+    ) -> Option<bool> {
+        self.0
+            .override_branch(rt, method, dex_pc, would_take)
+            .or_else(|| self.1.override_branch(rt, method, dex_pc, would_take))
+    }
+    fn tolerate_exceptions(&self) -> bool {
+        self.0.tolerate_exceptions() || self.1.tolerate_exceptions()
+    }
+}

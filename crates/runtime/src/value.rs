@@ -1,0 +1,193 @@
+//! Register slots and return values.
+//!
+//! Like real Dalvik, registers are 32-bit slots; `long`/`double` values
+//! occupy two consecutive slots. Each slot additionally carries a taint
+//! bitmask, which the interpreter propagates through data flow (the
+//! substrate for the TaintDroid/TaintART emulations in `dexlego-analysis`).
+
+/// One 32-bit register slot with an attached taint bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Slot {
+    /// Raw 32-bit contents (int bits, float bits, or an object handle).
+    pub raw: u32,
+    /// Taint label bitmask; zero means untainted.
+    pub taint: u32,
+}
+
+impl Slot {
+    /// An untainted slot holding `raw`.
+    pub const fn of(raw: u32) -> Slot {
+        Slot { raw, taint: 0 }
+    }
+
+    /// A slot holding a signed integer.
+    pub const fn from_int(v: i32) -> Slot {
+        Slot::of(v as u32)
+    }
+
+    /// A slot holding a float's bit pattern.
+    pub fn from_float(v: f32) -> Slot {
+        Slot::of(v.to_bits())
+    }
+
+    /// The slot value as a signed integer.
+    pub const fn as_int(self) -> i32 {
+        self.raw as i32
+    }
+
+    /// The slot value as a float.
+    pub fn as_float(self) -> f32 {
+        f32::from_bits(self.raw)
+    }
+
+    /// Returns this slot with `taint` OR-ed in.
+    pub const fn tainted(self, taint: u32) -> Slot {
+        Slot {
+            raw: self.raw,
+            taint: self.taint | taint,
+        }
+    }
+}
+
+/// A 64-bit value as a pair of slots (lo, hi) with a combined taint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WideValue {
+    /// Raw 64 bits.
+    pub raw: u64,
+    /// Combined taint of both halves.
+    pub taint: u32,
+}
+
+impl WideValue {
+    /// An untainted wide value.
+    pub const fn of(raw: u64) -> WideValue {
+        WideValue { raw, taint: 0 }
+    }
+
+    /// From a signed long.
+    pub const fn from_long(v: i64) -> WideValue {
+        WideValue::of(v as u64)
+    }
+
+    /// From a double.
+    pub fn from_double(v: f64) -> WideValue {
+        WideValue::of(v.to_bits())
+    }
+
+    /// As a signed long.
+    pub const fn as_long(self) -> i64 {
+        self.raw as i64
+    }
+
+    /// As a double.
+    pub fn as_double(self) -> f64 {
+        f64::from_bits(self.raw)
+    }
+
+    /// Splits into (lo, hi) slots sharing this value's taint.
+    pub const fn split(self) -> (Slot, Slot) {
+        (
+            Slot {
+                raw: self.raw as u32,
+                taint: self.taint,
+            },
+            Slot {
+                raw: (self.raw >> 32) as u32,
+                taint: self.taint,
+            },
+        )
+    }
+
+    /// Joins (lo, hi) slots.
+    pub const fn join(lo: Slot, hi: Slot) -> WideValue {
+        WideValue {
+            raw: lo.raw as u64 | ((hi.raw as u64) << 32),
+            taint: lo.taint | hi.taint,
+        }
+    }
+}
+
+/// The result of a method invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetVal {
+    /// `void` return.
+    #[default]
+    Void,
+    /// A 32-bit or reference return.
+    Single(Slot),
+    /// A 64-bit return.
+    Wide(WideValue),
+}
+
+impl RetVal {
+    /// The value as a signed integer, if it is a single slot.
+    pub fn as_int(self) -> Option<i32> {
+        match self {
+            RetVal::Single(s) => Some(s.as_int()),
+            _ => None,
+        }
+    }
+
+    /// The value as an object handle, if it is a single slot.
+    pub fn as_obj(self) -> Option<u32> {
+        match self {
+            RetVal::Single(s) => Some(s.raw),
+            _ => None,
+        }
+    }
+
+    /// The value as a long, if wide.
+    pub fn as_long(self) -> Option<i64> {
+        match self {
+            RetVal::Wide(w) => Some(w.as_long()),
+            _ => None,
+        }
+    }
+
+    /// The combined taint of the returned value (zero for void).
+    pub fn taint(self) -> u32 {
+        match self {
+            RetVal::Void => 0,
+            RetVal::Single(s) => s.taint,
+            RetVal::Wide(w) => w.taint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_split_join_roundtrip() {
+        let w = WideValue::from_long(-0x1234_5678_9abc_def0);
+        let (lo, hi) = w.split();
+        assert_eq!(WideValue::join(lo, hi), w);
+    }
+
+    #[test]
+    fn taint_combines_on_join() {
+        let lo = Slot { raw: 1, taint: 0b01 };
+        let hi = Slot { raw: 2, taint: 0b10 };
+        assert_eq!(WideValue::join(lo, hi).taint, 0b11);
+    }
+
+    #[test]
+    fn float_bits_roundtrip() {
+        let s = Slot::from_float(-1.5);
+        assert_eq!(s.as_float(), -1.5);
+        let w = WideValue::from_double(std::f64::consts::E);
+        assert_eq!(w.as_double(), std::f64::consts::E);
+    }
+
+    #[test]
+    fn retval_accessors() {
+        assert_eq!(RetVal::Single(Slot::from_int(-3)).as_int(), Some(-3));
+        assert_eq!(RetVal::Void.as_int(), None);
+        assert_eq!(RetVal::Wide(WideValue::from_long(9)).as_long(), Some(9));
+        assert_eq!(
+            RetVal::Single(Slot { raw: 0, taint: 5 }).taint(),
+            5
+        );
+    }
+}

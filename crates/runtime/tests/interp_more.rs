@@ -1,0 +1,427 @@
+//! Additional interpreter semantics tests: conversions, comparisons, long
+//! arithmetic, type tests, sparse switches, filled arrays, and string
+//! natives.
+
+use dexlego_dalvik::builder::ProgramBuilder;
+use dexlego_dalvik::{Insn, Opcode};
+use dexlego_runtime::observer::NullObserver;
+use dexlego_runtime::value::WideValue;
+use dexlego_runtime::{Runtime, RuntimeError, Slot};
+
+fn run_i(pb: &mut ProgramBuilder, name: &str, desc: &str, args: &[Slot]) -> i32 {
+    let dex = pb.build().unwrap();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    let mut obs = NullObserver;
+    rt.call_static(&mut obs, "La;", name, desc, args)
+        .unwrap()
+        .as_int()
+        .unwrap()
+}
+
+#[test]
+fn int_long_conversions() {
+    // long widen(int x) { return (long) x; } — sign extension.
+    let mut pb = ProgramBuilder::new();
+    pb.class("La;", |c| {
+        c.static_method("widen", &["I"], "J", 2, |m| {
+            let x = m.param_reg(0);
+            let mut cv = Insn::of(Opcode::IntToLong);
+            cv.a = 0;
+            cv.b = x;
+            m.asm.push(cv);
+            m.asm.ret(Opcode::ReturnWide, 0);
+        });
+        c.static_method("narrow", &["J"], "I", 1, |m| {
+            let x = m.param_reg(0);
+            let mut cv = Insn::of(Opcode::LongToInt);
+            cv.a = 0;
+            cv.b = x;
+            m.asm.push(cv);
+            m.asm.ret(Opcode::Return, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    let mut obs = NullObserver;
+    let widened = rt
+        .call_static(&mut obs, "La;", "widen", "(I)J", &[Slot::from_int(-5)])
+        .unwrap();
+    assert_eq!(widened.as_long(), Some(-5));
+    let w = WideValue::from_long(0x1_2345_6789);
+    let (lo, hi) = w.split();
+    let narrowed = rt
+        .call_static(&mut obs, "La;", "narrow", "(J)I", &[lo, hi])
+        .unwrap();
+    assert_eq!(narrowed.as_int(), Some(0x2345_6789));
+}
+
+#[test]
+fn float_int_conversion_clamps() {
+    // int f2i(float x)
+    let mut pb = ProgramBuilder::new();
+    pb.class("La;", |c| {
+        c.static_method("f2i", &["F"], "I", 1, |m| {
+            let x = m.param_reg(0);
+            let mut cv = Insn::of(Opcode::FloatToInt);
+            cv.a = 0;
+            cv.b = x;
+            m.asm.push(cv);
+            m.asm.ret(Opcode::Return, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    let mut obs = NullObserver;
+    for (input, expected) in [
+        (1.9f32, 1i32),
+        (-1.9, -1),
+        (f32::NAN, 0),
+        (f32::INFINITY, i32::MAX),
+        (f32::NEG_INFINITY, i32::MIN),
+    ] {
+        let r = rt
+            .call_static(&mut obs, "La;", "f2i", "(F)I", &[Slot::from_float(input)])
+            .unwrap();
+        assert_eq!(r.as_int(), Some(expected), "f2i({input})");
+    }
+}
+
+#[test]
+fn cmp_long_and_float_nan_bias() {
+    let mut pb = ProgramBuilder::new();
+    pb.class("La;", |c| {
+        c.static_method("cmpl", &["F", "F"], "I", 1, |m| {
+            let (a, b) = (m.param_reg(0), m.param_reg(1));
+            m.asm.binop(Opcode::CmplFloat, 0, a, b);
+            m.asm.ret(Opcode::Return, 0);
+        });
+        c.static_method("cmpg", &["F", "F"], "I", 1, |m| {
+            let (a, b) = (m.param_reg(0), m.param_reg(1));
+            m.asm.binop(Opcode::CmpgFloat, 0, a, b);
+            m.asm.ret(Opcode::Return, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    let mut obs = NullObserver;
+    let call = |rt: &mut Runtime, obs: &mut NullObserver, name: &str, a: f32, b: f32| {
+        rt.call_static(
+            obs,
+            "La;",
+            name,
+            "(FF)I",
+            &[Slot::from_float(a), Slot::from_float(b)],
+        )
+        .unwrap()
+        .as_int()
+        .unwrap()
+    };
+    assert_eq!(call(&mut rt, &mut obs, "cmpl", 1.0, 2.0), -1);
+    assert_eq!(call(&mut rt, &mut obs, "cmpl", 2.0, 2.0), 0);
+    assert_eq!(call(&mut rt, &mut obs, "cmpl", 3.0, 2.0), 1);
+    // NaN bias: cmpl -> -1, cmpg -> +1.
+    assert_eq!(call(&mut rt, &mut obs, "cmpl", f32::NAN, 2.0), -1);
+    assert_eq!(call(&mut rt, &mut obs, "cmpg", f32::NAN, 2.0), 1);
+}
+
+#[test]
+fn long_shift_uses_int_register_and_masks() {
+    // long shl(long x, int s) { return x << s; } with s = 65 -> shift 1.
+    let mut pb = ProgramBuilder::new();
+    pb.class("La;", |c| {
+        c.static_method("shl", &["J", "I"], "J", 2, |m| {
+            let x = m.param_reg(0);
+            let s = m.param_reg(1);
+            m.asm.binop(Opcode::ShlLong, 0, x, s);
+            m.asm.ret(Opcode::ReturnWide, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    let mut obs = NullObserver;
+    let (lo, hi) = WideValue::from_long(3).split();
+    let r = rt
+        .call_static(&mut obs, "La;", "shl", "(JI)J", &[lo, hi, Slot::from_int(65)])
+        .unwrap();
+    assert_eq!(r.as_long(), Some(6));
+}
+
+#[test]
+fn instance_of_and_check_cast() {
+    let mut pb = ProgramBuilder::new();
+    pb.class("LBase;", |c| {
+        c.method("id", &[], "I", 1, |m| {
+            m.asm.const4(0, 1);
+            m.asm.ret(Opcode::Return, 0);
+        });
+    });
+    pb.class("LSub;", |c| {
+        c.superclass("LBase;");
+    });
+    pb.class("La;", |c| {
+        // int test(): instance-of on a Sub instance against Base (1),
+        // against an unrelated class (0), and on null (0).
+        c.static_method("test", &[], "I", 4, |m| {
+            m.new_instance(0, "LSub;");
+            let mut io = Insn::of(Opcode::InstanceOf);
+            io.a = 1;
+            io.b = 0;
+            io.idx = 0; // patched below via intern
+            m.asm.push(io);
+            m.asm.ret(Opcode::Return, 1);
+        });
+    });
+    // Patch the instance-of type to LBase; using the model API directly.
+    let mut dex = pb.build().unwrap();
+    let base_t = dex.intern_type("LBase;");
+    {
+        let a = dex
+            .class_defs()
+            .iter()
+            .position(|c| dex.type_descriptor(c.class_idx).unwrap() == "La;")
+            .unwrap();
+        let code = dex.class_defs_mut()[a]
+            .class_data
+            .as_mut()
+            .unwrap()
+            .direct_methods[0]
+            .code
+            .as_mut()
+            .unwrap();
+        // instance-of is the second instruction (after new-instance, 2 units).
+        let insn = dexlego_dalvik::decode_insn(&code.insns, 2).unwrap();
+        let mut patched = insn.as_insn().unwrap().clone();
+        patched.idx = base_t;
+        let units = dexlego_dalvik::encode_insn(&patched).unwrap();
+        code.insns[2..2 + units.len()].copy_from_slice(&units);
+    }
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    let mut obs = NullObserver;
+    let r = rt.call_static(&mut obs, "La;", "test", "()I", &[]).unwrap();
+    assert_eq!(r.as_int(), Some(1), "Sub instance-of Base");
+}
+
+#[test]
+fn sparse_switch_dispatches() {
+    let mut pb = ProgramBuilder::new();
+    pb.class("La;", |c| {
+        c.static_method("pick", &["I"], "I", 1, |m| {
+            let p = m.param_reg(0);
+            let (a, b) = (m.asm.new_label(), m.asm.new_label());
+            m.asm.sparse_switch(p, vec![-100, 7777], vec![a, b]);
+            m.asm.const4(0, 0);
+            m.asm.ret(Opcode::Return, 0);
+            m.asm.bind(a);
+            m.asm.const4(0, 1);
+            m.asm.ret(Opcode::Return, 0);
+            m.asm.bind(b);
+            m.asm.const4(0, 2);
+            m.asm.ret(Opcode::Return, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    let mut obs = NullObserver;
+    for (input, expected) in [(-100, 1), (7777, 2), (0, 0), (42, 0)] {
+        let r = rt
+            .call_static(&mut obs, "La;", "pick", "(I)I", &[Slot::from_int(input)])
+            .unwrap();
+        assert_eq!(r.as_int(), Some(expected), "pick({input})");
+    }
+}
+
+#[test]
+fn filled_new_array_and_length() {
+    let mut pb = ProgramBuilder::new();
+    pb.class("La;", |c| {
+        c.static_method("len3", &[], "I", 4, |m| {
+            m.asm.const4(0, 5);
+            m.asm.const4(1, 6);
+            m.asm.const4(2, 7);
+            let mut fa = Insn::of(Opcode::FilledNewArray);
+            fa.regs = vec![0, 1, 2];
+            fa.idx = 0; // patched by interning below
+            m.asm.push(fa);
+            let mut mr = Insn::of(Opcode::MoveResultObject);
+            mr.a = 3;
+            m.asm.push(mr);
+            let mut al = Insn::of(Opcode::ArrayLength);
+            al.a = 0;
+            al.b = 3;
+            m.asm.push(al);
+            m.asm.ret(Opcode::Return, 0);
+        });
+    });
+    let mut dex = pb.build().unwrap();
+    let arr_t = dex.intern_type("[I");
+    {
+        let code = dex.class_defs_mut()[0]
+            .class_data
+            .as_mut()
+            .unwrap()
+            .direct_methods[0]
+            .code
+            .as_mut()
+            .unwrap();
+        let insn = dexlego_dalvik::decode_insn(&code.insns, 3).unwrap();
+        let mut patched = insn.as_insn().unwrap().clone();
+        patched.idx = arr_t;
+        let units = dexlego_dalvik::encode_insn(&patched).unwrap();
+        code.insns[3..3 + units.len()].copy_from_slice(&units);
+    }
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    let mut obs = NullObserver;
+    let r = rt.call_static(&mut obs, "La;", "len3", "()I", &[]).unwrap();
+    assert_eq!(r.as_int(), Some(3));
+}
+
+#[test]
+fn string_equals_and_parse_int_natives() {
+    let mut rt = Runtime::new();
+    let mut obs = NullObserver;
+    let a = rt.intern_string("42");
+    let b = rt.intern_string("42");
+    let eq = rt
+        .call_static(
+            &mut obs,
+            "Ljava/lang/String;",
+            "equals",
+            "(Ljava/lang/Object;)Z",
+            &[Slot::of(a), Slot::of(b)],
+        )
+        .unwrap();
+    assert_eq!(eq.as_int(), Some(1));
+    let parsed = rt
+        .call_static(
+            &mut obs,
+            "Ljava/lang/Integer;",
+            "parseInt",
+            "(Ljava/lang/String;)I",
+            &[Slot::of(a)],
+        )
+        .unwrap();
+    assert_eq!(parsed.as_int(), Some(42));
+}
+
+#[test]
+fn get_system_service_returns_typed_managers() {
+    let mut rt = Runtime::new();
+    let mut obs = NullObserver;
+    for (service, class) in [
+        ("phone", "Landroid/telephony/TelephonyManager;"),
+        ("location", "Landroid/location/LocationManager;"),
+        ("wifi", "Landroid/net/wifi/WifiInfo;"),
+    ] {
+        let name = rt.intern_string(service);
+        let ret = rt
+            .call_static(
+                &mut obs,
+                "Landroid/content/Context;",
+                "getSystemService",
+                "(Ljava/lang/String;)Ljava/lang/Object;",
+                &[Slot::of(0), Slot::of(name)],
+            )
+            .unwrap();
+        let obj = ret.as_obj().unwrap();
+        let cls = rt.heap.instance_class(obj).unwrap();
+        assert_eq!(rt.class(cls).descriptor, class);
+    }
+}
+
+#[test]
+fn stack_overflow_is_reported_not_crashed() {
+    // void recurse() { recurse(); }
+    let mut pb = ProgramBuilder::new();
+    pb.class("La;", |c| {
+        c.static_method("recurse", &[], "V", 1, |m| {
+            m.invoke(Opcode::InvokeStatic, "La;", "recurse", &[], "V", &[]);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    let mut rt = Runtime::new();
+    rt.load_dex(&dex, "app").unwrap();
+    let mut obs = NullObserver;
+    let err = rt
+        .call_static(&mut obs, "La;", "recurse", "()V", &[])
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::StackOverflow));
+}
+
+#[test]
+fn budget_exhaustion_is_per_execution() {
+    // An infinite loop hits the budget; the next execution starts fresh.
+    let mut pb = ProgramBuilder::new();
+    pb.class("La;", |c| {
+        c.static_method("forever", &[], "V", 1, |m| {
+            let top = m.asm.new_label();
+            m.asm.bind(top);
+            m.asm.nop();
+            m.asm.goto(top);
+        });
+        c.static_method("quick", &[], "I", 1, |m| {
+            m.asm.const4(0, 3);
+            m.asm.ret(Opcode::Return, 0);
+        });
+    });
+    let dex = pb.build().unwrap();
+    let mut rt = Runtime::new();
+    rt.env.insn_budget = 10_000;
+    rt.load_dex(&dex, "app").unwrap();
+    let mut obs = NullObserver;
+    let err = rt.call_static(&mut obs, "La;", "forever", "()V", &[]).unwrap_err();
+    assert!(matches!(err, RuntimeError::BudgetExhausted));
+    // A later execution is unaffected by the spent budget.
+    let ok = rt.call_static(&mut obs, "La;", "quick", "()I", &[]).unwrap();
+    assert_eq!(ok.as_int(), Some(3));
+}
+
+#[test]
+fn rem_and_neg_semantics() {
+    let mut pb = ProgramBuilder::new();
+    pb.class("La;", |c| {
+        c.static_method("op", &["I", "I"], "I", 1, |m| {
+            let (a, b) = (m.param_reg(0), m.param_reg(1));
+            m.asm.binop(Opcode::RemInt, 0, a, b);
+            let mut neg = Insn::of(Opcode::NegInt);
+            neg.a = 0;
+            neg.b = 0;
+            m.asm.push(neg);
+            m.asm.ret(Opcode::Return, 0);
+        });
+    });
+    // -(-7 % 3) = -(-1) = 1 (Java remainder keeps the dividend's sign).
+    assert_eq!(
+        run_i(&mut pb, "op", "(II)I", &[Slot::from_int(-7), Slot::from_int(3)]),
+        1
+    );
+}
+
+#[test]
+fn min_int_div_minus_one_wraps() {
+    let mut pb = ProgramBuilder::new();
+    pb.class("La;", |c| {
+        c.static_method("div", &["I", "I"], "I", 1, |m| {
+            let (a, b) = (m.param_reg(0), m.param_reg(1));
+            m.asm.binop(Opcode::DivInt, 0, a, b);
+            m.asm.ret(Opcode::Return, 0);
+        });
+    });
+    assert_eq!(
+        run_i(
+            &mut pb,
+            "div",
+            "(II)I",
+            &[Slot::from_int(i32::MIN), Slot::from_int(-1)]
+        ),
+        i32::MIN
+    );
+}

@@ -1,0 +1,95 @@
+//! Quickstart: pack a leaky app, watch static analysis fail on the shell,
+//! reveal it with DexLego, and watch the analysis succeed.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dexlego_suite::analysis::tools::all_tools;
+use dexlego_suite::dalvik::builder::ProgramBuilder;
+use dexlego_suite::dalvik::{Insn, Opcode};
+use dexlego_suite::dexlego::pipeline::reveal;
+use dexlego_suite::packer::{pack, PackerId};
+use dexlego_suite::runtime::Runtime;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a tiny application that leaks the device id in onCreate.
+    let entry = "Lquickstart/Main;";
+    let mut pb = ProgramBuilder::new();
+    pb.class(entry, |c| {
+        c.superclass("Landroid/app/Activity;");
+        c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, |m| {
+            let this = m.this_reg();
+            m.const_str(0, "phone");
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Landroid/content/Context;",
+                "getSystemService",
+                &["Ljava/lang/String;"],
+                "Ljava/lang/Object;",
+                &[this, 0],
+            );
+            let mut mr = Insn::of(Opcode::MoveResultObject);
+            mr.a = 0;
+            m.asm.push(mr);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Landroid/telephony/TelephonyManager;",
+                "getDeviceId",
+                &[],
+                "Ljava/lang/String;",
+                &[0],
+            );
+            let mut mr2 = Insn::of(Opcode::MoveResultObject);
+            mr2.a = 1;
+            m.asm.push(mr2);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Net;",
+                "send",
+                &["Ljava/lang/String;"],
+                "V",
+                &[1],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    let app = pb.build()?;
+    println!("built app with {} classes", app.class_defs().len());
+
+    // 2. Pack it with the 360 packer: only an encrypted shell remains.
+    let packed = pack(&app, entry, PackerId::P360)?;
+    println!(
+        "packed: shell carries {} encrypted payload bytes",
+        packed.payload_size()
+    );
+
+    // 3. Static analysis of the shell finds nothing.
+    for tool in all_tools() {
+        let verdict = tool.run(&packed.shell_dex);
+        println!("  {:<10} on packed shell : {} leaks", tool.name, verdict.leaks.len());
+    }
+
+    // 4. Execute under DexLego's JIT collection and reassemble.
+    let mut rt = Runtime::new();
+    let packed2 = packed.clone();
+    let outcome = reveal(&mut rt, move |rt, obs| {
+        packed2.install_observed(rt, obs).expect("install");
+        packed2.launch(rt, obs).expect("launch");
+    })?;
+    println!(
+        "revealed: {} methods collected, {} byte dump, {} classes reassembled",
+        outcome.files.methods.len(),
+        outcome.dump_size,
+        outcome.dex.class_defs().len()
+    );
+
+    // 5. The revealed DEX is a valid file the tools can analyse.
+    let bytes = dexlego_suite::dex::writer::write_dex(&outcome.dex)?;
+    println!("serialised revealed DEX: {} bytes", bytes.len());
+    for tool in all_tools() {
+        let verdict = tool.run(&outcome.dex);
+        println!("  {:<10} on revealed DEX: {} leaks", tool.name, verdict.leaks.len());
+        assert!(verdict.leaky(), "every tool sees the flow after DexLego");
+    }
+    println!("quickstart OK");
+    Ok(())
+}

@@ -1,0 +1,29 @@
+#![forbid(unsafe_code)]
+
+//! Umbrella crate for the DexLego reproduction.
+//!
+//! Re-exports every workspace crate under one roof for the examples and
+//! integration tests:
+//!
+//! * [`dex`] — the DEX container format (model, reader, writer, verifier).
+//! * [`dalvik`] — the Dalvik instruction set (codec, assembler,
+//!   disassembler, pool canonicalisation, class subsetting).
+//! * [`runtime`] — the simulated Android Runtime (class linker, heap,
+//!   interpreter with observer hooks, framework natives).
+//! * [`dexlego`] — the paper's contribution: JIT collection (Algorithm 1),
+//!   offline reassembly, reflection rewriting, force execution, baselines,
+//!   coverage.
+//! * [`packer`] — simulated packing platforms.
+//! * [`analysis`] — static taint engine with FlowDroid/DroidSafe/HornDroid
+//!   capability profiles, dynamic-tracker emulations, metrics.
+//! * [`droidbench`] — the generated benchmark corpus and app generators.
+//!
+//! See `examples/quickstart.rs` for the end-to-end unpack-and-analyse flow.
+
+pub use dexlego_analysis as analysis;
+pub use dexlego_core as dexlego;
+pub use dexlego_dalvik as dalvik;
+pub use dexlego_dex as dex;
+pub use dexlego_droidbench as droidbench;
+pub use dexlego_packer as packer;
+pub use dexlego_runtime as runtime;
