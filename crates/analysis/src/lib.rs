@@ -29,4 +29,4 @@ pub mod tools;
 
 pub use metrics::{f_measure, Confusion};
 pub use taint::{analyze, AnalysisConfig, AnalysisResult};
-pub use tools::{flowdroid, droidsafe, horndroid, ToolProfile};
+pub use tools::{droidsafe, flowdroid, horndroid, ToolProfile};

@@ -102,7 +102,11 @@ mod tests {
             tn: 13,
             fn_: 30,
         };
-        assert!((orig.f_measure() - 0.63).abs() < 0.02, "{}", orig.f_measure());
+        assert!(
+            (orig.f_measure() - 0.63).abs() < 0.02,
+            "{}",
+            orig.f_measure()
+        );
         let dexlego = Confusion {
             tp: 95,
             fp: 4,

@@ -84,13 +84,22 @@ mod tests {
             classify("Landroid/telephony/SmsManager;", "sendTextMessage"),
             FrameworkModel::Sink(vec![3])
         );
-        assert_eq!(classify("Lcom/dexlego/Net;", "send"), FrameworkModel::Sink(vec![0]));
+        assert_eq!(
+            classify("Lcom/dexlego/Net;", "send"),
+            FrameworkModel::Sink(vec![0])
+        );
     }
 
     #[test]
     fn files_are_neutral() {
-        assert_eq!(classify("Lcom/dexlego/Files;", "write"), FrameworkModel::Neutral);
-        assert_eq!(classify("Lcom/dexlego/Files;", "read"), FrameworkModel::Neutral);
+        assert_eq!(
+            classify("Lcom/dexlego/Files;", "write"),
+            FrameworkModel::Neutral
+        );
+        assert_eq!(
+            classify("Lcom/dexlego/Files;", "read"),
+            FrameworkModel::Neutral
+        );
     }
 
     #[test]

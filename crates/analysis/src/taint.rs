@@ -9,8 +9,9 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use dexlego_dalvik::{decode_method, Decoded, Insn, Opcode};
+use dexlego_dalvik::{Decoded, Insn, Opcode};
 use dexlego_dex::{ClassData, DexFile};
+use dexlego_verifier::Cfg;
 
 use crate::sources_sinks::{classify, is_framework_class, FrameworkModel};
 
@@ -182,7 +183,10 @@ struct MethodInfo {
     name: String,
     registers: usize,
     ins: usize,
-    code: Vec<(u32, Decoded)>,
+    /// The verifier's control-flow graph: decoded instructions plus
+    /// precomputed normal-flow successors (branch targets validated,
+    /// switch payloads resolved, exception edges excluded).
+    cfg: Cfg,
 }
 
 struct Engine<'a> {
@@ -207,8 +211,12 @@ pub fn analyze(dex: &DexFile, config: &AnalysisConfig) -> AnalysisResult {
     let mut by_sig = HashMap::new();
     let mut by_name_desc: HashMap<(String, String), Vec<usize>> = HashMap::new();
     for class in dex.class_defs() {
-        let Some(data) = &class.class_data else { continue };
-        let Ok(class_desc) = dex.type_descriptor(class.class_idx) else { continue };
+        let Some(data) = &class.class_data else {
+            continue;
+        };
+        let Ok(class_desc) = dex.type_descriptor(class.class_idx) else {
+            continue;
+        };
         if is_framework_class(class_desc) {
             continue;
         }
@@ -264,8 +272,12 @@ fn descriptor_of_sig(sig: &str) -> String {
 fn collect_methods(dex: &DexFile, class_desc: &str, data: &ClassData, out: &mut Vec<MethodInfo>) {
     for method in data.methods() {
         let Some(code) = &method.code else { continue };
-        let Ok(sig) = dex.method_signature(method.method_idx) else { continue };
-        let Ok(decoded) = decode_method(&code.insns) else { continue };
+        let Ok(sig) = dex.method_signature(method.method_idx) else {
+            continue;
+        };
+        let Ok(cfg) = Cfg::build(&code.insns, &code.tries, &code.handlers) else {
+            continue;
+        };
         let name = dex
             .method_id(method.method_idx)
             .ok()
@@ -278,7 +290,7 @@ fn collect_methods(dex: &DexFile, class_desc: &str, data: &ClassData, out: &mut 
             name,
             registers: code.registers_size as usize,
             ins: code.ins_size as usize,
-            code: decoded,
+            cfg,
         });
     }
 }
@@ -307,14 +319,14 @@ impl Engine<'_> {
             reg.taint = Taint::from_param(slot);
         }
 
-        let pcs: Vec<u32> = self.methods[index]
-            .code
+        let insn_count = self.methods[index].cfg.insns().len();
+        let index_of_pc: HashMap<u32, usize> = self.methods[index]
+            .cfg
+            .insns()
             .iter()
-            .filter(|(_, d)| matches!(d, Decoded::Insn(_)))
-            .map(|(pc, _)| *pc)
+            .enumerate()
+            .map(|(i, (pc, _))| (*pc, i))
             .collect();
-        let index_of_pc: HashMap<u32, usize> =
-            pcs.iter().enumerate().map(|(i, &pc)| (pc, i)).collect();
 
         let mut branch_taint = Taint::CLEAN;
         let mut summary = Summary::default();
@@ -333,7 +345,9 @@ impl Engine<'_> {
                 if *visit > 64 {
                     continue; // widen by truncation; states are finite anyway
                 }
-                let Some(&i) = index_of_pc.get(&pc) else { continue };
+                let Some(&i) = index_of_pc.get(&pc) else {
+                    continue;
+                };
                 let state = states.get(&pc).cloned().unwrap_or_default();
                 let (mut next_state, succs) = self.transfer(
                     index,
@@ -363,7 +377,7 @@ impl Engine<'_> {
             let mut state = init;
             for _ in 0..8 {
                 let before = state.clone();
-                for i in 0..pcs.len() {
+                for i in 0..insn_count {
                     let (next, _) = self.transfer_insensitive(
                         index,
                         i,
@@ -422,14 +436,16 @@ impl Engine<'_> {
     ) -> (Vec<Reg>, Vec<u32>) {
         let (pc, decoded) = {
             let info = &self.methods[index];
-            (info.code[i].0, info.code[i].1.clone())
+            (info.cfg.insns()[i].0, info.cfg.insns()[i].1.clone())
         };
         let Decoded::Insn(insn) = decoded else {
             return (state, vec![]);
         };
-        let next_pc = pc + insn.units() as u32;
-        let mut succs: Vec<u32> = Vec::new();
-        let fall_through = !insn.op.is_terminator();
+        // Normal-flow successors from the verifier CFG: validated branch
+        // targets, resolved switch payload entries, and fall-through —
+        // exception edges excluded, matching the engine's handler-blind
+        // over-approximation.
+        let succs: Vec<u32> = self.methods[index].cfg.insn_successors(pc).to_vec();
 
         let get = |state: &[Reg], r: u32| state.get(r as usize).cloned().unwrap_or_default();
         let set = |state: &mut [Reg], r: u32, v: Reg| {
@@ -439,14 +455,25 @@ impl Engine<'_> {
         };
 
         match insn.op {
-            Opcode::Move | Opcode::MoveFrom16 | Opcode::Move16 | Opcode::MoveObject
-            | Opcode::MoveObjectFrom16 | Opcode::MoveObject16 | Opcode::MoveWide
-            | Opcode::MoveWideFrom16 | Opcode::MoveWide16 => {
+            Opcode::Move
+            | Opcode::MoveFrom16
+            | Opcode::Move16
+            | Opcode::MoveObject
+            | Opcode::MoveObjectFrom16
+            | Opcode::MoveObject16
+            | Opcode::MoveWide
+            | Opcode::MoveWideFrom16
+            | Opcode::MoveWide16 => {
                 let v = get(&state, insn.b);
                 set(&mut state, insn.a, v);
             }
-            Opcode::Const4 | Opcode::Const16 | Opcode::Const | Opcode::ConstHigh16
-            | Opcode::ConstWide16 | Opcode::ConstWide32 | Opcode::ConstWide
+            Opcode::Const4
+            | Opcode::Const16
+            | Opcode::Const
+            | Opcode::ConstHigh16
+            | Opcode::ConstWide16
+            | Opcode::ConstWide32
+            | Opcode::ConstWide
             | Opcode::ConstWideHigh16 => {
                 set(
                     &mut state,
@@ -489,27 +516,9 @@ impl Engine<'_> {
                     t = t.join(get(&state, insn.b).taint);
                 }
                 *branch_taint = branch_taint.join(t);
-                succs.push(insn.target(pc));
             }
-            Opcode::Goto | Opcode::Goto16 | Opcode::Goto32 => {
-                succs.push(insn.target(pc));
-            }
+            Opcode::Goto | Opcode::Goto16 | Opcode::Goto32 => {}
             Opcode::PackedSwitch | Opcode::SparseSwitch => {
-                let info = &self.methods[index];
-                if let Some((_, payload)) = info
-                    .code
-                    .iter()
-                    .find(|(p, _)| *p == insn.target(pc))
-                {
-                    let targets: Vec<i32> = match payload {
-                        Decoded::PackedSwitchPayload { targets, .. } => targets.clone(),
-                        Decoded::SparseSwitchPayload { targets, .. } => targets.clone(),
-                        _ => vec![],
-                    };
-                    for rel in targets {
-                        succs.push(pc.wrapping_add(rel as u32));
-                    }
-                }
                 *branch_taint = branch_taint.join(get(&state, insn.a).taint);
             }
             Opcode::Return | Opcode::ReturnObject | Opcode::ReturnWide => {
@@ -517,15 +526,17 @@ impl Engine<'_> {
                 summary.arg_to_ret |= t.params;
                 if let Some(d) = t.source {
                     let bumped = d + 1;
-                    summary.source_to_ret = Some(
-                        summary
-                            .source_to_ret
-                            .map_or(bumped, |cur| cur.min(bumped)),
-                    );
+                    summary.source_to_ret =
+                        Some(summary.source_to_ret.map_or(bumped, |cur| cur.min(bumped)));
                 }
             }
-            Opcode::Aget | Opcode::AgetWide | Opcode::AgetObject | Opcode::AgetBoolean
-            | Opcode::AgetByte | Opcode::AgetChar | Opcode::AgetShort => {
+            Opcode::Aget
+            | Opcode::AgetWide
+            | Opcode::AgetObject
+            | Opcode::AgetBoolean
+            | Opcode::AgetByte
+            | Opcode::AgetChar
+            | Opcode::AgetShort => {
                 let arr = get(&state, insn.b);
                 set(
                     &mut state,
@@ -536,8 +547,13 @@ impl Engine<'_> {
                     },
                 );
             }
-            Opcode::Aput | Opcode::AputWide | Opcode::AputObject | Opcode::AputBoolean
-            | Opcode::AputByte | Opcode::AputChar | Opcode::AputShort => {
+            Opcode::Aput
+            | Opcode::AputWide
+            | Opcode::AputObject
+            | Opcode::AputBoolean
+            | Opcode::AputByte
+            | Opcode::AputChar
+            | Opcode::AputShort => {
                 let idx_known = matches!(get(&state, insn.c).known, Known::Int(_));
                 if !self.config.precise_arrays || idx_known {
                     let val = get(&state, insn.a).taint;
@@ -552,12 +568,27 @@ impl Engine<'_> {
                     );
                 }
             }
-            Opcode::Sget | Opcode::SgetWide | Opcode::SgetObject | Opcode::SgetBoolean
-            | Opcode::SgetByte | Opcode::SgetChar | Opcode::SgetShort | Opcode::Iget
-            | Opcode::IgetWide | Opcode::IgetObject | Opcode::IgetBoolean | Opcode::IgetByte
-            | Opcode::IgetChar | Opcode::IgetShort => {
+            Opcode::Sget
+            | Opcode::SgetWide
+            | Opcode::SgetObject
+            | Opcode::SgetBoolean
+            | Opcode::SgetByte
+            | Opcode::SgetChar
+            | Opcode::SgetShort
+            | Opcode::Iget
+            | Opcode::IgetWide
+            | Opcode::IgetObject
+            | Opcode::IgetBoolean
+            | Opcode::IgetByte
+            | Opcode::IgetChar
+            | Opcode::IgetShort => {
                 let field = self.dex.field_signature(insn.idx).unwrap_or_default();
-                let taint = self.globals.fields.get(&field).copied().unwrap_or(Taint::CLEAN);
+                let taint = self
+                    .globals
+                    .fields
+                    .get(&field)
+                    .copied()
+                    .unwrap_or(Taint::CLEAN);
                 set(
                     &mut state,
                     insn.a,
@@ -567,20 +598,26 @@ impl Engine<'_> {
                     },
                 );
             }
-            Opcode::Sput | Opcode::SputWide | Opcode::SputObject | Opcode::SputBoolean
-            | Opcode::SputByte | Opcode::SputChar | Opcode::SputShort | Opcode::Iput
-            | Opcode::IputWide | Opcode::IputObject | Opcode::IputBoolean | Opcode::IputByte
-            | Opcode::IputChar | Opcode::IputShort => {
+            Opcode::Sput
+            | Opcode::SputWide
+            | Opcode::SputObject
+            | Opcode::SputBoolean
+            | Opcode::SputByte
+            | Opcode::SputChar
+            | Opcode::SputShort
+            | Opcode::Iput
+            | Opcode::IputWide
+            | Opcode::IputObject
+            | Opcode::IputBoolean
+            | Opcode::IputByte
+            | Opcode::IputChar
+            | Opcode::IputShort => {
                 let field = self.dex.field_signature(insn.idx).unwrap_or_default();
                 let val = get(&state, insn.a).taint.join(implicit_ctx);
                 // Fields carry source taint only: parameter bits are
                 // meaningless outside the current frame.
                 if val.source.is_some() {
-                    let entry = self
-                        .globals
-                        .fields
-                        .entry(field)
-                        .or_insert(Taint::CLEAN);
+                    let entry = self.globals.fields.entry(field).or_insert(Taint::CLEAN);
                     *entry = entry.join(Taint {
                         source: val.source,
                         params: 0,
@@ -594,7 +631,7 @@ impl Engine<'_> {
                 // model by stashing in a pseudo-register... simplest: apply
                 // to the *next* instruction if it is a move-result.
                 let info = &self.methods[index];
-                if let Some((_, Decoded::Insn(next))) = info.code.get(i + 1) {
+                if let Some((_, Decoded::Insn(next))) = info.cfg.insns().get(i + 1) {
                     if matches!(
                         next.op,
                         Opcode::MoveResult | Opcode::MoveResultWide | Opcode::MoveResultObject
@@ -604,8 +641,7 @@ impl Engine<'_> {
                 }
                 // Receiver mutation for StringBuilder-style propagation.
                 if let Some((class, name, _)) = self.invoke_target(&insn) {
-                    if let FrameworkModel::PropagateToReceiverAndReturn = classify(&class, &name)
-                    {
+                    if let FrameworkModel::PropagateToReceiverAndReturn = classify(&class, &name) {
                         let union = args.iter().fold(Taint::CLEAN, |a, r| a.join(r.taint));
                         if let Some(&recv) = insn.regs.first() {
                             let old = get(&state, recv);
@@ -632,7 +668,7 @@ impl Engine<'_> {
                     .iter()
                     .fold(Taint::CLEAN, |a, &r| a.join(get(&state, r).taint));
                 let info = &self.methods[index];
-                if let Some((_, Decoded::Insn(next))) = info.code.get(i + 1) {
+                if let Some((_, Decoded::Insn(next))) = info.cfg.insns().get(i + 1) {
                     if next.op == Opcode::MoveResultObject {
                         set(
                             &mut state,
@@ -648,8 +684,10 @@ impl Engine<'_> {
             // Unary/binary arithmetic: dst gets union of operand taints.
             op => {
                 let operands: Vec<u32> = match op.format() {
-                    dexlego_dalvik::Format::F12x | dexlego_dalvik::Format::F22s
-                    | dexlego_dalvik::Format::F22b | dexlego_dalvik::Format::F22x => vec![insn.b],
+                    dexlego_dalvik::Format::F12x
+                    | dexlego_dalvik::Format::F22s
+                    | dexlego_dalvik::Format::F22b
+                    | dexlego_dalvik::Format::F22x => vec![insn.b],
                     dexlego_dalvik::Format::F23x => vec![insn.b, insn.c],
                     _ => vec![],
                 };
@@ -669,9 +707,6 @@ impl Engine<'_> {
             }
         }
 
-        if fall_through {
-            succs.push(next_pc);
-        }
         (state, succs)
     }
 
@@ -684,7 +719,7 @@ impl Engine<'_> {
     }
 
     fn within_depth(&self, depth: u32) -> bool {
-        self.config.max_call_depth.map_or(true, |cap| depth <= cap)
+        self.config.max_call_depth.is_none_or(|cap| depth <= cap)
     }
 
     fn report_leak(&mut self, index: usize, pc: u32, depth: u32) {
@@ -705,9 +740,7 @@ impl Engine<'_> {
         }
         // Virtual/interface dispatch fallback: any app method with the same
         // name and descriptor (over-approximation).
-        let candidates = self
-            .by_name_desc
-            .get(&(name.to_owned(), desc.to_owned()))?;
+        let candidates = self.by_name_desc.get(&(name.to_owned(), desc.to_owned()))?;
         let mut merged = Summary::default();
         let mut found = false;
         for &i in candidates {
@@ -746,10 +779,8 @@ impl Engine<'_> {
         // Reflection: Method.invoke on a statically known target.
         if class == "Ljava/lang/reflect/Method;" && name == "invoke" {
             if self.config.reflection_constant_strings {
-                if let Some(Known::Method(tclass, tname)) = args.first().map(|r| r.known.clone())
-                {
-                    if let Some((t_sig_desc, t_summary)) =
-                        self.resolve_reflective(&tclass, &tname)
+                if let Some(Known::Method(tclass, tname)) = args.first().map(|r| r.known.clone()) {
+                    if let Some((t_sig_desc, t_summary)) = self.resolve_reflective(&tclass, &tname)
                     {
                         let _ = t_sig_desc;
                         // Receiver + boxed args both flow into the callee.
@@ -824,7 +855,7 @@ impl Engine<'_> {
                         for p in 0..64 {
                             if t.params & (1 << p) != 0 {
                                 let e = summary.arg_to_sink.entry(p).or_insert(0);
-                                *e = (*e).min(0);
+                                *e = 0;
                             }
                         }
                     }
@@ -898,7 +929,9 @@ impl Engine<'_> {
     ) -> Reg {
         // Arg-to-sink flows.
         for (&slot, &hops) in &callee.arg_to_sink {
-            let Some(&t) = arg_taints.get(slot) else { continue };
+            let Some(&t) = arg_taints.get(slot) else {
+                continue;
+            };
             if let Some(d) = t.source {
                 self.report_leak(index, pc, d + hops + 1);
             }

@@ -90,9 +90,18 @@ fn overwrite_kill_separates_flow_sensitivity() {
         });
     });
     let dex = pb.build().unwrap();
-    assert!(!flowdroid().run(&dex).leaky(), "FlowDroid is flow-sensitive");
-    assert!(!horndroid().run(&dex).leaky(), "HornDroid is flow-sensitive");
-    assert!(droidsafe().run(&dex).leaky(), "DroidSafe is flow-insensitive");
+    assert!(
+        !flowdroid().run(&dex).leaky(),
+        "FlowDroid is flow-sensitive"
+    );
+    assert!(
+        !horndroid().run(&dex).leaky(),
+        "HornDroid is flow-sensitive"
+    );
+    assert!(
+        droidsafe().run(&dex).leaky(),
+        "DroidSafe is flow-insensitive"
+    );
 }
 
 #[test]
@@ -127,7 +136,10 @@ fn implicit_flow_only_horndroid() {
     let dex = pb.build().unwrap();
     assert!(!flowdroid().run(&dex).leaky());
     assert!(!droidsafe().run(&dex).leaky());
-    assert!(horndroid().run(&dex).leaky(), "HornDroid models implicit flows");
+    assert!(
+        horndroid().run(&dex).leaky(),
+        "HornDroid models implicit flows"
+    );
 }
 
 #[test]
@@ -180,7 +192,14 @@ fn unknown_index_array_flow_dropped_by_horndroid_only() {
             call_source(m, 0);
             m.asm.const4(1, 4);
             m.new_array(2, 1, "[Ljava/lang/String;");
-            m.invoke(Opcode::InvokeStatic, "Lcom/dexlego/Input;", "nextInt", &[], "I", &[]);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Input;",
+                "nextInt",
+                &[],
+                "I",
+                &[],
+            );
             let mut mr = Insn::of(Opcode::MoveResult);
             mr.a = 3;
             m.asm.push(mr);
@@ -206,23 +225,33 @@ fn deep_call_chain_exceeds_droidsafe_depth() {
     let mut pb = ProgramBuilder::new();
     pb.class("Lapp/Main;", |c| {
         for i in 0..8u32 {
-            let next_call: String = if i == 7 { String::new() } else { format!("f{}", i + 1) };
-            c.static_method(&format!("f{i}"), &["Ljava/lang/String;"], "V", 1, move |m| {
-                let p = m.param_reg(0);
-                if next_call.is_empty() {
-                    call_sink(m, p);
-                } else {
-                    m.invoke(
-                        Opcode::InvokeStatic,
-                        "Lapp/Main;",
-                        &next_call,
-                        &["Ljava/lang/String;"],
-                        "V",
-                        &[p],
-                    );
-                }
-                m.asm.ret(Opcode::ReturnVoid, 0);
-            });
+            let next_call: String = if i == 7 {
+                String::new()
+            } else {
+                format!("f{}", i + 1)
+            };
+            c.static_method(
+                &format!("f{i}"),
+                &["Ljava/lang/String;"],
+                "V",
+                1,
+                move |m| {
+                    let p = m.param_reg(0);
+                    if next_call.is_empty() {
+                        call_sink(m, p);
+                    } else {
+                        m.invoke(
+                            Opcode::InvokeStatic,
+                            "Lapp/Main;",
+                            &next_call,
+                            &["Ljava/lang/String;"],
+                            "V",
+                            &[p],
+                        );
+                    }
+                    m.asm.ret(Opcode::ReturnVoid, 0);
+                },
+            );
         }
         c.static_method("go", &[], "V", 2, |m| {
             call_source(m, 0);
@@ -293,8 +322,14 @@ fn constant_string_reflection_resolved_by_all() {
     // The paper-era FlowDroid does not resolve reflection by itself; the
     // string-analysis-equipped tools do.
     assert!(!flowdroid().run(&dex).leaky(), "FlowDroid lacks reflection");
-    assert!(droidsafe().run(&dex).leaky(), "DroidSafe resolves constants");
-    assert!(horndroid().run(&dex).leaky(), "HornDroid resolves constants");
+    assert!(
+        droidsafe().run(&dex).leaky(),
+        "DroidSafe resolves constants"
+    );
+    assert!(
+        horndroid().run(&dex).leaky(),
+        "HornDroid resolves constants"
+    );
 }
 
 #[test]
@@ -392,11 +427,23 @@ fn field_flow_across_methods() {
         c.static_field("stash", "Ljava/lang/String;", None);
         c.static_method("writeIt", &[], "V", 2, |m| {
             call_source(m, 0);
-            m.sput(Opcode::SputObject, 0, "Lapp/Main;", "stash", "Ljava/lang/String;");
+            m.sput(
+                Opcode::SputObject,
+                0,
+                "Lapp/Main;",
+                "stash",
+                "Ljava/lang/String;",
+            );
             m.asm.ret(Opcode::ReturnVoid, 0);
         });
         c.static_method("readIt", &[], "V", 2, |m| {
-            m.sget(Opcode::SgetObject, 0, "Lapp/Main;", "stash", "Ljava/lang/String;");
+            m.sget(
+                Opcode::SgetObject,
+                0,
+                "Lapp/Main;",
+                "stash",
+                "Ljava/lang/String;",
+            );
             call_sink(m, 0);
             m.asm.ret(Opcode::ReturnVoid, 0);
         });

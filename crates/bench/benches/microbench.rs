@@ -42,8 +42,14 @@ fn bench_interpreter(c: &mut Criterion) {
         rt.load_dex(&dex, "app").unwrap();
         let mut obs = NullObserver;
         b.iter(|| {
-            rt.call_static(&mut obs, "Lbench/Loop;", "spin", "(I)I", &[Slot::from_int(2_500)])
-                .unwrap()
+            rt.call_static(
+                &mut obs,
+                "Lbench/Loop;",
+                "spin",
+                "(I)I",
+                &[Slot::from_int(2_500)],
+            )
+            .unwrap()
         });
     });
     group.bench_function("collected_10k_insns", |b| {
@@ -78,14 +84,15 @@ fn bench_pipeline(c: &mut Criterion) {
                     if rt.load_dex_observed(&dex, "app", obs).is_err() {
                         return;
                     }
-                    let Ok(activity) = rt.new_instance(obs, &entry) else { return };
-                    let Some(class) = rt.find_class(&entry) else { return };
+                    let Ok(activity) = rt.new_instance(obs, &entry) else {
+                        return;
+                    };
+                    let Some(class) = rt.find_class(&entry) else {
+                        return;
+                    };
                     if let Some(m) = rt.resolve_method(
                         class,
-                        &dexlego_runtime::class::SigKey::new(
-                            "onCreate",
-                            "(Landroid/os/Bundle;)V",
-                        ),
+                        &dexlego_runtime::class::SigKey::new("onCreate", "(Landroid/os/Bundle;)V"),
                     ) {
                         let _ = rt.call_method(obs, m, &[Slot::of(activity), Slot::of(0)]);
                     }
@@ -94,6 +101,20 @@ fn bench_pipeline(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         );
+    });
+    group.finish();
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let app = generate(&AppSpec::plain_profile("bench/verify", 10_000));
+    let options = dexlego_verifier::VerifyOptions::default();
+    let mut group = c.benchmark_group("verifier");
+    group.bench_function("verify_10k_insn_dex", |b| {
+        b.iter(|| dexlego_verifier::verify_dex(&app.dex, &options));
+    });
+    group.bench_function("verify_loop_method", |b| {
+        let dex = loop_app();
+        b.iter(|| dexlego_verifier::verify_dex(&dex, &options));
     });
     group.finish();
 }
@@ -115,5 +136,11 @@ fn bench_dex_io(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_interpreter, bench_pipeline, bench_dex_io);
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_pipeline,
+    bench_verifier,
+    bench_dex_io
+);
 criterion_main!(benches);

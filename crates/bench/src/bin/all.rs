@@ -4,11 +4,32 @@ fn main() {
     println!("{}", dexlego_bench::table1::format(&counts, &cells));
     let t2 = dexlego_bench::table2::run();
     println!("{}", dexlego_bench::table2::format(&t2));
-    println!("{}", dexlego_bench::fig5::format(&dexlego_bench::fig5::run(&t2)));
-    println!("{}", dexlego_bench::table4::format(&dexlego_bench::table4::run()));
-    println!("{}", dexlego_bench::table5::format(&dexlego_bench::table5::run()));
-    println!("{}", dexlego_bench::table6::format(&dexlego_bench::table6::run()));
-    println!("{}", dexlego_bench::table7::format(&dexlego_bench::table7::run()));
-    println!("{}", dexlego_bench::fig6::format(&dexlego_bench::fig6::run()));
-    println!("{}", dexlego_bench::table8::format(&dexlego_bench::table8::run()));
+    println!(
+        "{}",
+        dexlego_bench::fig5::format(&dexlego_bench::fig5::run(&t2))
+    );
+    println!(
+        "{}",
+        dexlego_bench::table4::format(&dexlego_bench::table4::run())
+    );
+    println!(
+        "{}",
+        dexlego_bench::table5::format(&dexlego_bench::table5::run())
+    );
+    println!(
+        "{}",
+        dexlego_bench::table6::format(&dexlego_bench::table6::run())
+    );
+    println!(
+        "{}",
+        dexlego_bench::table7::format(&dexlego_bench::table7::run())
+    );
+    println!(
+        "{}",
+        dexlego_bench::fig6::format(&dexlego_bench::fig6::run())
+    );
+    println!(
+        "{}",
+        dexlego_bench::table8::format(&dexlego_bench::table8::run())
+    );
 }

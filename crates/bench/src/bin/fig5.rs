@@ -1,5 +1,8 @@
 //! Regenerates Figure 5.
 fn main() {
     let results = dexlego_bench::table2::run();
-    println!("{}", dexlego_bench::fig5::format(&dexlego_bench::fig5::run(&results)));
+    println!(
+        "{}",
+        dexlego_bench::fig5::format(&dexlego_bench::fig5::run(&results))
+    );
 }

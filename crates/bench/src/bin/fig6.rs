@@ -1,4 +1,7 @@
 //! Regenerates Figure 6.
 fn main() {
-    println!("{}", dexlego_bench::fig6::format(&dexlego_bench::fig6::run()));
+    println!(
+        "{}",
+        dexlego_bench::fig6::format(&dexlego_bench::fig6::run())
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Table IV.
 fn main() {
-    println!("{}", dexlego_bench::table4::format(&dexlego_bench::table4::run()));
+    println!(
+        "{}",
+        dexlego_bench::table4::format(&dexlego_bench::table4::run())
+    );
 }

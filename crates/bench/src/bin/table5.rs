@@ -1,4 +1,7 @@
 //! Regenerates Table V.
 fn main() {
-    println!("{}", dexlego_bench::table5::format(&dexlego_bench::table5::run()));
+    println!(
+        "{}",
+        dexlego_bench::table5::format(&dexlego_bench::table5::run())
+    );
 }

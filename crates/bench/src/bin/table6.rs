@@ -1,4 +1,7 @@
 //! Regenerates Table VI.
 fn main() {
-    println!("{}", dexlego_bench::table6::format(&dexlego_bench::table6::run()));
+    println!(
+        "{}",
+        dexlego_bench::table6::format(&dexlego_bench::table6::run())
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Table VII.
 fn main() {
-    println!("{}", dexlego_bench::table7::format(&dexlego_bench::table7::run()));
+    println!(
+        "{}",
+        dexlego_bench::table7::format(&dexlego_bench::table7::run())
+    );
 }

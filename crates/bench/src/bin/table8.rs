@@ -1,4 +1,7 @@
 //! Regenerates Table VIII.
 fn main() {
-    println!("{}", dexlego_bench::table8::format(&dexlego_bench::table8::run()));
+    println!(
+        "{}",
+        dexlego_bench::table8::format(&dexlego_bench::table8::run())
+    );
 }

@@ -133,11 +133,8 @@ fn measure(collected: bool) -> Scores {
         let mut collector = JitCollector::new();
         let mut null = NullObserver;
         score(|| {
-            let obs: &mut dyn dexlego_runtime::RuntimeObserver = if collected {
-                &mut collector
-            } else {
-                &mut null
-            };
+            let obs: &mut dyn dexlego_runtime::RuntimeObserver =
+                if collected { &mut collector } else { &mut null };
             rt.call_static(obs, &entry, "javaWork", "(I)I", &[Slot::from_int(20_000)])
                 .expect("runs");
         })
@@ -147,11 +144,8 @@ fn measure(collected: bool) -> Scores {
         let mut collector = JitCollector::new();
         let mut null = NullObserver;
         score(|| {
-            let obs: &mut dyn dexlego_runtime::RuntimeObserver = if collected {
-                &mut collector
-            } else {
-                &mut null
-            };
+            let obs: &mut dyn dexlego_runtime::RuntimeObserver =
+                if collected { &mut collector } else { &mut null };
             rt.call_static(obs, &entry, "nativeWork", "(I)I", &[Slot::from_int(300)])
                 .expect("runs");
         })

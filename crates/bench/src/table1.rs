@@ -105,8 +105,7 @@ pub fn run() -> (Vec<(&'static str, usize)>, Vec<Cell>) {
                     let mut present = 0usize;
                     for sig in &executed.sigs {
                         let (class, rest) = sig.split_once("->").expect("method sig");
-                        let name_part: String =
-                            rest.chars().take_while(|&c| c != '(').collect();
+                        let name_part: String = rest.chars().take_while(|&c| c != '(').collect();
                         let found = out.find_class(class).is_some_and(|def| {
                             def.class_data.as_ref().is_some_and(|data| {
                                 data.methods().any(|m| {
@@ -158,4 +157,3 @@ pub fn format(insn_counts: &[(&str, usize)], cells: &[Cell]) -> String {
     }
     out
 }
-

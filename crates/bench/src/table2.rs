@@ -76,10 +76,14 @@ fn baseline_unpack(sample: &Sample, kind: BaselineKind) -> dexlego_dex::DexFile 
             let pick = (seed as usize + n) % rt.callbacks.len();
             let cb = rt.callbacks[pick].clone();
             rt.callback_depth += 1;
-            let _ = rt.call_method(&mut obs, cb.method, &[
-                dexlego_runtime::Slot::of(cb.receiver),
-                dexlego_runtime::Slot::of(0),
-            ]);
+            let _ = rt.call_method(
+                &mut obs,
+                cb.method,
+                &[
+                    dexlego_runtime::Slot::of(cb.receiver),
+                    dexlego_runtime::Slot::of(0),
+                ],
+            );
             rt.callback_depth -= 1;
         }
     }
@@ -169,8 +173,7 @@ fn install_tampers_only(sample: &Sample, rt: &mut Runtime) {
                 };
                 if let MethodImpl::Bytecode { insns, .. } = &mut rt.method_mut(method).body {
                     for patch in patches.iter().filter(|p| p.when_arg == arg) {
-                        insns[patch.at..patch.at + patch.units.len()]
-                            .copy_from_slice(&patch.units);
+                        insns[patch.at..patch.at + patch.units.len()].copy_from_slice(&patch.units);
                     }
                 }
                 Ok(dexlego_runtime::RetVal::Void)
@@ -200,10 +203,14 @@ pub fn reveal_packed(sample: &Sample) -> dexlego_dex::DexFile {
                 let pick = (seed as usize + n) % rt.callbacks.len();
                 let cb = rt.callbacks[pick].clone();
                 rt.callback_depth += 1;
-                let _ = rt.call_method(obs, cb.method, &[
-                    dexlego_runtime::Slot::of(cb.receiver),
-                    dexlego_runtime::Slot::of(0),
-                ]);
+                let _ = rt.call_method(
+                    obs,
+                    cb.method,
+                    &[
+                        dexlego_runtime::Slot::of(cb.receiver),
+                        dexlego_runtime::Slot::of(0),
+                    ],
+                );
                 rt.callback_depth -= 1;
             }
         }

@@ -292,8 +292,7 @@ pub fn run() -> Vec<Row> {
                 let cbs = rt.callbacks.clone();
                 for cb in cbs {
                     rt.callback_depth += 1;
-                    let _ =
-                        rt.call_method(obs, cb.method, &[Slot::of(cb.receiver), Slot::of(0)]);
+                    let _ = rt.call_method(obs, cb.method, &[Slot::of(cb.receiver), Slot::of(0)]);
                     rt.callback_depth -= 1;
                 }
             })

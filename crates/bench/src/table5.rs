@@ -23,7 +23,13 @@ pub const APPS: [(&str, &str, char, &str, usize); 9] = [
     ("com.alex.lookwifipassword", "2.9.6", 'B', "100 thousand", 2),
     ("com.gome.eshopnew", "4.3.5", 'C', "15.63 million", 3),
     ("com.szzc.ucar.pilot", "3.4.0", 'C', "3.59 million", 5),
-    ("com.pingan.pabank.activity", "2.6.9", 'C', "7.9 million", 14),
+    (
+        "com.pingan.pabank.activity",
+        "2.6.9",
+        'C',
+        "7.9 million",
+        14,
+    ),
 ];
 
 fn mr_obj(m: &mut MethodBuilder<'_>, reg: u32) {
@@ -77,7 +83,14 @@ fn build_app(package: &str, flows: usize) -> (DexFile, String) {
                         &[1, 2],
                     );
                 } else {
-                    m.invoke(Opcode::InvokeVirtual, class, getter, &[], "Ljava/lang/String;", &[1]);
+                    m.invoke(
+                        Opcode::InvokeVirtual,
+                        class,
+                        getter,
+                        &[],
+                        "Ljava/lang/String;",
+                        &[1],
+                    );
                 }
                 mr_obj(m, 2);
                 m.invoke(
@@ -148,7 +161,9 @@ pub fn run() -> Vec<Row> {
 pub fn format(rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str("Table V — real-world packed applications (FlowDroid)\n");
-    out.push_str("package                     | ver       | set | installs      | orig | revealed\n");
+    out.push_str(
+        "package                     | ver       | set | installs      | orig | revealed\n",
+    );
     for r in rows {
         out.push_str(&format!(
             "{:<27} | {:<9} | {}   | {:<13} | {:>4} | {:>8}\n",

@@ -54,8 +54,7 @@ pub fn run() -> Table7 {
             rt.load_dex(&app.dex, "app").expect("loads");
             let mut recorder = CoverageRecorder::new();
             let entry = app.entry.clone();
-            let mut drive = |rt: &mut Runtime,
-                             obs: &mut dyn dexlego_runtime::RuntimeObserver| {
+            let mut drive = |rt: &mut Runtime, obs: &mut dyn dexlego_runtime::RuntimeObserver| {
                 let mut fuzzer = EventFuzzer::new(0xace0_ba5e, 8);
                 for _ in 0..2 {
                     fuzzer.run(rt, obs, &entry);

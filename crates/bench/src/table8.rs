@@ -44,11 +44,7 @@ fn launch_times(dex: &dexlego_dex::DexFile, entry: &str, collected: bool, runs: 
             let mut rt = Runtime::new();
             let mut collector = JitCollector::new();
             let mut null = NullObserver;
-            let obs: &mut dyn RuntimeObserver = if collected {
-                &mut collector
-            } else {
-                &mut null
-            };
+            let obs: &mut dyn RuntimeObserver = if collected { &mut collector } else { &mut null };
             let start = Instant::now();
             rt.load_dex_observed(dex, "app", obs).expect("loads");
             let activity = rt.new_instance(obs, entry).expect("instantiates");

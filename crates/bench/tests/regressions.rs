@@ -77,7 +77,11 @@ fn table_4_matches_the_paper_exactly() {
 fn table_5_reveals_every_flow() {
     let rows = dexlego_bench::table5::run();
     for (row, &(_, _, _, _, expected)) in rows.iter().zip(dexlego_bench::table5::APPS.iter()) {
-        assert_eq!(row.original, 0, "{}: packed original must look clean", row.package);
+        assert_eq!(
+            row.original, 0,
+            "{}: packed original must look clean",
+            row.package
+        );
         assert_eq!(
             row.revealed, expected,
             "{}: revealed flow count",

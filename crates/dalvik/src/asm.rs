@@ -239,7 +239,13 @@ impl MethodAssembler {
     }
 
     /// A field access instruction (`21c` static or `22c` instance).
-    pub fn field_op(&mut self, op: Opcode, a: u32, obj: u32, field_idx: u32) -> &mut MethodAssembler {
+    pub fn field_op(
+        &mut self,
+        op: Opcode,
+        a: u32,
+        obj: u32,
+        field_idx: u32,
+    ) -> &mut MethodAssembler {
         let mut insn = Insn::of(op);
         insn.a = a;
         insn.b = obj;
@@ -325,7 +331,7 @@ impl MethodAssembler {
                 Item::WithPayload { payload, .. } => Some(match payload {
                     PayloadSpec::Packed { targets, .. } => 4 + targets.len() * 2,
                     PayloadSpec::Sparse { keys, .. } => 2 + keys.len() * 4,
-                    PayloadSpec::FillArray { data, .. } => 4 + (data.len() + 1) / 2,
+                    PayloadSpec::FillArray { data, .. } => 4 + data.len().div_ceil(2),
                 }),
                 _ => None,
             })
@@ -360,7 +366,7 @@ impl MethodAssembler {
             // Payloads after the code, 2-unit aligned.
             let mut payload_offsets = Vec::with_capacity(payload_sizes.len());
             for &size in &payload_sizes {
-                if pos % 2 != 0 {
+                if !pos.is_multiple_of(2) {
                     pos += 1; // nop padding
                 }
                 payload_offsets.push(pos as u32);

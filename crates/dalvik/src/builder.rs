@@ -206,7 +206,12 @@ impl ClassBuilder<'_> {
     }
 
     /// Adds a static field, optionally with an initial value.
-    pub fn static_field(&mut self, name: &str, type_desc: &str, init: Option<StaticInit>) -> &mut Self {
+    pub fn static_field(
+        &mut self,
+        name: &str,
+        type_desc: &str,
+        init: Option<StaticInit>,
+    ) -> &mut Self {
         self.fields.push(FieldSpec {
             name: name.to_owned(),
             type_desc: type_desc.to_owned(),
@@ -497,7 +502,11 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         pb.class("Lcom/test/Main;", |c| {
             c.superclass("Landroid/app/Activity;");
-            c.static_field("PHONE", "Ljava/lang/String;", Some(StaticInit::Str("800-123-456".into())));
+            c.static_field(
+                "PHONE",
+                "Ljava/lang/String;",
+                Some(StaticInit::Str("800-123-456".into())),
+            );
             c.instance_field("count", "I");
             c.method("go", &["I"], "I", 1, |m| {
                 let p = m.param_reg(0);

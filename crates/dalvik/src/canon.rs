@@ -96,7 +96,11 @@ pub fn canonicalize(dex: &DexFile) -> Result<DexFile> {
             dexlego_dex::ProtoIdItem {
                 shorty: remap.string[p.shorty as usize],
                 return_type: remap.type_[p.return_type as usize],
-                parameters: p.parameters.iter().map(|&t| remap.type_[t as usize]).collect(),
+                parameters: p
+                    .parameters
+                    .iter()
+                    .map(|&t| remap.type_[t as usize])
+                    .collect(),
             }
         })
         .collect();
@@ -173,7 +177,11 @@ fn remap_class(class: &ClassDef, remap: &Remap) -> Result<ClassDef> {
     let mut out = class.clone();
     out.class_idx = remap.type_[class.class_idx as usize];
     out.superclass = class.superclass.map(|t| remap.type_[t as usize]);
-    out.interfaces = class.interfaces.iter().map(|&t| remap.type_[t as usize]).collect();
+    out.interfaces = class
+        .interfaces
+        .iter()
+        .map(|&t| remap.type_[t as usize])
+        .collect();
     out.source_file = class.source_file.map(|s| remap.string[s as usize]);
     out.static_values = class
         .static_values

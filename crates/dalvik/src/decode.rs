@@ -131,12 +131,8 @@ pub fn decode_insn(code: &[u16], pc: usize) -> Result<Decoded> {
             insn.a = u32::from(hi);
             let lo = u32::from(unit(code, pc + 1, pc)?);
             let hi32 = u32::from(unit(code, pc + 2, pc)?);
-            let v = (lo | (hi32 << 16)) as i32;
-            insn.lit = if op == Opcode::ConstWide32 {
-                i64::from(v)
-            } else {
-                i64::from(v)
-            };
+            // Sign-extends for both `const` and `const-wide/32`.
+            insn.lit = i64::from((lo | (hi32 << 16)) as i32);
         }
         Format::F31c => {
             insn.a = u32::from(hi);
@@ -215,7 +211,7 @@ fn decode_payload(code: &[u16], pc: usize, ident: u16) -> Result<Decoded> {
             let size =
                 u32::from(unit(code, pc + 2, pc)?) | (u32::from(unit(code, pc + 3, pc)?) << 16);
             let byte_len = element_width as usize * size as usize;
-            let unit_len = (byte_len + 1) / 2;
+            let unit_len = byte_len.div_ceil(2);
             let mut data = Vec::with_capacity(byte_len);
             for i in 0..unit_len {
                 let w = unit(code, pc + 4 + i, pc)?;
@@ -307,7 +303,9 @@ mod tests {
     #[test]
     fn decode_packed_switch_payload() {
         // ident, size=2, first_key=10, targets 4 and 8
-        let code = [0x0100, 0x0002, 0x000a, 0x0000, 0x0004, 0x0000, 0x0008, 0x0000];
+        let code = [
+            0x0100, 0x0002, 0x000a, 0x0000, 0x0004, 0x0000, 0x0008, 0x0000,
+        ];
         match decode_insn(&code, 0).unwrap() {
             Decoded::PackedSwitchPayload { first_key, targets } => {
                 assert_eq!(first_key, 10);
@@ -363,29 +361,29 @@ mod tests {
     #[test]
     fn decode_encode_roundtrip_all_formats() {
         let samples: Vec<Vec<u16>> = vec![
-            vec![0x000e],                          // return-void (10x)
-            vec![0x2101],                          // move v1, v2 (12x)
-            vec![0x7f12],                          // const/4 v2, #7 (11n)
-            vec![0x050a],                          // move-result v5 (11x)
-            vec![0x0328],                          // goto +3 (10t)
-            vec![0x0029, 0xfffe],                  // goto/16 -2 (20t)
-            vec![0x1202, 0x0123],                  // move/from16 (22x)
-            vec![0x0338, 0x0010],                  // if-eqz v3, +16 (21t)
-            vec![0x0113, 0x7fff],                  // const/16 (21s)
-            vec![0x0015, 0x1234],                  // const/high16 (21h)
-            vec![0x001a, 0x0042],                  // const-string (21c)
-            vec![0x0590, 0x0201],                  // add-int v5,v1,v2 (23x)
-            vec![0x00d8, 0x0102],                  // add-int/lit8 (22b)
-            vec![0x2132, 0x0007],                  // if-eq v1,v2,+7 (22t)
-            vec![0x21d0, 0x0100],                  // add-int/lit16 (22s)
-            vec![0x2152, 0x0003],                  // iget v1,v2,field@3 (22c)
-            vec![0x0003, 0x0100, 0x0200],          // move/16 (32x)
-            vec![0x002a, 0x5678, 0x0000],          // goto/32 (30t)
-            vec![0x002b, 0x0004, 0x0000],          // packed-switch (31t)
-            vec![0x0014, 0xffff, 0x7fff],          // const (31i)
-            vec![0x001b, 0x5678, 0x0001],          // const-string/jumbo (31c)
-            vec![0x306e, 0x0002, 0x0210],          // invoke-virtual {v0,v1,v2} (35c)
-            vec![0x0374, 0x0004, 0x0005],          // invoke-virtual/range (3rc)
+            vec![0x000e],                                 // return-void (10x)
+            vec![0x2101],                                 // move v1, v2 (12x)
+            vec![0x7f12],                                 // const/4 v2, #7 (11n)
+            vec![0x050a],                                 // move-result v5 (11x)
+            vec![0x0328],                                 // goto +3 (10t)
+            vec![0x0029, 0xfffe],                         // goto/16 -2 (20t)
+            vec![0x1202, 0x0123],                         // move/from16 (22x)
+            vec![0x0338, 0x0010],                         // if-eqz v3, +16 (21t)
+            vec![0x0113, 0x7fff],                         // const/16 (21s)
+            vec![0x0015, 0x1234],                         // const/high16 (21h)
+            vec![0x001a, 0x0042],                         // const-string (21c)
+            vec![0x0590, 0x0201],                         // add-int v5,v1,v2 (23x)
+            vec![0x00d8, 0x0102],                         // add-int/lit8 (22b)
+            vec![0x2132, 0x0007],                         // if-eq v1,v2,+7 (22t)
+            vec![0x21d0, 0x0100],                         // add-int/lit16 (22s)
+            vec![0x2152, 0x0003],                         // iget v1,v2,field@3 (22c)
+            vec![0x0003, 0x0100, 0x0200],                 // move/16 (32x)
+            vec![0x002a, 0x5678, 0x0000],                 // goto/32 (30t)
+            vec![0x002b, 0x0004, 0x0000],                 // packed-switch (31t)
+            vec![0x0014, 0xffff, 0x7fff],                 // const (31i)
+            vec![0x001b, 0x5678, 0x0001],                 // const-string/jumbo (31c)
+            vec![0x306e, 0x0002, 0x0210],                 // invoke-virtual {v0,v1,v2} (35c)
+            vec![0x0374, 0x0004, 0x0005],                 // invoke-virtual/range (3rc)
             vec![0x0018, 0x1111, 0x2222, 0x3333, 0x4444], // const-wide (51l)
         ];
         for units in samples {

@@ -93,9 +93,9 @@ pub fn disassemble(code: &[u16], dex: Option<&DexFile>) -> Vec<String> {
             .into_iter()
             .map(|(addr, d)| match d {
                 Decoded::Insn(insn) => format_insn(&insn, addr, dex),
-                Decoded::PackedSwitchPayload { first_key, targets } => format!(
-                    "{addr:04x}: .packed-switch first={first_key} targets={targets:?}"
-                ),
+                Decoded::PackedSwitchPayload { first_key, targets } => {
+                    format!("{addr:04x}: .packed-switch first={first_key} targets={targets:?}")
+                }
                 Decoded::SparseSwitchPayload { keys, targets } => {
                     format!("{addr:04x}: .sparse-switch keys={keys:?} targets={targets:?}")
                 }

@@ -107,17 +107,16 @@ pub fn encode_insn(insn: &Insn) -> Result<Vec<u16>> {
         }
         Format::F21s => {
             let a = reg8(insn, "vA", insn.a)?;
-            check(
-                (-32768..=32767).contains(&insn.lit),
-                m,
-                "literal",
-                insn.lit,
-            )?;
+            check((-32768..=32767).contains(&insn.lit), m, "literal", insn.lit)?;
             vec![op | (a << 8), insn.lit as i16 as u16]
         }
         Format::F21h => {
             let a = reg8(insn, "vA", insn.a)?;
-            let shift = if insn.op == Opcode::ConstWideHigh16 { 48 } else { 16 };
+            let shift = if insn.op == Opcode::ConstWideHigh16 {
+                48
+            } else {
+                16
+            };
             let mask = (1i64 << shift) - 1;
             check(insn.lit & mask == 0, m, "literal", insn.lit)?;
             vec![op | (a << 8), (insn.lit >> shift) as i16 as u16]
@@ -154,12 +153,7 @@ pub fn encode_insn(insn: &Insn) -> Result<Vec<u16>> {
         Format::F22s => {
             let a = reg4(insn, "vA", insn.a)?;
             let b = reg4(insn, "vB", insn.b)?;
-            check(
-                (-32768..=32767).contains(&insn.lit),
-                m,
-                "literal",
-                insn.lit,
-            )?;
+            check((-32768..=32767).contains(&insn.lit), m, "literal", insn.lit)?;
             vec![op | (a << 8) | (b << 12), insn.lit as i16 as u16]
         }
         Format::F22c => {
@@ -202,7 +196,12 @@ pub fn encode_insn(insn: &Insn) -> Result<Vec<u16>> {
             ]
         }
         Format::F35c => {
-            check(insn.regs.len() <= 5, m, "argument count", insn.regs.len() as i64)?;
+            check(
+                insn.regs.len() <= 5,
+                m,
+                "argument count",
+                insn.regs.len() as i64,
+            )?;
             check(insn.idx <= 0xffff, m, "index", i64::from(insn.idx))?;
             let count = insn.regs.len() as u16;
             let mut nibbles = [0u16; 5];
@@ -218,7 +217,12 @@ pub fn encode_insn(insn: &Insn) -> Result<Vec<u16>> {
             ]
         }
         Format::F3rc => {
-            check(insn.regs.len() <= 0xff, m, "argument count", insn.regs.len() as i64)?;
+            check(
+                insn.regs.len() <= 0xff,
+                m,
+                "argument count",
+                insn.regs.len() as i64,
+            )?;
             check(insn.idx <= 0xffff, m, "index", i64::from(insn.idx))?;
             let start = insn.regs.first().copied().unwrap_or(0);
             for (i, &r) in insn.regs.iter().enumerate() {

@@ -98,7 +98,10 @@ impl fmt::Display for DalvikError {
                 mnemonic,
                 operand,
                 value,
-            } => write!(f, "{mnemonic}: operand {operand} value {value} out of range"),
+            } => write!(
+                f,
+                "{mnemonic}: operand {operand} value {value} out of range"
+            ),
             DalvikError::UndefinedLabel(l) => write!(f, "undefined label {l}"),
             DalvikError::DuplicateLabel(l) => write!(f, "duplicate label {l}"),
             DalvikError::BranchOutOfRange { mnemonic, offset } => {

@@ -48,8 +48,13 @@ impl Format {
             | Format::F22t
             | Format::F22s
             | Format::F22c => 2,
-            Format::F32x | Format::F30t | Format::F31t | Format::F31i | Format::F31c
-            | Format::F35c | Format::F3rc => 3,
+            Format::F32x
+            | Format::F30t
+            | Format::F31t
+            | Format::F31i
+            | Format::F31c
+            | Format::F35c
+            | Format::F3rc => 3,
             Format::F51l => 5,
         }
     }
@@ -398,6 +403,49 @@ impl Opcode {
                 | Opcode::SparseSwitch
                 | Opcode::FillArrayData
         ) || self.is_conditional_branch()
+    }
+
+    /// Whether this instruction can raise a Java exception (and therefore
+    /// transfer control to an enclosing catch handler): `throw`, invokes,
+    /// allocation and resolution (`new-*`, `const-string`/`const-class`,
+    /// `check-cast`, `instance-of`), monitor ops, field and array accesses,
+    /// and integer division/remainder.
+    pub const fn can_throw(self) -> bool {
+        let v = self as u8;
+        self.is_invoke()
+            || matches!(
+                self,
+                Opcode::Throw
+                    | Opcode::MonitorEnter
+                    | Opcode::MonitorExit
+                    | Opcode::CheckCast
+                    | Opcode::InstanceOf
+                    | Opcode::ArrayLength
+                    | Opcode::NewInstance
+                    | Opcode::NewArray
+                    | Opcode::FilledNewArray
+                    | Opcode::FilledNewArrayRange
+                    | Opcode::FillArrayData
+                    | Opcode::ConstString
+                    | Opcode::ConstStringJumbo
+                    | Opcode::ConstClass
+                    // div-int/rem-int, div-long/rem-long (+/2addr, lit16, lit8).
+                    | Opcode::DivInt
+                    | Opcode::RemInt
+                    | Opcode::DivLong
+                    | Opcode::RemLong
+                    | Opcode::DivInt2addr
+                    | Opcode::RemInt2addr
+                    | Opcode::DivLong2addr
+                    | Opcode::RemLong2addr
+                    | Opcode::DivIntLit16
+                    | Opcode::RemIntLit16
+                    | Opcode::DivIntLit8
+                    | Opcode::RemIntLit8
+            )
+            // aget*/aput* (0x44-0x51), iget*/iput* (0x52-0x5f),
+            // sget*/sput* (0x60-0x6d).
+            || (v >= 0x44 && v <= 0x6d)
     }
 }
 

@@ -17,7 +17,6 @@ use std::ops::{BitOr, BitOrAssign};
 /// assert!(!f.contains(AccessFlags::NATIVE));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct AccessFlags(pub u32);
 
 impl AccessFlags {

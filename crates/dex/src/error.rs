@@ -69,7 +69,10 @@ impl fmt::Display for DexError {
             ),
             DexError::SignatureMismatch => write!(f, "sha-1 signature mismatch"),
             DexError::IndexOutOfRange { pool, index, len } => {
-                write!(f, "{pool} index {index} out of range (pool has {len} entries)")
+                write!(
+                    f,
+                    "{pool} index {index} out of range (pool has {len} entries)"
+                )
             }
             DexError::BadLeb128 => write!(f, "malformed leb128 value"),
             DexError::BadMutf8 { offset } => {

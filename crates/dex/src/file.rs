@@ -86,7 +86,9 @@ pub struct ClassData {
 impl ClassData {
     /// Iterates over all methods, direct then virtual.
     pub fn methods(&self) -> impl Iterator<Item = &EncodedMethod> {
-        self.direct_methods.iter().chain(self.virtual_methods.iter())
+        self.direct_methods
+            .iter()
+            .chain(self.virtual_methods.iter())
     }
 
     /// Iterates mutably over all methods, direct then virtual.
@@ -447,7 +449,7 @@ impl DexFile {
     pub fn find_class(&self, descriptor: &str) -> Option<&ClassDef> {
         self.class_defs
             .iter()
-            .find(|c| self.type_descriptor(c.class_idx).map_or(false, |d| d == descriptor))
+            .find(|c| self.type_descriptor(c.class_idx) == Ok(descriptor))
     }
 
     /// Human-readable signature for a method id, e.g.

@@ -199,7 +199,10 @@ mod tests {
         let mut pos = 0;
         assert_eq!(read_uleb128(&[0x80], &mut pos), Err(DexError::BadLeb128));
         let mut pos = 0;
-        assert_eq!(read_sleb128(&[0xff, 0xff], &mut pos), Err(DexError::BadLeb128));
+        assert_eq!(
+            read_sleb128(&[0xff, 0xff], &mut pos),
+            Err(DexError::BadLeb128)
+        );
     }
 
     #[test]

@@ -80,11 +80,13 @@ pub fn decode(bytes: &[u8]) -> Result<String> {
             }
             (u32::from(b0 & 0x1f) << 6) | u32::from(b1 & 0x3f)
         } else if b0 & 0xf0 == 0xe0 {
-            if i + 1 >= bytes.len() + 1 && i >= bytes.len() {
+            if i + 1 > bytes.len() && i >= bytes.len() {
                 return Err(DexError::BadMutf8 { offset: start });
             }
             let b1 = *bytes.get(i).ok_or(DexError::BadMutf8 { offset: start })?;
-            let b2 = *bytes.get(i + 1).ok_or(DexError::BadMutf8 { offset: start })?;
+            let b2 = *bytes
+                .get(i + 1)
+                .ok_or(DexError::BadMutf8 { offset: start })?;
             i += 2;
             if b1 & 0xc0 != 0x80 || b2 & 0xc0 != 0x80 {
                 return Err(DexError::BadMutf8 { offset: start });

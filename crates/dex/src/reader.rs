@@ -79,7 +79,7 @@ fn read_code_item(input: &In<'_>, off: usize) -> Result<CodeItem> {
     };
     if tries_size > 0 {
         let mut pos = insns_off + insns_size * 2;
-        if insns_size % 2 != 0 {
+        if !insns_size.is_multiple_of(2) {
             pos += 2; // padding
         }
         let tries_off = pos;
@@ -339,7 +339,8 @@ mod tests {
         let f = dex.intern_field("Lcom/test/Main;", "Ljava/lang/String;", "PHONE");
         let mut def = ClassDef::new(t);
         def.superclass = Some(dex.intern_type("Ljava/lang/Object;"));
-        def.static_values.push(EncodedValue::String(dex.intern_string("800-123-456")));
+        def.static_values
+            .push(EncodedValue::String(dex.intern_string("800-123-456")));
         let data = def.class_data.as_mut().unwrap();
         data.static_fields.push(EncodedField {
             field_idx: f,
@@ -388,7 +389,7 @@ mod tests {
         let dex = sample_dex();
         let mut bytes = write_dex(&dex).unwrap();
         bytes[20] ^= 0xff; // inside signature field
-        // Recompute the checksum so only the signature is wrong.
+                           // Recompute the checksum so only the signature is wrong.
         let sum = checksum::adler32(&bytes[12..]);
         bytes[8..12].copy_from_slice(&sum.to_le_bytes());
         assert_eq!(read_dex(&bytes), Err(DexError::SignatureMismatch));
@@ -421,7 +422,10 @@ mod tests {
         let mut def = ClassDef::new(t);
         let mut code = CodeItem::new(2, 0, 0, vec![0x0000, 0x0000, 0x0000, 0x000e]);
         code.handlers.push(EncodedCatchHandler {
-            catches: vec![CatchClause { type_idx: exc, addr: 3 }],
+            catches: vec![CatchClause {
+                type_idx: exc,
+                addr: 3,
+            }],
             catch_all_addr: Some(3),
         });
         code.tries.push(TryItem {
@@ -429,11 +433,15 @@ mod tests {
             insn_count: 3,
             handler_index: 0,
         });
-        def.class_data.as_mut().unwrap().direct_methods.push(EncodedMethod {
-            method_idx: m,
-            access: AccessFlags::STATIC,
-            code: Some(code.clone()),
-        });
+        def.class_data
+            .as_mut()
+            .unwrap()
+            .direct_methods
+            .push(EncodedMethod {
+                method_idx: m,
+                access: AccessFlags::STATIC,
+                code: Some(code.clone()),
+            });
         dex.add_class(def);
         let bytes = write_dex(&dex).unwrap();
         let back = read_dex(&bytes).unwrap();

@@ -160,9 +160,10 @@ impl EncodedValue {
             EncodedValue::Char(v) => (VALUE_CHAR, write_unsigned(out, u64::from(*v))),
             EncodedValue::Int(v) => (VALUE_INT, write_signed(out, i64::from(*v))),
             EncodedValue::Long(v) => (VALUE_LONG, write_signed(out, *v)),
-            EncodedValue::Float(v) => {
-                (VALUE_FLOAT, write_float_bits(out, u64::from(v.to_bits()), 4))
-            }
+            EncodedValue::Float(v) => (
+                VALUE_FLOAT,
+                write_float_bits(out, u64::from(v.to_bits()), 4),
+            ),
             EncodedValue::Double(v) => (VALUE_DOUBLE, write_float_bits(out, v.to_bits(), 8)),
             EncodedValue::String(v) => (VALUE_STRING, write_unsigned(out, u64::from(*v))),
             EncodedValue::Type(v) => (VALUE_TYPE, write_unsigned(out, u64::from(*v))),
@@ -316,7 +317,10 @@ mod tests {
     #[test]
     fn defaults_match_descriptor() {
         assert_eq!(EncodedValue::default_for_type("I"), EncodedValue::Int(0));
-        assert_eq!(EncodedValue::default_for_type("Z"), EncodedValue::Boolean(false));
+        assert_eq!(
+            EncodedValue::default_for_type("Z"),
+            EncodedValue::Boolean(false)
+        );
         assert_eq!(
             EncodedValue::default_for_type("Ljava/lang/String;"),
             EncodedValue::Null

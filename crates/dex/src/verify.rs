@@ -179,7 +179,9 @@ fn check_sorted(dex: &DexFile) -> Result<()> {
         return Err(DexError::Invalid("string pool not sorted/unique".into()));
     }
     if dex.type_ids().windows(2).any(|w| w[0] >= w[1]) {
-        return Err(DexError::Invalid("type pool not sorted by descriptor".into()));
+        return Err(DexError::Invalid(
+            "type pool not sorted by descriptor".into(),
+        ));
     }
     let proto_key = |p: &crate::file::ProtoIdItem| (p.return_type, p.parameters.clone());
     if dex
@@ -240,11 +242,15 @@ mod tests {
         let t = dex.intern_type("La;");
         let m = dex.intern_method("La;", "m", "V", &[]);
         let mut def = ClassDef::new(t);
-        def.class_data.as_mut().unwrap().direct_methods.push(EncodedMethod {
-            method_idx: m,
-            access: AccessFlags::PUBLIC | AccessFlags::STATIC,
-            code: Some(CodeItem::new(0, 0, 0, vec![0x000e])),
-        });
+        def.class_data
+            .as_mut()
+            .unwrap()
+            .direct_methods
+            .push(EncodedMethod {
+                method_idx: m,
+                access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+                code: Some(CodeItem::new(0, 0, 0, vec![0x000e])),
+            });
         dex.add_class(def);
         verify(&dex, Strictness::Referential).unwrap();
     }
@@ -264,11 +270,15 @@ mod tests {
         let t = dex.intern_type("La;");
         let m = dex.intern_method("La;", "n", "V", &[]);
         let mut def = ClassDef::new(t);
-        def.class_data.as_mut().unwrap().direct_methods.push(EncodedMethod {
-            method_idx: m,
-            access: AccessFlags::NATIVE | AccessFlags::STATIC,
-            code: Some(CodeItem::new(0, 0, 0, vec![0x000e])),
-        });
+        def.class_data
+            .as_mut()
+            .unwrap()
+            .direct_methods
+            .push(EncodedMethod {
+                method_idx: m,
+                access: AccessFlags::NATIVE | AccessFlags::STATIC,
+                code: Some(CodeItem::new(0, 0, 0, vec![0x000e])),
+            });
         dex.add_class(def);
         assert!(verify(&dex, Strictness::Referential).is_err());
     }
@@ -279,11 +289,15 @@ mod tests {
         let t = dex.intern_type("La;");
         let m = dex.intern_method("La;", "m", "V", &[]);
         let mut def = ClassDef::new(t);
-        def.class_data.as_mut().unwrap().direct_methods.push(EncodedMethod {
-            method_idx: m,
-            access: AccessFlags::STATIC,
-            code: Some(CodeItem::new(1, 2, 0, vec![0x000e])),
-        });
+        def.class_data
+            .as_mut()
+            .unwrap()
+            .direct_methods
+            .push(EncodedMethod {
+                method_idx: m,
+                access: AccessFlags::STATIC,
+                code: Some(CodeItem::new(1, 2, 0, vec![0x000e])),
+            });
         dex.add_class(def);
         assert!(verify(&dex, Strictness::Referential).is_err());
     }

@@ -65,7 +65,7 @@ impl Out {
         leb128::write_uleb128(&mut self.buf, v);
     }
     fn align4(&mut self) {
-        while self.buf.len() % 4 != 0 {
+        while !self.buf.len().is_multiple_of(4) {
             self.buf.push(0);
         }
     }
@@ -86,7 +86,7 @@ fn write_code_item(out: &mut Out, code: &CodeItem) -> Result<()> {
         out.u16(unit);
     }
     if !code.tries.is_empty() {
-        if code.insns.len() % 2 != 0 {
+        if !code.insns.len().is_multiple_of(2) {
             out.u16(0); // padding
         }
         // Serialise the handler list first (conceptually) to learn each
@@ -98,7 +98,11 @@ fn write_code_item(out: &mut Out, code: &CodeItem) -> Result<()> {
         for handler in &code.handlers {
             offsets.push(handler_buf.len() as u32);
             let size = handler.catches.len() as i32;
-            let signed = if handler.catch_all_addr.is_some() { -size } else { size };
+            let signed = if handler.catch_all_addr.is_some() {
+                -size
+            } else {
+                size
+            };
             leb128::write_sleb128(&mut handler_buf, signed);
             for clause in &handler.catches {
                 leb128::write_uleb128(&mut handler_buf, clause.type_idx);
@@ -121,7 +125,12 @@ fn write_code_item(out: &mut Out, code: &CodeItem) -> Result<()> {
     Ok(())
 }
 
-fn write_class_data(out: &mut Out, data: &ClassData, code_offs: &HashMap<(usize, usize), u32>, class_i: usize) {
+fn write_class_data(
+    out: &mut Out,
+    data: &ClassData,
+    code_offs: &HashMap<(usize, usize), u32>,
+    class_i: usize,
+) {
     out.uleb(data.static_fields.len() as u32);
     out.uleb(data.instance_fields.len() as u32);
     out.uleb(data.direct_methods.len() as u32);
@@ -129,7 +138,11 @@ fn write_class_data(out: &mut Out, data: &ClassData, code_offs: &HashMap<(usize,
     for fields in [&data.static_fields, &data.instance_fields] {
         let mut prev = 0u32;
         for (i, f) in fields.iter().enumerate() {
-            let diff = if i == 0 { f.field_idx } else { f.field_idx - prev };
+            let diff = if i == 0 {
+                f.field_idx
+            } else {
+                f.field_idx - prev
+            };
             out.uleb(diff);
             out.uleb(f.access.bits());
             prev = f.field_idx;
@@ -139,7 +152,11 @@ fn write_class_data(out: &mut Out, data: &ClassData, code_offs: &HashMap<(usize,
     for methods in [&data.direct_methods, &data.virtual_methods] {
         let mut prev = 0u32;
         for (i, m) in methods.iter().enumerate() {
-            let diff = if i == 0 { m.method_idx } else { m.method_idx - prev };
+            let diff = if i == 0 {
+                m.method_idx
+            } else {
+                m.method_idx - prev
+            };
             out.uleb(diff);
             out.uleb(m.access.bits());
             let code_off = code_offs.get(&(class_i, method_seq)).copied().unwrap_or(0);
@@ -174,7 +191,10 @@ pub fn write_dex(dex: &DexFile) -> Result<Vec<u8>> {
                 }
             }
             for methods in [&data.direct_methods, &data.virtual_methods] {
-                if methods.windows(2).any(|w| w[1].method_idx < w[0].method_idx) {
+                if methods
+                    .windows(2)
+                    .any(|w| w[1].method_idx < w[0].method_idx)
+                {
                     return Err(DexError::Invalid(
                         "class_data method list not ascending by method_idx".into(),
                     ));
@@ -193,7 +213,11 @@ pub fn write_dex(dex: &DexFile) -> Result<Vec<u8>> {
     // --- string_ids ---
     let string_ids_off = out.pos() as u32;
     if !dex.strings().is_empty() {
-        map.push((map_type::STRING_ID, dex.strings().len() as u32, string_ids_off));
+        map.push((
+            map_type::STRING_ID,
+            dex.strings().len() as u32,
+            string_ids_off,
+        ));
     }
     let string_id_patch = out.pos();
     for _ in dex.strings() {
@@ -224,7 +248,11 @@ pub fn write_dex(dex: &DexFile) -> Result<Vec<u8>> {
     // --- field_ids ---
     let field_ids_off = out.pos() as u32;
     if !dex.field_ids().is_empty() {
-        map.push((map_type::FIELD_ID, dex.field_ids().len() as u32, field_ids_off));
+        map.push((
+            map_type::FIELD_ID,
+            dex.field_ids().len() as u32,
+            field_ids_off,
+        ));
     }
     for f in dex.field_ids() {
         out.u16(f.class as u16);
@@ -235,7 +263,11 @@ pub fn write_dex(dex: &DexFile) -> Result<Vec<u8>> {
     // --- method_ids ---
     let method_ids_off = out.pos() as u32;
     if !dex.method_ids().is_empty() {
-        map.push((map_type::METHOD_ID, dex.method_ids().len() as u32, method_ids_off));
+        map.push((
+            map_type::METHOD_ID,
+            dex.method_ids().len() as u32,
+            method_ids_off,
+        ));
     }
     for m in dex.method_ids() {
         out.u16(m.class as u16);
@@ -246,7 +278,11 @@ pub fn write_dex(dex: &DexFile) -> Result<Vec<u8>> {
     // --- class_defs ---
     let class_defs_off = out.pos() as u32;
     if !dex.class_defs().is_empty() {
-        map.push((map_type::CLASS_DEF, dex.class_defs().len() as u32, class_defs_off));
+        map.push((
+            map_type::CLASS_DEF,
+            dex.class_defs().len() as u32,
+            class_defs_off,
+        ));
     }
     let class_def_patch = out.pos();
     for class in dex.class_defs() {
@@ -401,17 +437,41 @@ pub fn write_dex(dex: &DexFile) -> Result<Vec<u8>> {
     header.u32(0); // link_off
     header.u32(map_off);
     header.u32(dex.strings().len() as u32);
-    header.u32(if dex.strings().is_empty() { 0 } else { string_ids_off });
+    header.u32(if dex.strings().is_empty() {
+        0
+    } else {
+        string_ids_off
+    });
     header.u32(dex.type_ids().len() as u32);
-    header.u32(if dex.type_ids().is_empty() { 0 } else { type_ids_off });
+    header.u32(if dex.type_ids().is_empty() {
+        0
+    } else {
+        type_ids_off
+    });
     header.u32(dex.protos().len() as u32);
-    header.u32(if dex.protos().is_empty() { 0 } else { proto_ids_off });
+    header.u32(if dex.protos().is_empty() {
+        0
+    } else {
+        proto_ids_off
+    });
     header.u32(dex.field_ids().len() as u32);
-    header.u32(if dex.field_ids().is_empty() { 0 } else { field_ids_off });
+    header.u32(if dex.field_ids().is_empty() {
+        0
+    } else {
+        field_ids_off
+    });
     header.u32(dex.method_ids().len() as u32);
-    header.u32(if dex.method_ids().is_empty() { 0 } else { method_ids_off });
+    header.u32(if dex.method_ids().is_empty() {
+        0
+    } else {
+        method_ids_off
+    });
     header.u32(dex.class_defs().len() as u32);
-    header.u32(if dex.class_defs().is_empty() { 0 } else { class_defs_off });
+    header.u32(if dex.class_defs().is_empty() {
+        0
+    } else {
+        class_defs_off
+    });
     header.u32(file_size as u32 - data_off);
     header.u32(data_off);
     debug_assert_eq!(header.buf.len(), HEADER_SIZE as usize);
@@ -484,11 +544,15 @@ mod tests {
         let m = dex.intern_method("La;", "go", "V", &[]);
         let mut def = ClassDef::new(t);
         def.static_values.push(EncodedValue::Int(42));
-        def.class_data.as_mut().unwrap().direct_methods.push(EncodedMethod {
-            method_idx: m,
-            access: AccessFlags::PUBLIC | AccessFlags::STATIC,
-            code: Some(CodeItem::new(1, 0, 0, vec![0x000e])),
-        });
+        def.class_data
+            .as_mut()
+            .unwrap()
+            .direct_methods
+            .push(EncodedMethod {
+                method_idx: m,
+                access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+                code: Some(CodeItem::new(1, 0, 0, vec![0x000e])),
+            });
         dex.add_class(def);
         let bytes = write_dex(&dex).unwrap();
         assert!(bytes.len() > HEADER_SIZE as usize);

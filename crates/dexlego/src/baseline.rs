@@ -88,18 +88,21 @@ pub fn dump(rt: &Runtime, kind: BaselineKind) -> Result<DexFile> {
                 access: field.access,
             };
             if field.access.is_static() {
-                let value = class.statics.get(&fid).map(|v| match field.type_desc.as_str() {
-                    "Z" => EncodedValue::Boolean(v.raw != 0),
-                    "B" | "S" | "C" | "I" => EncodedValue::Int(v.raw as u32 as i32),
-                    "J" => EncodedValue::Long(v.as_long()),
-                    "F" => EncodedValue::Float(f32::from_bits(v.raw as u32)),
-                    "D" => EncodedValue::Double(v.as_double()),
-                    "Ljava/lang/String;" => match rt.heap.as_string(v.raw as u32) {
-                        Some(s) => EncodedValue::String(dex.intern_string(s)),
-                        None => EncodedValue::Null,
-                    },
-                    _ => EncodedValue::Null,
-                });
+                let value = class
+                    .statics
+                    .get(&fid)
+                    .map(|v| match field.type_desc.as_str() {
+                        "Z" => EncodedValue::Boolean(v.raw != 0),
+                        "B" | "S" | "C" | "I" => EncodedValue::Int(v.raw as u32 as i32),
+                        "J" => EncodedValue::Long(v.as_long()),
+                        "F" => EncodedValue::Float(f32::from_bits(v.raw as u32)),
+                        "D" => EncodedValue::Double(v.as_double()),
+                        "Ljava/lang/String;" => match rt.heap.as_string(v.raw as u32) {
+                            Some(s) => EncodedValue::String(dex.intern_string(s)),
+                            None => EncodedValue::Null,
+                        },
+                        _ => EncodedValue::Null,
+                    });
                 statics.push((encoded, value));
             } else {
                 instance_fields.push(encoded);
@@ -196,28 +199,27 @@ pub fn dump(rt: &Runtime, kind: BaselineKind) -> Result<DexFile> {
 
 /// Rewrites a method's code units so embedded pool indices point into the
 /// output DEX (index widths are format-fixed, so lengths never change).
-fn remap_units(
-    rt: &Runtime,
-    source: usize,
-    insns: &[u16],
-    dex: &mut DexFile,
-) -> Result<Vec<u16>> {
+fn remap_units(rt: &Runtime, source: usize, insns: &[u16], dex: &mut DexFile) -> Result<Vec<u16>> {
     let table = rt.dex_table(source);
     let mut units = insns.to_vec();
     for (pc, decoded) in decode_method(insns).map_err(DexLegoError::Dalvik)? {
-        let Decoded::Insn(mut insn) = decoded else { continue };
+        let Decoded::Insn(mut insn) = decoded else {
+            continue;
+        };
         let new_idx = match insn.op.index_kind() {
             IndexKind::None => continue,
             IndexKind::String => {
-                let s = table.strings.get(insn.idx as usize).ok_or_else(|| {
-                    DexLegoError::Reassembly("string index out of range".into())
-                })?;
+                let s = table
+                    .strings
+                    .get(insn.idx as usize)
+                    .ok_or_else(|| DexLegoError::Reassembly("string index out of range".into()))?;
                 dex.intern_string(s)
             }
             IndexKind::Type => {
-                let t = table.types.get(insn.idx as usize).ok_or_else(|| {
-                    DexLegoError::Reassembly("type index out of range".into())
-                })?;
+                let t = table
+                    .types
+                    .get(insn.idx as usize)
+                    .ok_or_else(|| DexLegoError::Reassembly("type index out of range".into()))?;
                 dex.intern_type(&t.clone())
             }
             IndexKind::Field => {

@@ -297,7 +297,9 @@ impl RuntimeObserver for JitCollector {
     }
 
     fn on_method_exit(&mut self, _rt: &Runtime, _method: MethodId) {
-        let Some(frame) = self.frames.pop() else { return };
+        let Some(frame) = self.frames.pop() else {
+            return;
+        };
         let Some(key) = frame.key else { return };
         if frame.tree.node(0).il.is_empty() {
             return;
@@ -311,7 +313,9 @@ impl RuntimeObserver for JitCollector {
     }
 
     fn on_instruction(&mut self, rt: &Runtime, ev: &InsnEvent<'_>) {
-        let Some(frame) = self.frames.last_mut() else { return };
+        let Some(frame) = self.frames.last_mut() else {
+            return;
+        };
         if frame.key.is_none() {
             return;
         }
@@ -329,10 +333,7 @@ impl RuntimeObserver for JitCollector {
                     .ok()
                     .map(|d| {
                         let len = d.units();
-                        (
-                            ev.insn.off,
-                            insns[payload_pc..payload_pc + len].to_vec(),
-                        )
+                        (ev.insn.off, insns[payload_pc..payload_pc + len].to_vec())
                     })
             } else {
                 None
@@ -357,10 +358,7 @@ impl RuntimeObserver for JitCollector {
             is_static: t.access.is_static(),
             param_count: t.params.len() as u32,
         };
-        let entry = self
-            .reflection
-            .entry((caller_key, call_site))
-            .or_default();
+        let entry = self.reflection.entry((caller_key, call_site)).or_default();
         if !entry.contains(&target_rec) {
             entry.push(target_rec);
         }

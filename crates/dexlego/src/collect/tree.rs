@@ -267,7 +267,7 @@ mod tests {
         t.observe(11, &tamper, None);
         t.observe(14, &ins(&[0x01d8, 0x0101]), None); // i++
         t.observe(16, &ins(&[0xf328]), None); // goto
-        // iteration 2: pc 8 now holds `sink`
+                                              // iteration 2: pc 8 now holds `sink`
         t.observe(5, &ins(&[0x2212]), None);
         t.observe(6, &ins(&[0x0235, 0x000b]), None);
         t.observe(8, &sink, None); // divergence!

@@ -33,7 +33,10 @@ impl RuntimeObserver for CoverageRecorder {
         self.entered.insert(method);
     }
     fn on_instruction(&mut self, _rt: &Runtime, ev: &InsnEvent<'_>) {
-        self.executed.entry(ev.method).or_default().insert(ev.dex_pc);
+        self.executed
+            .entry(ev.method)
+            .or_default()
+            .insert(ev.dex_pc);
     }
     fn on_branch(&mut self, _rt: &Runtime, method: MethodId, dex_pc: u32, taken: bool) {
         self.branches.insert((method, dex_pc, taken));
@@ -84,8 +87,12 @@ pub fn measure(rt: &Runtime, recorder: &CoverageRecorder) -> CoverageReport {
         if class.source == "<framework>" {
             continue;
         }
-        let MethodImpl::Bytecode { insns, .. } = &m.body else { continue };
-        let Ok(decoded) = decode_method(insns) else { continue };
+        let MethodImpl::Bytecode { insns, .. } = &m.body else {
+            continue;
+        };
+        let Ok(decoded) = decode_method(insns) else {
+            continue;
+        };
         classes_total.insert(&class.descriptor);
         total_methods += 1;
         let executed = recorder.executed.get(&method);
@@ -173,17 +180,14 @@ impl EventFuzzer {
     /// Runs one fuzzing session against `activity_desc`: constructs the
     /// activity, invokes `onCreate`, then fires random callbacks.
     /// Execution errors are swallowed (a fuzzer keeps going after crashes).
-    pub fn run(
-        &mut self,
-        rt: &mut Runtime,
-        obs: &mut dyn RuntimeObserver,
-        activity_desc: &str,
-    ) {
+    pub fn run(&mut self, rt: &mut Runtime, obs: &mut dyn RuntimeObserver, activity_desc: &str) {
         rt.input_state = self.next();
         let Ok(activity) = rt.new_instance(obs, activity_desc) else {
             return;
         };
-        let Some(class) = rt.find_class(activity_desc) else { return };
+        let Some(class) = rt.find_class(activity_desc) else {
+            return;
+        };
         if let Some(on_create) =
             rt.resolve_method(class, &SigKey::new("onCreate", "(Landroid/os/Bundle;)V"))
         {

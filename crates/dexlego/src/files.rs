@@ -10,7 +10,6 @@
 use crate::collect::tree::{CollectedInsn, CollectionTree, TreeNode};
 use crate::{DexLegoError, Result};
 
-
 /// Identity of a method: declaring class descriptor, name, and descriptor.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct MethodKey {
@@ -384,9 +383,7 @@ impl CollectionFiles {
                     5 => Some(CollectedValue::Double(f64::from_bits(r.u64()?))),
                     6 => Some(CollectedValue::Str(r.str()?)),
                     7 => Some(CollectedValue::Null),
-                    other => {
-                        return Err(DexLegoError::Codec(format!("bad value tag {other}")))
-                    }
+                    other => return Err(DexLegoError::Codec(format!("bad value tag {other}"))),
                 };
                 fields.push(FieldRecord {
                     name,
@@ -577,10 +574,7 @@ impl CollectionTree {
             return Err(DexLegoError::Codec("tree with no nodes".into()));
         }
         let len = nodes.len();
-        if nodes
-            .iter()
-            .any(|n| n.parent.is_some_and(|p| p >= len))
-        {
+        if nodes.iter().any(|n| n.parent.is_some_and(|p| p >= len)) {
             return Err(DexLegoError::Codec("tree parent out of range".into()));
         }
         let mut tree = CollectionTree::new();

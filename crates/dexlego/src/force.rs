@@ -92,7 +92,9 @@ pub fn find_ucbs(rt: &Runtime, coverage: &BranchCoverage) -> Vec<Ucb> {
         let MethodImpl::Bytecode { insns, .. } = &rt.method(method).body else {
             continue;
         };
-        let Ok(decoded) = decode_method(insns) else { continue };
+        let Ok(decoded) = decode_method(insns) else {
+            continue;
+        };
         for (pc, d) in decoded {
             let Decoded::Insn(insn) = d else { continue };
             if !insn.op.is_conditional_branch() {
@@ -376,7 +378,12 @@ where
         self.0.on_reflective_call(rt, caller, site, target);
         self.1.on_reflective_call(rt, caller, site, target);
     }
-    fn on_dynamic_load(&mut self, rt: &Runtime, source: &str, classes: &[dexlego_runtime::ClassId]) {
+    fn on_dynamic_load(
+        &mut self,
+        rt: &Runtime,
+        source: &str,
+        classes: &[dexlego_runtime::ClassId],
+    ) {
         self.0.on_dynamic_load(rt, source, classes);
         self.1.on_dynamic_load(rt, source, classes);
     }

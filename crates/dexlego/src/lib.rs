@@ -59,6 +59,9 @@ pub enum DexLegoError {
     Codec(String),
     /// Reassembly invariant violation.
     Reassembly(String),
+    /// The reassembled DEX failed bytecode verification (the diagnostics
+    /// carry the error-severity findings; see `dexlego_verifier`).
+    Verification(Vec<dexlego_verifier::Diagnostic>),
 }
 
 impl fmt::Display for DexLegoError {
@@ -69,6 +72,24 @@ impl fmt::Display for DexLegoError {
             DexLegoError::Dex(e) => write!(f, "dex error: {e}"),
             DexLegoError::Codec(m) => write!(f, "collection file codec error: {m}"),
             DexLegoError::Reassembly(m) => write!(f, "reassembly error: {m}"),
+            DexLegoError::Verification(diags) => {
+                write!(
+                    f,
+                    "reassembled DEX failed verification ({} error",
+                    diags.len()
+                )?;
+                if diags.len() != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                for d in diags.iter().take(3) {
+                    write!(f, "; {d}")?;
+                }
+                if diags.len() > 3 {
+                    write!(f, "; ...")?;
+                }
+                Ok(())
+            }
         }
     }
 }

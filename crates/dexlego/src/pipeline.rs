@@ -18,11 +18,14 @@ use crate::Result;
 pub struct RevealOutcome {
     /// The collection files produced by JIT collection.
     pub files: CollectionFiles,
-    /// The reassembled DEX (canonicalised, ready to serialise).
+    /// The reassembled DEX (canonicalised, verified, ready to serialise).
     pub dex: DexFile,
     /// Size in bytes of the serialised collection files ("dump file size",
     /// Table VI).
     pub dump_size: usize,
+    /// Warning-severity verifier lints over the reassembled DEX
+    /// (error-severity diagnostics abort the pipeline instead).
+    pub lints: Vec<dexlego_verifier::Diagnostic>,
 }
 
 /// Runs `drive` under JIT collection and reassembles the result.
@@ -98,10 +101,11 @@ pub fn validate_reveal(files: &CollectionFiles, dex: &DexFile) -> Vec<String> {
         let mut found_method = false;
         if let Some(data) = &class.class_data {
             for method in data.methods() {
-                let Ok(sig) = dex.method_signature(method.method_idx) else { continue };
+                let Ok(sig) = dex.method_signature(method.method_idx) else {
+                    continue;
+                };
                 let base = format!("{}->{}", record.key.class, record.key.name);
-                if !(sig.starts_with(&format!("{base}(")) || sig.contains(&format!("{}$v", base)))
-                {
+                if !(sig.starts_with(&format!("{base}(")) || sig.contains(&format!("{}$v", base))) {
                     continue;
                 }
                 found_method = true;
@@ -149,9 +153,20 @@ fn finish(
     let dump_size = files.to_bytes().len();
     let dex = reassemble(&files)?;
     let dex = canonicalize(&dex).map_err(crate::DexLegoError::Dalvik)?;
+    // Verification gate: the canonicalised DEX is the artifact handed to
+    // static analysis, so it is the one that must satisfy the verifier.
+    // Error-severity diagnostics abort; lints ride along in the outcome.
+    let diags = dexlego_verifier::verify_dex(&dex, &dexlego_verifier::VerifyOptions::default());
+    let (errors, lints): (Vec<_>, Vec<_>) = diags
+        .into_iter()
+        .partition(dexlego_verifier::Diagnostic::is_error);
+    if !errors.is_empty() {
+        return Err(crate::DexLegoError::Verification(errors));
+    }
     Ok(RevealOutcome {
         files,
         dex,
         dump_size,
+        lints,
     })
 }

@@ -118,7 +118,11 @@ pub fn reassemble(files: &CollectionFiles) -> Result<DexFile> {
         let mut def = ClassDef::new(class_idx);
         def.access = AccessFlags(class.access);
         def.superclass = class.superclass.as_ref().map(|s| dex.intern_type(s));
-        def.interfaces = class.interfaces.iter().map(|i| dex.intern_type(i)).collect();
+        def.interfaces = class
+            .interfaces
+            .iter()
+            .map(|i| dex.intern_type(i))
+            .collect();
 
         // Fields + static values (positional over the sorted static list).
         let mut statics: Vec<(EncodedField, Option<EncodedValue>)> = Vec::new();
@@ -180,9 +184,7 @@ pub fn reassemble(files: &CollectionFiles) -> Result<DexFile> {
                 .pools
                 .get(record.pool as usize)
                 .ok_or_else(|| DexLegoError::Reassembly("method pool out of range".into()))?;
-            let method_reflection = reflection
-                .get(&record.key)
-                .unwrap_or(&empty_reflection);
+            let method_reflection = reflection.get(&record.key).unwrap_or(&empty_reflection);
 
             // Merge each unique tree, dedup resulting arrays.
             let mut bodies: Vec<CodeItem> = Vec::new();
@@ -235,8 +237,7 @@ pub fn reassemble(files: &CollectionFiles) -> Result<DexFile> {
                         },
                     ));
                 }
-                let dispatcher =
-                    build_dispatcher(&mut dex, &mut guards, record, &variant_indices)?;
+                let dispatcher = build_dispatcher(&mut dex, &mut guards, record, &variant_indices)?;
                 let method_idx = intern_record_method(&mut dex, record, None)?;
                 encoded_methods.push((
                     is_direct,
@@ -265,6 +266,32 @@ pub fn reassemble(files: &CollectionFiles) -> Result<DexFile> {
 
     guards.emit_instrument_class(&mut dex);
     Ok(dex)
+}
+
+/// Reassembles and runs the bytecode verifier over every emitted method
+/// body, gating on error-severity diagnostics.
+///
+/// Returns the DEX together with the remaining warning-severity lints
+/// (`L####` rules — unreachable code, self-moves, dead stores) so callers
+/// can surface them without failing the pipeline.
+///
+/// # Errors
+///
+/// In addition to [`reassemble`]'s failure modes, returns
+/// [`DexLegoError::Verification`] when any method carries a `V####`
+/// diagnostic — a reassembly that would not load under ART's verifier.
+pub fn reassemble_verified(
+    files: &CollectionFiles,
+) -> Result<(DexFile, Vec<dexlego_verifier::Diagnostic>)> {
+    let dex = reassemble(files)?;
+    let diags = dexlego_verifier::verify_dex(&dex, &dexlego_verifier::VerifyOptions::default());
+    let (errors, warnings): (Vec<_>, Vec<_>) = diags
+        .into_iter()
+        .partition(dexlego_verifier::Diagnostic::is_error);
+    if !errors.is_empty() {
+        return Err(DexLegoError::Verification(errors));
+    }
+    Ok((dex, warnings))
 }
 
 fn intern_record_method(

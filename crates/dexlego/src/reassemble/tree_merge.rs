@@ -97,13 +97,8 @@ pub fn merge_tree(
     emitter.emit_node(input.tree.root(), &[input.tree.root()])?;
     // Handlers that were never executed are retargeted to the trap block;
     // make sure it exists before assembly when any try region survives.
-    let root_pcs: std::collections::HashSet<u32> = input
-        .tree
-        .node(0)
-        .il
-        .iter()
-        .map(|i| i.dex_pc)
-        .collect();
+    let root_pcs: std::collections::HashSet<u32> =
+        input.tree.node(0).il.iter().map(|i| i.dex_pc).collect();
     let needs_trap_handler = input.record.tries.iter().any(|t| {
         let covered = (t.start..t.start + t.count).any(|pc| root_pcs.contains(&pc));
         let unresolved_handler = t
@@ -143,9 +138,7 @@ pub fn merge_tree(
         let mut lo: Option<u32> = None;
         let mut hi: Option<u32> = None;
         for ins in &input.tree.node(0).il {
-            if ins.dex_pc >= record_try.start
-                && ins.dex_pc < record_try.start + record_try.count
-            {
+            if ins.dex_pc >= record_try.start && ins.dex_pc < record_try.start + record_try.count {
                 if let Some(addr) = addr_of(ins.dex_pc) {
                     let end = addr + ins.units.len() as u32;
                     lo = Some(lo.map_or(addr, |v: u32| v.min(addr)));
@@ -153,10 +146,14 @@ pub fn merge_tree(
                 }
             }
         }
-        let (Some(lo), Some(hi)) = (lo, hi) else { continue };
+        let (Some(lo), Some(hi)) = (lo, hi) else {
+            continue;
+        };
         let mut handler = dexlego_dex::EncodedCatchHandler::default();
         for (desc, pc) in &record_try.catches {
-            let Some(addr) = addr_of(*pc).or(trap_addr) else { continue };
+            let Some(addr) = addr_of(*pc).or(trap_addr) else {
+                continue;
+            };
             handler.catches.push(dexlego_dex::code::CatchClause {
                 type_idx: emitter.dex.intern_type(desc),
                 addr,
@@ -266,9 +263,8 @@ impl Emitter<'_, '_> {
             // layout order is not the physical successor, redirect.
             if !op.is_terminator() {
                 let fall_through = entry.dex_pc + op.format().units() as u32;
-                let next_is_contiguous = entries
-                    .get(i + 1)
-                    .is_some_and(|n| n.dex_pc == fall_through);
+                let next_is_contiguous =
+                    entries.get(i + 1).is_some_and(|n| n.dex_pc == fall_through);
                 if !next_is_contiguous {
                     let target = self.resolve_or_trap(fall_through, chain);
                     self.asm.goto(target);
@@ -361,18 +357,14 @@ impl Emitter<'_, '_> {
             Decoded::PackedSwitchPayload { first_key, targets } => {
                 let labels: Vec<Label> = targets
                     .iter()
-                    .map(|&rel| {
-                        self.resolve_or_trap(entry.dex_pc.wrapping_add(rel as u32), chain)
-                    })
+                    .map(|&rel| self.resolve_or_trap(entry.dex_pc.wrapping_add(rel as u32), chain))
                     .collect();
                 self.asm.packed_switch(insn.a, first_key, labels);
             }
             Decoded::SparseSwitchPayload { keys, targets } => {
                 let labels: Vec<Label> = targets
                     .iter()
-                    .map(|&rel| {
-                        self.resolve_or_trap(entry.dex_pc.wrapping_add(rel as u32), chain)
-                    })
+                    .map(|&rel| self.resolve_or_trap(entry.dex_pc.wrapping_add(rel as u32), chain))
                     .collect();
                 self.asm.sparse_switch(insn.a, keys, labels);
             }

@@ -96,7 +96,8 @@ fn build_code1() -> (dexlego_dex::DexFile, u32, u32, u32) {
             m.asm.push(mr);
             m.sget(Opcode::SgetObject, 1, MAIN, "PHONE", "Ljava/lang/String;");
             m.asm.const4(2, 0);
-            m.asm.move_reg(dexlego_dalvik::asm::MoveKind::Object, 3, param);
+            m.asm
+                .move_reg(dexlego_dalvik::asm::MoveKind::Object, 3, param);
             m.asm.const4(4, 0);
             m.asm.const4(5, 0);
             m.invoke(
@@ -118,7 +119,14 @@ fn build_code1() -> (dexlego_dex::DexFile, u32, u32, u32) {
         c.native_method("bytecodeTamper", &["I"], "V");
         c.method("onCreate", &["Landroid/os/Bundle;"], "V", 0, |m| {
             let this = m.this_reg();
-            m.invoke(Opcode::InvokeVirtual, MAIN, "advancedLeak", &[], "V", &[this]);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                MAIN,
+                "advancedLeak",
+                &[],
+                "V",
+                &[this],
+            );
             m.asm.ret(Opcode::ReturnVoid, 0);
         });
     });
@@ -137,44 +145,45 @@ fn register_tamper(rt: &mut Runtime, decoy: u32, normal_idx: u32, sink_idx: u32)
     let leak = rt
         .resolve_method(main, &SigKey::new("advancedLeak", "()V"))
         .unwrap();
-    rt.natives.register(MAIN, "bytecodeTamper", "(I)V", move |rt, _, args| {
-        let i = args[1].as_int();
-        let MethodImpl::Bytecode { insns, .. } = &mut rt.method_mut(leak).body else {
-            panic!("advancedLeak must be bytecode");
-        };
-        if i == 0 {
-            // Line 11 -> `String a = "non-sensitive data"` :
-            // const-string v0, decoy ; nop ; nop   (replaces 4 units)
-            let mut cs = Insn::of(Opcode::ConstString);
-            cs.a = 0;
-            cs.idx = decoy;
-            let cs_units = encode_insn(&cs).unwrap();
-            insns[0] = cs_units[0];
-            insns[1] = cs_units[1];
-            insns[2] = 0x0000; // nop
-            insns[3] = 0x0000; // nop
-            // Line 13 -> sink(a): swap the method index at pc 8 (unit 9
-            // holds the method index of the 35c encoding).
-            let mut inv = Insn::of(Opcode::InvokeVirtual);
-            inv.idx = sink_idx;
-            inv.regs = vec![3, 0];
-            let inv_units = encode_insn(&inv).unwrap();
-            insns[8..11].copy_from_slice(&inv_units);
-        } else {
-            // Restore Line 11 (invoke-static source + move-result-object).
-            let src = rt_original_prologue();
+    rt.natives
+        .register(MAIN, "bytecodeTamper", "(I)V", move |rt, _, args| {
+            let i = args[1].as_int();
             let MethodImpl::Bytecode { insns, .. } = &mut rt.method_mut(leak).body else {
-                unreachable!();
+                panic!("advancedLeak must be bytecode");
             };
-            insns[..4].copy_from_slice(&src);
-            let mut inv = Insn::of(Opcode::InvokeVirtual);
-            inv.idx = normal_idx;
-            inv.regs = vec![3, 0];
-            let inv_units = encode_insn(&inv).unwrap();
-            insns[8..11].copy_from_slice(&inv_units);
-        }
-        Ok(dexlego_runtime::RetVal::Void)
-    });
+            if i == 0 {
+                // Line 11 -> `String a = "non-sensitive data"` :
+                // const-string v0, decoy ; nop ; nop   (replaces 4 units)
+                let mut cs = Insn::of(Opcode::ConstString);
+                cs.a = 0;
+                cs.idx = decoy;
+                let cs_units = encode_insn(&cs).unwrap();
+                insns[0] = cs_units[0];
+                insns[1] = cs_units[1];
+                insns[2] = 0x0000; // nop
+                insns[3] = 0x0000; // nop
+                                   // Line 13 -> sink(a): swap the method index at pc 8 (unit 9
+                                   // holds the method index of the 35c encoding).
+                let mut inv = Insn::of(Opcode::InvokeVirtual);
+                inv.idx = sink_idx;
+                inv.regs = vec![3, 0];
+                let inv_units = encode_insn(&inv).unwrap();
+                insns[8..11].copy_from_slice(&inv_units);
+            } else {
+                // Restore Line 11 (invoke-static source + move-result-object).
+                let src = rt_original_prologue();
+                let MethodImpl::Bytecode { insns, .. } = &mut rt.method_mut(leak).body else {
+                    unreachable!();
+                };
+                insns[..4].copy_from_slice(&src);
+                let mut inv = Insn::of(Opcode::InvokeVirtual);
+                inv.idx = normal_idx;
+                inv.regs = vec![3, 0];
+                let inv_units = encode_insn(&inv).unwrap();
+                insns[8..11].copy_from_slice(&inv_units);
+            }
+            Ok(dexlego_runtime::RetVal::Void)
+        });
 }
 
 /// The original first four units of `advancedLeak` (captured from a fresh

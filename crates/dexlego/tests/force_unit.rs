@@ -30,7 +30,9 @@ fn gated_runtime() -> (Runtime, MethodId) {
     let mut rt = Runtime::new();
     rt.load_dex(&dex, "app").unwrap();
     let class = rt.find_class("La;").unwrap();
-    let method = rt.resolve_method(class, &SigKey::new("gate", "(I)I")).unwrap();
+    let method = rt
+        .resolve_method(class, &SigKey::new("gate", "(I)I"))
+        .unwrap();
     (rt, method)
 }
 
@@ -93,10 +95,14 @@ fn forcer_applies_decisions_once_per_entry() {
     };
     let mut forcer = Forcer::new(path);
     // Forcing makes gate(0) behave like gate(7).
-    let forced = rt.call_method(&mut forcer, method, &[Slot::from_int(0)]).unwrap();
+    let forced = rt
+        .call_method(&mut forcer, method, &[Slot::from_int(0)])
+        .unwrap();
     assert_eq!(forced.as_int(), Some(1));
     // The cursor resets on re-entry: a second forced call behaves the same.
-    let again = rt.call_method(&mut forcer, method, &[Slot::from_int(0)]).unwrap();
+    let again = rt
+        .call_method(&mut forcer, method, &[Slot::from_int(0)])
+        .unwrap();
     assert_eq!(again.as_int(), Some(1));
 }
 
@@ -139,8 +145,14 @@ fn coverage_recorder_measures_all_granularities() {
     let mut rt = Runtime::new();
     rt.load_dex(&dex, "app").unwrap();
     let mut recorder = CoverageRecorder::new();
-    rt.call_static(&mut recorder, "Lc/Main;", "half", "(I)I", &[Slot::from_int(5)])
-        .unwrap();
+    rt.call_static(
+        &mut recorder,
+        "Lc/Main;",
+        "half",
+        "(I)I",
+        &[Slot::from_int(5)],
+    )
+    .unwrap();
     let report = measure(&rt, &recorder);
     // One of two methods entered.
     assert!((report.method - 50.0).abs() < 1.0, "{report:?}");

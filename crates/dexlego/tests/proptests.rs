@@ -3,8 +3,7 @@
 
 use dexlego_core::collect::CollectionTree;
 use dexlego_core::files::{
-    ClassRecord, CollectedValue, CollectionFiles, FieldRecord, MethodKey, MethodRecord,
-    PoolRecord,
+    ClassRecord, CollectedValue, CollectionFiles, FieldRecord, MethodKey, MethodRecord, PoolRecord,
 };
 use proptest::prelude::*;
 

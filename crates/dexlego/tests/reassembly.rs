@@ -148,14 +148,8 @@ fn multi_target_reflection_site_emits_guarded_direct_calls() {
         rt.load_dex_observed(&dex, "app", obs).unwrap();
         for target in ["alpha", "beta"] {
             let s = rt.intern_string(target);
-            rt.call_static(
-                obs,
-                entry,
-                "call",
-                "(Ljava/lang/String;)V",
-                &[Slot::of(s)],
-            )
-            .unwrap();
+            rt.call_static(obs, entry, "call", "(Ljava/lang/String;)V", &[Slot::of(s)])
+                .unwrap();
         }
     })
     .unwrap();
@@ -256,9 +250,7 @@ fn switch_and_array_payloads_survive_reassembly() {
         let Some(code) = &method.code else { continue };
         for (_, d) in decode_method(&code.insns).unwrap() {
             match d {
-                Decoded::Insn(insn)
-                    if matches!(insn.op, Opcode::Const4 | Opcode::Const16) =>
-                {
+                Decoded::Insn(insn) if matches!(insn.op, Opcode::Const4 | Opcode::Const16) => {
                     consts.insert(insn.lit);
                 }
                 Decoded::PackedSwitchPayload { .. } => has_switch_payload = true,
@@ -267,7 +259,10 @@ fn switch_and_array_payloads_survive_reassembly() {
         }
     }
     for expected in [0i64, 10, 20, -1] {
-        assert!(consts.contains(&expected), "arm constant {expected} collected");
+        assert!(
+            consts.contains(&expected),
+            "arm constant {expected} collected"
+        );
     }
     assert!(has_switch_payload, "packed-switch payload reassembled");
 }
@@ -319,7 +314,9 @@ fn force_assisted_reveal_collects_gated_code() {
         if rt.find_class(entry).is_none() && rt.load_dex_observed(&dex, "app", obs).is_err() {
             return;
         }
-        let Ok(activity) = rt.new_instance(obs, entry) else { return };
+        let Ok(activity) = rt.new_instance(obs, entry) else {
+            return;
+        };
         let class = rt.find_class(entry).unwrap();
         let on_create = rt
             .resolve_method(class, &SigKey::new("onCreate", "(Landroid/os/Bundle;)V"))
@@ -395,10 +392,22 @@ fn try_catch_tables_survive_reassembly() {
         rt.load_dex_observed(&dex, "app", obs).unwrap();
         // Execute both the normal path and the handler path so both are
         // collected.
-        rt.call_static(obs, entry, "safeDiv", "(II)I", &[Slot::from_int(8), Slot::from_int(2)])
-            .unwrap();
-        rt.call_static(obs, entry, "safeDiv", "(II)I", &[Slot::from_int(8), Slot::from_int(0)])
-            .unwrap();
+        rt.call_static(
+            obs,
+            entry,
+            "safeDiv",
+            "(II)I",
+            &[Slot::from_int(8), Slot::from_int(2)],
+        )
+        .unwrap();
+        rt.call_static(
+            obs,
+            entry,
+            "safeDiv",
+            "(II)I",
+            &[Slot::from_int(8), Slot::from_int(0)],
+        )
+        .unwrap();
     })
     .unwrap();
 
@@ -461,7 +470,14 @@ fn recursive_method_collection_and_validation() {
             m.asm.const4(0, 1);
             m.asm.if_cmp(Opcode::IfLe, n, 0, base);
             m.asm.binop_lit8(Opcode::AddIntLit8, 1, n, -1);
-            m.invoke(Opcode::InvokeStatic, "Lrec/Main;", "fact", &["I"], "I", &[1]);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lrec/Main;",
+                "fact",
+                &["I"],
+                "I",
+                &[1],
+            );
             let mut mr = Insn::of(Opcode::MoveResult);
             mr.a = 2;
             m.asm.push(mr);
@@ -605,7 +621,11 @@ fn stringless_reflection_is_revealed() {
         rt.call_static(obs, entry, "go", "()V", &[]).unwrap();
     })
     .unwrap();
-    assert_eq!(rt.log.tainted_sinks().count(), 1, "the attack works at runtime");
+    assert_eq!(
+        rt.log.tainted_sinks().count(),
+        1,
+        "the attack works at runtime"
+    );
     assert_eq!(outcome.files.reflection_sites.len(), 1);
     assert!(outcome.files.reflection_sites[0].targets[0]
         .key

@@ -142,7 +142,7 @@ fn filler_body_with_catch(m: &mut MethodBuilder<'_>, n: usize, flavor: usize) {
     // cause 3).
     let mut chunk = 0usize;
     while emitted < n - 1 {
-        if chunk % 6 == 0 && n - 1 - emitted >= 2 {
+        if chunk.is_multiple_of(6) && n - 1 - emitted >= 2 {
             let skip = m.asm.new_label();
             m.asm.if_z(Opcode::IfLtz, 0, skip);
             m.asm.bind(skip);
@@ -161,8 +161,7 @@ fn filler_body_with_catch(m: &mut MethodBuilder<'_>, n: usize, flavor: usize) {
 /// on the instruction target.
 pub fn generate(spec: &AppSpec) -> GeneratedApp {
     const BODY: usize = 40;
-    let mut method_count =
-        (spec.target_insns.saturating_sub(60) / (BODY + 2)).max(1);
+    let mut method_count = (spec.target_insns.saturating_sub(60) / (BODY + 2)).max(1);
     let mut pad = 2usize;
     let mut best = generate_with_pad(spec, method_count, pad);
     for _ in 0..4 {
@@ -337,8 +336,7 @@ fn generate_with_pad(spec: &AppSpec, method_count: usize, remainder: usize) -> G
 /// Adds a catch-all try/handler covering the first half of each method in
 /// the named classes, with the handler at the post-return tail.
 fn install_catch_tables(dex: &mut DexFile, class_names: &[String]) {
-    let names: std::collections::HashSet<&str> =
-        class_names.iter().map(String::as_str).collect();
+    let names: std::collections::HashSet<&str> = class_names.iter().map(String::as_str).collect();
     let matches: Vec<usize> = dex
         .class_defs()
         .iter()
@@ -351,14 +349,21 @@ fn install_catch_tables(dex: &mut DexFile, class_names: &[String]) {
         .collect();
     for i in matches {
         let class = &mut dex.class_defs_mut()[i];
-        let Some(data) = &mut class.class_data else { continue };
+        let Some(data) = &mut class.class_data else {
+            continue;
+        };
         for method in data.direct_methods.iter_mut() {
-            let Some(code) = &mut method.code else { continue };
+            let Some(code) = &mut method.code else {
+                continue;
+            };
             // Find the first return; the handler starts right after it.
-            let Ok(decoded) = decode_method(&code.insns) else { continue };
-            let Some((ret_pc, _)) = decoded.iter().find(|(_, d)| {
-                matches!(d, Decoded::Insn(insn) if insn.op.is_return())
-            }) else {
+            let Ok(decoded) = decode_method(&code.insns) else {
+                continue;
+            };
+            let Some((ret_pc, _)) = decoded
+                .iter()
+                .find(|(_, d)| matches!(d, Decoded::Insn(insn) if insn.op.is_return()))
+            else {
                 continue;
             };
             let handler_pc = ret_pc + 1;
@@ -401,6 +406,17 @@ mod tests {
         let app = generate(&AppSpec::coverage_profile("gen/run", 2_000));
         dexlego_dex::verify::verify(&app.dex, dexlego_dex::verify::Strictness::Referential)
             .unwrap();
+        let diags =
+            dexlego_verifier::verify_dex(&app.dex, &dexlego_verifier::VerifyOptions::errors_only());
+        assert!(
+            diags.is_empty(),
+            "generated app has bytecode verifier errors: {}",
+            diags
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
         let mut rt = dexlego_runtime::Runtime::new();
         rt.load_dex(&app.dex, "app").unwrap();
         let mut obs = dexlego_runtime::observer::NullObserver;
@@ -415,7 +431,10 @@ mod tests {
         rt.call_method(
             &mut obs,
             on_create,
-            &[dexlego_runtime::Slot::of(activity), dexlego_runtime::Slot::of(0)],
+            &[
+                dexlego_runtime::Slot::of(activity),
+                dexlego_runtime::Slot::of(0),
+            ],
         )
         .unwrap();
         assert!(rt.stats.insns > 100);

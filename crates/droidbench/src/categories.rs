@@ -142,11 +142,7 @@ mod tests {
         let comp = Category::composition();
         let total: usize = comp.iter().map(|(_, n)| n).sum();
         assert_eq!(total, 134);
-        let leaky: usize = comp
-            .iter()
-            .filter(|(c, _)| c.leaky())
-            .map(|(_, n)| n)
-            .sum();
+        let leaky: usize = comp.iter().filter(|(c, _)| c.leaky()).map(|(_, n)| n).sum();
         assert_eq!(leaky, 111);
         let contributed: usize = comp
             .iter()

@@ -21,7 +21,9 @@ pub fn drive_sample(
     let Ok(activity) = rt.new_instance(obs, &sample.entry) else {
         return;
     };
-    let Some(class) = rt.find_class(&sample.entry) else { return };
+    let Some(class) = rt.find_class(&sample.entry) else {
+        return;
+    };
     if let Some(on_create) =
         rt.resolve_method(class, &SigKey::new("onCreate", "(Landroid/os/Bundle;)V"))
     {

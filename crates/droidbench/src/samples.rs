@@ -328,12 +328,24 @@ fn direct(i: usize) -> Sample {
                 c.static_field("stash", "Ljava/lang/String;", None);
                 c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, move |m| {
                     emit_source(m, 0);
-                    m.sput(Opcode::SputObject, 0, &entry2, "stash", "Ljava/lang/String;");
+                    m.sput(
+                        Opcode::SputObject,
+                        0,
+                        &entry2,
+                        "stash",
+                        "Ljava/lang/String;",
+                    );
                     m.invoke(Opcode::InvokeStatic, &entry2, "flush", &[], "V", &[]);
                     m.asm.ret(Opcode::ReturnVoid, 0);
                 });
                 c.static_method("flush", &[], "V", 2, move |m| {
-                    m.sget(Opcode::SgetObject, 0, &entry3, "stash", "Ljava/lang/String;");
+                    m.sget(
+                        Opcode::SgetObject,
+                        0,
+                        &entry3,
+                        "stash",
+                        "Ljava/lang/String;",
+                    );
                     emit_sink(m, 0);
                     m.asm.ret(Opcode::ReturnVoid, 0);
                 });
@@ -463,7 +475,14 @@ fn tablet_gated() -> Sample {
     pb.class(&entry, |c| {
         c.superclass("Landroid/app/Activity;");
         c.method("onCreate", &["Landroid/os/Bundle;"], "V", 2, |m| {
-            m.invoke(Opcode::InvokeStatic, "Lcom/dexlego/Env;", "isTablet", &[], "Z", &[]);
+            m.invoke(
+                Opcode::InvokeStatic,
+                "Lcom/dexlego/Env;",
+                "isTablet",
+                &[],
+                "Z",
+                &[],
+            );
             mr_int(m, 0);
             let skip = m.asm.new_label();
             m.asm.if_z(Opcode::IfEqz, 0, skip);
@@ -774,7 +793,14 @@ fn self_modifying(i: usize, deep: bool) -> Sample {
         let entry4 = entry.clone();
         c.method("onCreate", &["Landroid/os/Bundle;"], "V", 0, move |m| {
             let this = m.this_reg();
-            m.invoke(Opcode::InvokeVirtual, &entry4, "advancedLeak", &[], "V", &[this]);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                &entry4,
+                "advancedLeak",
+                &[],
+                "V",
+                &[this],
+            );
             m.asm.ret(Opcode::ReturnVoid, 0);
         });
     });
@@ -1202,16 +1228,28 @@ mod tests {
 
     #[test]
     fn every_sample_verifies() {
+        let options = dexlego_verifier::VerifyOptions::errors_only();
         for sample in build_suite() {
-            dexlego_dex::verify::verify(
-                &sample.dex,
-                dexlego_dex::verify::Strictness::Referential,
-            )
-            .unwrap_or_else(|e| panic!("{}: {e}", sample.name));
+            dexlego_dex::verify::verify(&sample.dex, dexlego_dex::verify::Strictness::Referential)
+                .unwrap_or_else(|e| panic!("{}: {e}", sample.name));
             assert!(
                 sample.dex.find_class(&sample.entry).is_some(),
                 "{}: entry class missing",
                 sample.name
+            );
+            // Every sample must also pass the bytecode verifier: the corpus
+            // exists to be loaded, executed, and reassembled, so a body ART
+            // would reject is a corpus bug.
+            let diags = dexlego_verifier::verify_dex(&sample.dex, &options);
+            assert!(
+                diags.is_empty(),
+                "{}: bytecode verifier errors: {}",
+                sample.name,
+                diags
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ")
             );
         }
     }

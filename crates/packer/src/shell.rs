@@ -72,7 +72,12 @@ pub fn pack(original: &DexFile, entry_class: &str, id: PackerId) -> Result<Packe
         let descriptors: Vec<String> = original
             .class_defs()
             .iter()
-            .filter_map(|c| original.type_descriptor(c.class_idx).ok().map(str::to_owned))
+            .filter_map(|c| {
+                original
+                    .type_descriptor(c.class_idx)
+                    .ok()
+                    .map(str::to_owned)
+            })
             .collect();
         let cut = descriptors.len().div_ceil(2);
         let first: std::collections::HashSet<&str> =
@@ -103,21 +108,20 @@ pub fn pack(original: &DexFile, entry_class: &str, id: PackerId) -> Result<Packe
                 c.static_native_method("rehide", &[], "V");
             }
             c.method("onCreate", &["Landroid/os/Bundle;"], "V", 4, move |m| {
-                let emit_unpack = |m: &mut dexlego_dalvik::builder::MethodBuilder<'_>,
-                                   i: usize,
-                                   data: &[u8]| {
-                    m.asm.const4(0, data.len() as i64);
-                    m.new_array(1, 0, "[B");
-                    m.asm.fill_array_data(1, 1, data.to_vec());
-                    m.invoke(
-                        Opcode::InvokeStatic,
-                        &shell_desc,
-                        &format!("unpack{i}"),
-                        &["[B"],
-                        "V",
-                        &[1],
-                    );
-                };
+                let emit_unpack =
+                    |m: &mut dexlego_dalvik::builder::MethodBuilder<'_>, i: usize, data: &[u8]| {
+                        m.asm.const4(0, data.len() as i64);
+                        m.new_array(1, 0, "[B");
+                        m.asm.fill_array_data(1, 1, data.to_vec());
+                        m.invoke(
+                            Opcode::InvokeStatic,
+                            &shell_desc,
+                            &format!("unpack{i}"),
+                            &["[B"],
+                            "V",
+                            &[1],
+                        );
+                    };
                 let lazy = id.profile().lazy_final_stage;
                 let n = payloads_for_shell.len();
                 for (i, data) in payloads_for_shell.iter().enumerate() {
@@ -146,14 +150,7 @@ pub fn pack(original: &DexFile, entry_class: &str, id: PackerId) -> Result<Packe
                     &[2, 3],
                 );
                 if id.profile().rehide_after_run {
-                    m.invoke(
-                        Opcode::InvokeStatic,
-                        &shell_desc,
-                        "rehide",
-                        &[],
-                        "V",
-                        &[],
-                    );
+                    m.invoke(Opcode::InvokeStatic, &shell_desc, "rehide", &[], "V", &[]);
                 }
                 m.asm.ret(Opcode::ReturnVoid, 0);
             });
@@ -186,11 +183,7 @@ impl PackedApp {
     /// # Errors
     ///
     /// Propagates linker failures.
-    pub fn install_observed(
-        &self,
-        rt: &mut Runtime,
-        obs: &mut dyn RuntimeObserver,
-    ) -> Result<()> {
+    pub fn install_observed(&self, rt: &mut Runtime, obs: &mut dyn RuntimeObserver) -> Result<()> {
         rt.load_dex_observed(&self.shell_dex, "shell", obs)?;
         let profile = self.id.profile();
         for i in 0..self.payloads.len() {
@@ -226,25 +219,26 @@ impl PackedApp {
             );
         }
         if profile.rehide_after_run {
-            rt.natives.register(&self.shell_class, "rehide", "()V", |rt, _, _| {
-                // Garble the unpacked code in memory: dump-based tools that
-                // run after execution recover nothing.
-                let targets: Vec<dexlego_runtime::MethodId> = rt
-                    .method_ids()
-                    .filter(|&m| {
-                        let class = rt.method(m).class;
-                        rt.class(class).source.starts_with("unpacked:")
-                    })
-                    .collect();
-                for m in targets {
-                    if let MethodImpl::Bytecode { insns, .. } = &mut rt.method_mut(m).body {
-                        for unit in insns.iter_mut() {
-                            *unit = 0xffff;
+            rt.natives
+                .register(&self.shell_class, "rehide", "()V", |rt, _, _| {
+                    // Garble the unpacked code in memory: dump-based tools that
+                    // run after execution recover nothing.
+                    let targets: Vec<dexlego_runtime::MethodId> = rt
+                        .method_ids()
+                        .filter(|&m| {
+                            let class = rt.method(m).class;
+                            rt.class(class).source.starts_with("unpacked:")
+                        })
+                        .collect();
+                    for m in targets {
+                        if let MethodImpl::Bytecode { insns, .. } = &mut rt.method_mut(m).body {
+                            for unit in insns.iter_mut() {
+                                *unit = 0xffff;
+                            }
                         }
                     }
-                }
-                Ok(RetVal::Void)
-            });
+                    Ok(RetVal::Void)
+                });
         }
         Ok(())
     }

@@ -111,9 +111,9 @@ impl EventLog {
 
     /// Sink calls whose arguments carried taint.
     pub fn tainted_sinks(&self) -> impl Iterator<Item = &RuntimeEvent> {
-        self.events.iter().filter(|e| {
-            matches!(e, RuntimeEvent::SinkCall { arg_taint, .. } if *arg_taint != 0)
-        })
+        self.events
+            .iter()
+            .filter(|e| matches!(e, RuntimeEvent::SinkCall { arg_taint, .. } if *arg_taint != 0))
     }
 }
 

@@ -105,10 +105,7 @@ fn execute_inner(
                 Err(RuntimeError::UncaughtException { type_desc, message }) => {
                     // Natives throw by returning UncaughtException; convert
                     // to a heap throwable so callers can catch it.
-                    let exc = rt.heap.alloc(
-                        ObjKind::Throwable { type_desc, message },
-                        0,
-                    );
+                    let exc = rt.heap.alloc(ObjKind::Throwable { type_desc, message }, 0);
                     Ok(Outcome::Threw(exc))
                 }
                 Err(e) => Err(e),
@@ -143,7 +140,9 @@ fn execute_inner(
 /// Fetches the current instruction's decoded form and raw units.
 fn fetch(rt: &Runtime, method: MethodId, pc: u32) -> Result<(Insn, Vec<u16>)> {
     let MethodImpl::Bytecode { insns, .. } = &rt.method(method).body else {
-        return Err(RuntimeError::Internal("fetch on non-bytecode method".into()));
+        return Err(RuntimeError::Internal(
+            "fetch on non-bytecode method".into(),
+        ));
     };
     if pc as usize >= insns.len() {
         return Err(RuntimeError::Internal(format!(
@@ -170,7 +169,9 @@ fn fetch(rt: &Runtime, method: MethodId, pc: u32) -> Result<(Insn, Vec<u16>)> {
 /// Reads the payload referenced by a 31t instruction.
 fn fetch_payload(rt: &Runtime, method: MethodId, payload_pc: u32) -> Result<Decoded> {
     let MethodImpl::Bytecode { insns, .. } = &rt.method(method).body else {
-        return Err(RuntimeError::Internal("fetch on non-bytecode method".into()));
+        return Err(RuntimeError::Internal(
+            "fetch on non-bytecode method".into(),
+        ));
     };
     Ok(decode_insn(insns, payload_pc as usize)?)
 }
@@ -255,8 +256,12 @@ fn run_frame(
             Opcode::Nop => {}
 
             // ---- moves -----------------------------------------------------
-            Opcode::Move | Opcode::MoveFrom16 | Opcode::Move16 | Opcode::MoveObject
-            | Opcode::MoveObjectFrom16 | Opcode::MoveObject16 => {
+            Opcode::Move
+            | Opcode::MoveFrom16
+            | Opcode::Move16
+            | Opcode::MoveObject
+            | Opcode::MoveObjectFrom16
+            | Opcode::MoveObject16 => {
                 frame.set(insn.a, frame.reg(insn.b));
             }
             Opcode::MoveWide | Opcode::MoveWideFrom16 | Opcode::MoveWide16 => {
@@ -281,15 +286,15 @@ fn run_frame(
             Opcode::Return | Opcode::ReturnObject => {
                 return Ok(Outcome::Ret(RetVal::Single(frame.reg(insn.a))))
             }
-            Opcode::ReturnWide => {
-                return Ok(Outcome::Ret(RetVal::Wide(frame.wide(insn.a))))
-            }
+            Opcode::ReturnWide => return Ok(Outcome::Ret(RetVal::Wide(frame.wide(insn.a)))),
 
             // ---- constants -------------------------------------------------
             Opcode::Const4 | Opcode::Const16 | Opcode::Const | Opcode::ConstHigh16 => {
                 frame.set(insn.a, Slot::of(insn.lit as i32 as u32));
             }
-            Opcode::ConstWide16 | Opcode::ConstWide32 | Opcode::ConstWide
+            Opcode::ConstWide16
+            | Opcode::ConstWide32
+            | Opcode::ConstWide
             | Opcode::ConstWideHigh16 => {
                 frame.set_wide(insn.a, WideValue::from_long(insn.lit));
             }
@@ -361,10 +366,7 @@ fn run_frame(
             Opcode::NewArray => {
                 let len = frame.reg(insn.b).as_int();
                 if len < 0 {
-                    throw_java!(
-                        "Ljava/lang/NegativeArraySizeException;",
-                        len.to_string()
-                    );
+                    throw_java!("Ljava/lang/NegativeArraySizeException;", len.to_string());
                 } else {
                     let desc = resolve_type(rt, method, insn.idx)?;
                     let elem = desc.strip_prefix('[').unwrap_or("I").to_owned();
@@ -463,10 +465,9 @@ fn run_frame(
                             None
                         }
                     }
-                    Decoded::SparseSwitchPayload { keys, targets } => keys
-                        .iter()
-                        .position(|&k| k == key)
-                        .map(|i| targets[i]),
+                    Decoded::SparseSwitchPayload { keys, targets } => {
+                        keys.iter().position(|&k| k == key).map(|i| targets[i])
+                    }
                     _ => {
                         return Err(RuntimeError::Internal(
                             "switch target is not a switch payload".into(),
@@ -485,7 +486,11 @@ fn run_frame(
                 let b = frame.reg(insn.c);
                 let (x, y) = (a.as_float(), b.as_float());
                 let r = if x.is_nan() || y.is_nan() {
-                    if insn.op == Opcode::CmplFloat { -1 } else { 1 }
+                    if insn.op == Opcode::CmplFloat {
+                        -1
+                    } else {
+                        1
+                    }
                 } else if x < y {
                     -1
                 } else {
@@ -504,7 +509,11 @@ fn run_frame(
                 let b = frame.wide(insn.c);
                 let (x, y) = (a.as_double(), b.as_double());
                 let r = if x.is_nan() || y.is_nan() {
-                    if insn.op == Opcode::CmplDouble { -1 } else { 1 }
+                    if insn.op == Opcode::CmplDouble {
+                        -1
+                    } else {
+                        1
+                    }
                 } else if x < y {
                     -1
                 } else {
@@ -536,7 +545,11 @@ fn run_frame(
             }
 
             // ---- conditional branches ------------------------------------------------
-            Opcode::IfEq | Opcode::IfNe | Opcode::IfLt | Opcode::IfGe | Opcode::IfGt
+            Opcode::IfEq
+            | Opcode::IfNe
+            | Opcode::IfLt
+            | Opcode::IfGe
+            | Opcode::IfGt
             | Opcode::IfLe => {
                 let a = frame.reg(insn.a).as_int();
                 let b = frame.reg(insn.b).as_int();
@@ -557,7 +570,11 @@ fn run_frame(
                     continue 'dispatch;
                 }
             }
-            Opcode::IfEqz | Opcode::IfNez | Opcode::IfLtz | Opcode::IfGez | Opcode::IfGtz
+            Opcode::IfEqz
+            | Opcode::IfNez
+            | Opcode::IfLtz
+            | Opcode::IfGez
+            | Opcode::IfGtz
             | Opcode::IfLez => {
                 let a = frame.reg(insn.a).as_int();
                 let would_take = match insn.op {
@@ -579,25 +596,31 @@ fn run_frame(
             }
 
             // ---- array element access ---------------------------------------------------
-            Opcode::Aget | Opcode::AgetObject | Opcode::AgetBoolean | Opcode::AgetByte
-            | Opcode::AgetChar | Opcode::AgetShort => {
-                match array_read(rt, &frame, insn.b, insn.c) {
-                    Ok(v) => frame.set(
-                        insn.a,
-                        Slot {
-                            raw: v.raw as u32,
-                            taint: v.taint,
-                        },
-                    ),
-                    Err(t) => thrown = Some(t),
-                }
-            }
+            Opcode::Aget
+            | Opcode::AgetObject
+            | Opcode::AgetBoolean
+            | Opcode::AgetByte
+            | Opcode::AgetChar
+            | Opcode::AgetShort => match array_read(rt, &frame, insn.b, insn.c) {
+                Ok(v) => frame.set(
+                    insn.a,
+                    Slot {
+                        raw: v.raw as u32,
+                        taint: v.taint,
+                    },
+                ),
+                Err(t) => thrown = Some(t),
+            },
             Opcode::AgetWide => match array_read(rt, &frame, insn.b, insn.c) {
                 Ok(v) => frame.set_wide(insn.a, v),
                 Err(t) => thrown = Some(t),
             },
-            Opcode::Aput | Opcode::AputObject | Opcode::AputBoolean | Opcode::AputByte
-            | Opcode::AputChar | Opcode::AputShort => {
+            Opcode::Aput
+            | Opcode::AputObject
+            | Opcode::AputBoolean
+            | Opcode::AputByte
+            | Opcode::AputChar
+            | Opcode::AputShort => {
                 let v = frame.reg(insn.a);
                 if let Err(t) = array_write(
                     rt,
@@ -620,8 +643,13 @@ fn run_frame(
             }
 
             // ---- instance fields -----------------------------------------------------------
-            Opcode::Iget | Opcode::IgetObject | Opcode::IgetBoolean | Opcode::IgetByte
-            | Opcode::IgetChar | Opcode::IgetShort | Opcode::IgetWide => {
+            Opcode::Iget
+            | Opcode::IgetObject
+            | Opcode::IgetBoolean
+            | Opcode::IgetByte
+            | Opcode::IgetChar
+            | Opcode::IgetShort
+            | Opcode::IgetWide => {
                 let obj = frame.reg(insn.b).raw;
                 if obj == 0 {
                     throw_java!("Ljava/lang/NullPointerException;", "iget on null".into());
@@ -641,8 +669,13 @@ fn run_frame(
                     }
                 }
             }
-            Opcode::Iput | Opcode::IputObject | Opcode::IputBoolean | Opcode::IputByte
-            | Opcode::IputChar | Opcode::IputShort | Opcode::IputWide => {
+            Opcode::Iput
+            | Opcode::IputObject
+            | Opcode::IputBoolean
+            | Opcode::IputByte
+            | Opcode::IputChar
+            | Opcode::IputShort
+            | Opcode::IputWide => {
                 let obj = frame.reg(insn.b).raw;
                 if obj == 0 {
                     throw_java!("Ljava/lang/NullPointerException;", "iput on null".into());
@@ -662,8 +695,13 @@ fn run_frame(
             }
 
             // ---- static fields ---------------------------------------------------------------
-            Opcode::Sget | Opcode::SgetObject | Opcode::SgetBoolean | Opcode::SgetByte
-            | Opcode::SgetChar | Opcode::SgetShort | Opcode::SgetWide => {
+            Opcode::Sget
+            | Opcode::SgetObject
+            | Opcode::SgetBoolean
+            | Opcode::SgetByte
+            | Opcode::SgetChar
+            | Opcode::SgetShort
+            | Opcode::SgetWide => {
                 let field = resolve_field_ref(rt, method, insn.idx)?;
                 let v = rt.static_get(obs, field)?;
                 if insn.op == Opcode::SgetWide {
@@ -678,8 +716,13 @@ fn run_frame(
                     );
                 }
             }
-            Opcode::Sput | Opcode::SputObject | Opcode::SputBoolean | Opcode::SputByte
-            | Opcode::SputChar | Opcode::SputShort | Opcode::SputWide => {
+            Opcode::Sput
+            | Opcode::SputObject
+            | Opcode::SputBoolean
+            | Opcode::SputByte
+            | Opcode::SputChar
+            | Opcode::SputShort
+            | Opcode::SputWide => {
                 let field = resolve_field_ref(rt, method, insn.idx)?;
                 let v = if insn.op == Opcode::SputWide {
                     frame.wide(insn.a)
@@ -970,7 +1013,10 @@ fn run_frame(
                 let lit = insn.lit as i32;
                 if matches!(
                     op,
-                    Opcode::DivIntLit16 | Opcode::RemIntLit16 | Opcode::DivIntLit8 | Opcode::RemIntLit8
+                    Opcode::DivIntLit16
+                        | Opcode::RemIntLit16
+                        | Opcode::DivIntLit8
+                        | Opcode::RemIntLit8
                 ) && lit == 0
                 {
                     throw_java!("Ljava/lang/ArithmeticException;", "divide by zero".into());
@@ -986,10 +1032,10 @@ fn run_frame(
             }
 
             other => {
-                return Err(RuntimeError::Internal(format!(
-                    "unimplemented opcode {}",
-                    other.mnemonic()
-                )))
+                return Err(RuntimeError::UnimplementedOpcode {
+                    opcode: other,
+                    dex_pc: pc,
+                })
             }
         }
 
@@ -1156,7 +1202,12 @@ fn lit_binop(op: Opcode) -> Option<IntOp> {
 
 enum ArrayFault {}
 
-fn array_read(rt: &Runtime, frame: &Frame, arr_reg: u32, idx_reg: u32) -> std::result::Result<WideValue, Thrown> {
+fn array_read(
+    rt: &Runtime,
+    frame: &Frame,
+    arr_reg: u32,
+    idx_reg: u32,
+) -> std::result::Result<WideValue, Thrown> {
     let _phantom: Option<ArrayFault> = None;
     let arr = frame.reg(arr_reg).raw;
     let idx = frame.reg(idx_reg).as_int();
@@ -1235,7 +1286,11 @@ fn resolve_type(rt: &Runtime, method: MethodId, idx: u32) -> Result<String> {
         .ok_or_else(|| RuntimeError::Internal(format!("type index {idx} out of range")))
 }
 
-fn resolve_field_ref(rt: &mut Runtime, method: MethodId, idx: u32) -> Result<crate::class::FieldId> {
+fn resolve_field_ref(
+    rt: &mut Runtime,
+    method: MethodId,
+    idx: u32,
+) -> Result<crate::class::FieldId> {
     let table = rt.dex_table(source_of(rt, method)?);
     let (class_desc, name, type_desc) = table
         .fields
@@ -1289,8 +1344,7 @@ fn dispatch_invoke(
             );
             return Ok(Outcome::Threw(exc));
         }
-        runtime_class_of_obj(rt, receiver)
-            .unwrap_or_else(|| rt.ensure_class_stub(&class_desc))
+        runtime_class_of_obj(rt, receiver).unwrap_or_else(|| rt.ensure_class_stub(&class_desc))
     } else {
         match rt.find_class(&class_desc) {
             Some(c) => c,
@@ -1298,14 +1352,12 @@ fn dispatch_invoke(
         }
     };
 
-    let resolved = rt
-        .resolve_method(start_class, &sig)
-        .or_else(|| {
-            // Fall back to the statically named class (e.g. receiver is a
-            // stub but the declaration exists elsewhere).
-            rt.find_class(&class_desc)
-                .and_then(|c| rt.resolve_method(c, &sig))
-        });
+    let resolved = rt.resolve_method(start_class, &sig).or_else(|| {
+        // Fall back to the statically named class (e.g. receiver is a
+        // stub but the declaration exists elsewhere).
+        rt.find_class(&class_desc)
+            .and_then(|c| rt.resolve_method(c, &sig))
+    });
     let target = match resolved {
         Some(t) => t,
         None => {
@@ -1318,9 +1370,7 @@ fn dispatch_invoke(
                 return match f(rt, obs, args) {
                     Ok(v) => Ok(Outcome::Ret(v)),
                     Err(RuntimeError::UncaughtException { type_desc, message }) => {
-                        let exc = rt
-                            .heap
-                            .alloc(ObjKind::Throwable { type_desc, message }, 0);
+                        let exc = rt.heap.alloc(ObjKind::Throwable { type_desc, message }, 0);
                         Ok(Outcome::Threw(exc))
                     }
                     Err(e) => Err(e),
@@ -1364,7 +1414,9 @@ fn find_handler(rt: &mut Runtime, method: MethodId, pc: u32, exc: ObjRef) -> Opt
                 .types
                 .get(clause.type_idx as usize)
                 .cloned();
-            let Some(catch_desc) = catch_desc else { continue };
+            let Some(catch_desc) = catch_desc else {
+                continue;
+            };
             // Match exact type, or catch broad throwable supertypes.
             let matches = catch_desc == exc_desc
                 || catch_desc == "Ljava/lang/Throwable;"

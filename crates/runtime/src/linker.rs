@@ -92,12 +92,13 @@ impl Runtime {
             self.class_mut(class_id).superclass = superclass;
             self.class_mut(class_id).interfaces = interfaces;
 
-            let Some(data) = &def.class_data else { continue };
+            let Some(data) = &def.class_data else {
+                continue;
+            };
 
             // Fields.
             let mut static_fields_in_order = Vec::new();
-            for (is_static, list) in [(true, &data.static_fields), (false, &data.instance_fields)]
-            {
+            for (is_static, list) in [(true, &data.static_fields), (false, &data.instance_fields)] {
                 for ef in list {
                     let fid_item = dex.field_id(ef.field_idx)?;
                     let name = dex.string(fid_item.name)?.to_owned();
@@ -317,7 +318,10 @@ mod tests {
         rt.load_dex(&tiny_dex(), "app").unwrap();
         let table = rt.dex_table(0);
         assert!(table.strings.iter().any(|s| s == "800-123-456"));
-        assert!(table.methods.iter().any(|(c, s)| c == "Lcom/test/Main;" && s.name == "answer"));
+        assert!(table
+            .methods
+            .iter()
+            .any(|(c, s)| c == "Lcom/test/Main;" && s.name == "answer"));
         assert!(table.fields.iter().any(|(_, n, _)| n == "PHONE"));
     }
 

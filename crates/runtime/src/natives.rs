@@ -196,13 +196,20 @@ pub fn register_framework(rt: &mut Runtime) {
             }))
         },
     );
-    register_native(rt, "Ljava/lang/String;", "length", &[], "I", |rt, _, args| {
-        let (s, t) = string_of(rt, args[0]);
-        Ok(RetVal::Single(Slot {
-            raw: s.chars().count() as u32,
-            taint: t,
-        }))
-    });
+    register_native(
+        rt,
+        "Ljava/lang/String;",
+        "length",
+        &[],
+        "I",
+        |rt, _, args| {
+            let (s, t) = string_of(rt, args[0]);
+            Ok(RetVal::Single(Slot {
+                raw: s.chars().count() as u32,
+                taint: t,
+            }))
+        },
+    );
     register_native(
         rt,
         "Ljava/lang/String;",
@@ -243,10 +250,17 @@ pub fn register_framework(rt: &mut Runtime) {
     );
 
     // ---- java.lang.StringBuilder --------------------------------------------
-    register_native(rt, "Ljava/lang/StringBuilder;", "<init>", &[], "V", |rt, _, args| {
-        rt.sb_buffers.insert(args[0].raw, (String::new(), 0));
-        Ok(RetVal::Void)
-    });
+    register_native(
+        rt,
+        "Ljava/lang/StringBuilder;",
+        "<init>",
+        &[],
+        "V",
+        |rt, _, args| {
+            rt.sb_buffers.insert(args[0].raw, (String::new(), 0));
+            Ok(RetVal::Void)
+        },
+    );
     register_native(
         rt,
         "Ljava/lang/StringBuilder;",
@@ -322,7 +336,13 @@ pub fn register_framework(rt: &mut Runtime) {
         "getSimSerialNumber",
         &[],
         "Ljava/lang/String;",
-        |rt, _, _| Ok(source_native(rt, SourceKind::DeviceId, "89014103211118510720")),
+        |rt, _, _| {
+            Ok(source_native(
+                rt,
+                SourceKind::DeviceId,
+                "89014103211118510720",
+            ))
+        },
     );
     register_native(
         rt,
@@ -359,8 +379,9 @@ pub fn register_framework(rt: &mut Runtime) {
         |rt, obs, _| {
             let r = {
                 let _ = &obs;
-                let obj = rt.find_class("Landroid/telephony/SmsManager;").map(|c| c);
-                let class = obj.unwrap_or_else(|| rt.ensure_class_stub("Landroid/telephony/SmsManager;"));
+                let class = rt
+                    .find_class("Landroid/telephony/SmsManager;")
+                    .unwrap_or_else(|| rt.ensure_class_stub("Landroid/telephony/SmsManager;"));
                 rt.heap.alloc_instance(class)
             };
             Ok(RetVal::Single(Slot::of(r)))
@@ -441,9 +462,14 @@ pub fn register_framework(rt: &mut Runtime) {
     );
 
     // ---- environment probes ----------------------------------------------------
-    register_native(rt, "Lcom/dexlego/Env;", "isEmulator", &[], "Z", |rt, _, _| {
-        Ok(RetVal::Single(Slot::of(u32::from(rt.env.is_emulator))))
-    });
+    register_native(
+        rt,
+        "Lcom/dexlego/Env;",
+        "isEmulator",
+        &[],
+        "Z",
+        |rt, _, _| Ok(RetVal::Single(Slot::of(u32::from(rt.env.is_emulator)))),
+    );
     register_native(rt, "Lcom/dexlego/Env;", "isTablet", &[], "Z", |rt, _, _| {
         Ok(RetVal::Single(Slot::of(u32::from(rt.env.is_tablet))))
     });
@@ -458,10 +484,9 @@ pub fn register_framework(rt: &mut Runtime) {
         |rt, _, args| {
             let listener = args[1].raw;
             if let Some(class) = crate::interp::runtime_class_of_obj(rt, listener) {
-                if let Some(m) = rt.resolve_method(
-                    class,
-                    &SigKey::new("onClick", "(Landroid/view/View;)V"),
-                ) {
+                if let Some(m) =
+                    rt.resolve_method(class, &SigKey::new("onClick", "(Landroid/view/View;)V"))
+                {
                     rt.callbacks.push(crate::runtime::Callback {
                         receiver: listener,
                         method: m,
@@ -618,9 +643,7 @@ pub fn register_framework(rt: &mut Runtime) {
             // Instance-method convention: args[0] is the loader (may be
             // null), args[1] the byte array.
             let bytes: Vec<u8> = match rt.heap.get(args[1].raw).map(|o| &o.kind) {
-                Some(ObjKind::Array { data, .. }) => {
-                    data.iter().map(|w| w.raw as u8).collect()
-                }
+                Some(ObjKind::Array { data, .. }) => data.iter().map(|w| w.raw as u8).collect(),
                 _ => {
                     return Err(RuntimeError::Internal(
                         "loadDexBytes expects a byte array".into(),
@@ -681,12 +704,19 @@ pub fn register_framework(rt: &mut Runtime) {
     );
 
     // ---- fuzz input -------------------------------------------------------------------
-    register_native(rt, "Lcom/dexlego/Input;", "nextInt", &[], "I", |rt, _, _| {
-        rt.input_state ^= rt.input_state << 13;
-        rt.input_state ^= rt.input_state >> 7;
-        rt.input_state ^= rt.input_state << 17;
-        Ok(RetVal::Single(Slot::of(rt.input_state as u32)))
-    });
+    register_native(
+        rt,
+        "Lcom/dexlego/Input;",
+        "nextInt",
+        &[],
+        "I",
+        |rt, _, _| {
+            rt.input_state ^= rt.input_state << 13;
+            rt.input_state ^= rt.input_state >> 7;
+            rt.input_state ^= rt.input_state << 17;
+            Ok(RetVal::Single(Slot::of(rt.input_state as u32)))
+        },
+    );
     register_native(
         rt,
         "Lcom/dexlego/Input;",
@@ -795,7 +825,13 @@ mod tests {
             "Lcom/dexlego/Files;",
             "write",
             "(Ljava/lang/String;Ljava/lang/String;)V",
-            &[Slot::of(path), Slot { raw: data, taint: 1 }],
+            &[
+                Slot::of(path),
+                Slot {
+                    raw: data,
+                    taint: 1,
+                },
+            ],
         )
         .unwrap();
         let back = rt

@@ -5,9 +5,7 @@ use std::collections::HashMap;
 
 use dexlego_dex::AccessFlags;
 
-use crate::class::{
-    ClassId, FieldId, MethodId, RuntimeClass, RuntimeField, RuntimeMethod, SigKey,
-};
+use crate::class::{ClassId, FieldId, MethodId, RuntimeClass, RuntimeField, RuntimeMethod, SigKey};
 use crate::events::EventLog;
 use crate::heap::{Heap, ObjRef};
 use crate::natives::NativeRegistry;
@@ -40,6 +38,13 @@ pub enum RuntimeError {
     StackOverflow,
     /// A native method had no registered implementation.
     NativeMissing(String),
+    /// The interpreter reached an opcode it does not implement.
+    UnimplementedOpcode {
+        /// The decoded opcode.
+        opcode: dexlego_dalvik::Opcode,
+        /// Code-unit offset of the instruction within its method.
+        dex_pc: u32,
+    },
     /// Internal invariant violation.
     Internal(String),
 }
@@ -58,6 +63,12 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::BudgetExhausted => write!(f, "instruction budget exhausted"),
             RuntimeError::StackOverflow => write!(f, "interpreter stack overflow"),
             RuntimeError::NativeMissing(m) => write!(f, "native method not registered: {m}"),
+            RuntimeError::UnimplementedOpcode { opcode, dex_pc } => write!(
+                f,
+                "unimplemented opcode {} ({:#04x}) at {dex_pc:#06x}",
+                opcode.mnemonic(),
+                *opcode as u8
+            ),
             RuntimeError::Internal(m) => write!(f, "internal runtime error: {m}"),
         }
     }

@@ -167,8 +167,14 @@ mod tests {
 
     #[test]
     fn taint_combines_on_join() {
-        let lo = Slot { raw: 1, taint: 0b01 };
-        let hi = Slot { raw: 2, taint: 0b10 };
+        let lo = Slot {
+            raw: 1,
+            taint: 0b01,
+        };
+        let hi = Slot {
+            raw: 2,
+            taint: 0b10,
+        };
         assert_eq!(WideValue::join(lo, hi).taint, 0b11);
     }
 
@@ -185,9 +191,6 @@ mod tests {
         assert_eq!(RetVal::Single(Slot::from_int(-3)).as_int(), Some(-3));
         assert_eq!(RetVal::Void.as_int(), None);
         assert_eq!(RetVal::Wide(WideValue::from_long(9)).as_long(), Some(9));
-        assert_eq!(
-            RetVal::Single(Slot { raw: 0, taint: 5 }).taint(),
-            5
-        );
+        assert_eq!(RetVal::Single(Slot { raw: 0, taint: 5 }).taint(), 5);
     }
 }

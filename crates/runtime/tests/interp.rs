@@ -108,7 +108,7 @@ fn division_by_zero_throws_and_is_catchable() {
         let code = data.direct_methods[0].code.as_mut().unwrap();
         // Append handler: const/4 v0, -1 ; return v0
         let handler_addr = code.insns.len() as u32;
-        code.insns.extend([0xf012u16 | 0, 0x000f]); // const/4 v0,#-1 ; return v0
+        code.insns.extend([0xf012u16, 0x000f]); // const/4 v0,#-1 ; return v0
         code.handlers.push(dexlego_dex::EncodedCatchHandler {
             catches: vec![],
             catch_all_addr: Some(handler_addr),
@@ -123,11 +123,23 @@ fn division_by_zero_throws_and_is_catchable() {
     rt.load_dex(&dex, "app").unwrap();
     let mut obs = NullObserver;
     let ok = rt
-        .call_static(&mut obs, "La;", "div", "(II)I", &[Slot::from_int(10), Slot::from_int(2)])
+        .call_static(
+            &mut obs,
+            "La;",
+            "div",
+            "(II)I",
+            &[Slot::from_int(10), Slot::from_int(2)],
+        )
         .unwrap();
     assert_eq!(ok.as_int(), Some(5));
     let caught = rt
-        .call_static(&mut obs, "La;", "div", "(II)I", &[Slot::from_int(10), Slot::from_int(0)])
+        .call_static(
+            &mut obs,
+            "La;",
+            "div",
+            "(II)I",
+            &[Slot::from_int(10), Slot::from_int(0)],
+        )
         .unwrap();
     assert_eq!(caught.as_int(), Some(-1));
 }
@@ -244,8 +256,11 @@ fn arrays_and_fill_array_data() {
         c.static_method("third", &[], "I", 3, |m| {
             m.asm.const4(0, 5);
             m.new_array(1, 0, "[I");
-            m.asm
-                .fill_array_data(1, 4, vec![1, 0, 0, 0, 2, 0, 0, 0, 30, 0, 0, 0, 4, 0, 0, 0, 5, 0, 0, 0]);
+            m.asm.fill_array_data(
+                1,
+                4,
+                vec![1, 0, 0, 0, 2, 0, 0, 0, 30, 0, 0, 0, 4, 0, 0, 0, 5, 0, 0, 0],
+            );
             m.asm.const4(0, 2);
             m.asm.binop(Opcode::Aget, 2, 1, 0);
             m.asm.ret(Opcode::Return, 2);
@@ -426,7 +441,9 @@ fn reflection_invoke_resolves_target_and_notifies() {
     let mut rt = Runtime::new();
     rt.load_dex(&dex, "app").unwrap();
     let mut obs = ReflObs::default();
-    let ret = rt.call_static(&mut obs, "LRefl;", "go", "()I", &[]).unwrap();
+    let ret = rt
+        .call_static(&mut obs, "LRefl;", "go", "()I", &[])
+        .unwrap();
     assert_eq!(ret.as_int(), Some(6));
     assert_eq!(obs.resolved, vec!["LRefl;->target()I".to_owned()]);
 }
@@ -462,23 +479,28 @@ fn self_modifying_native_changes_behavior_immediately() {
     let answer = rt
         .resolve_method(sm, &dexlego_runtime::class::SigKey::new("answer", "()I"))
         .unwrap();
-    rt.natives.register("LSm;", "tamper", "()V", move |rt, _, _| {
-        if let dexlego_runtime::class::MethodImpl::Bytecode { insns, .. } =
-            &mut rt.method_mut(answer).body
-        {
-            let mut patched = Insn::of(Opcode::Const16);
-            patched.a = 0;
-            patched.lit = 200;
-            let units = encode_insn(&patched).unwrap();
-            insns[..2].copy_from_slice(&units);
-        }
-        Ok(RetVal::Void)
-    });
+    rt.natives
+        .register("LSm;", "tamper", "()V", move |rt, _, _| {
+            if let dexlego_runtime::class::MethodImpl::Bytecode { insns, .. } =
+                &mut rt.method_mut(answer).body
+            {
+                let mut patched = Insn::of(Opcode::Const16);
+                patched.a = 0;
+                patched.lit = 200;
+                let units = encode_insn(&patched).unwrap();
+                insns[..2].copy_from_slice(&units);
+            }
+            Ok(RetVal::Void)
+        });
 
     let mut obs = NullObserver;
-    let before = rt.call_static(&mut obs, "LSm;", "answer", "()I", &[]).unwrap();
+    let before = rt
+        .call_static(&mut obs, "LSm;", "answer", "()I", &[])
+        .unwrap();
     assert_eq!(before.as_int(), Some(100));
-    let after = rt.call_static(&mut obs, "LSm;", "main", "()I", &[]).unwrap();
+    let after = rt
+        .call_static(&mut obs, "LSm;", "main", "()I", &[])
+        .unwrap();
     assert_eq!(after.as_int(), Some(200));
 }
 
@@ -524,26 +546,33 @@ fn callbacks_register_and_fire() {
             );
             m.asm.ret(Opcode::ReturnVoid, 0);
         });
-        c.static_method("attach", &["Landroid/view/View$OnClickListener;"], "V", 1, |m| {
-            let l = m.param_reg(0);
-            // view.setOnClickListener(l) with a fabricated view instance.
-            m.new_instance(0, "Landroid/view/View;");
-            m.invoke(
-                Opcode::InvokeVirtual,
-                "Landroid/view/View;",
-                "setOnClickListener",
-                &["Landroid/view/View$OnClickListener;"],
-                "V",
-                &[0, l],
-            );
-            m.asm.ret(Opcode::ReturnVoid, 0);
-        });
+        c.static_method(
+            "attach",
+            &["Landroid/view/View$OnClickListener;"],
+            "V",
+            1,
+            |m| {
+                let l = m.param_reg(0);
+                // view.setOnClickListener(l) with a fabricated view instance.
+                m.new_instance(0, "Landroid/view/View;");
+                m.invoke(
+                    Opcode::InvokeVirtual,
+                    "Landroid/view/View;",
+                    "setOnClickListener",
+                    &["Landroid/view/View$OnClickListener;"],
+                    "V",
+                    &[0, l],
+                );
+                m.asm.ret(Opcode::ReturnVoid, 0);
+            },
+        );
     });
     let dex = pb.build().unwrap();
     let mut rt = Runtime::new();
     rt.load_dex(&dex, "app").unwrap();
     let mut obs = NullObserver;
-    rt.call_static(&mut obs, "LMain;", "setup", "()V", &[]).unwrap();
+    rt.call_static(&mut obs, "LMain;", "setup", "()V", &[])
+        .unwrap();
     assert_eq!(rt.callbacks.len(), 1);
     // Fire the callback the way the event driver would.
     let cb = rt.callbacks[0].clone();
@@ -618,7 +647,9 @@ fn force_branch_override_flips_outcome() {
     let mut rt = Runtime::new();
     rt.load_dex(&dex, "app").unwrap();
     let mut obs = ForceTake;
-    let ret = rt.call_static(&mut obs, "La;", "forced", "()I", &[]).unwrap();
+    let ret = rt
+        .call_static(&mut obs, "La;", "forced", "()I", &[])
+        .unwrap();
     assert_eq!(ret.as_int(), Some(1));
 }
 
@@ -644,7 +675,9 @@ fn exception_tolerance_steps_over_faults() {
     let mut rt = Runtime::new();
     rt.load_dex(&dex, "app").unwrap();
     let mut obs = Tolerant;
-    let ret = rt.call_static(&mut obs, "La;", "survive", "()I", &[]).unwrap();
+    let ret = rt
+        .call_static(&mut obs, "La;", "survive", "()I", &[])
+        .unwrap();
     assert_eq!(ret.as_int(), Some(9));
 }
 
@@ -660,10 +693,9 @@ fn dynamic_dex_loading_links_new_classes() {
         });
     });
     let payload_dex = payload_pb.build().unwrap();
-    let payload_bytes = dexlego_dex::writer::write_dex(
-        &dexlego_dalvik::canon::canonicalize(&payload_dex).unwrap(),
-    )
-    .unwrap();
+    let payload_bytes =
+        dexlego_dex::writer::write_dex(&dexlego_dalvik::canon::canonicalize(&payload_dex).unwrap())
+            .unwrap();
 
     let mut rt = Runtime::new();
     // Build the byte array on the heap and call the loader native directly.

@@ -146,7 +146,13 @@ fn long_shift_uses_int_register_and_masks() {
     let mut obs = NullObserver;
     let (lo, hi) = WideValue::from_long(3).split();
     let r = rt
-        .call_static(&mut obs, "La;", "shl", "(JI)J", &[lo, hi, Slot::from_int(65)])
+        .call_static(
+            &mut obs,
+            "La;",
+            "shl",
+            "(JI)J",
+            &[lo, hi, Slot::from_int(65)],
+        )
         .unwrap();
     assert_eq!(r.as_long(), Some(6));
 }
@@ -377,10 +383,14 @@ fn budget_exhaustion_is_per_execution() {
     rt.env.insn_budget = 10_000;
     rt.load_dex(&dex, "app").unwrap();
     let mut obs = NullObserver;
-    let err = rt.call_static(&mut obs, "La;", "forever", "()V", &[]).unwrap_err();
+    let err = rt
+        .call_static(&mut obs, "La;", "forever", "()V", &[])
+        .unwrap_err();
     assert!(matches!(err, RuntimeError::BudgetExhausted));
     // A later execution is unaffected by the spent budget.
-    let ok = rt.call_static(&mut obs, "La;", "quick", "()I", &[]).unwrap();
+    let ok = rt
+        .call_static(&mut obs, "La;", "quick", "()I", &[])
+        .unwrap();
     assert_eq!(ok.as_int(), Some(3));
 }
 
@@ -400,7 +410,12 @@ fn rem_and_neg_semantics() {
     });
     // -(-7 % 3) = -(-1) = 1 (Java remainder keeps the dividend's sign).
     assert_eq!(
-        run_i(&mut pb, "op", "(II)I", &[Slot::from_int(-7), Slot::from_int(3)]),
+        run_i(
+            &mut pb,
+            "op",
+            "(II)I",
+            &[Slot::from_int(-7), Slot::from_int(3)]
+        ),
         1
     );
 }

@@ -1,0 +1,476 @@
+//! Control-flow graph construction over decoded Dalvik code.
+//!
+//! Basic blocks are built from [`decode_method`] output: leaders are the
+//! entry pc, every valid branch/switch target, every exception handler, and
+//! every instruction following a control transfer. Payload
+//! pseudo-instructions are excluded from blocks entirely — branching into or
+//! falling through to one is a verification error, recorded as a pending
+//! finding and reported by the caller once reachability is known.
+
+use std::collections::{BTreeSet, HashMap};
+
+use dexlego_dalvik::insn::{Decoded, Insn};
+use dexlego_dalvik::{decode_method, DalvikError, Opcode};
+use dexlego_dex::code::{EncodedCatchHandler, TryItem};
+
+use crate::diag::{Diagnostic, Rule};
+
+/// How control reaches a successor block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Sequential flow into the next block.
+    FallThrough,
+    /// Taken `goto`/`if-*` branch.
+    Branch,
+    /// One arm of a `packed-switch`/`sparse-switch`.
+    Switch,
+    /// Transfer to an exception handler from inside a `try` range.
+    Exception,
+}
+
+/// A successor edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the successor block.
+    pub target: usize,
+    /// The kind of control transfer.
+    pub kind: EdgeKind,
+}
+
+/// A basic block: a maximal run of non-payload instructions with a single
+/// entry at `start`.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// dex_pc of the first instruction.
+    pub start: u32,
+    /// Indices into [`Cfg::insns`] of the member instructions, in order.
+    pub insns: Vec<usize>,
+    /// Successor edges (normal flow and exception flow).
+    pub succs: Vec<Edge>,
+    /// Whether the block is reachable from the method entry.
+    pub reachable: bool,
+}
+
+/// A control-flow graph plus the decoded instruction stream it was built
+/// from. Shared between the verifier dataflow, the lint pass, and
+/// `analysis::taint` (which drives its worklist off
+/// [`Cfg::insn_successors`]).
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    insns: Vec<(u32, Decoded)>,
+    blocks: Vec<Block>,
+    /// Leader pc -> block index.
+    block_at: HashMap<u32, usize>,
+    /// Real-instruction pc -> index into `insns`.
+    index_of_pc: HashMap<u32, usize>,
+    /// Owning block of each real-instruction pc.
+    block_of_pc: HashMap<u32, usize>,
+    /// Normal-flow (non-exception) successor pcs per real instruction.
+    succ_pcs: HashMap<u32, Vec<u32>>,
+    /// Findings recorded during construction, already filtered to
+    /// reachable code.
+    findings: Vec<Diagnostic>,
+}
+
+impl Cfg {
+    /// Builds the CFG for one method body.
+    ///
+    /// Malformed control flow (branches off instruction boundaries, wrong
+    /// payload kinds, fall-through off the end) does not fail construction:
+    /// the offending edges are dropped and the problems reported via
+    /// [`Cfg::findings`], so dataflow can still run over the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decoder error if the code units do not decode at all.
+    pub fn build(
+        code: &[u16],
+        tries: &[TryItem],
+        handlers: &[EncodedCatchHandler],
+    ) -> Result<Cfg, DalvikError> {
+        let insns = decode_method(code)?;
+        Ok(Cfg::from_decoded(insns, tries, handlers))
+    }
+
+    fn from_decoded(
+        insns: Vec<(u32, Decoded)>,
+        tries: &[TryItem],
+        handlers: &[EncodedCatchHandler],
+    ) -> Cfg {
+        let mut index_of_pc = HashMap::new();
+        let mut payload_at = HashMap::new();
+        for (i, (pc, d)) in insns.iter().enumerate() {
+            match d {
+                Decoded::Insn(_) => {
+                    index_of_pc.insert(*pc, i);
+                }
+                _ => {
+                    payload_at.insert(*pc, i);
+                }
+            }
+        }
+
+        // Pending findings: (source pc, rule, message); reported only if
+        // the source instruction ends up reachable.
+        let mut pending: Vec<(u32, Rule, String)> = Vec::new();
+
+        // Control-flow targets of each real instruction, with edge kinds.
+        let mut out_edges: HashMap<u32, Vec<(u32, EdgeKind)>> = HashMap::new();
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        if !insns.is_empty() {
+            leaders.insert(insns[0].0);
+        }
+
+        let check_target = |pc: u32,
+                            target: u32,
+                            what: &str,
+                            pending: &mut Vec<(u32, Rule, String)>|
+         -> Option<u32> {
+            if index_of_pc.contains_key(&target) {
+                Some(target)
+            } else if payload_at.contains_key(&target) {
+                pending.push((
+                    pc,
+                    Rule::V0004,
+                    format!("{what} target {target:#06x} lands inside payload data"),
+                ));
+                None
+            } else {
+                pending.push((
+                    pc,
+                    Rule::V0004,
+                    format!("{what} target {target:#06x} is not on an instruction boundary"),
+                ));
+                None
+            }
+        };
+
+        for (pc, d) in &insns {
+            let Decoded::Insn(insn) = d else { continue };
+            let pc = *pc;
+            let mut edges = Vec::new();
+            match insn.op {
+                Opcode::Goto | Opcode::Goto16 | Opcode::Goto32 => {
+                    if let Some(t) = check_target(pc, insn.target(pc), "goto", &mut pending) {
+                        edges.push((t, EdgeKind::Branch));
+                    }
+                }
+                op if op.is_conditional_branch() => {
+                    if let Some(t) = check_target(pc, insn.target(pc), "branch", &mut pending) {
+                        edges.push((t, EdgeKind::Branch));
+                    }
+                }
+                Opcode::PackedSwitch | Opcode::SparseSwitch => {
+                    let payload_pc = insn.target(pc);
+                    let arm = match payload_at.get(&payload_pc).map(|&i| &insns[i].1) {
+                        Some(Decoded::PackedSwitchPayload { targets, .. })
+                            if insn.op == Opcode::PackedSwitch =>
+                        {
+                            Some(targets)
+                        }
+                        Some(Decoded::SparseSwitchPayload { targets, .. })
+                            if insn.op == Opcode::SparseSwitch =>
+                        {
+                            Some(targets)
+                        }
+                        _ => {
+                            pending.push((
+                                pc,
+                                Rule::V0008,
+                                format!(
+                                    "{} at {pc:#06x} does not reference a matching payload",
+                                    insn.op.mnemonic()
+                                ),
+                            ));
+                            None
+                        }
+                    };
+                    for &off in arm.into_iter().flatten() {
+                        let target = pc.wrapping_add(off as u32);
+                        if let Some(t) = check_target(pc, target, "switch arm", &mut pending) {
+                            edges.push((t, EdgeKind::Switch));
+                        }
+                    }
+                }
+                Opcode::FillArrayData => {
+                    let payload_pc = insn.target(pc);
+                    if !matches!(
+                        payload_at.get(&payload_pc).map(|&i| &insns[i].1),
+                        Some(Decoded::FillArrayDataPayload { .. })
+                    ) {
+                        pending.push((
+                            pc,
+                            Rule::V0008,
+                            format!(
+                                "fill-array-data at {pc:#06x} does not reference an array payload"
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+            for &(t, _) in &edges {
+                leaders.insert(t);
+            }
+            // The instruction after any control transfer starts a block.
+            if insn.op.has_branch_target() || insn.op.is_terminator() {
+                let next = pc + insn.units() as u32;
+                if index_of_pc.contains_key(&next) {
+                    leaders.insert(next);
+                }
+            }
+            out_edges.insert(pc, edges);
+        }
+
+        // Exception handlers are leaders.
+        for t in tries {
+            if let Some(h) = handlers.get(t.handler_index) {
+                for clause in &h.catches {
+                    if index_of_pc.contains_key(&clause.addr) {
+                        leaders.insert(clause.addr);
+                    }
+                }
+                if let Some(addr) = h.catch_all_addr {
+                    if index_of_pc.contains_key(&addr) {
+                        leaders.insert(addr);
+                    }
+                }
+            }
+        }
+
+        // Carve the instruction stream into blocks.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_at = HashMap::new();
+        let mut block_of_pc = HashMap::new();
+        for (i, (pc, d)) in insns.iter().enumerate() {
+            if !matches!(d, Decoded::Insn(_)) {
+                continue;
+            }
+            let start_new = blocks.is_empty()
+                || leaders.contains(pc)
+                || blocks.last().is_some_and(|b| b.insns.is_empty());
+            let start_new = start_new || {
+                // Non-adjacent to the previous instruction (payload gap).
+                let last = blocks.last().and_then(|b| b.insns.last());
+                last.is_some_and(|&j| {
+                    let (ppc, pd) = &insns[j];
+                    ppc + pd.units() as u32 != *pc
+                })
+            };
+            if start_new {
+                block_at.insert(*pc, blocks.len());
+                blocks.push(Block {
+                    start: *pc,
+                    insns: Vec::new(),
+                    succs: Vec::new(),
+                    reachable: false,
+                });
+            }
+            let bid = blocks.len() - 1;
+            blocks[bid].insns.push(i);
+            block_of_pc.insert(*pc, bid);
+        }
+
+        // Wire normal-flow edges.
+        let code_end: u32 = insns
+            .last()
+            .map(|(pc, d)| pc + d.units() as u32)
+            .unwrap_or(0);
+        for block in &mut blocks {
+            let &last_idx = block.insns.last().expect("blocks are non-empty");
+            let (pc, d) = &insns[last_idx];
+            let insn = d.as_insn().expect("blocks hold real instructions");
+            let mut succs: Vec<Edge> = out_edges
+                .remove(pc)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(t, kind)| Edge {
+                    target: block_at[&t],
+                    kind,
+                })
+                .collect();
+            if !insn.op.is_terminator() {
+                let next = pc + insn.units() as u32;
+                if let Some(&b) = block_at.get(&next) {
+                    succs.push(Edge {
+                        target: b,
+                        kind: EdgeKind::FallThrough,
+                    });
+                } else if next >= code_end {
+                    pending.push((
+                        *pc,
+                        Rule::V0005,
+                        format!(
+                            "{} falls through off the end of the method",
+                            insn.op.mnemonic()
+                        ),
+                    ));
+                } else {
+                    pending.push((
+                        *pc,
+                        Rule::V0005,
+                        format!("{} falls through into payload data", insn.op.mnemonic()),
+                    ));
+                }
+            }
+            block.succs = succs;
+        }
+
+        // Exception edges: a block with a throwing instruction covered by a
+        // try range may transfer to each of the range's handlers. Coverage
+        // of non-throwing instructions alone adds no edge (the ART rule —
+        // a handler guarding only arithmetic is dead).
+        for t in tries {
+            let Some(h) = handlers.get(t.handler_index) else {
+                continue;
+            };
+            let mut handler_blocks = Vec::new();
+            for clause in &h.catches {
+                match block_at.get(&clause.addr) {
+                    Some(&b) => handler_blocks.push(b),
+                    None => pending.push((
+                        t.start_addr,
+                        Rule::V0004,
+                        format!(
+                            "catch handler {:#06x} is not on an instruction boundary",
+                            clause.addr
+                        ),
+                    )),
+                }
+            }
+            if let Some(addr) = h.catch_all_addr {
+                match block_at.get(&addr) {
+                    Some(&b) => handler_blocks.push(b),
+                    None => pending.push((
+                        t.start_addr,
+                        Rule::V0004,
+                        format!("catch-all handler {addr:#06x} is not on an instruction boundary"),
+                    )),
+                }
+            }
+            let lo = t.start_addr;
+            let hi = t.start_addr + u32::from(t.insn_count);
+            for block in blocks.iter_mut() {
+                let covered = block.insns.iter().any(|&i| {
+                    insns[i].0 >= lo
+                        && insns[i].0 < hi
+                        && insns[i].1.as_insn().is_some_and(|x| x.op.can_throw())
+                });
+                if covered {
+                    for &hb in &handler_blocks {
+                        let edge = Edge {
+                            target: hb,
+                            kind: EdgeKind::Exception,
+                        };
+                        if !block.succs.contains(&edge) {
+                            block.succs.push(edge);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Reachability from the entry block.
+        if !blocks.is_empty() {
+            let mut stack = vec![0usize];
+            while let Some(b) = stack.pop() {
+                if blocks[b].reachable {
+                    continue;
+                }
+                blocks[b].reachable = true;
+                for edge in blocks[b].succs.clone() {
+                    stack.push(edge.target);
+                }
+            }
+        }
+
+        // Per-instruction normal-flow successors (for `analysis::taint`).
+        let mut succ_pcs = HashMap::new();
+        for block in &blocks {
+            for (k, &i) in block.insns.iter().enumerate() {
+                let pc = insns[i].0;
+                let next: Vec<u32> = if k + 1 < block.insns.len() {
+                    vec![insns[block.insns[k + 1]].0]
+                } else {
+                    block
+                        .succs
+                        .iter()
+                        .filter(|e| e.kind != EdgeKind::Exception)
+                        .map(|e| blocks[e.target].start)
+                        .collect()
+                };
+                succ_pcs.insert(pc, next);
+            }
+        }
+
+        // Keep only findings whose source instruction is reachable.
+        let findings = pending
+            .into_iter()
+            .filter(|(pc, _, _)| {
+                block_of_pc
+                    .get(pc)
+                    .map(|&b| blocks[b].reachable)
+                    // Findings anchored to try ranges (handler problems)
+                    // are always kept.
+                    .unwrap_or(true)
+            })
+            .map(|(pc, rule, message)| Diagnostic::new(rule, pc, message))
+            .collect();
+
+        Cfg {
+            insns,
+            blocks,
+            block_at,
+            index_of_pc,
+            block_of_pc,
+            succ_pcs,
+            findings,
+        }
+    }
+
+    /// The decoded instruction stream, payloads included, in address order.
+    pub fn insns(&self) -> &[(u32, Decoded)] {
+        &self.insns
+    }
+
+    /// The basic blocks, in address order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block starting at leader `pc`, if any.
+    pub fn block_at(&self, pc: u32) -> Option<&Block> {
+        self.block_at.get(&pc).map(|&b| &self.blocks[b])
+    }
+
+    /// The real instruction at `pc`, if `pc` is an instruction boundary.
+    pub fn insn_at(&self, pc: u32) -> Option<&Insn> {
+        self.index_of_pc
+            .get(&pc)
+            .and_then(|&i| self.insns[i].1.as_insn())
+    }
+
+    /// Normal-flow (non-exception) successor pcs of the instruction at
+    /// `pc`. Empty for terminators, payloads, and unknown pcs.
+    pub fn insn_successors(&self, pc: u32) -> &[u32] {
+        self.succ_pcs.get(&pc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the instruction at `pc` is reachable from the method entry.
+    pub fn is_reachable(&self, pc: u32) -> bool {
+        self.block_of_pc
+            .get(&pc)
+            .is_some_and(|&b| self.blocks[b].reachable)
+    }
+
+    /// Control-flow problems discovered during construction (invalid branch
+    /// targets, payload mismatches, fall-through off the end), restricted
+    /// to reachable code.
+    pub fn findings(&self) -> &[Diagnostic] {
+        &self.findings
+    }
+
+    pub(crate) fn block_index_of_pc(&self, pc: u32) -> Option<usize> {
+        self.block_of_pc.get(&pc).copied()
+    }
+}

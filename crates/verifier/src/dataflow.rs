@@ -1,0 +1,394 @@
+//! Worklist fixpoint dataflow over the register typestate lattice.
+//!
+//! Each basic block has an entry frame (one [`RegType`] per register);
+//! blocks are simulated in worklist order, merging the outgoing frame into
+//! every successor and re-queueing successors whose entry frame changed.
+//! Exception handlers receive the merge of the frame *before* every
+//! instruction their try range covers (the ART rule: a throw can occur at
+//! any covered instruction). Errors are deduplicated by (rule, pc), since
+//! the fixpoint revisits blocks.
+
+use std::collections::{HashSet, VecDeque};
+
+use dexlego_dalvik::insn::Decoded;
+use dexlego_dalvik::Opcode;
+use dexlego_dex::code::CodeItem;
+
+use crate::cfg::{Cfg, EdgeKind};
+use crate::diag::{Diagnostic, Rule};
+use crate::effects::{effects, Need, Write};
+use crate::typestate::{join_frames, RegType};
+use crate::ParamKind;
+
+struct Ctx {
+    regs: usize,
+    seen: HashSet<(Rule, u32)>,
+    out: Vec<Diagnostic>,
+}
+
+impl Ctx {
+    fn report(&mut self, rule: Rule, pc: u32, message: String) {
+        if self.seen.insert((rule, pc)) {
+            self.out.push(Diagnostic::new(rule, pc, message));
+        }
+    }
+}
+
+/// Runs the dataflow verification and appends findings to `out`.
+pub(crate) fn run(cfg: &Cfg, code: &CodeItem, params: &[ParamKind], out: &mut Vec<Diagnostic>) {
+    let regs = code.registers_size as usize;
+    let ins = code.ins_size as usize;
+    let mut ctx = Ctx {
+        regs,
+        seen: HashSet::new(),
+        out: Vec::new(),
+    };
+
+    let entry = entry_frame(regs, ins, params, &mut ctx);
+    if cfg.blocks().is_empty() {
+        ctx.report(
+            Rule::V0005,
+            0,
+            "method has no instructions: execution falls off the end".to_owned(),
+        );
+        out.append(&mut ctx.out);
+        return;
+    }
+
+    let nblocks = cfg.blocks().len();
+    let mut in_states: Vec<Option<Vec<RegType>>> = vec![None; nblocks];
+    in_states[0] = Some(entry);
+    let mut worklist: VecDeque<usize> = VecDeque::from([0]);
+    let mut queued = vec![false; nblocks];
+    queued[0] = true;
+
+    // try range -> handler block ids, resolved once.
+    let handler_edges: Vec<(u32, u32, Vec<usize>)> = handler_ranges(cfg, code);
+
+    while let Some(bid) = worklist.pop_front() {
+        queued[bid] = false;
+        let Some(mut frame) = in_states[bid].clone() else {
+            continue;
+        };
+        let block = &cfg.blocks()[bid];
+        for &i in &block.insns {
+            let (pc, d) = &cfg.insns()[i];
+            let Decoded::Insn(insn) = d else { continue };
+
+            // A throwing instruction in a try range transfers the *pre*-state
+            // of that instruction to its handlers. Non-throwing instructions
+            // contribute nothing (the ART rule), so a handler guarding only
+            // arithmetic is never entered.
+            for (lo, hi, handler_blocks) in &handler_edges {
+                if *pc >= *lo && *pc < *hi && insn.op.can_throw() {
+                    for &hb in handler_blocks {
+                        merge_into(&mut in_states, hb, &frame, &mut worklist, &mut queued);
+                    }
+                }
+            }
+
+            transfer(insn, *pc, prev_insn(cfg, i), &mut frame, &mut ctx);
+        }
+        for edge in &block.succs {
+            if edge.kind == EdgeKind::Exception {
+                continue;
+            }
+            merge_into(
+                &mut in_states,
+                edge.target,
+                &frame,
+                &mut worklist,
+                &mut queued,
+            );
+        }
+    }
+
+    ctx.out.sort_by_key(|d| (d.dex_pc, d.rule));
+    out.append(&mut ctx.out);
+}
+
+/// The real instruction immediately preceding instruction `i` in code
+/// order, if any (payloads break adjacency).
+fn prev_insn(cfg: &Cfg, i: usize) -> Option<&dexlego_dalvik::insn::Insn> {
+    if i == 0 {
+        return None;
+    }
+    cfg.insns()[i - 1].1.as_insn()
+}
+
+fn merge_into(
+    in_states: &mut [Option<Vec<RegType>>],
+    target: usize,
+    frame: &[RegType],
+    worklist: &mut VecDeque<usize>,
+    queued: &mut [bool],
+) {
+    let changed = match &mut in_states[target] {
+        Some(existing) => join_frames(existing, frame),
+        slot @ None => {
+            *slot = Some(frame.to_vec());
+            true
+        }
+    };
+    if changed && !queued[target] {
+        queued[target] = true;
+        worklist.push_back(target);
+    }
+}
+
+fn entry_frame(regs: usize, ins: usize, params: &[ParamKind], ctx: &mut Ctx) -> Vec<RegType> {
+    let mut frame = vec![RegType::Uninit; regs];
+    if ins > regs {
+        ctx.report(
+            Rule::V0006,
+            0,
+            format!("ins_size {ins} exceeds registers_size {regs}"),
+        );
+        return frame;
+    }
+    let mut at = regs - ins;
+    for kind in params {
+        match kind {
+            ParamKind::Wide => {
+                if at + 1 < regs {
+                    frame[at] = RegType::WideLo;
+                    frame[at + 1] = RegType::WideHi;
+                }
+                at += 2;
+            }
+            other => {
+                if at < regs {
+                    frame[at] = match other {
+                        ParamKind::Int => RegType::Int,
+                        ParamKind::Float => RegType::Float,
+                        ParamKind::Object => RegType::Ref,
+                        ParamKind::Opaque => RegType::Any,
+                        ParamKind::Wide => unreachable!(),
+                    };
+                }
+                at += 1;
+            }
+        }
+    }
+    if at != regs {
+        ctx.report(
+            Rule::V0006,
+            0,
+            format!(
+                "parameter registers occupy {} slots but ins_size is {ins}",
+                at - (regs - ins)
+            ),
+        );
+        // Be permissive about the remainder so dataflow can continue.
+        for slot in frame.iter_mut().skip(regs - ins) {
+            if *slot == RegType::Uninit {
+                *slot = RegType::Any;
+            }
+        }
+    }
+    frame
+}
+
+/// try ranges with their handler block ids.
+fn handler_ranges(cfg: &Cfg, code: &CodeItem) -> Vec<(u32, u32, Vec<usize>)> {
+    let mut out = Vec::new();
+    for t in &code.tries {
+        let Some(h) = code.handlers.get(t.handler_index) else {
+            continue;
+        };
+        let mut blocks = Vec::new();
+        for clause in &h.catches {
+            if let Some(b) = cfg.block_index_of_pc(clause.addr) {
+                blocks.push(b);
+            }
+        }
+        if let Some(addr) = h.catch_all_addr {
+            if let Some(b) = cfg.block_index_of_pc(addr) {
+                blocks.push(b);
+            }
+        }
+        out.push((t.start_addr, t.start_addr + u32::from(t.insn_count), blocks));
+    }
+    out
+}
+
+fn transfer(
+    insn: &dexlego_dalvik::insn::Insn,
+    pc: u32,
+    prev: Option<&dexlego_dalvik::insn::Insn>,
+    frame: &mut [RegType],
+    ctx: &mut Ctx,
+) {
+    // Structural `move-result*` placement check (V0003): must directly
+    // follow an invoke (or `filled-new-array` for the object form) in code
+    // order.
+    if matches!(
+        insn.op,
+        Opcode::MoveResult | Opcode::MoveResultWide | Opcode::MoveResultObject
+    ) {
+        let ok = prev.is_some_and(|p| {
+            p.op.is_invoke() || matches!(p.op, Opcode::FilledNewArray | Opcode::FilledNewArrayRange)
+        });
+        if !ok {
+            ctx.report(
+                Rule::V0003,
+                pc,
+                format!(
+                    "{} is not immediately preceded by an invoke or filled-new-array",
+                    insn.op.mnemonic()
+                ),
+            );
+        }
+    }
+
+    let eff = effects(insn);
+    for &(reg, need) in &eff.reads {
+        read(reg, need, insn, pc, frame, ctx);
+    }
+    if let Some((reg, w)) = eff.write {
+        match w {
+            Write::One(ty) => write_one(reg, ty, pc, frame, ctx),
+            Write::Copy(src) => {
+                let ty = frame
+                    .get(src as usize)
+                    .copied()
+                    .filter(|t| t.is_defined() && !matches!(t, RegType::WideLo | RegType::WideHi))
+                    .unwrap_or(RegType::Any);
+                write_one(reg, ty, pc, frame, ctx);
+            }
+            Write::Wide => write_wide(reg, pc, frame, ctx),
+        }
+    }
+}
+
+fn read(
+    reg: u32,
+    need: Need,
+    insn: &dexlego_dalvik::insn::Insn,
+    pc: u32,
+    frame: &[RegType],
+    ctx: &mut Ctx,
+) {
+    let mn = insn.op.mnemonic();
+    let r = reg as usize;
+    let width = if need == Need::Wide { 2 } else { 1 };
+    if r + width > ctx.regs {
+        ctx.report(
+            Rule::V0006,
+            pc,
+            format!("{mn} reads v{reg} but the frame has {} registers", ctx.regs),
+        );
+        return;
+    }
+    if need == Need::Wide {
+        let (lo, hi) = (frame[r], frame[r + 1]);
+        if lo == RegType::WideLo && hi == RegType::WideHi {
+            return;
+        }
+        if !lo.is_defined() || !hi.is_defined() {
+            ctx.report(
+                Rule::V0001,
+                pc,
+                format!(
+                    "{mn} reads undefined wide register pair (v{reg}, v{})",
+                    reg + 1
+                ),
+            );
+        } else {
+            ctx.report(
+                Rule::V0002,
+                pc,
+                format!(
+                    "{mn} expects a wide pair in (v{reg}, v{}) but finds {lo:?}/{hi:?}",
+                    reg + 1
+                ),
+            );
+        }
+        return;
+    }
+    let ty = frame[r];
+    match ty {
+        RegType::Uninit => ctx.report(
+            Rule::V0001,
+            pc,
+            format!("{mn} reads undefined register v{reg}"),
+        ),
+        RegType::Conflict => ctx.report(
+            Rule::V0001,
+            pc,
+            format!("{mn} reads v{reg}, which holds conflicting definitions"),
+        ),
+        RegType::WideLo | RegType::WideHi if need != Need::Defined => ctx.report(
+            Rule::V0002,
+            pc,
+            format!("{mn} reads v{reg}, half of a wide pair, as a single register"),
+        ),
+        _ => {
+            let compatible = match need {
+                Need::Any1 | Need::Defined => true,
+                Need::Num => matches!(
+                    ty,
+                    RegType::Int | RegType::Float | RegType::Const | RegType::Any
+                ),
+                Need::IntLike => matches!(ty, RegType::Int | RegType::Const | RegType::Any),
+                Need::FloatLike => matches!(ty, RegType::Float | RegType::Const | RegType::Any),
+                Need::RefLike => matches!(ty, RegType::Ref | RegType::Const),
+                Need::Wide => unreachable!(),
+            };
+            if !compatible {
+                ctx.report(
+                    Rule::V0007,
+                    pc,
+                    format!("{mn} reads v{reg} as {need:?} but it holds {ty:?}"),
+                );
+            }
+        }
+    }
+}
+
+/// Writing over half of an existing wide pair invalidates the other half.
+fn invalidate_half(reg: usize, frame: &mut [RegType]) {
+    match frame[reg] {
+        RegType::WideLo if reg + 1 < frame.len() && frame[reg + 1] == RegType::WideHi => {
+            frame[reg + 1] = RegType::Conflict;
+        }
+        RegType::WideHi if reg >= 1 && frame[reg - 1] == RegType::WideLo => {
+            frame[reg - 1] = RegType::Conflict;
+        }
+        _ => {}
+    }
+}
+
+fn write_one(reg: u32, ty: RegType, pc: u32, frame: &mut [RegType], ctx: &mut Ctx) {
+    let r = reg as usize;
+    if r >= ctx.regs {
+        ctx.report(
+            Rule::V0006,
+            pc,
+            format!("write to v{reg} but the frame has {} registers", ctx.regs),
+        );
+        return;
+    }
+    invalidate_half(r, frame);
+    frame[r] = ty;
+}
+
+fn write_wide(reg: u32, pc: u32, frame: &mut [RegType], ctx: &mut Ctx) {
+    let r = reg as usize;
+    if r + 2 > ctx.regs {
+        ctx.report(
+            Rule::V0006,
+            pc,
+            format!(
+                "wide write to (v{reg}, v{}) but the frame has {} registers",
+                reg + 1,
+                ctx.regs
+            ),
+        );
+        return;
+    }
+    invalidate_half(r, frame);
+    invalidate_half(r + 1, frame);
+    frame[r] = RegType::WideLo;
+    frame[r + 1] = RegType::WideHi;
+}

@@ -1,0 +1,136 @@
+//! Structured verifier diagnostics: rule codes, severities, and the
+//! diagnostic record itself.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// A lint: suspicious but executable code. Never gates reassembly.
+    Warning,
+    /// A verification error: the bytecode is rejected by an ART-style
+    /// verifier and would be unsafe to hand to downstream static analysis.
+    Error,
+}
+
+/// A verifier or lint rule. `V####` rules are errors, `L####` rules are
+/// warnings (see DESIGN.md, "Verification gate").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// Bytecode that does not decode at all.
+    V0000,
+    /// Read of an undefined (or conflictingly defined) register.
+    V0001,
+    /// Broken wide (64-bit) register pair.
+    V0002,
+    /// `move-result*` not immediately preceded by an invoke or
+    /// `filled-new-array`.
+    V0003,
+    /// Branch target not on an instruction boundary (or inside a payload).
+    V0004,
+    /// Fall-through off the end of the method or into payload data.
+    V0005,
+    /// Register number out of range for the frame.
+    V0006,
+    /// Register holds a value of the wrong category/type for the operation.
+    V0007,
+    /// 31t payload reference of the wrong kind (or not a payload at all).
+    V0008,
+    /// Unreachable code (e.g. NOP-filled holes left by reassembly).
+    L0001,
+    /// Move with identical source and destination.
+    L0002,
+    /// Store that is overwritten before ever being read.
+    L0003,
+}
+
+impl Rule {
+    /// The stable `V####`/`L####` code, as used for lint suppression.
+    pub const fn code(self) -> &'static str {
+        match self {
+            Rule::V0000 => "V0000",
+            Rule::V0001 => "V0001",
+            Rule::V0002 => "V0002",
+            Rule::V0003 => "V0003",
+            Rule::V0004 => "V0004",
+            Rule::V0005 => "V0005",
+            Rule::V0006 => "V0006",
+            Rule::V0007 => "V0007",
+            Rule::V0008 => "V0008",
+            Rule::L0001 => "L0001",
+            Rule::L0002 => "L0002",
+            Rule::L0003 => "L0003",
+        }
+    }
+
+    /// Errors gate reassembly; warnings are advisory.
+    pub const fn severity(self) -> Severity {
+        match self {
+            Rule::L0001 | Rule::L0002 | Rule::L0003 => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One verifier finding, anchored to a method and a `dex_pc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Method reference (`Lpkg/Class;->name(...)R` form), or empty when the
+    /// verifier was invoked on a bare code item.
+    pub method: String,
+    /// Code-unit address of the offending instruction.
+    pub dex_pc: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(rule: Rule, dex_pc: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            method: String::new(),
+            dex_pc,
+            message,
+        }
+    }
+
+    /// This diagnostic's severity (derived from its rule).
+    pub fn severity(&self) -> Severity {
+        self.rule.severity()
+    }
+
+    /// Whether this diagnostic rejects the method.
+    pub fn is_error(&self) -> bool {
+        self.severity() == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        if self.method.is_empty() {
+            write!(
+                f,
+                "{kind}[{}] @{:#06x}: {}",
+                self.rule, self.dex_pc, self.message
+            )
+        } else {
+            write!(
+                f,
+                "{kind}[{}] {} @{:#06x}: {}",
+                self.rule, self.method, self.dex_pc, self.message
+            )
+        }
+    }
+}

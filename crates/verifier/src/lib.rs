@@ -1,0 +1,225 @@
+#![forbid(unsafe_code)]
+
+//! ART-style static bytecode verifier and lint engine over the
+//! [`dexlego_dalvik`] instruction model.
+//!
+//! The DEX container checks in `dexlego_dex::verify` stop at pool
+//! referential integrity — nothing there looks *inside* an instruction
+//! stream. This crate fills that gap with three layers:
+//!
+//! 1. **CFG construction** ([`cfg::Cfg`]): basic blocks over
+//!    [`dexlego_dalvik::decode_method`] output, successor edges for
+//!    branches/gotos/switch payloads, exception edges from try/catch
+//!    tables, payload regions excluded from reachable code.
+//! 2. **Typestate dataflow** ([`typestate::RegType`]): a worklist fixpoint
+//!    over a per-register lattice (`Uninit`, `Const`, int-like, `Float`,
+//!    `Ref`, `WideLo`/`WideHi` pairing, `Conflict`) flagging undefined
+//!    reads, broken wide pairs, stray `move-result`s, branches off
+//!    instruction boundaries, and fall-through off the method end.
+//! 3. **Lints** (`L####` rules): non-fatal smells — unreachable blocks,
+//!    self-moves, dead stores.
+//!
+//! Rule codes are stable: `V####` diagnostics are errors and gate
+//! reassembly (see `dexlego_core::reassemble`); `L####` diagnostics are
+//! warnings. Individual rules can be suppressed via
+//! [`VerifyOptions::allow`]. See DESIGN.md ("Verification gate") for the
+//! full rule table.
+//!
+//! # Example
+//!
+//! ```
+//! use dexlego_dex::CodeItem;
+//! use dexlego_verifier::{verify_method, Rule, VerifyOptions};
+//!
+//! // add-int v0, v1, v1 reads undefined v1, then return-void.
+//! let code = CodeItem::new(2, 0, 0, vec![0x0090, 0x0101, 0x000e]);
+//! let diags = verify_method("La;->m()V", &code, &[], &VerifyOptions::default());
+//! assert!(diags.iter().any(|d| d.rule == Rule::V0001 && d.dex_pc == 0));
+//! ```
+
+pub mod cfg;
+mod dataflow;
+pub mod diag;
+mod effects;
+mod lint;
+pub mod typestate;
+
+use std::collections::HashSet;
+
+use dexlego_dex::code::CodeItem;
+use dexlego_dex::{AccessFlags, DexFile};
+
+pub use cfg::{Block, Cfg, Edge, EdgeKind};
+pub use diag::{Diagnostic, Rule, Severity};
+pub use typestate::RegType;
+
+/// Category of one declared method parameter, as seen by the register
+/// frame. Derive from descriptors with [`param_kinds`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// boolean/byte/char/short/int — one int-like register.
+    Int,
+    /// float — one float register.
+    Float,
+    /// long/double — a wide register pair.
+    Wide,
+    /// Object or array reference (`L...;` / `[...`), including `this`.
+    Object,
+    /// Unknown category-1 value (used when the signature is unavailable).
+    Opaque,
+}
+
+impl ParamKind {
+    /// The kind for a single type descriptor.
+    pub fn of_descriptor(desc: &str) -> ParamKind {
+        match desc.as_bytes().first() {
+            Some(b'J') | Some(b'D') => ParamKind::Wide,
+            Some(b'F') => ParamKind::Float,
+            Some(b'L') | Some(b'[') => ParamKind::Object,
+            _ => ParamKind::Int,
+        }
+    }
+
+    /// Registers this parameter occupies.
+    pub fn width(self) -> u16 {
+        if self == ParamKind::Wide {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+/// Parameter kinds for a method: an implicit `this` reference first unless
+/// static, then one entry per declared parameter descriptor.
+pub fn param_kinds<S: AsRef<str>>(is_static: bool, params: &[S]) -> Vec<ParamKind> {
+    let mut kinds = Vec::with_capacity(params.len() + 1);
+    if !is_static {
+        kinds.push(ParamKind::Object);
+    }
+    kinds.extend(params.iter().map(|p| ParamKind::of_descriptor(p.as_ref())));
+    kinds
+}
+
+/// Verification options: lint enablement and per-rule suppression.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyOptions {
+    /// Skip the lint pass entirely (errors only).
+    pub errors_only: bool,
+    allowed: HashSet<String>,
+}
+
+impl VerifyOptions {
+    /// Errors only, no lints.
+    pub fn errors_only() -> VerifyOptions {
+        VerifyOptions {
+            errors_only: true,
+            ..VerifyOptions::default()
+        }
+    }
+
+    /// Suppresses every future diagnostic with the given rule code (e.g.
+    /// `"L0003"`). Suppressing a `V####` rule downgrades the gate for that
+    /// rule — use with care.
+    pub fn allow(mut self, code: &str) -> VerifyOptions {
+        self.allowed.insert(code.to_owned());
+        self
+    }
+
+    fn keeps(&self, d: &Diagnostic) -> bool {
+        if self.errors_only && !d.is_error() {
+            return false;
+        }
+        !self.allowed.contains(d.rule.code())
+    }
+}
+
+/// Verifies one method body.
+///
+/// `method` is the method reference used in diagnostics (any string;
+/// `Lpkg/C;->m(...)R` by convention). `params` are the frame's incoming
+/// parameter kinds ([`param_kinds`]); pass `&[]` to treat all `ins`
+/// registers as unknown-but-defined.
+///
+/// Returns all diagnostics, errors first within equal pcs. An empty result
+/// means the method is verifier-clean.
+pub fn verify_method(
+    method: &str,
+    code: &CodeItem,
+    params: &[ParamKind],
+    options: &VerifyOptions,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    match Cfg::build(&code.insns, &code.tries, &code.handlers) {
+        Err(e) => {
+            diags.push(Diagnostic::new(
+                Rule::V0000,
+                0,
+                format!("bytecode does not decode: {e}"),
+            ));
+        }
+        Ok(cfg) => {
+            diags.extend_from_slice(cfg.findings());
+            let owned: Vec<ParamKind>;
+            let params = if params.is_empty() && code.ins_size > 0 {
+                // Unknown signature: treat every in-register as defined.
+                owned = vec![ParamKind::Opaque; code.ins_size as usize];
+                &owned
+            } else {
+                params
+            };
+            dataflow::run(&cfg, code, params, &mut diags);
+            if !options.errors_only {
+                lint::run(&cfg, &mut diags);
+            }
+        }
+    }
+    diags.retain(|d| options.keeps(d));
+    for d in &mut diags {
+        d.method = method.to_owned();
+    }
+    diags.sort_by_key(|d| (d.dex_pc, d.rule));
+    diags
+}
+
+/// Verifies every method body in a DEX file.
+///
+/// Parameter kinds are derived from each method's prototype and access
+/// flags. Diagnostics carry full method references.
+pub fn verify_dex(dex: &DexFile, options: &VerifyOptions) -> Vec<Diagnostic> {
+    let mut all = Vec::new();
+    for class in dex.class_defs() {
+        let Some(data) = &class.class_data else {
+            continue;
+        };
+        for method in data.methods() {
+            let Some(code) = &method.code else { continue };
+            let sig = dex
+                .method_signature(method.method_idx)
+                .unwrap_or_else(|_| format!("<method#{}>", method.method_idx));
+            let kinds = method_param_kinds(dex, method.method_idx, method.access);
+            all.extend(verify_method(&sig, code, &kinds, options));
+        }
+    }
+    all
+}
+
+/// Parameter kinds for a pool method, from its prototype and access flags.
+pub fn method_param_kinds(dex: &DexFile, method_idx: u32, access: AccessFlags) -> Vec<ParamKind> {
+    let mut descs = Vec::new();
+    if let Ok(m) = dex.method_id(method_idx) {
+        if let Ok(proto) = dex.proto(m.proto) {
+            for &p in &proto.parameters {
+                if let Ok(d) = dex.type_descriptor(p) {
+                    descs.push(d.to_owned());
+                }
+            }
+        }
+    }
+    param_kinds(access.contains(AccessFlags::STATIC), &descs)
+}
+
+/// Convenience: true when `diags` contains no error-severity diagnostics.
+pub fn is_clean(diags: &[Diagnostic]) -> bool {
+    !diags.iter().any(Diagnostic::is_error)
+}

@@ -1,0 +1,108 @@
+//! Non-fatal lint pass over the CFG: unreachable blocks, self-moves, and
+//! dead stores. Lints never gate reassembly; they surface smells the
+//! tree-merge process is known to leave behind (NOP-filled holes, redundant
+//! prologue moves).
+
+use std::collections::HashMap;
+
+use dexlego_dalvik::insn::Decoded;
+use dexlego_dalvik::Opcode;
+
+use crate::cfg::{Cfg, EdgeKind};
+use crate::diag::{Diagnostic, Rule};
+use crate::effects::{effects, Need, Write};
+
+pub(crate) fn run(cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    unreachable_blocks(cfg, out);
+    self_moves(cfg, out);
+    dead_stores(cfg, out);
+}
+
+fn unreachable_blocks(cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    for block in cfg.blocks() {
+        if !block.reachable {
+            out.push(Diagnostic::new(
+                Rule::L0001,
+                block.start,
+                format!(
+                    "unreachable code ({} instruction{})",
+                    block.insns.len(),
+                    if block.insns.len() == 1 { "" } else { "s" }
+                ),
+            ));
+        }
+    }
+}
+
+fn self_moves(cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    for (pc, d) in cfg.insns() {
+        let Decoded::Insn(insn) = d else { continue };
+        let is_move = matches!(
+            insn.op,
+            Opcode::Move
+                | Opcode::MoveFrom16
+                | Opcode::Move16
+                | Opcode::MoveWide
+                | Opcode::MoveWideFrom16
+                | Opcode::MoveWide16
+                | Opcode::MoveObject
+                | Opcode::MoveObjectFrom16
+                | Opcode::MoveObject16
+        );
+        if is_move && insn.a == insn.b {
+            out.push(Diagnostic::new(
+                Rule::L0002,
+                *pc,
+                format!(
+                    "{} v{a}, v{a} has no effect",
+                    insn.op.mnemonic(),
+                    a = insn.a
+                ),
+            ));
+        }
+    }
+}
+
+fn dead_stores(cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    for block in cfg.blocks() {
+        if !block.reachable {
+            continue;
+        }
+        // A handler could observe intermediate states; skip covered blocks.
+        if block.succs.iter().any(|e| e.kind == EdgeKind::Exception) {
+            continue;
+        }
+        // reg -> pc of the last write not yet read.
+        let mut pending: HashMap<u32, u32> = HashMap::new();
+        let mut reported: Vec<u32> = Vec::new();
+        for &i in &block.insns {
+            let (pc, d) = &cfg.insns()[i];
+            let Decoded::Insn(insn) = d else { continue };
+            let eff = effects(insn);
+            for &(reg, need) in &eff.reads {
+                pending.remove(&reg);
+                if need == Need::Wide {
+                    pending.remove(&(reg + 1));
+                }
+            }
+            if let Some((reg, w)) = eff.write {
+                let width = if matches!(w, Write::Wide) { 2 } else { 1 };
+                for r in reg..reg + width {
+                    if let Some(&store_pc) = pending.get(&r) {
+                        if !reported.contains(&store_pc) {
+                            reported.push(store_pc);
+                            out.push(Diagnostic::new(
+                                Rule::L0003,
+                                store_pc,
+                                format!(
+                                    "value stored to v{r} is overwritten at {pc:#06x} without being read"
+                                ),
+                            ));
+                        }
+                    }
+                    pending.insert(r, *pc);
+                }
+            }
+        }
+    }
+}

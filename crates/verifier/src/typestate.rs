@@ -1,0 +1,102 @@
+//! The register typestate lattice.
+//!
+//! The verifier tracks one [`RegType`] per register. DEX constants are
+//! untyped (a `const/4 v0, 0` may later be used as an int, a float, or a
+//! null reference), so the lattice includes a wildcard [`RegType::Const`];
+//! similarly, `aget`/`iget`/`sget`/`move-result` load category-1 values
+//! whose int/float distinction is not recoverable without the constant
+//! pool, which [`RegType::Any`] models. This keeps the verifier strict on
+//! genuine breakage (undefined reads, broken wide pairs, int/ref clashes)
+//! while accepting the type ambiguity inherent to real Dalvik bytecode.
+
+/// Abstract type of one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegType {
+    /// Never written on this path.
+    Uninit,
+    /// Result of a category-1 `const`: compatible with int, float, and ref.
+    Const,
+    /// An int-like (boolean/byte/char/short/int) value.
+    Int,
+    /// A `float` value.
+    Float,
+    /// A category-1 value of unknown int/float kind (field load, array
+    /// load, invoke result).
+    Any,
+    /// An object or array reference.
+    Ref,
+    /// Low half of a wide (long/double) pair.
+    WideLo,
+    /// High half of a wide pair.
+    WideHi,
+    /// Incompatible definitions merged; unusable until overwritten.
+    Conflict,
+}
+
+impl RegType {
+    /// Lattice join of two incoming states for the same register.
+    pub fn join(self, other: RegType) -> RegType {
+        use RegType::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Uninit, _) | (_, Uninit) | (Conflict, _) | (_, Conflict) => Conflict,
+            (Const, x) | (x, Const) => x,
+            (Int, Float) | (Float, Int) => Any,
+            (Any, Int) | (Int, Any) | (Any, Float) | (Float, Any) => Any,
+            // Ref vs non-ref, or mismatched wide halves: a genuine
+            // category clash.
+            _ => Conflict,
+        }
+    }
+
+    /// Whether a read of this register is a read of *some* defined value
+    /// (possibly half of a wide pair).
+    pub fn is_defined(self) -> bool {
+        !matches!(self, RegType::Uninit | RegType::Conflict)
+    }
+}
+
+/// A register frame: the typestate of every register at one program point.
+pub(crate) fn join_frames(into: &mut [RegType], from: &[RegType]) -> bool {
+    let mut changed = false;
+    for (a, &b) in into.iter_mut().zip(from) {
+        let joined = a.join(b);
+        if joined != *a {
+            *a = joined;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RegType::*;
+
+    #[test]
+    fn join_is_commutative_and_idempotent() {
+        let all = [
+            Uninit, Const, Int, Float, Any, Ref, WideLo, WideHi, Conflict,
+        ];
+        for &a in &all {
+            assert_eq!(a.join(a), a);
+            for &b in &all {
+                assert_eq!(a.join(b), b.join(a));
+            }
+        }
+    }
+
+    #[test]
+    fn const_is_a_wildcard() {
+        assert_eq!(Const.join(Int), Int);
+        assert_eq!(Const.join(Float), Float);
+        assert_eq!(Const.join(Ref), Ref);
+    }
+
+    #[test]
+    fn undefined_paths_conflict() {
+        assert_eq!(Uninit.join(Int), Conflict);
+        assert_eq!(Ref.join(Int), Conflict);
+        assert_eq!(WideLo.join(WideHi), Conflict);
+    }
+}

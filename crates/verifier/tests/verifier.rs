@@ -1,0 +1,338 @@
+//! Integration tests for the bytecode verifier: acceptance of well-formed
+//! methods, rejection of deliberately corrupted ones (with the diagnostic
+//! anchored at the right `dex_pc`), and the lint layer.
+//!
+//! Code units are written by hand; comments give the disassembly. Dalvik
+//! packs `OP | A << 8` into the first unit.
+
+use dexlego_dex::code::{CatchClause, CodeItem, EncodedCatchHandler, TryItem};
+use dexlego_verifier::{
+    is_clean, param_kinds, verify_method, ParamKind, Rule, Severity, VerifyOptions,
+};
+
+fn verify(code: &CodeItem, params: &[ParamKind]) -> Vec<dexlego_verifier::Diagnostic> {
+    verify_method("Lt/T;->m()V", code, params, &VerifyOptions::default())
+}
+
+fn errors(code: &CodeItem, params: &[ParamKind]) -> Vec<(Rule, u32)> {
+    verify(code, params)
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| (d.rule, d.dex_pc))
+        .collect()
+}
+
+// ---- clean methods ----------------------------------------------------------
+
+#[test]
+fn empty_void_method_is_clean() {
+    // return-void
+    let code = CodeItem::new(1, 0, 0, vec![0x000e]);
+    assert!(verify(&code, &[]).is_empty());
+}
+
+#[test]
+fn straight_line_arithmetic_is_clean() {
+    // const/4 v0, #3; const/4 v1, #4; add-int/2addr v0, v1; return v0
+    let code = CodeItem::new(2, 0, 0, vec![0x3012, 0x4112, 0x10b0, 0x000f]);
+    assert!(is_clean(&verify(&code, &[])));
+}
+
+#[test]
+fn parameters_are_defined_in_high_registers() {
+    // Static (IJ)V in 4 registers: params at v1 (int), v2/v3 (wide).
+    // add-int/lit8 v0, v1, #1; return-void
+    let code = CodeItem::new(4, 3, 0, vec![0x00d8, 0x0101, 0x000e]);
+    let params = param_kinds(true, &["I", "J"]);
+    assert_eq!(params, vec![ParamKind::Int, ParamKind::Wide]);
+    assert!(verify(&code, &params).is_empty());
+}
+
+#[test]
+fn wide_parameter_pair_is_usable() {
+    // Static (J)J in 2 registers: long in (v0, v1). return-wide v0
+    let code = CodeItem::new(2, 2, 0, vec![0x0010]);
+    assert!(verify(&code, &param_kinds(true, &["J"])).is_empty());
+}
+
+#[test]
+fn branch_join_of_same_category_is_clean() {
+    // const/4 v0, #0; if-eqz v0, +3; const/4 v1, #1; goto +2;
+    // const/4 v1, #2; return-void   (v1 defined on both paths)
+    let code = CodeItem::new(
+        2,
+        0,
+        0,
+        vec![0x0012, 0x0038, 0x0003, 0x1112, 0x0228, 0x2112, 0x000e],
+    );
+    let diags = verify(&code, &[]);
+    assert!(is_clean(&diags), "{diags:?}");
+}
+
+#[test]
+fn move_result_after_invoke_is_clean() {
+    // invoke-static {}, meth@0; move-result v0; return v0
+    let code = CodeItem::new(1, 0, 0, vec![0x0071, 0x0000, 0x0000, 0x000a, 0x000f]);
+    assert!(is_clean(&verify(&code, &[])));
+}
+
+#[test]
+fn packed_switch_with_payload_is_clean() {
+    // const/4 v0, #1; packed-switch v0, +4; return-void;
+    // payload: ident 0x0100, size 1, first_key 0, target +... back to 0x3.
+    let code = CodeItem::new(
+        1,
+        0,
+        0,
+        vec![
+            0x1012, // 0x0: const/4 v0, #1
+            0x002b, 0x0004, 0x0000, // 0x1: packed-switch v0, @0x5
+            0x000e, // 0x4: return-void
+            0x0100, 0x0001, 0x0000, 0x0000, 0x0003, 0x0000, // 0x5: payload -> +3 (0x4)
+        ],
+    );
+    let diags = verify(&code, &[]);
+    assert!(is_clean(&diags), "{diags:?}");
+}
+
+#[test]
+fn exception_handler_sees_pre_states_of_throwing_code() {
+    // Try range covers a throwing instruction; the handler reads a register
+    // defined before the try and writes the caught exception.
+    // 0x0: const/4 v1, #0
+    // 0x1: new-instance v0, type@0     (can throw -> handler)
+    // 0x3: return-void
+    // 0x4: move-exception v0; 0x5: return-void  (handler)
+    let mut code = CodeItem::new(
+        2,
+        0,
+        0,
+        vec![0x0112, 0x0022, 0x0000, 0x000e, 0x000d, 0x000e],
+    );
+    code.tries.push(TryItem {
+        start_addr: 1,
+        insn_count: 2,
+        handler_index: 0,
+    });
+    code.handlers.push(EncodedCatchHandler {
+        catches: vec![CatchClause {
+            type_idx: 0,
+            addr: 4,
+        }],
+        catch_all_addr: None,
+    });
+    let diags = verify(&code, &[]);
+    assert!(is_clean(&diags), "{diags:?}");
+}
+
+// ---- corrupted methods (the acceptance cases) -------------------------------
+
+#[test]
+fn branch_into_second_code_unit_is_rejected_at_branch_pc() {
+    // 0x0: const/16 v0, #5   (2 units: 0x0 and its literal at 0x1)
+    // 0x2: goto 0x1          (into const/16's second code unit)
+    // The branch itself sits at pc 0x2; the diagnostic must say so.
+    let code = CodeItem::new(1, 0, 0, vec![0x0013, 0x0005, 0xff28]);
+    let errs = errors(&code, &[]);
+    assert!(
+        errs.contains(&(Rule::V0004, 2)),
+        "expected V0004 at pc 2, got {errs:?}"
+    );
+}
+
+#[test]
+fn read_of_uninitialised_register_is_rejected_at_read_pc() {
+    // 0x0: const/4 v0, #0
+    // 0x1: add-int/2addr v0, v1   (v1 never defined)
+    // 0x2: return-void
+    let code = CodeItem::new(2, 0, 0, vec![0x0012, 0x10b0, 0x000e]);
+    let errs = errors(&code, &[]);
+    assert!(
+        errs.contains(&(Rule::V0001, 1)),
+        "expected V0001 at pc 1, got {errs:?}"
+    );
+}
+
+#[test]
+fn conditionally_undefined_register_is_rejected() {
+    // v0 defined on only one of two joining paths:
+    // 0x0: const/4 v1, #0; 0x1: if-eqz v1, +3; 0x3: const/4 v0, #1;
+    // 0x4: add-int/2addr v1, v0  <- v0 is Uninit on the branch-taken path
+    let code = CodeItem::new(
+        2,
+        0,
+        0,
+        vec![0x0112, 0x0138, 0x0003, 0x1012, 0x01b0, 0x000e],
+    );
+    let errs = errors(&code, &[]);
+    assert!(
+        errs.contains(&(Rule::V0001, 4)),
+        "expected V0001 at pc 4, got {errs:?}"
+    );
+}
+
+#[test]
+fn broken_wide_pair_is_rejected() {
+    // const-wide/16 v0, #1; const/4 v1, #0 (clobbers the high half);
+    // return-wide v0
+    let code = CodeItem::new(2, 0, 0, vec![0x0016, 0x0001, 0x1012, 0x0010]);
+    let errs = errors(&code, &[]);
+    assert!(
+        errs.iter().any(|(r, pc)| *r == Rule::V0001 && *pc == 3),
+        "expected V0001 at pc 3 (conflicted low half), got {errs:?}"
+    );
+}
+
+#[test]
+fn wide_half_read_as_single_is_rejected() {
+    // const-wide/16 v0, #1; add-int/2addr v0, v0
+    let code = CodeItem::new(2, 0, 0, vec![0x0016, 0x0001, 0x00b0, 0x000e]);
+    let errs = errors(&code, &[]);
+    assert!(
+        errs.iter().any(|(r, pc)| *r == Rule::V0002 && *pc == 2),
+        "expected V0002 at pc 2, got {errs:?}"
+    );
+}
+
+#[test]
+fn stray_move_result_is_rejected() {
+    // const/4 v0, #0; move-result v0 (no preceding invoke)
+    let code = CodeItem::new(1, 0, 0, vec![0x0012, 0x000a, 0x000e]);
+    let errs = errors(&code, &[]);
+    assert!(
+        errs.contains(&(Rule::V0003, 1)),
+        "expected V0003 at pc 1, got {errs:?}"
+    );
+}
+
+#[test]
+fn fall_through_off_method_end_is_rejected() {
+    // const/4 v0, #0  (no return)
+    let code = CodeItem::new(1, 0, 0, vec![0x0012]);
+    let errs = errors(&code, &[]);
+    assert!(
+        errs.iter().any(|(r, _)| *r == Rule::V0005),
+        "expected V0005, got {errs:?}"
+    );
+}
+
+#[test]
+fn empty_method_is_rejected() {
+    let code = CodeItem::new(1, 0, 0, vec![]);
+    let errs = errors(&code, &[]);
+    assert!(errs.contains(&(Rule::V0005, 0)), "got {errs:?}");
+}
+
+#[test]
+fn register_out_of_frame_is_rejected() {
+    // const/4 v5, #0 in a 2-register frame
+    let code = CodeItem::new(2, 0, 0, vec![0x0512, 0x000e]);
+    let errs = errors(&code, &[]);
+    assert!(
+        errs.iter().any(|(r, pc)| *r == Rule::V0006 && *pc == 0),
+        "expected V0006 at pc 0, got {errs:?}"
+    );
+}
+
+#[test]
+fn float_int_mix_becomes_conflict_free_any_but_ref_mix_conflicts() {
+    // Join of Ref and Int then read -> V0001 (conflict).
+    // 0x0: const/4 v1, #0; 0x1: if-eqz v1, +4;
+    // 0x3: new-instance v0; 0x5: goto +2; 0x6: const/4 v0 ... wait const
+    // joins with everything, use add-int to force Int:
+    // 0x6: add-int/lit8 v0, v1, #0; 0x8: neg-int v0, v0 (reads join)
+    let code = CodeItem::new(
+        2,
+        0,
+        0,
+        vec![
+            0x0112, // 0x0 const/4 v1, #0
+            0x0138, 0x0005, // 0x1 if-eqz v1, +5 -> 0x6
+            0x0022, 0x0000, // 0x3 new-instance v0 (Ref)
+            0x0328, // 0x5 goto +3 -> 0x8
+            0x00d8, 0x0001, // 0x6 add-int/lit8 v0, v1, #0 (Int)  [2 units -> next 0x8]
+            0x007b, // 0x8 neg-int v0, v0 : v0 = Ref join Int = Conflict
+            0x000e, // 0x9 return-void
+        ],
+    );
+    let errs = errors(&code, &[]);
+    assert!(
+        errs.iter().any(|(r, pc)| *r == Rule::V0001 && *pc == 8),
+        "expected V0001 at pc 8, got {errs:?}"
+    );
+}
+
+#[test]
+fn undecodable_bytecode_is_v0000() {
+    // 0x3e is an unused opcode.
+    let code = CodeItem::new(1, 0, 0, vec![0x003e]);
+    let diags = verify(&code, &[]);
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::V0000),
+        "expected V0000, got {diags:?}"
+    );
+}
+
+// ---- lints ------------------------------------------------------------------
+
+#[test]
+fn unreachable_code_is_linted_not_rejected() {
+    // return-void; const/4 v0, #0 (dead)
+    let code = CodeItem::new(1, 0, 0, vec![0x000e, 0x0012]);
+    let diags = verify(&code, &[]);
+    assert!(is_clean(&diags));
+    let lint = diags
+        .iter()
+        .find(|d| d.rule == Rule::L0001)
+        .expect("unreachable lint");
+    assert_eq!(lint.dex_pc, 1);
+    assert_eq!(lint.severity(), Severity::Warning);
+}
+
+#[test]
+fn self_move_is_linted() {
+    // const/4 v0, #0; move v0, v0; return-void
+    let code = CodeItem::new(1, 0, 0, vec![0x0012, 0x0001, 0x000e]);
+    let diags = verify(&code, &[]);
+    assert!(diags.iter().any(|d| d.rule == Rule::L0002 && d.dex_pc == 1));
+}
+
+#[test]
+fn dead_store_is_linted_at_the_dead_store() {
+    // const/4 v0, #1; const/4 v0, #2; return-void — first store is dead.
+    let code = CodeItem::new(1, 0, 0, vec![0x1012, 0x2012, 0x000e]);
+    let diags = verify(&code, &[]);
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::L0003 && d.dex_pc == 0),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn errors_only_suppresses_lints() {
+    let code = CodeItem::new(1, 0, 0, vec![0x000e, 0x0012]);
+    let diags = verify_method("Lt/T;->m()V", &code, &[], &VerifyOptions::errors_only());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn allow_suppresses_a_specific_rule() {
+    let code = CodeItem::new(1, 0, 0, vec![0x0012, 0x0001, 0x000e]);
+    let options = VerifyOptions::default().allow("L0002");
+    let diags = verify_method("Lt/T;->m()V", &code, &[], &options);
+    assert!(!diags.iter().any(|d| d.rule == Rule::L0002));
+}
+
+// ---- diagnostics carry context ----------------------------------------------
+
+#[test]
+fn diagnostics_carry_method_and_format() {
+    let code = CodeItem::new(2, 0, 0, vec![0x0012, 0x10b0, 0x000e]);
+    let diags = verify_method("La/B;->bad()V", &code, &[], &VerifyOptions::default());
+    let d = diags.iter().find(|d| d.rule == Rule::V0001).unwrap();
+    assert_eq!(d.method, "La/B;->bad()V");
+    let text = d.to_string();
+    assert!(text.contains("error[V0001]"), "{text}");
+    assert!(text.contains("La/B;->bad()V"), "{text}");
+    assert!(text.contains("@0x0001"), "{text}");
+}

@@ -65,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Static analysis of the shell finds nothing.
     for tool in all_tools() {
         let verdict = tool.run(&packed.shell_dex);
-        println!("  {:<10} on packed shell : {} leaks", tool.name, verdict.leaks.len());
+        println!(
+            "  {:<10} on packed shell : {} leaks",
+            tool.name,
+            verdict.leaks.len()
+        );
     }
 
     // 4. Execute under DexLego's JIT collection and reassemble.
@@ -87,7 +91,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("serialised revealed DEX: {} bytes", bytes.len());
     for tool in all_tools() {
         let verdict = tool.run(&outcome.dex);
-        println!("  {:<10} on revealed DEX: {} leaks", tool.name, verdict.leaks.len());
+        println!(
+            "  {:<10} on revealed DEX: {} leaks",
+            tool.name,
+            verdict.leaks.len()
+        );
         assert!(verdict.leaky(), "every tool sees the flow after DexLego");
     }
     println!("quickstart OK");

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {:<10} on original  : {}",
             tool.name,
-            if tool.run(&sample.dex).leaky() { "LEAK" } else { "clean" }
+            if tool.run(&sample.dex).leaky() {
+                "LEAK"
+            } else {
+                "clean"
+            }
         );
     }
 

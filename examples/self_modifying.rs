@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {:<10} on DexHunter dump : {}",
             tool.name,
-            if tool.run(&dumped).leaky() { "LEAK" } else { "clean" }
+            if tool.run(&dumped).leaky() {
+                "LEAK"
+            } else {
+                "clean"
+            }
         );
     }
 

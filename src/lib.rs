@@ -16,6 +16,9 @@
 //! * [`packer`] — simulated packing platforms.
 //! * [`analysis`] — static taint engine with FlowDroid/DroidSafe/HornDroid
 //!   capability profiles, dynamic-tracker emulations, metrics.
+//! * [`verifier`] — ART-style static bytecode verifier and lint engine
+//!   (CFG construction, register typestate dataflow, `V####`/`L####`
+//!   diagnostics) gating reassembly output.
 //! * [`droidbench`] — the generated benchmark corpus and app generators.
 //!
 //! See `examples/quickstart.rs` for the end-to-end unpack-and-analyse flow.
@@ -27,3 +30,4 @@ pub use dexlego_dex as dex;
 pub use dexlego_droidbench as droidbench;
 pub use dexlego_packer as packer;
 pub use dexlego_runtime as runtime;
+pub use dexlego_verifier as verifier;

@@ -38,33 +38,105 @@ fn category_verdict_matrix() {
     let cases: Vec<(Category, [bool; 3], [bool; 3])> = vec![
         (Category::Direct, [true, true, true], [true, true, true]),
         (Category::Callback, [true, true, true], [true, true, true]),
-        (Category::ArrayIndexLeak, [true, true, true], [true, true, true]),
+        (
+            Category::ArrayIndexLeak,
+            [true, true, true],
+            [true, true, true],
+        ),
         // Tablet-gated: statically visible, not collectable on a phone.
-        (Category::TabletGated, [true, true, true], [false, false, false]),
+        (
+            Category::TabletGated,
+            [true, true, true],
+            [false, false, false],
+        ),
         // Constant-string reflection: FlowDroid alone lacks reflection.
-        (Category::ReflectionConst, [false, true, true], [true, true, true]),
+        (
+            Category::ReflectionConst,
+            [false, true, true],
+            [true, true, true],
+        ),
         // ICC: FlowDroid misses before *and* after (capability, not hiding).
         (Category::Icc, [false, true, true], [false, true, true]),
         // Implicit flows: HornDroid only, before and after.
-        (Category::Implicit, [false, false, true], [false, false, true]),
+        (
+            Category::Implicit,
+            [false, false, true],
+            [false, false, true],
+        ),
         // Hidden code categories: nobody before, (mostly) everybody after.
-        (Category::ReflectionEncrypted, [false, false, false], [true, true, true]),
+        (
+            Category::ReflectionEncrypted,
+            [false, false, false],
+            [true, true, true],
+        ),
         // Boxed args at unknown index: HornDroid's precise arrays drop it.
-        (Category::ReflectionBoxed, [false, false, false], [true, true, false]),
-        (Category::DynamicLoading, [false, false, false], [true, true, true]),
-        (Category::SelfModifying, [false, false, false], [true, true, true]),
+        (
+            Category::ReflectionBoxed,
+            [false, false, false],
+            [true, true, false],
+        ),
+        (
+            Category::DynamicLoading,
+            [false, false, false],
+            [true, true, true],
+        ),
+        (
+            Category::SelfModifying,
+            [false, false, false],
+            [true, true, true],
+        ),
         // Deep revealed chain exceeds DroidSafe's depth bound.
-        (Category::SelfModifyingDeep, [false, false, false], [true, false, true]),
+        (
+            Category::SelfModifyingDeep,
+            [false, false, false],
+            [true, false, true],
+        ),
         // Benign categories: entries are false-positive flags.
-        (Category::DeadCodeMethod, [true, true, true], [false, false, false]),
-        (Category::DeadCodeBranch, [true, true, true], [false, false, false]),
-        (Category::ArrayUnknownIndex, [true, true, false], [true, true, false]),
-        (Category::OverwriteBenign, [false, true, false], [false, true, false]),
-        (Category::ImplicitBenign, [false, false, true], [false, false, true]),
-        (Category::FuzzPathAll, [false, false, false], [true, true, true]),
-        (Category::FuzzPathFlowInsens, [false, false, false], [false, true, false]),
-        (Category::FuzzPathImplicit, [false, false, false], [false, false, true]),
-        (Category::PlainBenign, [false, false, false], [false, false, false]),
+        (
+            Category::DeadCodeMethod,
+            [true, true, true],
+            [false, false, false],
+        ),
+        (
+            Category::DeadCodeBranch,
+            [true, true, true],
+            [false, false, false],
+        ),
+        (
+            Category::ArrayUnknownIndex,
+            [true, true, false],
+            [true, true, false],
+        ),
+        (
+            Category::OverwriteBenign,
+            [false, true, false],
+            [false, true, false],
+        ),
+        (
+            Category::ImplicitBenign,
+            [false, false, true],
+            [false, false, true],
+        ),
+        (
+            Category::FuzzPathAll,
+            [false, false, false],
+            [true, true, true],
+        ),
+        (
+            Category::FuzzPathFlowInsens,
+            [false, false, false],
+            [false, true, false],
+        ),
+        (
+            Category::FuzzPathImplicit,
+            [false, false, false],
+            [false, false, true],
+        ),
+        (
+            Category::PlainBenign,
+            [false, false, false],
+            [false, false, false],
+        ),
     ];
     let tools = [flowdroid(), droidsafe(), horndroid()];
     for (category, before, after) in cases {
@@ -130,8 +202,7 @@ fn revealed_dexes_are_valid_files() {
     ] {
         let sample = one_of(category);
         let revealed = reveal_with_fuzz(&sample);
-        verify(&revealed, Strictness::Sorted)
-            .unwrap_or_else(|e| panic!("{}: {e}", sample.name));
+        verify(&revealed, Strictness::Sorted).unwrap_or_else(|e| panic!("{}: {e}", sample.name));
         let bytes = dexlego_suite::dex::writer::write_dex(&revealed).unwrap();
         let back = dexlego_suite::dex::reader::read_dex(&bytes).unwrap();
         assert_eq!(back, revealed, "{}", sample.name);
@@ -180,15 +251,15 @@ fn baseline_dump_contains_dynamically_loaded_classes() {
     packed.launch(&mut rt, &mut obs).unwrap();
     for kind in [BaselineKind::DexHunter, BaselineKind::AppSpear] {
         let dumped = dump(&rt, kind).unwrap();
-        let has_payload = dumped
-            .class_defs()
-            .iter()
-            .any(|c| {
-                dumped
-                    .type_descriptor(c.class_idx)
-                    .is_ok_and(|d| d.contains("Payload"))
-            });
-        assert!(has_payload, "{kind:?} dump misses the dynamically loaded class");
+        let has_payload = dumped.class_defs().iter().any(|c| {
+            dumped
+                .type_descriptor(c.class_idx)
+                .is_ok_and(|d| d.contains("Payload"))
+        });
+        assert!(
+            has_payload,
+            "{kind:?} dump misses the dynamically loaded class"
+        );
         assert!(
             flowdroid().run(&dumped).leaky(),
             "{kind:?}: payload flow visible in the dump"

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Full check suite: release build, all tests, clippy as errors, formatting.
+set -eu
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --workspace -- -D warnings
+cargo fmt --check
