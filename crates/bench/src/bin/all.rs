@@ -1,29 +1,48 @@
-//! Regenerates every table and figure in sequence.
+//! Regenerates every table and figure.
+//!
+//! The functional experiments (Tables I–VII, Figure 5) are independent of
+//! each other, so they run as named tasks on the harness worker pool —
+//! Figure 5 rides in Table II's task because it consumes its results. The
+//! two performance experiments (Figure 6, Table VIII) measure wall time and
+//! would be skewed by concurrent load, so they run sequentially afterwards.
+//! Output is printed in the paper's canonical order regardless of
+//! completion order.
+
+use dexlego_harness::{default_workers, run_tasks, Task};
+
 fn main() {
-    let (counts, cells) = dexlego_bench::table1::run();
-    println!("{}", dexlego_bench::table1::format(&counts, &cells));
-    let t2 = dexlego_bench::table2::run();
-    println!("{}", dexlego_bench::table2::format(&t2));
-    println!(
-        "{}",
-        dexlego_bench::fig5::format(&dexlego_bench::fig5::run(&t2))
-    );
-    println!(
-        "{}",
-        dexlego_bench::table4::format(&dexlego_bench::table4::run())
-    );
-    println!(
-        "{}",
-        dexlego_bench::table5::format(&dexlego_bench::table5::run())
-    );
-    println!(
-        "{}",
-        dexlego_bench::table6::format(&dexlego_bench::table6::run())
-    );
-    println!(
-        "{}",
-        dexlego_bench::table7::format(&dexlego_bench::table7::run())
-    );
+    let tasks = vec![
+        Task::new("table1", || {
+            let (counts, cells) = dexlego_bench::table1::run();
+            dexlego_bench::table1::format(&counts, &cells)
+        }),
+        Task::new("table2+fig5", || {
+            let t2 = dexlego_bench::table2::run();
+            format!(
+                "{}\n{}",
+                dexlego_bench::table2::format(&t2),
+                dexlego_bench::fig5::format(&dexlego_bench::fig5::run(&t2))
+            )
+        }),
+        Task::new("table4", || {
+            dexlego_bench::table4::format(&dexlego_bench::table4::run())
+        }),
+        Task::new("table5", || {
+            dexlego_bench::table5::format(&dexlego_bench::table5::run())
+        }),
+        Task::new("table6", || {
+            dexlego_bench::table6::format(&dexlego_bench::table6::run())
+        }),
+        Task::new("table7", || {
+            dexlego_bench::table7::format(&dexlego_bench::table7::run())
+        }),
+    ];
+    for (name, result) in run_tasks(tasks, default_workers()) {
+        match result {
+            Ok(output) => println!("{output}"),
+            Err(e) => panic!("{name} failed: {e}"),
+        }
+    }
     println!(
         "{}",
         dexlego_bench::fig6::format(&dexlego_bench::fig6::run())

@@ -39,16 +39,26 @@ pub fn reveal_sample(sample: &Sample) -> RevealedSample {
     .unwrap_or_else(|e| panic!("{}: reveal failed: {e}", sample.name));
     // Mechanical RQ1 check on every corpus reveal: the reassembled DEX
     // contains everything that was collected.
-    let problems = dexlego_core::pipeline::validate_reveal(&outcome.files, &outcome.dex);
     assert!(
-        problems.is_empty(),
-        "{}: reveal validation failed: {problems:?}",
-        sample.name
+        outcome.validation.is_empty(),
+        "{}: reveal validation failed: {:?}",
+        sample.name,
+        outcome.validation
     );
     RevealedSample {
         dex: outcome.dex,
         dump_size: outcome.dump_size,
     }
+}
+
+/// [`reveal_sample`] over a whole corpus, sharded across the machine's
+/// cores by the batch harness. Order follows `samples`.
+pub fn reveal_samples(samples: &[Sample]) -> Vec<RevealedSample> {
+    dexlego_harness::parallel_map_expect(
+        samples.iter().collect(),
+        dexlego_harness::default_workers(),
+        reveal_sample,
+    )
 }
 
 /// Renders a markdown-ish table row.

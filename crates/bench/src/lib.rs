@@ -19,4 +19,4 @@ pub mod table6;
 pub mod table7;
 pub mod table8;
 
-pub use common::{reveal_sample, RevealedSample};
+pub use common::{reveal_sample, reveal_samples, RevealedSample};

@@ -55,85 +55,98 @@ impl RuntimeObserver for ExecutedMethods {
 }
 
 /// Runs Table I: returns per-app instruction counts and all cells.
+///
+/// The (app, packer) grid is embarrassingly parallel — every cell gets its
+/// own runtime — so the whole table is sharded across the harness pool.
 pub fn run() -> (Vec<(&'static str, usize)>, Vec<Cell>) {
+    let per_app = dexlego_harness::parallel_map_expect(
+        APPS.to_vec(),
+        dexlego_harness::default_workers(),
+        run_app,
+    );
     let mut insn_counts = Vec::new();
     let mut cells = Vec::new();
-    for (name, target) in APPS {
-        let app = generate(&AppSpec::plain_profile(
-            &format!("aosp/{}", name.to_lowercase()),
-            target,
-        ));
-        insn_counts.push((name, app.insn_count));
-        for packer in PackerId::table1() {
-            let packed = pack(&app.dex, &app.entry, packer).expect("packing succeeds");
-            let mut rt = Runtime::new();
-            let mut executed = ExecutedMethods::default();
-            let packed2 = packed.clone();
-            let outcome = reveal(&mut rt, |rt, obs| {
-                let mut chained = dexlego_core::force::ChainMut(&mut executed, obs);
-                if packed2.install_observed(rt, &mut chained).is_err() {
-                    return;
-                }
-                let _ = packed2.launch(rt, &mut chained);
-                // Fire registered callbacks once each.
-                let cbs = rt.callbacks.clone();
-                for cb in cbs {
-                    rt.callback_depth += 1;
-                    let _ = rt.call_method(
-                        &mut chained,
-                        cb.method,
-                        &[Slot::of(cb.receiver), Slot::of(0)],
-                    );
-                    rt.callback_depth -= 1;
-                }
-            });
-            let cell = match outcome {
-                Err(_) => Cell {
-                    app: name,
-                    packer: packer.profile().name,
-                    success: false,
-                    executed_methods: executed.sigs.len(),
-                    reassembled_methods: 0,
-                },
-                Ok(outcome) => {
-                    // Mechanical RQ1 validation: every collected method and
-                    // every collected instruction opcode appears in the
-                    // reassembled DEX.
-                    let problems =
-                        dexlego_core::pipeline::validate_reveal(&outcome.files, &outcome.dex);
-                    let out = &outcome.dex;
-                    let mut present = 0usize;
-                    for sig in &executed.sigs {
-                        let (class, rest) = sig.split_once("->").expect("method sig");
-                        let name_part: String = rest.chars().take_while(|&c| c != '(').collect();
-                        let found = out.find_class(class).is_some_and(|def| {
-                            def.class_data.as_ref().is_some_and(|data| {
-                                data.methods().any(|m| {
-                                    out.method_signature(m.method_idx).is_ok_and(|s| {
-                                        s.starts_with(&format!("{class}->{name_part}("))
-                                    })
-                                })
-                            })
-                        });
-                        if found {
-                            present += 1;
-                        }
-                    }
-                    Cell {
-                        app: name,
-                        packer: packer.profile().name,
-                        success: problems.is_empty()
-                            && present == executed.sigs.len()
-                            && !executed.sigs.is_empty(),
-                        executed_methods: executed.sigs.len(),
-                        reassembled_methods: present,
-                    }
-                }
-            };
-            cells.push(cell);
-        }
+    for (count, app_cells) in per_app {
+        insn_counts.push(count);
+        cells.extend(app_cells);
     }
     (insn_counts, cells)
+}
+
+/// All Table I cells for one application.
+fn run_app((name, target): (&'static str, usize)) -> ((&'static str, usize), Vec<Cell>) {
+    let app = generate(&AppSpec::plain_profile(
+        &format!("aosp/{}", name.to_lowercase()),
+        target,
+    ));
+    let mut cells = Vec::new();
+    for packer in PackerId::table1() {
+        let packed = pack(&app.dex, &app.entry, packer).expect("packing succeeds");
+        let mut rt = Runtime::new();
+        let mut executed = ExecutedMethods::default();
+        let packed2 = packed.clone();
+        let outcome = reveal(&mut rt, |rt, obs| {
+            let mut chained = dexlego_core::force::ChainMut(&mut executed, obs);
+            if packed2.install_observed(rt, &mut chained).is_err() {
+                return;
+            }
+            let _ = packed2.launch(rt, &mut chained);
+            // Fire registered callbacks once each.
+            let cbs = rt.callbacks.clone();
+            for cb in cbs {
+                rt.callback_depth += 1;
+                let _ = rt.call_method(
+                    &mut chained,
+                    cb.method,
+                    &[Slot::of(cb.receiver), Slot::of(0)],
+                );
+                rt.callback_depth -= 1;
+            }
+        });
+        let cell = match outcome {
+            Err(_) => Cell {
+                app: name,
+                packer: packer.profile().name,
+                success: false,
+                executed_methods: executed.sigs.len(),
+                reassembled_methods: 0,
+            },
+            Ok(outcome) => {
+                // Mechanical RQ1 validation (carried on the outcome):
+                // every collected method and every collected instruction
+                // opcode appears in the reassembled DEX.
+                let problems = &outcome.validation;
+                let out = &outcome.dex;
+                let mut present = 0usize;
+                for sig in &executed.sigs {
+                    let (class, rest) = sig.split_once("->").expect("method sig");
+                    let name_part: String = rest.chars().take_while(|&c| c != '(').collect();
+                    let found = out.find_class(class).is_some_and(|def| {
+                        def.class_data.as_ref().is_some_and(|data| {
+                            data.methods().any(|m| {
+                                out.method_signature(m.method_idx)
+                                    .is_ok_and(|s| s.starts_with(&format!("{class}->{name_part}(")))
+                            })
+                        })
+                    });
+                    if found {
+                        present += 1;
+                    }
+                }
+                Cell {
+                    app: name,
+                    packer: packer.profile().name,
+                    success: problems.is_empty()
+                        && present == executed.sigs.len()
+                        && !executed.sigs.is_empty(),
+                    executed_methods: executed.sigs.len(),
+                    reassembled_methods: present,
+                }
+            }
+        };
+        cells.push(cell);
+    }
+    ((name, app.insn_count), cells)
 }
 
 /// Formats Table I.

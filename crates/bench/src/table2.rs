@@ -10,7 +10,7 @@ use dexlego_droidbench::{build_suite, Sample};
 use dexlego_packer::{pack, PackerId};
 use dexlego_runtime::Runtime;
 
-use crate::common::{reveal_sample, EVENTS, SEEDS};
+use crate::common::{reveal_samples, EVENTS, SEEDS};
 
 /// Per-tool confusion counts for one treatment of the corpus.
 #[derive(Debug, Clone)]
@@ -99,15 +99,19 @@ pub fn run() -> Table2Results {
     let original: Vec<(bool, dexlego_dex::DexFile)> =
         suite.iter().map(|s| (s.leaky(), s.dex.clone())).collect();
 
+    // Both corpus treatments are per-sample independent: shard them across
+    // the harness pool (each reveal/unpack builds its own runtime).
     let revealed: Vec<(bool, dexlego_dex::DexFile)> = suite
         .iter()
-        .map(|s| (s.leaky(), reveal_sample(s).dex))
+        .map(Sample::leaky)
+        .zip(reveal_samples(&suite).into_iter().map(|r| r.dex))
         .collect();
 
-    let unpacked: Vec<(bool, dexlego_dex::DexFile)> = suite
-        .iter()
-        .map(|s| (s.leaky(), baseline_unpack(s, BaselineKind::DexHunter)))
-        .collect();
+    let unpacked: Vec<(bool, dexlego_dex::DexFile)> = dexlego_harness::parallel_map_expect(
+        suite.iter().collect(),
+        dexlego_harness::default_workers(),
+        |s: &Sample| (s.leaky(), baseline_unpack(s, BaselineKind::DexHunter)),
+    );
 
     Table2Results {
         original: judge(&tools, &original),

@@ -276,9 +276,12 @@ fn dynamic_detect(tool: DynamicTool, sample: &Sample) -> usize {
 
 /// Runs Table IV.
 pub fn run() -> Vec<Row> {
-    build_samples()
-        .into_iter()
-        .map(|(sample, leaks)| {
+    // One row per sample, each with three tool runs on private runtimes —
+    // sharded across the harness pool.
+    dexlego_harness::parallel_map_expect(
+        build_samples(),
+        dexlego_harness::default_workers(),
+        |(sample, leaks)| {
             let td = dynamic_detect(taintdroid(), &sample);
             let ta = dynamic_detect(taintart(), &sample);
             // DexLego on a real device, then HornDroid on the result.
@@ -305,8 +308,8 @@ pub fn run() -> Vec<Row> {
                 taintart: ta,
                 dexlego_hd: hd,
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Formats Table IV.

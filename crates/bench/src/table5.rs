@@ -128,9 +128,12 @@ pub struct Row {
 /// Runs Table V.
 pub fn run() -> Vec<Row> {
     let packers = PackerId::table1();
-    APPS.iter()
-        .enumerate()
-        .map(|(i, &(package, version, set, installs, flows))| {
+    // Each row packs, analyses, and reveals one app independently; the
+    // harness pool shards the nine rows across cores.
+    dexlego_harness::parallel_map_expect(
+        APPS.iter().enumerate().collect(),
+        dexlego_harness::default_workers(),
+        |(i, &(package, version, set, installs, flows))| {
             let (dex, entry) = build_app(package, flows);
             let packed = pack(&dex, &entry, packers[i % packers.len()]).expect("packs");
             let fd = flowdroid();
@@ -153,8 +156,8 @@ pub fn run() -> Vec<Row> {
                 original,
                 revealed,
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Formats Table V.

@@ -38,8 +38,11 @@ pub fn build_app(package: &str, target: usize) -> GeneratedApp {
 
 /// Runs Table VI.
 pub fn run() -> Vec<Row> {
-    APPS.iter()
-        .map(|&(package, version, target)| {
+    // One independent reveal per app: sharded across the harness pool.
+    dexlego_harness::parallel_map_expect(
+        APPS.to_vec(),
+        dexlego_harness::default_workers(),
+        |(package, version, target)| {
             let app = build_app(package, target);
             let mut rt = Runtime::new();
             let entry = app.entry.clone();
@@ -60,8 +63,8 @@ pub fn run() -> Vec<Row> {
                 insns: app.insn_count,
                 dump_size: outcome.dump_size,
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Formats Table VI.

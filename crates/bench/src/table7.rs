@@ -30,44 +30,53 @@ fn average(reports: &[CoverageReport]) -> CoverageReport {
 
 /// Runs Table VII.
 pub fn run() -> Table7 {
-    let mut fuzz_reports = Vec::new();
-    let mut force_reports = Vec::new();
-    for &(package, _, target) in &APPS {
-        let app = build_app(package, target);
-
-        // Fuzzing alone.
-        {
-            let mut rt = Runtime::new();
-            rt.load_dex(&app.dex, "app").expect("loads");
-            let mut recorder = CoverageRecorder::new();
-            let mut fuzzer = EventFuzzer::new(0xace0_ba5e, 8);
-            for _ in 0..4 {
-                fuzzer.run(&mut rt, &mut recorder, &app.entry);
-            }
-            fuzz_reports.push(measure(&rt, &recorder));
-        }
-
-        // Fuzzing + iterative force execution (Figure 4), with the same
-        // fuzzing session as the "previous execution".
-        {
-            let mut rt = Runtime::new();
-            rt.load_dex(&app.dex, "app").expect("loads");
-            let mut recorder = CoverageRecorder::new();
-            let entry = app.entry.clone();
-            let mut drive = |rt: &mut Runtime, obs: &mut dyn dexlego_runtime::RuntimeObserver| {
-                let mut fuzzer = EventFuzzer::new(0xace0_ba5e, 8);
-                for _ in 0..2 {
-                    fuzzer.run(rt, obs, &entry);
-                }
-            };
-            let (_cov, _stats) = iterative_force(&mut rt, &mut drive, &mut recorder, 6);
-            force_reports.push(measure(&rt, &recorder));
-        }
-    }
+    // Coverage per app is deterministic and runtime-private, so the five
+    // apps shard across the harness pool; averaging happens afterwards.
+    let per_app = dexlego_harness::parallel_map_expect(
+        APPS.to_vec(),
+        dexlego_harness::default_workers(),
+        |(package, _, target)| run_app(package, target),
+    );
+    let (fuzz_reports, force_reports): (Vec<_>, Vec<_>) = per_app.into_iter().unzip();
     Table7 {
         sapienz: average(&fuzz_reports),
         with_force: average(&force_reports),
     }
+}
+
+/// Coverage (fuzzing alone, fuzzing + force execution) for one app.
+fn run_app(package: &str, target: usize) -> (CoverageReport, CoverageReport) {
+    let app = build_app(package, target);
+
+    // Fuzzing alone.
+    let fuzz_report = {
+        let mut rt = Runtime::new();
+        rt.load_dex(&app.dex, "app").expect("loads");
+        let mut recorder = CoverageRecorder::new();
+        let mut fuzzer = EventFuzzer::new(0xace0_ba5e, 8);
+        for _ in 0..4 {
+            fuzzer.run(&mut rt, &mut recorder, &app.entry);
+        }
+        measure(&rt, &recorder)
+    };
+
+    // Fuzzing + iterative force execution (Figure 4), with the same
+    // fuzzing session as the "previous execution".
+    let force_report = {
+        let mut rt = Runtime::new();
+        rt.load_dex(&app.dex, "app").expect("loads");
+        let mut recorder = CoverageRecorder::new();
+        let entry = app.entry.clone();
+        let mut drive = |rt: &mut Runtime, obs: &mut dyn dexlego_runtime::RuntimeObserver| {
+            let mut fuzzer = EventFuzzer::new(0xace0_ba5e, 8);
+            for _ in 0..2 {
+                fuzzer.run(rt, obs, &entry);
+            }
+        };
+        let (_cov, _stats) = iterative_force(&mut rt, &mut drive, &mut recorder, 6);
+        measure(&rt, &recorder)
+    };
+    (fuzz_report, force_report)
 }
 
 /// Formats Table VII.

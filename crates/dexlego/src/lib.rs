@@ -37,11 +37,13 @@ pub mod collect;
 pub mod coverage;
 pub mod files;
 pub mod force;
+pub mod metrics;
 pub mod pipeline;
 pub mod reassemble;
 
 pub use collect::collector::JitCollector;
 pub use files::CollectionFiles;
+pub use metrics::PipelineMetrics;
 pub use pipeline::{reveal, RevealOutcome};
 
 use std::fmt;

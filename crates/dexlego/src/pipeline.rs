@@ -10,7 +10,8 @@ use dexlego_runtime::Runtime;
 use crate::collect::JitCollector;
 use crate::files::CollectionFiles;
 use crate::force::{iterative_force, ForceStats};
-use crate::reassemble::reassemble;
+use crate::metrics::PipelineMetrics;
+use crate::reassemble::reassemble_with_metrics;
 use crate::Result;
 
 /// The result of revealing an application.
@@ -26,6 +27,13 @@ pub struct RevealOutcome {
     /// Warning-severity verifier lints over the reassembled DEX
     /// (error-severity diagnostics abort the pipeline instead).
     pub lints: Vec<dexlego_verifier::Diagnostic>,
+    /// [`validate_reveal`] findings over the outcome (empty = every
+    /// collected method and instruction made it into the reassembled DEX).
+    /// Computed as part of the pipeline so callers cannot forget the check.
+    pub validation: Vec<String>,
+    /// Per-phase timings and counters recorded while producing this
+    /// outcome.
+    pub metrics: PipelineMetrics,
 }
 
 /// Runs `drive` under JIT collection and reassembles the result.
@@ -57,8 +65,9 @@ where
     F: FnMut(&mut Runtime, &mut dyn RuntimeObserver),
 {
     let mut collector = JitCollector::new();
-    drive(rt, &mut collector);
-    finish(rt, collector, None)
+    let mut metrics = PipelineMetrics::new();
+    metrics.time("collect", || drive(rt, &mut collector));
+    finish(rt, collector, None, metrics)
 }
 
 /// Like [`reveal`], but additionally runs the iterative force-execution
@@ -76,8 +85,11 @@ where
     F: FnMut(&mut Runtime, &mut dyn RuntimeObserver),
 {
     let mut collector = JitCollector::new();
-    let (_coverage, stats) = iterative_force(rt, &mut drive, &mut collector, max_iterations);
-    let outcome = finish(rt, collector, Some(stats))?;
+    let mut metrics = PipelineMetrics::new();
+    let (_coverage, stats) = metrics.time("collect", || {
+        iterative_force(rt, &mut drive, &mut collector, max_iterations)
+    });
+    let outcome = finish(rt, collector, Some(stats), metrics)?;
     Ok((outcome, stats))
 }
 
@@ -85,6 +97,10 @@ where
 /// paper's RQ1 manual check): every collected instruction's opcode appears
 /// in the reassembled body of its method (original or a variant), and
 /// every collected method is present.
+///
+/// The pipeline runs this itself and surfaces the findings in
+/// [`RevealOutcome::validation`]; calling it directly is only needed to
+/// cross-validate a collection against some *other* DEX.
 ///
 /// Returns the list of violations (empty = validated).
 pub fn validate_reveal(files: &CollectionFiles, dex: &DexFile) -> Vec<String> {
@@ -144,29 +160,60 @@ pub fn validate_reveal(files: &CollectionFiles, dex: &DexFile) -> Vec<String> {
     problems
 }
 
+/// Reassembles already-collected files into a full [`RevealOutcome`] — the
+/// offline half of the pipeline, shared by [`reveal`], the batch harness
+/// (which collects on worker threads and reassembles from the files), and
+/// tests that tamper with a collection before reassembly.
+///
+/// # Errors
+///
+/// Propagates reassembly failures and verifier rejections, exactly like
+/// [`reveal`].
+pub fn reassemble_collection(files: CollectionFiles) -> Result<RevealOutcome> {
+    finish_files(files, PipelineMetrics::new())
+}
+
 fn finish(
     _rt: &mut Runtime,
     collector: JitCollector,
     _stats: Option<ForceStats>,
+    metrics: PipelineMetrics,
 ) -> Result<RevealOutcome> {
-    let files = collector.into_files();
-    let dump_size = files.to_bytes().len();
-    let dex = reassemble(&files)?;
-    let dex = canonicalize(&dex).map_err(crate::DexLegoError::Dalvik)?;
+    finish_files(collector.into_files(), metrics)
+}
+
+fn finish_files(files: CollectionFiles, mut metrics: PipelineMetrics) -> Result<RevealOutcome> {
+    metrics.count("classes_collected", files.classes.len() as u64);
+    metrics.count("methods_collected", files.methods.len() as u64);
+    metrics.count("insns_collected", files.total_insns() as u64);
+    let dump_size = metrics.time("serialize", || files.to_bytes().len());
+    // `reassemble_with_metrics` records the `tree_merge` and `dexgen`
+    // phases itself.
+    let dex = reassemble_with_metrics(&files, &mut metrics)?;
+    let dex = metrics
+        .time("canonicalize", || canonicalize(&dex))
+        .map_err(crate::DexLegoError::Dalvik)?;
     // Verification gate: the canonicalised DEX is the artifact handed to
     // static analysis, so it is the one that must satisfy the verifier.
     // Error-severity diagnostics abort; lints ride along in the outcome.
-    let diags = dexlego_verifier::verify_dex(&dex, &dexlego_verifier::VerifyOptions::default());
+    let diags = metrics.time("verify", || {
+        dexlego_verifier::verify_dex(&dex, &dexlego_verifier::VerifyOptions::default())
+    });
     let (errors, lints): (Vec<_>, Vec<_>) = diags
         .into_iter()
         .partition(dexlego_verifier::Diagnostic::is_error);
     if !errors.is_empty() {
         return Err(crate::DexLegoError::Verification(errors));
     }
+    let validation = metrics.time("validate", || validate_reveal(&files, &dex));
+    metrics.count("verifier_lints", lints.len() as u64);
+    metrics.count("validation_findings", validation.len() as u64);
     Ok(RevealOutcome {
         files,
         dex,
         dump_size,
         lints,
+        validation,
+        metrics,
     })
 }

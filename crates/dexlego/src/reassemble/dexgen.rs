@@ -9,6 +9,7 @@ use dexlego_dex::value::EncodedValue;
 use dexlego_dex::{AccessFlags, ClassDef, CodeItem, DexFile};
 
 use crate::files::{CollectedValue, CollectionFiles, MethodRecord};
+use crate::metrics::PipelineMetrics;
 use crate::reassemble::tree_merge::{merge_tree, MergeInput};
 use crate::{DexLegoError, Result, INSTRUMENT_CLASS};
 
@@ -90,6 +91,24 @@ impl GuardAlloc {
 /// assert!(dex.find_class("Lcom/dexlego/Modification;").is_some());
 /// ```
 pub fn reassemble(files: &CollectionFiles) -> Result<DexFile> {
+    reassemble_with_metrics(files, &mut PipelineMetrics::new())
+}
+
+/// [`reassemble`] with instrumentation: records the time spent merging
+/// collection trees (`tree_merge`) separately from the rest of DEX
+/// assembly (`dexgen`), plus counters for merged trees and allocated guard
+/// fields, into `metrics`.
+///
+/// # Errors
+///
+/// Same failure modes as [`reassemble`].
+pub fn reassemble_with_metrics(
+    files: &CollectionFiles,
+    metrics: &mut PipelineMetrics,
+) -> Result<DexFile> {
+    let total_start = std::time::Instant::now();
+    let mut merge_time = std::time::Duration::ZERO;
+    let mut trees_merged = 0u64;
     let mut dex = DexFile::new();
     let mut guards = GuardAlloc::default();
 
@@ -189,6 +208,7 @@ pub fn reassemble(files: &CollectionFiles) -> Result<DexFile> {
             // Merge each unique tree, dedup resulting arrays.
             let mut bodies: Vec<CodeItem> = Vec::new();
             for tree in &record.trees {
+                let merge_start = std::time::Instant::now();
                 let body = merge_tree(
                     &mut dex,
                     &mut guards,
@@ -199,6 +219,8 @@ pub fn reassemble(files: &CollectionFiles) -> Result<DexFile> {
                         reflection: method_reflection,
                     },
                 )?;
+                merge_time += merge_start.elapsed();
+                trees_merged += 1;
                 if !bodies.iter().any(|b| b.insns == body.insns) {
                     bodies.push(body);
                 }
@@ -265,6 +287,14 @@ pub fn reassemble(files: &CollectionFiles) -> Result<DexFile> {
     }
 
     guards.emit_instrument_class(&mut dex);
+    let merge_us = merge_time.as_micros() as u64;
+    metrics.record_phase_us("tree_merge", merge_us);
+    metrics.record_phase_us(
+        "dexgen",
+        (total_start.elapsed().as_micros() as u64).saturating_sub(merge_us),
+    );
+    metrics.count("trees_merged", trees_merged);
+    metrics.count("guard_fields", u64::from(guards.count()));
     Ok(dex)
 }
 

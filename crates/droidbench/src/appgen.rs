@@ -333,6 +333,23 @@ fn generate_with_pad(spec: &AppSpec, method_count: usize, remainder: usize) -> G
     }
 }
 
+/// Generates a work-list corpus for batch-extraction runs: `count` plain
+/// (fully reachable) apps with sizes stepping up from `base_insns`, named
+/// `corpus000`, `corpus001`, … Each app runs everything it contains, so a
+/// corpus job's collection is deterministic and its reassembly must
+/// validate cleanly — the property the harness smoke run asserts.
+pub fn corpus_apps(count: usize, base_insns: usize) -> Vec<(String, GeneratedApp)> {
+    (0..count)
+        .map(|i| {
+            let name = format!("corpus{i:03}");
+            // Vary sizes so shards are unevenly loaded, like a real corpus.
+            let target = base_insns + (i * base_insns) / 3;
+            let app = generate(&AppSpec::plain_profile(&format!("corpus/app{i}"), target));
+            (name, app)
+        })
+        .collect()
+}
+
 /// Adds a catch-all try/handler covering the first half of each method in
 /// the named classes, with the handler at the post-return tail.
 fn install_catch_tables(dex: &mut DexFile, class_names: &[String]) {

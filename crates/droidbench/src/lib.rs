@@ -19,4 +19,4 @@ pub mod samples;
 
 pub use categories::Category;
 pub use driver::drive_sample;
-pub use samples::{build_suite, Sample, TamperSpec};
+pub use samples::{build_suite, register_tamper_specs, Sample, TamperSpec};

@@ -70,34 +70,46 @@ impl Sample {
         obs: &mut dyn dexlego_runtime::RuntimeObserver,
     ) -> Result<(), dexlego_runtime::RuntimeError> {
         rt.load_dex_observed(&self.dex, "app", obs)?;
-        for spec in &self.tampers {
-            let target = spec.target.clone();
-            let patches = spec.patches.clone();
-            rt.natives.register(
-                &spec.native_class,
-                &spec.native_name,
-                "(I)V",
-                move |rt, _, args| {
-                    let arg = args.last().copied().unwrap_or_default().as_int();
-                    let class = rt.find_class(&target.0).ok_or_else(|| {
-                        dexlego_runtime::RuntimeError::ClassNotFound(target.0.clone())
-                    })?;
-                    let method = rt
-                        .resolve_method(class, &SigKey::new(&target.1, &target.2))
-                        .ok_or_else(|| {
-                            dexlego_runtime::RuntimeError::MethodNotFound(target.1.clone())
-                        })?;
-                    if let MethodImpl::Bytecode { insns, .. } = &mut rt.method_mut(method).body {
-                        for patch in patches.iter().filter(|p| p.when_arg == arg) {
-                            insns[patch.at..patch.at + patch.units.len()]
-                                .copy_from_slice(&patch.units);
-                        }
-                    }
-                    Ok(RetVal::Void)
-                },
-            );
-        }
+        self.register_tampers(rt);
         Ok(())
+    }
+
+    /// Registers the sample's tamper natives without loading its DEX —
+    /// for drivers (e.g. the batch harness) that install the code some
+    /// other way, such as through a packer shell.
+    pub fn register_tampers(&self, rt: &mut Runtime) {
+        register_tamper_specs(rt, &self.tampers);
+    }
+}
+
+/// Registers tampering natives for a bare list of specs (the form batch
+/// jobs carry, without a full [`Sample`] around them).
+pub fn register_tamper_specs(rt: &mut Runtime, specs: &[TamperSpec]) {
+    for spec in specs {
+        let target = spec.target.clone();
+        let patches = spec.patches.clone();
+        rt.natives.register(
+            &spec.native_class,
+            &spec.native_name,
+            "(I)V",
+            move |rt, _, args| {
+                let arg = args.last().copied().unwrap_or_default().as_int();
+                let class = rt.find_class(&target.0).ok_or_else(|| {
+                    dexlego_runtime::RuntimeError::ClassNotFound(target.0.clone())
+                })?;
+                let method = rt
+                    .resolve_method(class, &SigKey::new(&target.1, &target.2))
+                    .ok_or_else(|| {
+                        dexlego_runtime::RuntimeError::MethodNotFound(target.1.clone())
+                    })?;
+                if let MethodImpl::Bytecode { insns, .. } = &mut rt.method_mut(method).body {
+                    for patch in patches.iter().filter(|p| p.when_arg == arg) {
+                        insns[patch.at..patch.at + patch.units.len()].copy_from_slice(&patch.units);
+                    }
+                }
+                Ok(RetVal::Void)
+            },
+        );
     }
 }
 

@@ -1,0 +1,90 @@
+//! Corpus smoke run: generate a small corpus, shard it across the worker
+//! pool, and fail (exit 1) if any job panics, times out, or fails the
+//! verifier/validation/conformance gates.
+//!
+//! ```text
+//! harness-smoke [--workers N] [--apps N] [--insns N] [--fuel N]
+//!               [--packers all|default] [--no-conformance] [--json PATH]
+//! ```
+
+use std::process::ExitCode;
+
+use dexlego_harness::{corpus, pool};
+
+struct Options {
+    workers: usize,
+    spec: corpus::CorpusSpec,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        workers: pool::default_workers(),
+        spec: corpus::CorpusSpec::default(),
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--workers" => opts.workers = parse(&value("--workers")?)?,
+            "--apps" => opts.spec.apps = parse(&value("--apps")?)?,
+            "--insns" => opts.spec.base_insns = parse(&value("--insns")?)?,
+            "--fuel" => opts.spec.fuel = parse(&value("--fuel")?)?,
+            "--packers" => {
+                opts.spec.packers = match value("--packers")?.as_str() {
+                    "all" => corpus::all_packers(),
+                    "default" => corpus::CorpusSpec::default().packers,
+                    other => return Err(format!("unknown packer set: {other}")),
+                }
+            }
+            "--no-conformance" => opts.spec.conformance = false,
+            "--json" => opts.json = Some(value("--json")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid number: {s}"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("harness-smoke: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let jobs = corpus::work_list(&opts.spec);
+    eprintln!(
+        "harness-smoke: {} jobs ({} apps x {} profiles), {} workers",
+        jobs.len(),
+        opts.spec.apps,
+        opts.spec.packers.len(),
+        opts.workers
+    );
+    let report = pool::run_batch(jobs, &pool::HarnessConfig::with_workers(opts.workers));
+    println!("{}", report.summary());
+    match &opts.json {
+        Some(path) if path == "-" => println!("{}", report.to_json()),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("harness-smoke: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("harness-smoke: report written to {path}");
+        }
+        None => {}
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,106 @@
+//! Corpus construction: (generated app × packer profile) work-lists for
+//! smoke runs and scale experiments.
+
+use dexlego_droidbench::appgen::corpus_apps;
+use dexlego_packer::PackerId;
+
+use crate::job::{JobSpec, DEFAULT_FUEL};
+
+/// Parameters of a generated corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Number of generated apps.
+    pub apps: usize,
+    /// Instruction-count base; app sizes step up from here.
+    pub base_insns: usize,
+    /// Packer profiles to cross with every app (`None` = plain).
+    pub packers: Vec<Option<PackerId>>,
+    /// Fuzzing seeds per job.
+    pub seeds: Vec<u64>,
+    /// Callback events per session.
+    pub events: usize,
+    /// Per-job fuel.
+    pub fuel: u64,
+    /// Whether jobs differentially check extracted behaviour.
+    pub conformance: bool,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> CorpusSpec {
+        CorpusSpec {
+            apps: 4,
+            base_insns: 200,
+            packers: vec![None, Some(PackerId::P360)],
+            seeds: vec![1],
+            events: 2,
+            fuel: DEFAULT_FUEL,
+            conformance: true,
+        }
+    }
+}
+
+/// Every packer profile plus the plain (unpacked) configuration — the full
+/// Table I sweep.
+pub fn all_packers() -> Vec<Option<PackerId>> {
+    vec![
+        None,
+        Some(PackerId::P360),
+        Some(PackerId::Alibaba),
+        Some(PackerId::Tencent),
+        Some(PackerId::Baidu),
+        Some(PackerId::Bangcle),
+        Some(PackerId::Advanced),
+    ]
+}
+
+/// Builds the job list: the cross product of generated apps and packer
+/// profiles, named `corpus000@plain`, `corpus000@360`, …
+pub fn work_list(spec: &CorpusSpec) -> Vec<JobSpec> {
+    let apps = corpus_apps(spec.apps, spec.base_insns);
+    let mut jobs = Vec::with_capacity(apps.len() * spec.packers.len());
+    for (name, app) in &apps {
+        for &packer in &spec.packers {
+            let tag = packer.map_or("plain", |id| id.profile().name);
+            let mut job = JobSpec::new(&format!("{name}@{tag}"), app.dex.clone(), &app.entry);
+            job.packer = packer;
+            job.seeds = spec.seeds.clone();
+            job.events = spec.events;
+            job.fuel = spec.fuel;
+            job.check_conformance = spec.conformance;
+            jobs.push(job);
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_list_is_the_cross_product() {
+        let spec = CorpusSpec {
+            apps: 2,
+            base_insns: 80,
+            packers: all_packers(),
+            ..CorpusSpec::default()
+        };
+        let jobs = work_list(&spec);
+        assert_eq!(jobs.len(), 2 * 7);
+        assert_eq!(jobs[0].name, "corpus000@plain");
+        assert_eq!(jobs[1].name, "corpus000@360");
+        // Names are unique.
+        let mut names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+        // The re-hiding profile drives onCreate only (see
+        // JobSpec::effective_events).
+        let advanced = jobs
+            .iter()
+            .find(|j| j.packer == Some(PackerId::Advanced))
+            .unwrap();
+        assert_eq!(advanced.effective_events(), 0);
+        assert!(jobs[0].effective_events() > 0);
+    }
+}

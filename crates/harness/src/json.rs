@@ -1,0 +1,57 @@
+//! Minimal hand-rolled JSON emission (the workspace is dependency-free, so
+//! there is no serde). Only what the run report needs: objects, arrays,
+//! strings, and unsigned integers.
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON string literal, quotes included.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// An object from already-serialised `(key, value)` members.
+pub fn object(members: &[(&str, String)]) -> String {
+    let body: Vec<String> = members
+        .iter()
+        .map(|(k, v)| format!("{}: {v}", string(k)))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// An array from already-serialised elements.
+pub fn array(elements: &[String]) -> String {
+    format!("[{}]", elements.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn composes_objects() {
+        let o = object(&[("a", "1".to_owned()), ("b", string("x"))]);
+        assert_eq!(o, "{\"a\": 1, \"b\": \"x\"}");
+        assert_eq!(array(&["1".to_owned(), "2".to_owned()]), "[1, 2]");
+    }
+}

@@ -1,0 +1,63 @@
+#![forbid(unsafe_code)]
+
+//! The corpus-scale batch-extraction harness.
+//!
+//! DexLego's evaluation runs the collect/reassemble pipeline over whole
+//! corpora of (application, packer-profile) pairs. This crate makes such
+//! runs practical:
+//!
+//! - **Sharding** ([`pool`]): a work-list of [`JobSpec`]s is fed through a
+//!   bounded queue to a `std::thread` worker pool; results stream back and
+//!   are reassembled in submission order.
+//! - **Fault isolation** ([`job`]): each job runs in its own freshly
+//!   constructed [`Runtime`], wrapped in `catch_unwind` so a panicking
+//!   interpreter run is reported as a failed job instead of killing the
+//!   batch, and with a *fuel* (instruction-budget) timeout so a runaway
+//!   loop in a sample becomes a reported [`JobStatus::Timeout`].
+//! - **Reporting** ([`report`]): every job yields a structured
+//!   [`JobReport`] — status, collection counts, reassembly/verifier
+//!   outcome, wall time, interpreted-instruction count, and the per-phase
+//!   pipeline timings recorded by [`dexlego_core::PipelineMetrics`] —
+//!   aggregated into a [`RunReport`] serialisable as JSON.
+//! - **Conformance** ([`conformance`]): differential checking that the
+//!   extracted+reassembled DEX behaves like the original — equal observable
+//!   event streams (method entries, field writes, branch outcomes).
+//! - **Corpus generation** ([`corpus`]): work-lists over generated apps ×
+//!   packer profiles for smoke runs and scale experiments.
+//!
+//! The generic layer ([`pool::parallel_map`], [`pool::run_tasks`]) is what
+//! `dexlego-bench` uses to execute every paper experiment with parallel
+//! execution and panic capture.
+//!
+//! [`Runtime`]: dexlego_runtime::Runtime
+//! [`JobStatus::Timeout`]: job::JobStatus::Timeout
+//!
+//! # Example
+//!
+//! ```
+//! use dexlego_harness::{corpus, pool};
+//!
+//! let spec = corpus::CorpusSpec {
+//!     apps: 2,
+//!     base_insns: 80,
+//!     ..corpus::CorpusSpec::default()
+//! };
+//! let jobs = corpus::work_list(&spec);
+//! let report = pool::run_batch(jobs, &pool::HarnessConfig::with_workers(2));
+//! assert!(report.ok(), "{}", report.summary());
+//! ```
+
+pub mod conformance;
+pub mod corpus;
+pub mod job;
+mod json;
+pub mod pool;
+pub mod report;
+
+pub use conformance::{check_reveal, diff_traces, trace_app, TraceEvent, TraceRecorder};
+pub use corpus::{all_packers, work_list, CorpusSpec};
+pub use job::{execute_job, JobSpec, JobStatus, DEFAULT_FUEL};
+pub use pool::{
+    default_workers, parallel_map, parallel_map_expect, run_batch, run_tasks, HarnessConfig, Task,
+};
+pub use report::{JobReport, RunReport};

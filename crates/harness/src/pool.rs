@@ -1,0 +1,251 @@
+//! The sharded worker pool.
+//!
+//! Two layers:
+//!
+//! * [`run_batch`] — the harness proper: feeds [`JobSpec`]s through a
+//!   *bounded* queue (`sync_channel`) to `std::thread` workers, each of
+//!   which executes jobs via [`execute_job`] (own runtime, panic capture,
+//!   fuel timeout) and streams [`JobReport`]s back; results are reassembled
+//!   in submission order into a [`RunReport`].
+//! * [`parallel_map`] / [`run_tasks`] — the generic work-stealing layer the
+//!   bench drivers use: apply a function (or a list of boxed tasks) across
+//!   a worker pool with per-item panic capture.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, sync_channel};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::job::{execute_job, panic_message, JobSpec};
+use crate::report::{JobReport, RunReport};
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Worker-pool configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Bounded job-queue depth. Small on purpose: job specs carry whole
+    /// DEX models, and a deep queue would just hold memory that workers
+    /// cannot get to yet.
+    pub queue_depth: usize,
+}
+
+impl HarnessConfig {
+    /// A config with `workers` threads and a queue depth of twice that.
+    pub fn with_workers(workers: usize) -> HarnessConfig {
+        let workers = workers.max(1);
+        HarnessConfig {
+            workers,
+            queue_depth: workers * 2,
+        }
+    }
+}
+
+impl Default for HarnessConfig {
+    fn default() -> HarnessConfig {
+        HarnessConfig::with_workers(default_workers())
+    }
+}
+
+/// Runs every job across the worker pool and aggregates the reports in
+/// submission order. Individual job failures (panic, timeout, verifier
+/// rejection, …) are recorded in their report and never abort the batch.
+pub fn run_batch(jobs: Vec<JobSpec>, config: &HarnessConfig) -> RunReport {
+    let start = Instant::now();
+    let n = jobs.len();
+    let workers = config.workers.max(1).min(n.max(1));
+    let (job_tx, job_rx) = sync_channel::<(usize, JobSpec)>(config.queue_depth.max(1));
+    let job_rx = Mutex::new(job_rx);
+    let (report_tx, report_rx) = channel::<(usize, JobReport)>();
+    let mut slots: Vec<Option<JobReport>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = &job_rx;
+            let report_tx = report_tx.clone();
+            scope.spawn(move || loop {
+                // Hold the lock only for the dequeue, not the job.
+                let next = job_rx.lock().expect("job queue lock").recv();
+                let Ok((index, spec)) = next else { break };
+                let report = execute_job(spec);
+                if report_tx.send((index, report)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(report_tx);
+        // The bounded send blocks once `queue_depth` jobs are in flight,
+        // so producing and consuming overlap instead of buffering the
+        // whole corpus. Reports drain afterwards; the report channel is
+        // unbounded, so workers never block on it.
+        for item in jobs.into_iter().enumerate() {
+            job_tx.send(item).expect("a worker is always receiving");
+        }
+        drop(job_tx);
+        for (index, report) in report_rx {
+            slots[index] = Some(report);
+        }
+    });
+
+    RunReport {
+        workers,
+        wall_us: start.elapsed().as_micros() as u64,
+        jobs: slots
+            .into_iter()
+            .map(|s| s.expect("every job reports exactly once"))
+            .collect(),
+    }
+}
+
+/// Applies `f` to every item on a pool of `workers` threads, preserving
+/// order. Each application is individually panic-captured: a panicking item
+/// yields `Err(message)` without disturbing its neighbours.
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<Result<R, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let items = &items;
+            let results = &results;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = items[i]
+                    .lock()
+                    .expect("item lock")
+                    .take()
+                    .expect("each index claimed once");
+                let out = catch_unwind(AssertUnwindSafe(|| f(item)))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                *results[i].lock().expect("result lock") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result lock")
+                .expect("every index processed")
+        })
+        .collect()
+}
+
+/// [`parallel_map`] for infallible work: panics (with the original message)
+/// if any item panicked. Bench drivers use this where a failure should
+/// fail the whole experiment.
+pub fn parallel_map_expect<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map(items, workers, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("parallel task failed: {e}")))
+        .collect()
+}
+
+/// A named unit of heterogeneous work for [`run_tasks`].
+pub struct Task<R> {
+    /// Display name (used in error reporting).
+    pub name: String,
+    /// The work itself.
+    pub run: Box<dyn FnOnce() -> R + Send>,
+}
+
+impl<R> Task<R> {
+    /// Boxes `run` under `name`.
+    pub fn new(name: &str, run: impl FnOnce() -> R + Send + 'static) -> Task<R> {
+        Task {
+            name: name.to_owned(),
+            run: Box::new(run),
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for Task<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task").field("name", &self.name).finish()
+    }
+}
+
+/// Runs named tasks across the pool, returning `(name, result)` pairs in
+/// submission order.
+pub fn run_tasks<R: Send>(tasks: Vec<Task<R>>, workers: usize) -> Vec<(String, Result<R, String>)> {
+    let names: Vec<String> = tasks.iter().map(|t| t.name.clone()).collect();
+    let results = parallel_map(tasks, workers, |t| (t.run)());
+    names.into_iter().zip(results).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..37).collect(), 4, |i: i32| i * 2);
+        assert_eq!(out.len(), 37);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i as i32 * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_map_captures_panics_per_item() {
+        let out = parallel_map(vec![1, 2, 3], 2, |i: i32| {
+            assert!(i != 2, "item two explodes");
+            i
+        });
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[2], Ok(3));
+        let err = out[1].as_ref().unwrap_err();
+        assert!(err.contains("item two explodes"), "{err}");
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single_worker() {
+        assert!(parallel_map(Vec::<i32>::new(), 4, |i| i).is_empty());
+        let out = parallel_map(vec![5, 6], 1, |i: i32| i + 1);
+        assert_eq!(out, vec![Ok(6), Ok(7)]);
+    }
+
+    #[test]
+    fn run_tasks_names_results() {
+        let tasks = vec![
+            Task::new("fine", || 1),
+            Task::new("broken", || panic!("nope")),
+        ];
+        let out = run_tasks(tasks, 2);
+        assert_eq!(out[0].0, "fine");
+        assert_eq!(out[0].1, Ok(1));
+        assert_eq!(out[1].0, "broken");
+        assert!(out[1].1.as_ref().unwrap_err().contains("nope"));
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+        assert!(HarnessConfig::default().queue_depth >= 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Structured run reports.
+//!
+//! Every job produces a [`JobReport`]; [`run_batch`](crate::pool::run_batch)
+//! aggregates them into a [`RunReport`]. Both serialise to JSON (hand-rolled
+//! — the workspace is dependency-free) so corpus runs can be archived and
+//! compared across revisions.
+
+use dexlego_core::RevealOutcome;
+
+use crate::job::JobStatus;
+use crate::json;
+
+/// Everything recorded about one job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Job name from the spec.
+    pub name: String,
+    /// Packer profile display name, if the app was packed.
+    pub packer: Option<&'static str>,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Wall-clock time of the whole job, microseconds.
+    pub wall_us: u64,
+    /// Bytecode instructions interpreted while driving the app.
+    pub insns: u64,
+    /// Method frames entered while driving the app.
+    pub frames: u64,
+    /// Methods with collected trees.
+    pub methods_collected: usize,
+    /// Instructions collected across all trees.
+    pub insns_collected: u64,
+    /// Serialised collection-file size in bytes.
+    pub dump_size: usize,
+    /// Warning-severity verifier lints on the reassembled DEX.
+    pub verifier_lints: usize,
+    /// Per-phase pipeline timings in microseconds, in execution order
+    /// (collect, serialize, tree_merge, dexgen, canonicalize, verify,
+    /// validate).
+    pub phases_us: Vec<(String, u64)>,
+}
+
+impl JobReport {
+    /// A zeroed report carrying only identity; callers fill in what the
+    /// job managed to produce before it stopped.
+    pub fn empty(name: String, packer: Option<&'static str>) -> JobReport {
+        JobReport {
+            name,
+            packer,
+            status: JobStatus::Ok,
+            wall_us: 0,
+            insns: 0,
+            frames: 0,
+            methods_collected: 0,
+            insns_collected: 0,
+            dump_size: 0,
+            verifier_lints: 0,
+            phases_us: Vec::new(),
+        }
+    }
+
+    /// Copies collection counts and phase timings out of a reveal outcome.
+    pub fn absorb(&mut self, outcome: &RevealOutcome) {
+        self.methods_collected = outcome.files.methods.len();
+        self.insns_collected = outcome.metrics.counter("insns_collected").unwrap_or(0);
+        self.dump_size = outcome.dump_size;
+        self.verifier_lints = outcome.lints.len();
+        self.phases_us = outcome
+            .metrics
+            .phases()
+            .iter()
+            .map(|&(name, us)| (name.to_owned(), us))
+            .collect();
+    }
+
+    /// Whether the job failed.
+    pub fn failed(&self) -> bool {
+        !self.status.is_ok()
+    }
+
+    /// Timing of a named phase, if recorded.
+    pub fn phase_us(&self, phase: &str) -> Option<u64> {
+        self.phases_us
+            .iter()
+            .find(|(name, _)| name == phase)
+            .map(|&(_, us)| us)
+    }
+
+    /// This job as a JSON object.
+    pub fn to_json(&self) -> String {
+        let phases: Vec<(&str, String)> = self
+            .phases_us
+            .iter()
+            .map(|(name, us)| (name.as_str(), us.to_string()))
+            .collect();
+        json::object(&[
+            ("name", json::string(&self.name)),
+            (
+                "packer",
+                self.packer.map_or("null".to_owned(), json::string),
+            ),
+            ("status", json::string(self.status.label())),
+            (
+                "detail",
+                self.status
+                    .detail()
+                    .map_or("null".to_owned(), |d| json::string(&d)),
+            ),
+            ("wall_us", self.wall_us.to_string()),
+            ("insns", self.insns.to_string()),
+            ("frames", self.frames.to_string()),
+            ("methods_collected", self.methods_collected.to_string()),
+            ("insns_collected", self.insns_collected.to_string()),
+            ("dump_size", self.dump_size.to_string()),
+            ("verifier_lints", self.verifier_lints.to_string()),
+            ("phases_us", json::object(&phases)),
+        ])
+    }
+}
+
+/// Aggregate result of a batch run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch, microseconds.
+    pub wall_us: u64,
+    /// Per-job reports, in submission order.
+    pub jobs: Vec<JobReport>,
+}
+
+impl RunReport {
+    /// Whether every job succeeded.
+    pub fn ok(&self) -> bool {
+        self.jobs.iter().all(|j| !j.failed())
+    }
+
+    /// The jobs that failed.
+    pub fn failed(&self) -> Vec<&JobReport> {
+        self.jobs.iter().filter(|j| j.failed()).collect()
+    }
+
+    /// One-line human summary, plus one line per failed job.
+    pub fn summary(&self) -> String {
+        let failed = self.failed();
+        let mut out = format!(
+            "{} jobs: {} ok, {} failed ({} workers, {:.1} ms)",
+            self.jobs.len(),
+            self.jobs.len() - failed.len(),
+            failed.len(),
+            self.workers,
+            self.wall_us as f64 / 1000.0
+        );
+        for job in failed {
+            out.push_str(&format!(
+                "\n  FAILED {} [{}]{}",
+                job.name,
+                job.status.label(),
+                job.status
+                    .detail()
+                    .map_or(String::new(), |d| format!(": {d}"))
+            ));
+        }
+        out
+    }
+
+    /// The whole run as a JSON document.
+    pub fn to_json(&self) -> String {
+        let jobs: Vec<String> = self.jobs.iter().map(JobReport::to_json).collect();
+        json::object(&[
+            ("workers", self.workers.to_string()),
+            ("wall_us", self.wall_us.to_string()),
+            ("ok", self.ok().to_string()),
+            ("jobs", json::array(&jobs)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(status: JobStatus) -> JobReport {
+        JobReport {
+            status,
+            wall_us: 1500,
+            phases_us: vec![("collect".to_owned(), 42), ("verify".to_owned(), 7)],
+            ..JobReport::empty("j1".to_owned(), Some("360"))
+        }
+    }
+
+    #[test]
+    fn json_includes_status_and_phases() {
+        let j = sample_report(JobStatus::Ok).to_json();
+        assert!(j.contains("\"status\": \"ok\""), "{j}");
+        assert!(j.contains("\"detail\": null"), "{j}");
+        assert!(
+            j.contains("\"phases_us\": {\"collect\": 42, \"verify\": 7}"),
+            "{j}"
+        );
+        let j = sample_report(JobStatus::Panicked("boom \"quoted\"".to_owned())).to_json();
+        assert!(j.contains("\"status\": \"panicked\""), "{j}");
+        assert!(j.contains("boom \\\"quoted\\\""), "{j}");
+    }
+
+    #[test]
+    fn run_report_summarises_failures() {
+        let run = RunReport {
+            workers: 2,
+            wall_us: 2000,
+            jobs: vec![
+                sample_report(JobStatus::Ok),
+                sample_report(JobStatus::Timeout),
+            ],
+        };
+        assert!(!run.ok());
+        assert_eq!(run.failed().len(), 1);
+        let s = run.summary();
+        assert!(s.contains("1 ok, 1 failed"), "{s}");
+        assert!(s.contains("FAILED j1 [timeout]"), "{s}");
+        assert!(run.to_json().contains("\"ok\": false"));
+    }
+
+    #[test]
+    fn phase_lookup() {
+        let j = sample_report(JobStatus::Ok);
+        assert_eq!(j.phase_us("collect"), Some(42));
+        assert_eq!(j.phase_us("missing"), None);
+    }
+}

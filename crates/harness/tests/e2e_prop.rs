@@ -1,0 +1,70 @@
+//! End-to-end property tests over the whole extraction stack: a generated
+//! builder app, packed with a randomly chosen profile, must reveal,
+//! reassemble, verify, pass the mechanical validation and differential
+//! conformance gates, and the reassembled DEX must round-trip bit-stably
+//! through the writer/reader.
+//!
+//! Failing cases persist their RNG state in `e2e_prop.proptest-regressions`
+//! (checked in) and are replayed before fresh cases on every run.
+
+use dexlego_core::pipeline::reveal;
+use dexlego_dex::{reader, writer};
+use dexlego_droidbench::appgen::{generate, AppSpec};
+use dexlego_droidbench::{drive_sample, Category, Sample};
+use dexlego_harness::{all_packers, execute_job, JobSpec};
+use dexlego_runtime::Runtime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Builder app → pack (one of the six profiles, or none) → reveal →
+    /// reassemble → verify: the job must come out clean, including the
+    /// validation and conformance gates.
+    #[test]
+    fn any_profile_extracts_cleanly(
+        insns in 60usize..240,
+        seed in 1u64..512,
+        pick in 0usize..7,
+    ) {
+        let profile = all_packers()[pick];
+        let app = generate(&AppSpec::plain_profile("prop/e2e", insns));
+        let mut job = JobSpec::new("e2e", app.dex, &app.entry);
+        job.packer = profile;
+        job.seeds = vec![seed];
+        job.check_conformance = true;
+        let report = execute_job(job);
+        prop_assert!(
+            report.status.is_ok(),
+            "insns={insns} seed={seed} profile={:?}: {:?}",
+            profile,
+            report.status
+        );
+    }
+
+    /// The revealed DEX is a well-formed file: writing, re-reading, and
+    /// writing again is byte-stable.
+    #[test]
+    fn revealed_dex_roundtrips(insns in 60usize..240, seed in 1u64..512) {
+        let app = generate(&AppSpec::plain_profile("prop/rt", insns));
+        let sample = Sample {
+            name: "prop-rt".into(),
+            category: Category::Direct,
+            dex: app.dex.clone(),
+            entry: app.entry.clone(),
+            tampers: vec![],
+        };
+        let mut rt = Runtime::new();
+        let outcome = reveal(&mut rt, |rt, obs| {
+            if sample.install(rt, obs).is_err() {
+                return;
+            }
+            drive_sample(rt, obs, &sample, seed, 3);
+        })
+        .expect("reveal succeeds");
+        let bytes1 = writer::write_dex(&outcome.dex).expect("writes");
+        let back = reader::read_dex(&bytes1).expect("re-reads");
+        let bytes2 = writer::write_dex(&back).expect("re-writes");
+        prop_assert_eq!(bytes1, bytes2, "insns={} seed={}", insns, seed);
+    }
+}

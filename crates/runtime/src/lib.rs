@@ -65,5 +65,5 @@ pub use class::{ClassId, FieldId, MethodId};
 pub use events::RuntimeEvent;
 pub use heap::{Heap, ObjKind, ObjRef};
 pub use observer::RuntimeObserver;
-pub use runtime::{Runtime, RuntimeError};
+pub use runtime::{Env, Runtime, RuntimeError};
 pub use value::{RetVal, Slot};

@@ -9,7 +9,7 @@
 //! callback registration, and the reflection API.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::class::{MethodId, SigKey};
 use crate::events::{RuntimeEvent, SinkKind, SourceKind};
@@ -19,7 +19,11 @@ use crate::runtime::{Result, Runtime, RuntimeError};
 use crate::value::{RetVal, Slot, WideValue};
 
 /// Signature of a native-method implementation.
-pub type NativeFn = Rc<dyn Fn(&mut Runtime, &mut dyn RuntimeObserver, &[Slot]) -> Result<RetVal>>;
+///
+/// Implementations are `Send + Sync` so a [`Runtime`] (and anything
+/// capturing one, e.g. a batch-harness job) can move across worker threads.
+pub type NativeFn =
+    Arc<dyn Fn(&mut Runtime, &mut dyn RuntimeObserver, &[Slot]) -> Result<RetVal> + Send + Sync>;
 
 /// Registry of native methods keyed by
 /// `"Lclass;->name(descriptor)return"` strings.
@@ -53,10 +57,13 @@ impl NativeRegistry {
         class_desc: &str,
         name: &str,
         descriptor: &str,
-        f: impl Fn(&mut Runtime, &mut dyn RuntimeObserver, &[Slot]) -> Result<RetVal> + 'static,
+        f: impl Fn(&mut Runtime, &mut dyn RuntimeObserver, &[Slot]) -> Result<RetVal>
+            + Send
+            + Sync
+            + 'static,
     ) {
         self.table
-            .insert(native_key(class_desc, name, descriptor), Rc::new(f));
+            .insert(native_key(class_desc, name, descriptor), Arc::new(f));
     }
 
     /// Looks up an implementation.
@@ -82,7 +89,10 @@ pub fn register_native(
     name: &str,
     params: &[&str],
     return_type: &str,
-    f: impl Fn(&mut Runtime, &mut dyn RuntimeObserver, &[Slot]) -> Result<RetVal> + 'static,
+    f: impl Fn(&mut Runtime, &mut dyn RuntimeObserver, &[Slot]) -> Result<RetVal>
+        + Send
+        + Sync
+        + 'static,
 ) -> MethodId {
     let id = rt.register_native_method(class_desc, name, params, return_type);
     let descriptor = rt.method(id).descriptor.clone();

@@ -252,6 +252,15 @@ impl Runtime {
         rt
     }
 
+    /// Creates a runtime with a caller-supplied [`Env`] — the re-entrant
+    /// construction used by batch harnesses, where every job gets its own
+    /// runtime with its own instruction (fuel) budget and depth limit.
+    pub fn with_env(env: Env) -> Runtime {
+        let mut rt = Runtime::new();
+        rt.env = env;
+        rt
+    }
+
     // ---- class/method/field access ----------------------------------------
 
     /// The class with the given id.
@@ -595,6 +604,30 @@ impl Runtime {
 mod tests {
     use super::*;
     use crate::observer::NullObserver;
+
+    #[test]
+    fn runtime_is_send() {
+        // Batch harnesses move whole runtimes (inside job closures) across
+        // worker threads; a non-Send field regression breaks corpus-scale
+        // extraction, so pin the bound here.
+        fn assert_send<T: Send>() {}
+        assert_send::<Runtime>();
+    }
+
+    #[test]
+    fn with_env_applies_budget_and_depth() {
+        let env = Env {
+            insn_budget: 123,
+            max_depth: 7,
+            ..Env::default()
+        };
+        let rt = Runtime::with_env(env);
+        assert_eq!(rt.env.insn_budget, 123);
+        assert_eq!(rt.env.max_depth, 7);
+        // The framework natives are still registered (re-entrant construction
+        // must not skip initialisation).
+        assert!(!rt.natives.is_empty());
+    }
 
     #[test]
     fn stub_classes_chain_to_object() {

@@ -4,6 +4,12 @@
 //! (see `vendor/README.md`). Generation is deterministic (fixed-seed
 //! xorshift) and there is no shrinking: on failure the generated input is
 //! printed and the panic re-raised.
+//!
+//! Like upstream, failing cases persist: the [`proptest!`] macro records
+//! the RNG state of a failing case as a `cc <16-hex>` line in a
+//! `<test-file>.proptest-regressions` sibling of the test source, and
+//! replays every recorded state before generating fresh cases, so a fixed
+//! bug's witness keeps guarding against regressions.
 
 pub mod test_runner {
     /// Deterministic xorshift64* generator.
@@ -13,6 +19,19 @@ pub mod test_runner {
     impl TestRng {
         pub fn new(seed: u64) -> TestRng {
             TestRng(seed | 1)
+        }
+
+        /// The full internal state; feed to [`TestRng::from_state`] to
+        /// reproduce the exact upcoming value stream.
+        pub fn state(&self) -> u64 {
+            self.0
+        }
+
+        /// Rebuilds a generator at a previously captured [`state`].
+        ///
+        /// [`state`]: TestRng::state
+        pub fn from_state(state: u64) -> TestRng {
+            TestRng(state | 1)
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -81,16 +100,132 @@ pub mod test_runner {
             S::Value: std::fmt::Debug,
             F: Fn(S::Value),
         {
+            self.run_inner(strategy, None, test);
+        }
+
+        /// [`run`] with failure persistence: previously recorded failing
+        /// RNG states from `source_file`'s regressions sibling replay
+        /// first, and a fresh failure appends its state there.
+        ///
+        /// `source_file` is the test's `file!()` — workspace-relative,
+        /// while the test's working directory is the *package* root, so
+        /// the file is located by walking up the ancestor directories.
+        ///
+        /// [`run`]: TestRunner::run
+        pub fn run_persisted<S, F>(&mut self, strategy: &S, source_file: &str, test: F)
+        where
+            S: crate::strategy::Strategy,
+            S::Value: std::fmt::Debug,
+            F: Fn(S::Value),
+        {
+            self.run_inner(
+                strategy,
+                crate::persistence::regressions_path(source_file),
+                test,
+            );
+        }
+
+        fn run_inner<S, F>(
+            &mut self,
+            strategy: &S,
+            regressions: Option<std::path::PathBuf>,
+            test: F,
+        ) where
+            S: crate::strategy::Strategy,
+            S::Value: std::fmt::Debug,
+            F: Fn(S::Value),
+        {
+            if let Some(path) = &regressions {
+                for state in crate::persistence::load(path) {
+                    let mut rng = TestRng::from_state(state);
+                    let value = strategy.new_value(&mut rng);
+                    let shown = format!("{value:?}");
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest: persisted regression cc {state:016x} still fails: {shown}"
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
             for case in 0..self.config.cases {
+                let state = self.rng.state();
                 let value = strategy.new_value(&mut self.rng);
                 let shown = format!("{value:?}");
                 let outcome =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
                 if let Err(payload) = outcome {
-                    eprintln!("proptest: failing case #{case}: {shown}");
+                    if let Some(path) = &regressions {
+                        crate::persistence::append(path, state);
+                    }
+                    eprintln!("proptest: failing case #{case} (cc {state:016x}): {shown}");
                     std::panic::resume_unwind(payload);
                 }
             }
+        }
+    }
+}
+
+/// Storage for failing-case RNG states (`cc <16-hex>` lines, one per
+/// failure, `#`-comments ignored) in a `.proptest-regressions` file next
+/// to the test source.
+pub mod persistence {
+    use std::path::{Path, PathBuf};
+
+    /// Locates `source_file` (a workspace-relative `file!()` path) from
+    /// the current working directory by walking up the ancestors, and
+    /// returns its regressions sibling (`.rs` → `.proptest-regressions`).
+    /// `None` if the source cannot be found (persistence is then skipped).
+    pub fn regressions_path(source_file: &str) -> Option<PathBuf> {
+        let mut prefix = PathBuf::new();
+        for _ in 0..6 {
+            let candidate = prefix.join(source_file);
+            if candidate.is_file() {
+                return Some(candidate.with_extension("proptest-regressions"));
+            }
+            prefix.push("..");
+        }
+        None
+    }
+
+    /// Reads every persisted RNG state. A missing file is an empty list.
+    pub fn load(path: &Path) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let hex = line.trim().strip_prefix("cc ")?;
+                u64::from_str_radix(hex.trim(), 16).ok()
+            })
+            .collect()
+    }
+
+    /// Appends a failing state, creating the file (with its header) on
+    /// first use. Best-effort: an unwritable location only loses
+    /// persistence, never the test failure itself.
+    pub fn append(path: &Path, state: u64) {
+        use std::io::Write;
+        if load(path).contains(&state) {
+            return;
+        }
+        let header = if path.exists() {
+            ""
+        } else {
+            "# Seeds for failing proptest cases, replayed before fresh cases on\n\
+             # every run. Each line is `cc <rng-state>`; keep this file in git.\n"
+        };
+        let entry = format!("{header}cc {state:016x}\n");
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(entry.as_bytes()));
+        match result {
+            Ok(()) => eprintln!("proptest: persisted failing case to {}", path.display()),
+            Err(e) => eprintln!("proptest: cannot persist to {}: {e}", path.display()),
         }
     }
 }
@@ -566,7 +701,7 @@ macro_rules! proptest {
         fn $name() {
             let mut runner = $crate::test_runner::TestRunner::new($cfg);
             let strategy = ($($strat,)+);
-            runner.run(&strategy, |($($arg,)+)| $body);
+            runner.run_persisted(&strategy, file!(), |($($arg,)+)| $body);
         }
     )*};
     ($($rest:tt)*) => {

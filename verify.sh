@@ -1,5 +1,8 @@
 #!/usr/bin/env sh
-# Full check suite: release build, all tests, clippy as errors, formatting.
+# Full check suite: release build, all tests, clippy as errors, formatting,
+# and a sharded harness smoke run over every packer profile (fails on any
+# job panic, timeout, verifier rejection, validation finding, or
+# behavioural divergence).
 set -eu
 cd "$(dirname "$0")"
 
@@ -7,3 +10,5 @@ cargo build --release
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
+cargo run -p dexlego-harness --bin harness-smoke --release -- \
+    --workers 2 --apps 2 --packers all
