@@ -1,0 +1,25 @@
+//! Cold vs warm `dexlegod` throughput, as one JSON line.
+//!
+//! ```text
+//! cargo run -p dexlego-bench --bin service [-- --apps N --insns N]
+//! ```
+
+fn main() {
+    let mut apps = 6usize;
+    let mut insns = 80usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} expects a number"))
+        };
+        match arg.as_str() {
+            "--apps" => apps = value("--apps"),
+            "--insns" => insns = value("--insns"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    let bench = dexlego_bench::service::run(apps, insns);
+    println!("{}", dexlego_bench::service::format(&bench));
+}

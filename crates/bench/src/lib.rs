@@ -6,11 +6,13 @@
 //!
 //! Binaries under `src/bin/` (`table1` … `table8`, `fig5`, `fig6`, `all`)
 //! call these functions; `cargo run -p dexlego-bench --bin all` regenerates
-//! every number for EXPERIMENTS.md.
+//! every number for EXPERIMENTS.md. The extra `service` binary measures
+//! cold vs warm throughput through a live `dexlegod` daemon ([`service`]).
 
 pub mod common;
 pub mod fig5;
 pub mod fig6;
+pub mod service;
 pub mod table1;
 pub mod table2;
 pub mod table4;

@@ -1,0 +1,119 @@
+//! Service benchmark: cold vs warm throughput of a `dexlegod` daemon.
+//!
+//! Starts an in-process daemon on an ephemeral loop-back port with a
+//! fresh store, pushes a corpus of packed apps through it twice over the
+//! wire — the first pass runs the pipeline, the second is served from the
+//! content-addressed store — and reports jobs/sec for each pass plus the
+//! observed cache hit rate.
+
+use std::time::Instant;
+
+use dexlego_dex::writer::write_dex;
+use dexlego_droidbench::appgen::corpus_apps;
+use dexlego_harness::json::{self, Value};
+use dexlego_packer::PackerId;
+use dexlego_service::{Client, Daemon, ExtractReply, ExtractRequest, ServiceConfig};
+use dexlego_store::TempDir;
+
+/// Results of one cold/warm throughput run.
+#[derive(Debug, Clone)]
+pub struct ServiceBench {
+    /// Jobs per pass.
+    pub jobs: usize,
+    /// Cold-pass wall time (every job runs the pipeline), seconds.
+    pub cold_s: f64,
+    /// Warm-pass wall time (every job served from the store), seconds.
+    pub warm_s: f64,
+    /// Cache hits / extract requests over both passes, as the daemon's
+    /// stats endpoint reports them.
+    pub hit_rate: f64,
+}
+
+impl ServiceBench {
+    /// Cold throughput, jobs/sec.
+    pub fn cold_jobs_per_s(&self) -> f64 {
+        self.jobs as f64 / self.cold_s.max(1e-9)
+    }
+
+    /// Warm throughput, jobs/sec.
+    pub fn warm_jobs_per_s(&self) -> f64 {
+        self.jobs as f64 / self.warm_s.max(1e-9)
+    }
+
+    /// Warm speedup over cold.
+    pub fn speedup(&self) -> f64 {
+        self.warm_jobs_per_s() / self.cold_jobs_per_s().max(1e-9)
+    }
+}
+
+/// Runs `apps` jobs (packer profiles rotated over Table I) through a
+/// fresh daemon twice.
+///
+/// # Panics
+///
+/// Daemon start, transport, or job failures — this is an experiment
+/// driver, not a library.
+pub fn run(apps: usize, insns: usize) -> ServiceBench {
+    let dir = TempDir::new("bench-service").expect("temp store");
+    let daemon = Daemon::start(ServiceConfig::new(dir.path())).expect("daemon starts");
+    let addr = daemon.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let packers = PackerId::table1();
+    let requests: Vec<ExtractRequest> = corpus_apps(apps, insns)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, app))| {
+            let dex = write_dex(&app.dex).expect("serialise app");
+            let mut req = ExtractRequest::new(dex, &app.entry);
+            req.name = Some(name);
+            req.packer = Some(packers[i % packers.len()].profile().name.to_owned());
+            req
+        })
+        .collect();
+
+    let mut pass = |label: &str, want_cached: bool| -> f64 {
+        let start = Instant::now();
+        for req in &requests {
+            match client.extract(req).expect("extract") {
+                ExtractReply::Done { cached, .. } => {
+                    assert_eq!(cached, want_cached, "{label}: unexpected cache state");
+                }
+                other => panic!("{label}: job did not complete: {other:?}"),
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    let cold_s = pass("cold", false);
+    let warm_s = pass("warm", true);
+
+    let stats = client.stats().expect("stats");
+    let hits = stats.get("hits").and_then(Value::as_u64).unwrap_or(0) as f64;
+    let extracts = stats.get("extracts").and_then(Value::as_u64).unwrap_or(0) as f64;
+
+    client.shutdown().expect("shutdown");
+    drop(client);
+    daemon.wait();
+
+    ServiceBench {
+        jobs: requests.len(),
+        cold_s,
+        warm_s,
+        hit_rate: hits / extracts.max(1.0),
+    }
+}
+
+/// Formats the result as one JSON object.
+pub fn format(bench: &ServiceBench) -> String {
+    json::object(&[
+        ("experiment", json::string("service")),
+        ("jobs", bench.jobs.to_string()),
+        ("cold_s", format!("{:.3}", bench.cold_s)),
+        ("warm_s", format!("{:.3}", bench.warm_s)),
+        ("cold_jobs_per_s", format!("{:.1}", bench.cold_jobs_per_s())),
+        ("warm_jobs_per_s", format!("{:.1}", bench.warm_jobs_per_s())),
+        ("speedup", format!("{:.1}", bench.speedup())),
+        ("hit_rate", format!("{:.3}", bench.hit_rate)),
+    ])
+}

@@ -35,6 +35,7 @@
 pub mod baseline;
 pub mod collect;
 pub mod coverage;
+pub mod digest;
 pub mod files;
 pub mod force;
 pub mod metrics;
@@ -42,6 +43,7 @@ pub mod pipeline;
 pub mod reassemble;
 
 pub use collect::collector::JitCollector;
+pub use digest::{InputDigest, EXTRACTOR_VERSION};
 pub use files::CollectionFiles;
 pub use metrics::PipelineMetrics;
 pub use pipeline::{reveal, RevealOutcome};

@@ -5,23 +5,34 @@
 //! ```text
 //! harness-smoke [--workers N] [--apps N] [--insns N] [--fuel N]
 //!               [--packers all|default] [--no-conformance] [--json PATH]
+//!               [--store DIR]
 //! ```
+//!
+//! The worker count defaults to the `DEXLEGO_WORKERS` environment variable
+//! (then to the machine's parallelism), so CI boxes can pin parallelism
+//! without editing invocations; `--workers` still wins. With `--store DIR`
+//! the run is routed through the persistent result store: extractions
+//! already cached there are served from disk, and the summary reports the
+//! hit count.
 
 use std::process::ExitCode;
 
-use dexlego_harness::{corpus, pool};
+use dexlego_harness::{cache, corpus, pool};
+use dexlego_store::{Store, StoreConfig};
 
 struct Options {
-    workers: usize,
+    workers: Option<usize>,
     spec: corpus::CorpusSpec,
     json: Option<String>,
+    store: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
-        workers: pool::default_workers(),
+        workers: None,
         spec: corpus::CorpusSpec::default(),
         json: None,
+        store: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -30,7 +41,7 @@ fn parse_args() -> Result<Options, String> {
                 .ok_or_else(|| format!("{name} requires a value"))
         };
         match arg.as_str() {
-            "--workers" => opts.workers = parse(&value("--workers")?)?,
+            "--workers" => opts.workers = Some(parse(&value("--workers")?)?),
             "--apps" => opts.spec.apps = parse(&value("--apps")?)?,
             "--insns" => opts.spec.base_insns = parse(&value("--insns")?)?,
             "--fuel" => opts.spec.fuel = parse(&value("--fuel")?)?,
@@ -43,6 +54,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--no-conformance" => opts.spec.conformance = false,
             "--json" => opts.json = Some(value("--json")?),
+            "--store" => opts.store = Some(value("--store")?),
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -61,15 +73,35 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let workers = pool::resolve_workers(opts.workers);
     let jobs = corpus::work_list(&opts.spec);
     eprintln!(
         "harness-smoke: {} jobs ({} apps x {} profiles), {} workers",
         jobs.len(),
         opts.spec.apps,
         opts.spec.packers.len(),
-        opts.workers
+        workers
     );
-    let report = pool::run_batch(jobs, &pool::HarnessConfig::with_workers(opts.workers));
+    let config = pool::HarnessConfig::with_workers(workers);
+    let report = match &opts.store {
+        Some(dir) => {
+            let store = match Store::open(StoreConfig::new(dir)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("harness-smoke: cannot open store {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = cache::run_batch_cached(jobs, &config, &store);
+            let stats = store.stats();
+            eprintln!(
+                "harness-smoke: store {dir}: {} hits, {} misses, {} entries ({} bytes)",
+                stats.hits, stats.misses, stats.entries, stats.bytes
+            );
+            report
+        }
+        None => pool::run_batch(jobs, &config),
+    };
     println!("{}", report.summary());
     match &opts.json {
         Some(path) if path == "-" => println!("{}", report.to_json()),

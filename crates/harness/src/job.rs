@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use dexlego_core::pipeline::reveal;
 use dexlego_core::{DexLegoError, RevealOutcome};
+use dexlego_dex::writer::write_dex;
 use dexlego_dex::DexFile;
 use dexlego_droidbench::{register_tamper_specs, TamperSpec};
 use dexlego_packer::{pack, PackerError, PackerId};
@@ -160,16 +161,34 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Runs a job with panic capture. Never panics itself; a panicking job
 /// yields a [`JobStatus::Panicked`] report.
 pub fn execute_job(spec: JobSpec) -> JobReport {
+    execute_job_revealing(spec).0
+}
+
+/// Like [`execute_job`], but additionally returns the serialised revealed
+/// DEX when the job succeeded — what the result store caches and the
+/// `dexlegod` service sends back over the wire. `None` whenever the job
+/// did not produce a verified, validated DEX.
+pub fn execute_job_revealing(spec: JobSpec) -> (JobReport, Option<Vec<u8>>) {
     let name = spec.name.clone();
     let packer = spec.packer.map(|id| id.profile().name);
     let start = Instant::now();
     match catch_unwind(AssertUnwindSafe(|| run_job(&spec))) {
-        Ok(report) => report,
-        Err(payload) => JobReport {
-            status: JobStatus::Panicked(panic_message(payload.as_ref())),
-            wall_us: start.elapsed().as_micros() as u64,
-            ..JobReport::empty(name, packer)
-        },
+        Ok((report, dex)) => {
+            let bytes = if report.status.is_ok() {
+                dex.as_ref().and_then(|d| write_dex(d).ok())
+            } else {
+                None
+            };
+            (report, bytes)
+        }
+        Err(payload) => (
+            JobReport {
+                status: JobStatus::Panicked(panic_message(payload.as_ref())),
+                wall_us: start.elapsed().as_micros() as u64,
+                ..JobReport::empty(name, packer)
+            },
+            None,
+        ),
     }
 }
 
@@ -199,7 +218,7 @@ fn fire_callbacks(
     Ok(())
 }
 
-fn run_job(spec: &JobSpec) -> JobReport {
+fn run_job(spec: &JobSpec) -> (JobReport, Option<DexFile>) {
     let start = Instant::now();
     let name = spec.name.clone();
     let packer_name = spec.packer.map(|id| id.profile().name);
@@ -210,11 +229,14 @@ fn run_job(spec: &JobSpec) -> JobReport {
         Some(id) => match pack(&spec.dex, &spec.entry, id) {
             Ok(p) => Some(p),
             Err(e) => {
-                return JobReport {
-                    status: JobStatus::SetupFailed(format!("pack failed: {e}")),
-                    wall_us: start.elapsed().as_micros() as u64,
-                    ..JobReport::empty(name, packer_name)
-                }
+                return (
+                    JobReport {
+                        status: JobStatus::SetupFailed(format!("pack failed: {e}")),
+                        wall_us: start.elapsed().as_micros() as u64,
+                        ..JobReport::empty(name, packer_name)
+                    },
+                    None,
+                )
             }
         },
         None => None,
@@ -305,17 +327,22 @@ fn run_job(spec: &JobSpec) -> JobReport {
     // Status precedence: a setup failure means nothing was really driven; a
     // timeout trumps downstream failures (a truncated collection routinely
     // fails reassembly or validation, but the root cause is the timeout).
+    let mut revealed = None;
     report.status = if let Some(e) = setup_err {
         JobStatus::SetupFailed(e)
     } else {
         match result {
             Ok(outcome) => {
                 report.absorb(&outcome);
-                if timed_out {
+                let status = if timed_out {
                     JobStatus::Timeout
                 } else {
                     finish_status(spec, events, &outcome)
+                };
+                if status.is_ok() {
+                    revealed = Some(outcome.dex);
                 }
+                status
             }
             Err(_) if timed_out => JobStatus::Timeout,
             Err(DexLegoError::Verification(diags)) => JobStatus::VerifierRejected(
@@ -329,7 +356,7 @@ fn run_job(spec: &JobSpec) -> JobReport {
         }
     };
     report.wall_us = start.elapsed().as_micros() as u64;
-    report
+    (report, revealed)
 }
 
 /// Post-reveal checks for a job that ran to completion.

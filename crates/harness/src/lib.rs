@@ -24,6 +24,14 @@
 //!   event streams (method entries, field writes, branch outcomes).
 //! - **Corpus generation** ([`corpus`]): work-lists over generated apps ×
 //!   packer profiles for smoke runs and scale experiments.
+//! - **Result caching** ([`cache`]): jobs are content-addressed
+//!   (input DEX + profile + parameters + extractor version) into the
+//!   persistent `dexlego-store`, so identical extractions are served from
+//!   disk and a rerun of the same corpus is near-free
+//!   ([`cache::run_batch_cached`]).
+//! - **Persistent pool** ([`pool::JobPool`]): the long-lived,
+//!   bounded-admission variant of the batch pool that the `dexlegod`
+//!   service dispatches requests onto.
 //!
 //! The generic layer ([`pool::parallel_map`], [`pool::run_tasks`]) is what
 //! `dexlego-bench` uses to execute every paper experiment with parallel
@@ -47,17 +55,20 @@
 //! assert!(report.ok(), "{}", report.summary());
 //! ```
 
+pub mod cache;
 pub mod conformance;
 pub mod corpus;
 pub mod job;
-mod json;
+pub mod json;
 pub mod pool;
 pub mod report;
 
+pub use cache::{execute_job_cached, job_key, run_batch_cached};
 pub use conformance::{check_reveal, diff_traces, trace_app, TraceEvent, TraceRecorder};
 pub use corpus::{all_packers, work_list, CorpusSpec};
-pub use job::{execute_job, JobSpec, JobStatus, DEFAULT_FUEL};
+pub use job::{execute_job, execute_job_revealing, JobSpec, JobStatus, DEFAULT_FUEL};
 pub use pool::{
-    default_workers, parallel_map, parallel_map_expect, run_batch, run_tasks, HarnessConfig, Task,
+    default_workers, parallel_map, parallel_map_expect, resolve_workers, run_batch, run_batch_with,
+    run_tasks, HarnessConfig, JobPool, JobResult, PoolExecutor, Task, WORKERS_ENV,
 };
 pub use report::{JobReport, RunReport};

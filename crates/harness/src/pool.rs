@@ -13,11 +13,12 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, sync_channel};
-use std::sync::Mutex;
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crate::job::{execute_job, panic_message, JobSpec};
+use crate::job::{execute_job, execute_job_revealing, panic_message, JobSpec};
 use crate::report::{JobReport, RunReport};
 
 /// The machine's available parallelism (≥ 1).
@@ -25,6 +26,24 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Environment variable overriding the default worker count, so CI boxes
+/// can pin parallelism without threading a flag through every driver.
+pub const WORKERS_ENV: &str = "DEXLEGO_WORKERS";
+
+/// Resolves a worker count: an explicit request (CLI flag) wins, then the
+/// [`WORKERS_ENV`] environment variable, then [`default_workers`]. The
+/// result is always clamped to ≥ 1; unparseable env values are ignored.
+pub fn resolve_workers(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var(WORKERS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or_else(default_workers)
+        .max(1)
 }
 
 /// Worker-pool configuration.
@@ -59,6 +78,16 @@ impl Default for HarnessConfig {
 /// submission order. Individual job failures (panic, timeout, verifier
 /// rejection, …) are recorded in their report and never abort the batch.
 pub fn run_batch(jobs: Vec<JobSpec>, config: &HarnessConfig) -> RunReport {
+    run_batch_with(jobs, config, execute_job)
+}
+
+/// [`run_batch`] with a pluggable per-job executor — the seam through which
+/// cache-aware runs ([`crate::cache::run_batch_cached`]) reuse the sharding
+/// machinery.
+pub fn run_batch_with<E>(jobs: Vec<JobSpec>, config: &HarnessConfig, exec: E) -> RunReport
+where
+    E: Fn(JobSpec) -> JobReport + Sync,
+{
     let start = Instant::now();
     let n = jobs.len();
     let workers = config.workers.max(1).min(n.max(1));
@@ -67,6 +96,7 @@ pub fn run_batch(jobs: Vec<JobSpec>, config: &HarnessConfig) -> RunReport {
     let (report_tx, report_rx) = channel::<(usize, JobReport)>();
     let mut slots: Vec<Option<JobReport>> = (0..n).map(|_| None).collect();
 
+    let exec = &exec;
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let job_rx = &job_rx;
@@ -75,7 +105,7 @@ pub fn run_batch(jobs: Vec<JobSpec>, config: &HarnessConfig) -> RunReport {
                 // Hold the lock only for the dequeue, not the job.
                 let next = job_rx.lock().expect("job queue lock").recv();
                 let Ok((index, spec)) = next else { break };
-                let report = execute_job(spec);
+                let report = exec(spec);
                 if report_tx.send((index, report)).is_err() {
                     break;
                 }
@@ -198,6 +228,119 @@ pub fn run_tasks<R: Send>(tasks: Vec<Task<R>>, workers: usize) -> Vec<(String, R
     names.into_iter().zip(results).collect()
 }
 
+/// The per-job executor a [`JobPool`] runs: job in, report plus (for
+/// successful jobs) serialised revealed DEX out.
+pub type PoolExecutor = Arc<dyn Fn(JobSpec) -> JobResult + Send + Sync>;
+
+/// What a pool job yields: the report and, for successful jobs, the
+/// serialised revealed DEX.
+pub type JobResult = (JobReport, Option<Vec<u8>>);
+
+struct PoolJob {
+    spec: JobSpec,
+    reply: std::sync::mpsc::Sender<JobResult>,
+}
+
+/// A *persistent* worker pool with bounded admission — the service-facing
+/// sibling of [`run_batch`]. Where `run_batch` owns a finite work-list and
+/// blocks the producer on a full queue, a daemon must never block its
+/// request handlers on extraction backlog: [`JobPool::try_submit`] either
+/// enqueues the job and hands back a receiver for its result, or returns
+/// the job to the caller immediately so it can answer `overloaded`.
+///
+/// Dropping the pool (or calling [`JobPool::shutdown`]) closes admission
+/// and *drains*: queued and in-flight jobs run to completion before the
+/// worker threads exit.
+pub struct JobPool {
+    tx: Option<SyncSender<PoolJob>>,
+    workers: Vec<JoinHandle<()>>,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl JobPool {
+    /// A pool of `workers` threads executing jobs via
+    /// [`execute_job_revealing`], admitting at most `queue_depth` queued
+    /// jobs beyond the ones being executed.
+    pub fn new(workers: usize, queue_depth: usize) -> JobPool {
+        JobPool::with_executor(workers, queue_depth, Arc::new(execute_job_revealing))
+    }
+
+    /// A pool with a custom executor — how `dexlegod` threads its result
+    /// store into every job, and how tests make workers block on cue.
+    pub fn with_executor(workers: usize, queue_depth: usize, exec: PoolExecutor) -> JobPool {
+        let workers = workers.max(1);
+        let (tx, rx) = sync_channel::<PoolJob>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let exec = Arc::clone(&exec);
+                let in_flight = Arc::clone(&in_flight);
+                std::thread::spawn(move || loop {
+                    let next = rx.lock().expect("pool queue lock").recv();
+                    let Ok(job) = next else { break };
+                    let result = exec(job.spec);
+                    // Decrement before replying: once a requester can see
+                    // its result, in_flight must not still count the job.
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    // A dropped receiver just means the requester went
+                    // away; the job still ran and (if cached) was stored.
+                    let _ = job.reply.send(result);
+                })
+            })
+            .collect();
+        JobPool {
+            tx: Some(tx),
+            workers: handles,
+            in_flight,
+        }
+    }
+
+    /// Submits `spec` if the queue has room. `Ok` carries the receiver the
+    /// job's result will arrive on; `Err` returns the spec unchanged — the
+    /// pool is saturated and the caller should shed load.
+    #[allow(clippy::result_large_err)] // the Err *is* the returned job
+    pub fn try_submit(&self, spec: JobSpec) -> Result<Receiver<JobResult>, JobSpec> {
+        let tx = self.tx.as_ref().expect("pool not shut down");
+        let (reply, result_rx) = channel();
+        // Count before sending so a worker's decrement can never race the
+        // increment below zero.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        match tx.try_send(PoolJob { spec, reply }) {
+            Ok(()) => Ok(result_rx),
+            Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                Err(job.spec)
+            }
+        }
+    }
+
+    /// Jobs admitted but not yet completed (queued + executing).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Closes admission and blocks until every admitted job has completed
+    /// and the workers have exited.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobPool {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +390,105 @@ mod tests {
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
         assert!(HarnessConfig::default().queue_depth >= 2);
+    }
+
+    #[test]
+    fn resolve_workers_prefers_explicit_then_env() {
+        // This is the only test touching the variable, so set/remove is
+        // safe even under the parallel test runner.
+        std::env::remove_var(WORKERS_ENV);
+        assert_eq!(resolve_workers(Some(3)), 3);
+        assert_eq!(resolve_workers(Some(0)), 1, "clamped to >= 1");
+        assert!(resolve_workers(None) >= 1);
+        std::env::set_var(WORKERS_ENV, "2");
+        assert_eq!(resolve_workers(None), 2);
+        assert_eq!(resolve_workers(Some(5)), 5, "explicit beats env");
+        std::env::set_var(WORKERS_ENV, "0");
+        assert_eq!(resolve_workers(None), 1, "env clamped to >= 1");
+        std::env::set_var(WORKERS_ENV, "not-a-number");
+        assert!(resolve_workers(None) >= 1, "garbage env ignored");
+        std::env::remove_var(WORKERS_ENV);
+    }
+
+    fn stub_spec(name: &str) -> JobSpec {
+        // The blocking-executor tests never run the spec, so an empty DEX
+        // is fine.
+        JobSpec::new(name, dexlego_dex::DexFile::new(), "LMain;")
+    }
+
+    #[test]
+    fn job_pool_rejects_when_saturated_and_drains_on_shutdown() {
+        // Executor blocks until released, making queue occupancy
+        // deterministic: 1 worker executing + 1 queued = full.
+        let (release_tx, release_rx) = channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let done = Arc::new(AtomicUsize::new(0));
+        let exec: PoolExecutor = {
+            let release_rx = Arc::clone(&release_rx);
+            let done = Arc::clone(&done);
+            Arc::new(move |spec: JobSpec| {
+                release_rx
+                    .lock()
+                    .expect("release lock")
+                    .recv()
+                    .expect("released");
+                done.fetch_add(1, Ordering::SeqCst);
+                (
+                    crate::report::JobReport::empty(spec.name, None),
+                    Some(vec![1, 2, 3]),
+                )
+            })
+        };
+        let pool = JobPool::with_executor(1, 1, exec);
+
+        let r1 = pool.try_submit(stub_spec("a")).expect("first admitted");
+        // Wait until the worker has dequeued job a (the queue is empty
+        // again), then fill the queue with job b.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        let r2 = loop {
+            match pool.try_submit(stub_spec("b")) {
+                Ok(rx) => break rx,
+                Err(_) if Instant::now() < deadline => std::thread::yield_now(),
+                Err(_) => panic!("queue never accepted the second job"),
+            }
+        };
+        // Depending on dequeue timing the pool may briefly have capacity
+        // for one more; saturate until it refuses.
+        let mut extra = Vec::new();
+        let rejected = loop {
+            match pool.try_submit(stub_spec("c")) {
+                Ok(rx) => {
+                    extra.push(rx);
+                    assert!(extra.len() <= 1, "queue depth 1 admitted too much");
+                }
+                Err(spec) => break spec,
+            }
+        };
+        assert_eq!(rejected.name, "c");
+        assert_eq!(pool.in_flight(), 2 + extra.len());
+
+        // Release every admitted job and require the drain to finish them.
+        for _ in 0..(2 + extra.len()) {
+            release_tx.send(()).unwrap();
+        }
+        assert!(r1.recv().unwrap().0.status.is_ok());
+        assert!(r2.recv().unwrap().0.status.is_ok());
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 2 + extra.len());
+    }
+
+    #[test]
+    fn job_pool_runs_real_jobs() {
+        let pool = JobPool::new(2, 4);
+        let apps = dexlego_droidbench::appgen::corpus_apps(1, 60);
+        let (_, app) = &apps[0];
+        let rx = pool
+            .try_submit(JobSpec::new("real", app.dex.clone(), &app.entry))
+            .expect("admitted");
+        let (report, dex) = rx.recv().unwrap();
+        assert!(report.status.is_ok(), "{:?}", report.status);
+        let bytes = dex.expect("successful job carries revealed DEX");
+        assert!(dexlego_dex::reader::read_dex(&bytes).is_ok());
+        pool.shutdown();
     }
 }

@@ -19,6 +19,11 @@ pub struct JobReport {
     pub packer: Option<&'static str>,
     /// Terminal status.
     pub status: JobStatus,
+    /// Whether this report was served from the content-addressed result
+    /// store instead of a fresh pipeline run (collection counters and phase
+    /// timings then describe the original extraction; `wall_us` is the
+    /// lookup time).
+    pub cached: bool,
     /// Wall-clock time of the whole job, microseconds.
     pub wall_us: u64,
     /// Bytecode instructions interpreted while driving the app.
@@ -47,6 +52,7 @@ impl JobReport {
             name,
             packer,
             status: JobStatus::Ok,
+            cached: false,
             wall_us: 0,
             insns: 0,
             frames: 0,
@@ -99,6 +105,7 @@ impl JobReport {
                 self.packer.map_or("null".to_owned(), json::string),
             ),
             ("status", json::string(self.status.label())),
+            ("cached", self.cached.to_string()),
             (
                 "detail",
                 self.status
@@ -139,11 +146,22 @@ impl RunReport {
         self.jobs.iter().filter(|j| j.failed()).collect()
     }
 
+    /// How many jobs were served from the result store.
+    pub fn cache_hits(&self) -> usize {
+        self.jobs.iter().filter(|j| j.cached).count()
+    }
+
     /// One-line human summary, plus one line per failed job.
     pub fn summary(&self) -> String {
         let failed = self.failed();
+        let hits = self.cache_hits();
+        let cached = if hits > 0 {
+            format!(", {hits} cached")
+        } else {
+            String::new()
+        };
         let mut out = format!(
-            "{} jobs: {} ok, {} failed ({} workers, {:.1} ms)",
+            "{} jobs: {} ok, {} failed{cached} ({} workers, {:.1} ms)",
             self.jobs.len(),
             self.jobs.len() - failed.len(),
             failed.len(),

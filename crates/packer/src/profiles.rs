@@ -108,6 +108,30 @@ impl PackerId {
             PackerId::Bangcle,
         ]
     }
+
+    /// Every profile, including the advanced adversary.
+    pub fn all() -> [PackerId; 6] {
+        [
+            PackerId::P360,
+            PackerId::Alibaba,
+            PackerId::Tencent,
+            PackerId::Baidu,
+            PackerId::Bangcle,
+            PackerId::Advanced,
+        ]
+    }
+
+    /// Looks up a profile by display name (case-insensitive). The advanced
+    /// adversary's display name is long, so the shorthand `"advanced"` is
+    /// accepted too — the form the `dexlegod` wire protocol uses.
+    pub fn by_name(name: &str) -> Option<PackerId> {
+        if name.eq_ignore_ascii_case("advanced") {
+            return Some(PackerId::Advanced);
+        }
+        PackerId::all()
+            .into_iter()
+            .find(|id| id.profile().name.eq_ignore_ascii_case(name))
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +145,17 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), keys.len());
+    }
+
+    #[test]
+    fn by_name_resolves_every_profile() {
+        for id in PackerId::all() {
+            assert_eq!(PackerId::by_name(id.profile().name), Some(id));
+        }
+        assert_eq!(PackerId::by_name("360"), Some(PackerId::P360));
+        assert_eq!(PackerId::by_name("baidu"), Some(PackerId::Baidu));
+        assert_eq!(PackerId::by_name("advanced"), Some(PackerId::Advanced));
+        assert_eq!(PackerId::by_name("nonesuch"), None);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! A minimal blocking client for the `dexlegod` wire protocol, used by
+//! the `dexlegod-smoke` binary, the service benchmark, and the
+//! integration tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use dexlego_harness::json::Value;
+use dexlego_store::hex::from_hex;
+
+use crate::protocol::{parse_reply, ExtractRequest, Reply, Request};
+
+/// The outcome of one `extract` round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractReply {
+    /// The job succeeded; `dex` is the revealed, reassembled DEX.
+    Done {
+        /// Whether the result was served from the store.
+        cached: bool,
+        /// The revealed DEX bytes.
+        dex: Vec<u8>,
+        /// The full job report.
+        report: Value,
+    },
+    /// The job ran but did not succeed.
+    Failed {
+        /// Terminal status label.
+        job_status: String,
+        /// Failure detail, if any.
+        detail: Option<String>,
+    },
+    /// The daemon shed the request.
+    Overloaded,
+}
+
+/// One connection to a `dexlegod` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/reply lines are written whole; never wait on Nagle.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line without waiting for the reply. Pairing
+    /// with [`Client::recv`] lets tests pipeline several requests to
+    /// saturate the daemon's admission queue.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        // One write per line: interleaving payload and newline as separate
+        // small writes stalls on Nagle + delayed-ACK.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads and decodes one reply line.
+    ///
+    /// # Errors
+    ///
+    /// Read failures, a closed connection, or an undecodable reply.
+    pub fn recv(&mut self) -> io::Result<Reply> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        parse_reply(line.trim_end()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    fn round_trip(&mut self, line: &str) -> io::Result<Reply> {
+        self.send_line(line)?;
+        self.recv()
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-`ok` reply.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::encode_simple("ping"))? {
+            Reply::Ok(_) => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits one extraction and waits for the result.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol errors, or a malformed `ok` reply.
+    pub fn extract(&mut self, req: &ExtractRequest) -> io::Result<ExtractReply> {
+        match self.round_trip(&req.encode())? {
+            Reply::Ok(value) => {
+                let cached = value
+                    .get("cached")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "ok reply without \"cached\"")
+                    })?;
+                let dex_hex = value.get("dex").and_then(Value::as_str).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "ok reply without \"dex\"")
+                })?;
+                let dex = from_hex(dex_hex).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "ok reply with non-hex \"dex\"")
+                })?;
+                let report = value.get("report").cloned().unwrap_or(Value::Null);
+                Ok(ExtractReply::Done {
+                    cached,
+                    dex,
+                    report,
+                })
+            }
+            Reply::Failed {
+                job_status, detail, ..
+            } => Ok(ExtractReply::Failed { job_status, detail }),
+            Reply::Overloaded { .. } => Ok(ExtractReply::Overloaded),
+            Reply::Error(reason) => Err(io::Error::new(io::ErrorKind::InvalidData, reason)),
+        }
+    }
+
+    /// Fetches the service counters (the `"stats"` member of the reply).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-`ok` reply.
+    pub fn stats(&mut self) -> io::Result<Value> {
+        match self.round_trip(&Request::encode_simple("stats"))? {
+            Reply::Ok(value) => Ok(value.get("stats").cloned().unwrap_or(Value::Null)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-`ok` reply.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::encode_simple("shutdown"))? {
+            Reply::Ok(_) => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(reply: &Reply) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected reply: {reply:?}"),
+    )
+}

@@ -1,0 +1,31 @@
+#![forbid(unsafe_code)]
+
+//! `dexlegod`: a persistent extraction service in front of the DexLego
+//! pipeline.
+//!
+//! Batch extraction (the `dexlego-harness` crate) pays the full
+//! collect/reassemble cost for every job, every run. In practice the same
+//! packed application is analysed repeatedly — across experiment reruns,
+//! across analysts, across tool versions that only change downstream
+//! stages. This crate keeps the pipeline warm behind a daemon:
+//!
+//! - [`server`] — the daemon itself: a `TcpListener` accept loop speaking
+//!   newline-delimited JSON ([`protocol`]), dispatching extractions onto a
+//!   bounded [`JobPool`] and answering `overloaded` instead of queueing
+//!   unboundedly, with graceful drain on shutdown.
+//! - results are content-addressed into the persistent `dexlego-store`:
+//!   a repeated request is served from disk, byte-identical to the fresh
+//!   extraction, and a corrupted entry is quarantined and transparently
+//!   re-extracted.
+//! - [`client`] — a small blocking client used by the `dexlegod-smoke`
+//!   binary, the service benchmark, and the integration tests.
+//!
+//! [`JobPool`]: dexlego_harness::JobPool
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ExtractReply};
+pub use protocol::{parse_reply, parse_request, ExtractRequest, Reply, Request};
+pub use server::{Daemon, ServiceConfig};

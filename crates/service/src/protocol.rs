@@ -1,0 +1,391 @@
+//! The `dexlegod` wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line with an `"op"` member;
+//! every reply is one JSON object on one line with a `"status"` member.
+//! DEX payloads travel as lowercase hex strings — bulky but dependency-free
+//! and trivially debuggable with `nc`.
+//!
+//! ```text
+//! → {"op": "ping"}
+//! ← {"status": "ok"}
+//! → {"op": "extract", "dex": "6465…", "entry": "Lapp/Main;", "packer": "360"}
+//! ← {"status": "ok", "cached": false, "dex": "6465…", "report": {…}}
+//! → {"op": "stats"}
+//! ← {"status": "ok", "stats": {…}}
+//! → {"op": "shutdown"}
+//! ← {"status": "ok"}        (then the daemon drains and exits)
+//! ```
+//!
+//! A saturated daemon answers `{"status": "overloaded", "in_flight": N}`
+//! instead of queueing unboundedly; malformed input answers
+//! `{"status": "error", "reason": "…"}` without closing the connection.
+
+use dexlego_dex::reader::read_dex;
+use dexlego_harness::json::{self, Value};
+use dexlego_harness::{JobSpec, DEFAULT_FUEL};
+use dexlego_packer::PackerId;
+use dexlego_store::hex::{from_hex, to_hex};
+
+/// One extraction request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractRequest {
+    /// Job name for reports (a server-side sequence number if omitted).
+    pub name: Option<String>,
+    /// The original application DEX.
+    pub dex: Vec<u8>,
+    /// Entry activity descriptor.
+    pub entry: String,
+    /// Packer profile display name (`None` = plain app).
+    pub packer: Option<String>,
+    /// Fuzzing seeds; each drives one input session.
+    pub seeds: Vec<u64>,
+    /// Callback events per session.
+    pub events: usize,
+    /// Instruction budget.
+    pub fuel: u64,
+    /// Differentially check extracted behaviour.
+    pub conformance: bool,
+}
+
+impl ExtractRequest {
+    /// A request for `dex`/`entry` with the harness's default driving
+    /// parameters.
+    pub fn new(dex: Vec<u8>, entry: &str) -> ExtractRequest {
+        ExtractRequest {
+            name: None,
+            dex,
+            entry: entry.to_owned(),
+            packer: None,
+            seeds: vec![1],
+            events: 2,
+            fuel: DEFAULT_FUEL,
+            conformance: false,
+        }
+    }
+
+    /// Converts the request into a harness job.
+    ///
+    /// # Errors
+    ///
+    /// Unparseable DEX payloads and unknown packer names.
+    pub fn to_spec(&self, fallback_name: &str) -> Result<JobSpec, String> {
+        let dex = read_dex(&self.dex).map_err(|e| format!("bad dex payload: {e}"))?;
+        let packer = match &self.packer {
+            None => None,
+            Some(name) => {
+                Some(PackerId::by_name(name).ok_or_else(|| format!("unknown packer: {name}"))?)
+            }
+        };
+        let mut spec = JobSpec::new(
+            self.name.as_deref().unwrap_or(fallback_name),
+            dex,
+            &self.entry,
+        );
+        spec.packer = packer;
+        spec.seeds = self.seeds.clone();
+        spec.events = self.events;
+        spec.fuel = self.fuel;
+        spec.check_conformance = self.conformance;
+        Ok(spec)
+    }
+
+    /// The request as one wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut members = vec![("op", json::string("extract"))];
+        if let Some(name) = &self.name {
+            members.push(("name", json::string(name)));
+        }
+        members.push(("dex", json::string(&to_hex(&self.dex))));
+        members.push(("entry", json::string(&self.entry)));
+        members.push((
+            "packer",
+            self.packer
+                .as_deref()
+                .map_or("null".to_owned(), json::string),
+        ));
+        let seeds: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
+        members.push(("seeds", json::array(&seeds)));
+        members.push(("events", self.events.to_string()));
+        members.push(("fuel", self.fuel.to_string()));
+        members.push(("conformance", self.conformance.to_string()));
+        json::object(&members)
+    }
+}
+
+/// A decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Service counters.
+    Stats,
+    /// Graceful drain-and-exit.
+    Shutdown,
+    /// One extraction.
+    Extract(Box<ExtractRequest>),
+}
+
+impl Request {
+    /// The request as one wire line, for ops without a payload.
+    pub fn encode_simple(op: &str) -> String {
+        json::object(&[("op", json::string(op))])
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Malformed JSON, missing/unknown `op`, or invalid `extract` fields.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = json::parse(line)?;
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing \"op\"".to_owned())?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "extract" => {
+            let dex_hex = value
+                .get("dex")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "extract: missing \"dex\"".to_owned())?;
+            let dex =
+                from_hex(dex_hex).ok_or_else(|| "extract: \"dex\" is not valid hex".to_owned())?;
+            let entry = value
+                .get("entry")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "extract: missing \"entry\"".to_owned())?
+                .to_owned();
+            let packer = match value.get("packer") {
+                None => None,
+                Some(v) if v.is_null() => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| "extract: \"packer\" must be a string or null".to_owned())?
+                        .to_owned(),
+                ),
+            };
+            let seeds = match value.get("seeds") {
+                None => vec![1],
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| "extract: \"seeds\" must be an array".to_owned())?
+                    .iter()
+                    .map(|s| {
+                        s.as_u64()
+                            .ok_or_else(|| "extract: seeds must be u64".to_owned())
+                    })
+                    .collect::<Result<Vec<u64>, String>>()?,
+            };
+            let u64_field = |key: &str, default: u64| -> Result<u64, String> {
+                match value.get(key) {
+                    None => Ok(default),
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or_else(|| format!("extract: \"{key}\" must be a u64")),
+                }
+            };
+            let events = u64_field("events", 2)? as usize;
+            let fuel = u64_field("fuel", DEFAULT_FUEL)?;
+            let conformance = match value.get("conformance") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| "extract: \"conformance\" must be a boolean".to_owned())?,
+            };
+            let name = match value.get("name") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| "extract: \"name\" must be a string".to_owned())?
+                        .to_owned(),
+                ),
+            };
+            Ok(Request::Extract(Box::new(ExtractRequest {
+                name,
+                dex,
+                entry,
+                packer,
+                seeds,
+                events,
+                fuel,
+                conformance,
+            })))
+        }
+        other => Err(format!("unknown op: {other}")),
+    }
+}
+
+/// A decoded reply line, from the client's point of view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `{"status": "ok"}` with whatever extra members the op defines.
+    Ok(Value),
+    /// The job ran but did not succeed (timeout, verifier rejection, …).
+    Failed {
+        /// The job's terminal status label.
+        job_status: String,
+        /// Failure detail, if any.
+        detail: Option<String>,
+        /// The full job report.
+        report: Value,
+    },
+    /// The daemon shed the request; retry later.
+    Overloaded {
+        /// Jobs admitted but not yet completed at rejection time.
+        in_flight: u64,
+    },
+    /// Protocol-level error (malformed request, bad payload).
+    Error(String),
+}
+
+/// Parses one reply line.
+///
+/// # Errors
+///
+/// Malformed JSON or a missing/unknown `status` member.
+pub fn parse_reply(line: &str) -> Result<Reply, String> {
+    let value = json::parse(line)?;
+    let status = value
+        .get("status")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing \"status\"".to_owned())?;
+    match status {
+        "ok" => Ok(Reply::Ok(value)),
+        "failed" => {
+            let job_status = value
+                .get("job_status")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_owned();
+            let detail = value
+                .get("detail")
+                .and_then(Value::as_str)
+                .map(str::to_owned);
+            let report = value.get("report").cloned().unwrap_or(Value::Null);
+            Ok(Reply::Failed {
+                job_status,
+                detail,
+                report,
+            })
+        }
+        "overloaded" => Ok(Reply::Overloaded {
+            in_flight: value.get("in_flight").and_then(Value::as_u64).unwrap_or(0),
+        }),
+        "error" => Ok(Reply::Error(
+            value
+                .get("reason")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified")
+                .to_owned(),
+        )),
+        other => Err(format!("unknown status: {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExtractRequest {
+        ExtractRequest {
+            name: Some("job-1".to_owned()),
+            dex: vec![0x64, 0x65, 0x78, 0x00, 0xff],
+            entry: "Lapp/Main;".to_owned(),
+            packer: Some("360".to_owned()),
+            seeds: vec![1, u64::MAX],
+            events: 3,
+            fuel: 5_000_000,
+            conformance: true,
+        }
+    }
+
+    #[test]
+    fn extract_roundtrips_through_the_wire() {
+        let req = sample();
+        let line = req.encode();
+        match parse_request(&line).unwrap() {
+            Request::Extract(parsed) => assert_eq!(*parsed, req),
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extract_defaults_apply() {
+        let line = r#"{"op": "extract", "dex": "", "entry": "LMain;"}"#;
+        match parse_request(line).unwrap() {
+            Request::Extract(req) => {
+                assert_eq!(req.seeds, vec![1]);
+                assert_eq!(req.events, 2);
+                assert_eq!(req.fuel, DEFAULT_FUEL);
+                assert!(!req.conformance);
+                assert_eq!(req.packer, None);
+                assert_eq!(req.name, None);
+            }
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_ops_parse() {
+        assert_eq!(
+            parse_request(&Request::encode_simple("ping")).unwrap(),
+            Request::Ping
+        );
+        assert_eq!(
+            parse_request(&Request::encode_simple("stats")).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(&Request::encode_simple("shutdown")).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "{}",
+            r#"{"op": "warp"}"#,
+            r#"{"op": "extract"}"#,
+            r#"{"op": "extract", "dex": "zz", "entry": "L;"}"#,
+            r#"{"op": "extract", "dex": "", "entry": "L;", "seeds": [1.5]}"#,
+            r#"{"op": "extract", "dex": "", "entry": "L;", "fuel": "lots"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn to_spec_validates_payload_and_packer() {
+        let mut req = sample();
+        assert!(req.to_spec("fallback").is_err(), "garbage dex rejected");
+        req.packer = Some("nonesuch".to_owned());
+        assert!(req.to_spec("fallback").is_err());
+    }
+
+    #[test]
+    fn replies_parse() {
+        assert!(matches!(
+            parse_reply(r#"{"status": "ok", "cached": true}"#).unwrap(),
+            Reply::Ok(_)
+        ));
+        match parse_reply(r#"{"status": "failed", "job_status": "timeout"}"#).unwrap() {
+            Reply::Failed { job_status, .. } => assert_eq!(job_status, "timeout"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_reply(r#"{"status": "overloaded", "in_flight": 7}"#).unwrap(),
+            Reply::Overloaded { in_flight: 7 }
+        );
+        assert_eq!(
+            parse_reply(r#"{"status": "error", "reason": "nope"}"#).unwrap(),
+            Reply::Error("nope".to_owned())
+        );
+        assert!(parse_reply(r#"{"status": "odd"}"#).is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! The `dexlegod` daemon: a TCP accept loop dispatching extraction
+//! requests onto a persistent [`JobPool`] with per-request caching
+//! through the content-addressed result [`Store`].
+//!
+//! Concurrency shape:
+//!
+//! - one accept thread, woken out of `accept()` at shutdown by a
+//!   loop-back connection to itself;
+//! - one handler thread per client connection, reading request lines and
+//!   writing reply lines;
+//! - the shared worker pool executing extractions with bounded admission —
+//!   a saturated queue produces an `overloaded` reply, not latency.
+//!
+//! Cache hits bypass admission control: if the store already holds the
+//! result, the handler serves it inline instead of failing a cheap read
+//! just because the extraction queue is full.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use dexlego_harness::json;
+use dexlego_harness::{execute_job_cached, job_key, JobPool, JobReport, PoolExecutor};
+use dexlego_store::{Store, StoreConfig, StoreStats};
+
+use crate::protocol::{parse_request, Request};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Extraction worker threads.
+    pub workers: usize,
+    /// Admission queue depth; requests beyond `workers + queue_depth`
+    /// in flight are shed with an `overloaded` reply.
+    pub queue_depth: usize,
+    /// Result store configuration.
+    pub store: StoreConfig,
+}
+
+impl ServiceConfig {
+    /// Loop-back config on an ephemeral port with the store rooted at
+    /// `store_root`.
+    pub fn new(store_root: impl Into<std::path::PathBuf>) -> ServiceConfig {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_depth: 8,
+            store: StoreConfig::new(store_root),
+        }
+    }
+}
+
+/// Service-level counters, separate from the store's own hit/miss
+/// accounting (which also sees internal probes).
+#[derive(Debug, Default)]
+struct ServiceStats {
+    /// Request lines parsed (any op).
+    requests: u64,
+    /// Extract requests admitted (cache hit or pipeline run).
+    extracts: u64,
+    /// Extract requests answered from the store.
+    hits: u64,
+    /// Extract requests that ran the pipeline.
+    misses: u64,
+    /// Extract requests shed due to a full queue.
+    rejected: u64,
+    /// Malformed or invalid requests.
+    errors: u64,
+    /// Jobs that ran but did not reach [`JobStatus::Ok`].
+    ///
+    /// [`JobStatus::Ok`]: dexlego_harness::JobStatus::Ok
+    failed: u64,
+    /// Per-phase `(count, total_us)` aggregates over fresh extractions.
+    phases_us: BTreeMap<String, (u64, u64)>,
+}
+
+impl ServiceStats {
+    fn absorb(&mut self, report: &JobReport) {
+        self.extracts += 1;
+        if report.cached {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            for (phase, us) in &report.phases_us {
+                let slot = self.phases_us.entry(phase.clone()).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += us;
+            }
+        }
+        if !report.status.is_ok() {
+            self.failed += 1;
+        }
+    }
+}
+
+struct Shared {
+    store: Arc<Store>,
+    pool: JobPool,
+    exec: PoolExecutor,
+    stats: Mutex<ServiceStats>,
+    store_stats_at_open: StoreStats,
+    shutting_down: AtomicBool,
+    next_job: AtomicU64,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Read-half clones of every live connection, half-closed at shutdown
+    /// so idle handlers stop waiting for input (in-flight replies still go
+    /// out on the intact write half).
+    peers: Mutex<Vec<TcpStream>>,
+}
+
+/// A running daemon. Dropping it without [`Daemon::wait`] detaches the
+/// accept thread; call [`Daemon::trigger_shutdown`] then `wait` for a
+/// graceful drain.
+pub struct Daemon {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds, opens the store, and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Bind or store-open failures.
+    pub fn start(config: ServiceConfig) -> io::Result<Daemon> {
+        let store = Arc::new(Store::open(config.store.clone())?);
+        let exec_store = Arc::clone(&store);
+        let exec: PoolExecutor = Arc::new(move |spec| execute_job_cached(spec, &exec_store));
+        Daemon::start_with_executor(config, store, exec)
+    }
+
+    /// [`Daemon::start`] with an injected job executor — the
+    /// deterministic-test hook (e.g. an executor that blocks on a channel
+    /// to hold the queue full).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn start_with_executor(
+        config: ServiceConfig,
+        store: Arc<Store>,
+        exec: PoolExecutor,
+    ) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let store_stats_at_open = store.stats();
+        let shared = Arc::new(Shared {
+            pool: JobPool::with_executor(config.workers, config.queue_depth, Arc::clone(&exec)),
+            store,
+            exec,
+            stats: Mutex::new(ServiceStats::default()),
+            store_stats_at_open,
+            shutting_down: AtomicBool::new(false),
+            next_job: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            peers: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name("dexlegod-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Daemon {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the daemon to stop accepting and drain. Idempotent;
+    /// also reachable over the wire via the `shutdown` op.
+    pub fn trigger_shutdown(&self) {
+        request_shutdown(&self.shared, self.addr);
+    }
+
+    /// Joins the accept thread and every connection handler, then drains
+    /// the worker pool. Returns once all in-flight jobs have completed.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().unwrap());
+        for handle in conns {
+            let _ = handle.join();
+        }
+        // Dropping the last `Shared` reference drains the pool
+        // (`JobPool`'s `Drop` joins its workers).
+    }
+}
+
+fn request_shutdown(shared: &Shared, addr: SocketAddr) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Stop idle handlers waiting for input; write halves stay open so
+    // in-flight replies are still delivered.
+    for peer in shared.peers.lock().unwrap().iter() {
+        let _ = peer.shutdown(std::net::Shutdown::Read);
+    }
+    // Wake the accept loop; it re-checks the flag before handling the
+    // connection.
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(peer) = stream.try_clone() {
+            shared.peers.lock().unwrap().push(peer);
+        }
+        // A shutdown racing the registration above might have missed this
+        // connection; re-check so its handler still gets unblocked.
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        let addr = listener.local_addr().ok();
+        let conn_shared = Arc::clone(shared);
+        let handle = thread::Builder::new()
+            .name("dexlegod-conn".to_owned())
+            .spawn(move || {
+                let _ = handle_connection(stream, &conn_shared, addr);
+            });
+        if let Ok(handle) = handle {
+            shared.conns.lock().unwrap().push(handle);
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, reply: String) -> io::Result<()> {
+    // One write per line: interleaving payload and newline as separate
+    // small writes stalls on Nagle + delayed-ACK.
+    let mut framed = reply;
+    framed.push('\n');
+    writer.write_all(framed.as_bytes())?;
+    writer.flush()
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    addr: Option<SocketAddr>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.stats.lock().unwrap().requests += 1;
+        let reply = match parse_request(&line) {
+            Err(reason) => {
+                shared.stats.lock().unwrap().errors += 1;
+                error_reply(&reason)
+            }
+            Ok(Request::Ping) => json::object(&[("status", json::string("ok"))]),
+            Ok(Request::Stats) => stats_reply(shared),
+            Ok(Request::Shutdown) => {
+                write_line(&mut writer, json::object(&[("status", json::string("ok"))]))?;
+                if let Some(addr) = addr {
+                    request_shutdown(shared, addr);
+                }
+                return Ok(());
+            }
+            Ok(Request::Extract(req)) => handle_extract(shared, &req),
+        };
+        write_line(&mut writer, reply)?;
+    }
+    Ok(())
+}
+
+fn handle_extract(shared: &Arc<Shared>, req: &crate::protocol::ExtractRequest) -> String {
+    let seq = shared.next_job.fetch_add(1, Ordering::Relaxed);
+    let fallback = format!("req{seq:06}");
+    let spec = match req.to_spec(&fallback) {
+        Ok(spec) => spec,
+        Err(reason) => {
+            shared.stats.lock().unwrap().errors += 1;
+            return error_reply(&reason);
+        }
+    };
+
+    // Fast path: a result already in the store is served inline, so cache
+    // hits are never shed by admission control. (A corrupt entry makes
+    // this path run the pipeline on the handler thread — rare, and still
+    // correct.)
+    let cached_already = job_key(&spec).is_some_and(|key| shared.store.contains(&key));
+    let (report, dex) = if cached_already {
+        (shared.exec)(spec)
+    } else {
+        match shared.pool.try_submit(spec) {
+            Err(_rejected) => {
+                let mut stats = shared.stats.lock().unwrap();
+                stats.rejected += 1;
+                return json::object(&[
+                    ("status", json::string("overloaded")),
+                    ("in_flight", shared.pool.in_flight().to_string()),
+                ]);
+            }
+            Ok(rx) => match rx.recv() {
+                Ok(result) => result,
+                Err(_) => return error_reply("worker dropped the job"),
+            },
+        }
+    };
+
+    shared.stats.lock().unwrap().absorb(&report);
+    if report.status.is_ok() {
+        let dex_hex = dexlego_store::hex::to_hex(dex.as_deref().unwrap_or_default());
+        json::object(&[
+            ("status", json::string("ok")),
+            ("cached", report.cached.to_string()),
+            ("dex", json::string(&dex_hex)),
+            ("report", report.to_json()),
+        ])
+    } else {
+        let mut members = vec![
+            ("status", json::string("failed")),
+            ("job_status", json::string(report.status.label())),
+        ];
+        if let Some(detail) = report.status.detail() {
+            members.push(("detail", json::string(&detail)));
+        }
+        members.push(("report", report.to_json()));
+        json::object(&members)
+    }
+}
+
+fn error_reply(reason: &str) -> String {
+    json::object(&[
+        ("status", json::string("error")),
+        ("reason", json::string(reason)),
+    ])
+}
+
+fn stats_reply(shared: &Shared) -> String {
+    let store = shared.store.stats();
+    let opened = &shared.store_stats_at_open;
+    let store_json = json::object(&[
+        ("entries", store.entries.to_string()),
+        ("bytes", store.bytes.to_string()),
+        (
+            "evictions",
+            (store.evictions - opened.evictions).to_string(),
+        ),
+        (
+            "quarantined",
+            (store.quarantined - opened.quarantined).to_string(),
+        ),
+    ]);
+    let stats = shared.stats.lock().unwrap();
+    let phases: Vec<(String, String)> = stats
+        .phases_us
+        .iter()
+        .map(|(phase, (count, total_us))| {
+            (
+                phase.clone(),
+                json::object(&[
+                    ("count", count.to_string()),
+                    ("total_us", total_us.to_string()),
+                ]),
+            )
+        })
+        .collect();
+    let phase_members: Vec<(&str, String)> = phases
+        .iter()
+        .map(|(phase, obj)| (phase.as_str(), obj.clone()))
+        .collect();
+    let body = json::object(&[
+        ("requests", stats.requests.to_string()),
+        ("extracts", stats.extracts.to_string()),
+        ("hits", stats.hits.to_string()),
+        ("misses", stats.misses.to_string()),
+        ("rejected", stats.rejected.to_string()),
+        ("errors", stats.errors.to_string()),
+        ("failed", stats.failed.to_string()),
+        ("in_flight", shared.pool.in_flight().to_string()),
+        ("store", store_json),
+        ("phases_us", json::object(&phase_members)),
+    ]);
+    json::object(&[("status", json::string("ok")), ("stats", body)])
+}

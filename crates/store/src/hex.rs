@@ -1,0 +1,48 @@
+//! Lowercase hex encoding, shared by store keys and the service wire
+//! protocol (DEX payloads travel as hex strings inside JSON).
+
+/// Encodes `bytes` as lowercase hex.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decodes a hex string (either case). `None` on odd length or non-hex
+/// characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff];
+        let h = to_hex(&data);
+        assert_eq!(h, "00017f80ff");
+        assert_eq!(from_hex(&h).unwrap(), data);
+        assert_eq!(from_hex("00017F80FF").unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(from_hex("abc").is_none());
+        assert!(from_hex("zz").is_none());
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

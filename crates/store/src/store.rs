@@ -1,0 +1,408 @@
+//! The on-disk store: sharded object layout, append-only index, verified
+//! reads with quarantine, LRU eviction, and per-key fill deduplication.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use dexlego_dex::checksum::sha1;
+
+use crate::entry::{decode, encode, CachedResult};
+use crate::hex::{from_hex, to_hex};
+
+/// A content-addressed store key: the SHA-1 input digest produced by
+/// `dexlego_core::digest::InputDigest`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key([u8; 20]);
+
+impl Key {
+    /// Wraps a raw 20-byte digest.
+    pub fn new(digest: [u8; 20]) -> Key {
+        Key(digest)
+    }
+
+    /// Parses 40 hex characters.
+    pub fn from_hex(s: &str) -> Option<Key> {
+        let bytes = from_hex(s)?;
+        let digest: [u8; 20] = bytes.try_into().ok()?;
+        Some(Key(digest))
+    }
+
+    /// The key as 40 lowercase hex characters.
+    pub fn to_hex(self) -> String {
+        to_hex(&self.0)
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Root directory (created if missing).
+    pub root: PathBuf,
+    /// Total object-byte budget; the least-recently-accessed entries are
+    /// evicted when a put pushes past it. `u64::MAX` = unbounded.
+    pub byte_budget: u64,
+}
+
+impl StoreConfig {
+    /// An unbounded store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            root: root.into(),
+            byte_budget: u64::MAX,
+        }
+    }
+
+    /// Sets the eviction budget.
+    pub fn with_budget(mut self, bytes: u64) -> StoreConfig {
+        self.byte_budget = bytes;
+        self
+    }
+}
+
+/// Counters exposed by [`Store::stats`]. `hits`/`misses`/… accumulate over
+/// the handle's lifetime; `entries`/`bytes` are the current contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Successful verified reads.
+    pub hits: u64,
+    /// Lookups that found nothing servable (including quarantined reads).
+    pub misses: u64,
+    /// Entries written.
+    pub puts: u64,
+    /// Entries evicted by the byte budget.
+    pub evictions: u64,
+    /// Entries quarantined after failing checksum/decode verification.
+    pub quarantined: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Object bytes currently resident.
+    pub bytes: u64,
+}
+
+struct EntryMeta {
+    size: u64,
+    last_access: u64,
+}
+
+struct Inner {
+    log: fs::File,
+    entries: HashMap<Key, EntryMeta>,
+    clock: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    puts: u64,
+    evictions: u64,
+    quarantined: u64,
+}
+
+/// A thread-safe handle to one on-disk store. Clone-free by design: share
+/// it between harness workers or service threads behind an [`Arc`].
+///
+/// Layout under the root directory:
+///
+/// ```text
+/// index.log             append-only operation log (put/get/evict/bad)
+/// objects/ab/cdef…      entries, sharded by the first key byte
+/// quarantine/abcdef…    entries that failed verification on read
+/// ```
+///
+/// Every entry on disk is `magic ‖ sha1(payload) ‖ len(payload) ‖ payload`;
+/// reads recompute the checksum and [quarantine](StoreStats::quarantined)
+/// mismatching entries instead of serving them.
+pub struct Store {
+    root: PathBuf,
+    budget: u64,
+    inner: Mutex<Inner>,
+    // One gate per key for get_or_fill deduplication. Gates are never
+    // removed: the map grows with the number of distinct keys seen by this
+    // handle, which is bounded by the corpus, not by traffic.
+    fills: Mutex<HashMap<Key, Arc<Mutex<()>>>>,
+}
+
+const CONTAINER_MAGIC: &[u8; 8] = b"DLSTORE1";
+
+impl Store {
+    /// Opens (creating if necessary) the store at `config.root`, replaying
+    /// the index log to rebuild the entry table and LRU order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and log I/O failures.
+    pub fn open(config: StoreConfig) -> io::Result<Store> {
+        let root = config.root;
+        fs::create_dir_all(root.join("objects"))?;
+        fs::create_dir_all(root.join("quarantine"))?;
+
+        let mut entries: HashMap<Key, EntryMeta> = HashMap::new();
+        let mut clock = 0u64;
+        let log_path = root.join("index.log");
+        if let Ok(text) = fs::read_to_string(&log_path) {
+            for line in text.lines() {
+                let mut parts = line.split_whitespace();
+                let (op, key) = match (parts.next(), parts.next().and_then(Key::from_hex)) {
+                    (Some(op), Some(key)) => (op, key),
+                    _ => continue, // torn or foreign line: skip, don't fail
+                };
+                clock += 1;
+                match op {
+                    "put" => {
+                        let size = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                        entries.insert(
+                            key,
+                            EntryMeta {
+                                size,
+                                last_access: clock,
+                            },
+                        );
+                    }
+                    "get" => {
+                        if let Some(meta) = entries.get_mut(&key) {
+                            meta.last_access = clock;
+                        }
+                    }
+                    "evict" | "bad" => {
+                        entries.remove(&key);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Drop index entries whose object vanished out from under us (a
+        // crash between log append and rename, or manual deletion).
+        entries.retain(|key, _| object_path(&root, *key).exists());
+        let bytes = entries.values().map(|m| m.size).sum();
+
+        let log = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)?;
+        Ok(Store {
+            root,
+            budget: config.byte_budget,
+            inner: Mutex::new(Inner {
+                log,
+                entries,
+                clock,
+                bytes,
+                hits: 0,
+                misses: 0,
+                puts: 0,
+                evictions: 0,
+                quarantined: 0,
+            }),
+            fills: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Looks up `key`, verifying the entry's checksum. A mismatching or
+    /// undecodable entry is moved to `quarantine/` and reported as a miss —
+    /// corrupt data is never served.
+    pub fn get(&self, key: &Key) -> Option<CachedResult> {
+        let mut inner = self.inner.lock().expect("store lock");
+        if !inner.entries.contains_key(key) {
+            inner.misses += 1;
+            return None;
+        }
+        let path = object_path(&self.root, *key);
+        match read_verified(&path) {
+            Ok(result) => {
+                inner.clock += 1;
+                let clock = inner.clock;
+                if let Some(meta) = inner.entries.get_mut(key) {
+                    meta.last_access = clock;
+                }
+                inner.hits += 1;
+                append_log(&mut inner.log, &format!("get {key}"));
+                Some(result)
+            }
+            Err(_) => {
+                // Quarantine: keep the bad bytes around for post-mortems,
+                // but make sure no future read can serve them.
+                let dest = self.root.join("quarantine").join(key.to_hex());
+                if fs::rename(&path, &dest).is_ok() {
+                    inner.quarantined += 1;
+                }
+                if let Some(meta) = inner.entries.remove(key) {
+                    inner.bytes = inner.bytes.saturating_sub(meta.size);
+                }
+                inner.misses += 1;
+                append_log(&mut inner.log, &format!("bad {key}"));
+                None
+            }
+        }
+    }
+
+    /// Writes `result` under `key` (replacing any previous entry), then
+    /// evicts least-recently-accessed entries until the store is back under
+    /// its byte budget. The entry just written is exempt from its own put's
+    /// eviction pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-file I/O failures; the index is only updated after
+    /// the object is durably in place.
+    pub fn put(&self, key: &Key, result: &CachedResult) -> io::Result<()> {
+        let payload = encode(result);
+        let mut blob = Vec::with_capacity(payload.len() + 36);
+        blob.extend_from_slice(CONTAINER_MAGIC);
+        blob.extend_from_slice(&sha1(&payload));
+        blob.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        blob.extend_from_slice(&payload);
+
+        let mut inner = self.inner.lock().expect("store lock");
+        let path = object_path(&self.root, *key);
+        fs::create_dir_all(path.parent().expect("sharded path has a parent"))?;
+        // Write-then-rename so a crash mid-write never leaves a torn entry
+        // under the served name.
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, &blob)?;
+        fs::rename(&tmp, &path)?;
+
+        let size = blob.len() as u64;
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.entries.insert(
+            *key,
+            EntryMeta {
+                size,
+                last_access: clock,
+            },
+        ) {
+            inner.bytes = inner.bytes.saturating_sub(old.size);
+        }
+        inner.bytes += size;
+        inner.puts += 1;
+        append_log(&mut inner.log, &format!("put {key} {size}"));
+        self.evict_to_budget(&mut inner, key);
+        Ok(())
+    }
+
+    /// Runs `fill` at most once per key across concurrent callers: the
+    /// first caller through the per-key gate extracts while the rest block,
+    /// then find the entry cached. Returns the result (from cache or from
+    /// `fill`) and whether it was a cache hit. `fill` may decline to
+    /// produce a cacheable result by returning `None` (e.g. the extraction
+    /// failed); nothing is stored and later callers will fill again.
+    ///
+    /// Store I/O errors during the fill's put are swallowed — the cache is
+    /// an accelerator, and the freshly computed result is returned either
+    /// way.
+    pub fn get_or_fill<F>(&self, key: &Key, fill: F) -> (Option<CachedResult>, bool)
+    where
+        F: FnOnce() -> Option<CachedResult>,
+    {
+        let gate = {
+            let mut fills = self.fills.lock().expect("fill map lock");
+            Arc::clone(fills.entry(*key).or_default())
+        };
+        let _guard = gate.lock().expect("fill gate lock");
+        if let Some(hit) = self.get(key) {
+            return (Some(hit), true);
+        }
+        match fill() {
+            Some(result) => {
+                let _ = self.put(key, &result);
+                (Some(result), false)
+            }
+            None => (None, false),
+        }
+    }
+
+    /// A snapshot of the store's counters and current contents.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("store lock");
+        StoreStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            puts: inner.puts,
+            evictions: inner.evictions,
+            quarantined: inner.quarantined,
+            entries: inner.entries.len() as u64,
+            bytes: inner.bytes,
+        }
+    }
+
+    /// Whether `key` is resident (no verification, no stats bump).
+    pub fn contains(&self, key: &Key) -> bool {
+        self.inner
+            .lock()
+            .expect("store lock")
+            .entries
+            .contains_key(key)
+    }
+
+    fn evict_to_budget(&self, inner: &mut Inner, keep: &Key) {
+        while inner.bytes > self.budget {
+            // Linear scan for the LRU victim: entry counts are corpus-sized
+            // (thousands), and eviction only runs on puts that crossed the
+            // budget, so an ordered index isn't worth its bookkeeping.
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .min_by_key(|(_, m)| m.last_access)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            let _ = fs::remove_file(object_path(&self.root, victim));
+            if let Some(meta) = inner.entries.remove(&victim) {
+                inner.bytes = inner.bytes.saturating_sub(meta.size);
+            }
+            inner.evictions += 1;
+            append_log(&mut inner.log, &format!("evict {victim}"));
+        }
+    }
+}
+
+/// The sharded object path for `key` under `root`.
+pub fn object_path(root: &Path, key: Key) -> PathBuf {
+    let hex = key.to_hex();
+    root.join("objects").join(&hex[..2]).join(&hex[2..])
+}
+
+fn append_log(log: &mut fs::File, line: &str) {
+    // The index is advisory (it only carries LRU order and sizes); a failed
+    // append degrades recovery fidelity, not correctness.
+    let _ = writeln!(log, "{line}");
+}
+
+fn read_verified(path: &Path) -> Result<CachedResult, String> {
+    let blob = fs::read(path).map_err(|e| format!("read failed: {e}"))?;
+    if blob.len() < 36 || &blob[..8] != CONTAINER_MAGIC {
+        return Err("bad container header".to_owned());
+    }
+    let stored_digest = &blob[8..28];
+    let len = u64::from_le_bytes(blob[28..36].try_into().expect("8 bytes")) as usize;
+    let payload = &blob[36..];
+    if payload.len() != len {
+        return Err(format!(
+            "length mismatch: header says {len}, file has {}",
+            payload.len()
+        ));
+    }
+    if sha1(payload) != *stored_digest {
+        return Err("checksum mismatch".to_owned());
+    }
+    decode(payload)
+}

@@ -1,0 +1,217 @@
+//! Integration tests for the content-addressed result store: persistence
+//! across reopen, LRU eviction, checksum quarantine, and concurrent fill
+//! deduplication.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dexlego_store::{object_path, CachedResult, Key, Store, StoreConfig, TempDir};
+
+fn key(n: u8) -> Key {
+    Key::new([n; 20])
+}
+
+fn result(size: usize, tag: u8) -> CachedResult {
+    CachedResult {
+        dex_bytes: vec![tag; size],
+        wall_us: 100 + u64::from(tag),
+        insns: 7,
+        validation: vec![format!("finding-{tag}")],
+        phases_us: vec![("collect".to_owned(), 11), ("verify".to_owned(), 3)],
+        ..CachedResult::default()
+    }
+}
+
+#[test]
+fn roundtrip_and_stats() {
+    let dir = TempDir::new("store-rt").unwrap();
+    let store = Store::open(StoreConfig::new(dir.path())).unwrap();
+    assert!(store.get(&key(1)).is_none());
+    store.put(&key(1), &result(64, 1)).unwrap();
+    assert_eq!(store.get(&key(1)).unwrap(), result(64, 1));
+    let stats = store.stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.puts, stats.entries),
+        (1, 1, 1, 1)
+    );
+    assert!(stats.bytes > 64);
+}
+
+#[test]
+fn persists_across_reopen() {
+    let dir = TempDir::new("store-reopen").unwrap();
+    {
+        let store = Store::open(StoreConfig::new(dir.path())).unwrap();
+        store.put(&key(1), &result(32, 1)).unwrap();
+        store.put(&key(2), &result(32, 2)).unwrap();
+    }
+    let store = Store::open(StoreConfig::new(dir.path())).unwrap();
+    assert_eq!(store.stats().entries, 2);
+    assert_eq!(store.get(&key(1)).unwrap(), result(32, 1));
+    assert_eq!(store.get(&key(2)).unwrap(), result(32, 2));
+}
+
+#[test]
+fn lru_eviction_respects_access_order_across_reopen() {
+    let dir = TempDir::new("store-lru").unwrap();
+    // Size the budget for roughly two entries: each entry is payload
+    // (~size + 130 bytes of codec overhead) + 36 bytes of container.
+    let entry_bytes = {
+        let probe = TempDir::new("store-probe").unwrap();
+        let s = Store::open(StoreConfig::new(probe.path())).unwrap();
+        s.put(&key(9), &result(256, 9)).unwrap();
+        s.stats().bytes
+    };
+    {
+        let store =
+            Store::open(StoreConfig::new(dir.path()).with_budget(2 * entry_bytes + 10)).unwrap();
+        store.put(&key(1), &result(256, 1)).unwrap();
+        store.put(&key(2), &result(256, 2)).unwrap();
+        // Touch key 1 so key 2 is now the LRU entry.
+        assert!(store.get(&key(1)).is_some());
+    }
+    // The access order must survive the reopen via the index log.
+    let store =
+        Store::open(StoreConfig::new(dir.path()).with_budget(2 * entry_bytes + 10)).unwrap();
+    store.put(&key(3), &result(256, 3)).unwrap();
+    assert_eq!(store.stats().evictions, 1);
+    assert!(store.contains(&key(1)), "recently used entry survived");
+    assert!(!store.contains(&key(2)), "LRU entry evicted");
+    assert!(store.contains(&key(3)));
+    assert!(!object_path(dir.path(), key(2)).exists());
+}
+
+#[test]
+fn replaced_entry_does_not_leak_bytes() {
+    let dir = TempDir::new("store-replace").unwrap();
+    let store = Store::open(StoreConfig::new(dir.path())).unwrap();
+    store.put(&key(1), &result(1000, 1)).unwrap();
+    let after_first = store.stats().bytes;
+    store.put(&key(1), &result(1000, 2)).unwrap();
+    assert_eq!(store.stats().bytes, after_first);
+    assert_eq!(store.stats().entries, 1);
+    assert_eq!(store.get(&key(1)).unwrap(), result(1000, 2));
+}
+
+#[test]
+fn corrupt_entry_is_quarantined_not_served() {
+    let dir = TempDir::new("store-corrupt").unwrap();
+    let store = Store::open(StoreConfig::new(dir.path())).unwrap();
+    store.put(&key(5), &result(128, 5)).unwrap();
+
+    // Flip one byte in the middle of the payload on disk.
+    let path = object_path(dir.path(), key(5));
+    let mut blob = std::fs::read(&path).unwrap();
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0x01;
+    std::fs::write(&path, &blob).unwrap();
+
+    // The read path must detect the mismatch and quarantine the entry.
+    assert!(store.get(&key(5)).is_none());
+    let stats = store.stats();
+    assert_eq!(stats.quarantined, 1);
+    assert_eq!(stats.entries, 0);
+    assert!(!path.exists(), "corrupt object removed from serving path");
+    let quarantined = dir.path().join("quarantine").join(key(5).to_hex());
+    assert!(
+        quarantined.exists(),
+        "corrupt object preserved for analysis"
+    );
+
+    // The fallback: a get_or_fill after the quarantine re-extracts.
+    let fills = AtomicUsize::new(0);
+    let (got, hit) = store.get_or_fill(&key(5), || {
+        fills.fetch_add(1, Ordering::SeqCst);
+        Some(result(128, 6))
+    });
+    assert!(!hit);
+    assert_eq!(fills.load(Ordering::SeqCst), 1, "re-extraction ran");
+    assert_eq!(got.unwrap(), result(128, 6));
+    assert_eq!(store.get(&key(5)).unwrap(), result(128, 6));
+}
+
+#[test]
+fn truncated_entry_is_quarantined() {
+    let dir = TempDir::new("store-trunc").unwrap();
+    let store = Store::open(StoreConfig::new(dir.path())).unwrap();
+    store.put(&key(7), &result(64, 7)).unwrap();
+    let path = object_path(dir.path(), key(7));
+    let blob = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &blob[..blob.len() - 5]).unwrap();
+    assert!(store.get(&key(7)).is_none());
+    assert_eq!(store.stats().quarantined, 1);
+}
+
+#[test]
+fn concurrent_get_or_fill_runs_exactly_one_fill() {
+    let dir = TempDir::new("store-conc").unwrap();
+    let store = Arc::new(Store::open(StoreConfig::new(dir.path())).unwrap());
+    let fills = Arc::new(AtomicUsize::new(0));
+    const THREADS: usize = 8;
+
+    let mut results = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let fills = Arc::clone(&fills);
+                scope.spawn(move || {
+                    store.get_or_fill(&key(3), || {
+                        fills.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window: the gate must hold the
+                        // other threads out for the whole fill.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Some(result(256, 3))
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().unwrap());
+        }
+    });
+
+    assert_eq!(
+        fills.load(Ordering::SeqCst),
+        1,
+        "exactly one extraction across {THREADS} threads"
+    );
+    let hits = results.iter().filter(|(_, hit)| *hit).count();
+    assert_eq!(hits, THREADS - 1, "everyone else was served from cache");
+    for (got, _) in results {
+        assert_eq!(got.unwrap(), result(256, 3));
+    }
+}
+
+#[test]
+fn sharded_layout_and_key_hex() {
+    let dir = TempDir::new("store-shard").unwrap();
+    let store = Store::open(StoreConfig::new(dir.path())).unwrap();
+    let k = Key::from_hex("ab00000000000000000000000000000000000000").unwrap();
+    store.put(&k, &result(16, 1)).unwrap();
+    let path = object_path(dir.path(), k);
+    assert!(path.ends_with(
+        std::path::Path::new("objects")
+            .join("ab")
+            .join("00000000000000000000000000000000000000")
+    ));
+    assert!(path.exists());
+    assert_eq!(Key::from_hex(&k.to_hex()), Some(k));
+    assert!(Key::from_hex("xyz").is_none());
+    assert!(Key::from_hex("ab").is_none());
+}
+
+#[test]
+fn uncacheable_fill_stores_nothing() {
+    let dir = TempDir::new("store-nofill").unwrap();
+    let store = Store::open(StoreConfig::new(dir.path())).unwrap();
+    let (got, hit) = store.get_or_fill(&key(4), || None);
+    assert!(got.is_none());
+    assert!(!hit);
+    assert_eq!(store.stats().entries, 0);
+    // A later fill still runs and can cache.
+    let (got, hit) = store.get_or_fill(&key(4), || Some(result(8, 4)));
+    assert!(!hit);
+    assert_eq!(got.unwrap(), result(8, 4));
+    assert_eq!(store.stats().entries, 1);
+}

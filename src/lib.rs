@@ -20,6 +20,12 @@
 //!   (CFG construction, register typestate dataflow, `V####`/`L####`
 //!   diagnostics) gating reassembly output.
 //! * [`droidbench`] — the generated benchmark corpus and app generators.
+//! * [`harness`] — the corpus-scale batch-extraction harness (worker pool,
+//!   fault isolation, conformance checking, result caching).
+//! * [`store`] — the persistent content-addressed result store backing the
+//!   cache.
+//! * [`service`] — `dexlegod`, the persistent extraction daemon and its
+//!   wire protocol/client.
 //!
 //! See `examples/quickstart.rs` for the end-to-end unpack-and-analyse flow.
 
@@ -28,6 +34,9 @@ pub use dexlego_core as dexlego;
 pub use dexlego_dalvik as dalvik;
 pub use dexlego_dex as dex;
 pub use dexlego_droidbench as droidbench;
+pub use dexlego_harness as harness;
 pub use dexlego_packer as packer;
 pub use dexlego_runtime as runtime;
+pub use dexlego_service as service;
+pub use dexlego_store as store;
 pub use dexlego_verifier as verifier;

@@ -1,14 +1,54 @@
 #!/usr/bin/env sh
 # Full check suite: release build, all tests, clippy as errors, formatting,
-# and a sharded harness smoke run over every packer profile (fails on any
+# a sharded harness smoke run over every packer profile (fails on any
 # job panic, timeout, verifier rejection, validation finding, or
-# behavioural divergence).
+# behavioural divergence), and a dexlegod service round-trip (second
+# identical extraction must be a byte-identical cache hit; graceful
+# shutdown must exit 0).
 set -eu
 cd "$(dirname "$0")"
 
-cargo build --release
+cargo build --release --workspace
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 cargo run -p dexlego-harness --bin harness-smoke --release -- \
     --workers 2 --apps 2 --packers all
+
+# Service smoke: start dexlegod on an ephemeral port, submit the same
+# extraction twice (the smoke client asserts the second is a cache hit
+# with byte-identical DEX), then drain gracefully and check exit 0.
+service_dir="target/verify-dexlegod"
+rm -rf "$service_dir"
+mkdir -p "$service_dir"
+./target/release/dexlegod --workers 2 --store "$service_dir/store" \
+    > "$service_dir/daemon.out" 2> "$service_dir/daemon.err" &
+daemon_pid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/^dexlegod: listening on //p' "$service_dir/daemon.out")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "verify: dexlegod died before listening" >&2
+        cat "$service_dir/daemon.err" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "verify: dexlegod never printed its address" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! ./target/release/dexlegod-smoke --addr "$addr" --packer 360 --shutdown; then
+    echo "verify: dexlegod-smoke failed" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! wait "$daemon_pid"; then
+    echo "verify: dexlegod did not exit 0 after graceful shutdown" >&2
+    exit 1
+fi
+echo "verify: dexlegod service smoke ok"
