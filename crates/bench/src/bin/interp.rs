@@ -1,0 +1,45 @@
+//! Interpreter fetch microbenchmark, as one JSON line (BENCH_interp.json).
+//!
+//! ```text
+//! cargo run -p dexlego-bench --release --bin interp [-- --iters N --repeats N --smoke]
+//! ```
+//!
+//! `--smoke` runs a reduced workload and asserts the predecoded cache is
+//! not slower than per-step decoding (used by `verify.sh`).
+
+fn main() {
+    let mut iters = 200_000i32;
+    let mut repeats = 5u32;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> i64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} expects a number"))
+        };
+        match arg.as_str() {
+            "--iters" => iters = value("--iters") as i32,
+            "--repeats" => repeats = value("--repeats") as u32,
+            "--smoke" => smoke = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    if smoke {
+        iters = 20_000;
+        repeats = 3;
+    }
+    let results = dexlego_bench::interp::run(iters, repeats);
+    println!("{}", dexlego_bench::interp::format(&results));
+    if smoke {
+        for r in &results {
+            assert!(
+                r.speedup() >= 1.0,
+                "{}: predecoded fetch slower than per-step ({:.2}x)",
+                r.name,
+                r.speedup()
+            );
+        }
+        eprintln!("interp smoke: predecoded >= per-step on all workloads");
+    }
+}

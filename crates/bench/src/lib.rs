@@ -7,11 +7,14 @@
 //! Binaries under `src/bin/` (`table1` … `table8`, `fig5`, `fig6`, `all`)
 //! call these functions; `cargo run -p dexlego-bench --bin all` regenerates
 //! every number for EXPERIMENTS.md. The extra `service` binary measures
-//! cold vs warm throughput through a live `dexlegod` daemon ([`service`]).
+//! cold vs warm throughput through a live `dexlegod` daemon ([`service`]),
+//! and `interp` compares decode-per-step against the predecoded code
+//! cache in instructions/sec ([`interp`], emitting BENCH_interp.json).
 
 pub mod common;
 pub mod fig5;
 pub mod fig6;
+pub mod interp;
 pub mod service;
 pub mod table1;
 pub mod table2;

@@ -1,8 +1,27 @@
-//! Decoding 16-bit code units into [`Insn`] / [`Decoded`] values.
+//! Decoding 16-bit code units into [`Insn`] / [`Decoded`] values, and
+//! whole-method predecoding into a [`PredecodedMethod`] cache entry.
+
+use std::cell::Cell;
 
 use crate::insn::{Decoded, Insn};
 use crate::opcode::{payload, Format, Opcode};
 use crate::{DalvikError, Result};
+
+thread_local! {
+    // Counts decode_insn calls on this thread. A Cell (not an atomic) so the
+    // hook costs one TLS read-modify-write and parallel test threads do not
+    // observe each other's decodes.
+    static DECODE_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of [`decode_insn`] calls made by the current thread so far.
+///
+/// A test hook: code-cache regression tests snapshot this counter around a
+/// hot loop to prove that predecoded execution performs no per-step (or
+/// per-payload) re-decoding.
+pub fn decode_calls() -> u64 {
+    DECODE_CALLS.with(Cell::get)
+}
 
 fn unit(code: &[u16], at: usize, start: usize) -> Result<u16> {
     code.get(at)
@@ -29,6 +48,7 @@ fn unit(code: &[u16], at: usize, start: usize) -> Result<u16> {
 /// assert_eq!(d.as_insn().unwrap().lit, 7);
 /// ```
 pub fn decode_insn(code: &[u16], pc: usize) -> Result<Decoded> {
+    DECODE_CALLS.with(|c| c.set(c.get() + 1));
     let first = unit(code, pc, pc)?;
     let op_byte = (first & 0xff) as u8;
     let hi = (first >> 8) as u8;
@@ -245,6 +265,117 @@ pub fn decode_method(code: &[u16]) -> Result<Vec<(u32, Decoded)>> {
     Ok(out)
 }
 
+/// Sentinel in [`PredecodedMethod::index_of`] for code units that are not
+/// the start of a decoded instruction (operand units, payload interiors).
+const NOT_AN_INSN: u32 = u32::MAX;
+
+/// A whole method body decoded once, up front: the dense instruction list,
+/// a `dex_pc → instruction` map, pre-resolved payload tables for
+/// `fill-array-data` / `packed-switch` / `sparse-switch`, and a snapshot of
+/// the raw code units (so events can carry borrowed `&[u16]` slices without
+/// touching the live, mutable method body).
+///
+/// This is the interpreter's analogue of ART's predecoded/mterp
+/// representation: a method run N times pays one decode, not N.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredecodedMethod {
+    /// Snapshot of the code units at predecode time.
+    units: Vec<u16>,
+    /// Decoded instructions in stream order.
+    insns: Vec<Insn>,
+    /// For each code unit: index into `insns` if an instruction starts
+    /// there, else [`NOT_AN_INSN`].
+    index_of: Vec<u32>,
+    /// Payload pseudo-instructions, keyed by start `dex_pc`, ascending.
+    payloads: Vec<(u32, Decoded)>,
+}
+
+impl PredecodedMethod {
+    /// The instruction starting at `pc` with its raw unit slice, or `None`
+    /// if `pc` is out of range or not an instruction start.
+    #[inline]
+    pub fn insn_at(&self, pc: u32) -> Option<(&Insn, &[u16])> {
+        let idx = *self.index_of.get(pc as usize)?;
+        if idx == NOT_AN_INSN {
+            return None;
+        }
+        let insn = &self.insns[idx as usize];
+        let pc = pc as usize;
+        Some((insn, &self.units[pc..pc + insn.units()]))
+    }
+
+    /// The payload starting at `pc`, if one was predecoded there.
+    #[inline]
+    pub fn payload_at(&self, pc: u32) -> Option<&Decoded> {
+        self.payloads
+            .binary_search_by_key(&pc, |&(at, _)| at)
+            .ok()
+            .map(|i| &self.payloads[i].1)
+    }
+
+    /// The raw unit slice of the payload starting at `pc`, if any.
+    pub fn payload_units(&self, pc: u32) -> Option<&[u16]> {
+        let payload = self.payload_at(pc)?;
+        let pc = pc as usize;
+        self.units.get(pc..pc + payload.units())
+    }
+
+    /// Number of decoded instructions (payloads not included).
+    pub fn insn_count(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Number of predecoded payload tables.
+    pub fn payload_count(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Length of the snapshotted unit stream.
+    pub fn unit_len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// `(dex_pc, instruction)` pairs in stream order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Insn)> {
+        self.index_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &idx)| idx != NOT_AN_INSN)
+            .map(|(pc, &idx)| (pc as u32, &self.insns[idx as usize]))
+    }
+}
+
+/// Decodes an entire method body once into a [`PredecodedMethod`].
+///
+/// # Errors
+///
+/// Propagates the first decoding error. Callers treating predecoding as an
+/// optimisation should fall back to per-step decoding on failure: a stream
+/// can contain undecodable regions that execution never reaches (data after
+/// an unconditional return, partially decrypted bodies).
+pub fn predecode(code: &[u16]) -> Result<PredecodedMethod> {
+    let mut pre = PredecodedMethod {
+        units: code.to_vec(),
+        insns: Vec::new(),
+        index_of: vec![NOT_AN_INSN; code.len()],
+        payloads: Vec::new(),
+    };
+    let mut pc = 0usize;
+    while pc < code.len() {
+        let d = decode_insn(code, pc)?;
+        let len = d.units();
+        match d {
+            Decoded::Insn(insn) => {
+                pre.index_of[pc] = pre.insns.len() as u32;
+                pre.insns.push(insn);
+            }
+            payload => pre.payloads.push((pc as u32, payload)),
+        }
+        pc += len;
+    }
+    Ok(pre)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +487,53 @@ mod tests {
         assert_eq!(insns[0].0, 0);
         assert_eq!(insns[1].0, 1);
         assert_eq!(insns[2].0, 3);
+    }
+
+    #[test]
+    fn predecode_maps_pcs_and_payloads() {
+        // const/4 v0,#1 ; packed-switch v0, +5 ; return v0 ; nop pad ;
+        // packed-switch payload (size 1, first_key 0, target +3)
+        let code = [
+            0x1012, 0x002b, 0x0005, 0x0000, 0x000f, 0x0000, 0x0100, 0x0001, 0x0000, 0x0000, 0x0003,
+            0x0000,
+        ];
+        let pre = predecode(&code).unwrap();
+        assert_eq!(pre.insn_count(), 4);
+        assert_eq!(pre.payload_count(), 1);
+        assert_eq!(pre.unit_len(), code.len());
+        let (insn, units) = pre.insn_at(1).unwrap();
+        assert_eq!(insn.op, Opcode::PackedSwitch);
+        assert_eq!(units, &code[1..4]);
+        // Operand units and payload interiors are not instruction starts.
+        assert!(pre.insn_at(2).is_none());
+        assert!(pre.insn_at(7).is_none());
+        assert!(pre.insn_at(code.len() as u32).is_none());
+        match pre.payload_at(6).unwrap() {
+            Decoded::PackedSwitchPayload { first_key, targets } => {
+                assert_eq!(*first_key, 0);
+                assert_eq!(targets, &vec![3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(pre.payload_units(6).unwrap(), &code[6..]);
+        assert!(pre.payload_at(5).is_none());
+        assert_eq!(pre.iter().count(), 4);
+        assert_eq!(pre.iter().next().unwrap().0, 0);
+    }
+
+    #[test]
+    fn predecode_rejects_undecodable_stream() {
+        // return-void followed by an unknown opcode byte: per-step execution
+        // would never reach it, but whole-method predecoding must refuse so
+        // the interpreter falls back to per-step fetching.
+        assert!(predecode(&[0x000e, 0x0040]).is_err());
+    }
+
+    #[test]
+    fn decode_calls_counter_advances() {
+        let before = decode_calls();
+        decode_insn(&[0x000e], 0).unwrap();
+        assert_eq!(decode_calls(), before + 1);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`insn`] — a decoded instruction value ([`Insn`]) plus switch/array
 //!   payloads ([`Decoded`]).
 //! * [`decode`] / [`encode`] — lossless translation between 16-bit code
-//!   units and decoded instructions.
+//!   units and decoded instructions, plus whole-method predecoding
+//!   ([`predecode`]) into the dense [`PredecodedMethod`] representation the
+//!   interpreter's code cache is built from.
 //! * [`asm`] — a label-based method assembler that sizes branches and lays
 //!   out payloads, used to build test programs and by the reassembler.
 //! * [`disasm`] — a smali-flavoured pretty printer.
@@ -45,7 +47,7 @@ pub mod opcode;
 pub mod subset;
 
 pub use asm::MethodAssembler;
-pub use decode::{decode_insn, decode_method};
+pub use decode::{decode_insn, decode_method, predecode, PredecodedMethod};
 pub use encode::encode_insn;
 pub use insn::{Decoded, Insn};
 pub use opcode::{Format, IndexKind, Opcode};

@@ -327,8 +327,17 @@ impl RuntimeObserver for JitCollector {
                 | dexlego_dalvik::Opcode::SparseSwitch
                 | dexlego_dalvik::Opcode::FillArrayData
         ) {
-            let payload_pc = ev.insn.target(ev.dex_pc) as usize;
-            if let MethodImpl::Bytecode { insns, .. } = &rt.method(ev.method).body {
+            let payload_pc = ev.insn.target(ev.dex_pc);
+            // Serve the raw units from the predecoded tables when the
+            // method is cached; decode from the live body otherwise.
+            let precached = rt
+                .predecoded_cached(ev.method)
+                .and_then(|p| p.payload_units(payload_pc))
+                .map(|units| (ev.insn.off, units.to_vec()));
+            if precached.is_some() {
+                precached
+            } else if let MethodImpl::Bytecode { insns, .. } = &rt.method(ev.method).body {
+                let payload_pc = payload_pc as usize;
                 dexlego_dalvik::decode_insn(insns, payload_pc)
                     .ok()
                     .map(|d| {

@@ -1,0 +1,141 @@
+//! The predecoded code cache.
+//!
+//! On first execution of a bytecode method the interpreter decodes the whole
+//! instruction stream once into a [`PredecodedMethod`] and caches it here;
+//! subsequent executions fetch borrowed `&Insn` / `&[u16]` views out of the
+//! cache instead of re-decoding per instruction (the same per-instruction
+//! tax ART avoids with its predecoded/mterp representation).
+//!
+//! Because method bodies are mutable at runtime (self-modifying natives,
+//! packer shells), every mutable access to a method bumps a per-method
+//! *code epoch*; a cache entry is valid only for the epoch it was built at.
+//! The interpreter re-checks the epoch every step, so a body rewritten
+//! mid-frame is re-predecoded before the next instruction executes —
+//! self-modifying code behaves exactly as with per-step fetching.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dexlego_dalvik::{predecode, PredecodedMethod};
+
+use crate::class::MethodId;
+
+/// One cache slot: the outcome of predecoding a method at a given epoch.
+#[derive(Debug, Clone)]
+enum Entry {
+    /// Predecoding succeeded; serve fetches from this representation.
+    Pre(Arc<PredecodedMethod>),
+    /// Predecoding failed (stream not linearly decodable); the interpreter
+    /// uses per-step fetching until the body changes again.
+    Unpredecodable,
+}
+
+/// Per-runtime cache of predecoded method bodies with epoch invalidation.
+#[derive(Debug, Default)]
+pub struct CodeCache {
+    /// Cache entries tagged with the epoch they were built at.
+    entries: HashMap<MethodId, (u64, Entry)>,
+    /// Per-method code epoch, bumped on every mutable method access.
+    /// Indexed by `MethodId`; methods beyond the end are at epoch 0.
+    epochs: Vec<u64>,
+    /// Number of full-method predecodes performed (cache misses + rebuilds).
+    pub builds: u64,
+}
+
+impl CodeCache {
+    /// The current code epoch of `method`.
+    #[inline]
+    pub fn epoch(&self, method: MethodId) -> u64 {
+        self.epochs.get(method.0).copied().unwrap_or(0)
+    }
+
+    /// Records that `method`'s body may have been mutated, invalidating any
+    /// cached predecoded representation.
+    pub fn bump_epoch(&mut self, method: MethodId) {
+        if method.0 >= self.epochs.len() {
+            self.epochs.resize(method.0 + 1, 0);
+        }
+        self.epochs[method.0] += 1;
+    }
+
+    /// The cached representation for `method` if it is valid at the current
+    /// epoch — read-only: never builds. Observers holding `&Runtime` use
+    /// this to serve payload slices without re-decoding.
+    pub fn get(&self, method: MethodId) -> Option<&Arc<PredecodedMethod>> {
+        match self.entries.get(&method) {
+            Some((epoch, Entry::Pre(pre))) if *epoch == self.epoch(method) => Some(pre),
+            _ => None,
+        }
+    }
+
+    /// The predecoded representation of `method` whose body is `units`,
+    /// building (or rebuilding) it if the cached one is missing or stale.
+    /// Returns `None` if the stream cannot be predecoded — the caller must
+    /// fall back to per-step fetching; the negative outcome is cached too,
+    /// so an unpredecodable body is not re-attempted every frame.
+    pub fn get_or_build(
+        &mut self,
+        method: MethodId,
+        units: &[u16],
+    ) -> Option<Arc<PredecodedMethod>> {
+        let epoch = self.epoch(method);
+        if let Some((cached_epoch, entry)) = self.entries.get(&method) {
+            if *cached_epoch == epoch {
+                return match entry {
+                    Entry::Pre(pre) => Some(Arc::clone(pre)),
+                    Entry::Unpredecodable => None,
+                };
+            }
+        }
+        self.builds += 1;
+        let (entry, result) = match predecode(units) {
+            Ok(pre) => {
+                let pre = Arc::new(pre);
+                (Entry::Pre(Arc::clone(&pre)), Some(pre))
+            }
+            Err(_) => (Entry::Unpredecodable, None),
+        };
+        self.entries.insert(method, (epoch, entry));
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_cached_until_epoch_bump() {
+        let mut cache = CodeCache::default();
+        let m = MethodId(3);
+        let code = [0x000e]; // return-void
+        let a = cache.get_or_build(m, &code).unwrap();
+        let b = cache.get_or_build(m, &code).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.builds, 1);
+        assert!(cache.get(m).is_some());
+
+        cache.bump_epoch(m);
+        assert!(cache.get(m).is_none(), "stale entry must not be served");
+        let c = cache.get_or_build(m, &code).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.builds, 2);
+    }
+
+    #[test]
+    fn unpredecodable_outcome_is_cached() {
+        let mut cache = CodeCache::default();
+        let m = MethodId(0);
+        let garbage = [0x000e, 0x0040]; // return-void, unknown opcode
+        assert!(cache.get_or_build(m, &garbage).is_none());
+        assert!(cache.get_or_build(m, &garbage).is_none());
+        assert_eq!(cache.builds, 1, "failure must not be re-attempted");
+        assert!(cache.get(m).is_none());
+    }
+
+    #[test]
+    fn epochs_default_to_zero_past_end() {
+        let cache = CodeCache::default();
+        assert_eq!(cache.epoch(MethodId(99)), 0);
+    }
+}

@@ -4,9 +4,17 @@
 //! register frame of 32-bit slots, a `dex_pc` into the method's 16-bit code
 //! unit array, and a fetch→observe→execute loop. Observers see every
 //! instruction *before* it executes, with its raw units — the hook DexLego's
-//! Algorithm 1 builds its collection trees on. Because code units are
-//! re-fetched from the (mutable) method on every iteration, self-modifying
-//! native code behaves exactly as on Android.
+//! Algorithm 1 builds its collection trees on.
+//!
+//! Fetching is served from the runtime's predecoded code cache (the analogue
+//! of ART's mterp/predecoded representation): a method body is decoded once
+//! into a dense [`dexlego_dalvik::PredecodedMethod`] and each step borrows
+//! `&Insn` / `&[u16]` views out of it. Method bodies stay mutable — every
+//! frame re-validates the body's *code epoch* before each step and
+//! re-predecodes on change, so self-modifying native code behaves exactly as
+//! on Android, where units are re-fetched from the live method. Streams that
+//! resist linear predecoding (garbage past unreachable code) and jumps to
+//! non-boundary pcs fall back to per-step decoding with identical semantics.
 //!
 //! Taint is propagated through explicit data flow only (moves, arithmetic,
 //! field/array traffic, call arguments and returns) — deliberately *not*
@@ -137,8 +145,46 @@ fn execute_inner(
     outcome
 }
 
-/// Fetches the current instruction's decoded form and raw units.
-fn fetch(rt: &Runtime, method: MethodId, pc: u32) -> Result<(Insn, Vec<u16>)> {
+/// Longest Dalvik instruction, in 16-bit code units (`const-wide`, 51l).
+const MAX_INSN_UNITS: usize = 5;
+
+/// The fetch source a frame executes from.
+///
+/// `Pre` serves borrowed `&Insn` / `&[u16]` views out of the runtime's
+/// predecoded code cache; the frame re-validates its epoch before every
+/// step, so self-modifying code (which bumps the epoch via
+/// [`Runtime::method_mut`]) is re-predecoded before the next instruction.
+/// `Step` decodes from the live method body on every step — the fallback
+/// for unpredecodable streams and the explicit
+/// [`FetchMode::DecodePerStep`](crate::runtime::FetchMode) baseline.
+enum FrameCode {
+    Pre {
+        pre: std::sync::Arc<dexlego_dalvik::PredecodedMethod>,
+        epoch: u64,
+    },
+    Step,
+}
+
+/// Chooses the fetch source for a frame of `method` right now.
+fn acquire_code(rt: &mut Runtime, method: MethodId) -> FrameCode {
+    if rt.env.fetch_mode == crate::runtime::FetchMode::DecodePerStep {
+        return FrameCode::Step;
+    }
+    let epoch = rt.code_epoch(method);
+    match rt.predecoded(method) {
+        Some(pre) => FrameCode::Pre { pre, epoch },
+        None => FrameCode::Step,
+    }
+}
+
+/// Decodes the instruction at `pc` from the live method body, copying its
+/// raw units into a caller-provided fixed buffer — no heap allocation.
+fn fetch_step(
+    rt: &Runtime,
+    method: MethodId,
+    pc: u32,
+    unit_buf: &mut [u16; MAX_INSN_UNITS],
+) -> Result<(Insn, usize)> {
     let MethodImpl::Bytecode { insns, .. } = &rt.method(method).body else {
         return Err(RuntimeError::Internal(
             "fetch on non-bytecode method".into(),
@@ -155,8 +201,8 @@ fn fetch(rt: &Runtime, method: MethodId, pc: u32) -> Result<(Insn, Vec<u16>)> {
     match decode_insn(insns, pc as usize)? {
         Decoded::Insn(insn) => {
             let len = insn.units();
-            let units = insns[pc as usize..pc as usize + len].to_vec();
-            Ok((insn, units))
+            unit_buf[..len].copy_from_slice(&insns[pc as usize..pc as usize + len]);
+            Ok((insn, len))
         }
         _ => Err(RuntimeError::Internal(format!(
             "{}: execution reached payload at dex_pc {}",
@@ -166,7 +212,7 @@ fn fetch(rt: &Runtime, method: MethodId, pc: u32) -> Result<(Insn, Vec<u16>)> {
     }
 }
 
-/// Reads the payload referenced by a 31t instruction.
+/// Reads the payload referenced by a 31t instruction from the live body.
 fn fetch_payload(rt: &Runtime, method: MethodId, payload_pc: u32) -> Result<Decoded> {
     let MethodImpl::Bytecode { insns, .. } = &rt.method(method).body else {
         return Err(RuntimeError::Internal(
@@ -176,13 +222,13 @@ fn fetch_payload(rt: &Runtime, method: MethodId, payload_pc: u32) -> Result<Deco
     Ok(decode_insn(insns, payload_pc as usize)?)
 }
 
-struct Frame {
-    regs: Vec<Slot>,
+struct Frame<'r> {
+    regs: &'r mut [Slot],
     last_result: RetVal,
     caught: Option<ObjRef>,
 }
 
-impl Frame {
+impl Frame<'_> {
     fn reg(&self, i: u32) -> Slot {
         self.regs[i as usize]
     }
@@ -203,7 +249,28 @@ enum Thrown {
     Java(&'static str, String),
 }
 
-#[allow(clippy::too_many_lines)]
+/// Serves the payload at `ppc` from the frame's predecoded tables when
+/// available, decoding it from the live method body otherwise. `storage`
+/// anchors the decoded fallback so both paths return a borrow.
+fn payload_ref<'a>(
+    code: &'a FrameCode,
+    storage: &'a mut Option<Decoded>,
+    rt: &Runtime,
+    method: MethodId,
+    ppc: u32,
+) -> Result<&'a Decoded> {
+    if let FrameCode::Pre { pre, .. } = code {
+        if let Some(p) = pre.payload_at(ppc) {
+            return Ok(p);
+        }
+    }
+    Ok(storage.insert(fetch_payload(rt, method, ppc)?))
+}
+
+/// Invoke argument counts at or below this use a stack buffer; longer
+/// range invokes (rare) fall back to a heap vector.
+const INLINE_ARGS: usize = 8;
+
 fn run_frame(
     rt: &mut Runtime,
     obs: &mut dyn RuntimeObserver,
@@ -213,32 +280,75 @@ fn run_frame(
     args: &[Slot],
     depth: usize,
 ) -> Result<Outcome> {
+    let mut regs = rt.acquire_regs(registers);
+    regs[registers - ins..].copy_from_slice(args);
+    let result = run_frame_inner(rt, obs, method, &mut regs, depth);
+    rt.release_regs(regs);
+    result
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_frame_inner(
+    rt: &mut Runtime,
+    obs: &mut dyn RuntimeObserver,
+    method: MethodId,
+    regs: &mut [Slot],
+    depth: usize,
+) -> Result<Outcome> {
     let mut frame = Frame {
-        regs: vec![Slot::default(); registers],
+        regs,
         last_result: RetVal::Void,
         caught: None,
     };
-    frame.regs[registers - ins..].copy_from_slice(args);
     let mut pc: u32 = 0;
+    // Hoisted once per frame: passive observers skip event construction.
+    let wants_events = obs.wants_insn_events();
+    let mut code = acquire_code(rt, method);
+    // Scratch for the per-step fallback path — fixed-size, so the
+    // steady-state loop performs no per-instruction heap allocation.
+    let mut unit_buf = [0u16; MAX_INSN_UNITS];
 
     'dispatch: loop {
         rt.stats.insns += 1;
         if rt.stats.insns - rt.budget_start > rt.env.insn_budget {
             return Err(RuntimeError::BudgetExhausted);
         }
-        let (insn, units) = fetch(rt, method, pc)?;
+        // Self-modification check: a bumped epoch means the body may have
+        // changed (possibly by a nested call) — re-predecode before fetch.
+        if let FrameCode::Pre { epoch, .. } = &code {
+            if *epoch != rt.code_epoch(method) {
+                code = acquire_code(rt, method);
+            }
+        }
+        let step_insn;
+        let (insn, units): (&Insn, &[u16]) = 'fetch: {
+            if let FrameCode::Pre { pre, .. } = &code {
+                if let Some(hit) = pre.insn_at(pc) {
+                    break 'fetch hit;
+                }
+                // A pc the linear predecode did not mark as an instruction
+                // boundary (payload, or a jump into the middle of an
+                // instruction): decode from the live body, exactly as
+                // per-step mode would.
+            }
+            let (decoded, len) = fetch_step(rt, method, pc, &mut unit_buf)?;
+            step_insn = decoded;
+            (&step_insn, &unit_buf[..len])
+        };
         if let Some(top) = rt.exec_stack.last_mut() {
             top.1 = pc;
         }
-        obs.on_instruction(
-            rt,
-            &InsnEvent {
-                method,
-                dex_pc: pc,
-                insn: &insn,
-                units: &units,
-            },
-        );
+        if wants_events {
+            obs.on_instruction(
+                rt,
+                &InsnEvent {
+                    method,
+                    dex_pc: pc,
+                    insn,
+                    units,
+                },
+            );
+        }
         let next_pc = pc + insn.units() as u32;
 
         // Instruction execution. `thrown` carries a pending Java exception
@@ -403,7 +513,8 @@ fn run_frame(
             }
             Opcode::FillArrayData => {
                 let arr = frame.reg(insn.a).raw;
-                let payload = fetch_payload(rt, method, insn.target(pc))?;
+                let mut storage = None;
+                let payload = payload_ref(&code, &mut storage, rt, method, insn.target(pc))?;
                 if let Decoded::FillArrayDataPayload {
                     element_width,
                     data,
@@ -416,7 +527,7 @@ fn run_frame(
                         );
                     } else if let Some(obj) = rt.heap.get_mut(arr) {
                         if let ObjKind::Array { data: dst, .. } = &mut obj.kind {
-                            let w = element_width as usize;
+                            let w = *element_width as usize;
                             for (i, chunk) in data.chunks(w).enumerate() {
                                 if i >= dst.len() {
                                     break;
@@ -455,10 +566,11 @@ fn run_frame(
             // ---- switches --------------------------------------------------------
             Opcode::PackedSwitch | Opcode::SparseSwitch => {
                 let key = frame.reg(insn.a).as_int();
-                let payload = fetch_payload(rt, method, insn.target(pc))?;
+                let mut storage = None;
+                let payload = payload_ref(&code, &mut storage, rt, method, insn.target(pc))?;
                 let target = match payload {
                     Decoded::PackedSwitchPayload { first_key, targets } => {
-                        let idx = i64::from(key) - i64::from(first_key);
+                        let idx = i64::from(key) - i64::from(*first_key);
                         if idx >= 0 && (idx as usize) < targets.len() {
                             Some(targets[idx as usize])
                         } else {
@@ -738,18 +850,28 @@ fn run_frame(
 
             // ---- invocations --------------------------------------------------------------------
             op if op.is_invoke() => {
-                let args: Vec<Slot> = insn.regs.iter().map(|&r| frame.reg(r)).collect();
-                match dispatch_invoke(rt, obs, method, &insn, &args, depth)? {
+                let mut argbuf = [Slot::default(); INLINE_ARGS];
+                let heap_args: Vec<Slot>;
+                let call_args: &[Slot] = if insn.regs.len() <= INLINE_ARGS {
+                    for (i, &r) in insn.regs.iter().enumerate() {
+                        argbuf[i] = frame.reg(r);
+                    }
+                    &argbuf[..insn.regs.len()]
+                } else {
+                    heap_args = insn.regs.iter().map(|&r| frame.reg(r)).collect();
+                    &heap_args
+                };
+                match dispatch_invoke(rt, obs, method, insn, call_args, depth)? {
                     Outcome::Ret(v) => frame.last_result = v,
                     Outcome::Threw(exc) => thrown_obj = Some(exc),
                 }
             }
 
             // ---- unary ops --------------------------------------------------------------------
-            Opcode::NegInt => unary_int(&mut frame, &insn, |v| v.wrapping_neg()),
-            Opcode::NotInt => unary_int(&mut frame, &insn, |v| !v),
-            Opcode::NegLong => unary_long(&mut frame, &insn, |v| v.wrapping_neg()),
-            Opcode::NotLong => unary_long(&mut frame, &insn, |v| !v),
+            Opcode::NegInt => unary_int(&mut frame, insn, |v| v.wrapping_neg()),
+            Opcode::NotInt => unary_int(&mut frame, insn, |v| !v),
+            Opcode::NegLong => unary_long(&mut frame, insn, |v| v.wrapping_neg()),
+            Opcode::NotLong => unary_long(&mut frame, insn, |v| !v),
             Opcode::NegFloat => {
                 let v = frame.reg(insn.b);
                 frame.set(
@@ -892,9 +1014,9 @@ fn run_frame(
                     },
                 );
             }
-            Opcode::IntToByte => unary_int(&mut frame, &insn, |v| i32::from(v as i8)),
-            Opcode::IntToChar => unary_int(&mut frame, &insn, |v| i32::from(v as u16)),
-            Opcode::IntToShort => unary_int(&mut frame, &insn, |v| i32::from(v as i16)),
+            Opcode::IntToByte => unary_int(&mut frame, insn, |v| i32::from(v as i8)),
+            Opcode::IntToChar => unary_int(&mut frame, insn, |v| i32::from(v as u16)),
+            Opcode::IntToShort => unary_int(&mut frame, insn, |v| i32::from(v as i16)),
 
             // ---- int arithmetic (23x and 2addr) ------------------------------------------------
             op if int_binop(op).is_some() => {

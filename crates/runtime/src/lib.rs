@@ -18,8 +18,10 @@
 //!
 //! Self-modifying code is supported the same way it exists on Android: a
 //! registered native method receives `&mut Runtime` and may rewrite the
-//! in-memory code units of any loaded method; the interpreter re-fetches
-//! units on every instruction, so modifications take effect immediately.
+//! in-memory code units of any loaded method. Mutation bumps the method's
+//! *code epoch*, invalidating its entry in the predecoded code cache
+//! ([`code_cache`]); the interpreter re-validates the epoch before every
+//! instruction, so modifications take effect immediately even mid-frame.
 //!
 //! [`DexFile`]: dexlego_dex::DexFile
 //!
@@ -52,6 +54,7 @@
 //! ```
 
 pub mod class;
+pub mod code_cache;
 pub mod events;
 pub mod heap;
 pub mod interp;
@@ -65,5 +68,5 @@ pub use class::{ClassId, FieldId, MethodId};
 pub use events::RuntimeEvent;
 pub use heap::{Heap, ObjKind, ObjRef};
 pub use observer::RuntimeObserver;
-pub use runtime::{Env, Runtime, RuntimeError};
+pub use runtime::{Env, FetchMode, Runtime, RuntimeError};
 pub use value::{RetVal, Slot};

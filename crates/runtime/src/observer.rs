@@ -42,7 +42,21 @@ pub trait RuntimeObserver {
     fn on_method_exit(&mut self, _rt: &Runtime, _method: MethodId) {}
 
     /// An instruction is about to execute.
+    ///
+    /// Only delivered when [`Self::wants_insn_events`] returns `true`.
     fn on_instruction(&mut self, _rt: &Runtime, _event: &InsnEvent<'_>) {}
+
+    /// Whether this observer consumes [`Self::on_instruction`] events.
+    ///
+    /// The interpreter hoists this per frame and skips event construction
+    /// entirely for passive observers, so plain replay (conformance re-runs,
+    /// warm verification) pays near-zero observation cost. Defaults to
+    /// `true`; an observer that leaves `on_instruction` as the no-op default
+    /// should override this to `false` ([`NullObserver`] does). All other
+    /// hooks — branches, method enter/exit, exceptions — are unaffected.
+    fn wants_insn_events(&self) -> bool {
+        true
+    }
 
     /// A conditional branch at `dex_pc` evaluated to `taken`.
     fn on_branch(&mut self, _rt: &Runtime, _method: MethodId, _dex_pc: u32, _taken: bool) {}
@@ -84,11 +98,16 @@ pub trait RuntimeObserver {
     }
 }
 
-/// An observer that does nothing.
+/// An observer that does nothing. Declares itself passive, so the
+/// interpreter's no-event fast path applies.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullObserver;
 
-impl RuntimeObserver for NullObserver {}
+impl RuntimeObserver for NullObserver {
+    fn wants_insn_events(&self) -> bool {
+        false
+    }
+}
 
 /// Chains two observers; both receive every event, the first non-`None`
 /// branch override wins, and exception tolerance is the OR of the two.
@@ -123,6 +142,9 @@ impl<A: RuntimeObserver, B: RuntimeObserver> RuntimeObserver for Pair<A, B> {
     fn on_instruction(&mut self, rt: &Runtime, event: &InsnEvent<'_>) {
         self.0.on_instruction(rt, event);
         self.1.on_instruction(rt, event);
+    }
+    fn wants_insn_events(&self) -> bool {
+        self.0.wants_insn_events() || self.1.wants_insn_events()
     }
     fn on_branch(&mut self, rt: &Runtime, method: MethodId, dex_pc: u32, taken: bool) {
         self.0.on_branch(rt, method, dex_pc, taken);

@@ -2,10 +2,14 @@
 //! log — plus name resolution and class initialisation.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dexlego_dex::AccessFlags;
 
-use crate::class::{ClassId, FieldId, MethodId, RuntimeClass, RuntimeField, RuntimeMethod, SigKey};
+use crate::class::{
+    ClassId, FieldId, MethodId, MethodImpl, RuntimeClass, RuntimeField, RuntimeMethod, SigKey,
+};
+use crate::code_cache::CodeCache;
 use crate::events::EventLog;
 use crate::heap::{Heap, ObjRef};
 use crate::natives::NativeRegistry;
@@ -108,6 +112,19 @@ pub struct DexTable {
     pub source: String,
 }
 
+/// How the interpreter fetches instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FetchMode {
+    /// Decode each method body once into the predecoded code cache and
+    /// serve borrowed instruction views from it (the fast path).
+    #[default]
+    Predecoded,
+    /// Decode every instruction on every execution (the pre-cache
+    /// behaviour); kept as a conformance baseline for differential tests
+    /// and the `bench --bin interp` comparison.
+    DecodePerStep,
+}
+
 /// Environment knobs that samples can probe (anti-analysis behaviours).
 #[derive(Debug, Clone)]
 pub struct Env {
@@ -121,6 +138,8 @@ pub struct Env {
     pub insn_budget: u64,
     /// Maximum interpreter frame depth.
     pub max_depth: usize,
+    /// Instruction fetch strategy.
+    pub fetch_mode: FetchMode,
 }
 
 impl Default for Env {
@@ -133,6 +152,7 @@ impl Default for Env {
             // 64 nested frames stay well inside a 2 MiB test-thread stack
             // while exceeding any call depth the corpus needs.
             max_depth: 64,
+            fetch_mode: FetchMode::Predecoded,
         }
     }
 }
@@ -146,6 +166,9 @@ pub struct ExecStats {
     pub frames: u64,
     /// Total native invocations.
     pub native_calls: u64,
+    /// Full-method predecodes performed by the code cache (misses and
+    /// invalidation rebuilds; steady state stays flat).
+    pub predecodes: u64,
 }
 
 /// A callback registered with the framework (e.g. an `OnClickListener`),
@@ -201,6 +224,11 @@ pub struct Runtime {
     /// `stats.insns` value when the current outermost execution began; the
     /// instruction budget is enforced per outermost execution.
     pub(crate) budget_start: u64,
+    /// Predecoded method bodies with epoch invalidation.
+    pub(crate) code_cache: CodeCache,
+    /// Retired register files, reused by new frames so recursive invokes
+    /// stop allocating fresh `Vec<Slot>` storage.
+    pub(crate) frame_pool: Vec<Vec<Slot>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -247,6 +275,8 @@ impl Runtime {
             input_state: 0x2545_f491_4f6c_dd1d,
             icc_extras: HashMap::new(),
             budget_start: 0,
+            code_cache: CodeCache::default(),
+            frame_pool: Vec::new(),
         };
         crate::natives::register_framework(&mut rt);
         rt
@@ -279,9 +309,70 @@ impl Runtime {
     }
 
     /// Mutable access to a method (self-modifying natives use this to
-    /// rewrite code units).
+    /// rewrite code units). Bumps the method's code epoch, invalidating any
+    /// predecoded representation — conservatively, since the caller may
+    /// rewrite the body through the returned reference.
     pub fn method_mut(&mut self, id: MethodId) -> &mut RuntimeMethod {
+        self.code_cache.bump_epoch(id);
         &mut self.methods[id.0]
+    }
+
+    // ---- predecoded code cache ---------------------------------------------
+
+    /// The current code epoch of `method` (bumped by [`Self::method_mut`]).
+    #[inline]
+    pub fn code_epoch(&self, method: MethodId) -> u64 {
+        self.code_cache.epoch(method)
+    }
+
+    /// The predecoded representation of `method`, building it on first use
+    /// and rebuilding after invalidation. `None` for non-bytecode methods
+    /// and for bodies that cannot be linearly decoded (the interpreter then
+    /// falls back to per-step fetching).
+    pub fn predecoded(
+        &mut self,
+        method: MethodId,
+    ) -> Option<Arc<dexlego_dalvik::PredecodedMethod>> {
+        // Split borrow: the cache reads the unit slice while holding its own
+        // mutable state; `code_cache` and `methods` are disjoint fields.
+        let Runtime {
+            code_cache,
+            methods,
+            stats,
+            ..
+        } = self;
+        let MethodImpl::Bytecode { insns, .. } = &methods[method.0].body else {
+            return None;
+        };
+        let result = code_cache.get_or_build(method, insns);
+        stats.predecodes = code_cache.builds;
+        result
+    }
+
+    /// Read-only view of the valid cached predecoded body, if any.
+    /// Observers holding `&Runtime` use this to serve payload slices
+    /// without re-decoding; never builds.
+    pub fn predecoded_cached(&self, method: MethodId) -> Option<&dexlego_dalvik::PredecodedMethod> {
+        self.code_cache.get(method).map(Arc::as_ref)
+    }
+
+    // ---- frame pool --------------------------------------------------------
+
+    /// A zeroed register file of `n` slots, reusing pooled storage.
+    pub(crate) fn acquire_regs(&mut self, n: usize) -> Vec<Slot> {
+        let mut regs = self.frame_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(n, Slot::default());
+        regs
+    }
+
+    /// Returns a register file to the pool for reuse.
+    pub(crate) fn release_regs(&mut self, regs: Vec<Slot>) {
+        // Bound the pool by the frame-depth limit: deeper recursion than
+        // this never existed, so extra capacity would be dead weight.
+        if self.frame_pool.len() < self.env.max_depth {
+            self.frame_pool.push(regs);
+        }
     }
 
     /// The field with the given id.

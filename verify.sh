@@ -15,6 +15,10 @@ cargo fmt --check
 cargo run -p dexlego-harness --bin harness-smoke --release -- \
     --workers 2 --apps 2 --packers all
 
+# Interpreter fetch smoke: the predecoded code cache must not be slower
+# than per-step decoding on either microbench workload.
+cargo run -p dexlego-bench --bin interp --release -- --smoke
+
 # Service smoke: start dexlegod on an ephemeral port, submit the same
 # extraction twice (the smoke client asserts the second is a cache hit
 # with byte-identical DEX), then drain gracefully and check exit 0.
