@@ -1,37 +1,54 @@
 //! Interpreter fetch microbenchmark, as one JSON line (BENCH_interp.json).
 //!
 //! ```text
-//! cargo run -p dexlego-bench --release --bin interp [-- --iters N --repeats N --smoke]
+//! cargo run -p dexlego-bench --release --bin interp \
+//!     [-- --iters N --repeats N --filter PATTERN --smoke --quick-smoke]
 //! ```
 //!
+//! `--filter` restricts the run to workloads whose name matches the given
+//! pattern (literal chars, `.`, `*`, `^`, `$` — see `dexlego_bench::filter`).
 //! `--smoke` runs a reduced workload and asserts the predecoded cache is
-//! not slower than per-step decoding (used by `verify.sh`).
+//! not slower than per-step decoding; `--quick-smoke` implies `--smoke`
+//! and additionally asserts the quickened fast path is not slower either
+//! (used by `verify.sh`).
+
+use dexlego_bench::filter::Pattern;
 
 fn main() {
     let mut iters = 200_000i32;
     let mut repeats = 5u32;
     let mut smoke = false;
+    let mut quick_smoke = false;
+    let mut filter: Option<Pattern> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| -> i64 {
-            args.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("{name} expects a number"))
-        };
         match arg.as_str() {
-            "--iters" => iters = value("--iters") as i32,
-            "--repeats" => repeats = value("--repeats") as u32,
+            "--iters" | "--repeats" | "--filter" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| panic!("{arg} expects a value"));
+                match arg.as_str() {
+                    "--iters" => iters = value.parse().expect("--iters expects a number"),
+                    "--repeats" => repeats = value.parse().expect("--repeats expects a number"),
+                    _ => {
+                        filter =
+                            Some(Pattern::new(&value).unwrap_or_else(|e| panic!("--filter: {e}")));
+                    }
+                }
+            }
             "--smoke" => smoke = true,
+            "--quick-smoke" => quick_smoke = true,
             other => panic!("unknown argument: {other}"),
         }
     }
-    if smoke {
+    if smoke || quick_smoke {
         iters = 20_000;
         repeats = 3;
     }
-    let results = dexlego_bench::interp::run(iters, repeats);
+    let results = dexlego_bench::interp::run_filtered(iters, repeats, filter.as_ref());
+    assert!(!results.is_empty(), "--filter matched no workload");
     println!("{}", dexlego_bench::interp::format(&results));
-    if smoke {
+    if smoke || quick_smoke {
         for r in &results {
             assert!(
                 r.speedup() >= 1.0,
@@ -41,5 +58,21 @@ fn main() {
             );
         }
         eprintln!("interp smoke: predecoded >= per-step on all workloads");
+    }
+    if quick_smoke {
+        for r in &results {
+            eprintln!(
+                "interp quick-smoke: {} quickened {:.2}x vs per-step ({:.2}x predecoded)",
+                r.name,
+                r.quick_speedup(),
+                r.speedup()
+            );
+            assert!(
+                r.quick_speedup() >= 1.0,
+                "{}: quickened path slower than per-step ({:.2}x)",
+                r.name,
+                r.quick_speedup()
+            );
+        }
     }
 }

@@ -1,0 +1,151 @@
+//! A tiny regex-subset matcher for `--filter` flags: literal characters,
+//! `.` (any one character), `*` (zero or more of the preceding atom), and
+//! the `^` / `$` anchors. No dependency on a regex crate — benchmark
+//! binaries only need enough to select workloads by name.
+
+/// One pattern element: a concrete character or the `.` wildcard, plus
+/// whether it is starred.
+#[derive(Debug, Clone, Copy)]
+struct Atom {
+    /// `None` means `.` — matches any single character.
+    ch: Option<char>,
+    /// Whether the atom may repeat zero or more times (`*`).
+    star: bool,
+}
+
+impl Atom {
+    fn matches(self, c: char) -> bool {
+        self.ch.is_none_or(|a| a == c)
+    }
+}
+
+/// A compiled filter pattern. Unanchored by default: the pattern may match
+/// anywhere in the candidate string unless `^` / `$` pin it down.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    atoms: Vec<Atom>,
+    from_start: bool,
+    to_end: bool,
+}
+
+impl Pattern {
+    /// Compiles `pat`. A leading `*` (nothing to repeat) is rejected.
+    pub fn new(pat: &str) -> Result<Pattern, String> {
+        let mut rest = pat;
+        let from_start = rest.starts_with('^');
+        if from_start {
+            rest = &rest[1..];
+        }
+        let to_end = rest.ends_with('$');
+        if to_end {
+            rest = &rest[..rest.len() - 1];
+        }
+        let mut atoms: Vec<Atom> = Vec::new();
+        for c in rest.chars() {
+            match c {
+                '*' => match atoms.last_mut() {
+                    Some(a) if !a.star => a.star = true,
+                    _ => return Err(format!("`*` with nothing to repeat in {pat:?}")),
+                },
+                '.' => atoms.push(Atom {
+                    ch: None,
+                    star: false,
+                }),
+                c => atoms.push(Atom {
+                    ch: Some(c),
+                    star: false,
+                }),
+            }
+        }
+        Ok(Pattern {
+            atoms,
+            from_start,
+            to_end,
+        })
+    }
+
+    /// Whether the pattern matches `text` (anywhere, unless anchored).
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        let starts = if self.from_start {
+            0..1
+        } else {
+            0..chars.len() + 1
+        };
+        for s in starts {
+            if match_here(&self.atoms, &chars[s..], self.to_end) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Classic backtracking match of `atoms` against the head of `text`;
+/// `to_end` requires the whole remainder to be consumed.
+fn match_here(atoms: &[Atom], text: &[char], to_end: bool) -> bool {
+    let Some((first, rest)) = atoms.split_first() else {
+        return !to_end || text.is_empty();
+    };
+    if first.star {
+        let mut i = 0;
+        loop {
+            if match_here(rest, &text[i..], to_end) {
+                return true;
+            }
+            if i < text.len() && first.matches(text[i]) {
+                i += 1;
+            } else {
+                return false;
+            }
+        }
+    } else if !text.is_empty() && first.matches(text[0]) {
+        match_here(rest, &text[1..], to_end)
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Pattern;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Pattern::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_match_anywhere() {
+        assert!(m("switch", "switch_loop"));
+        assert!(m("loop", "switch_loop"));
+        assert!(!m("hot", "switch_loop"));
+        assert!(m("", "anything"));
+    }
+
+    #[test]
+    fn anchors_pin_the_match() {
+        assert!(m("^hot", "hot_loop"));
+        assert!(!m("^loop", "hot_loop"));
+        assert!(m("loop$", "hot_loop"));
+        assert!(!m("hot$", "hot_loop"));
+        assert!(m("^hot_loop$", "hot_loop"));
+        assert!(!m("^hot_loop$", "hot_loops"));
+    }
+
+    #[test]
+    fn dot_and_star_repeat() {
+        assert!(m("h.t", "hot_loop"));
+        assert!(m("^h.*p$", "hot_loop"));
+        assert!(m("lo*p", "lp"));
+        assert!(m("lo*p", "looop"));
+        assert!(!m("^lo*p$", "loq"));
+        assert!(m(".*", ""));
+    }
+
+    #[test]
+    fn leading_star_is_rejected() {
+        assert!(Pattern::new("*x").is_err());
+        assert!(Pattern::new("^*x").is_err());
+        assert!(Pattern::new("a**").is_err());
+    }
+}

@@ -14,6 +14,7 @@
 pub mod common;
 pub mod fig5;
 pub mod fig6;
+pub mod filter;
 pub mod interp;
 pub mod service;
 pub mod table1;

@@ -23,6 +23,13 @@ pub fn decode_calls() -> u64 {
     DECODE_CALLS.with(Cell::get)
 }
 
+/// Resets the current thread's [`decode_calls`] counter to zero, so tests
+/// asserting absolute decode counts do not depend on what ran earlier on
+/// the same test thread.
+pub fn reset_decode_calls() {
+    DECODE_CALLS.with(|c| c.set(0));
+}
+
 fn unit(code: &[u16], at: usize, start: usize) -> Result<u16> {
     code.get(at)
         .copied()
@@ -286,6 +293,9 @@ pub struct PredecodedMethod {
     /// For each code unit: index into `insns` if an instruction starts
     /// there, else [`NOT_AN_INSN`].
     index_of: Vec<u32>,
+    /// Unit length of each instruction, parallel to `insns`. Cached so the
+    /// fetch loop does not re-derive it from the format on every step.
+    lens: Vec<u8>,
     /// Payload pseudo-instructions, keyed by start `dex_pc`, ascending.
     payloads: Vec<(u32, Decoded)>,
 }
@@ -302,6 +312,47 @@ impl PredecodedMethod {
         let insn = &self.insns[idx as usize];
         let pc = pc as usize;
         Some((insn, &self.units[pc..pc + insn.units()]))
+    }
+
+    /// Leanest fetch: the dense index, instruction, and cached unit length
+    /// at `pc` — no slice construction, no format inspection. This is the
+    /// fast-path loop's accessor; event-carrying paths use
+    /// [`Self::entry_at`] for the borrowed unit slice.
+    #[inline]
+    pub fn fetch_at(&self, pc: u32) -> Option<(u32, &Insn, u32)> {
+        let idx = *self.index_of.get(pc as usize)?;
+        if idx == NOT_AN_INSN {
+            return None;
+        }
+        Some((
+            idx,
+            &self.insns[idx as usize],
+            u32::from(self.lens[idx as usize]),
+        ))
+    }
+
+    /// The instruction and cached unit length at dense index `idx` —
+    /// the inverse direction of [`Self::fetch_at`], for callers that
+    /// already know the index (superinstruction second halves are always
+    /// at `head_idx + 1`).
+    #[inline]
+    pub fn at_index(&self, idx: u32) -> Option<(&Insn, u32)> {
+        let insn = self.insns.get(idx as usize)?;
+        Some((insn, u32::from(self.lens[idx as usize])))
+    }
+
+    /// Like [`Self::insn_at`], but also yields the instruction's dense
+    /// index — the key into per-instruction side tables such as
+    /// [`crate::quick::QuickCells`].
+    #[inline]
+    pub fn entry_at(&self, pc: u32) -> Option<(u32, &Insn, &[u16])> {
+        let idx = *self.index_of.get(pc as usize)?;
+        if idx == NOT_AN_INSN {
+            return None;
+        }
+        let insn = &self.insns[idx as usize];
+        let pc = pc as usize;
+        Some((idx, insn, &self.units[pc..pc + insn.units()]))
     }
 
     /// The payload starting at `pc`, if one was predecoded there.
@@ -358,6 +409,7 @@ pub fn predecode(code: &[u16]) -> Result<PredecodedMethod> {
         units: code.to_vec(),
         insns: Vec::new(),
         index_of: vec![NOT_AN_INSN; code.len()],
+        lens: Vec::new(),
         payloads: Vec::new(),
     };
     let mut pc = 0usize;
@@ -368,6 +420,7 @@ pub fn predecode(code: &[u16]) -> Result<PredecodedMethod> {
             Decoded::Insn(insn) => {
                 pre.index_of[pc] = pre.insns.len() as u32;
                 pre.insns.push(insn);
+                pre.lens.push(len as u8);
             }
             payload => pre.payloads.push((pc as u32, payload)),
         }

@@ -60,6 +60,43 @@ pub fn format_insn(insn: &Insn, addr: u32, dex: Option<&DexFile>) -> String {
     s
 }
 
+/// Renders an instruction executing under an internal quickened or fused
+/// dispatch byte (see [`crate::quick`]). Falls back to the plain rendering
+/// for ordinary opcode bytes, and never panics: unknown internal bytes are
+/// printed as `<internal NN>+quick` rather than misread as opcodes.
+///
+/// `data` is the cell's pre-resolved operand (field/method id, interned
+/// object, or switch-table index); it is always labelled `data@` so a
+/// resolved index can never be mistaken for a raw constant-pool index.
+pub fn format_quick_insn(
+    byte: u8,
+    insn: &Insn,
+    addr: u32,
+    data: Option<u32>,
+    dex: Option<&DexFile>,
+) -> String {
+    let Some(name) = crate::quick::name(byte) else {
+        if byte == insn.op as u8 {
+            return format_insn(insn, addr, dex);
+        }
+        return format!("{addr:04x}: <internal {byte:#04x}>+quick");
+    };
+    let mut s = format!("{addr:04x}: {name}");
+    if crate::quick::is_fused(byte) {
+        s.push_str(&format!(" head={}", insn.op.mnemonic()));
+    } else {
+        let regs: Vec<String> = insn.registers().iter().map(|r| format!("v{r}")).collect();
+        if !regs.is_empty() {
+            s.push_str(&format!(" {{{}}}", regs.join(", ")));
+        }
+    }
+    match data {
+        Some(d) => s.push_str(&format!(" data@{d}")),
+        None => s.push_str(" data@?"),
+    }
+    s
+}
+
 fn describe_index(insn: &Insn, dex: Option<&DexFile>) -> String {
     let idx = insn.idx;
     match (insn.op.index_kind(), dex) {
@@ -231,5 +268,33 @@ mod tests {
         let lines = disassemble(&[0xffff, 0x1234], None);
         assert_eq!(lines.len(), 1);
         assert!(lines[0].contains("not decodable"));
+    }
+
+    #[test]
+    fn quick_forms_render_with_marker() {
+        let mut iget = Insn::of(Opcode::Iget);
+        iget.a = 0;
+        iget.b = 1;
+        iget.idx = 9;
+        let line = format_quick_insn(crate::quick::IGET_QUICK, &iget, 4, Some(12), None);
+        assert!(line.contains("iget+quick"), "{line}");
+        assert!(line.contains("data@12"), "{line}");
+        assert!(line.starts_with("0004:"), "{line}");
+
+        // Fused heads name the superinstruction and the head opcode.
+        let mut add = Insn::of(Opcode::AddInt);
+        add.a = 0;
+        let line = format_quick_insn(crate::quick::FUSE_ALU_ALU, &add, 2, None, None);
+        assert!(line.contains("fused[alu,alu]+quick"), "{line}");
+        assert!(line.contains("add-int"), "{line}");
+
+        // A resolved slot that has not quickened yet never prints a bare
+        // index; unknown internal bytes never panic.
+        let line = format_quick_insn(0xff, &iget, 0, None, None);
+        assert!(line.contains("+quick"), "{line}");
+        // A plain opcode byte routes to the ordinary renderer.
+        let line = format_quick_insn(Opcode::Iget as u8, &iget, 0, None, None);
+        assert!(line.contains("iget"), "{line}");
+        assert!(!line.contains("+quick"), "{line}");
     }
 }

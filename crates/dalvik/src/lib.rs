@@ -17,6 +17,9 @@
 //! * [`asm`] — a label-based method assembler that sizes branches and lays
 //!   out payloads, used to build test programs and by the reassembler.
 //! * [`disasm`] — a smali-flavoured pretty printer.
+//! * [`quick`] — internal quickened/fused instruction forms (ART's
+//!   `iget-quick` analogue) and the per-method [`quick::QuickCells`]
+//!   overlay the interpreter's quickening pass rewrites in place.
 //! * [`canon`] — pool canonicalisation: sorts a [`dexlego_dex::DexFile`]'s
 //!   pools per the format specification and rewrites the indices embedded in
 //!   every instruction stream.
@@ -44,6 +47,7 @@ pub mod disasm;
 pub mod encode;
 pub mod insn;
 pub mod opcode;
+pub mod quick;
 pub mod subset;
 
 pub use asm::MethodAssembler;

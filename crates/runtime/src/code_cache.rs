@@ -4,18 +4,25 @@
 //! instruction stream once into a [`PredecodedMethod`] and caches it here;
 //! subsequent executions fetch borrowed `&Insn` / `&[u16]` views out of the
 //! cache instead of re-decoding per instruction (the same per-instruction
-//! tax ART avoids with its predecoded/mterp representation).
+//! tax ART avoids with its predecoded/mterp representation). Each entry
+//! carries a [`QuickCells`] overlay: per-instruction dispatch bytes the
+//! interpreter rewrites in place as instructions quicken, superinstruction
+//! heads, and pre-resolved switch tables.
 //!
 //! Because method bodies are mutable at runtime (self-modifying natives,
 //! packer shells), every mutable access to a method bumps a per-method
 //! *code epoch*; a cache entry is valid only for the epoch it was built at.
 //! The interpreter re-checks the epoch every step, so a body rewritten
 //! mid-frame is re-predecoded before the next instruction executes —
-//! self-modifying code behaves exactly as with per-step fetching.
+//! self-modifying code behaves exactly as with per-step fetching. An epoch
+//! bump also *de-quickens*: the stale entry (and every resolved cell in its
+//! overlay) is discarded immediately, and the count of discarded quickened
+//! cells is accumulated in [`CodeCache::dequickens`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use dexlego_dalvik::quick::QuickCells;
 use dexlego_dalvik::{predecode, PredecodedMethod};
 
 use crate::class::MethodId;
@@ -23,8 +30,9 @@ use crate::class::MethodId;
 /// One cache slot: the outcome of predecoding a method at a given epoch.
 #[derive(Debug, Clone)]
 enum Entry {
-    /// Predecoding succeeded; serve fetches from this representation.
-    Pre(Arc<PredecodedMethod>),
+    /// Predecoding succeeded; serve fetches from this representation and
+    /// quicken through its overlay.
+    Pre(Arc<PredecodedMethod>, Arc<QuickCells>),
     /// Predecoding failed (stream not linearly decodable); the interpreter
     /// uses per-step fetching until the body changes again.
     Unpredecodable,
@@ -40,6 +48,9 @@ pub struct CodeCache {
     epochs: Vec<u64>,
     /// Number of full-method predecodes performed (cache misses + rebuilds).
     pub builds: u64,
+    /// Number of quickened cells discarded by epoch bumps (self-modifying
+    /// code forcing de-quickening).
+    pub dequickens: u64,
 }
 
 impl CodeCache {
@@ -50,12 +61,17 @@ impl CodeCache {
     }
 
     /// Records that `method`'s body may have been mutated, invalidating any
-    /// cached predecoded representation.
+    /// cached predecoded representation. The stale entry is dropped on the
+    /// spot and its runtime-quickened cells are charged to
+    /// [`Self::dequickens`].
     pub fn bump_epoch(&mut self, method: MethodId) {
         if method.0 >= self.epochs.len() {
             self.epochs.resize(method.0 + 1, 0);
         }
         self.epochs[method.0] += 1;
+        if let Some((_, Entry::Pre(_, cells))) = self.entries.remove(&method) {
+            self.dequickens += u64::from(cells.quickened_count());
+        }
     }
 
     /// The cached representation for `method` if it is valid at the current
@@ -63,7 +79,7 @@ impl CodeCache {
     /// this to serve payload slices without re-decoding.
     pub fn get(&self, method: MethodId) -> Option<&Arc<PredecodedMethod>> {
         match self.entries.get(&method) {
-            Some((epoch, Entry::Pre(pre))) if *epoch == self.epoch(method) => Some(pre),
+            Some((epoch, Entry::Pre(pre, _))) if *epoch == self.epoch(method) => Some(pre),
             _ => None,
         }
     }
@@ -77,12 +93,12 @@ impl CodeCache {
         &mut self,
         method: MethodId,
         units: &[u16],
-    ) -> Option<Arc<PredecodedMethod>> {
+    ) -> Option<(Arc<PredecodedMethod>, Arc<QuickCells>)> {
         let epoch = self.epoch(method);
         if let Some((cached_epoch, entry)) = self.entries.get(&method) {
             if *cached_epoch == epoch {
                 return match entry {
-                    Entry::Pre(pre) => Some(Arc::clone(pre)),
+                    Entry::Pre(pre, cells) => Some((Arc::clone(pre), Arc::clone(cells))),
                     Entry::Unpredecodable => None,
                 };
             }
@@ -90,8 +106,12 @@ impl CodeCache {
         self.builds += 1;
         let (entry, result) = match predecode(units) {
             Ok(pre) => {
+                let cells = Arc::new(QuickCells::build(&pre));
                 let pre = Arc::new(pre);
-                (Entry::Pre(Arc::clone(&pre)), Some(pre))
+                (
+                    Entry::Pre(Arc::clone(&pre), Arc::clone(&cells)),
+                    Some((pre, cells)),
+                )
             }
             Err(_) => (Entry::Unpredecodable, None),
         };
@@ -103,21 +123,22 @@ impl CodeCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dexlego_dalvik::quick;
 
     #[test]
     fn build_is_cached_until_epoch_bump() {
         let mut cache = CodeCache::default();
         let m = MethodId(3);
         let code = [0x000e]; // return-void
-        let a = cache.get_or_build(m, &code).unwrap();
-        let b = cache.get_or_build(m, &code).unwrap();
+        let (a, _) = cache.get_or_build(m, &code).unwrap();
+        let (b, _) = cache.get_or_build(m, &code).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.builds, 1);
         assert!(cache.get(m).is_some());
 
         cache.bump_epoch(m);
         assert!(cache.get(m).is_none(), "stale entry must not be served");
-        let c = cache.get_or_build(m, &code).unwrap();
+        let (c, _) = cache.get_or_build(m, &code).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.builds, 2);
     }
@@ -137,5 +158,24 @@ mod tests {
     fn epochs_default_to_zero_past_end() {
         let cache = CodeCache::default();
         assert_eq!(cache.epoch(MethodId(99)), 0);
+    }
+
+    #[test]
+    fn epoch_bump_charges_quickened_cells_to_dequickens() {
+        let mut cache = CodeCache::default();
+        let m = MethodId(1);
+        // iget v0, v0, field@0 ; return-void
+        let code = [0x0052, 0x0000, 0x000e];
+        let (_, cells) = cache.get_or_build(m, &code).unwrap();
+        assert!(cells.quicken(0, quick::IGET_QUICK, 5));
+        assert_eq!(cache.dequickens, 0);
+
+        cache.bump_epoch(m);
+        assert_eq!(cache.dequickens, 1, "discarded quickened cell counted");
+        // A bump with nothing quickened (or nothing cached) adds nothing.
+        cache.bump_epoch(m);
+        assert_eq!(cache.dequickens, 1);
+        let (_, fresh) = cache.get_or_build(m, &code).unwrap();
+        assert_eq!(fresh.quickened_count(), 0, "rebuild starts de-quickened");
     }
 }

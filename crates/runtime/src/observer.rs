@@ -61,6 +61,18 @@ pub trait RuntimeObserver {
     /// A conditional branch at `dex_pc` evaluated to `taken`.
     fn on_branch(&mut self, _rt: &Runtime, _method: MethodId, _dex_pc: u32, _taken: bool) {}
 
+    /// Whether this observer consumes [`Self::on_branch`] or wants a say in
+    /// [`Self::override_branch`].
+    ///
+    /// Like [`Self::wants_insn_events`], the interpreter hoists this per
+    /// frame: for passive observers every conditional branch skips both
+    /// virtual calls. Defaults to `true`; an observer that leaves both
+    /// branch hooks as their no-op defaults should override this to `false`
+    /// ([`NullObserver`] does).
+    fn wants_branch_hooks(&self) -> bool {
+        true
+    }
+
     /// A reflective call site resolved to `target` (the hook DexLego uses to
     /// replace reflection with direct calls).
     fn on_reflective_call(
@@ -107,6 +119,9 @@ impl RuntimeObserver for NullObserver {
     fn wants_insn_events(&self) -> bool {
         false
     }
+    fn wants_branch_hooks(&self) -> bool {
+        false
+    }
 }
 
 /// Chains two observers; both receive every event, the first non-`None`
@@ -149,6 +164,9 @@ impl<A: RuntimeObserver, B: RuntimeObserver> RuntimeObserver for Pair<A, B> {
     fn on_branch(&mut self, rt: &Runtime, method: MethodId, dex_pc: u32, taken: bool) {
         self.0.on_branch(rt, method, dex_pc, taken);
         self.1.on_branch(rt, method, dex_pc, taken);
+    }
+    fn wants_branch_hooks(&self) -> bool {
+        self.0.wants_branch_hooks() || self.1.wants_branch_hooks()
     }
     fn on_reflective_call(&mut self, rt: &Runtime, caller: MethodId, site: u32, target: MethodId) {
         self.0.on_reflective_call(rt, caller, site, target);

@@ -112,12 +112,18 @@ pub struct DexTable {
     pub source: String,
 }
 
-/// How the interpreter fetches instructions.
+/// How the interpreter fetches and dispatches instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FetchMode {
-    /// Decode each method body once into the predecoded code cache and
-    /// serve borrowed instruction views from it (the fast path).
+    /// Serve instructions from the predecoded code cache and dispatch
+    /// through the function-pointer table, rewriting field/method/string
+    /// accesses to pre-resolved quickened forms and executing fused
+    /// superinstructions (the fast path).
     #[default]
+    Quickened,
+    /// Predecoded fetching with the plain match-based dispatcher: no
+    /// quickening, no superinstructions. Kept as the mid-tier baseline for
+    /// differential tests and the `bench --bin interp` comparison.
     Predecoded,
     /// Decode every instruction on every execution (the pre-cache
     /// behaviour); kept as a conformance baseline for differential tests
@@ -152,7 +158,7 @@ impl Default for Env {
             // 64 nested frames stay well inside a 2 MiB test-thread stack
             // while exceeding any call depth the corpus needs.
             max_depth: 64,
-            fetch_mode: FetchMode::Predecoded,
+            fetch_mode: FetchMode::Quickened,
         }
     }
 }
@@ -169,6 +175,15 @@ pub struct ExecStats {
     /// Full-method predecodes performed by the code cache (misses and
     /// invalidation rebuilds; steady state stays flat).
     pub predecodes: u64,
+    /// Instructions rewritten in place to a pre-resolved quickened form
+    /// (each cell quickens at most once per predecode).
+    pub quickens: u64,
+    /// Quickened cells discarded because a method body was mutated
+    /// (self-modifying code forcing de-quickening).
+    pub dequickens: u64,
+    /// Superinstruction executions: each hit dispatches one fused pair
+    /// (two bytecode instructions) through a single handler.
+    pub superinsn_hits: u64,
 }
 
 /// A callback registered with the framework (e.g. an `OnClickListener`),
@@ -314,6 +329,7 @@ impl Runtime {
     /// rewrite the body through the returned reference.
     pub fn method_mut(&mut self, id: MethodId) -> &mut RuntimeMethod {
         self.code_cache.bump_epoch(id);
+        self.stats.dequickens = self.code_cache.dequickens;
         &mut self.methods[id.0]
     }
 
@@ -325,14 +341,18 @@ impl Runtime {
         self.code_cache.epoch(method)
     }
 
-    /// The predecoded representation of `method`, building it on first use
-    /// and rebuilding after invalidation. `None` for non-bytecode methods
-    /// and for bodies that cannot be linearly decoded (the interpreter then
-    /// falls back to per-step fetching).
+    /// The predecoded representation of `method` with its quickening
+    /// overlay, building both on first use and rebuilding after
+    /// invalidation. `None` for non-bytecode methods and for bodies that
+    /// cannot be linearly decoded (the interpreter then falls back to
+    /// per-step fetching).
     pub fn predecoded(
         &mut self,
         method: MethodId,
-    ) -> Option<Arc<dexlego_dalvik::PredecodedMethod>> {
+    ) -> Option<(
+        Arc<dexlego_dalvik::PredecodedMethod>,
+        Arc<dexlego_dalvik::quick::QuickCells>,
+    )> {
         // Split borrow: the cache reads the unit slice while holding its own
         // mutable state; `code_cache` and `methods` are disjoint fields.
         let Runtime {
@@ -346,6 +366,7 @@ impl Runtime {
         };
         let result = code_cache.get_or_build(method, insns);
         stats.predecodes = code_cache.builds;
+        stats.dequickens = code_cache.dequickens;
         result
     }
 

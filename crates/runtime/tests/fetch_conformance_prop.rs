@@ -1,6 +1,13 @@
 //! Property: for arbitrary assembled methods, execution through the
-//! predecoded code cache and per-step decoding produce the identical
-//! instruction-event stream and the identical result.
+//! quickened/fused fast path, the predecoded code cache, and per-step
+//! decoding produce the identical instruction-event stream and the
+//! identical result.
+//!
+//! With an instruction-event observer attached the interpreter serves
+//! quickened-but-never-fused dispatch, so the event streams themselves
+//! must match per-step exactly. Superinstruction fusion only engages under
+//! a passive observer, so fused execution is additionally checked
+//! result-for-result against per-step under `NullObserver`.
 
 use dexlego_dalvik::builder::ProgramBuilder;
 use dexlego_dalvik::Opcode;
@@ -121,19 +128,56 @@ fn run_mode(dex: &DexFile, mode: FetchMode, arg: i32) -> Run {
     (ret, rec.events)
 }
 
+/// Runs under a passive observer (fusion active in `Quickened` mode) and
+/// returns only the result; the call is made twice on one runtime so the
+/// second execution exercises already-quickened cells.
+fn run_mode_silent(dex: &DexFile, mode: FetchMode, arg: i32) -> Result<Option<i32>, String> {
+    let mut rt = Runtime::with_env(Env {
+        fetch_mode: mode,
+        ..Env::default()
+    });
+    rt.load_dex(dex, "app").unwrap();
+    let mut obs = dexlego_runtime::observer::NullObserver;
+    let mut last = Err("never ran".to_owned());
+    for _ in 0..2 {
+        last = rt
+            .call_static(&mut obs, "Lgen/P;", "run", "(I)I", &[Slot::from_int(arg)])
+            .map(|v| v.as_int())
+            .map_err(|e: RuntimeError| e.to_string());
+    }
+    last
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Both fetch modes see the same events and compute the same result.
+    /// All three fetch modes see the same events and compute the same
+    /// result under an instruction-event observer.
     #[test]
     fn fetch_modes_are_observationally_identical(
         ops in proptest::collection::vec(op_strategy(), 0..24),
         arg in any::<i16>(),
     ) {
         let dex = build(&ops);
+        let (ret_quick, ev_quick) = run_mode(&dex, FetchMode::Quickened, i32::from(arg));
         let (ret_pre, ev_pre) = run_mode(&dex, FetchMode::Predecoded, i32::from(arg));
         let (ret_step, ev_step) = run_mode(&dex, FetchMode::DecodePerStep, i32::from(arg));
-        prop_assert_eq!(ret_pre, ret_step);
-        prop_assert_eq!(ev_pre, ev_step);
+        prop_assert_eq!(ret_pre, ret_step.clone());
+        prop_assert_eq!(ev_pre, ev_step.clone());
+        prop_assert_eq!(ret_quick, ret_step);
+        prop_assert_eq!(ev_quick, ev_step);
+    }
+
+    /// With fusion engaged (passive observer, warm second call) the
+    /// quickened fast path still computes the per-step result.
+    #[test]
+    fn fused_execution_matches_per_step_results(
+        ops in proptest::collection::vec(op_strategy(), 0..24),
+        arg in any::<i16>(),
+    ) {
+        let dex = build(&ops);
+        let quick = run_mode_silent(&dex, FetchMode::Quickened, i32::from(arg));
+        let step = run_mode_silent(&dex, FetchMode::DecodePerStep, i32::from(arg));
+        prop_assert_eq!(quick, step);
     }
 }

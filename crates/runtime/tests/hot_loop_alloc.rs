@@ -1,6 +1,7 @@
 //! Steady-state hot-loop allocation check: once a method is warm, an
 //! execution under a passive observer must perform zero heap allocations
-//! per call — in predecoded mode (borrowed fetches, pooled frames) AND in
+//! per call — in quickened mode (in-place cell rewrites, fused dispatch),
+//! in predecoded mode (borrowed fetches, pooled frames), AND in
 //! decode-per-step mode (fixed-size unit buffer, no owned vectors).
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -87,6 +88,15 @@ fn warm_call_alloc_count(mode: FetchMode) -> u64 {
     let during = allocs() - before;
     assert!(ret.as_int().is_some());
     during
+}
+
+#[test]
+fn warm_hot_loop_allocates_nothing_quickened() {
+    assert_eq!(
+        warm_call_alloc_count(FetchMode::Quickened),
+        0,
+        "steady-state quickened/fused execution must be allocation-free"
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! fallback for streams the linear predecode rejects.
 
 use dexlego_dalvik::builder::ProgramBuilder;
-use dexlego_dalvik::decode::decode_calls;
+use dexlego_dalvik::decode::{decode_calls, reset_decode_calls};
 use dexlego_dalvik::{encode_insn, Insn, Opcode};
 use dexlego_dex::file::EncodedMethod;
 use dexlego_dex::{AccessFlags, ClassDef, CodeItem, DexFile};
@@ -56,7 +56,7 @@ fn switch_payload_is_decoded_exactly_once() {
     // Cold run: 1000 iterations through the switch. The only decoding is
     // the single predecode pass over the method (one decode_insn call per
     // instruction plus one per payload) — not one per executed step.
-    let before = decode_calls();
+    reset_decode_calls();
     let insns_before = rt.stats.insns;
     let ret = rt
         .call_static(&mut obs, &entry, "spin", "(I)I", &[Slot::from_int(1000)])
@@ -64,7 +64,7 @@ fn switch_payload_is_decoded_exactly_once() {
     // i%3==0 for 334 of 0..1000, the other residues 333 times each:
     // 334*1 + 333*2 + 333*3 = 1999.
     assert_eq!(ret.as_int(), Some(1999));
-    let cold_decodes = decode_calls() - before;
+    let cold_decodes = decode_calls();
     let executed = rt.stats.insns - insns_before;
     assert!(executed > 5_000, "loop actually ran ({executed} insns)");
     assert!(
@@ -76,14 +76,10 @@ fn switch_payload_is_decoded_exactly_once() {
 
     // Warm run: everything — instructions and the switch payload — is
     // served from the cache; zero decode calls.
-    let before = decode_calls();
+    reset_decode_calls();
     rt.call_static(&mut obs, &entry, "spin", "(I)I", &[Slot::from_int(1000)])
         .unwrap();
-    assert_eq!(
-        decode_calls() - before,
-        0,
-        "warm run must not decode at all"
-    );
+    assert_eq!(decode_calls(), 0, "warm run must not decode at all");
     assert_eq!(rt.stats.predecodes, 1, "no rebuild without body mutation");
 }
 

@@ -75,6 +75,12 @@ struct ServiceStats {
     ///
     /// [`JobStatus::Ok`]: dexlego_harness::JobStatus::Ok
     failed: u64,
+    /// Interpreter cells quickened across all extractions served.
+    quickens: u64,
+    /// Quickened cells de-quickened by code mutation across extractions.
+    dequickens: u64,
+    /// Fused superinstruction dispatches across extractions.
+    superinsn_hits: u64,
     /// Per-phase `(count, total_us)` aggregates over fresh extractions.
     phases_us: BTreeMap<String, (u64, u64)>,
 }
@@ -82,6 +88,9 @@ struct ServiceStats {
 impl ServiceStats {
     fn absorb(&mut self, report: &JobReport) {
         self.extracts += 1;
+        self.quickens += report.quickens;
+        self.dequickens += report.dequickens;
+        self.superinsn_hits += report.superinsn_hits;
         if report.cached {
             self.hits += 1;
         } else {
@@ -388,6 +397,9 @@ fn stats_reply(shared: &Shared) -> String {
         ("rejected", stats.rejected.to_string()),
         ("errors", stats.errors.to_string()),
         ("failed", stats.failed.to_string()),
+        ("quickens", stats.quickens.to_string()),
+        ("dequickens", stats.dequickens.to_string()),
+        ("superinsn_hits", stats.superinsn_hits.to_string()),
         ("in_flight", shared.pool.in_flight().to_string()),
         ("store", store_json),
         ("phases_us", json::object(&phase_members)),

@@ -3,8 +3,9 @@
 //! The payload format is a simple length-prefixed binary encoding (the
 //! workspace is dependency-free, so there is no serde): little-endian
 //! integers, `u32` length prefixes, UTF-8 strings. A leading format tag
-//! (`RES1`) versions the payload independently of the on-disk container
-//! that wraps it (see [`crate::store`]).
+//! (`RES2`; `RES1` lacked the quickening counters and decodes as a miss)
+//! versions the payload independently of the on-disk container that wraps
+//! it (see [`crate::store`]).
 
 /// Everything the pipeline produced for one (DEX, profile, parameters)
 /// input: the revealed DEX plus the report fields a cache hit must be able
@@ -19,6 +20,12 @@ pub struct CachedResult {
     pub insns: u64,
     /// Method frames entered while driving the app.
     pub frames: u64,
+    /// Instruction cells rewritten to pre-resolved quickened forms.
+    pub quickens: u64,
+    /// Quickened cells discarded by code-epoch invalidation.
+    pub dequickens: u64,
+    /// Fused superinstruction dispatches in the interpreter hot loop.
+    pub superinsn_hits: u64,
     /// Methods with collected trees.
     pub methods_collected: u64,
     /// Instructions collected across all trees.
@@ -33,7 +40,7 @@ pub struct CachedResult {
     pub phases_us: Vec<(String, u64)>,
 }
 
-const PAYLOAD_TAG: &[u8; 4] = b"RES1";
+const PAYLOAD_TAG: &[u8; 4] = b"RES2";
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -96,6 +103,9 @@ pub fn encode(r: &CachedResult) -> Vec<u8> {
         r.wall_us,
         r.insns,
         r.frames,
+        r.quickens,
+        r.dequickens,
+        r.superinsn_hits,
         r.methods_collected,
         r.insns_collected,
         r.dump_size,
@@ -131,6 +141,9 @@ pub fn decode(data: &[u8]) -> Result<CachedResult, String> {
     let wall_us = c.u64()?;
     let insns = c.u64()?;
     let frames = c.u64()?;
+    let quickens = c.u64()?;
+    let dequickens = c.u64()?;
+    let superinsn_hits = c.u64()?;
     let methods_collected = c.u64()?;
     let insns_collected = c.u64()?;
     let dump_size = c.u64()?;
@@ -155,6 +168,9 @@ pub fn decode(data: &[u8]) -> Result<CachedResult, String> {
         wall_us,
         insns,
         frames,
+        quickens,
+        dequickens,
+        superinsn_hits,
         methods_collected,
         insns_collected,
         dump_size,
@@ -174,6 +190,9 @@ mod tests {
             wall_us: 1234,
             insns: 5678,
             frames: 9,
+            quickens: 21,
+            dequickens: 2,
+            superinsn_hits: 333,
             methods_collected: 3,
             insns_collected: 400,
             dump_size: 2048,

@@ -19,6 +19,10 @@ cargo run -p dexlego-harness --bin harness-smoke --release -- \
 # than per-step decoding on either microbench workload.
 cargo run -p dexlego-bench --bin interp --release -- --smoke
 
+# Quickened fetch smoke: the quickened/fused fast path must not be slower
+# than per-step decoding either (prints the speedup ratios).
+cargo run -p dexlego-bench --bin interp --release -- --quick-smoke
+
 # Service smoke: start dexlegod on an ephemeral port, submit the same
 # extraction twice (the smoke client asserts the second is a cache hit
 # with byte-identical DEX), then drain gracefully and check exit 0.
