@@ -9,9 +9,11 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use dexlego_dalvik::{Decoded, Insn, Opcode};
-use dexlego_dex::{ClassData, DexFile};
-use dexlego_verifier::Cfg;
+use dexlego_dalvik::{Insn, Opcode};
+use dexlego_dex::DexFile;
+use dexlego_verifier::{
+    verify_dex_typed, ClassHierarchy, TypeId, TypedDex, TypedIr, VerifyOptions,
+};
 
 use crate::sources_sinks::{classify, is_framework_class, FrameworkModel};
 
@@ -32,6 +34,11 @@ pub struct AnalysisConfig {
     /// Resolve reflective calls whose class/method names are compile-time
     /// constant strings.
     pub reflection_constant_strings: bool,
+    /// Prune virtual-dispatch fallback targets the class hierarchy proves
+    /// impossible for the receiver's verifier-inferred static type
+    /// (false = the untyped name+descriptor over-approximation, kept as an
+    /// ablation of the typed IR's precision win).
+    pub hierarchy_dispatch: bool,
     /// Maximum source-to-sink call-chain length (None = unbounded);
     /// models analysis depth/scalability limits.
     pub max_call_depth: Option<u32>,
@@ -47,6 +54,7 @@ impl Default for AnalysisConfig {
             icc: true,
             precise_arrays: false,
             reflection_constant_strings: true,
+            hierarchy_dispatch: true,
             max_call_depth: None,
             max_global_iterations: 20,
         }
@@ -177,22 +185,18 @@ struct Globals {
     icc: Option<u32>,
 }
 
-struct MethodInfo {
-    sig: String,
-    class: String,
-    name: String,
-    registers: usize,
-    ins: usize,
-    /// The verifier's control-flow graph: decoded instructions plus
-    /// precomputed normal-flow successors (branch targets validated,
-    /// switch payloads resolved, exception edges excluded).
-    cfg: Cfg,
-}
-
 struct Engine<'a> {
     dex: &'a DexFile,
     config: &'a AnalysisConfig,
-    methods: Vec<MethodInfo>,
+    /// Typed IR per application method, straight from the verifier's
+    /// fixpoint: decoded instructions, normal-flow successor indices
+    /// (branch targets validated, switch payloads resolved, exception
+    /// edges excluded), and per-instruction register frames.
+    methods: Vec<TypedIr>,
+    /// The DEX class hierarchy, shared with the verifier.
+    hier: ClassHierarchy,
+    /// Declaring-class type id per method, aligned with `methods`.
+    class_ids: Vec<Option<TypeId>>,
     by_sig: HashMap<String, usize>,
     by_name_desc: HashMap<(String, String), Vec<usize>>,
     summaries: HashMap<String, Summary>,
@@ -207,25 +211,25 @@ struct Engine<'a> {
 /// dead-code false positives possible on original DEX files and impossible
 /// on DexLego's executed-code-only output).
 pub fn analyze(dex: &DexFile, config: &AnalysisConfig) -> AnalysisResult {
-    let mut methods = Vec::new();
+    // One fixpoint, two consumers: the verifier's typed dataflow already
+    // built every CFG and register frame, so the taint engine starts from
+    // its IR instead of re-deriving either.
+    let TypedDex {
+        hierarchy, methods, ..
+    } = verify_dex_typed(dex, &VerifyOptions::errors_only());
+    let methods: Vec<TypedIr> = methods
+        .into_iter()
+        .filter(|m| !is_framework_class(&m.class))
+        .collect();
+    let class_ids: Vec<Option<TypeId>> =
+        methods.iter().map(|m| hierarchy.lookup(&m.class)).collect();
+
     let mut by_sig = HashMap::new();
     let mut by_name_desc: HashMap<(String, String), Vec<usize>> = HashMap::new();
-    for class in dex.class_defs() {
-        let Some(data) = &class.class_data else {
-            continue;
-        };
-        let Ok(class_desc) = dex.type_descriptor(class.class_idx) else {
-            continue;
-        };
-        if is_framework_class(class_desc) {
-            continue;
-        }
-        collect_methods(dex, class_desc, data, &mut methods);
-    }
     for (i, m) in methods.iter().enumerate() {
-        by_sig.insert(m.sig.clone(), i);
+        by_sig.insert(m.signature.clone(), i);
         by_name_desc
-            .entry((m.name.clone(), descriptor_of_sig(&m.sig)))
+            .entry((m.name.clone(), descriptor_of_sig(&m.signature)))
             .or_default()
             .push(i);
     }
@@ -234,6 +238,8 @@ pub fn analyze(dex: &DexFile, config: &AnalysisConfig) -> AnalysisResult {
         dex,
         config,
         methods,
+        hier: hierarchy,
+        class_ids,
         by_sig,
         by_name_desc,
         summaries: HashMap::new(),
@@ -269,32 +275,6 @@ fn descriptor_of_sig(sig: &str) -> String {
         .unwrap_or_default()
 }
 
-fn collect_methods(dex: &DexFile, class_desc: &str, data: &ClassData, out: &mut Vec<MethodInfo>) {
-    for method in data.methods() {
-        let Some(code) = &method.code else { continue };
-        let Ok(sig) = dex.method_signature(method.method_idx) else {
-            continue;
-        };
-        let Ok(cfg) = Cfg::build(&code.insns, &code.tries, &code.handlers) else {
-            continue;
-        };
-        let name = dex
-            .method_id(method.method_idx)
-            .ok()
-            .and_then(|m| dex.string(m.name).ok())
-            .unwrap_or_default()
-            .to_owned();
-        out.push(MethodInfo {
-            sig,
-            class: class_desc.to_owned(),
-            name,
-            registers: code.registers_size as usize,
-            ins: code.ins_size as usize,
-            cfg,
-        });
-    }
-}
-
 impl Engine<'_> {
     fn analyze_method(&mut self, index: usize) {
         // Two passes when implicit flows are on: the first discovers tainted
@@ -309,9 +289,10 @@ impl Engine<'_> {
     /// implicit context; returns the union of branch-condition taints seen.
     fn run_method(&mut self, index: usize, implicit_ctx: Taint) -> Taint {
         let info = &self.methods[index];
-        let registers = info.registers;
-        let ins = info.ins;
-        let sig = info.sig.clone();
+        let registers = info.registers as usize;
+        let ins = info.ins as usize;
+        let sig = info.signature.clone();
+        let insn_count = info.insns.len();
 
         // Initial state: parameters in the top `ins` registers.
         let mut init = vec![Reg::default(); registers];
@@ -319,37 +300,29 @@ impl Engine<'_> {
             reg.taint = Taint::from_param(slot);
         }
 
-        let insn_count = self.methods[index].cfg.insns().len();
-        let index_of_pc: HashMap<u32, usize> = self.methods[index]
-            .cfg
-            .insns()
-            .iter()
-            .enumerate()
-            .map(|(i, (pc, _))| (*pc, i))
-            .collect();
-
         let mut branch_taint = Taint::CLEAN;
         let mut summary = Summary::default();
 
+        if insn_count == 0 {
+            return branch_taint;
+        }
+
         if self.config.flow_sensitive {
             // Worklist over instruction granularity (block-free but
-            // flow-ordered; joins happen at every pc).
-            let mut states: HashMap<u32, Vec<Reg>> = HashMap::new();
-            states.insert(0, init);
-            let mut work: VecDeque<u32> = VecDeque::new();
+            // flow-ordered; joins happen at every instruction). Successor
+            // indices come straight from the typed IR.
+            let mut states: Vec<Option<Vec<Reg>>> = vec![None; insn_count];
+            states[0] = Some(init);
+            let mut work: VecDeque<usize> = VecDeque::new();
             work.push_back(0);
-            let mut visits: HashMap<u32, usize> = HashMap::new();
-            while let Some(pc) = work.pop_front() {
-                let visit = visits.entry(pc).or_insert(0);
-                *visit += 1;
-                if *visit > 64 {
+            let mut visits = vec![0usize; insn_count];
+            while let Some(i) = work.pop_front() {
+                visits[i] += 1;
+                if visits[i] > 64 {
                     continue; // widen by truncation; states are finite anyway
                 }
-                let Some(&i) = index_of_pc.get(&pc) else {
-                    continue;
-                };
-                let state = states.get(&pc).cloned().unwrap_or_default();
-                let (mut next_state, succs) = self.transfer(
+                let state = states[i].clone().unwrap_or_default();
+                let (next_state, succs) = self.transfer(
                     index,
                     i,
                     state,
@@ -358,18 +331,20 @@ impl Engine<'_> {
                     implicit_ctx,
                 );
                 for succ in succs {
-                    let entry = states.entry(succ).or_insert_with(|| {
-                        work.push_back(succ);
-                        next_state.clone()
-                    });
-                    let joined = join_regs(entry, &next_state);
-                    if joined != *entry {
-                        *entry = joined;
-                        work.push_back(succ);
+                    match &mut states[succ] {
+                        Some(entry) => {
+                            let joined = join_regs(entry, &next_state);
+                            if joined != *entry {
+                                *entry = joined;
+                                work.push_back(succ);
+                            }
+                        }
+                        slot => {
+                            *slot = Some(next_state.clone());
+                            work.push_back(succ);
+                        }
                     }
                 }
-                // Keep borrow checker happy.
-                next_state.clear();
             }
         } else {
             // Flow-insensitive: one shared state, no strong updates,
@@ -419,11 +394,11 @@ impl Engine<'_> {
         summary: &mut Summary,
         branch_taint: &mut Taint,
         implicit_ctx: Taint,
-    ) -> (Vec<Reg>, Vec<u32>) {
+    ) -> (Vec<Reg>, Vec<usize>) {
         self.transfer(index, i, state, summary, branch_taint, implicit_ctx)
     }
 
-    /// Abstract transfer of instruction `i`; returns successor pcs.
+    /// Abstract transfer of instruction `i`; returns successor indices.
     #[allow(clippy::too_many_lines)]
     fn transfer(
         &mut self,
@@ -433,19 +408,15 @@ impl Engine<'_> {
         summary: &mut Summary,
         branch_taint: &mut Taint,
         implicit_ctx: Taint,
-    ) -> (Vec<Reg>, Vec<u32>) {
-        let (pc, decoded) = {
-            let info = &self.methods[index];
-            (info.cfg.insns()[i].0, info.cfg.insns()[i].1.clone())
-        };
-        let Decoded::Insn(insn) = decoded else {
-            return (state, vec![]);
-        };
-        // Normal-flow successors from the verifier CFG: validated branch
+    ) -> (Vec<Reg>, Vec<usize>) {
+        // Normal-flow successors from the typed IR: validated branch
         // targets, resolved switch payload entries, and fall-through —
         // exception edges excluded, matching the engine's handler-blind
         // over-approximation.
-        let succs: Vec<u32> = self.methods[index].cfg.insn_successors(pc).to_vec();
+        let (pc, insn, succs) = {
+            let ti = &self.methods[index].insns[i];
+            (ti.pc, ti.insn.clone(), ti.succs.clone())
+        };
 
         let get = |state: &[Reg], r: u32| state.get(r as usize).cloned().unwrap_or_default();
         let set = |state: &mut [Reg], r: u32, v: Reg| {
@@ -626,17 +597,27 @@ impl Engine<'_> {
             }
             op if op.is_invoke() => {
                 let args: Vec<Reg> = insn.regs.iter().map(|&r| get(&state, r)).collect();
-                let ret = self.apply_invoke(&insn, &args, pc, index, summary, implicit_ctx);
+                // The receiver's static type from the verifier frame, used
+                // to prune infeasible virtual-dispatch fallbacks.
+                let recv_ty = if matches!(op, Opcode::InvokeStatic | Opcode::InvokeStaticRange) {
+                    None
+                } else {
+                    insn.regs
+                        .first()
+                        .and_then(|&r| self.methods[index].insns[i].ref_type(r))
+                };
+                let ret =
+                    self.apply_invoke(&insn, &args, recv_ty, pc, index, summary, implicit_ctx);
                 // move-result writes happen via the following instruction;
                 // model by stashing in a pseudo-register... simplest: apply
                 // to the *next* instruction if it is a move-result.
-                let info = &self.methods[index];
-                if let Some((_, Decoded::Insn(next))) = info.cfg.insns().get(i + 1) {
+                if let Some(next) = self.methods[index].insns.get(i + 1) {
                     if matches!(
-                        next.op,
+                        next.insn.op,
                         Opcode::MoveResult | Opcode::MoveResultWide | Opcode::MoveResultObject
                     ) {
-                        set(&mut state, next.a, ret);
+                        let a = next.insn.a;
+                        set(&mut state, a, ret);
                     }
                 }
                 // Receiver mutation for StringBuilder-style propagation.
@@ -667,12 +648,12 @@ impl Engine<'_> {
                     .regs
                     .iter()
                     .fold(Taint::CLEAN, |a, &r| a.join(get(&state, r).taint));
-                let info = &self.methods[index];
-                if let Some((_, Decoded::Insn(next))) = info.cfg.insns().get(i + 1) {
-                    if next.op == Opcode::MoveResultObject {
+                if let Some(next) = self.methods[index].insns.get(i + 1) {
+                    if next.insn.op == Opcode::MoveResultObject {
+                        let a = next.insn.a;
                         set(
                             &mut state,
-                            next.a,
+                            a,
                             Reg {
                                 taint: union,
                                 known: Known::None,
@@ -727,24 +708,40 @@ impl Engine<'_> {
             return;
         }
         self.leaks.insert(Leak {
-            method: self.methods[index].sig.clone(),
+            method: self.methods[index].signature.clone(),
             dex_pc: pc,
             depth,
         });
     }
 
-    fn app_summary_for(&self, class: &str, name: &str, desc: &str) -> Option<Summary> {
+    fn app_summary_for(
+        &self,
+        class: &str,
+        name: &str,
+        desc: &str,
+        recv_ty: Option<TypeId>,
+    ) -> Option<Summary> {
         let sig = format!("{class}->{name}{desc}");
         if let Some(&i) = self.by_sig.get(&sig) {
-            return self.summaries.get(&self.methods[i].sig).cloned();
+            return self.summaries.get(&self.methods[i].signature).cloned();
         }
         // Virtual/interface dispatch fallback: any app method with the same
-        // name and descriptor (over-approximation).
+        // name and descriptor (over-approximation), minus candidates the
+        // class hierarchy proves impossible — the runtime receiver is a
+        // subtype of its static type, so a method declared in a provably
+        // disjoint class can never be selected.
         let candidates = self.by_name_desc.get(&(name.to_owned(), desc.to_owned()))?;
         let mut merged = Summary::default();
         let mut found = false;
         for &i in candidates {
-            if let Some(s) = self.summaries.get(&self.methods[i].sig) {
+            if self.config.hierarchy_dispatch {
+                if let (Some(t), Some(c)) = (recv_ty, self.class_ids[i]) {
+                    if self.hier.provably_disjoint(c, t) {
+                        continue;
+                    }
+                }
+            }
+            if let Some(s) = self.summaries.get(&self.methods[i].signature) {
                 found = true;
                 merged.arg_to_ret |= s.arg_to_ret;
                 merged.source_to_ret = match (merged.source_to_ret, s.source_to_ret) {
@@ -760,11 +757,12 @@ impl Engine<'_> {
         found.then_some(merged)
     }
 
-    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn apply_invoke(
         &mut self,
         insn: &Insn,
         args: &[Reg],
+        recv_ty: Option<TypeId>,
         pc: u32,
         index: usize,
         summary: &mut Summary,
@@ -899,7 +897,7 @@ impl Engine<'_> {
         }
 
         // Application callee.
-        match self.app_summary_for(&class, &name, &desc) {
+        match self.app_summary_for(&class, &name, &desc, recv_ty) {
             Some(callee) => {
                 let taints: Vec<Taint> = args.iter().map(|r| r.taint.join(implicit_ctx)).collect();
                 self.apply_app_summary(&callee, &taints, pc, index, summary)
@@ -912,8 +910,8 @@ impl Engine<'_> {
         // Match any method of the class with the given name.
         for (i, m) in self.methods.iter().enumerate() {
             if m.class == class && m.name == name {
-                let sum = self.summaries.get(&self.methods[i].sig).cloned()?;
-                return Some((m.sig.clone(), sum));
+                let sum = self.summaries.get(&self.methods[i].signature).cloned()?;
+                return Some((m.signature.clone(), sum));
             }
         }
         None

@@ -45,6 +45,7 @@ pub fn flowdroid() -> ToolProfile {
             icc: false,
             precise_arrays: false,
             reflection_constant_strings: false,
+            hierarchy_dispatch: true,
             max_call_depth: None,
             max_global_iterations: 20,
         },
@@ -61,6 +62,7 @@ pub fn droidsafe() -> ToolProfile {
             icc: true,
             precise_arrays: false,
             reflection_constant_strings: true,
+            hierarchy_dispatch: true,
             max_call_depth: Some(6),
             max_global_iterations: 20,
         },
@@ -77,6 +79,7 @@ pub fn horndroid() -> ToolProfile {
             icc: true,
             precise_arrays: true,
             reflection_constant_strings: true,
+            hierarchy_dispatch: true,
             max_call_depth: None,
             max_global_iterations: 20,
         },

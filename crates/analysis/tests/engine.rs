@@ -2,6 +2,7 @@
 //! behaviour difference that separates the three tool profiles.
 
 use dexlego_analysis::tools::{all_tools, droidsafe, flowdroid, horndroid};
+use dexlego_analysis::{analyze, AnalysisConfig};
 use dexlego_dalvik::builder::ProgramBuilder;
 use dexlego_dalvik::{Insn, Opcode};
 use dexlego_dex::DexFile;
@@ -493,5 +494,117 @@ fn stringbuilder_propagation() {
     let dex = pb.build().unwrap();
     for tool in all_tools() {
         assert!(tool.run(&dex).leaky(), "{}: StringBuilder flow", tool.name);
+    }
+}
+
+/// Builds the virtual-dispatch fixture: `Lapp/Base;->poke` has no body, so
+/// the engine's name+descriptor fallback merges every `poke` in the app.
+/// `Lapp/C;` (extends Base) is clean; the unrelated `Lapp/Z;` leaks its
+/// argument. `receiver` assembles the receiver into v1 before the call.
+fn dispatch_dex(receiver: impl FnOnce(&mut dexlego_dalvik::builder::MethodBuilder<'_>)) -> DexFile {
+    let mut pb = ProgramBuilder::new();
+    pb.class("Lapp/Base;", |_| {});
+    pb.class("Lapp/C;", |c| {
+        c.superclass("Lapp/Base;");
+        c.method("poke", &["Ljava/lang/String;"], "V", 0, |m| {
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    pb.class("Lapp/Z;", |c| {
+        c.method("poke", &["Ljava/lang/String;"], "V", 1, |m| {
+            let arg = m.param_reg(0);
+            call_sink(m, arg);
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    pb.class("Lapp/Main;", |c| {
+        c.static_method("go", &[], "V", 3, |m| {
+            call_source(m, 0);
+            receiver(m);
+            m.invoke(
+                Opcode::InvokeVirtual,
+                "Lapp/Base;",
+                "poke",
+                &["Ljava/lang/String;"],
+                "V",
+                &[1, 0],
+            );
+            m.asm.ret(Opcode::ReturnVoid, 0);
+        });
+    });
+    pb.build().unwrap()
+}
+
+#[test]
+fn hierarchy_prunes_provably_disjoint_dispatch_targets() {
+    // The receiver is statically `Lapp/C;`, and the hierarchy proves
+    // `Lapp/Z;` can never be its runtime class, so Z's leaking summary
+    // must not produce a false positive.
+    let dex = dispatch_dex(|m| {
+        m.new_instance(1, "Lapp/C;");
+    });
+    for tool in all_tools() {
+        assert!(
+            !tool.run(&dex).leaky(),
+            "{}: disjoint dispatch target not pruned",
+            tool.name
+        );
+    }
+}
+
+#[test]
+fn unknown_receiver_type_keeps_full_dispatch_fallback() {
+    // Merging `Lapp/C;` and `Lapp/Z;` receivers joins to Object, which
+    // proves nothing — the fallback must still include Z's leak (no new
+    // false negatives from the pruning).
+    let dex = dispatch_dex(|m| {
+        m.asm.const4(2, 1);
+        let els = m.asm.new_label();
+        let join = m.asm.new_label();
+        let mut b = Insn::of(Opcode::IfEqz);
+        b.a = 2;
+        m.asm.branch(b, els);
+        m.new_instance(1, "Lapp/C;");
+        m.asm.goto(join);
+        m.asm.bind(els);
+        m.new_instance(1, "Lapp/Z;");
+        m.asm.bind(join);
+    });
+    for tool in all_tools() {
+        assert!(
+            tool.run(&dex).leaky(),
+            "{}: unknown receiver must keep the over-approximation",
+            tool.name
+        );
+    }
+}
+
+#[test]
+fn hierarchy_dispatch_ablation_shows_the_precision_win() {
+    // A/B over the same benign sample: every tool profile with
+    // `hierarchy_dispatch` disabled falls back to the untyped
+    // name+descriptor over-approximation and reports a false positive;
+    // the typed engine (the shipped profiles) reports clean. Together
+    // with `unknown_receiver_type_keeps_full_dispatch_fallback` this is
+    // the strictly-fewer-false-positives / zero-new-false-negatives
+    // contract of the typed IR.
+    let dex = dispatch_dex(|m| {
+        m.new_instance(1, "Lapp/C;");
+    });
+    for tool in all_tools() {
+        let untyped = AnalysisConfig {
+            hierarchy_dispatch: false,
+            ..tool.config.clone()
+        };
+        assert!(
+            analyze(&dex, &untyped).leaky(),
+            "{}: untyped dispatch should over-approximate here",
+            tool.name
+        );
+        assert!(
+            !tool.run(&dex).leaky(),
+            "{}: typed dispatch should prune the false positive",
+            tool.name
+        );
     }
 }

@@ -1,0 +1,37 @@
+//! Taint-precision regression gate: fails if any tool misclassifies a
+//! corpus sample not already in the checked-in baseline.
+use std::process::ExitCode;
+
+use dexlego_bench::taint_gate;
+
+fn main() -> ExitCode {
+    let write = std::env::args().any(|a| a == "--write-baseline");
+    let observed = taint_gate::observed();
+    if write {
+        taint_gate::write_baseline(&observed).expect("writing baseline");
+        println!(
+            "wrote {} misclassifications to {}",
+            observed.len(),
+            taint_gate::baseline_path().display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match taint_gate::load_baseline() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "taint-precision gate: cannot read baseline {}: {e}\n\
+                 generate it with `cargo run -p dexlego-bench --bin taint_gate -- --write-baseline`",
+                taint_gate::baseline_path().display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = taint_gate::check(&observed, &baseline);
+    print!("{}", taint_gate::format(&report));
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

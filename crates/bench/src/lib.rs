@@ -9,7 +9,9 @@
 //! every number for EXPERIMENTS.md. The extra `service` binary measures
 //! cold vs warm throughput through a live `dexlegod` daemon ([`service`]),
 //! and `interp` compares decode-per-step against the predecoded code
-//! cache in instructions/sec ([`interp`], emitting BENCH_interp.json).
+//! cache in instructions/sec ([`interp`], emitting BENCH_interp.json), and
+//! `taint_gate` is the taint-precision regression gate run by `verify.sh`
+//! ([`taint_gate`]).
 
 pub mod common;
 pub mod fig5;
@@ -24,5 +26,6 @@ pub mod table5;
 pub mod table6;
 pub mod table7;
 pub mod table8;
+pub mod taint_gate;
 
 pub use common::{reveal_sample, reveal_samples, RevealedSample};

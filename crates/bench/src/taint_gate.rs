@@ -1,0 +1,173 @@
+//! Taint-precision regression gate.
+//!
+//! Runs every tool profile over the original (unpacked) corpus samples and
+//! records each misclassification — a false positive or a false negative —
+//! as one `tool<TAB>kind<TAB>sample` line. The set is compared against the
+//! checked-in baseline (`crates/bench/baselines/taint_precision.txt`):
+//! any line not in the baseline is a regression and fails the gate, while
+//! baseline lines no longer observed are improvements, reported so the
+//! baseline can be tightened with `--write-baseline`. `verify.sh` runs the
+//! gate on every pass, so a change that makes the taint engine flag a
+//! benign sample (or stop flagging a leaky one) cannot land silently.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use dexlego_analysis::tools::all_tools;
+use dexlego_droidbench::build_suite;
+
+/// Location of the checked-in baseline, resolved relative to this crate so
+/// the gate works from any working directory.
+pub fn baseline_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/baselines/taint_precision.txt"
+    ))
+}
+
+/// Every misclassification the current engine produces on the original
+/// corpus, one `tool<TAB>fp|fn<TAB>sample` line per miss.
+pub fn observed() -> BTreeSet<String> {
+    let suite = build_suite();
+    let mut misses = BTreeSet::new();
+    for tool in all_tools() {
+        for sample in &suite {
+            let flagged = tool.run(&sample.dex).leaky();
+            let kind = match (sample.leaky(), flagged) {
+                (false, true) => "fp",
+                (true, false) => "fn",
+                _ => continue,
+            };
+            misses.insert(format!("{}\t{}\t{}", tool.name, kind, sample.name));
+        }
+    }
+    misses
+}
+
+/// Parses the baseline file into the same line set.
+///
+/// # Errors
+///
+/// Propagates the read failure (a missing baseline should fail the gate
+/// loudly, not pass it vacuously).
+pub fn load_baseline() -> io::Result<BTreeSet<String>> {
+    let text = fs::read_to_string(baseline_path())?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect())
+}
+
+/// Rewrites the baseline to match `observed`.
+///
+/// # Errors
+///
+/// Propagates the write failure.
+pub fn write_baseline(observed: &BTreeSet<String>) -> io::Result<()> {
+    let mut text = String::from(
+        "# Taint-precision baseline: every tool misclassification on the\n\
+         # original corpus, as tool<TAB>fp|fn<TAB>sample. Regenerate with\n\
+         # `cargo run -p dexlego-bench --bin taint_gate -- --write-baseline`.\n",
+    );
+    for line in observed {
+        text.push_str(line);
+        text.push('\n');
+    }
+    fs::write(baseline_path(), text)
+}
+
+/// Outcome of comparing the observed misses against the baseline.
+#[derive(Debug)]
+pub struct GateReport {
+    /// Misses not in the baseline: regressions, gate fails.
+    pub regressions: Vec<String>,
+    /// Baseline misses no longer observed: improvements, baseline is stale.
+    pub improvements: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes (no new misclassification).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares observed misses against the baseline.
+pub fn check(observed: &BTreeSet<String>, baseline: &BTreeSet<String>) -> GateReport {
+    GateReport {
+        regressions: observed.difference(baseline).cloned().collect(),
+        improvements: baseline.difference(observed).cloned().collect(),
+    }
+}
+
+/// Renders the report for the console.
+pub fn format(report: &GateReport) -> String {
+    let mut out = String::new();
+    if report.regressions.is_empty() {
+        out.push_str("taint-precision gate: no new misclassifications\n");
+    } else {
+        out.push_str("taint-precision gate: REGRESSIONS (not in baseline):\n");
+        for line in &report.regressions {
+            out.push_str("  + ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if !report.improvements.is_empty() {
+        out.push_str("improvements (in baseline, no longer observed — rerun with --write-baseline to tighten):\n");
+        for line in &report.improvements {
+            out.push_str("  - ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(lines: &[&str]) -> BTreeSet<String> {
+        lines.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn identical_sets_pass() {
+        let s = set(&["FlowDroid\tfn\ta", "HornDroid\tfp\tb"]);
+        let report = check(&s, &s);
+        assert!(report.passed());
+        assert!(report.improvements.is_empty());
+    }
+
+    #[test]
+    fn new_miss_is_a_regression() {
+        let baseline = set(&["FlowDroid\tfn\ta"]);
+        let observed = set(&["FlowDroid\tfn\ta", "FlowDroid\tfp\tb"]);
+        let report = check(&observed, &baseline);
+        assert!(!report.passed());
+        assert_eq!(report.regressions, vec!["FlowDroid\tfp\tb"]);
+    }
+
+    #[test]
+    fn removed_miss_is_an_improvement_not_a_failure() {
+        let baseline = set(&["FlowDroid\tfn\ta", "DroidSafe\tfp\tb"]);
+        let observed = set(&["FlowDroid\tfn\ta"]);
+        let report = check(&observed, &baseline);
+        assert!(report.passed());
+        assert_eq!(report.improvements, vec!["DroidSafe\tfp\tb"]);
+    }
+
+    #[test]
+    fn baseline_parser_skips_comments_and_blanks() {
+        let parsed: BTreeSet<String> = "# header\n\nFlowDroid\tfn\ta\n"
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_owned)
+            .collect();
+        assert_eq!(parsed, set(&["FlowDroid\tfn\ta"]));
+    }
+}

@@ -172,6 +172,24 @@ impl MethodBuilder<'_> {
         insn.idx = idx;
         self.asm.push(insn);
     }
+
+    /// `check-cast vreg, type`.
+    pub fn check_cast(&mut self, reg: u32, class: &str) {
+        let idx = self.dex.intern_type(class);
+        let mut insn = crate::insn::Insn::of(Opcode::CheckCast);
+        insn.a = reg;
+        insn.idx = idx;
+        self.asm.push(insn);
+    }
+
+    /// `aput`-style array store: vval into varr[vidx].
+    pub fn aput(&mut self, op: Opcode, val: u32, arr: u32, idx: u32) {
+        let mut insn = crate::insn::Insn::of(op);
+        insn.a = val;
+        insn.b = arr;
+        insn.c = idx;
+        self.asm.push(insn);
+    }
 }
 
 impl ClassBuilder<'_> {

@@ -138,6 +138,20 @@ impl ClassDef {
     }
 }
 
+/// A class definition's inheritance link in descriptor form, as yielded by
+/// [`DexFile::hierarchy_links`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyLink<'a> {
+    /// Descriptor of the defined class.
+    pub class: &'a str,
+    /// Descriptor of its superclass; `None` for `java.lang.Object`.
+    pub superclass: Option<&'a str>,
+    /// Descriptors of the implemented interfaces.
+    pub interfaces: Vec<&'a str>,
+    /// Whether the definition is an interface.
+    pub is_interface: bool,
+}
+
 /// An in-memory DEX file.
 ///
 /// # Example
@@ -450,6 +464,31 @@ impl DexFile {
         self.class_defs
             .iter()
             .find(|c| self.type_descriptor(c.class_idx) == Ok(descriptor))
+    }
+
+    /// One class definition's inheritance link, in descriptor form: the
+    /// raw material for a class-hierarchy model (see
+    /// `dexlego_verifier::hierarchy`). Entries with unresolvable type
+    /// indices are skipped rather than failing the whole walk.
+    pub fn hierarchy_links(&self) -> impl Iterator<Item = HierarchyLink<'_>> {
+        self.class_defs.iter().filter_map(|c| {
+            let class = self.type_descriptor(c.class_idx).ok()?;
+            let superclass = match c.superclass {
+                Some(s) => Some(self.type_descriptor(s).ok()?),
+                None => None,
+            };
+            let interfaces = c
+                .interfaces
+                .iter()
+                .filter_map(|&i| self.type_descriptor(i).ok())
+                .collect();
+            Some(HierarchyLink {
+                class,
+                superclass,
+                interfaces,
+                is_interface: c.access.contains(AccessFlags::INTERFACE),
+            })
+        })
     }
 
     /// Human-readable signature for a method id, e.g.

@@ -44,8 +44,8 @@ pub use access::AccessFlags;
 pub use code::{CodeItem, EncodedCatchHandler, TryItem};
 pub use error::DexError;
 pub use file::{
-    ClassData, ClassDef, DexFile, EncodedField, EncodedMethod, FieldIdItem, MethodIdItem,
-    ProtoIdItem,
+    ClassData, ClassDef, DexFile, EncodedField, EncodedMethod, FieldIdItem, HierarchyLink,
+    MethodIdItem, ProtoIdItem,
 };
 pub use value::EncodedValue;
 

@@ -27,6 +27,10 @@ pub struct RevealOutcome {
     /// Warning-severity verifier lints over the reassembled DEX
     /// (error-severity diagnostics abort the pipeline instead).
     pub lints: Vec<dexlego_verifier::Diagnostic>,
+    /// Method bodies for which the verifier materialized typed IR.
+    pub typed_methods: usize,
+    /// Instructions across all typed-IR methods.
+    pub typed_insns: u64,
     /// [`validate_reveal`] findings over the outcome (empty = every
     /// collected method and instruction made it into the reassembled DEX).
     /// Computed as part of the pipeline so callers cannot forget the check.
@@ -195,11 +199,15 @@ fn finish_files(files: CollectionFiles, mut metrics: PipelineMetrics) -> Result<
         .map_err(crate::DexLegoError::Dalvik)?;
     // Verification gate: the canonicalised DEX is the artifact handed to
     // static analysis, so it is the one that must satisfy the verifier.
-    // Error-severity diagnostics abort; lints ride along in the outcome.
-    let diags = metrics.time("verify", || {
-        dexlego_verifier::verify_dex(&dex, &dexlego_verifier::VerifyOptions::default())
+    // Error-severity diagnostics abort; lints and the typed-IR sizing
+    // counters ride along in the outcome.
+    let typed = metrics.time("verify", || {
+        dexlego_verifier::verify_dex_typed(&dex, &dexlego_verifier::VerifyOptions::default())
     });
-    let (errors, lints): (Vec<_>, Vec<_>) = diags
+    let typed_methods = typed.methods.len();
+    let typed_insns = typed.insn_count() as u64;
+    let (errors, lints): (Vec<_>, Vec<_>) = typed
+        .diagnostics
         .into_iter()
         .partition(dexlego_verifier::Diagnostic::is_error);
     if !errors.is_empty() {
@@ -207,12 +215,16 @@ fn finish_files(files: CollectionFiles, mut metrics: PipelineMetrics) -> Result<
     }
     let validation = metrics.time("validate", || validate_reveal(&files, &dex));
     metrics.count("verifier_lints", lints.len() as u64);
+    metrics.count("typed_methods", typed_methods as u64);
+    metrics.count("typed_insns", typed_insns);
     metrics.count("validation_findings", validation.len() as u64);
     Ok(RevealOutcome {
         files,
         dex,
         dump_size,
         lints,
+        typed_methods,
+        typed_insns,
         validation,
         metrics,
     })

@@ -62,6 +62,8 @@ pub fn to_cached(report: &JobReport, dex_bytes: &[u8]) -> CachedResult {
         insns_collected: report.insns_collected,
         dump_size: report.dump_size as u64,
         verifier_lints: report.verifier_lints as u64,
+        typed_methods: report.typed_methods as u64,
+        typed_insns: report.typed_insns,
         validation: Vec::new(), // a cached job passed validation
         phases_us: report.phases_us.clone(),
     }
@@ -83,6 +85,8 @@ pub fn from_cached(name: &str, packer: Option<&'static str>, hit: &CachedResult)
         insns_collected: hit.insns_collected,
         dump_size: hit.dump_size as usize,
         verifier_lints: hit.verifier_lints as usize,
+        typed_methods: hit.typed_methods as usize,
+        typed_insns: hit.typed_insns,
         phases_us: hit.phases_us.clone(),
         ..JobReport::empty(name.to_owned(), packer)
     }
@@ -190,6 +194,8 @@ mod tests {
             insns_collected: 40,
             dump_size: 512,
             verifier_lints: 1,
+            typed_methods: 2,
+            typed_insns: 33,
             phases_us: vec![("collect".to_owned(), 7)],
             ..JobReport::empty("j".to_owned(), Some("360"))
         };
@@ -202,6 +208,8 @@ mod tests {
         assert_eq!(back.dequickens, report.dequickens);
         assert_eq!(back.superinsn_hits, report.superinsn_hits);
         assert_eq!(back.methods_collected, report.methods_collected);
+        assert_eq!(back.typed_methods, report.typed_methods);
+        assert_eq!(back.typed_insns, report.typed_insns);
         assert_eq!(back.phases_us, report.phases_us);
         assert_eq!(entry.dex_bytes, vec![1, 2, 3]);
     }

@@ -348,13 +348,16 @@ fn run_job(spec: &JobSpec) -> (JobReport, Option<DexFile>) {
                 status
             }
             Err(_) if timed_out => JobStatus::Timeout,
-            Err(DexLegoError::Verification(diags)) => JobStatus::VerifierRejected(
-                diags
-                    .iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join("; "),
-            ),
+            Err(DexLegoError::Verification(diags)) => {
+                report.verifier_errors = diags.len();
+                JobStatus::VerifierRejected(
+                    diags
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                )
+            }
             Err(e) => JobStatus::ReassemblyFailed(e.to_string()),
         }
     };

@@ -45,6 +45,13 @@ pub struct JobReport {
     pub dump_size: usize,
     /// Warning-severity verifier lints on the reassembled DEX.
     pub verifier_lints: usize,
+    /// Error-severity verifier diagnostics (nonzero only when the job was
+    /// rejected by the verification gate).
+    pub verifier_errors: usize,
+    /// Method bodies with typed IR materialized by the verifier.
+    pub typed_methods: usize,
+    /// Instructions across all typed-IR methods.
+    pub typed_insns: u64,
     /// Per-phase pipeline timings in microseconds, in execution order
     /// (collect, serialize, tree_merge, dexgen, canonicalize, verify,
     /// validate).
@@ -70,6 +77,9 @@ impl JobReport {
             insns_collected: 0,
             dump_size: 0,
             verifier_lints: 0,
+            verifier_errors: 0,
+            typed_methods: 0,
+            typed_insns: 0,
             phases_us: Vec::new(),
         }
     }
@@ -80,6 +90,8 @@ impl JobReport {
         self.insns_collected = outcome.metrics.counter("insns_collected").unwrap_or(0);
         self.dump_size = outcome.dump_size;
         self.verifier_lints = outcome.lints.len();
+        self.typed_methods = outcome.typed_methods;
+        self.typed_insns = outcome.typed_insns;
         self.phases_us = outcome
             .metrics
             .phases()
@@ -132,6 +144,9 @@ impl JobReport {
             ("insns_collected", self.insns_collected.to_string()),
             ("dump_size", self.dump_size.to_string()),
             ("verifier_lints", self.verifier_lints.to_string()),
+            ("verifier_errors", self.verifier_errors.to_string()),
+            ("typed_methods", self.typed_methods.to_string()),
+            ("typed_insns", self.typed_insns.to_string()),
             ("phases_us", json::object(&phases)),
         ])
     }

@@ -81,6 +81,14 @@ struct ServiceStats {
     dequickens: u64,
     /// Fused superinstruction dispatches across extractions.
     superinsn_hits: u64,
+    /// Warning-severity verifier lints across extractions served.
+    verifier_lints: u64,
+    /// Error-severity verifier diagnostics across rejected extractions.
+    verifier_errors: u64,
+    /// Method bodies with typed IR materialized across extractions.
+    typed_methods: u64,
+    /// Instructions across all typed-IR methods, across extractions.
+    typed_insns: u64,
     /// Per-phase `(count, total_us)` aggregates over fresh extractions.
     phases_us: BTreeMap<String, (u64, u64)>,
 }
@@ -91,6 +99,10 @@ impl ServiceStats {
         self.quickens += report.quickens;
         self.dequickens += report.dequickens;
         self.superinsn_hits += report.superinsn_hits;
+        self.verifier_lints += report.verifier_lints as u64;
+        self.verifier_errors += report.verifier_errors as u64;
+        self.typed_methods += report.typed_methods as u64;
+        self.typed_insns += report.typed_insns;
         if report.cached {
             self.hits += 1;
         } else {
@@ -400,6 +412,10 @@ fn stats_reply(shared: &Shared) -> String {
         ("quickens", stats.quickens.to_string()),
         ("dequickens", stats.dequickens.to_string()),
         ("superinsn_hits", stats.superinsn_hits.to_string()),
+        ("verifier_lints", stats.verifier_lints.to_string()),
+        ("verifier_errors", stats.verifier_errors.to_string()),
+        ("typed_methods", stats.typed_methods.to_string()),
+        ("typed_insns", stats.typed_insns.to_string()),
         ("in_flight", shared.pool.in_flight().to_string()),
         ("store", store_json),
         ("phases_us", json::object(&phase_members)),

@@ -3,7 +3,8 @@
 //! The payload format is a simple length-prefixed binary encoding (the
 //! workspace is dependency-free, so there is no serde): little-endian
 //! integers, `u32` length prefixes, UTF-8 strings. A leading format tag
-//! (`RES2`; `RES1` lacked the quickening counters and decodes as a miss)
+//! (`RES3`; `RES2` lacked the typed-verifier counters, `RES1` the quickening
+//! counters — both decode as a miss)
 //! versions the payload independently of the on-disk container that wraps
 //! it (see [`crate::store`]).
 
@@ -34,13 +35,17 @@ pub struct CachedResult {
     pub dump_size: u64,
     /// Warning-severity verifier lints on the reassembled DEX.
     pub verifier_lints: u64,
+    /// Method bodies with typed IR materialized by the verifier.
+    pub typed_methods: u64,
+    /// Instructions across all typed-IR methods.
+    pub typed_insns: u64,
     /// `validate_reveal` findings (empty = validated).
     pub validation: Vec<String>,
     /// Per-phase pipeline timings in microseconds, execution order.
     pub phases_us: Vec<(String, u64)>,
 }
 
-const PAYLOAD_TAG: &[u8; 4] = b"RES2";
+const PAYLOAD_TAG: &[u8; 4] = b"RES3";
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -110,6 +115,8 @@ pub fn encode(r: &CachedResult) -> Vec<u8> {
         r.insns_collected,
         r.dump_size,
         r.verifier_lints,
+        r.typed_methods,
+        r.typed_insns,
     ] {
         put_u64(&mut out, v);
     }
@@ -148,6 +155,8 @@ pub fn decode(data: &[u8]) -> Result<CachedResult, String> {
     let insns_collected = c.u64()?;
     let dump_size = c.u64()?;
     let verifier_lints = c.u64()?;
+    let typed_methods = c.u64()?;
+    let typed_insns = c.u64()?;
     let n_validation = c.u32()? as usize;
     let mut validation = Vec::with_capacity(n_validation.min(1024));
     for _ in 0..n_validation {
@@ -175,6 +184,8 @@ pub fn decode(data: &[u8]) -> Result<CachedResult, String> {
         insns_collected,
         dump_size,
         verifier_lints,
+        typed_methods,
+        typed_insns,
         validation,
         phases_us,
     })
@@ -197,6 +208,8 @@ mod tests {
             insns_collected: 400,
             dump_size: 2048,
             verifier_lints: 1,
+            typed_methods: 4,
+            typed_insns: 77,
             validation: vec!["m1: missing".to_owned(), "m2: odd".to_owned()],
             phases_us: vec![("collect".to_owned(), 42), ("verify".to_owned(), 7)],
         }

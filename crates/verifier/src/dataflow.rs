@@ -7,18 +7,85 @@
 //! instruction their try range covers (the ART rule: a throw can occur at
 //! any covered instruction). Errors are deduplicated by (rule, pc), since
 //! the fixpoint revisits blocks.
+//!
+//! With DEX context ([`TypeCtx::dex`]), reference writes are refined to the
+//! descriptor the instruction actually produces (`new-instance`,
+//! `const-string`, field loads, invoke returns), and declared types are
+//! checked at use sites: invoke signatures (V0009), field writes (V0010),
+//! return types (V0011), provably-failing `check-cast` (L0004), and
+//! provably-incompatible `aput-object` (L0005). All typed checks fire only
+//! on *provable* breakage — see [`ClassHierarchy::provably_disjoint`].
+//!
+//! After the fixpoint converges, each reachable block is replayed once from
+//! its final entry frame to snapshot the per-instruction pre-states that
+//! [`crate::typed_ir::TypedIr`] materializes.
 
 use std::collections::{HashSet, VecDeque};
 
-use dexlego_dalvik::insn::Decoded;
+use dexlego_dalvik::insn::{Decoded, Insn};
 use dexlego_dalvik::Opcode;
 use dexlego_dex::code::CodeItem;
+use dexlego_dex::DexFile;
 
 use crate::cfg::{Cfg, EdgeKind};
 use crate::diag::{Diagnostic, Rule};
 use crate::effects::{effects, Need, Write};
+use crate::hierarchy::{ClassHierarchy, TypeId};
 use crate::typestate::{join_frames, RegType};
 use crate::ParamKind;
+
+/// Fixpoint pre-state of every real instruction, indexed like
+/// [`Cfg::insns`]. `None` for unreachable instructions and payloads.
+pub(crate) type Frames = Vec<Option<Vec<RegType>>>;
+
+/// Typed verification context: the hierarchy is always present (possibly
+/// empty); the DEX pools and declared return type only when verifying with
+/// full method context.
+pub(crate) struct TypeCtx<'a> {
+    pub dex: Option<&'a DexFile>,
+    pub hier: &'a ClassHierarchy,
+    /// Declared return type, when it is a reference type.
+    pub ret: Option<TypeId>,
+    /// Reference types of the declared parameters, aligned with the
+    /// `ParamKind` slice (`None` for non-reference or unknown parameters).
+    pub param_refs: &'a [Option<TypeId>],
+}
+
+impl TypeCtx<'_> {
+    /// A context with no DEX: refs are untyped Objects, typed checks off.
+    pub fn bare<'a>(hier: &'a ClassHierarchy) -> TypeCtx<'a> {
+        TypeCtx {
+            dex: None,
+            hier,
+            ret: None,
+            param_refs: &[],
+        }
+    }
+
+    /// Renders a register type for diagnostics: reference types by their
+    /// descriptor (`Ljava/lang/String;`), everything else by its lattice
+    /// name.
+    fn describe(&self, ty: RegType) -> String {
+        ty.describe(self.hier)
+    }
+
+    /// The interned type for a type-pool index, when DEX context exists.
+    fn pool_type(&self, idx: u32) -> Option<TypeId> {
+        let desc = self.dex?.type_descriptor(idx).ok()?;
+        self.hier.lookup(desc)
+    }
+
+    /// The interned type of a field's declared type.
+    fn field_type(&self, idx: u32) -> Option<TypeId> {
+        let field = self.dex?.field_id(idx).ok()?;
+        let desc = self.dex?.type_descriptor(field.type_).ok()?;
+        if desc.starts_with('L') || desc.starts_with('[') {
+            self.hier.lookup(desc)
+        } else {
+            None
+        }
+    }
+}
 
 struct Ctx {
     regs: usize,
@@ -34,8 +101,15 @@ impl Ctx {
     }
 }
 
-/// Runs the dataflow verification and appends findings to `out`.
-pub(crate) fn run(cfg: &Cfg, code: &CodeItem, params: &[ParamKind], out: &mut Vec<Diagnostic>) {
+/// Runs the dataflow verification, appends findings to `out`, and returns
+/// the fixpoint per-instruction pre-states.
+pub(crate) fn run(
+    cfg: &Cfg,
+    code: &CodeItem,
+    params: &[ParamKind],
+    tcx: &TypeCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+) -> Frames {
     let regs = code.registers_size as usize;
     let ins = code.ins_size as usize;
     let mut ctx = Ctx {
@@ -43,8 +117,9 @@ pub(crate) fn run(cfg: &Cfg, code: &CodeItem, params: &[ParamKind], out: &mut Ve
         seen: HashSet::new(),
         out: Vec::new(),
     };
+    let mut frames: Frames = vec![None; cfg.insns().len()];
 
-    let entry = entry_frame(regs, ins, params, &mut ctx);
+    let entry = entry_frame(regs, ins, params, tcx, &mut ctx);
     if cfg.blocks().is_empty() {
         ctx.report(
             Rule::V0005,
@@ -52,7 +127,7 @@ pub(crate) fn run(cfg: &Cfg, code: &CodeItem, params: &[ParamKind], out: &mut Ve
             "method has no instructions: execution falls off the end".to_owned(),
         );
         out.append(&mut ctx.out);
-        return;
+        return frames;
     }
 
     let nblocks = cfg.blocks().len();
@@ -82,12 +157,19 @@ pub(crate) fn run(cfg: &Cfg, code: &CodeItem, params: &[ParamKind], out: &mut Ve
             for (lo, hi, handler_blocks) in &handler_edges {
                 if *pc >= *lo && *pc < *hi && insn.op.can_throw() {
                     for &hb in handler_blocks {
-                        merge_into(&mut in_states, hb, &frame, &mut worklist, &mut queued);
+                        merge_into(
+                            &mut in_states,
+                            hb,
+                            &frame,
+                            tcx.hier,
+                            &mut worklist,
+                            &mut queued,
+                        );
                     }
                 }
             }
 
-            transfer(insn, *pc, prev_insn(cfg, i), &mut frame, &mut ctx);
+            transfer(insn, *pc, prev_insn(cfg, i), &mut frame, &mut ctx, tcx);
         }
         for edge in &block.succs {
             if edge.kind == EdgeKind::Exception {
@@ -97,19 +179,38 @@ pub(crate) fn run(cfg: &Cfg, code: &CodeItem, params: &[ParamKind], out: &mut Ve
                 &mut in_states,
                 edge.target,
                 &frame,
+                tcx.hier,
                 &mut worklist,
                 &mut queued,
             );
         }
     }
 
+    // Replay each reached block once from its fixpoint entry frame to
+    // snapshot per-instruction pre-states. Diagnostics are deduplicated by
+    // (rule, pc), and the fixpoint loop's last pass over each block already
+    // ran on the final entry frame, so the replay adds no new findings.
+    for (bid, block) in cfg.blocks().iter().enumerate() {
+        let Some(state) = &in_states[bid] else {
+            continue;
+        };
+        let mut frame = state.clone();
+        for &i in &block.insns {
+            let (pc, d) = &cfg.insns()[i];
+            let Decoded::Insn(insn) = d else { continue };
+            frames[i] = Some(frame.clone());
+            transfer(insn, *pc, prev_insn(cfg, i), &mut frame, &mut ctx, tcx);
+        }
+    }
+
     ctx.out.sort_by_key(|d| (d.dex_pc, d.rule));
     out.append(&mut ctx.out);
+    frames
 }
 
 /// The real instruction immediately preceding instruction `i` in code
 /// order, if any (payloads break adjacency).
-fn prev_insn(cfg: &Cfg, i: usize) -> Option<&dexlego_dalvik::insn::Insn> {
+fn prev_insn(cfg: &Cfg, i: usize) -> Option<&Insn> {
     if i == 0 {
         return None;
     }
@@ -120,11 +221,12 @@ fn merge_into(
     in_states: &mut [Option<Vec<RegType>>],
     target: usize,
     frame: &[RegType],
+    hier: &ClassHierarchy,
     worklist: &mut VecDeque<usize>,
     queued: &mut [bool],
 ) {
     let changed = match &mut in_states[target] {
-        Some(existing) => join_frames(existing, frame),
+        Some(existing) => join_frames(existing, frame, hier),
         slot @ None => {
             *slot = Some(frame.to_vec());
             true
@@ -136,7 +238,13 @@ fn merge_into(
     }
 }
 
-fn entry_frame(regs: usize, ins: usize, params: &[ParamKind], ctx: &mut Ctx) -> Vec<RegType> {
+fn entry_frame(
+    regs: usize,
+    ins: usize,
+    params: &[ParamKind],
+    tcx: &TypeCtx<'_>,
+    ctx: &mut Ctx,
+) -> Vec<RegType> {
     let mut frame = vec![RegType::Uninit; regs];
     if ins > regs {
         ctx.report(
@@ -147,7 +255,7 @@ fn entry_frame(regs: usize, ins: usize, params: &[ParamKind], ctx: &mut Ctx) -> 
         return frame;
     }
     let mut at = regs - ins;
-    for kind in params {
+    for (k, kind) in params.iter().enumerate() {
         match kind {
             ParamKind::Wide => {
                 if at + 1 < regs {
@@ -161,7 +269,13 @@ fn entry_frame(regs: usize, ins: usize, params: &[ParamKind], ctx: &mut Ctx) -> 
                     frame[at] = match other {
                         ParamKind::Int => RegType::Int,
                         ParamKind::Float => RegType::Float,
-                        ParamKind::Object => RegType::Ref,
+                        ParamKind::Object => RegType::Ref(
+                            tcx.param_refs
+                                .get(k)
+                                .copied()
+                                .flatten()
+                                .unwrap_or(TypeId::OBJECT),
+                        ),
                         ParamKind::Opaque => RegType::Any,
                         ParamKind::Wide => unreachable!(),
                     };
@@ -213,11 +327,12 @@ fn handler_ranges(cfg: &Cfg, code: &CodeItem) -> Vec<(u32, u32, Vec<usize>)> {
 }
 
 fn transfer(
-    insn: &dexlego_dalvik::insn::Insn,
+    insn: &Insn,
     pc: u32,
-    prev: Option<&dexlego_dalvik::insn::Insn>,
+    prev: Option<&Insn>,
     frame: &mut [RegType],
     ctx: &mut Ctx,
+    tcx: &TypeCtx<'_>,
 ) {
     // Structural `move-result*` placement check (V0003): must directly
     // follow an invoke (or `filled-new-array` for the object form) in code
@@ -243,11 +358,18 @@ fn transfer(
 
     let eff = effects(insn);
     for &(reg, need) in &eff.reads {
-        read(reg, need, insn, pc, frame, ctx);
+        read(reg, need, insn, pc, frame, ctx, tcx);
+    }
+    if tcx.dex.is_some() {
+        typed_checks(insn, pc, frame, ctx, tcx);
     }
     if let Some((reg, w)) = eff.write {
         match w {
             Write::One(ty) => write_one(reg, ty, pc, frame, ctx),
+            Write::Ref => {
+                let ty = refined_ref(insn, prev, frame, tcx).unwrap_or(TypeId::OBJECT);
+                write_one(reg, RegType::Ref(ty), pc, frame, ctx);
+            }
             Write::Copy(src) => {
                 let ty = frame
                     .get(src as usize)
@@ -261,13 +383,185 @@ fn transfer(
     }
 }
 
+/// The static type of the reference a [`Write::Ref`] instruction produces,
+/// when DEX context makes it resolvable.
+fn refined_ref(
+    insn: &Insn,
+    prev: Option<&Insn>,
+    frame: &[RegType],
+    tcx: &TypeCtx<'_>,
+) -> Option<TypeId> {
+    match insn.op {
+        Opcode::ConstString | Opcode::ConstStringJumbo => tcx.hier.lookup("Ljava/lang/String;"),
+        Opcode::ConstClass => tcx.hier.lookup("Ljava/lang/Class;"),
+        Opcode::CheckCast | Opcode::NewInstance | Opcode::NewArray => tcx.pool_type(insn.idx),
+        Opcode::MoveException => tcx.hier.lookup("Ljava/lang/Throwable;"),
+        Opcode::IgetObject | Opcode::SgetObject => tcx.field_type(insn.idx),
+        Opcode::AgetObject => {
+            let arr = frame.get(insn.b as usize)?.ref_type()?;
+            tcx.hier.element(arr)
+        }
+        Opcode::MoveResultObject => {
+            let p = prev?;
+            if p.op.is_invoke() {
+                let dex = tcx.dex?;
+                let method = dex.method_id(p.idx).ok()?;
+                let proto = dex.proto(method.proto).ok()?;
+                let desc = dex.type_descriptor(proto.return_type).ok()?;
+                tcx.hier.lookup(desc)
+            } else {
+                // filled-new-array carries the array type directly.
+                tcx.pool_type(p.idx)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Declared-type checks against the pre-state frame: invoke signatures
+/// (V0009), field writes (V0010), return types (V0011), provably-failing
+/// casts (L0004), and provably-incompatible array stores (L0005).
+fn typed_checks(insn: &Insn, pc: u32, frame: &[RegType], ctx: &mut Ctx, tcx: &TypeCtx<'_>) {
+    let reg_ref = |reg: u32| frame.get(reg as usize).and_then(|t| t.ref_type());
+    let mn = insn.op.mnemonic();
+    match insn.op {
+        op if op.is_invoke() => check_invoke(insn, pc, frame, ctx, tcx),
+        Opcode::CheckCast => {
+            if let (Some(src), Some(dst)) = (reg_ref(insn.a), tcx.pool_type(insn.idx)) {
+                if tcx.hier.provably_disjoint(src, dst) {
+                    ctx.report(
+                        Rule::L0004,
+                        pc,
+                        format!(
+                            "check-cast of v{} from {} to {} can never succeed",
+                            insn.a,
+                            tcx.hier.name(src),
+                            tcx.hier.name(dst)
+                        ),
+                    );
+                }
+            }
+        }
+        Opcode::IputObject | Opcode::SputObject => {
+            if let (Some(src), Some(field)) = (reg_ref(insn.a), tcx.field_type(insn.idx)) {
+                if tcx.hier.provably_disjoint(src, field) {
+                    ctx.report(
+                        Rule::V0010,
+                        pc,
+                        format!(
+                            "{mn} stores {} into a field of type {}",
+                            tcx.hier.name(src),
+                            tcx.hier.name(field)
+                        ),
+                    );
+                }
+            }
+        }
+        Opcode::ReturnObject => {
+            if let (Some(src), Some(ret)) = (reg_ref(insn.a), tcx.ret) {
+                if tcx.hier.provably_disjoint(src, ret) {
+                    ctx.report(
+                        Rule::V0011,
+                        pc,
+                        format!(
+                            "return-object returns {} from a method declared to return {}",
+                            tcx.hier.name(src),
+                            tcx.hier.name(ret)
+                        ),
+                    );
+                }
+            }
+        }
+        Opcode::AputObject => {
+            let element = reg_ref(insn.b).and_then(|arr| tcx.hier.element(arr));
+            if let (Some(src), Some(el)) = (reg_ref(insn.a), element) {
+                if tcx.hier.provably_disjoint(src, el) {
+                    ctx.report(
+                        Rule::L0005,
+                        pc,
+                        format!(
+                            "aput-object stores {} into an array of {}",
+                            tcx.hier.name(src),
+                            tcx.hier.name(el)
+                        ),
+                    );
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Checks an invoke's argument registers against the declared signature:
+/// the receiver against the declaring class, each reference parameter
+/// against its declared descriptor. Skipped entirely when the register
+/// list does not line up with the signature width (other rules cover that).
+fn check_invoke(insn: &Insn, pc: u32, frame: &[RegType], ctx: &mut Ctx, tcx: &TypeCtx<'_>) {
+    let Some(dex) = tcx.dex else { return };
+    let Ok(method) = dex.method_id(insn.idx) else {
+        return;
+    };
+    let Ok(proto) = dex.proto(method.proto) else {
+        return;
+    };
+    let is_static = matches!(insn.op, Opcode::InvokeStatic | Opcode::InvokeStaticRange);
+    let mut expected: Vec<(&str, u16)> = Vec::with_capacity(proto.parameters.len() + 1);
+    if !is_static {
+        let Ok(recv) = dex.type_descriptor(method.class) else {
+            return;
+        };
+        expected.push((recv, 1));
+    }
+    for &p in &proto.parameters {
+        let Ok(desc) = dex.type_descriptor(p) else {
+            return;
+        };
+        let width = if matches!(desc.as_bytes().first(), Some(b'J') | Some(b'D')) {
+            2
+        } else {
+            1
+        };
+        expected.push((desc, width));
+    }
+    if expected.iter().map(|&(_, w)| w as usize).sum::<usize>() != insn.regs.len() {
+        return;
+    }
+    let mut at = 0usize;
+    for (desc, width) in expected {
+        let reg = insn.regs[at];
+        at += width as usize;
+        if !(desc.starts_with('L') || desc.starts_with('[')) {
+            continue;
+        }
+        let (Some(src), Some(dst)) = (
+            frame.get(reg as usize).and_then(|t| t.ref_type()),
+            tcx.hier.lookup(desc),
+        ) else {
+            continue;
+        };
+        if tcx.hier.provably_disjoint(src, dst) {
+            ctx.report(
+                Rule::V0009,
+                pc,
+                format!(
+                    "{} passes {} in v{reg} where the signature declares {}",
+                    insn.op.mnemonic(),
+                    tcx.hier.name(src),
+                    tcx.hier.name(dst)
+                ),
+            );
+        }
+    }
+}
+
 fn read(
     reg: u32,
     need: Need,
-    insn: &dexlego_dalvik::insn::Insn,
+    insn: &Insn,
     pc: u32,
     frame: &[RegType],
     ctx: &mut Ctx,
+    tcx: &TypeCtx<'_>,
 ) {
     let mn = insn.op.mnemonic();
     let r = reg as usize;
@@ -299,8 +593,10 @@ fn read(
                 Rule::V0002,
                 pc,
                 format!(
-                    "{mn} expects a wide pair in (v{reg}, v{}) but finds {lo:?}/{hi:?}",
-                    reg + 1
+                    "{mn} expects a wide pair in (v{reg}, v{}) but finds {}/{}",
+                    reg + 1,
+                    tcx.describe(lo),
+                    tcx.describe(hi)
                 ),
             );
         }
@@ -332,14 +628,17 @@ fn read(
                 ),
                 Need::IntLike => matches!(ty, RegType::Int | RegType::Const | RegType::Any),
                 Need::FloatLike => matches!(ty, RegType::Float | RegType::Const | RegType::Any),
-                Need::RefLike => matches!(ty, RegType::Ref | RegType::Const),
+                Need::RefLike => matches!(ty, RegType::Ref(_) | RegType::Const),
                 Need::Wide => unreachable!(),
             };
             if !compatible {
                 ctx.report(
                     Rule::V0007,
                     pc,
-                    format!("{mn} reads v{reg} as {need:?} but it holds {ty:?}"),
+                    format!(
+                        "{mn} reads v{reg} as {need:?} but it holds {}",
+                        tcx.describe(ty)
+                    ),
                 );
             }
         }

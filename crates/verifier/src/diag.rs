@@ -36,12 +36,26 @@ pub enum Rule {
     V0007,
     /// 31t payload reference of the wrong kind (or not a payload at all).
     V0008,
+    /// Invoke argument register provably incompatible with the declared
+    /// signature (receiver included).
+    V0009,
+    /// Field write of a reference provably unassignable to the field's
+    /// declared type.
+    V0010,
+    /// `return-object` of a reference provably unassignable to the
+    /// declared return type.
+    V0011,
     /// Unreachable code (e.g. NOP-filled holes left by reassembly).
     L0001,
     /// Move with identical source and destination.
     L0002,
     /// Store that is overwritten before ever being read.
     L0003,
+    /// `check-cast` between provably unrelated types: always throws.
+    L0004,
+    /// `aput-object` of an element provably incompatible with the array's
+    /// element type.
+    L0005,
 }
 
 impl Rule {
@@ -57,16 +71,23 @@ impl Rule {
             Rule::V0006 => "V0006",
             Rule::V0007 => "V0007",
             Rule::V0008 => "V0008",
+            Rule::V0009 => "V0009",
+            Rule::V0010 => "V0010",
+            Rule::V0011 => "V0011",
             Rule::L0001 => "L0001",
             Rule::L0002 => "L0002",
             Rule::L0003 => "L0003",
+            Rule::L0004 => "L0004",
+            Rule::L0005 => "L0005",
         }
     }
 
     /// Errors gate reassembly; warnings are advisory.
     pub const fn severity(self) -> Severity {
         match self {
-            Rule::L0001 | Rule::L0002 | Rule::L0003 => Severity::Warning,
+            Rule::L0001 | Rule::L0002 | Rule::L0003 | Rule::L0004 | Rule::L0005 => {
+                Severity::Warning
+            }
             _ => Severity::Error,
         }
     }

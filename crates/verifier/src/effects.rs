@@ -33,6 +33,9 @@ pub(crate) enum Need {
 pub(crate) enum Write {
     /// A category-1 value of the given type into one register.
     One(RegType),
+    /// An object reference whose static type the dataflow resolves from
+    /// the instruction's pool index (Object without DEX context).
+    Ref,
     /// A copy of the source register's type (the `move` family).
     Copy(u32),
     /// A wide pair into (reg, reg+1).
@@ -81,7 +84,7 @@ pub(crate) fn effects(insn: &Insn) -> Effects {
 
         Op::MoveResult => e.write(insn.a, Write::One(T::Any)),
         Op::MoveResultWide => e.write(insn.a, Write::Wide),
-        Op::MoveResultObject | Op::MoveException => e.write(insn.a, Write::One(T::Ref)),
+        Op::MoveResultObject | Op::MoveException => e.write(insn.a, Write::Ref),
 
         Op::Return => e.read(insn.a, Num),
         Op::ReturnWide => e.read(insn.a, Wide),
@@ -93,18 +96,16 @@ pub(crate) fn effects(insn: &Insn) -> Effects {
         Op::ConstWide16 | Op::ConstWide32 | Op::ConstWide | Op::ConstWideHigh16 => {
             e.write(insn.a, Write::Wide)
         }
-        Op::ConstString | Op::ConstStringJumbo | Op::ConstClass => {
-            e.write(insn.a, Write::One(T::Ref))
-        }
+        Op::ConstString | Op::ConstStringJumbo | Op::ConstClass => e.write(insn.a, Write::Ref),
 
         Op::MonitorEnter | Op::MonitorExit | Op::Throw | Op::FillArrayData => {
             e.read(insn.a, RefLike)
         }
-        Op::CheckCast => e.read(insn.a, RefLike).write(insn.a, Write::One(T::Ref)),
+        Op::CheckCast => e.read(insn.a, RefLike).write(insn.a, Write::Ref),
         Op::InstanceOf => e.read(insn.b, RefLike).write(insn.a, Write::One(T::Int)),
         Op::ArrayLength => e.read(insn.b, RefLike).write(insn.a, Write::One(T::Int)),
-        Op::NewInstance => e.write(insn.a, Write::One(T::Ref)),
-        Op::NewArray => e.read(insn.b, IntLike).write(insn.a, Write::One(T::Ref)),
+        Op::NewInstance => e.write(insn.a, Write::Ref),
+        Op::NewArray => e.read(insn.b, IntLike).write(insn.a, Write::Ref),
 
         Op::FilledNewArray | Op::FilledNewArrayRange => {
             insn.regs.iter().fold(e, |acc, &r| acc.read(r, Defined))
@@ -141,7 +142,7 @@ pub(crate) fn effects(insn: &Insn) -> Effects {
         Op::AgetObject => e
             .read(insn.b, RefLike)
             .read(insn.c, IntLike)
-            .write(insn.a, Write::One(T::Ref)),
+            .write(insn.a, Write::Ref),
         Op::AgetBoolean | Op::AgetByte | Op::AgetChar | Op::AgetShort => e
             .read(insn.b, RefLike)
             .read(insn.c, IntLike)
@@ -166,7 +167,7 @@ pub(crate) fn effects(insn: &Insn) -> Effects {
         // Instance field accesses: vB object, vA value.
         Op::Iget => e.read(insn.b, RefLike).write(insn.a, Write::One(T::Any)),
         Op::IgetWide => e.read(insn.b, RefLike).write(insn.a, Write::Wide),
-        Op::IgetObject => e.read(insn.b, RefLike).write(insn.a, Write::One(T::Ref)),
+        Op::IgetObject => e.read(insn.b, RefLike).write(insn.a, Write::Ref),
         Op::IgetBoolean | Op::IgetByte | Op::IgetChar | Op::IgetShort => {
             e.read(insn.b, RefLike).write(insn.a, Write::One(T::Int))
         }
@@ -180,7 +181,7 @@ pub(crate) fn effects(insn: &Insn) -> Effects {
         // Static field accesses.
         Op::Sget => e.write(insn.a, Write::One(T::Any)),
         Op::SgetWide => e.write(insn.a, Write::Wide),
-        Op::SgetObject => e.write(insn.a, Write::One(T::Ref)),
+        Op::SgetObject => e.write(insn.a, Write::Ref),
         Op::SgetBoolean | Op::SgetByte | Op::SgetChar | Op::SgetShort => {
             e.write(insn.a, Write::One(T::Int))
         }

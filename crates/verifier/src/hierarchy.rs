@@ -1,0 +1,375 @@
+//! Class-hierarchy model built from the DEX `class_def` table.
+//!
+//! The typestate lattice carries an interned [`TypeId`] inside
+//! [`crate::typestate::RegType::Ref`]; this module owns the interning table
+//! and answers the two questions typed verification needs:
+//!
+//! * **subtype** — is a value of static type `a` assignable to `b`?
+//!   Answered in three truth values: provably yes, provably no, unknown.
+//!   Classes the DEX does not define (framework types) have an unknown
+//!   hierarchy, so most queries involving them stay at "unknown" and the
+//!   verifier keeps quiet — typed checks only fire on *provable* breakage.
+//! * **join** — the least common ancestor of two reference types, used
+//!   when control-flow paths merge. Joins climb superclass chains only
+//!   (the ART rule: interfaces do not participate in merges), so the join
+//!   is a tree LCA: commutative, associative, idempotent. Distinct array
+//!   types and classes with unknown ancestry merge to `Ljava/lang/Object;`.
+//!
+//! Every descriptor in the DEX type pool is interned up front, so lookups
+//! during dataflow never mutate the table.
+
+use std::collections::HashMap;
+
+use dexlego_dex::DexFile;
+
+/// The canonical descriptor of the hierarchy root.
+pub const OBJECT_DESCRIPTOR: &str = "Ljava/lang/Object;";
+
+/// An interned reference-type descriptor. `TypeId::OBJECT` is always
+/// `Ljava/lang/Object;`, the top of the reference lattice; it doubles as
+/// "some reference of unknown type" when no DEX context is available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// `Ljava/lang/Object;` — interned first in every hierarchy.
+    pub const OBJECT: TypeId = TypeId(0);
+}
+
+/// What kind of definition a type has in this DEX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Defined by a `class_def` without `ACC_INTERFACE`.
+    Class,
+    /// Defined by a `class_def` with `ACC_INTERFACE`.
+    Interface,
+    /// Referenced but not defined here (framework type), or an array or
+    /// primitive descriptor.
+    Unknown,
+}
+
+/// The class-hierarchy model: interning table plus superclass/interface
+/// edges for every class the DEX defines.
+#[derive(Debug, Clone, Default)]
+pub struct ClassHierarchy {
+    names: Vec<String>,
+    ids: HashMap<String, TypeId>,
+    kinds: Vec<Kind>,
+    supers: Vec<Option<TypeId>>,
+    interfaces: Vec<Vec<TypeId>>,
+}
+
+impl ClassHierarchy {
+    /// A hierarchy that knows only `Ljava/lang/Object;`. Used when a method
+    /// is verified without DEX context.
+    pub fn empty() -> ClassHierarchy {
+        let mut h = ClassHierarchy::default();
+        h.intern(OBJECT_DESCRIPTOR);
+        h
+    }
+
+    /// Builds the hierarchy from a DEX file: interns every descriptor in
+    /// the type pool and records superclass/interface edges for every
+    /// defined class.
+    pub fn from_dex(dex: &DexFile) -> ClassHierarchy {
+        let mut h = ClassHierarchy::empty();
+        for &sidx in dex.type_ids() {
+            if let Ok(desc) = dex.string(sidx) {
+                h.intern(desc);
+            }
+        }
+        for link in dex.hierarchy_links() {
+            let id = h.intern(link.class);
+            let i = id.0 as usize;
+            h.kinds[i] = if link.is_interface {
+                Kind::Interface
+            } else {
+                Kind::Class
+            };
+            h.supers[i] = Some(match link.superclass {
+                Some(s) => h.intern(s),
+                None => TypeId::OBJECT,
+            });
+            h.interfaces[i] = link.interfaces.iter().map(|s| h.intern(s)).collect();
+        }
+        h
+    }
+
+    fn intern(&mut self, desc: &str) -> TypeId {
+        if let Some(&id) = self.ids.get(desc) {
+            return id;
+        }
+        let id = TypeId(self.names.len() as u32);
+        self.names.push(desc.to_owned());
+        self.ids.insert(desc.to_owned(), id);
+        self.kinds.push(Kind::Unknown);
+        self.supers.push(None);
+        self.interfaces.push(Vec::new());
+        id
+    }
+
+    /// The id of an already-interned descriptor.
+    pub fn lookup(&self, desc: &str) -> Option<TypeId> {
+        self.ids.get(desc).copied()
+    }
+
+    /// The descriptor of an interned type.
+    pub fn name(&self, t: TypeId) -> &str {
+        self.names
+            .get(t.0 as usize)
+            .map_or(OBJECT_DESCRIPTOR, String::as_str)
+    }
+
+    /// Number of interned types.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when only the implicit `Ljava/lang/Object;` is present.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Whether `t` is an array type (`[`-prefixed descriptor).
+    pub fn is_array(&self, t: TypeId) -> bool {
+        self.name(t).starts_with('[')
+    }
+
+    /// The element type of an array, when the element descriptor is itself
+    /// interned. `None` for non-arrays and primitive/unknown elements.
+    pub fn element(&self, t: TypeId) -> Option<TypeId> {
+        self.name(t).strip_prefix('[').and_then(|e| {
+            if e.starts_with('L') || e.starts_with('[') {
+                self.lookup(e)
+            } else {
+                None
+            }
+        })
+    }
+
+    fn kind(&self, t: TypeId) -> Kind {
+        self.kinds
+            .get(t.0 as usize)
+            .copied()
+            .unwrap_or(Kind::Unknown)
+    }
+
+    /// The superclass chain of `t`, starting at `t` itself and ending at
+    /// the last known link (Object for fully-resolved chains). Bounded to
+    /// guard against cyclic `class_def` tables.
+    fn chain(&self, t: TypeId) -> Vec<TypeId> {
+        let mut chain = vec![t];
+        let mut cur = t;
+        for _ in 0..64 {
+            if cur == TypeId::OBJECT {
+                break;
+            }
+            match self.supers.get(cur.0 as usize).copied().flatten() {
+                Some(s) if !chain.contains(&s) => {
+                    chain.push(s);
+                    cur = s;
+                }
+                _ => break,
+            }
+        }
+        chain
+    }
+
+    /// Whether the full ancestry of `t` is defined in this DEX: every
+    /// superclass link resolves until `Ljava/lang/Object;`.
+    fn chain_known(&self, t: TypeId) -> bool {
+        let chain = self.chain(t);
+        chain.last() == Some(&TypeId::OBJECT)
+            && chain[..chain.len() - 1]
+                .iter()
+                .all(|&c| self.kind(c) != Kind::Unknown)
+    }
+
+    /// All interfaces provably implemented by `t`: the union of interface
+    /// lists along the superclass chain, closed over superinterfaces.
+    fn interface_closure(&self, t: TypeId) -> Vec<TypeId> {
+        let mut out: Vec<TypeId> = Vec::new();
+        let mut work: Vec<TypeId> = self
+            .chain(t)
+            .iter()
+            .flat_map(|&c| self.interfaces.get(c.0 as usize).into_iter().flatten())
+            .copied()
+            .collect();
+        while let Some(i) = work.pop() {
+            if out.contains(&i) {
+                continue;
+            }
+            out.push(i);
+            // An interface's superinterfaces live in its interface list.
+            work.extend(
+                self.interfaces
+                    .get(i.0 as usize)
+                    .into_iter()
+                    .flatten()
+                    .copied(),
+            );
+        }
+        out
+    }
+
+    /// Provable subtyping: `a <: b` by identity, ancestry, implemented
+    /// interface, or array covariance. `false` means "not provable", not
+    /// "provably false" — see [`ClassHierarchy::provably_disjoint`].
+    pub fn is_subtype(&self, a: TypeId, b: TypeId) -> bool {
+        if a == b || b == TypeId::OBJECT {
+            return true;
+        }
+        if self.is_array(a) {
+            // Array covariance: [A <: [B iff A <: B.
+            return match (self.element(a), self.element(b)) {
+                (Some(ea), Some(eb)) if self.is_array(b) => self.is_subtype(ea, eb),
+                _ => false,
+            };
+        }
+        self.chain(a).contains(&b) || self.interface_closure(a).contains(&b)
+    }
+
+    /// Provable *non*-assignability: a value of static type `a` can never
+    /// be assigned to `b`. Requires both sides to be fully known — a class
+    /// with unknown ancestry, or an interface target (some unknown subclass
+    /// of `a` might implement it), keeps the answer at "unknown" and the
+    /// result `false`. This is the predicate behind the typed `V####`
+    /// checks: they fire only on provable breakage.
+    pub fn provably_disjoint(&self, a: TypeId, b: TypeId) -> bool {
+        if a == b || a == TypeId::OBJECT || b == TypeId::OBJECT {
+            return false;
+        }
+        match (self.is_array(a), self.is_array(b)) {
+            // A defined class (known not to be an array) never holds an
+            // array value, and vice versa.
+            (true, false) => self.kind(b) == Kind::Class && self.chain_known(b),
+            (false, true) => self.kind(a) == Kind::Class && self.chain_known(a),
+            (true, true) => match (self.element(a), self.element(b)) {
+                (Some(ea), Some(eb)) => self.provably_disjoint(ea, eb),
+                _ => false,
+            },
+            (false, false) => {
+                self.kind(a) == Kind::Class
+                    && self.kind(b) == Kind::Class
+                    && self.chain_known(a)
+                    && self.chain_known(b)
+                    && !self.is_subtype(a, b)
+                    && !self.is_subtype(b, a)
+            }
+        }
+    }
+
+    /// Least common ancestor of two reference types: the merge used at
+    /// control-flow joins. Climbs superclass chains only; distinct arrays,
+    /// interfaces, and unknown-ancestry classes meet at Object.
+    pub fn join(&self, a: TypeId, b: TypeId) -> TypeId {
+        if a == b {
+            return a;
+        }
+        if self.is_array(a) || self.is_array(b) {
+            return TypeId::OBJECT;
+        }
+        let chain_a = self.chain(a);
+        for &c in &self.chain(b) {
+            if chain_a.contains(&c) {
+                return c;
+            }
+        }
+        TypeId::OBJECT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dexlego_dex::{AccessFlags, ClassDef};
+
+    /// A: Object; B: A; C: B; D: A; I interface; E: A implements I.
+    fn sample() -> ClassHierarchy {
+        let mut dex = DexFile::new();
+        let names = ["La;", "Lb;", "Lc;", "Ld;", "Li;", "Le;"];
+        let ids: Vec<_> = names.iter().map(|n| dex.intern_type(n)).collect();
+        let obj = dex.intern_type(OBJECT_DESCRIPTOR);
+        dex.intern_type("[La;");
+        dex.intern_type("[Lb;");
+        dex.intern_type("[I");
+        let supers = [obj, ids[0], ids[1], ids[0], obj, ids[0]];
+        for (i, (&id, &sup)) in ids.iter().zip(&supers).enumerate() {
+            let mut def = ClassDef::new(id);
+            def.superclass = Some(sup);
+            if names[i] == "Li;" {
+                def.access |= AccessFlags::INTERFACE;
+            }
+            if names[i] == "Le;" {
+                def.interfaces = vec![ids[4]];
+            }
+            dex.class_defs_mut().push(def);
+        }
+        ClassHierarchy::from_dex(&dex)
+    }
+
+    #[test]
+    fn subtype_follows_supers_and_interfaces() {
+        let h = sample();
+        let (a, c, e, i) = (
+            h.lookup("La;").unwrap(),
+            h.lookup("Lc;").unwrap(),
+            h.lookup("Le;").unwrap(),
+            h.lookup("Li;").unwrap(),
+        );
+        assert!(h.is_subtype(c, a));
+        assert!(!h.is_subtype(a, c));
+        assert!(h.is_subtype(e, i));
+        assert!(h.is_subtype(c, TypeId::OBJECT));
+    }
+
+    #[test]
+    fn join_is_tree_lca() {
+        let h = sample();
+        let (a, b, c, d) = (
+            h.lookup("La;").unwrap(),
+            h.lookup("Lb;").unwrap(),
+            h.lookup("Lc;").unwrap(),
+            h.lookup("Ld;").unwrap(),
+        );
+        assert_eq!(h.join(c, b), b);
+        assert_eq!(h.join(c, d), a);
+        assert_eq!(h.join(a, a), a);
+        assert_eq!(h.join(c, TypeId::OBJECT), TypeId::OBJECT);
+    }
+
+    #[test]
+    fn disjointness_needs_full_knowledge() {
+        let h = sample();
+        let (b, d, i) = (
+            h.lookup("Lb;").unwrap(),
+            h.lookup("Ld;").unwrap(),
+            h.lookup("Li;").unwrap(),
+        );
+        assert!(h.provably_disjoint(b, d));
+        assert!(!h.provably_disjoint(b, b));
+        // Interface target: some unknown subclass of B could implement I.
+        assert!(!h.provably_disjoint(b, i));
+        // Unknown framework class: nothing is provable.
+        let mut h2 = ClassHierarchy::empty();
+        let s = h2.intern("Ljava/lang/String;");
+        assert!(!h2.provably_disjoint(s, TypeId::OBJECT));
+    }
+
+    #[test]
+    fn arrays_are_covariant_leaves() {
+        let h = sample();
+        let (aa, ab, ai) = (
+            h.lookup("[La;").unwrap(),
+            h.lookup("[Lb;").unwrap(),
+            h.lookup("[I").unwrap(),
+        );
+        let b = h.lookup("Lb;").unwrap();
+        assert!(h.is_subtype(ab, aa));
+        assert!(!h.is_subtype(aa, ab));
+        assert_eq!(h.join(aa, ab), TypeId::OBJECT);
+        assert!(h.provably_disjoint(aa, b));
+        assert_eq!(h.element(ab), Some(b));
+        assert_eq!(h.element(ai), None);
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! The DEX container checks in `dexlego_dex::verify` stop at pool
 //! referential integrity — nothing there looks *inside* an instruction
-//! stream. This crate fills that gap with three layers:
+//! stream. This crate fills that gap with four layers:
 //!
 //! 1. **CFG construction** ([`cfg::Cfg`]): basic blocks over
 //!    [`dexlego_dalvik::decode_method`] output, successor edges for
@@ -13,17 +13,24 @@
 //!    tables, payload regions excluded from reachable code.
 //! 2. **Typestate dataflow** ([`typestate::RegType`]): a worklist fixpoint
 //!    over a per-register lattice (`Uninit`, `Const`, int-like, `Float`,
-//!    `Ref`, `WideLo`/`WideHi` pairing, `Conflict`) flagging undefined
-//!    reads, broken wide pairs, stray `move-result`s, branches off
-//!    instruction boundaries, and fall-through off the method end.
+//!    descriptor-carrying `Ref`, `WideLo`/`WideHi` pairing, `Conflict`)
+//!    flagging undefined reads, broken wide pairs, stray `move-result`s,
+//!    branches off instruction boundaries, and fall-through off the method
+//!    end. With DEX context, reference types are tracked per descriptor
+//!    over the [`hierarchy::ClassHierarchy`] and checked against declared
+//!    signatures, field types, and return types (V0009–V0011).
 //! 3. **Lints** (`L####` rules): non-fatal smells — unreachable blocks,
-//!    self-moves, dead stores.
+//!    self-moves, dead stores, provably-failing casts and array stores.
+//! 4. **Typed IR** ([`typed_ir::TypedIr`]): the fixpoint's per-instruction
+//!    register frames, successor edges, and def-use sets, materialized via
+//!    [`verify_dex_typed`] so downstream analyses (`analysis::taint`)
+//!    consume the verifier's work instead of re-deriving it.
 //!
 //! Rule codes are stable: `V####` diagnostics are errors and gate
 //! reassembly (see `dexlego_core::reassemble`); `L####` diagnostics are
 //! warnings. Individual rules can be suppressed via
-//! [`VerifyOptions::allow`]. See DESIGN.md ("Verification gate") for the
-//! full rule table.
+//! [`VerifyOptions::allow`]. See DESIGN.md ("Verification gate" and "Typed
+//! verifier IR") for the full rule table.
 //!
 //! # Example
 //!
@@ -41,7 +48,9 @@ pub mod cfg;
 mod dataflow;
 pub mod diag;
 mod effects;
+pub mod hierarchy;
 mod lint;
+pub mod typed_ir;
 pub mod typestate;
 
 use std::collections::HashSet;
@@ -51,7 +60,11 @@ use dexlego_dex::{AccessFlags, DexFile};
 
 pub use cfg::{Block, Cfg, Edge, EdgeKind};
 pub use diag::{Diagnostic, Rule, Severity};
+pub use hierarchy::{ClassHierarchy, TypeId};
+pub use typed_ir::{TypedInsn, TypedIr};
 pub use typestate::RegType;
+
+use dataflow::TypeCtx;
 
 /// Category of one declared method parameter, as seen by the register
 /// frame. Derive from descriptors with [`param_kinds`].
@@ -139,7 +152,8 @@ impl VerifyOptions {
 /// `method` is the method reference used in diagnostics (any string;
 /// `Lpkg/C;->m(...)R` by convention). `params` are the frame's incoming
 /// parameter kinds ([`param_kinds`]); pass `&[]` to treat all `ins`
-/// registers as unknown-but-defined.
+/// registers as unknown-but-defined. Without DEX context, references are
+/// tracked untyped; use [`verify_dex_typed`] for descriptor-level checks.
 ///
 /// Returns all diagnostics, errors first within equal pcs. An empty result
 /// means the method is verifier-clean.
@@ -149,7 +163,24 @@ pub fn verify_method(
     params: &[ParamKind],
     options: &VerifyOptions,
 ) -> Vec<Diagnostic> {
+    let hier = ClassHierarchy::empty();
+    let tcx = TypeCtx::bare(&hier);
+    verify_method_with(method, code, params, &tcx, options, false).0
+}
+
+/// Shared verification core: CFG, dataflow (optionally typed via `tcx`),
+/// lints, filtering, and — when `want_ir` — the typed IR with identity
+/// fields left for the caller to stamp.
+fn verify_method_with(
+    method: &str,
+    code: &CodeItem,
+    params: &[ParamKind],
+    tcx: &TypeCtx<'_>,
+    options: &VerifyOptions,
+    want_ir: bool,
+) -> (Vec<Diagnostic>, Option<TypedIr>) {
     let mut diags = Vec::new();
+    let mut ir = None;
     match Cfg::build(&code.insns, &code.tries, &code.handlers) {
         Err(e) => {
             diags.push(Diagnostic::new(
@@ -168,9 +199,17 @@ pub fn verify_method(
             } else {
                 params
             };
-            dataflow::run(&cfg, code, params, &mut diags);
+            let frames = dataflow::run(&cfg, code, params, tcx, &mut diags);
             if !options.errors_only {
                 lint::run(&cfg, &mut diags);
+            }
+            if want_ir {
+                ir = Some(TypedIr::build(
+                    &cfg,
+                    &frames,
+                    code.registers_size,
+                    code.ins_size,
+                ));
             }
         }
     }
@@ -179,15 +218,47 @@ pub fn verify_method(
         d.method = method.to_owned();
     }
     diags.sort_by_key(|d| (d.dex_pc, d.rule));
-    diags
+    (diags, ir)
 }
 
 /// Verifies every method body in a DEX file.
 ///
 /// Parameter kinds are derived from each method's prototype and access
-/// flags. Diagnostics carry full method references.
+/// flags, reference types from the DEX class hierarchy. Diagnostics carry
+/// full method references.
 pub fn verify_dex(dex: &DexFile, options: &VerifyOptions) -> Vec<Diagnostic> {
-    let mut all = Vec::new();
+    verify_dex_inner(dex, options, false).diagnostics
+}
+
+/// The result of [`verify_dex_typed`]: diagnostics plus the reusable typed
+/// artifacts — the class hierarchy and one [`TypedIr`] per verified method
+/// body. This is the "verify + analyze in one fixpoint" entry point:
+/// downstream analyses consume the IR instead of re-running the dataflow.
+#[derive(Debug, Clone, Default)]
+pub struct TypedDex {
+    /// The interned class hierarchy of the DEX.
+    pub hierarchy: ClassHierarchy,
+    /// Typed IR for every method body, in class-definition order.
+    pub methods: Vec<TypedIr>,
+    /// All diagnostics, as from [`verify_dex`].
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl TypedDex {
+    /// Total instructions across all method IRs.
+    pub fn insn_count(&self) -> usize {
+        self.methods.iter().map(|m| m.insns.len()).sum()
+    }
+}
+
+/// Verifies every method body and materializes the typed IR.
+pub fn verify_dex_typed(dex: &DexFile, options: &VerifyOptions) -> TypedDex {
+    verify_dex_inner(dex, options, true)
+}
+
+fn verify_dex_inner(dex: &DexFile, options: &VerifyOptions, want_ir: bool) -> TypedDex {
+    let hierarchy = ClassHierarchy::from_dex(dex);
+    let mut out = TypedDex::default();
     for class in dex.class_defs() {
         let Some(data) = &class.class_data else {
             continue;
@@ -198,10 +269,28 @@ pub fn verify_dex(dex: &DexFile, options: &VerifyOptions) -> Vec<Diagnostic> {
                 .method_signature(method.method_idx)
                 .unwrap_or_else(|_| format!("<method#{}>", method.method_idx));
             let kinds = method_param_kinds(dex, method.method_idx, method.access);
-            all.extend(verify_method(&sig, code, &kinds, options));
+            let param_refs = method_param_refs(dex, &hierarchy, method.method_idx, method.access);
+            let tcx = TypeCtx {
+                dex: Some(dex),
+                hier: &hierarchy,
+                ret: method_return_ref(dex, &hierarchy, method.method_idx),
+                param_refs: &param_refs,
+            };
+            let (diags, ir) = verify_method_with(&sig, code, &kinds, &tcx, options, want_ir);
+            out.diagnostics.extend(diags);
+            if let Some(mut ir) = ir {
+                ir.method_idx = method.method_idx;
+                ir.signature = sig;
+                if let Ok(m) = dex.method_id(method.method_idx) {
+                    ir.class = dex.type_descriptor(m.class).unwrap_or_default().to_owned();
+                    ir.name = dex.string(m.name).unwrap_or_default().to_owned();
+                }
+                out.methods.push(ir);
+            }
         }
     }
-    all
+    out.hierarchy = hierarchy;
+    out
 }
 
 /// Parameter kinds for a pool method, from its prototype and access flags.
@@ -217,6 +306,52 @@ pub fn method_param_kinds(dex: &DexFile, method_idx: u32, access: AccessFlags) -
         }
     }
     param_kinds(access.contains(AccessFlags::STATIC), &descs)
+}
+
+/// Interned reference types for a pool method's parameters, aligned with
+/// [`method_param_kinds`] (the implicit `this` first unless static).
+fn method_param_refs(
+    dex: &DexFile,
+    hier: &ClassHierarchy,
+    method_idx: u32,
+    access: AccessFlags,
+) -> Vec<Option<TypeId>> {
+    let mut refs = Vec::new();
+    let Ok(m) = dex.method_id(method_idx) else {
+        return refs;
+    };
+    if !access.contains(AccessFlags::STATIC) {
+        refs.push(
+            dex.type_descriptor(m.class)
+                .ok()
+                .and_then(|d| hier.lookup(d)),
+        );
+    }
+    if let Ok(proto) = dex.proto(m.proto) {
+        for &p in &proto.parameters {
+            let r = dex.type_descriptor(p).ok().and_then(|d| {
+                if d.starts_with('L') || d.starts_with('[') {
+                    hier.lookup(d)
+                } else {
+                    None
+                }
+            });
+            refs.push(r);
+        }
+    }
+    refs
+}
+
+/// The declared return type of a pool method, when it is a reference type.
+fn method_return_ref(dex: &DexFile, hier: &ClassHierarchy, method_idx: u32) -> Option<TypeId> {
+    let m = dex.method_id(method_idx).ok()?;
+    let proto = dex.proto(m.proto).ok()?;
+    let desc = dex.type_descriptor(proto.return_type).ok()?;
+    if desc.starts_with('L') || desc.starts_with('[') {
+        hier.lookup(desc)
+    } else {
+        None
+    }
 }
 
 /// Convenience: true when `diags` contains no error-severity diagnostics.

@@ -8,6 +8,15 @@
 //! pool, which [`RegType::Any`] models. This keeps the verifier strict on
 //! genuine breakage (undefined reads, broken wide pairs, int/ref clashes)
 //! while accepting the type ambiguity inherent to real Dalvik bytecode.
+//!
+//! References carry an interned [`TypeId`]: `Ref(TypeId::OBJECT)` is a
+//! reference of unknown type, anything else names a descriptor in the
+//! [`ClassHierarchy`]. Merging two distinct reference types is a
+//! least-common-ancestor walk, so joins need hierarchy context — use
+//! [`RegType::join_with`]; the context-free [`RegType::join`] degrades
+//! distinct references to `Ref(TypeId::OBJECT)`.
+
+use crate::hierarchy::{ClassHierarchy, TypeId};
 
 /// Abstract type of one register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,8 +32,9 @@ pub enum RegType {
     /// A category-1 value of unknown int/float kind (field load, array
     /// load, invoke result).
     Any,
-    /// An object or array reference.
-    Ref,
+    /// An object or array reference of the given static type
+    /// (`TypeId::OBJECT` when unknown).
+    Ref(TypeId),
     /// Low half of a wide (long/double) pair.
     WideLo,
     /// High half of a wide pair.
@@ -34,8 +44,19 @@ pub enum RegType {
 }
 
 impl RegType {
-    /// Lattice join of two incoming states for the same register.
+    /// A reference of statically unknown type.
+    pub const OBJECT: RegType = RegType::Ref(TypeId::OBJECT);
+
+    /// Lattice join of two incoming states for the same register, without
+    /// hierarchy context: distinct reference types merge straight to
+    /// `Ref(TypeId::OBJECT)`.
     pub fn join(self, other: RegType) -> RegType {
+        self.join_with(other, None)
+    }
+
+    /// Lattice join with hierarchy context: distinct reference types merge
+    /// to their least common ancestor.
+    pub fn join_with(self, other: RegType, hier: Option<&ClassHierarchy>) -> RegType {
         use RegType::*;
         match (self, other) {
             (a, b) if a == b => a,
@@ -43,6 +64,7 @@ impl RegType {
             (Const, x) | (x, Const) => x,
             (Int, Float) | (Float, Int) => Any,
             (Any, Int) | (Int, Any) | (Any, Float) | (Float, Any) => Any,
+            (Ref(a), Ref(b)) => Ref(hier.map_or(TypeId::OBJECT, |h| h.join(a, b))),
             // Ref vs non-ref, or mismatched wide halves: a genuine
             // category clash.
             _ => Conflict,
@@ -54,13 +76,33 @@ impl RegType {
     pub fn is_defined(self) -> bool {
         !matches!(self, RegType::Uninit | RegType::Conflict)
     }
+
+    /// The carried reference type, for `Ref` states.
+    pub fn ref_type(self) -> Option<TypeId> {
+        match self {
+            RegType::Ref(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Renders the type for human output (diagnostics, annotated
+    /// disassembly): references by their descriptor
+    /// (`Ljava/lang/String;` rather than "Ref" — unknown references keep
+    /// the bare "Ref"), everything else by its lattice name.
+    pub fn describe(self, hier: &ClassHierarchy) -> String {
+        match self {
+            RegType::Ref(t) if t == TypeId::OBJECT => "Ref".to_owned(),
+            RegType::Ref(t) => hier.name(t).to_owned(),
+            other => format!("{other:?}"),
+        }
+    }
 }
 
 /// A register frame: the typestate of every register at one program point.
-pub(crate) fn join_frames(into: &mut [RegType], from: &[RegType]) -> bool {
+pub(crate) fn join_frames(into: &mut [RegType], from: &[RegType], hier: &ClassHierarchy) -> bool {
     let mut changed = false;
     for (a, &b) in into.iter_mut().zip(from) {
-        let joined = a.join(b);
+        let joined = a.join_with(b, Some(hier));
         if joined != *a {
             *a = joined;
             changed = true;
@@ -71,16 +113,29 @@ pub(crate) fn join_frames(into: &mut [RegType], from: &[RegType]) -> bool {
 
 #[cfg(test)]
 mod tests {
-    use super::RegType::*;
+    use super::RegType::{self, *};
+    use super::TypeId;
+
+    fn all() -> Vec<RegType> {
+        vec![
+            Uninit,
+            Const,
+            Int,
+            Float,
+            Any,
+            Ref(TypeId::OBJECT),
+            Ref(TypeId(3)),
+            WideLo,
+            WideHi,
+            Conflict,
+        ]
+    }
 
     #[test]
     fn join_is_commutative_and_idempotent() {
-        let all = [
-            Uninit, Const, Int, Float, Any, Ref, WideLo, WideHi, Conflict,
-        ];
-        for &a in &all {
+        for &a in &all() {
             assert_eq!(a.join(a), a);
-            for &b in &all {
+            for &b in &all() {
                 assert_eq!(a.join(b), b.join(a));
             }
         }
@@ -90,13 +145,19 @@ mod tests {
     fn const_is_a_wildcard() {
         assert_eq!(Const.join(Int), Int);
         assert_eq!(Const.join(Float), Float);
-        assert_eq!(Const.join(Ref), Ref);
+        assert_eq!(Const.join(Ref(TypeId(3))), Ref(TypeId(3)));
     }
 
     #[test]
     fn undefined_paths_conflict() {
         assert_eq!(Uninit.join(Int), Conflict);
-        assert_eq!(Ref.join(Int), Conflict);
+        assert_eq!(Ref(TypeId::OBJECT).join(Int), Conflict);
         assert_eq!(WideLo.join(WideHi), Conflict);
+    }
+
+    #[test]
+    fn distinct_refs_without_context_merge_to_object() {
+        assert_eq!(Ref(TypeId(3)).join(Ref(TypeId(4))), RegType::OBJECT);
+        assert_eq!(Ref(TypeId(3)).join(Ref(TypeId(3))), Ref(TypeId(3)));
     }
 }

@@ -1,0 +1,142 @@
+//! Property-based tests for the register typestate lattice under the
+//! descriptor-carrying `Ref` variant: `join` must stay a semilattice
+//! (commutative, associative, idempotent) and monotone over *random* class
+//! hierarchies, since the dataflow fixpoint terminates only if every merge
+//! moves up a finite lattice.
+
+use dexlego_dex::{ClassDef, DexFile};
+use dexlego_verifier::hierarchy::{ClassHierarchy, TypeId, OBJECT_DESCRIPTOR};
+use dexlego_verifier::RegType;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const MAX_CLASSES: usize = 10;
+
+/// Builds a random single-inheritance hierarchy: class `i`'s parent is a
+/// previously-declared class or `Ljava/lang/Object;`, chosen by
+/// `parents[i] % (i + 1)` (the value `i` itself selects Object).
+fn hierarchy_of(parents: &[u8]) -> ClassHierarchy {
+    let mut dex = DexFile::new();
+    let obj = dex.intern_type(OBJECT_DESCRIPTOR);
+    let ids: Vec<_> = (0..parents.len())
+        .map(|i| dex.intern_type(&format!("Lc{i};")))
+        .collect();
+    for (i, &pick) in parents.iter().enumerate() {
+        let mut def = ClassDef::new(ids[i]);
+        let j = pick as usize % (i + 1);
+        def.superclass = Some(if j == i { obj } else { ids[j] });
+        dex.class_defs_mut().push(def);
+    }
+    ClassHierarchy::from_dex(&dex)
+}
+
+/// Materializes one abstract register type from a packed pick: the high
+/// byte selects the lattice variant, the low byte a `Ref` type from the
+/// hierarchy's interned table.
+fn reg_type_of(hier: &ClassHierarchy, bits: u16) -> RegType {
+    let tag = (bits >> 8) as u8;
+    let pick = (bits & 0xff) as usize;
+    match tag % 9 {
+        0 => RegType::Uninit,
+        1 => RegType::Const,
+        2 => RegType::Int,
+        3 => RegType::Float,
+        4 => RegType::Any,
+        5 => RegType::WideLo,
+        6 => RegType::WideHi,
+        7 => RegType::Conflict,
+        _ => RegType::Ref(TypeId((pick % hier.len()) as u32)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative(
+        parents in vec(any::<u8>(), 0..MAX_CLASSES),
+        pa in any::<u16>(),
+        pb in any::<u16>(),
+    ) {
+        let h = hierarchy_of(&parents);
+        let a = reg_type_of(&h, pa);
+        let b = reg_type_of(&h, pb);
+        prop_assert_eq!(a.join_with(b, Some(&h)), b.join_with(a, Some(&h)));
+    }
+
+    #[test]
+    fn join_is_associative(
+        parents in vec(any::<u8>(), 0..MAX_CLASSES),
+        pa in any::<u16>(),
+        pb in any::<u16>(),
+        pc in any::<u16>(),
+    ) {
+        let h = hierarchy_of(&parents);
+        let a = reg_type_of(&h, pa);
+        let b = reg_type_of(&h, pb);
+        let c = reg_type_of(&h, pc);
+        let left = a.join_with(b, Some(&h)).join_with(c, Some(&h));
+        let right = a.join_with(b.join_with(c, Some(&h)), Some(&h));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn join_is_idempotent(
+        parents in vec(any::<u8>(), 0..MAX_CLASSES),
+        pa in any::<u16>(),
+    ) {
+        let h = hierarchy_of(&parents);
+        let a = reg_type_of(&h, pa);
+        prop_assert_eq!(a.join_with(a, Some(&h)), a);
+    }
+
+    #[test]
+    fn join_is_an_upper_bound(
+        parents in vec(any::<u8>(), 0..MAX_CLASSES),
+        pa in any::<u16>(),
+        pb in any::<u16>(),
+    ) {
+        // a ⊑ a⊔b and b ⊑ a⊔b, where x ⊑ y iff x⊔y == y. This is the
+        // absorption law the fixpoint relies on: re-merging an input into
+        // a merged frame never changes it.
+        let h = hierarchy_of(&parents);
+        let a = reg_type_of(&h, pa);
+        let b = reg_type_of(&h, pb);
+        let ab = a.join_with(b, Some(&h));
+        prop_assert_eq!(a.join_with(ab, Some(&h)), ab);
+        prop_assert_eq!(b.join_with(ab, Some(&h)), ab);
+    }
+
+    #[test]
+    fn join_is_monotone(
+        parents in vec(any::<u8>(), 0..MAX_CLASSES),
+        pa in any::<u16>(),
+        pb in any::<u16>(),
+        pc in any::<u16>(),
+    ) {
+        // If a ⊑ b then a⊔c ⊑ b⊔c: merging more information into a frame
+        // never lowers a successor's state, so worklist revisits are
+        // bounded by lattice height.
+        let h = hierarchy_of(&parents);
+        let a = reg_type_of(&h, pa);
+        let b = reg_type_of(&h, pb);
+        let c = reg_type_of(&h, pc);
+        if a.join_with(b, Some(&h)) == b {
+            let ac = a.join_with(c, Some(&h));
+            let bc = b.join_with(c, Some(&h));
+            prop_assert_eq!(ac.join_with(bc, Some(&h)), bc);
+        }
+    }
+
+    #[test]
+    fn ref_joins_are_common_ancestors(
+        parents in vec(any::<u8>(), 0..MAX_CLASSES),
+        pa in any::<u16>(),
+        pb in any::<u16>(),
+    ) {
+        let h = hierarchy_of(&parents);
+        let a = TypeId((pa as usize % h.len()) as u32);
+        let b = TypeId((pb as usize % h.len()) as u32);
+        let j = h.join(a, b);
+        prop_assert!(h.is_subtype(a, j));
+        prop_assert!(h.is_subtype(b, j));
+    }
+}

@@ -2,7 +2,8 @@
 # Full check suite: release build, all tests, clippy as errors, formatting,
 # a sharded harness smoke run over every packer profile (fails on any
 # job panic, timeout, verifier rejection, validation finding, or
-# behavioural divergence), and a dexlegod service round-trip (second
+# behavioural divergence), a taint-precision regression gate against a
+# checked-in baseline, and a dexlegod service round-trip (second
 # identical extraction must be a byte-identical cache hit; graceful
 # shutdown must exit 0).
 set -eu
@@ -22,6 +23,11 @@ cargo run -p dexlego-bench --bin interp --release -- --smoke
 # Quickened fetch smoke: the quickened/fused fast path must not be slower
 # than per-step decoding either (prints the speedup ratios).
 cargo run -p dexlego-bench --bin interp --release -- --quick-smoke
+
+# Taint-precision gate: every tool misclassification on the original
+# corpus must already be in the checked-in baseline — a change that
+# introduces a new false positive (or loses a true leak) fails here.
+cargo run -p dexlego-bench --bin taint_gate --release
 
 # Service smoke: start dexlegod on an ephemeral port, submit the same
 # extraction twice (the smoke client asserts the second is a cache hit
