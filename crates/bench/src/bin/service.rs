@@ -1,12 +1,22 @@
-//! Cold vs warm `dexlegod` throughput, as one JSON line.
+//! `dexlegod` load generator: latency distribution and sustained RPS, as
+//! one JSON line (the format checked in as BENCH_service.json).
 //!
 //! ```text
-//! cargo run -p dexlego-bench --bin service [-- --apps N --insns N]
+//! cargo run -p dexlego-bench --bin service --release -- \
+//!     [--conns N] [--requests N] [--window N] [--insns N] \
+//!     [--deadline-ms N] [--workers N] [--smoke]
 //! ```
+//!
+//! `--smoke` runs a small fixed shape and asserts the qualitative
+//! invariants (`verify.sh` uses it as a regression gate): no protocol
+//! errors, a fully warm second pass, and pipelining beating the serial
+//! one-in-flight protocol on the warm path.
+
+use dexlego_bench::service::{run, LoadConfig};
 
 fn main() {
-    let mut apps = 6usize;
-    let mut insns = 80usize;
+    let mut config = LoadConfig::default();
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -15,11 +25,47 @@ fn main() {
                 .unwrap_or_else(|| panic!("{name} expects a number"))
         };
         match arg.as_str() {
-            "--apps" => apps = value("--apps"),
-            "--insns" => insns = value("--insns"),
+            "--conns" => config.conns = value("--conns"),
+            "--requests" => config.requests_per_conn = value("--requests"),
+            "--window" => config.window = value("--window"),
+            "--insns" => config.insns = value("--insns"),
+            "--deadline-ms" => config.deadline_ms = Some(value("--deadline-ms") as u64),
+            "--workers" => config.workers = value("--workers"),
+            "--smoke" => smoke = true,
             other => panic!("unknown argument: {other}"),
         }
     }
-    let bench = dexlego_bench::service::run(apps, insns);
+    if smoke {
+        config = LoadConfig {
+            conns: 3,
+            requests_per_conn: 20,
+            window: 8,
+            insns: 40,
+            deadline_ms: None,
+            workers: 2,
+        };
+    }
+
+    let bench = run(config);
     println!("{}", dexlego_bench::service::format(&bench));
+
+    if smoke {
+        assert_eq!(bench.cold.protocol_errors, 0, "cold pass protocol errors");
+        assert_eq!(bench.warm.protocol_errors, 0, "warm pass protocol errors");
+        let expected = bench.config.conns * bench.config.requests_per_conn;
+        assert_eq!(bench.cold.completed, expected, "cold pass lost replies");
+        assert_eq!(bench.warm.completed, expected, "warm pass lost replies");
+        assert!(
+            bench.warm.rps > bench.cold.rps,
+            "warm pass should outrun the cold pass: {:.1} vs {:.1} rps",
+            bench.warm.rps,
+            bench.cold.rps
+        );
+        assert!(
+            bench.pipelining_speedup > 1.0,
+            "pipelining should beat serial turnaround: {:.2}x",
+            bench.pipelining_speedup
+        );
+        eprintln!("service load smoke: ok");
+    }
 }

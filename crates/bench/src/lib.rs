@@ -6,10 +6,12 @@
 //!
 //! Binaries under `src/bin/` (`table1` … `table8`, `fig5`, `fig6`, `all`)
 //! call these functions; `cargo run -p dexlego-bench --bin all` regenerates
-//! every number for EXPERIMENTS.md. The extra `service` binary measures
-//! cold vs warm throughput through a live `dexlegod` daemon ([`service`]),
-//! and `interp` compares decode-per-step against the predecoded code
-//! cache in instructions/sec ([`interp`], emitting BENCH_interp.json), and
+//! every number for EXPERIMENTS.md. The extra `service` binary is a load
+//! generator for a live `dexlegod` daemon — concurrent pipelined
+//! connections, cold vs warm passes, and a per-request latency
+//! distribution ([`service`] + [`stats`], emitting BENCH_service.json).
+//! `interp` compares decode-per-step against the predecoded code cache
+//! in instructions/sec ([`interp`], emitting BENCH_interp.json), and
 //! `taint_gate` is the taint-precision regression gate run by `verify.sh`
 //! ([`taint_gate`]).
 
@@ -19,6 +21,7 @@ pub mod fig6;
 pub mod filter;
 pub mod interp;
 pub mod service;
+pub mod stats;
 pub mod table1;
 pub mod table2;
 pub mod table4;

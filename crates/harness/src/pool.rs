@@ -236,9 +236,17 @@ pub type PoolExecutor = Arc<dyn Fn(JobSpec) -> JobResult + Send + Sync>;
 /// serialised revealed DEX.
 pub type JobResult = (JobReport, Option<Vec<u8>>);
 
+/// Where a pool job's result goes: back over a channel (the blocking
+/// callers) or into a callback invoked on the worker thread (the event-loop
+/// server, which must never block a reader on `recv`).
+enum ReplySink {
+    Channel(std::sync::mpsc::Sender<JobResult>),
+    Notify(Box<dyn FnOnce(JobResult) + Send>),
+}
+
 struct PoolJob {
     spec: JobSpec,
-    reply: std::sync::mpsc::Sender<JobResult>,
+    reply: ReplySink,
 }
 
 /// A *persistent* worker pool with bounded admission — the service-facing
@@ -284,9 +292,15 @@ impl JobPool {
                     // Decrement before replying: once a requester can see
                     // its result, in_flight must not still count the job.
                     in_flight.fetch_sub(1, Ordering::SeqCst);
-                    // A dropped receiver just means the requester went
-                    // away; the job still ran and (if cached) was stored.
-                    let _ = job.reply.send(result);
+                    match job.reply {
+                        // A dropped receiver just means the requester went
+                        // away; the job still ran and (if cached) was
+                        // stored.
+                        ReplySink::Channel(tx) => {
+                            let _ = tx.send(result);
+                        }
+                        ReplySink::Notify(notify) => notify(result),
+                    }
                 })
             })
             .collect();
@@ -302,13 +316,34 @@ impl JobPool {
     /// pool is saturated and the caller should shed load.
     #[allow(clippy::result_large_err)] // the Err *is* the returned job
     pub fn try_submit(&self, spec: JobSpec) -> Result<Receiver<JobResult>, JobSpec> {
-        let tx = self.tx.as_ref().expect("pool not shut down");
         let (reply, result_rx) = channel();
+        self.submit_sink(spec, ReplySink::Channel(reply))
+            .map(|()| result_rx)
+    }
+
+    /// [`JobPool::try_submit`] delivering the result through `notify`
+    /// instead of a channel — the dispatch hook the event-loop server
+    /// uses. `notify` runs *on the worker thread* right after the job
+    /// completes, so it must be cheap and non-blocking (the server's
+    /// implementation pushes onto a completion queue and writes one wake
+    /// byte). On `Err` the spec comes back and `notify` is dropped unrun.
+    #[allow(clippy::result_large_err)] // the Err *is* the returned job
+    pub fn try_submit_notify(
+        &self,
+        spec: JobSpec,
+        notify: Box<dyn FnOnce(JobResult) + Send>,
+    ) -> Result<(), JobSpec> {
+        self.submit_sink(spec, ReplySink::Notify(notify))
+    }
+
+    #[allow(clippy::result_large_err)]
+    fn submit_sink(&self, spec: JobSpec, reply: ReplySink) -> Result<(), JobSpec> {
+        let tx = self.tx.as_ref().expect("pool not shut down");
         // Count before sending so a worker's decrement can never race the
         // increment below zero.
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         match tx.try_send(PoolJob { spec, reply }) {
-            Ok(()) => Ok(result_rx),
+            Ok(()) => Ok(()),
             Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
                 self.in_flight.fetch_sub(1, Ordering::SeqCst);
                 Err(job.spec)
@@ -475,6 +510,29 @@ mod tests {
         assert!(r2.recv().unwrap().0.status.is_ok());
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 2 + extra.len());
+    }
+
+    #[test]
+    fn job_pool_notify_hook_delivers_from_the_worker() {
+        let exec: PoolExecutor = Arc::new(|spec: JobSpec| {
+            (
+                crate::report::JobReport::empty(spec.name, None),
+                Some(vec![9]),
+            )
+        });
+        let pool = JobPool::with_executor(1, 1, exec);
+        let (tx, rx) = channel();
+        pool.try_submit_notify(
+            stub_spec("n"),
+            Box::new(move |(report, dex)| {
+                tx.send((report.name, dex)).unwrap();
+            }),
+        )
+        .expect("admitted");
+        let (name, dex) = rx.recv().unwrap();
+        assert_eq!(name, "n");
+        assert_eq!(dex, Some(vec![9]));
+        pool.shutdown();
     }
 
     #[test]

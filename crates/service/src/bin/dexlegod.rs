@@ -3,18 +3,22 @@
 //! ```text
 //! dexlegod [--addr HOST:PORT] [--workers N] [--queue N]
 //!          [--store DIR] [--budget BYTES]
+//!          [--backend epoll|poll] [--max-pending N]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port), prints
-//! `dexlegod: listening on <addr>` on stdout, and serves the
+//! `dexlegod: listening on <addr>` on stdout, and serves the pipelined
 //! newline-delimited JSON protocol until a `shutdown` request drains it.
 //! Worker count falls back to `DEXLEGO_WORKERS`, then to the CPU count.
+//! `--backend` picks the readiness backend (default: `DEXLEGO_POLL_BACKEND`,
+//! then epoll on Linux); `--max-pending` caps the undispatched requests a
+//! single connection may pipeline before the newest are shed `overloaded`.
 //! Exits 0 after a graceful shutdown.
 
 use std::process::ExitCode;
 
 use dexlego_harness::pool;
-use dexlego_service::{Daemon, ServiceConfig};
+use dexlego_service::{Backend, Daemon, ServiceConfig};
 use dexlego_store::StoreConfig;
 
 fn parse_args() -> Result<ServiceConfig, String> {
@@ -23,6 +27,8 @@ fn parse_args() -> Result<ServiceConfig, String> {
     let mut queue_depth = 16usize;
     let mut store_root = std::env::temp_dir().join("dexlegod-store");
     let mut budget: Option<u64> = None;
+    let mut backend: Option<Backend> = None;
+    let mut max_pending: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,6 +51,20 @@ fn parse_args() -> Result<ServiceConfig, String> {
                     .map_err(|_| "--queue expects a number".to_owned())?;
             }
             "--store" => store_root = value("--store")?.into(),
+            "--backend" => {
+                let name = value("--backend")?;
+                backend = Some(
+                    Backend::by_name(&name)
+                        .ok_or_else(|| format!("--backend: unknown backend {name:?}"))?,
+                );
+            }
+            "--max-pending" => {
+                max_pending = Some(
+                    value("--max-pending")?
+                        .parse()
+                        .map_err(|_| "--max-pending expects a number".to_owned())?,
+                );
+            }
             "--budget" => {
                 budget = Some(
                     value("--budget")?
@@ -60,12 +80,16 @@ fn parse_args() -> Result<ServiceConfig, String> {
     if let Some(bytes) = budget {
         store = store.with_budget(bytes);
     }
-    Ok(ServiceConfig {
-        addr,
-        workers: pool::resolve_workers(workers),
-        queue_depth,
-        store,
-    })
+    let mut config = ServiceConfig::new(store.root.clone());
+    config.addr = addr;
+    config.workers = pool::resolve_workers(workers);
+    config.queue_depth = queue_depth;
+    config.store = store;
+    config.backend = backend;
+    if let Some(bound) = max_pending {
+        config.max_pending_per_conn = bound;
+    }
+    Ok(config)
 }
 
 fn main() -> ExitCode {

@@ -75,6 +75,9 @@ fn run(args: &Args) -> Result<(), String> {
                 detail.unwrap_or_default()
             )),
             ExtractReply::Overloaded => Err(format!("{label}: daemon overloaded")),
+            ExtractReply::DeadlineExceeded { waited_ms } => {
+                Err(format!("{label}: deadline exceeded after {waited_ms}ms"))
+            }
         }
     };
 

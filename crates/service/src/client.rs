@@ -1,14 +1,23 @@
-//! A minimal blocking client for the `dexlegod` wire protocol, used by
-//! the `dexlegod-smoke` binary, the service benchmark, and the
-//! integration tests.
+//! Clients for the `dexlegod` wire protocol.
+//!
+//! [`Client`] is the original strictly-serial blocking client — one
+//! request, one reply, in order. It sends no request ids, which the
+//! server recognises as the compatibility contract: replies to id-less
+//! requests always come back in request order, so this client keeps
+//! working unchanged against the multiplexed server.
+//!
+//! [`PipelinedClient`] speaks the pipelined dialect: every request
+//! carries an id, many may be in flight on one connection, and replies
+//! arrive in whatever order the work finishes. The load harness and the
+//! multiplexing tests are built on it.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
 use dexlego_harness::json::Value;
 use dexlego_store::hex::from_hex;
 
-use crate::protocol::{parse_reply, ExtractRequest, Reply, Request};
+use crate::protocol::{parse_reply, parse_reply_line, ExtractRequest, Reply, Request, RequestId};
 
 /// The outcome of one `extract` round-trip.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +40,43 @@ pub enum ExtractReply {
     },
     /// The daemon shed the request.
     Overloaded,
+    /// The request's deadline passed before execution could start.
+    DeadlineExceeded {
+        /// How long the request waited before being shed, milliseconds.
+        waited_ms: u64,
+    },
+}
+
+/// Decodes an extract-shaped reply into an [`ExtractReply`].
+fn decode_extract_reply(reply: Reply) -> io::Result<ExtractReply> {
+    match reply {
+        Reply::Ok(value) => {
+            let cached = value
+                .get("cached")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "ok reply without \"cached\"")
+                })?;
+            let dex_hex = value.get("dex").and_then(Value::as_str).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "ok reply without \"dex\"")
+            })?;
+            let dex = from_hex(dex_hex).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "ok reply with non-hex \"dex\"")
+            })?;
+            let report = value.get("report").cloned().unwrap_or(Value::Null);
+            Ok(ExtractReply::Done {
+                cached,
+                dex,
+                report,
+            })
+        }
+        Reply::Failed {
+            job_status, detail, ..
+        } => Ok(ExtractReply::Failed { job_status, detail }),
+        Reply::Overloaded { .. } => Ok(ExtractReply::Overloaded),
+        Reply::DeadlineExceeded { waited_ms } => Ok(ExtractReply::DeadlineExceeded { waited_ms }),
+        Reply::Error(reason) => Err(io::Error::new(io::ErrorKind::InvalidData, reason)),
+    }
 }
 
 /// One connection to a `dexlegod` daemon.
@@ -112,33 +158,8 @@ impl Client {
     ///
     /// Transport failures, protocol errors, or a malformed `ok` reply.
     pub fn extract(&mut self, req: &ExtractRequest) -> io::Result<ExtractReply> {
-        match self.round_trip(&req.encode())? {
-            Reply::Ok(value) => {
-                let cached = value
-                    .get("cached")
-                    .and_then(Value::as_bool)
-                    .ok_or_else(|| {
-                        io::Error::new(io::ErrorKind::InvalidData, "ok reply without \"cached\"")
-                    })?;
-                let dex_hex = value.get("dex").and_then(Value::as_str).ok_or_else(|| {
-                    io::Error::new(io::ErrorKind::InvalidData, "ok reply without \"dex\"")
-                })?;
-                let dex = from_hex(dex_hex).ok_or_else(|| {
-                    io::Error::new(io::ErrorKind::InvalidData, "ok reply with non-hex \"dex\"")
-                })?;
-                let report = value.get("report").cloned().unwrap_or(Value::Null);
-                Ok(ExtractReply::Done {
-                    cached,
-                    dex,
-                    report,
-                })
-            }
-            Reply::Failed {
-                job_status, detail, ..
-            } => Ok(ExtractReply::Failed { job_status, detail }),
-            Reply::Overloaded { .. } => Ok(ExtractReply::Overloaded),
-            Reply::Error(reason) => Err(io::Error::new(io::ErrorKind::InvalidData, reason)),
-        }
+        let reply = self.round_trip(&req.encode())?;
+        decode_extract_reply(reply)
     }
 
     /// Fetches the service counters (the `"stats"` member of the reply).
@@ -171,4 +192,127 @@ fn unexpected(reply: &Reply) -> io::Error {
         io::ErrorKind::InvalidData,
         format!("unexpected reply: {reply:?}"),
     )
+}
+
+/// A blocking client that keeps many tagged requests in flight on one
+/// connection and collects replies in completion order.
+///
+/// The caller owns the windowing policy: it decides how many sends to
+/// issue before each receive. Ids are assigned by the client
+/// ([`RequestId::Num`], monotonically increasing) and returned from
+/// [`PipelinedClient::send_extract`] so callers can correlate.
+///
+/// Sends are buffered: a burst of [`PipelinedClient::send_extract`]
+/// calls goes out as one write when the client turns around to read (or
+/// on [`PipelinedClient::flush`]), so a window of requests costs one
+/// syscall, not one per request.
+pub struct PipelinedClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl PipelinedClient {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> io::Result<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(PipelinedClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one extract request tagged with a fresh id, without waiting
+    /// for any reply (buffered until the next receive or
+    /// [`PipelinedClient::flush`]). Returns the id assigned.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_extract(&mut self, req: &ExtractRequest) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = req.encode_with_id(&RequestId::Num(id));
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(id)
+    }
+
+    /// Pushes any buffered requests onto the wire without reading.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Reads the next reply line, whichever request it answers. Returns
+    /// the echoed id (if the request carried one) and the decoded reply.
+    ///
+    /// # Errors
+    ///
+    /// Read failures, a closed connection, or an undecodable reply.
+    pub fn recv_any(&mut self) -> io::Result<(Option<RequestId>, Reply)> {
+        // Turnaround: nothing more will be sent before this read, so any
+        // buffered requests must go out now or the reply never comes.
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        parse_reply_line(line.trim_end()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Like [`PipelinedClient::recv_any`], but decodes the reply as an
+    /// extract outcome and requires a numeric id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, an id-less or non-numeric-id reply, or a
+    /// protocol `error` reply.
+    pub fn recv_extract(&mut self) -> io::Result<(u64, ExtractReply)> {
+        let (id, reply) = self.recv_any()?;
+        let Some(RequestId::Num(id)) = id else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "reply without the numeric id this client sent",
+            ));
+        };
+        Ok((id, decode_extract_reply(reply)?))
+    }
+
+    /// Asks the daemon to drain and exit (tagged, so it composes with
+    /// in-flight extracts; the ok reply is awaited by id).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-`ok` reply.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = format!("{{\"op\": \"shutdown\", \"id\": {id}}}\n");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        loop {
+            let (got, reply) = self.recv_any()?;
+            if got == Some(RequestId::Num(id)) {
+                return match reply {
+                    Reply::Ok(_) => Ok(()),
+                    other => Err(unexpected(&other)),
+                };
+            }
+            // Replies to still-in-flight extracts may land first; skip.
+        }
+    }
 }

@@ -1,0 +1,205 @@
+//! Newline framing for the nonblocking server: an incremental splitter
+//! that accepts bytes in whatever chunks the socket delivers — one byte at
+//! a time, seventeen requests in one read, a UTF-8 sequence or JSON escape
+//! torn across reads — and yields complete lines.
+//!
+//! The framer never panics on hostile input. Two failure shapes are
+//! reported per-frame so the connection itself survives:
+//!
+//! * a line longer than the configured cap is reported as
+//!   [`FrameError::Oversized`] and discarded as it streams in — the framer
+//!   keeps no more than the cap buffered, so a client flooding one endless
+//!   line cannot grow server memory;
+//! * bytes that are not valid UTF-8 report [`FrameError::InvalidUtf8`].
+//!
+//! Blank lines (empty or whitespace-only) are skipped, matching the old
+//! blocking server's `line.trim().is_empty()` behaviour.
+
+/// Why a frame could not be turned into a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line exceeded the configured byte cap and was discarded.
+    Oversized {
+        /// The cap that was exceeded.
+        limit: usize,
+    },
+    /// The line was not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl FrameError {
+    /// A human-readable reason for the protocol error reply.
+    pub fn reason(&self) -> String {
+        match self {
+            FrameError::Oversized { limit } => {
+                format!("request line exceeds {limit} bytes")
+            }
+            FrameError::InvalidUtf8 => "request line is not valid UTF-8".to_owned(),
+        }
+    }
+}
+
+/// An incremental newline-frame splitter with a line-length cap.
+#[derive(Debug)]
+pub struct Framer {
+    buf: Vec<u8>,
+    /// Bytes already scanned for `\n` (restart point for the next scan,
+    /// so a dribbled megabyte is not rescanned quadratically).
+    scanned: usize,
+    /// The current line already blew the cap; discard until newline.
+    skipping: bool,
+    max_line: usize,
+}
+
+impl Framer {
+    /// A framer that rejects lines longer than `max_line` bytes
+    /// (exclusive of the newline).
+    pub fn new(max_line: usize) -> Framer {
+        Framer {
+            buf: Vec::new(),
+            scanned: 0,
+            skipping: false,
+            max_line: max_line.max(1),
+        }
+    }
+
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        if self.skipping {
+            // Mid-discard: only a newline matters; buffer nothing.
+            if let Some(nl) = data.iter().position(|&b| b == b'\n') {
+                self.skipping = false;
+                self.buf.extend_from_slice(&data[nl + 1..]);
+            }
+            return;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes currently buffered (bounded by the line cap plus one read).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether a partial line is buffered (stream ended mid-frame).
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty() || self.skipping
+    }
+
+    /// Pops the next complete line, if one is buffered. Blank lines are
+    /// consumed silently; a trailing `\r` is stripped.
+    pub fn pop(&mut self) -> Option<Result<String, FrameError>> {
+        loop {
+            match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                Some(rel) => {
+                    let nl = self.scanned + rel;
+                    let mut line: Vec<u8> = self.buf.drain(..=nl).collect();
+                    self.scanned = 0;
+                    line.pop(); // the newline
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    if line.len() > self.max_line {
+                        return Some(Err(FrameError::Oversized {
+                            limit: self.max_line,
+                        }));
+                    }
+                    match String::from_utf8(line) {
+                        Ok(s) if s.trim().is_empty() => continue,
+                        Ok(s) => return Some(Ok(s)),
+                        Err(_) => return Some(Err(FrameError::InvalidUtf8)),
+                    }
+                }
+                None => {
+                    self.scanned = self.buf.len();
+                    // An unterminated line past the cap: report it now and
+                    // flip to discard mode, so a hostile client cannot grow
+                    // the buffer without ever sending a newline. The
+                    // eventual newline just ends the discard silently.
+                    if self.scanned > self.max_line {
+                        self.buf.clear();
+                        self.scanned = 0;
+                        self.skipping = true;
+                        return Some(Err(FrameError::Oversized {
+                            limit: self.max_line,
+                        }));
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(framer: &mut Framer) -> Vec<Result<String, FrameError>> {
+        std::iter::from_fn(|| framer.pop()).collect()
+    }
+
+    #[test]
+    fn splits_whole_and_partial_frames() {
+        let mut f = Framer::new(1024);
+        f.push(b"{\"op\": \"ping\"}\n{\"op\": \"st");
+        assert_eq!(lines(&mut f), vec![Ok("{\"op\": \"ping\"}".to_owned())]);
+        f.push(b"ats\"}\r\n");
+        assert_eq!(lines(&mut f), vec![Ok("{\"op\": \"stats\"}".to_owned())]);
+        assert!(!f.has_partial());
+    }
+
+    #[test]
+    fn byte_at_a_time_survives_utf8_splits() {
+        let text = "{\"entry\": \"héllo\u{2028}wörld\"}\n";
+        let mut f = Framer::new(1024);
+        let mut got = Vec::new();
+        for b in text.as_bytes() {
+            f.push(&[*b]);
+            got.extend(lines(&mut f));
+        }
+        assert_eq!(got, vec![Ok(text.trim_end().to_owned())]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut f = Framer::new(64);
+        f.push(b"\n  \n\t\r\nreal\n\n");
+        assert_eq!(lines(&mut f), vec![Ok("real".to_owned())]);
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_frame_error_not_a_panic() {
+        let mut f = Framer::new(64);
+        f.push(&[0xff, 0xfe, b'\n', b'o', b'k', b'\n']);
+        assert_eq!(
+            lines(&mut f),
+            vec![Err(FrameError::InvalidUtf8), Ok("ok".to_owned())]
+        );
+    }
+
+    #[test]
+    fn oversized_line_is_discarded_without_buffering_it() {
+        let mut f = Framer::new(8);
+        // Unterminated flood: reported immediately, buffer stays bounded.
+        f.push(b"0123456789abcdef");
+        assert_eq!(f.pop(), Some(Err(FrameError::Oversized { limit: 8 })));
+        assert_eq!(f.buffered(), 0);
+        f.push(b"more flood still no newline");
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.buffered(), 0, "discard mode buffers nothing");
+        // The newline ends discard mode; the next line is clean.
+        f.push(b"tail\nnext\n");
+        assert_eq!(lines(&mut f), vec![Ok("next".to_owned())]);
+    }
+
+    #[test]
+    fn oversized_terminated_line_reports_once() {
+        let mut f = Framer::new(4);
+        f.push(b"abcdef\nok\n");
+        assert_eq!(
+            lines(&mut f),
+            vec![Err(FrameError::Oversized { limit: 4 }), Ok("ok".to_owned())]
+        );
+    }
+}

@@ -1,4 +1,6 @@
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the two readiness-backend FFI submodules in
+// `poll` opt back in with a scoped `allow`; everything else stays safe.
+#![deny(unsafe_code)]
 
 //! `dexlegod`: a persistent extraction service in front of the DexLego
 //! pipeline.
@@ -9,23 +11,37 @@
 //! across analysts, across tool versions that only change downstream
 //! stages. This crate keeps the pipeline warm behind a daemon:
 //!
-//! - [`server`] — the daemon itself: a `TcpListener` accept loop speaking
-//!   newline-delimited JSON ([`protocol`]), dispatching extractions onto a
-//!   bounded [`JobPool`] and answering `overloaded` instead of queueing
-//!   unboundedly, with graceful drain on shutdown.
+//! - [`server`] — the daemon itself: a single-threaded readiness-based
+//!   event loop ([`poll`]: epoll on Linux, portable `poll(2)` fallback)
+//!   multiplexing every connection, speaking pipelined newline-delimited
+//!   JSON ([`protocol`], framed by [`framing`]) with optional request ids
+//!   and deadlines, dispatching extractions round-robin onto a bounded
+//!   [`JobPool`] and shedding load with structured `overloaded` /
+//!   `deadline_exceeded` replies instead of queueing unboundedly, with
+//!   graceful drain on shutdown.
 //! - results are content-addressed into the persistent `dexlego-store`:
 //!   a repeated request is served from disk, byte-identical to the fresh
 //!   extraction, and a corrupted entry is quarantined and transparently
 //!   re-extracted.
-//! - [`client`] — a small blocking client used by the `dexlegod-smoke`
-//!   binary, the service benchmark, and the integration tests.
+//! - [`client`] — the original blocking [`Client`] (id-less, strictly
+//!   ordered — the compatibility dialect) and the [`PipelinedClient`]
+//!   that keeps many tagged requests in flight, used by the `dexlegod`
+//!   binaries, the latency-distribution load harness in `dexlego-bench`,
+//!   and the integration tests.
 //!
 //! [`JobPool`]: dexlego_harness::JobPool
 
 pub mod client;
+pub mod framing;
+pub mod poll;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ExtractReply};
-pub use protocol::{parse_reply, parse_request, ExtractRequest, Reply, Request};
+pub use client::{Client, ExtractReply, PipelinedClient};
+pub use framing::{FrameError, Framer};
+pub use poll::Backend;
+pub use protocol::{
+    parse_reply, parse_reply_line, parse_request, parse_request_line, ExtractRequest, Reply,
+    Request, RequestId,
+};
 pub use server::{Daemon, ServiceConfig};

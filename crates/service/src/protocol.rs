@@ -1,4 +1,5 @@
-//! The `dexlegod` wire protocol: newline-delimited JSON over TCP.
+//! The `dexlegod` wire protocol: newline-delimited JSON over TCP, with
+//! optional request ids for pipelining.
 //!
 //! Every request is one JSON object on one line with an `"op"` member;
 //! every reply is one JSON object on one line with a `"status"` member.
@@ -8,23 +9,82 @@
 //! ```text
 //! → {"op": "ping"}
 //! ← {"status": "ok"}
-//! → {"op": "extract", "dex": "6465…", "entry": "Lapp/Main;", "packer": "360"}
-//! ← {"status": "ok", "cached": false, "dex": "6465…", "report": {…}}
+//! → {"id": 7, "op": "extract", "dex": "6465…", "entry": "Lapp/Main;", "packer": "360"}
+//! → {"id": 8, "op": "extract", "dex": "6465…", "entry": "Lapp/Other;"}
+//! ← {"id": 8, "status": "ok", "cached": true, "dex": "6465…", "report": {…}}
+//! ← {"id": 7, "status": "ok", "cached": false, "dex": "6465…", "report": {…}}
 //! → {"op": "stats"}
 //! ← {"status": "ok", "stats": {…}}
 //! → {"op": "shutdown"}
 //! ← {"status": "ok"}        (then the daemon drains and exits)
 //! ```
 //!
+//! **Pipelining.** A request may carry an `"id"` (a string or a
+//! non-negative integer). The reply to an id-carrying request echoes the
+//! id and may arrive *out of order* — a connection can have many
+//! extractions in flight at once. Requests *without* an id keep the
+//! original one-in-flight contract: their replies come back in request
+//! order, so the old blocking client keeps working unchanged.
+//!
+//! **Deadlines.** An `extract` may carry `"deadline_ms"`: the maximum
+//! milliseconds the request may wait before execution starts. Work that
+//! cannot start in time is shed with `{"status": "deadline_exceeded"}`
+//! instead of occupying a worker.
+//!
 //! A saturated daemon answers `{"status": "overloaded", "in_flight": N}`
 //! instead of queueing unboundedly; malformed input answers
-//! `{"status": "error", "reason": "…"}` without closing the connection.
+//! `{"status": "error", "reason": "…"}` without closing the connection
+//! (echoing the id whenever one could be recovered from the line).
 
 use dexlego_dex::reader::read_dex;
 use dexlego_harness::json::{self, Value};
 use dexlego_harness::{JobSpec, DEFAULT_FUEL};
 use dexlego_packer::PackerId;
 use dexlego_store::hex::{from_hex, to_hex};
+
+/// A request id: a client-chosen correlation token echoed verbatim on the
+/// reply, enabling out-of-order responses on one connection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RequestId {
+    /// A non-negative integer id.
+    Num(u64),
+    /// A string id.
+    Str(String),
+}
+
+impl RequestId {
+    /// The id as a JSON token (numbers bare, strings quoted/escaped).
+    pub fn encode(&self) -> String {
+        match self {
+            RequestId::Num(n) => n.to_string(),
+            RequestId::Str(s) => json::string(s),
+        }
+    }
+
+    /// Extracts the `"id"` member of a parsed request or reply object.
+    /// `Ok(None)` when absent; `Err` when present but neither a string nor
+    /// a non-negative integer.
+    pub fn from_value(value: &Value) -> Result<Option<RequestId>, String> {
+        match value.get("id") {
+            None => Ok(None),
+            Some(Value::Str(s)) => Ok(Some(RequestId::Str(s.clone()))),
+            Some(v @ Value::Num(_)) => v
+                .as_u64()
+                .map(|n| Some(RequestId::Num(n)))
+                .ok_or_else(|| "\"id\" must be a string or a non-negative integer".to_owned()),
+            Some(_) => Err("\"id\" must be a string or a non-negative integer".to_owned()),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestId::Num(n) => write!(f, "{n}"),
+            RequestId::Str(s) => f.write_str(s),
+        }
+    }
+}
 
 /// One extraction request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +105,11 @@ pub struct ExtractRequest {
     pub fuel: u64,
     /// Differentially check extracted behaviour.
     pub conformance: bool,
+    /// Maximum milliseconds the request may wait before execution starts;
+    /// past it the daemon sheds the request with `deadline_exceeded`
+    /// instead of running it. `None` = wait indefinitely. Not part of the
+    /// cache key — it shapes scheduling, not the result.
+    pub deadline_ms: Option<u64>,
 }
 
 impl ExtractRequest {
@@ -60,6 +125,7 @@ impl ExtractRequest {
             events: 2,
             fuel: DEFAULT_FUEL,
             conformance: false,
+            deadline_ms: None,
         }
     }
 
@@ -89,9 +155,24 @@ impl ExtractRequest {
         Ok(spec)
     }
 
-    /// The request as one wire line (no trailing newline).
+    /// The request as one wire line (no trailing newline), without an id —
+    /// the original one-in-flight mode.
     pub fn encode(&self) -> String {
-        let mut members = vec![("op", json::string("extract"))];
+        self.encode_inner(None)
+    }
+
+    /// The request as one wire line carrying `id`, for pipelined mode.
+    pub fn encode_with_id(&self, id: &RequestId) -> String {
+        self.encode_inner(Some(id))
+    }
+
+    fn encode_inner(&self, id: Option<&RequestId>) -> String {
+        let encoded_id = id.map(RequestId::encode);
+        let mut members = Vec::new();
+        if let Some(encoded) = &encoded_id {
+            members.push(("id", encoded.clone()));
+        }
+        members.push(("op", json::string("extract")));
         if let Some(name) = &self.name {
             members.push(("name", json::string(name)));
         }
@@ -108,6 +189,9 @@ impl ExtractRequest {
         members.push(("events", self.events.to_string()));
         members.push(("fuel", self.fuel.to_string()));
         members.push(("conformance", self.conformance.to_string()));
+        if let Some(deadline) = self.deadline_ms {
+            members.push(("deadline_ms", deadline.to_string()));
+        }
         json::object(&members)
     }
 }
@@ -132,13 +216,35 @@ impl Request {
     }
 }
 
-/// Parses one request line.
+/// Parses one request line, discarding any id.
 ///
 /// # Errors
 ///
 /// Malformed JSON, missing/unknown `op`, or invalid `extract` fields.
 pub fn parse_request(line: &str) -> Result<Request, String> {
-    let value = json::parse(line)?;
+    parse_request_line(line).1
+}
+
+/// Parses one request line into its id (if any) and request.
+///
+/// The id comes back even when the request itself is in error, as long as
+/// the line was valid JSON with a well-formed `"id"` member — the server
+/// echoes it on the error reply so a pipelining client can correlate the
+/// failure. A malformed id is itself a request error (with no id echoed:
+/// echoing a token the client did not send would corrupt correlation).
+pub fn parse_request_line(line: &str) -> (Option<RequestId>, Result<Request, String>) {
+    let value = match json::parse(line) {
+        Ok(value) => value,
+        Err(e) => return (None, Err(e)),
+    };
+    let id = match RequestId::from_value(&value) {
+        Ok(id) => id,
+        Err(e) => return (None, Err(e)),
+    };
+    (id, request_from_value(&value))
+}
+
+fn request_from_value(value: &Value) -> Result<Request, String> {
     let op = value
         .get("op")
         .and_then(Value::as_str)
@@ -190,6 +296,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             };
             let events = u64_field("events", 2)? as usize;
             let fuel = u64_field("fuel", DEFAULT_FUEL)?;
+            let deadline_ms = match value.get("deadline_ms") {
+                None => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| "extract: \"deadline_ms\" must be a u64".to_owned())?,
+                ),
+            };
             let conformance = match value.get("conformance") {
                 None => false,
                 Some(v) => v
@@ -213,6 +326,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 events,
                 fuel,
                 conformance,
+                deadline_ms,
             })))
         }
         other => Err(format!("unknown op: {other}")),
@@ -238,17 +352,38 @@ pub enum Reply {
         /// Jobs admitted but not yet completed at rejection time.
         in_flight: u64,
     },
+    /// The request's deadline passed before execution could start.
+    DeadlineExceeded {
+        /// How long the request actually waited, milliseconds.
+        waited_ms: u64,
+    },
     /// Protocol-level error (malformed request, bad payload).
     Error(String),
 }
 
-/// Parses one reply line.
+/// Parses one reply line, discarding any id.
 ///
 /// # Errors
 ///
 /// Malformed JSON or a missing/unknown `status` member.
 pub fn parse_reply(line: &str) -> Result<Reply, String> {
+    parse_reply_line(line).map(|(_, reply)| reply)
+}
+
+/// Parses one reply line into its echoed id (if any) and reply — the
+/// pipelined client's receive path.
+///
+/// # Errors
+///
+/// Malformed JSON, a malformed id, or a missing/unknown `status` member.
+pub fn parse_reply_line(line: &str) -> Result<(Option<RequestId>, Reply), String> {
     let value = json::parse(line)?;
+    let id = RequestId::from_value(&value)?;
+    let reply = reply_from_value(value)?;
+    Ok((id, reply))
+}
+
+fn reply_from_value(value: Value) -> Result<Reply, String> {
     let status = value
         .get("status")
         .and_then(Value::as_str)
@@ -275,6 +410,9 @@ pub fn parse_reply(line: &str) -> Result<Reply, String> {
         "overloaded" => Ok(Reply::Overloaded {
             in_flight: value.get("in_flight").and_then(Value::as_u64).unwrap_or(0),
         }),
+        "deadline_exceeded" => Ok(Reply::DeadlineExceeded {
+            waited_ms: value.get("waited_ms").and_then(Value::as_u64).unwrap_or(0),
+        }),
         "error" => Ok(Reply::Error(
             value
                 .get("reason")
@@ -300,6 +438,7 @@ mod tests {
             events: 3,
             fuel: 5_000_000,
             conformance: true,
+            deadline_ms: Some(250),
         }
     }
 
@@ -307,10 +446,48 @@ mod tests {
     fn extract_roundtrips_through_the_wire() {
         let req = sample();
         let line = req.encode();
-        match parse_request(&line).unwrap() {
+        let (id, parsed) = parse_request_line(&line);
+        assert_eq!(id, None);
+        match parsed.unwrap() {
             Request::Extract(parsed) => assert_eq!(*parsed, req),
             other => panic!("parsed as {other:?}"),
         }
+    }
+
+    #[test]
+    fn ids_roundtrip_in_both_directions() {
+        let req = sample();
+        for id in [RequestId::Num(42), RequestId::Str("job/7 \"q\"".to_owned())] {
+            let line = req.encode_with_id(&id);
+            let (parsed_id, parsed) = parse_request_line(&line);
+            assert_eq!(parsed_id.as_ref(), Some(&id));
+            match parsed.unwrap() {
+                Request::Extract(parsed) => assert_eq!(*parsed, req),
+                other => panic!("parsed as {other:?}"),
+            }
+            let reply = format!("{{\"id\": {}, \"status\": \"ok\"}}", id.encode());
+            let (echoed, reply) = parse_reply_line(&reply).unwrap();
+            assert_eq!(echoed, Some(id));
+            assert!(matches!(reply, Reply::Ok(_)));
+        }
+    }
+
+    #[test]
+    fn bad_ids_are_request_errors_that_still_parse_the_rest() {
+        for bad in [
+            r#"{"id": -3, "op": "ping"}"#,
+            r#"{"id": 1.5, "op": "ping"}"#,
+            r#"{"id": [1], "op": "ping"}"#,
+            r#"{"id": null, "op": "ping"}"#,
+        ] {
+            let (id, parsed) = parse_request_line(bad);
+            assert_eq!(id, None, "{bad}");
+            assert!(parsed.is_err(), "{bad} accepted");
+        }
+        // An id on a bad op still comes back for the error reply.
+        let (id, parsed) = parse_request_line(r#"{"id": 9, "op": "warp"}"#);
+        assert_eq!(id, Some(RequestId::Num(9)));
+        assert!(parsed.is_err());
     }
 
     #[test]
@@ -324,6 +501,7 @@ mod tests {
                 assert!(!req.conformance);
                 assert_eq!(req.packer, None);
                 assert_eq!(req.name, None);
+                assert_eq!(req.deadline_ms, None);
             }
             other => panic!("parsed as {other:?}"),
         }
@@ -381,6 +559,10 @@ mod tests {
         assert_eq!(
             parse_reply(r#"{"status": "overloaded", "in_flight": 7}"#).unwrap(),
             Reply::Overloaded { in_flight: 7 }
+        );
+        assert_eq!(
+            parse_reply(r#"{"status": "deadline_exceeded", "waited_ms": 31}"#).unwrap(),
+            Reply::DeadlineExceeded { waited_ms: 31 }
         );
         assert_eq!(
             parse_reply(r#"{"status": "error", "reason": "nope"}"#).unwrap(),

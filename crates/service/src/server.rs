@@ -1,32 +1,62 @@
-//! The `dexlegod` daemon: a TCP accept loop dispatching extraction
-//! requests onto a persistent [`JobPool`] with per-request caching
-//! through the content-addressed result [`Store`].
+//! The `dexlegod` daemon: a readiness-based event loop multiplexing every
+//! client connection onto one thread, dispatching extractions onto a
+//! persistent [`JobPool`] with per-request caching through the
+//! content-addressed result [`Store`].
 //!
 //! Concurrency shape:
 //!
-//! - one accept thread, woken out of `accept()` at shutdown by a
-//!   loop-back connection to itself;
-//! - one handler thread per client connection, reading request lines and
-//!   writing reply lines;
-//! - the shared worker pool executing extractions with bounded admission —
-//!   a saturated queue produces an `overloaded` reply, not latency.
+//! - **one event-loop thread** owns the listener and every connection —
+//!   nonblocking sockets behind an epoll/poll [`Poller`](crate::poll),
+//!   per-connection read framers that survive partial reads and write
+//!   buffers that survive short writes;
+//! - **the shared worker pool** executes extractions; workers hand results
+//!   back through a completion queue plus a wake pipe, so the loop never
+//!   blocks on a job;
+//! - **pipelining**: requests carrying an `id` get their replies as soon
+//!   as the job finishes, in any order; id-less requests keep the old
+//!   strictly-ordered one-reply-per-request contract via per-connection
+//!   sequence slots.
+//!
+//! Load discipline:
+//!
+//! - **per-client fairness** — parsed extract requests wait in a
+//!   per-connection queue; a round-robin scheduler feeds the pool one
+//!   request per connection per turn, so one firehose client cannot starve
+//!   the rest;
+//! - **bounded queues everywhere** — a connection may hold at most
+//!   `max_pending_per_conn` undispatched requests; beyond that the newest
+//!   are shed with `overloaded` (with the bound at 0 this degenerates to
+//!   the old shed-when-pool-full behaviour);
+//! - **deadline shedding** — a request whose `deadline_ms` passes before
+//!   execution starts is answered `deadline_exceeded` without occupying a
+//!   worker;
+//! - **write backpressure** — a client that stops reading accumulates
+//!   replies up to a soft cap, after which the server stops reading (and
+//!   therefore stops accepting work) from that connection until it drains.
 //!
 //! Cache hits bypass admission control: if the store already holds the
-//! result, the handler serves it inline instead of failing a cheap read
-//! just because the extraction queue is full.
+//! result, the loop serves it inline instead of failing a cheap read just
+//! because the extraction queue is full. (A corrupt entry falls through to
+//! a normal pool dispatch rather than running the pipeline on the loop.)
 
-use std::collections::BTreeMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
-use dexlego_harness::json;
-use dexlego_harness::{execute_job_cached, job_key, JobPool, JobReport, PoolExecutor};
+use dexlego_harness::cache::from_cached;
+use dexlego_harness::{execute_job_cached, job_key, JobPool, JobReport, JobSpec, PoolExecutor};
+use dexlego_harness::{json, JobResult};
 use dexlego_store::{Store, StoreConfig, StoreStats};
 
-use crate::protocol::{parse_request, Request};
+use crate::framing::Framer;
+use crate::poll::{Backend, Event, Interest, Poller};
+use crate::protocol::{parse_request_line, Request, RequestId};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -35,11 +65,26 @@ pub struct ServiceConfig {
     pub addr: String,
     /// Extraction worker threads.
     pub workers: usize,
-    /// Admission queue depth; requests beyond `workers + queue_depth`
-    /// in flight are shed with an `overloaded` reply.
+    /// Pool admission queue depth (jobs queued beyond the ones executing).
     pub queue_depth: usize,
     /// Result store configuration.
     pub store: StoreConfig,
+    /// Readiness backend; `None` resolves `DEXLEGO_POLL_BACKEND`, then the
+    /// platform default (epoll on Linux, poll elsewhere).
+    pub backend: Option<Backend>,
+    /// Undispatched extract requests a single connection may queue in the
+    /// event loop; arrivals beyond it are shed with `overloaded`. 0 means
+    /// requests are shed as soon as the pool itself is saturated.
+    pub max_pending_per_conn: usize,
+    /// Request-line byte cap; longer lines get an `error` reply and are
+    /// discarded without being buffered.
+    pub max_line_bytes: usize,
+    /// Per-connection reply-buffer soft cap; past it the server stops
+    /// reading from the connection until the client drains its replies.
+    pub write_soft_cap: usize,
+    /// After a shutdown drain, how long to keep trying to flush replies to
+    /// clients that have stopped reading before abandoning them.
+    pub shutdown_flush_grace: Duration,
 }
 
 impl ServiceConfig {
@@ -51,6 +96,11 @@ impl ServiceConfig {
             workers: 2,
             queue_depth: 8,
             store: StoreConfig::new(store_root),
+            backend: None,
+            max_pending_per_conn: 64,
+            max_line_bytes: 64 << 20,
+            write_soft_cap: 4 << 20,
+            shutdown_flush_grace: Duration::from_secs(5),
         }
     }
 }
@@ -69,7 +119,9 @@ struct ServiceStats {
     misses: u64,
     /// Extract requests shed due to a full queue.
     rejected: u64,
-    /// Malformed or invalid requests.
+    /// Extract requests shed because their deadline passed before start.
+    deadline_exceeded: u64,
+    /// Malformed or invalid requests (including frame errors).
     errors: u64,
     /// Jobs that ran but did not reach [`JobStatus::Ok`].
     ///
@@ -119,28 +171,61 @@ impl ServiceStats {
     }
 }
 
+/// How a reply finds its way back onto the wire: tagged replies carry the
+/// client's id and go out the moment they are ready; ordered replies fill
+/// a per-connection sequence slot and go out strictly in request order
+/// (the id-less compatibility contract).
+#[derive(Debug, Clone)]
+enum ReplySlot {
+    Tagged(RequestId),
+    Ordered(u64),
+}
+
+/// A completed pool job on its way back to the event loop.
+struct Completion {
+    token: usize,
+    slot: ReplySlot,
+    result: JobResult,
+}
+
+/// What workers share to hand completions back: the queue plus the wake
+/// pipe. Deliberately *not* the whole [`Shared`], so job callbacks queued
+/// in the pool never keep the daemon state alive (no Arc cycle through the
+/// pool's own queue).
+struct Notifier {
+    completions: Mutex<Vec<Completion>>,
+    wake_tx: UnixStream,
+}
+
+impl Notifier {
+    fn push(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .expect("completion queue lock")
+            .push(completion);
+        // One byte per completion; a full pipe means the loop is already
+        // guaranteed to wake, so WouldBlock (or any error) is ignorable.
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+}
+
 struct Shared {
     store: Arc<Store>,
     pool: JobPool,
-    exec: PoolExecutor,
     stats: Mutex<ServiceStats>,
     store_stats_at_open: StoreStats,
     shutting_down: AtomicBool,
     next_job: AtomicU64,
-    conns: Mutex<Vec<JoinHandle<()>>>,
-    /// Read-half clones of every live connection, half-closed at shutdown
-    /// so idle handlers stop waiting for input (in-flight replies still go
-    /// out on the intact write half).
-    peers: Mutex<Vec<TcpStream>>,
+    notifier: Arc<Notifier>,
 }
 
 /// A running daemon. Dropping it without [`Daemon::wait`] detaches the
-/// accept thread; call [`Daemon::trigger_shutdown`] then `wait` for a
+/// event-loop thread; call [`Daemon::trigger_shutdown`] then `wait` for a
 /// graceful drain.
 pub struct Daemon {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
@@ -148,7 +233,7 @@ impl Daemon {
     ///
     /// # Errors
     ///
-    /// Bind or store-open failures.
+    /// Bind, poller, or store-open failures.
     pub fn start(config: ServiceConfig) -> io::Result<Daemon> {
         let store = Arc::new(Store::open(config.store.clone())?);
         let exec_store = Arc::clone(&store);
@@ -162,34 +247,45 @@ impl Daemon {
     ///
     /// # Errors
     ///
-    /// Bind failures.
+    /// Bind or poller failures.
     pub fn start_with_executor(
         config: ServiceConfig,
         store: Arc<Store>,
         exec: PoolExecutor,
     ) -> io::Result<Daemon> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
         let store_stats_at_open = store.stats();
         let shared = Arc::new(Shared {
-            pool: JobPool::with_executor(config.workers, config.queue_depth, Arc::clone(&exec)),
+            pool: JobPool::with_executor(config.workers, config.queue_depth, exec),
             store,
-            exec,
             stats: Mutex::new(ServiceStats::default()),
             store_stats_at_open,
             shutting_down: AtomicBool::new(false),
             next_job: AtomicU64::new(0),
-            conns: Mutex::new(Vec::new()),
-            peers: Mutex::new(Vec::new()),
+            notifier: Arc::new(Notifier {
+                completions: Mutex::new(Vec::new()),
+                wake_tx,
+            }),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = thread::Builder::new()
-            .name("dexlegod-accept".to_owned())
-            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        let backend = Backend::resolve(config.backend);
+        let mut poller = Poller::new(backend)?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.register(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+        let loop_shared = Arc::clone(&shared);
+        let event_loop = thread::Builder::new()
+            .name("dexlegod-loop".to_owned())
+            .spawn(move || {
+                EventLoop::new(config, listener, wake_rx, poller, loop_shared).run();
+            })?;
         Ok(Daemon {
             addr,
             shared,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
         })
     }
 
@@ -201,147 +297,685 @@ impl Daemon {
     /// Asks the daemon to stop accepting and drain. Idempotent;
     /// also reachable over the wire via the `shutdown` op.
     pub fn trigger_shutdown(&self) {
-        request_shutdown(&self.shared, self.addr);
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        let _ = (&self.shared.notifier.wake_tx).write(&[1]);
     }
 
-    /// Joins the accept thread and every connection handler, then drains
-    /// the worker pool. Returns once all in-flight jobs have completed.
+    /// Joins the event loop (which exits only after a triggered shutdown
+    /// has drained every admitted job and flushed every reply), then
+    /// drains the worker pool.
     pub fn wait(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        let conns = std::mem::take(&mut *self.shared.conns.lock().unwrap());
-        for handle in conns {
-            let _ = handle.join();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         // Dropping the last `Shared` reference drains the pool
         // (`JobPool`'s `Drop` joins its workers).
     }
 }
 
-fn request_shutdown(shared: &Shared, addr: SocketAddr) {
-    if shared.shutting_down.swap(true, Ordering::SeqCst) {
-        return;
-    }
-    // Stop idle handlers waiting for input; write halves stay open so
-    // in-flight replies are still delivered.
-    for peer in shared.peers.lock().unwrap().iter() {
-        let _ = peer.shutdown(std::net::Shutdown::Read);
-    }
-    // Wake the accept loop; it re-checks the flag before handling the
-    // connection.
-    let _ = TcpStream::connect(addr);
+const TOKEN_LISTENER: usize = 0;
+const TOKEN_WAKE: usize = 1;
+const TOKEN_FIRST_CONN: usize = 2;
+
+/// One parsed extract request waiting for pool capacity.
+struct PendingJob {
+    slot: ReplySlot,
+    spec: JobSpec,
+    received: Instant,
+    deadline: Option<Instant>,
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        if let Ok(peer) = stream.try_clone() {
-            shared.peers.lock().unwrap().push(peer);
-        }
-        // A shutdown racing the registration above might have missed this
-        // connection; re-check so its handler still gets unblocked.
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            let _ = stream.shutdown(std::net::Shutdown::Read);
-        }
-        let addr = listener.local_addr().ok();
-        let conn_shared = Arc::clone(shared);
-        let handle = thread::Builder::new()
-            .name("dexlegod-conn".to_owned())
-            .spawn(move || {
-                let _ = handle_connection(stream, &conn_shared, addr);
-            });
-        if let Ok(handle) = handle {
-            shared.conns.lock().unwrap().push(handle);
-        }
-    }
-}
-
-fn write_line(writer: &mut TcpStream, reply: String) -> io::Result<()> {
-    // One write per line: interleaving payload and newline as separate
-    // small writes stalls on Nagle + delayed-ACK.
-    let mut framed = reply;
-    framed.push('\n');
-    writer.write_all(framed.as_bytes())?;
-    writer.flush()
-}
-
-fn handle_connection(
+/// Per-connection state owned by the event loop.
+struct Conn {
     stream: TcpStream,
-    shared: &Arc<Shared>,
-    addr: Option<SocketAddr>,
-) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        shared.stats.lock().unwrap().requests += 1;
-        let reply = match parse_request(&line) {
-            Err(reason) => {
-                shared.stats.lock().unwrap().errors += 1;
-                error_reply(&reason)
-            }
-            Ok(Request::Ping) => json::object(&[("status", json::string("ok"))]),
-            Ok(Request::Stats) => stats_reply(shared),
-            Ok(Request::Shutdown) => {
-                write_line(&mut writer, json::object(&[("status", json::string("ok"))]))?;
-                if let Some(addr) = addr {
-                    request_shutdown(shared, addr);
-                }
-                return Ok(());
-            }
-            Ok(Request::Extract(req)) => handle_extract(shared, &req),
-        };
-        write_line(&mut writer, reply)?;
-    }
-    Ok(())
+    framer: Framer,
+    /// Reply bytes not yet accepted by the kernel; `out_pos` marks how far
+    /// the short writes have gotten.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Parsed extract requests awaiting dispatch, FIFO.
+    pending: VecDeque<PendingJob>,
+    /// Jobs from this connection currently in the pool.
+    dispatched: usize,
+    /// Next sequence number to assign to an id-less request.
+    ordered_next_assign: u64,
+    /// Next sequence number whose reply may go on the wire.
+    ordered_next_send: u64,
+    /// Completed ordered replies waiting for their turn.
+    ordered_ready: BTreeMap<u64, String>,
+    /// EOF seen (or shutdown): no more requests will be read.
+    read_closed: bool,
+    /// Reading suspended by write backpressure.
+    paused: bool,
+    /// Fatal transport error; awaiting cleanup.
+    dead: bool,
+    /// Whether this token is already queued for round-robin dispatch.
+    in_rr: bool,
+    /// The interest set currently registered with the poller.
+    interest: Interest,
 }
 
-fn handle_extract(shared: &Arc<Shared>, req: &crate::protocol::ExtractRequest) -> String {
-    let seq = shared.next_job.fetch_add(1, Ordering::Relaxed);
-    let fallback = format!("req{seq:06}");
-    let spec = match req.to_spec(&fallback) {
-        Ok(spec) => spec,
-        Err(reason) => {
-            shared.stats.lock().unwrap().errors += 1;
-            return error_reply(&reason);
-        }
-    };
+impl Conn {
+    fn unsent(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
 
-    // Fast path: a result already in the store is served inline, so cache
-    // hits are never shed by admission control. (A corrupt entry makes
-    // this path run the pipeline on the handler thread — rare, and still
-    // correct.)
-    let cached_already = job_key(&spec).is_some_and(|key| shared.store.contains(&key));
-    let (report, dex) = if cached_already {
-        (shared.exec)(spec)
-    } else {
-        match shared.pool.try_submit(spec) {
-            Err(_rejected) => {
-                let mut stats = shared.stats.lock().unwrap();
-                stats.rejected += 1;
-                return json::object(&[
-                    ("status", json::string("overloaded")),
-                    ("in_flight", shared.pool.in_flight().to_string()),
-                ]);
+    fn queue_reply(&mut self, slot: &ReplySlot, reply: String) {
+        match slot {
+            ReplySlot::Tagged(id) => push_line(&mut self.out, &with_id(id, &reply)),
+            ReplySlot::Ordered(seq) => {
+                self.ordered_ready.insert(*seq, reply);
+                while let Some(line) = self.ordered_ready.remove(&self.ordered_next_send) {
+                    push_line(&mut self.out, &line);
+                    self.ordered_next_send += 1;
+                }
             }
-            Ok(rx) => match rx.recv() {
-                Ok(result) => result,
-                Err(_) => return error_reply("worker dropped the job"),
-            },
         }
-    };
+    }
 
-    shared.stats.lock().unwrap().absorb(&report);
+    /// Work that still ties this connection to the loop.
+    fn idle(&self) -> bool {
+        self.pending.is_empty()
+            && self.dispatched == 0
+            && self.unsent() == 0
+            && self.ordered_ready.is_empty()
+    }
+}
+
+fn push_line(out: &mut Vec<u8>, line: &str) {
+    // One contiguous append per line: payload and newline never go out as
+    // separate small writes (Nagle + delayed-ACK stalls).
+    out.reserve(line.len() + 1);
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+}
+
+/// Injects `"id": …` as the first member of an already-serialised reply
+/// object. Every reply is built by `json::object`, so the line always
+/// starts with `{` and always has at least a `status` member.
+fn with_id(id: &RequestId, reply: &str) -> String {
+    debug_assert!(reply.starts_with('{') && !reply.starts_with("{}"));
+    format!("{{\"id\": {}, {}", id.encode(), &reply[1..])
+}
+
+struct EventLoop {
+    config: ServiceConfig,
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    poller: Poller,
+    shared: Arc<Shared>,
+    conns: HashMap<usize, Conn>,
+    /// Round-robin dispatch order over connections with pending requests.
+    rr: VecDeque<usize>,
+    next_token: usize,
+    /// Jobs currently in the pool across all connections (dead ones
+    /// included, until their completions drain).
+    total_dispatched: usize,
+    draining: bool,
+    drain_started: Option<Instant>,
+}
+
+impl EventLoop {
+    fn new(
+        config: ServiceConfig,
+        listener: TcpListener,
+        wake_rx: UnixStream,
+        poller: Poller,
+        shared: Arc<Shared>,
+    ) -> EventLoop {
+        EventLoop {
+            config,
+            listener: Some(listener),
+            wake_rx,
+            poller,
+            shared,
+            conns: HashMap::new(),
+            rr: VecDeque::new(),
+            next_token: TOKEN_FIRST_CONN,
+            total_dispatched: 0,
+            draining: false,
+            drain_started: None,
+        }
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            self.drain_completions();
+            if self.shared.shutting_down.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            self.shed_expired();
+            self.dispatch();
+            self.enforce_pending_bounds();
+            self.flush_and_update_interests();
+            self.reap();
+            if self.drained() {
+                break;
+            }
+            let timeout = self.next_timeout();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // A failing poller is unrecoverable; drop everything so
+                // clients see EOF rather than a wedged daemon.
+                break;
+            }
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => drain_wake_pipe(&self.wake_rx),
+                    token => self.conn_ready(token, *ev),
+                }
+            }
+        }
+    }
+
+    /// Moves completed pool jobs into their connections' write buffers.
+    fn drain_completions(&mut self) {
+        let batch = std::mem::take(
+            &mut *self
+                .shared
+                .notifier
+                .completions
+                .lock()
+                .expect("completion queue lock"),
+        );
+        for completion in batch {
+            self.total_dispatched -= 1;
+            let (report, dex) = completion.result;
+            self.shared
+                .stats
+                .lock()
+                .expect("stats lock")
+                .absorb(&report);
+            let reply = extract_reply(&report, dex.as_deref());
+            if let Some(conn) = self.conns.get_mut(&completion.token) {
+                conn.dispatched -= 1;
+                conn.queue_reply(&completion.slot, reply);
+            }
+            // A vanished connection just drops the reply; the job ran and
+            // (if cacheable) was stored either way.
+        }
+    }
+
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_started = Some(Instant::now());
+        if let Some(listener) = self.listener.take() {
+            self.poller.deregister(listener.as_raw_fd());
+        }
+        // Stop reading new requests everywhere; everything already parsed
+        // (pending or dispatched) still completes and its reply flushes.
+        for conn in self.conns.values_mut() {
+            conn.read_closed = true;
+        }
+    }
+
+    /// Sheds every pending request whose deadline passed before dispatch.
+    fn shed_expired(&mut self) {
+        let now = Instant::now();
+        let mut shed: u64 = 0;
+        for conn in self.conns.values_mut() {
+            let mut kept = VecDeque::with_capacity(conn.pending.len());
+            let jobs: Vec<PendingJob> = conn.pending.drain(..).collect();
+            for job in jobs {
+                match job.deadline {
+                    Some(deadline) if now >= deadline => {
+                        shed += 1;
+                        let waited_ms = now.duration_since(job.received).as_millis() as u64;
+                        conn.queue_reply(
+                            &job.slot,
+                            json::object(&[
+                                ("status", json::string("deadline_exceeded")),
+                                ("waited_ms", waited_ms.to_string()),
+                            ]),
+                        );
+                    }
+                    _ => kept.push_back(job),
+                }
+            }
+            conn.pending = kept;
+        }
+        if shed > 0 {
+            self.shared
+                .stats
+                .lock()
+                .expect("stats lock")
+                .deadline_exceeded += shed;
+        }
+    }
+
+    /// Feeds the pool round-robin, one pending request per connection per
+    /// turn, until the pool refuses.
+    fn dispatch(&mut self) {
+        while let Some(token) = self.rr.pop_front() {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            conn.in_rr = false;
+            if conn.dead {
+                continue;
+            }
+            let Some(PendingJob {
+                slot,
+                spec,
+                received,
+                deadline,
+            }) = conn.pending.pop_front()
+            else {
+                continue;
+            };
+            let notify_token = token;
+            let notify_slot = slot.clone();
+            let notifier = Arc::clone(&self.shared.notifier);
+            match self.shared.pool.try_submit_notify(
+                spec,
+                Box::new(move |result| {
+                    notifier.push(Completion {
+                        token: notify_token,
+                        slot: notify_slot,
+                        result,
+                    });
+                }),
+            ) {
+                Ok(()) => {
+                    conn.dispatched += 1;
+                    self.total_dispatched += 1;
+                    if !conn.pending.is_empty() {
+                        conn.in_rr = true;
+                        self.rr.push_back(token);
+                    }
+                }
+                Err(spec) => {
+                    // Pool saturated: put the job back at the head and this
+                    // connection back at the front so order is preserved,
+                    // then stop until a completion frees a slot.
+                    conn.pending.push_front(PendingJob {
+                        slot,
+                        spec,
+                        received,
+                        deadline,
+                    });
+                    conn.in_rr = true;
+                    self.rr.push_front(token);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Sheds the newest pending requests of any connection holding more
+    /// than the configured bound (the oldest keep their place in line).
+    fn enforce_pending_bounds(&mut self) {
+        let limit = self.config.max_pending_per_conn;
+        let in_flight = self.shared.pool.in_flight().to_string();
+        let mut shed: u64 = 0;
+        for conn in self.conns.values_mut() {
+            while conn.pending.len() > limit {
+                let job = conn.pending.pop_back().expect("len checked");
+                shed += 1;
+                conn.queue_reply(
+                    &job.slot,
+                    json::object(&[
+                        ("status", json::string("overloaded")),
+                        ("in_flight", in_flight.clone()),
+                    ]),
+                );
+            }
+        }
+        if shed > 0 {
+            self.shared.stats.lock().expect("stats lock").rejected += shed;
+        }
+    }
+
+    /// Flushes write buffers, applies backpressure state transitions, and
+    /// keeps each connection's poller registration in sync.
+    fn flush_and_update_interests(&mut self) {
+        let soft_cap = self.config.write_soft_cap;
+        let mut resume: Vec<usize> = Vec::new();
+        for (&token, conn) in &mut self.conns {
+            if conn.dead {
+                continue;
+            }
+            flush_conn(conn);
+            if conn.dead {
+                continue;
+            }
+            if conn.paused && conn.unsent() <= soft_cap {
+                conn.paused = false;
+                // Lines may already be framed and waiting; pump them now
+                // that the client is reading again.
+                resume.push(token);
+            } else if !conn.paused && conn.unsent() > soft_cap {
+                conn.paused = true;
+            }
+        }
+        for token in resume {
+            self.pump_conn(token);
+        }
+        for (&token, conn) in &mut self.conns {
+            if conn.dead {
+                continue;
+            }
+            let desired = Interest {
+                readable: !conn.read_closed && !conn.paused,
+                writable: conn.unsent() > 0,
+            };
+            if desired != conn.interest
+                && self
+                    .poller
+                    .reregister(conn.stream.as_raw_fd(), token, desired)
+                    .is_ok()
+            {
+                conn.interest = desired;
+            }
+        }
+    }
+
+    /// Closes connections with nothing left to do or say.
+    fn reap(&mut self) {
+        let force_close = self
+            .drain_started
+            .is_some_and(|t| t.elapsed() > self.config.shutdown_flush_grace);
+        let goners: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.dead || (c.read_closed && c.idle()) || (force_close && c.dispatched == 0)
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in goners {
+            if let Some(conn) = self.conns.remove(&token) {
+                self.poller.deregister(conn.stream.as_raw_fd());
+                // Dropping the stream closes it; any unflushed bytes are
+                // lost, which only happens on transport errors or a client
+                // that stopped reading across the whole shutdown grace.
+            }
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.draining && self.total_dispatched == 0 && self.conns.is_empty()
+    }
+
+    /// The poller timeout: the earliest pending deadline, if any.
+    fn next_timeout(&self) -> Option<Duration> {
+        let now = Instant::now();
+        let mut soonest: Option<Duration> = None;
+        for conn in self.conns.values() {
+            for job in &conn.pending {
+                if let Some(deadline) = job.deadline {
+                    let left = deadline.saturating_duration_since(now);
+                    soonest = Some(match soonest {
+                        Some(cur) => cur.min(left),
+                        None => left,
+                    });
+                }
+            }
+        }
+        // While draining, wake periodically so the flush grace can expire
+        // even if no I/O ever becomes ready.
+        if self.draining {
+            let tick = Duration::from_millis(50);
+            soonest = Some(soonest.map_or(tick, |s| s.min(tick)));
+        }
+        soonest
+    }
+
+    fn accept_ready(&mut self) {
+        let Some(listener) = &self.listener else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            framer: Framer::new(self.config.max_line_bytes),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            pending: VecDeque::new(),
+                            dispatched: 0,
+                            ordered_next_assign: 0,
+                            ordered_next_send: 0,
+                            ordered_ready: BTreeMap::new(),
+                            read_closed: false,
+                            paused: false,
+                            dead: false,
+                            in_rr: false,
+                            interest: Interest::READ,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: usize, ev: Event) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if ev.writable {
+            flush_conn(conn);
+        }
+        if ev.readable && !conn.read_closed && !conn.paused {
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.framer.push(&buf[..n]);
+                        // Don't slurp unboundedly from one firehose client
+                        // in a single turn; level-triggered polling will
+                        // deliver the rest next iteration.
+                        if conn.framer.buffered() > 256 * 1024 {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            self.pump_conn(token);
+        }
+    }
+
+    /// Parses and handles every complete line buffered on `token`, until
+    /// backpressure pauses the connection.
+    fn pump_conn(&mut self, token: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.dead || conn.paused {
+                return;
+            }
+            if conn.unsent() > self.config.write_soft_cap {
+                conn.paused = true;
+                return;
+            }
+            let Some(frame) = conn.framer.pop() else {
+                return;
+            };
+            match frame {
+                Ok(line) => self.handle_line(token, &line),
+                Err(e) => {
+                    let conn = self.conns.get_mut(&token).expect("conn still present");
+                    let slot = next_slot(conn, None);
+                    let mut stats = self.shared.stats.lock().expect("stats lock");
+                    stats.requests += 1;
+                    stats.errors += 1;
+                    drop(stats);
+                    conn.queue_reply(&slot, error_reply(&e.reason()));
+                }
+            }
+        }
+    }
+
+    fn handle_line(&mut self, token: usize, line: &str) {
+        self.shared.stats.lock().expect("stats lock").requests += 1;
+        let (id, parsed) = parse_request_line(line);
+        let conn = self.conns.get_mut(&token).expect("conn present in pump");
+        let slot = next_slot(conn, id);
+        match parsed {
+            Err(reason) => {
+                self.shared.stats.lock().expect("stats lock").errors += 1;
+                conn.queue_reply(&slot, error_reply(&reason));
+            }
+            Ok(Request::Ping) => {
+                conn.queue_reply(&slot, json::object(&[("status", json::string("ok"))]));
+            }
+            Ok(Request::Stats) => {
+                let reply = stats_reply(&self.shared);
+                let conn = self.conns.get_mut(&token).expect("conn present");
+                conn.queue_reply(&slot, reply);
+            }
+            Ok(Request::Shutdown) => {
+                conn.queue_reply(&slot, json::object(&[("status", json::string("ok"))]));
+                self.shared.shutting_down.store(true, Ordering::SeqCst);
+            }
+            Ok(Request::Extract(req)) => self.handle_extract(token, slot, &req),
+        }
+    }
+
+    fn handle_extract(
+        &mut self,
+        token: usize,
+        slot: ReplySlot,
+        req: &crate::protocol::ExtractRequest,
+    ) {
+        let seq = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
+        let fallback = format!("req{seq:06}");
+        let spec = match req.to_spec(&fallback) {
+            Ok(spec) => spec,
+            Err(reason) => {
+                self.shared.stats.lock().expect("stats lock").errors += 1;
+                let conn = self.conns.get_mut(&token).expect("conn present");
+                conn.queue_reply(&slot, error_reply(&reason));
+                return;
+            }
+        };
+
+        // Fast path: a result already in the store is served inline, so
+        // cache hits are never shed by admission control or queued behind
+        // slow extractions. A corrupt entry (get quarantines it and
+        // returns None) falls through to a normal dispatch.
+        if job_key(&spec).is_some_and(|key| self.shared.store.contains(&key)) {
+            let start = Instant::now();
+            let key = job_key(&spec).expect("key just computed");
+            if let Some(hit) = self.shared.store.get(&key) {
+                let packer = spec.packer.map(|id| id.profile().name);
+                let mut report = from_cached(&spec.name, packer, &hit);
+                report.wall_us = start.elapsed().as_micros() as u64;
+                self.shared
+                    .stats
+                    .lock()
+                    .expect("stats lock")
+                    .absorb(&report);
+                let reply = extract_reply(&report, Some(&hit.dex_bytes));
+                let conn = self.conns.get_mut(&token).expect("conn present");
+                conn.queue_reply(&slot, reply);
+                return;
+            }
+        }
+
+        let received = Instant::now();
+        let deadline = req
+            .deadline_ms
+            .map(|ms| received + Duration::from_millis(ms));
+        let conn = self.conns.get_mut(&token).expect("conn present");
+        conn.pending.push_back(PendingJob {
+            slot,
+            spec,
+            received,
+            deadline,
+        });
+        if !conn.in_rr {
+            conn.in_rr = true;
+            self.rr.push_back(token);
+        }
+    }
+}
+
+/// Derives the reply slot for a request: its id, or the connection's next
+/// ordered sequence number.
+fn next_slot(conn: &mut Conn, id: Option<RequestId>) -> ReplySlot {
+    match id {
+        Some(id) => ReplySlot::Tagged(id),
+        None => {
+            let seq = conn.ordered_next_assign;
+            conn.ordered_next_assign += 1;
+            ReplySlot::Ordered(seq)
+        }
+    }
+}
+
+fn flush_conn(conn: &mut Conn) {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    if conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    } else if conn.out_pos > 64 * 1024 {
+        // Compact occasionally so a long-lived slow reader does not pin
+        // the already-sent prefix forever.
+        conn.out.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+}
+
+fn drain_wake_pipe(wake_rx: &UnixStream) {
+    let mut buf = [0u8; 256];
+    loop {
+        match (&*wake_rx).read(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break, // WouldBlock: drained
+        }
+    }
+}
+
+fn extract_reply(report: &JobReport, dex: Option<&[u8]>) -> String {
     if report.status.is_ok() {
-        let dex_hex = dexlego_store::hex::to_hex(dex.as_deref().unwrap_or_default());
+        let dex_hex = dexlego_store::hex::to_hex(dex.unwrap_or_default());
         json::object(&[
             ("status", json::string("ok")),
             ("cached", report.cached.to_string()),
@@ -383,7 +1017,7 @@ fn stats_reply(shared: &Shared) -> String {
             (store.quarantined - opened.quarantined).to_string(),
         ),
     ]);
-    let stats = shared.stats.lock().unwrap();
+    let stats = shared.stats.lock().expect("stats lock");
     let phases: Vec<(String, String)> = stats
         .phases_us
         .iter()
@@ -407,6 +1041,7 @@ fn stats_reply(shared: &Shared) -> String {
         ("hits", stats.hits.to_string()),
         ("misses", stats.misses.to_string()),
         ("rejected", stats.rejected.to_string()),
+        ("deadline_exceeded", stats.deadline_exceeded.to_string()),
         ("errors", stats.errors.to_string()),
         ("failed", stats.failed.to_string()),
         ("quickens", stats.quickens.to_string()),

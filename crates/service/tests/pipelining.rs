@@ -1,0 +1,172 @@
+//! Multiplexing semantics over a live daemon: tagged requests complete
+//! out of order, id-less requests keep the old strictly-ordered contract
+//! (the blocking [`Client`] compatibility dialect), and deadlines shed
+//! work that cannot start in time.
+
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use dexlego_dex::writer::write_dex;
+use dexlego_droidbench::appgen::corpus_apps;
+use dexlego_harness::json::Value;
+use dexlego_harness::{JobReport, JobSpec, PoolExecutor};
+use dexlego_service::{
+    Client, Daemon, ExtractReply, ExtractRequest, PipelinedClient, Reply, ServiceConfig,
+};
+use dexlego_store::{Store, StoreConfig, TempDir};
+
+fn sample_request(name: &str) -> ExtractRequest {
+    let (_, app) = corpus_apps(1, 40).into_iter().next().unwrap();
+    let dex = write_dex(&app.dex).expect("serialise generated app");
+    let mut req = ExtractRequest::new(dex, &app.entry);
+    req.name = Some(name.to_owned());
+    req
+}
+
+/// A daemon whose executor sleeps for a per-job duration looked up by job
+/// name, so tests control exactly which request finishes first.
+fn delay_daemon(dir: &TempDir, delays: Vec<(&'static str, u64)>) -> Daemon {
+    let store = Arc::new(Store::open(StoreConfig::new(dir.path())).unwrap());
+    let exec: PoolExecutor = Arc::new(move |spec: JobSpec| {
+        let ms = delays
+            .iter()
+            .find(|(name, _)| *name == spec.name)
+            .map_or(0, |(_, ms)| *ms);
+        std::thread::sleep(Duration::from_millis(ms));
+        (JobReport::empty(spec.name.clone(), None), Some(Vec::new()))
+    });
+    let mut config = ServiceConfig::new(dir.path());
+    config.workers = 2; // both jobs run concurrently
+    Daemon::start_with_executor(config, store, exec).expect("daemon starts")
+}
+
+fn report_name(reply: &Reply) -> String {
+    let Reply::Ok(value) = reply else {
+        panic!("expected ok reply, got {reply:?}");
+    };
+    value
+        .get("report")
+        .and_then(|r| r.get("name"))
+        .and_then(Value::as_str)
+        .expect("report carries the job name")
+        .to_owned()
+}
+
+/// Old dialect, new server: two pipelined id-less extracts — a slow one
+/// then a fast one — must reply strictly in request order, even though
+/// the fast one finishes first. This is the contract the blocking
+/// [`Client`] silently relies on.
+#[test]
+fn idless_requests_reply_strictly_in_request_order() {
+    let dir = TempDir::new("service-ordered").unwrap();
+    let daemon = delay_daemon(&dir, vec![("slow", 400), ("fast", 0)]);
+
+    let mut client = Client::connect(&daemon.addr().to_string()).expect("connect");
+    client
+        .send_line(&sample_request("slow").encode())
+        .expect("send slow");
+    client
+        .send_line(&sample_request("fast").encode())
+        .expect("send fast");
+
+    let first = client.recv().expect("first reply");
+    let second = client.recv().expect("second reply");
+    assert_eq!(report_name(&first), "slow", "first in, first answered");
+    assert_eq!(report_name(&second), "fast");
+
+    client.shutdown().expect("shutdown");
+    daemon.wait();
+}
+
+/// New dialect: the same slow/fast pair with ids completes out of order —
+/// the fast job's reply overtakes the slow one on the same connection.
+#[test]
+fn tagged_requests_reply_out_of_order() {
+    let dir = TempDir::new("service-unordered").unwrap();
+    let daemon = delay_daemon(&dir, vec![("slow", 400), ("fast", 0)]);
+
+    let mut client = PipelinedClient::connect(&daemon.addr().to_string()).expect("connect");
+    let slow_id = client
+        .send_extract(&sample_request("slow"))
+        .expect("send slow");
+    let fast_id = client
+        .send_extract(&sample_request("fast"))
+        .expect("send fast");
+
+    let (first_id, first) = client.recv_extract().expect("first reply");
+    let (second_id, second) = client.recv_extract().expect("second reply");
+    assert_eq!(first_id, fast_id, "fast job overtakes the slow one");
+    assert_eq!(second_id, slow_id);
+    assert!(matches!(first, ExtractReply::Done { .. }));
+    assert!(matches!(second, ExtractReply::Done { .. }));
+
+    client.shutdown().expect("shutdown");
+    daemon.wait();
+}
+
+/// A request whose deadline passes while it waits for pool capacity is
+/// shed with `deadline_exceeded` — and the reply overtakes the jobs that
+/// are still hogging the pool.
+#[test]
+fn deadlines_shed_requests_that_cannot_start_in_time() {
+    let dir = TempDir::new("service-deadline").unwrap();
+    let store = Arc::new(Store::open(StoreConfig::new(dir.path())).unwrap());
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let release_rx = Mutex::new(release_rx);
+    let exec: PoolExecutor = Arc::new(move |spec: JobSpec| {
+        release_rx.lock().unwrap().recv().expect("release signal");
+        (JobReport::empty(spec.name.clone(), None), Some(Vec::new()))
+    });
+    let mut config = ServiceConfig::new(dir.path());
+    config.workers = 1;
+    config.queue_depth = 1;
+    let daemon = Daemon::start_with_executor(config, store, exec).expect("daemon starts");
+
+    let mut client = PipelinedClient::connect(&daemon.addr().to_string()).expect("connect");
+    // A and B fill the pool (1 running + 1 queued); C can only wait, and
+    // its 80ms deadline expires long before anything is released.
+    let a = client.send_extract(&sample_request("a")).expect("send a");
+    let b = client.send_extract(&sample_request("b")).expect("send b");
+    let mut hopeless = sample_request("c");
+    hopeless.deadline_ms = Some(80);
+    let c = client.send_extract(&hopeless).expect("send c");
+
+    let (first_id, first) = client.recv_extract().expect("shed reply");
+    assert_eq!(first_id, c, "the deadline casualty answers first");
+    let ExtractReply::DeadlineExceeded { waited_ms } = first else {
+        panic!("expected deadline_exceeded, got {first:?}");
+    };
+    assert!(waited_ms >= 80, "waited at least the deadline: {waited_ms}");
+
+    release_tx.send(()).expect("release a");
+    release_tx.send(()).expect("release b");
+    let (id1, done1) = client.recv_extract().expect("a completes");
+    let (id2, done2) = client.recv_extract().expect("b completes");
+    let mut ids = [id1, id2];
+    ids.sort_unstable();
+    assert_eq!(ids, [a, b], "admitted work still completes");
+    assert!(matches!(done1, ExtractReply::Done { .. }));
+    assert!(matches!(done2, ExtractReply::Done { .. }));
+
+    client.shutdown().expect("shutdown");
+    daemon.wait();
+}
+
+/// A deadline generous enough for the queue wait changes nothing: the
+/// request executes normally and the deadline never appears on the wire.
+#[test]
+fn unexpired_deadlines_do_not_shed() {
+    let dir = TempDir::new("service-deadline-ok").unwrap();
+    let daemon = delay_daemon(&dir, vec![("fine", 0)]);
+
+    let mut client = PipelinedClient::connect(&daemon.addr().to_string()).expect("connect");
+    let mut req = sample_request("fine");
+    req.deadline_ms = Some(30_000);
+    let id = client.send_extract(&req).expect("send");
+    let (got, reply) = client.recv_extract().expect("reply");
+    assert_eq!(got, id);
+    assert!(matches!(reply, ExtractReply::Done { .. }));
+
+    client.shutdown().expect("shutdown");
+    daemon.wait();
+}

@@ -122,6 +122,9 @@ fn saturated_pool_sheds_requests_and_drains_on_shutdown() {
     let mut config = ServiceConfig::new(dir.path());
     config.workers = 1;
     config.queue_depth = 1;
+    // No event-loop-side queueing: a request that cannot enter the pool
+    // immediately is shed, reproducing strict admission-control shedding.
+    config.max_pending_per_conn = 0;
     let daemon = Daemon::start_with_executor(config, store, exec).expect("daemon starts");
     let addr = daemon.addr().to_string();
 

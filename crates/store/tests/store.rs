@@ -184,6 +184,114 @@ fn concurrent_get_or_fill_runs_exactly_one_fill() {
 }
 
 #[test]
+fn fill_gate_stays_correct_while_eviction_churns() {
+    // Readers hammer one hot key through the fill gate while a churn
+    // thread floods the store with distinct entries under a budget tight
+    // enough to keep the evictor running. The hot key may be evicted and
+    // legitimately refilled any number of times, but every single read
+    // must observe a complete, checksum-valid copy — never a torn or
+    // mixed value — and nothing may be quarantined.
+    let dir = TempDir::new("store-churn").unwrap();
+    // Budget for roughly three 256-byte entries.
+    let entry_bytes = {
+        let probe = TempDir::new("store-churn-probe").unwrap();
+        let s = Store::open(StoreConfig::new(probe.path())).unwrap();
+        s.put(&key(9), &result(256, 9)).unwrap();
+        s.stats().bytes
+    };
+    let store = Arc::new(
+        Store::open(StoreConfig::new(dir.path()).with_budget(3 * entry_bytes + 10)).unwrap(),
+    );
+    let fills = Arc::new(AtomicUsize::new(0));
+    const READERS: usize = 4;
+    const READS: usize = 60;
+    let hot = key(42);
+    let expected = result(256, 42);
+
+    std::thread::scope(|scope| {
+        // Eviction pressure: a stream of distinct keys, each put forcing
+        // the store back under budget.
+        let churn_store = Arc::clone(&store);
+        scope.spawn(move || {
+            for i in 0..200u8 {
+                if i != 42 {
+                    churn_store.put(&key(i), &result(256, i)).unwrap();
+                }
+            }
+        });
+        for _ in 0..READERS {
+            let store = Arc::clone(&store);
+            let fills = Arc::clone(&fills);
+            let expected = expected.clone();
+            scope.spawn(move || {
+                for _ in 0..READS {
+                    let (got, _hit) = store.get_or_fill(&hot, || {
+                        fills.fetch_add(1, Ordering::SeqCst);
+                        Some(result(256, 42))
+                    });
+                    assert_eq!(
+                        got.expect("fill always produces a value"),
+                        expected,
+                        "read observed a torn or stale value"
+                    );
+                }
+            });
+        }
+    });
+
+    let fill_count = fills.load(Ordering::SeqCst);
+    assert!(fill_count >= 1, "the first read must fill");
+    assert!(
+        fill_count < READERS * READS,
+        "the gate deduplicated at least some concurrent fills"
+    );
+    assert_eq!(
+        store.stats().quarantined,
+        0,
+        "no reader ever saw a corrupt entry under churn"
+    );
+}
+
+#[test]
+fn concurrent_replacement_is_atomic_to_readers() {
+    // Two writers replace the same key with distinguishable payloads
+    // while readers poll it: every read must decode to exactly one of the
+    // two complete values (write-then-rename makes replacement atomic),
+    // with no quarantines from half-written objects.
+    let dir = TempDir::new("store-replace-race").unwrap();
+    let store = Arc::new(Store::open(StoreConfig::new(dir.path())).unwrap());
+    let k = key(7);
+    store.put(&k, &result(512, 1)).unwrap();
+    let one = result(512, 1);
+    let two = result(512, 2);
+
+    std::thread::scope(|scope| {
+        for tag in [1u8, 2u8] {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    store.put(&k, &result(512, tag)).unwrap();
+                }
+            });
+        }
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            let (one, two) = (one.clone(), two.clone());
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    let got = store.get(&k).expect("key never disappears");
+                    assert!(
+                        got == one || got == two,
+                        "read returned a value neither writer wrote"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(store.stats().quarantined, 0, "no torn object was served");
+}
+
+#[test]
 fn sharded_layout_and_key_hex() {
     let dir = TempDir::new("store-shard").unwrap();
     let store = Store::open(StoreConfig::new(dir.path())).unwrap();

@@ -2,7 +2,8 @@
 # Full check suite: release build, all tests, clippy as errors, formatting,
 # a sharded harness smoke run over every packer profile (fails on any
 # job panic, timeout, verifier rejection, validation finding, or
-# behavioural divergence), a taint-precision regression gate against a
+# behavioural divergence), a pipelined dexlegod load smoke, a
+# taint-precision regression gate against a
 # checked-in baseline, and a dexlegod service round-trip (second
 # identical extraction must be a byte-identical cache hit; graceful
 # shutdown must exit 0).
@@ -23,6 +24,12 @@ cargo run -p dexlego-bench --bin interp --release -- --smoke
 # Quickened fetch smoke: the quickened/fused fast path must not be slower
 # than per-step decoding either (prints the speedup ratios).
 cargo run -p dexlego-bench --bin interp --release -- --quick-smoke
+
+# Service load smoke: concurrent pipelined connections against a live
+# daemon — asserts zero protocol errors, no lost replies, a fully warm
+# second pass outrunning the cold one, and pipelining beating the serial
+# one-in-flight protocol on the warm turnaround probe.
+cargo run -p dexlego-bench --bin service --release -- --smoke
 
 # Taint-precision gate: every tool misclassification on the original
 # corpus must already be in the checked-in baseline — a change that
