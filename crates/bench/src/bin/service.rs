@@ -4,19 +4,38 @@
 //! ```text
 //! cargo run -p dexlego-bench --bin service --release -- \
 //!     [--conns N] [--requests N] [--window N] [--insns N] \
-//!     [--deadline-ms N] [--workers N] [--smoke]
+//!     [--deadline-ms N] [--workers N] [--router N] [--hedge-ms N] \
+//!     [--stall-period-ms N] [--stall-ms N] [--smoke]
 //! ```
+//!
+//! `--router N` switches to fleet mode: the same load shape driven
+//! through `dexlego-router` fronting `N` in-process backends, emitting
+//! the BENCH_router.json shape (warm tails with and without hedging, a
+//! single-backend-via-router baseline, and a kill-one-backend pass).
+//! Every backend — fleet and baseline alike — gets the same injected
+//! straggler profile (`--stall-period-ms` / `--stall-ms`), the tail-at-scale
+//! methodology: stalls cost no CPU, so the comparison measures how each
+//! topology absorbs a stuck shard rather than raw machine parallelism.
 //!
 //! `--smoke` runs a small fixed shape and asserts the qualitative
 //! invariants (`verify.sh` uses it as a regression gate): no protocol
 //! errors, a fully warm second pass, and pipelining beating the serial
-//! one-in-flight protocol on the warm path.
+//! one-in-flight protocol on the warm path. Combined with `--router`,
+//! the smoke instead asserts the fleet contract: replication happened,
+//! the hedged fleet's warm p999 does not lose to the single-backend
+//! baseline, and killing a backend mid-pass produced zero error
+//! replies.
 
+use dexlego_bench::router::{run_fleet, FleetConfig};
 use dexlego_bench::service::{run, LoadConfig};
 
 fn main() {
     let mut config = LoadConfig::default();
     let mut smoke = false;
+    let mut router_backends = 0usize;
+    let mut hedge_ms = 20u64;
+    let mut stall_period_ms = 280u64;
+    let mut stall_ms = 90u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -31,6 +50,10 @@ fn main() {
             "--insns" => config.insns = value("--insns"),
             "--deadline-ms" => config.deadline_ms = Some(value("--deadline-ms") as u64),
             "--workers" => config.workers = value("--workers"),
+            "--router" => router_backends = value("--router"),
+            "--hedge-ms" => hedge_ms = value("--hedge-ms") as u64,
+            "--stall-period-ms" => stall_period_ms = value("--stall-period-ms") as u64,
+            "--stall-ms" => stall_ms = value("--stall-ms") as u64,
             "--smoke" => smoke = true,
             other => panic!("unknown argument: {other}"),
         }
@@ -44,6 +67,30 @@ fn main() {
             deadline_ms: None,
             workers: 2,
         };
+        if router_backends > 0 {
+            router_backends = 3;
+            // Long enough that every warm round spans at least one full
+            // stall window (wall > period + width), so best-of-rounds
+            // cannot dodge the injected stragglers on any topology.
+            config.requests_per_conn = 220;
+            // Light pipelining keeps the healthy-path latency well under
+            // the hedge budget, so hedges fire on stalls, not on load.
+            config.window = 2;
+            hedge_ms = 20;
+            stall_period_ms = 280;
+            stall_ms = 90;
+        }
+    }
+
+    if router_backends > 0 {
+        run_router_mode(
+            router_backends,
+            hedge_ms,
+            (stall_period_ms, stall_ms),
+            config,
+            smoke,
+        );
+        return;
     }
 
     let bench = run(config);
@@ -67,5 +114,51 @@ fn main() {
             bench.pipelining_speedup
         );
         eprintln!("service load smoke: ok");
+    }
+}
+
+fn run_router_mode(
+    backends: usize,
+    hedge_ms: u64,
+    stall: (u64, u64),
+    load: LoadConfig,
+    smoke: bool,
+) {
+    let bench = run_fleet(FleetConfig {
+        backends,
+        hedge_ms,
+        stall_period_ms: stall.0,
+        stall_ms: stall.1,
+        load,
+    });
+    println!("{}", dexlego_bench::router::format(&bench));
+
+    if smoke {
+        let expected = bench.config.load.conns * bench.config.load.requests_per_conn;
+        for (name, pass) in [
+            ("cold", &bench.cold),
+            ("warm_hedged", &bench.warm_hedged),
+            ("warm_unhedged", &bench.warm_unhedged),
+            ("single_warm", &bench.single_warm),
+            ("kill_one_backend", &bench.kill),
+        ] {
+            assert_eq!(pass.protocol_errors, 0, "{name} pass saw error replies");
+            assert_eq!(pass.completed, expected, "{name} pass lost replies");
+        }
+        assert_eq!(
+            bench.counters.fleet_errors, 0,
+            "no request exhausted every candidate"
+        );
+        assert!(
+            bench.counters.replica_fills > 0,
+            "fresh fills were replicated"
+        );
+        assert!(
+            bench.warm_hedged.latency.p999_us <= bench.single_warm.latency.p999_us,
+            "hedged fleet warm p999 ({}us) lost to the single-backend baseline ({}us)",
+            bench.warm_hedged.latency.p999_us,
+            bench.single_warm.latency.p999_us
+        );
+        eprintln!("router fleet smoke: ok");
     }
 }

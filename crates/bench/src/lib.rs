@@ -9,7 +9,9 @@
 //! every number for EXPERIMENTS.md. The extra `service` binary is a load
 //! generator for a live `dexlegod` daemon — concurrent pipelined
 //! connections, cold vs warm passes, and a per-request latency
-//! distribution ([`service`] + [`stats`], emitting BENCH_service.json).
+//! distribution ([`service`] + [`stats`], emitting BENCH_service.json);
+//! `service --router N` drives the same shape through a `dexlego-router`
+//! fleet ([`router`], emitting BENCH_router.json).
 //! `interp` compares decode-per-step against the predecoded code cache
 //! in instructions/sec ([`interp`], emitting BENCH_interp.json), and
 //! `taint_gate` is the taint-precision regression gate run by `verify.sh`
@@ -20,6 +22,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod filter;
 pub mod interp;
+pub mod router;
 pub mod service;
 pub mod stats;
 pub mod table1;

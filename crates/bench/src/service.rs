@@ -110,7 +110,7 @@ pub struct ServiceBench {
 /// Builds each connection's request list. Seeds are part of the job
 /// digest, so giving every request a unique seed makes every cold
 /// request a genuine miss and every warm replay a genuine hit.
-fn build_requests(config: &LoadConfig) -> Vec<Vec<ExtractRequest>> {
+pub(crate) fn build_requests(config: &LoadConfig) -> Vec<Vec<ExtractRequest>> {
     let packers = PackerId::table1();
     let apps = corpus_apps(config.conns, config.insns);
     apps.into_iter()
@@ -159,7 +159,11 @@ fn build_turnaround_probe(config: &LoadConfig) -> Vec<ExtractRequest> {
 
 /// Drives one connection for one pass: windowed pipelining until every
 /// request has its reply. Returns the latency samples (µs) and counters.
-fn drive_conn(addr: &str, requests: &[ExtractRequest], window: usize) -> (Vec<u64>, PassResult) {
+pub(crate) fn drive_conn(
+    addr: &str,
+    requests: &[ExtractRequest],
+    window: usize,
+) -> (Vec<u64>, PassResult) {
     let mut client = PipelinedClient::connect(addr).expect("connect");
     let mut result = PassResult::default();
     let mut samples = Vec::with_capacity(requests.len());
@@ -208,7 +212,7 @@ fn drive_conn(addr: &str, requests: &[ExtractRequest], window: usize) -> (Vec<u6
 
 /// One pass over all connections concurrently; merges the per-connection
 /// samples and counters under a single pass-wide clock.
-fn run_pass(addr: &str, requests: &[Vec<ExtractRequest>], window: usize) -> PassResult {
+pub(crate) fn run_pass(addr: &str, requests: &[Vec<ExtractRequest>], window: usize) -> PassResult {
     let start = Instant::now();
     let per_conn: Vec<(Vec<u64>, PassResult)> = std::thread::scope(|scope| {
         let handles: Vec<_> = requests
@@ -327,7 +331,7 @@ pub fn run(config: LoadConfig) -> ServiceBench {
     }
 }
 
-fn pass_json(pass: &PassResult) -> String {
+pub(crate) fn pass_json(pass: &PassResult) -> String {
     json::object(&[
         ("wall_s", format!("{:.3}", pass.wall_s)),
         ("completed", pass.completed.to_string()),

@@ -133,6 +133,30 @@ impl JobStatus {
         }
     }
 
+    /// Reconstructs a status from its wire `label` and optional `detail` —
+    /// the inverse of [`JobStatus::label`]/[`JobStatus::detail`], used when
+    /// a report travels back over the daemon protocol. Unknown labels map
+    /// to `None` so protocol evolution degrades to "failed, unrecognised"
+    /// at the caller rather than a panic here.
+    pub fn from_label(label: &str, detail: Option<&str>) -> Option<JobStatus> {
+        let msg = || detail.unwrap_or_default().to_owned();
+        Some(match label {
+            "ok" => JobStatus::Ok,
+            "timeout" => JobStatus::Timeout,
+            "panicked" => JobStatus::Panicked(msg()),
+            "setup-failed" => JobStatus::SetupFailed(msg()),
+            "reassembly-failed" => JobStatus::ReassemblyFailed(msg()),
+            "verifier-rejected" => JobStatus::VerifierRejected(msg()),
+            "validation-failed" => JobStatus::ValidationFailed(
+                detail
+                    .map(|d| d.split("; ").map(str::to_owned).collect())
+                    .unwrap_or_default(),
+            ),
+            "conformance-mismatch" => JobStatus::ConformanceMismatch(msg()),
+            _ => return None,
+        })
+    }
+
     /// Human-readable failure detail, if any.
     pub fn detail(&self) -> Option<String> {
         match self {

@@ -124,6 +124,33 @@ impl Value {
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
+
+    /// Serialises the value back to one JSON document. Numbers re-emit
+    /// their raw token, so a parse→serialise round trip is lossless for
+    /// `u64` payloads; object member order is preserved.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Null => "null".to_owned(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(raw) => raw.clone(),
+            Value::Str(s) => string(s),
+            Value::Arr(items) => {
+                let elements: Vec<String> = items.iter().map(Value::to_json).collect();
+                array(&elements)
+            }
+            Value::Obj(members) => {
+                let rendered: Vec<(String, String)> = members
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json()))
+                    .collect();
+                let borrowed: Vec<(&str, String)> = rendered
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.clone()))
+                    .collect();
+                object(&borrowed)
+            }
+        }
+    }
 }
 
 /// Parses exactly one JSON document (trailing whitespace allowed, trailing
@@ -448,5 +475,21 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn serialisation_round_trips_losslessly() {
+        for doc in [
+            r#"{"a": 1, "b": [true, null, "x\ny"], "c": {"n": 18446744073709551615}}"#,
+            r#"[{"k": "v"}, 0, -3.5]"#,
+            r#""just a string""#,
+        ] {
+            let value = parse(doc).expect("parses");
+            let emitted = value.to_json();
+            assert_eq!(parse(&emitted).expect("re-parses"), value, "{doc}");
+        }
+        // Exact-token check: a u64 past f64 precision survives verbatim.
+        let value = parse("18446744073709551615").unwrap();
+        assert_eq!(value.to_json(), "18446744073709551615");
     }
 }

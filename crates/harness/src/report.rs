@@ -6,9 +6,10 @@
 //! compared across revisions.
 
 use dexlego_core::RevealOutcome;
+use dexlego_packer::PackerId;
 
 use crate::job::JobStatus;
-use crate::json;
+use crate::json::{self, Value};
 
 /// Everything recorded about one job.
 #[derive(Debug, Clone)]
@@ -111,6 +112,67 @@ impl JobReport {
             .iter()
             .find(|(name, _)| name == phase)
             .map(|&(_, us)| us)
+    }
+
+    /// Reconstructs a report from the parsed JSON object emitted by
+    /// [`JobReport::to_json`] — the receive side of a report travelling
+    /// over the daemon wire protocol (the routing tier rebuilds batch-run
+    /// reports from extract replies). Missing numeric members default to
+    /// zero; an unknown packer name degrades to `None` (the display name
+    /// is reporting identity, not pipeline input).
+    ///
+    /// # Errors
+    ///
+    /// A missing `name` or an unrecognisable `status` label.
+    pub fn from_json(value: &Value) -> Result<JobReport, String> {
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "report without \"name\"".to_owned())?
+            .to_owned();
+        let label = value
+            .get("status")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "report without \"status\"".to_owned())?;
+        let detail = value.get("detail").and_then(Value::as_str);
+        let status = JobStatus::from_label(label, detail)
+            .ok_or_else(|| format!("unknown report status: {label}"))?;
+        let packer = value
+            .get("packer")
+            .and_then(Value::as_str)
+            .and_then(PackerId::by_name)
+            .map(|id| id.profile().name);
+        let num = |key: &str| value.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let phases_us = match value.get("phases_us") {
+            Some(Value::Obj(members)) => members
+                .iter()
+                .filter_map(|(phase, us)| us.as_u64().map(|us| (phase.clone(), us)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(JobReport {
+            name,
+            packer,
+            status,
+            cached: value
+                .get("cached")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            wall_us: num("wall_us"),
+            insns: num("insns"),
+            frames: num("frames"),
+            quickens: num("quickens"),
+            dequickens: num("dequickens"),
+            superinsn_hits: num("superinsn_hits"),
+            methods_collected: num("methods_collected") as usize,
+            insns_collected: num("insns_collected"),
+            dump_size: num("dump_size") as usize,
+            verifier_lints: num("verifier_lints") as usize,
+            verifier_errors: num("verifier_errors") as usize,
+            typed_methods: num("typed_methods") as usize,
+            typed_insns: num("typed_insns"),
+            phases_us,
+        })
     }
 
     /// This job as a JSON object.
@@ -271,5 +333,35 @@ mod tests {
         let j = sample_report(JobStatus::Ok);
         assert_eq!(j.phase_us("collect"), Some(42));
         assert_eq!(j.phase_us("missing"), None);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        for status in [
+            JobStatus::Ok,
+            JobStatus::Timeout,
+            JobStatus::Panicked("boom".to_owned()),
+            JobStatus::ValidationFailed(vec!["a".to_owned(), "b".to_owned()]),
+        ] {
+            let mut report = sample_report(status);
+            report.cached = true;
+            report.insns = 12;
+            report.typed_insns = 9;
+            let value = json::parse(&report.to_json()).expect("emitted JSON parses");
+            let back = JobReport::from_json(&value).expect("round trip");
+            assert_eq!(back.name, report.name);
+            assert_eq!(back.packer, report.packer);
+            assert_eq!(back.status.label(), report.status.label());
+            assert_eq!(back.status.detail(), report.status.detail());
+            assert_eq!(back.cached, report.cached);
+            assert_eq!(back.wall_us, report.wall_us);
+            assert_eq!(back.insns, report.insns);
+            assert_eq!(back.typed_insns, report.typed_insns);
+            assert_eq!(back.phases_us, report.phases_us);
+        }
+        let bad = json::parse(r#"{"name": "x", "status": "warped"}"#).unwrap();
+        assert!(JobReport::from_json(&bad).is_err());
+        let anonymous = json::parse(r#"{"status": "ok"}"#).unwrap();
+        assert!(JobReport::from_json(&anonymous).is_err());
     }
 }

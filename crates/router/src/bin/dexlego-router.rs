@@ -1,0 +1,97 @@
+//! The DexLego fleet router.
+//!
+//! ```text
+//! dexlego-router --backend HOST:PORT [--backend HOST:PORT ...]
+//!                [--addr HOST:PORT] [--replicas N] [--hedge-ms N]
+//!                [--vnodes N] [--seed N] [--workers N]
+//! ```
+//!
+//! Binds the front socket (port 0 picks an ephemeral port), prints
+//! `dexlego-router: listening on <addr>` on stdout, and serves the
+//! `dexlegod` wire dialect until a front `shutdown` request drains it.
+//! Backends are dialled lazily, so the fleet may come up in any order.
+//! Exits 0 after a graceful shutdown.
+
+use std::process::ExitCode;
+
+use dexlego_router::{Router, RouterConfig};
+
+fn parse_args() -> Result<RouterConfig, String> {
+    let mut listen = "127.0.0.1:0".to_owned();
+    let mut backends: Vec<String> = Vec::new();
+    let mut replicas: Option<usize> = None;
+    let mut hedge_ms: Option<u64> = None;
+    let mut vnodes: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut workers: Option<usize> = None;
+
+    fn parse_num<T: std::str::FromStr>(name: &str, raw: String) -> Result<T, String> {
+        raw.parse().map_err(|_| format!("{name} expects a number"))
+    }
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => listen = value("--addr")?,
+            "--backend" => backends.push(value("--backend")?),
+            "--replicas" => replicas = Some(parse_num("--replicas", value("--replicas")?)?),
+            "--hedge-ms" => hedge_ms = Some(parse_num("--hedge-ms", value("--hedge-ms")?)?),
+            "--vnodes" => vnodes = Some(parse_num("--vnodes", value("--vnodes")?)?),
+            "--seed" => seed = Some(parse_num("--seed", value("--seed")?)?),
+            "--workers" => workers = Some(parse_num("--workers", value("--workers")?)?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if backends.is_empty() {
+        return Err("at least one --backend is required".to_owned());
+    }
+
+    let mut config = RouterConfig::new(backends);
+    config.listen = listen;
+    if let Some(r) = replicas {
+        config.replicas = r.max(1);
+    }
+    if let Some(ms) = hedge_ms {
+        config.hedge_ms = ms;
+    }
+    if let Some(v) = vnodes {
+        config.vnodes = v.max(1);
+    }
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    if let Some(w) = workers {
+        config.workers = w.max(1);
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(reason) => {
+            eprintln!("dexlego-router: {reason}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fleet = config.backends.join(", ");
+    let router = match Router::start(config) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("dexlego-router: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The launch script greps this line for the resolved port.
+    println!("dexlego-router: listening on {}", router.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!("dexlego-router: fleet: {fleet}");
+    router.wait();
+    eprintln!("dexlego-router: drained, exiting");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,29 @@
+//! `dexlego-router`: a sharding tier in front of a fleet of `dexlegod`
+//! backends.
+//!
+//! The paper's harness extracts one app at a time; the service tier
+//! (PR 8) made one daemon serve many clients. This crate scales the
+//! other axis: many daemons behind one endpoint. The router computes
+//! each job's content-addressed store key itself — the same SHA-1
+//! input digest the daemon uses — and places it on a consistent-hash
+//! ring of backends, so every extraction lands where its cached result
+//! lives. Around that placement it layers the reliability mechanics a
+//! fleet needs: hedged retries against the tail, R-way replication of
+//! fresh results, read-repair when replicas drift, and per-backend
+//! health ejection so a dead shard degrades to cache misses instead of
+//! client-visible errors.
+//!
+//! Both faces speak the `dexlegod` newline-JSON dialect, so existing
+//! clients, the load harness, and the bench drive a fleet unchanged.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod batch;
+pub mod ring;
+pub mod router;
+
+pub use backend::{Backend, Event, HealthConfig, Waiter};
+pub use batch::{print_batch_summary, run_batch_routed};
+pub use ring::Ring;
+pub use router::{Router, RouterConfig, RouterStats};

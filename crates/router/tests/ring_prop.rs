@@ -1,0 +1,102 @@
+//! Consistent-hash ring properties under random fleets and keyspaces:
+//! candidate orders are permutations, placement is deterministic, load
+//! splits roughly evenly, and — the property the design rests on —
+//! growing the fleet by one backend moves only about `1/(n+1)` of the
+//! keyspace, so a scale-out does not stampede the fleet's caches.
+
+use dexlego_router::Ring;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn fleet(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+}
+
+/// Deterministic position spread: a 64-bit Weyl sequence covers the
+/// ring far more evenly than `i` alone.
+fn positions(count: u64) -> impl Iterator<Item = u64> {
+    (0..count).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every candidate list is a permutation of the whole fleet, and
+    /// rebuilding the ring from the same inputs reproduces it exactly.
+    #[test]
+    fn candidates_are_permutations_and_deterministic(
+        n in 1usize..8,
+        vnodes in 1usize..96,
+        seed in any::<u64>(),
+        samples in vec(any::<u64>(), 1..64),
+    ) {
+        let ring = Ring::new(&fleet(n), vnodes, seed);
+        let again = Ring::new(&fleet(n), vnodes, seed);
+        for &pos in &samples {
+            let order = ring.candidates(pos);
+            prop_assert_eq!(&order, &again.candidates(pos));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    /// Adding one backend to a fleet of `n` moves roughly `1/(n+1)` of
+    /// the keyspace: no key moves between two surviving backends, and
+    /// the moved fraction stays well under a modulo-style reshuffle
+    /// (which moves `n/(n+1)` of everything).
+    #[test]
+    fn growing_the_fleet_moves_about_one_share(
+        n in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        const SAMPLES: u64 = 4_000;
+        let before = Ring::new(&fleet(n), 64, seed);
+        let after = Ring::new(&fleet(n + 1), 64, seed);
+        let mut moved = 0u64;
+        for pos in positions(SAMPLES) {
+            let old = before.owner(pos);
+            let new = after.owner(pos);
+            if old != new {
+                // Consistent hashing only ever moves keys *to* the new
+                // backend; movement between survivors would mean the
+                // old placements were disturbed.
+                prop_assert_eq!(new, n, "keys only move to the newcomer");
+                moved += 1;
+            }
+        }
+        let fraction = moved as f64 / SAMPLES as f64;
+        let fair = 1.0 / (n as f64 + 1.0);
+        prop_assert!(
+            fraction < 2.0 * fair,
+            "moved {fraction:.3}, fair share {fair:.3}: churn stays near 1/(n+1)"
+        );
+        prop_assert!(
+            fraction > 0.2 * fair,
+            "moved {fraction:.3}: the newcomer takes real load"
+        );
+    }
+
+    /// Virtual nodes keep the split roughly even: no backend owns more
+    /// than ~3x or less than ~1/4 of its fair share.
+    #[test]
+    fn virtual_nodes_balance_the_load(
+        n in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        const SAMPLES: u64 = 4_000;
+        let ring = Ring::new(&fleet(n), 128, seed);
+        let mut counts = vec![0u64; n];
+        for pos in positions(SAMPLES) {
+            counts[ring.owner(pos)] += 1;
+        }
+        let fair = SAMPLES as f64 / n as f64;
+        for (backend, &count) in counts.iter().enumerate() {
+            let ratio = count as f64 / fair;
+            prop_assert!(
+                (0.25..3.0).contains(&ratio),
+                "backend {backend} owns {count}/{SAMPLES} ({ratio:.2}x fair)"
+            );
+        }
+    }
+}

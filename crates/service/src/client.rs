@@ -4,20 +4,162 @@
 //! request, one reply, in order. It sends no request ids, which the
 //! server recognises as the compatibility contract: replies to id-less
 //! requests always come back in request order, so this client keeps
-//! working unchanged against the multiplexed server.
+//! working unchanged against the multiplexed server. It reports plain
+//! [`io::Error`]s, as it always has.
 //!
 //! [`PipelinedClient`] speaks the pipelined dialect: every request
 //! carries an id, many may be in flight on one connection, and replies
-//! arrive in whatever order the work finishes. The load harness and the
+//! arrive in whatever order the work finishes. It reports typed
+//! [`ClientError`]s so callers can tell a dead connection (reconnect
+//! and resend) from a protocol violation (give up), and it can be
+//! [split](PipelinedClient::split) into independently-owned send and
+//! receive halves for callers that pump the two directions from
+//! different threads. The load harness, the router, and the
 //! multiplexing tests are built on it.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use dexlego_harness::json::Value;
 use dexlego_store::hex::from_hex;
+use dexlego_store::Key;
 
 use crate::protocol::{parse_reply, parse_reply_line, ExtractRequest, Reply, Request, RequestId};
+
+/// Why a [`PipelinedClient`] call failed, split by what the caller can
+/// do about it.
+#[derive(Debug)]
+pub enum ClientError {
+    /// No connection could be established. Retrying later may help;
+    /// resending is safe because nothing was ever accepted.
+    Connect {
+        /// The address dialled.
+        addr: String,
+        /// How many dials were attempted before giving up.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: io::Error,
+    },
+    /// An established connection died mid-conversation. In-flight
+    /// requests are in an unknown state; reconnect and resend anything
+    /// idempotent.
+    Lost(io::Error),
+    /// The peer sent bytes that do not parse as the protocol. The
+    /// connection is not trustworthy; do not resend on it.
+    Protocol(String),
+    /// A well-formed reply of the wrong shape for the call that was
+    /// made (e.g. `overloaded` where only `ok` makes sense).
+    Unexpected(String),
+    /// Any other I/O failure (local resource limits, etc.).
+    Io(io::Error),
+}
+
+impl ClientError {
+    /// True when the transport is gone — the connection was never
+    /// established or died underneath us — so reconnecting (and
+    /// resending idempotent work) is the right response.
+    #[must_use]
+    pub fn is_transport(&self) -> bool {
+        matches!(self, ClientError::Connect { .. } | ClientError::Lost(_))
+    }
+
+    /// Classifies an [`io::Error`] from an established connection:
+    /// peer-gone kinds become [`ClientError::Lost`], everything else
+    /// stays [`ClientError::Io`].
+    fn from_io(e: io::Error) -> ClientError {
+        match e.kind() {
+            io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::UnexpectedEof => ClientError::Lost(e),
+            _ => ClientError::Io(e),
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect {
+                addr,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "connect to {addr} failed after {attempts} attempts: {last}"
+            ),
+            ClientError::Lost(e) => write!(f, "connection lost: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Unexpected(msg) => write!(f, "unexpected reply: {msg}"),
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ClientError> for io::Error {
+    fn from(e: ClientError) -> io::Error {
+        match e {
+            ClientError::Connect { last, .. } => last,
+            ClientError::Lost(inner) | ClientError::Io(inner) => inner,
+            ClientError::Protocol(msg) | ClientError::Unexpected(msg) => {
+                io::Error::new(io::ErrorKind::InvalidData, msg)
+            }
+        }
+    }
+}
+
+/// Shorthand for pipelined-client results.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// Capped exponential backoff for redialling a backend.
+///
+/// Starts at `start` and doubles on every [`Backoff::delay`] up to
+/// `cap`; [`Backoff::reset`] rewinds after a successful connect. Purely
+/// a schedule — the caller decides how many attempts to spend.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    start: Duration,
+    cap: Duration,
+    next: Duration,
+}
+
+impl Backoff {
+    /// A schedule that starts at `start_ms` and saturates at `cap_ms`.
+    #[must_use]
+    pub fn new(start_ms: u64, cap_ms: u64) -> Backoff {
+        let start = Duration::from_millis(start_ms);
+        Backoff {
+            start,
+            cap: Duration::from_millis(cap_ms.max(start_ms)),
+            next: start,
+        }
+    }
+
+    /// Returns the next delay and advances the schedule.
+    pub fn delay(&mut self) -> Duration {
+        let d = self.next;
+        self.next = (self.next * 2).min(self.cap);
+        d
+    }
+
+    /// Rewinds to the initial delay (call after a success).
+    pub fn reset(&mut self) {
+        self.next = self.start;
+    }
+}
+
+impl Default for Backoff {
+    /// 10ms doubling to 500ms — snappy enough for tests, polite enough
+    /// for a restarting daemon.
+    fn default() -> Backoff {
+        Backoff::new(10, 500)
+    }
+}
 
 /// The outcome of one `extract` round-trip.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,21 +190,23 @@ pub enum ExtractReply {
 }
 
 /// Decodes an extract-shaped reply into an [`ExtractReply`].
-fn decode_extract_reply(reply: Reply) -> io::Result<ExtractReply> {
+///
+/// # Errors
+///
+/// A malformed `ok` reply or a protocol-level `error` reply.
+pub fn decode_extract_reply(reply: Reply) -> Result<ExtractReply, String> {
     match reply {
         Reply::Ok(value) => {
             let cached = value
                 .get("cached")
                 .and_then(Value::as_bool)
-                .ok_or_else(|| {
-                    io::Error::new(io::ErrorKind::InvalidData, "ok reply without \"cached\"")
-                })?;
-            let dex_hex = value.get("dex").and_then(Value::as_str).ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "ok reply without \"dex\"")
-            })?;
-            let dex = from_hex(dex_hex).ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "ok reply with non-hex \"dex\"")
-            })?;
+                .ok_or_else(|| "ok reply without \"cached\"".to_owned())?;
+            let dex_hex = value
+                .get("dex")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "ok reply without \"dex\"".to_owned())?;
+            let dex =
+                from_hex(dex_hex).ok_or_else(|| "ok reply with non-hex \"dex\"".to_owned())?;
             let report = value.get("report").cloned().unwrap_or(Value::Null);
             Ok(ExtractReply::Done {
                 cached,
@@ -75,7 +219,7 @@ fn decode_extract_reply(reply: Reply) -> io::Result<ExtractReply> {
         } => Ok(ExtractReply::Failed { job_status, detail }),
         Reply::Overloaded { .. } => Ok(ExtractReply::Overloaded),
         Reply::DeadlineExceeded { waited_ms } => Ok(ExtractReply::DeadlineExceeded { waited_ms }),
-        Reply::Error(reason) => Err(io::Error::new(io::ErrorKind::InvalidData, reason)),
+        Reply::Error(reason) => Err(reason),
     }
 }
 
@@ -159,7 +303,7 @@ impl Client {
     /// Transport failures, protocol errors, or a malformed `ok` reply.
     pub fn extract(&mut self, req: &ExtractRequest) -> io::Result<ExtractReply> {
         let reply = self.round_trip(&req.encode())?;
-        decode_extract_reply(reply)
+        decode_extract_reply(reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
     /// Fetches the service counters (the `"stats"` member of the reply).
@@ -194,39 +338,259 @@ fn unexpected(reply: &Reply) -> io::Error {
     )
 }
 
+/// The sending half of a pipelined connection.
+///
+/// Sends are buffered: a burst of sends goes out as one write on
+/// [`PipelinedSender::flush`], so a window of requests costs one
+/// syscall, not one per request. When the halves are split across
+/// threads the sender **must** flush explicitly — the receiver cannot
+/// reach over and do it.
+pub struct PipelinedSender {
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl PipelinedSender {
+    fn write_line(&mut self, line: &str) -> ClientResult<()> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(ClientError::from_io)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one extract request tagged with a fresh id, without
+    /// waiting for any reply. Returns the id assigned.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_extract(&mut self, req: &ExtractRequest) -> ClientResult<u64> {
+        let id = self.fresh_id();
+        let line = req.encode_with_id(&RequestId::Num(id));
+        self.write_line(&line)?;
+        Ok(id)
+    }
+
+    /// Sends a simple tagged op (`ping`, `stats`, `shutdown`). Returns
+    /// the id assigned.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_op(&mut self, op: &str) -> ClientResult<u64> {
+        let id = self.fresh_id();
+        let line = format!("{{\"op\": {:?}, \"id\": {id}}}", op);
+        self.write_line(&line)?;
+        Ok(id)
+    }
+
+    /// Asks the server to revoke the not-yet-dispatched request `target`
+    /// (the hedged loser). Returns the id of the cancel itself.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_cancel(&mut self, target: u64) -> ClientResult<u64> {
+        let id = self.fresh_id();
+        let line = Request::encode_cancel(Some(&RequestId::Num(id)), &RequestId::Num(target));
+        self.write_line(&line)?;
+        Ok(id)
+    }
+
+    /// Offers the server a finished result for `key` (replication /
+    /// read-repair); the server keeps it only if the key is absent.
+    /// `entry_payload` is the store encoding of the result. Returns the
+    /// id assigned.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_backfill(&mut self, key: &Key, entry_payload: &[u8]) -> ClientResult<u64> {
+        let id = self.fresh_id();
+        let line = Request::encode_backfill(Some(&RequestId::Num(id)), key, entry_payload);
+        self.write_line(&line)?;
+        Ok(id)
+    }
+
+    /// Asks the server for the stored entry under `key` (the
+    /// replication read path). Returns the id assigned.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_fetch(&mut self, key: &Key) -> ClientResult<u64> {
+        let id = self.fresh_id();
+        let line = Request::encode_fetch(Some(&RequestId::Num(id)), key);
+        self.write_line(&line)?;
+        Ok(id)
+    }
+
+    /// Pushes any buffered requests onto the wire.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn flush(&mut self) -> ClientResult<()> {
+        self.writer.flush().map_err(ClientError::from_io)
+    }
+}
+
+/// The receiving half of a pipelined connection.
+pub struct PipelinedReceiver {
+    reader: BufReader<TcpStream>,
+}
+
+impl PipelinedReceiver {
+    /// Reads the next reply line, whichever request it answers. Returns
+    /// the echoed id (if the request carried one) and the decoded
+    /// reply. Does **not** flush the sender first — a split caller owns
+    /// that ordering.
+    ///
+    /// # Errors
+    ///
+    /// Read failures, a closed connection, or an undecodable reply.
+    pub fn recv_any(&mut self) -> ClientResult<(Option<RequestId>, Reply)> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err(ClientError::Lost(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ))),
+            Ok(_) => parse_reply_line(line.trim_end()).map_err(ClientError::Protocol),
+            Err(e) => Err(ClientError::from_io(e)),
+        }
+    }
+}
+
 /// A blocking client that keeps many tagged requests in flight on one
 /// connection and collects replies in completion order.
 ///
 /// The caller owns the windowing policy: it decides how many sends to
 /// issue before each receive. Ids are assigned by the client
 /// ([`RequestId::Num`], monotonically increasing) and returned from
-/// [`PipelinedClient::send_extract`] so callers can correlate.
+/// [`PipelinedClient::send_extract`] so callers can correlate. Ids stay
+/// monotonic across [`PipelinedClient::reconnect`], so a reply that
+/// somehow straggles in from a previous connection can never be
+/// confused with a live request.
 ///
 /// Sends are buffered: a burst of [`PipelinedClient::send_extract`]
 /// calls goes out as one write when the client turns around to read (or
 /// on [`PipelinedClient::flush`]), so a window of requests costs one
 /// syscall, not one per request.
 pub struct PipelinedClient {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-    next_id: u64,
+    addr: String,
+    tx: PipelinedSender,
+    rx: PipelinedReceiver,
 }
 
 impl PipelinedClient {
-    /// Connects to `addr`.
+    /// Connects to `addr` with a single dial attempt.
     ///
     /// # Errors
     ///
-    /// Connection failures.
-    pub fn connect(addr: &str) -> io::Result<PipelinedClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = BufWriter::new(stream.try_clone()?);
-        Ok(PipelinedClient {
-            reader: BufReader::new(stream),
-            writer,
-            next_id: 0,
+    /// Connection failures ([`ClientError::Connect`] with one attempt).
+    pub fn connect(addr: &str) -> ClientResult<PipelinedClient> {
+        PipelinedClient::connect_retry(addr, 1, &mut Backoff::default())
+    }
+
+    /// Connects to `addr`, redialling up to `attempts` times on refused
+    /// or unreachable connections, sleeping `backoff` between dials.
+    /// A daemon that is restarting (the window between its old socket
+    /// dying and its new one listening) looks exactly like ECONNREFUSED,
+    /// so a small retry budget here rides out restarts.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] after the final failed attempt.
+    pub fn connect_retry(
+        addr: &str,
+        attempts: u32,
+        backoff: &mut Backoff,
+    ) -> ClientResult<PipelinedClient> {
+        let attempts = attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff.delay());
+            }
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    backoff.reset();
+                    return PipelinedClient::from_stream(addr, stream, 0);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Connect {
+            addr: addr.to_owned(),
+            attempts,
+            last: last.unwrap_or_else(|| io::Error::other("no connect attempt made")),
         })
+    }
+
+    fn from_stream(addr: &str, stream: TcpStream, next_id: u64) -> ClientResult<PipelinedClient> {
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        let writer = BufWriter::new(stream.try_clone().map_err(ClientError::Io)?);
+        Ok(PipelinedClient {
+            addr: addr.to_owned(),
+            tx: PipelinedSender { writer, next_id },
+            rx: PipelinedReceiver {
+                reader: BufReader::new(stream),
+            },
+        })
+    }
+
+    /// The address this client dials.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Drops the current connection and dials the same address again,
+    /// redialling up to `attempts` times with `backoff` between dials.
+    /// Replies to requests in flight on the old connection are gone;
+    /// the id counter is preserved, so resent requests get fresh ids.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] after the final failed attempt.
+    pub fn reconnect(&mut self, attempts: u32, backoff: &mut Backoff) -> ClientResult<()> {
+        let next_id = self.tx.next_id;
+        let attempts = attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff.delay());
+            }
+            match TcpStream::connect(&self.addr) {
+                Ok(stream) => {
+                    backoff.reset();
+                    *self = PipelinedClient::from_stream(&self.addr, stream, next_id)?;
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Connect {
+            addr: self.addr.clone(),
+            attempts,
+            last: last.unwrap_or_else(|| io::Error::other("no connect attempt made")),
+        })
+    }
+
+    /// Splits into independently-owned send and receive halves, so one
+    /// thread can keep sending while another blocks in receive. The
+    /// sender must [`flush`](PipelinedSender::flush) explicitly;
+    /// receive-side auto-flush ends at the split.
+    #[must_use]
+    pub fn split(self) -> (PipelinedSender, PipelinedReceiver) {
+        (self.tx, self.rx)
     }
 
     /// Sends one extract request tagged with a fresh id, without waiting
@@ -236,13 +600,48 @@ impl PipelinedClient {
     /// # Errors
     ///
     /// Write failures.
-    pub fn send_extract(&mut self, req: &ExtractRequest) -> io::Result<u64> {
-        let id = self.next_id;
-        self.next_id += 1;
-        let line = req.encode_with_id(&RequestId::Num(id));
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        Ok(id)
+    pub fn send_extract(&mut self, req: &ExtractRequest) -> ClientResult<u64> {
+        self.tx.send_extract(req)
+    }
+
+    /// Sends a simple tagged op (`ping`, `stats`, `shutdown`). Returns
+    /// the id assigned.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_op(&mut self, op: &str) -> ClientResult<u64> {
+        self.tx.send_op(op)
+    }
+
+    /// Sends a cancel for the not-yet-dispatched request `target`.
+    /// Returns the id of the cancel request itself.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_cancel(&mut self, target: u64) -> ClientResult<u64> {
+        self.tx.send_cancel(target)
+    }
+
+    /// Offers the server a finished result for `key`; kept only if
+    /// absent. Returns the id assigned.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_backfill(&mut self, key: &Key, entry_payload: &[u8]) -> ClientResult<u64> {
+        self.tx.send_backfill(key, entry_payload)
+    }
+
+    /// Asks the server for the stored entry under `key`. Returns the id
+    /// assigned.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_fetch(&mut self, key: &Key) -> ClientResult<u64> {
+        self.tx.send_fetch(key)
     }
 
     /// Pushes any buffered requests onto the wire without reading.
@@ -250,8 +649,8 @@ impl PipelinedClient {
     /// # Errors
     ///
     /// Write failures.
-    pub fn flush(&mut self) -> io::Result<()> {
-        self.writer.flush()
+    pub fn flush(&mut self) -> ClientResult<()> {
+        self.tx.flush()
     }
 
     /// Reads the next reply line, whichever request it answers. Returns
@@ -260,18 +659,11 @@ impl PipelinedClient {
     /// # Errors
     ///
     /// Read failures, a closed connection, or an undecodable reply.
-    pub fn recv_any(&mut self) -> io::Result<(Option<RequestId>, Reply)> {
+    pub fn recv_any(&mut self) -> ClientResult<(Option<RequestId>, Reply)> {
         // Turnaround: nothing more will be sent before this read, so any
         // buffered requests must go out now or the reply never comes.
-        self.writer.flush()?;
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "daemon closed the connection",
-            ));
-        }
-        parse_reply_line(line.trim_end()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        self.tx.flush()?;
+        self.rx.recv_any()
     }
 
     /// Like [`PipelinedClient::recv_any`], but decodes the reply as an
@@ -281,15 +673,15 @@ impl PipelinedClient {
     ///
     /// Transport failures, an id-less or non-numeric-id reply, or a
     /// protocol `error` reply.
-    pub fn recv_extract(&mut self) -> io::Result<(u64, ExtractReply)> {
+    pub fn recv_extract(&mut self) -> ClientResult<(u64, ExtractReply)> {
         let (id, reply) = self.recv_any()?;
         let Some(RequestId::Num(id)) = id else {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "reply without the numeric id this client sent",
+            return Err(ClientError::Unexpected(
+                "reply without the numeric id this client sent".to_owned(),
             ));
         };
-        Ok((id, decode_extract_reply(reply)?))
+        let decoded = decode_extract_reply(reply).map_err(ClientError::Unexpected)?;
+        Ok((id, decoded))
     }
 
     /// Asks the daemon to drain and exit (tagged, so it composes with
@@ -298,18 +690,15 @@ impl PipelinedClient {
     /// # Errors
     ///
     /// Transport failures or a non-`ok` reply.
-    pub fn shutdown(&mut self) -> io::Result<()> {
-        let id = self.next_id;
-        self.next_id += 1;
-        let line = format!("{{\"op\": \"shutdown\", \"id\": {id}}}\n");
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        let id = self.tx.send_op("shutdown")?;
+        self.tx.flush()?;
         loop {
-            let (got, reply) = self.recv_any()?;
+            let (got, reply) = self.rx.recv_any()?;
             if got == Some(RequestId::Num(id)) {
                 return match reply {
                     Reply::Ok(_) => Ok(()),
-                    other => Err(unexpected(&other)),
+                    other => Err(ClientError::Unexpected(format!("{other:?}"))),
                 };
             }
             // Replies to still-in-flight extracts may land first; skip.

@@ -37,7 +37,10 @@ pub mod poll;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ExtractReply, PipelinedClient};
+pub use client::{
+    decode_extract_reply, Backoff, Client, ClientError, ClientResult, ExtractReply,
+    PipelinedClient, PipelinedReceiver, PipelinedSender,
+};
 pub use framing::{FrameError, Framer};
 pub use poll::Backend;
 pub use protocol::{

@@ -40,7 +40,9 @@ use dexlego_dex::reader::read_dex;
 use dexlego_harness::json::{self, Value};
 use dexlego_harness::{JobSpec, DEFAULT_FUEL};
 use dexlego_packer::PackerId;
+use dexlego_store::entry::decode as decode_entry;
 use dexlego_store::hex::{from_hex, to_hex};
+use dexlego_store::{CachedResult, Key};
 
 /// A request id: a client-chosen correlation token echoed verbatim on the
 /// reply, enabling out-of-order responses on one connection.
@@ -110,6 +112,12 @@ pub struct ExtractRequest {
     /// instead of running it. `None` = wait indefinitely. Not part of the
     /// cache key — it shapes scheduling, not the result.
     pub deadline_ms: Option<u64>,
+    /// Ask the daemon to attach the encoded store entry (`"entry"`, hex)
+    /// to a successful reply — the routing tier uses it to replicate and
+    /// read-repair results across backends without re-extracting. Not part
+    /// of the cache key; omitted from the wire when false, so old lines
+    /// stay byte-identical.
+    pub want_entry: bool,
 }
 
 impl ExtractRequest {
@@ -126,6 +134,7 @@ impl ExtractRequest {
             fuel: DEFAULT_FUEL,
             conformance: false,
             deadline_ms: None,
+            want_entry: false,
         }
     }
 
@@ -192,6 +201,9 @@ impl ExtractRequest {
         if let Some(deadline) = self.deadline_ms {
             members.push(("deadline_ms", deadline.to_string()));
         }
+        if self.want_entry {
+            members.push(("want_entry", "true".to_owned()));
+        }
         json::object(&members)
     }
 }
@@ -207,12 +219,72 @@ pub enum Request {
     Shutdown,
     /// One extraction.
     Extract(Box<ExtractRequest>),
+    /// Best-effort cancellation of a still-pending tagged request on the
+    /// same connection (`"target"` is its id). A request already handed to
+    /// a worker keeps running; the reply reports which case applied. The
+    /// router uses this to revoke the losing half of a hedged pair so
+    /// wasted hedges do not occupy backend queue slots.
+    Cancel(RequestId),
+    /// Injects an already-extracted result into the daemon's store without
+    /// running the pipeline: `"key"` is the 40-hex content address,
+    /// `"entry"` the hex-encoded store payload. Write-if-absent — a local
+    /// fill always beats a backfill. This is the replication/read-repair
+    /// write path of the routing tier.
+    Backfill {
+        /// Content address the entry claims to answer.
+        key: Key,
+        /// The decoded entry payload.
+        entry: Box<CachedResult>,
+    },
+    /// Reads the store entry for `"key"` without running anything: the
+    /// reply is `{"found": bool}` plus the hex `"entry"` payload when
+    /// present. This is the replication/read-repair *read* path — the
+    /// routing tier pulls the entry off the hot path instead of asking
+    /// every extract reply to carry it.
+    Fetch(Key),
 }
 
 impl Request {
     /// The request as one wire line, for ops without a payload.
     pub fn encode_simple(op: &str) -> String {
         json::object(&[("op", json::string(op))])
+    }
+
+    /// A `cancel` line (optionally tagged with its own `id`) revoking the
+    /// pending request whose id is `target`.
+    pub fn encode_cancel(id: Option<&RequestId>, target: &RequestId) -> String {
+        let mut members = Vec::new();
+        if let Some(id) = id {
+            members.push(("id", id.encode()));
+        }
+        members.push(("op", json::string("cancel")));
+        members.push(("target", target.encode()));
+        json::object(&members)
+    }
+
+    /// A `backfill` line (optionally tagged) carrying `entry_payload` — the
+    /// output of `dexlego_store::entry::encode` — for `key`.
+    pub fn encode_backfill(id: Option<&RequestId>, key: &Key, entry_payload: &[u8]) -> String {
+        let mut members = Vec::new();
+        if let Some(id) = id {
+            members.push(("id", id.encode()));
+        }
+        members.push(("op", json::string("backfill")));
+        members.push(("key", json::string(&key.to_hex())));
+        members.push(("entry", json::string(&to_hex(entry_payload))));
+        json::object(&members)
+    }
+
+    /// A `fetch` line (optionally tagged) asking for the stored entry
+    /// under `key`.
+    pub fn encode_fetch(id: Option<&RequestId>, key: &Key) -> String {
+        let mut members = Vec::new();
+        if let Some(id) = id {
+            members.push(("id", id.encode()));
+        }
+        members.push(("op", json::string("fetch")));
+        members.push(("key", json::string(&key.to_hex())));
+        json::object(&members)
     }
 }
 
@@ -253,6 +325,48 @@ fn request_from_value(value: &Value) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
+        "cancel" => {
+            let target = value
+                .get("target")
+                .ok_or_else(|| "cancel: missing \"target\"".to_owned())?;
+            let target = match target {
+                Value::Str(s) => RequestId::Str(s.clone()),
+                v @ Value::Num(_) => RequestId::Num(v.as_u64().ok_or_else(|| {
+                    "cancel: \"target\" must be a string or non-negative integer".to_owned()
+                })?),
+                _ => {
+                    return Err(
+                        "cancel: \"target\" must be a string or non-negative integer".to_owned(),
+                    )
+                }
+            };
+            Ok(Request::Cancel(target))
+        }
+        "backfill" => {
+            let key = value
+                .get("key")
+                .and_then(Value::as_str)
+                .and_then(Key::from_hex)
+                .ok_or_else(|| "backfill: \"key\" must be 40 hex characters".to_owned())?;
+            let payload = value
+                .get("entry")
+                .and_then(Value::as_str)
+                .and_then(from_hex)
+                .ok_or_else(|| "backfill: \"entry\" must be a hex string".to_owned())?;
+            let entry = decode_entry(&payload).map_err(|e| format!("backfill: bad entry: {e}"))?;
+            Ok(Request::Backfill {
+                key,
+                entry: Box::new(entry),
+            })
+        }
+        "fetch" => {
+            let key = value
+                .get("key")
+                .and_then(Value::as_str)
+                .and_then(Key::from_hex)
+                .ok_or_else(|| "fetch: \"key\" must be 40 hex characters".to_owned())?;
+            Ok(Request::Fetch(key))
+        }
         "extract" => {
             let dex_hex = value
                 .get("dex")
@@ -317,6 +431,12 @@ fn request_from_value(value: &Value) -> Result<Request, String> {
                         .to_owned(),
                 ),
             };
+            let want_entry = match value.get("want_entry") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| "extract: \"want_entry\" must be a boolean".to_owned())?,
+            };
             Ok(Request::Extract(Box::new(ExtractRequest {
                 name,
                 dex,
@@ -327,6 +447,7 @@ fn request_from_value(value: &Value) -> Result<Request, String> {
                 fuel,
                 conformance,
                 deadline_ms,
+                want_entry,
             })))
         }
         other => Err(format!("unknown op: {other}")),
@@ -439,6 +560,7 @@ mod tests {
             fuel: 5_000_000,
             conformance: true,
             deadline_ms: Some(250),
+            want_entry: true,
         }
     }
 
@@ -502,8 +624,76 @@ mod tests {
                 assert_eq!(req.packer, None);
                 assert_eq!(req.name, None);
                 assert_eq!(req.deadline_ms, None);
+                assert!(!req.want_entry);
             }
             other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_roundtrips_and_validates() {
+        let line = Request::encode_cancel(Some(&RequestId::Num(3)), &RequestId::Num(7));
+        let (id, parsed) = parse_request_line(&line);
+        assert_eq!(id, Some(RequestId::Num(3)));
+        assert_eq!(parsed.unwrap(), Request::Cancel(RequestId::Num(7)));
+        let line = Request::encode_cancel(None, &RequestId::Str("j/1".to_owned()));
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::Cancel(RequestId::Str("j/1".to_owned()))
+        );
+        for bad in [
+            r#"{"op": "cancel"}"#,
+            r#"{"op": "cancel", "target": -1}"#,
+            r#"{"op": "cancel", "target": [7]}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn backfill_roundtrips_and_validates() {
+        let entry = CachedResult {
+            dex_bytes: vec![1, 2, 3],
+            wall_us: 7,
+            ..CachedResult::default()
+        };
+        let key = Key::new([0xab; 20]);
+        let payload = dexlego_store::entry::encode(&entry);
+        let line = Request::encode_backfill(None, &key, &payload);
+        match parse_request(&line).unwrap() {
+            Request::Backfill {
+                key: parsed_key,
+                entry: parsed_entry,
+            } => {
+                assert_eq!(parsed_key, key);
+                assert_eq!(*parsed_entry, entry);
+            }
+            other => panic!("parsed as {other:?}"),
+        }
+        for bad in [
+            r#"{"op": "backfill"}"#,
+            r#"{"op": "backfill", "key": "ab", "entry": ""}"#,
+            r#"{"op": "backfill", "key": "abababababababababababababababababababab", "entry": "zz"}"#,
+            // Well-formed hex that is not a valid entry payload.
+            r#"{"op": "backfill", "key": "abababababababababababababababababababab", "entry": "00"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn fetch_roundtrips_and_validates() {
+        let key = Key::new([0xcd; 20]);
+        let line = Request::encode_fetch(Some(&RequestId::Num(9)), &key);
+        let (id, parsed) = parse_request_line(&line);
+        assert_eq!(id, Some(RequestId::Num(9)));
+        assert_eq!(parsed.unwrap(), Request::Fetch(key));
+        for bad in [
+            r#"{"op": "fetch"}"#,
+            r#"{"op": "fetch", "key": "ab"}"#,
+            r#"{"op": "fetch", "key": 7}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad} accepted");
         }
     }
 

@@ -49,9 +49,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use dexlego_harness::cache::from_cached;
+use dexlego_harness::cache::{from_cached, to_cached};
 use dexlego_harness::{execute_job_cached, job_key, JobPool, JobReport, JobSpec, PoolExecutor};
 use dexlego_harness::{json, JobResult};
+use dexlego_store::entry::encode as encode_entry;
 use dexlego_store::{Store, StoreConfig, StoreStats};
 
 use crate::framing::Framer;
@@ -85,6 +86,21 @@ pub struct ServiceConfig {
     /// After a shutdown drain, how long to keep trying to flush replies to
     /// clients that have stopped reading before abandoning them.
     pub shutdown_flush_grace: Duration,
+    /// Synthetic straggler injection for tail-latency experiments: with
+    /// `stall_period_ms = P > 0`, the event loop sleeps `stall_ms`
+    /// **on the event-loop thread** once per `P`-millisecond window —
+    /// deliberately head-of-line-blocking every connection, the shape
+    /// of a GC pause or page-cache stall. The schedule is wall-clock
+    /// driven (first stall `stall_phase_ms` after the first request,
+    /// then every `P` ms), so duplicate or retried load cannot change
+    /// the stall rate. 0 disables (the default; never enable in
+    /// production).
+    pub stall_period_ms: u64,
+    /// Stall duration in milliseconds when a scheduled stall fires.
+    pub stall_ms: u64,
+    /// Offset of the first stall from the first request, so a fleet of
+    /// daemons can de-phase their stall windows.
+    pub stall_phase_ms: u64,
 }
 
 impl ServiceConfig {
@@ -101,6 +117,9 @@ impl ServiceConfig {
             max_line_bytes: 64 << 20,
             write_soft_cap: 4 << 20,
             shutdown_flush_grace: Duration::from_secs(5),
+            stall_period_ms: 0,
+            stall_ms: 0,
+            stall_phase_ms: 0,
         }
     }
 }
@@ -123,6 +142,14 @@ struct ServiceStats {
     deadline_exceeded: u64,
     /// Malformed or invalid requests (including frame errors).
     errors: u64,
+    /// Pending tagged requests revoked by a `cancel` op before dispatch.
+    cancelled: u64,
+    /// Entries written into the store by `backfill` ops (replication and
+    /// read-repair traffic from the routing tier).
+    backfills: u64,
+    /// Store entries read out by `fetch` ops (the routing tier pulling
+    /// payloads for replication off the hot path).
+    fetches: u64,
     /// Jobs that ran but did not reach [`JobStatus::Ok`].
     ///
     /// [`JobStatus::Ok`]: dexlego_harness::JobStatus::Ok
@@ -185,6 +212,7 @@ enum ReplySlot {
 struct Completion {
     token: usize,
     slot: ReplySlot,
+    want_entry: bool,
     result: JobResult,
 }
 
@@ -214,6 +242,7 @@ struct Shared {
     pool: JobPool,
     stats: Mutex<ServiceStats>,
     store_stats_at_open: StoreStats,
+    started: Instant,
     shutting_down: AtomicBool,
     next_job: AtomicU64,
     notifier: Arc<Notifier>,
@@ -265,6 +294,7 @@ impl Daemon {
             store,
             stats: Mutex::new(ServiceStats::default()),
             store_stats_at_open,
+            started: Instant::now(),
             shutting_down: AtomicBool::new(false),
             next_job: AtomicU64::new(0),
             notifier: Arc::new(Notifier {
@@ -323,6 +353,7 @@ struct PendingJob {
     spec: JobSpec,
     received: Instant,
     deadline: Option<Instant>,
+    want_entry: bool,
 }
 
 /// Per-connection state owned by the event loop.
@@ -413,6 +444,9 @@ struct EventLoop {
     total_dispatched: usize,
     draining: bool,
     drain_started: Option<Instant>,
+    /// Next scheduled straggler-injection stall (`None` until the first
+    /// extract arrives, and always `None` when injection is disabled).
+    next_stall: Option<Instant>,
 }
 
 impl EventLoop {
@@ -435,6 +469,7 @@ impl EventLoop {
             total_dispatched: 0,
             draining: false,
             drain_started: None,
+            next_stall: None,
         }
     }
 
@@ -487,7 +522,7 @@ impl EventLoop {
                 .lock()
                 .expect("stats lock")
                 .absorb(&report);
-            let reply = extract_reply(&report, dex.as_deref());
+            let reply = extract_reply(&report, dex.as_deref(), completion.want_entry);
             if let Some(conn) = self.conns.get_mut(&completion.token) {
                 conn.dispatched -= 1;
                 conn.queue_reply(&completion.slot, reply);
@@ -560,6 +595,7 @@ impl EventLoop {
                 spec,
                 received,
                 deadline,
+                want_entry,
             }) = conn.pending.pop_front()
             else {
                 continue;
@@ -573,6 +609,7 @@ impl EventLoop {
                     notifier.push(Completion {
                         token: notify_token,
                         slot: notify_slot,
+                        want_entry,
                         result,
                     });
                 }),
@@ -594,6 +631,7 @@ impl EventLoop {
                         spec,
                         received,
                         deadline,
+                        want_entry,
                     });
                     conn.in_rr = true;
                     self.rr.push_front(token);
@@ -858,6 +896,62 @@ impl EventLoop {
                 conn.queue_reply(&slot, json::object(&[("status", json::string("ok"))]));
                 self.shared.shutting_down.store(true, Ordering::SeqCst);
             }
+            Ok(Request::Cancel(target)) => {
+                // Only pending (undispatched) tagged requests on this very
+                // connection can be revoked; a job already on a worker runs
+                // to completion (its reply is still delivered). A cancelled
+                // request gets no reply of its own — the canceller
+                // explicitly forfeited it.
+                let before = conn.pending.len();
+                conn.pending
+                    .retain(|job| !matches!(&job.slot, ReplySlot::Tagged(id) if *id == target));
+                let cancelled = conn.pending.len() < before;
+                if cancelled {
+                    self.shared.stats.lock().expect("stats lock").cancelled += 1;
+                }
+                conn.queue_reply(
+                    &slot,
+                    json::object(&[
+                        ("status", json::string("ok")),
+                        ("cancelled", cancelled.to_string()),
+                    ]),
+                );
+            }
+            Ok(Request::Backfill { key, entry }) => {
+                let stored = self
+                    .shared
+                    .store
+                    .put_if_absent(&key, &entry)
+                    .unwrap_or(false);
+                if stored {
+                    self.shared.stats.lock().expect("stats lock").backfills += 1;
+                }
+                conn.queue_reply(
+                    &slot,
+                    json::object(&[
+                        ("status", json::string("ok")),
+                        ("stored", stored.to_string()),
+                    ]),
+                );
+            }
+            Ok(Request::Fetch(key)) => {
+                // Raw store read for the routing tier: entries travel on
+                // explicit fetches instead of fattening every extract
+                // reply with a just-in-case payload.
+                let hit = self.shared.store.get(&key);
+                self.shared.stats.lock().expect("stats lock").fetches += 1;
+                let mut members = vec![
+                    ("status", json::string("ok")),
+                    ("found", hit.is_some().to_string()),
+                ];
+                if let Some(entry) = &hit {
+                    members.push((
+                        "entry",
+                        json::string(&dexlego_store::hex::to_hex(&encode_entry(entry))),
+                    ));
+                }
+                conn.queue_reply(&slot, json::object(&members));
+            }
             Ok(Request::Extract(req)) => self.handle_extract(token, slot, &req),
         }
     }
@@ -869,6 +963,35 @@ impl EventLoop {
         req: &crate::protocol::ExtractRequest,
     ) {
         let seq = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
+        if self.config.stall_period_ms > 0 {
+            let now = Instant::now();
+            let period = Duration::from_millis(self.config.stall_period_ms);
+            let width = Duration::from_millis(self.config.stall_ms);
+            let due = *self
+                .next_stall
+                .get_or_insert(now + Duration::from_millis(self.config.stall_phase_ms));
+            if now >= due {
+                // Anchor the schedule to the nominal timeline (never to
+                // the fire time): drifting schedules let a fleet's
+                // phase-staggered stalls collapse into lockstep after
+                // an idle gap, and hedges or retries must not be able
+                // to change the stall rate.
+                let mut next = due + period;
+                while next <= now {
+                    next += period;
+                }
+                self.next_stall = Some(next);
+                // Injected straggler: the daemon is stuck for the
+                // wall-clock window [due, due+stall_ms), blocking the
+                // loop the way a real stall would so everything queued
+                // behind this request eats it. A request landing
+                // mid-window waits out the remainder; a window that
+                // passed while idle costs nothing.
+                if now < due + width {
+                    thread::sleep(due + width - now);
+                }
+            }
+        }
         let fallback = format!("req{seq:06}");
         let spec = match req.to_spec(&fallback) {
             Ok(spec) => spec,
@@ -896,7 +1019,7 @@ impl EventLoop {
                     .lock()
                     .expect("stats lock")
                     .absorb(&report);
-                let reply = extract_reply(&report, Some(&hit.dex_bytes));
+                let reply = extract_reply(&report, Some(&hit.dex_bytes), req.want_entry);
                 let conn = self.conns.get_mut(&token).expect("conn present");
                 conn.queue_reply(&slot, reply);
                 return;
@@ -913,6 +1036,7 @@ impl EventLoop {
             spec,
             received,
             deadline,
+            want_entry: req.want_entry,
         });
         if !conn.in_rr {
             conn.in_rr = true;
@@ -973,15 +1097,25 @@ fn drain_wake_pipe(wake_rx: &UnixStream) {
     }
 }
 
-fn extract_reply(report: &JobReport, dex: Option<&[u8]>) -> String {
+fn extract_reply(report: &JobReport, dex: Option<&[u8]>, want_entry: bool) -> String {
     if report.status.is_ok() {
         let dex_hex = dexlego_store::hex::to_hex(dex.unwrap_or_default());
-        json::object(&[
+        let mut members = vec![
             ("status", json::string("ok")),
             ("cached", report.cached.to_string()),
             ("dex", json::string(&dex_hex)),
             ("report", report.to_json()),
-        ])
+        ];
+        if want_entry {
+            // The caller intends to replicate this result elsewhere (the
+            // router's R=2 fill and read-repair paths), so hand back the
+            // store encoding ready to ship in a backfill request.
+            if let Some(dex) = dex {
+                let entry = encode_entry(&to_cached(report, dex));
+                members.push(("entry", json::string(&dexlego_store::hex::to_hex(&entry))));
+            }
+        }
+        json::object(&members)
     } else {
         let mut members = vec![
             ("status", json::string("failed")),
@@ -1042,6 +1176,18 @@ fn stats_reply(shared: &Shared) -> String {
         ("misses", stats.misses.to_string()),
         ("rejected", stats.rejected.to_string()),
         ("deadline_exceeded", stats.deadline_exceeded.to_string()),
+        // Aliases for the admission-control counters under the names the
+        // fleet tooling aggregates; the original fields stay byte-for-byte
+        // so old clients keep parsing.
+        ("shed_overloaded", stats.rejected.to_string()),
+        ("shed_deadline", stats.deadline_exceeded.to_string()),
+        (
+            "uptime_ms",
+            shared.started.elapsed().as_millis().to_string(),
+        ),
+        ("cancelled", stats.cancelled.to_string()),
+        ("backfills", stats.backfills.to_string()),
+        ("fetches", stats.fetches.to_string()),
         ("errors", stats.errors.to_string()),
         ("failed", stats.failed.to_string()),
         ("quickens", stats.quickens.to_string()),

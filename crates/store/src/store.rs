@@ -35,6 +35,13 @@ impl Key {
     pub fn to_hex(self) -> String {
         to_hex(&self.0)
     }
+
+    /// The raw 20-byte digest (the router hashes its prefix onto the
+    /// consistent-hash ring).
+    #[must_use]
+    pub fn bytes(self) -> [u8; 20] {
+        self.0
+    }
 }
 
 impl fmt::Debug for Key {
@@ -328,6 +335,29 @@ impl Store {
             }
             None => (None, false),
         }
+    }
+
+    /// The replication/read-repair write path: stores `result` under `key`
+    /// only if the key is not already resident, returning whether a write
+    /// happened. Unlike [`Store::put`] this never clobbers — a backfill
+    /// raced by a fresh local fill must not replace the newer entry — and
+    /// it routes through the same per-key fill gate, so a backfill cannot
+    /// interleave with an in-progress `get_or_fill` on the same key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-file I/O failures from the underlying put.
+    pub fn put_if_absent(&self, key: &Key, result: &CachedResult) -> io::Result<bool> {
+        let gate = {
+            let mut fills = self.fills.lock().expect("fill map lock");
+            Arc::clone(fills.entry(*key).or_default())
+        };
+        let _guard = gate.lock().expect("fill gate lock");
+        if self.contains(key) {
+            return Ok(false);
+        }
+        self.put(key, result)?;
+        Ok(true)
     }
 
     /// A snapshot of the store's counters and current contents.

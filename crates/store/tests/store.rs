@@ -323,3 +323,17 @@ fn uncacheable_fill_stores_nothing() {
     assert_eq!(got.unwrap(), result(8, 4));
     assert_eq!(store.stats().entries, 1);
 }
+
+#[test]
+fn backfill_writes_only_when_absent() {
+    let dir = TempDir::new("store-backfill").unwrap();
+    let store = Store::open(StoreConfig::new(dir.path())).unwrap();
+    // First backfill lands and is served like any other entry.
+    assert!(store.put_if_absent(&key(9), &result(32, 9)).unwrap());
+    assert_eq!(store.get(&key(9)).unwrap(), result(32, 9));
+    // A second backfill for the same key is a no-op: the resident entry
+    // (possibly a newer local fill) wins over the repair copy.
+    assert!(!store.put_if_absent(&key(9), &result(32, 7)).unwrap());
+    assert_eq!(store.get(&key(9)).unwrap(), result(32, 9));
+    assert_eq!(store.stats().puts, 1);
+}

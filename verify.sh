@@ -73,3 +73,84 @@ if ! wait "$daemon_pid"; then
     exit 1
 fi
 echo "verify: dexlegod service smoke ok"
+
+# Fleet bench smoke: 3 sharded backends behind dexlego-router with
+# injected stragglers — asserts replication happened, zero error
+# replies even while a backend is killed mid-pass, and the hedged
+# fleet's warm p999 beating the single-backend baseline.
+cargo run -p dexlego-bench --bin service --release -- --router 3 --smoke
+
+# Router fleet smoke: three real dexlegod processes behind a real
+# dexlego-router process. Round-trip through the router (second
+# extraction must be a cache hit), then kill -9 one shard and read
+# again — the fleet must still answer — then drain the router
+# gracefully and check exit 0.
+fleet_dir="target/verify-fleet"
+rm -rf "$fleet_dir"
+mkdir -p "$fleet_dir"
+backend_pids=""
+backend_args=""
+for shard in 0 1 2; do
+    ./target/release/dexlegod --workers 2 --store "$fleet_dir/store$shard" \
+        > "$fleet_dir/shard$shard.out" 2> "$fleet_dir/shard$shard.err" &
+    backend_pids="$backend_pids $!"
+done
+for shard in 0 1 2; do
+    shard_addr=""
+    i=0
+    while [ $i -lt 100 ]; do
+        shard_addr=$(sed -n 's/^dexlegod: listening on //p' "$fleet_dir/shard$shard.out")
+        [ -n "$shard_addr" ] && break
+        i=$((i + 1))
+        sleep 0.1
+    done
+    if [ -z "$shard_addr" ]; then
+        echo "verify: fleet shard $shard never printed its address" >&2
+        kill -9 $backend_pids 2>/dev/null || true
+        exit 1
+    fi
+    backend_args="$backend_args --backend $shard_addr"
+done
+# shellcheck disable=SC2086
+./target/release/dexlego-router $backend_args \
+    > "$fleet_dir/router.out" 2> "$fleet_dir/router.err" &
+router_pid=$!
+router_addr=""
+i=0
+while [ $i -lt 100 ]; do
+    router_addr=$(sed -n 's/^dexlego-router: listening on //p' "$fleet_dir/router.out")
+    [ -n "$router_addr" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$router_addr" ]; then
+    echo "verify: dexlego-router never printed its address" >&2
+    kill -9 $backend_pids "$router_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! ./target/release/dexlegod-smoke --addr "$router_addr" --packer Tencent; then
+    echo "verify: fleet round-trip through the router failed" >&2
+    kill -9 $backend_pids "$router_pid" 2>/dev/null || true
+    exit 1
+fi
+# Give the async replication a moment, then lose a shard the hard way.
+sleep 1
+victim=$(echo $backend_pids | awk '{print $2}')
+kill -9 "$victim"
+if ! ./target/release/dexlegod-smoke --addr "$router_addr" --packer Tencent; then
+    echo "verify: fleet read after losing a shard failed" >&2
+    kill -9 $backend_pids "$router_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! ./target/release/dexlegod-smoke --addr "$router_addr" --packer 360 --shutdown; then
+    echo "verify: router graceful drain request failed" >&2
+    kill -9 $backend_pids "$router_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! wait "$router_pid"; then
+    echo "verify: dexlego-router did not exit 0 after graceful shutdown" >&2
+    kill -9 $backend_pids 2>/dev/null || true
+    exit 1
+fi
+kill -9 $backend_pids 2>/dev/null || true
+echo "verify: router fleet smoke ok"
