@@ -192,9 +192,9 @@ struct Engine<'a> {
     /// fixpoint: decoded instructions, normal-flow successor indices
     /// (branch targets validated, switch payloads resolved, exception
     /// edges excluded), and per-instruction register frames.
-    methods: Vec<TypedIr>,
+    methods: Vec<std::sync::Arc<TypedIr>>,
     /// The DEX class hierarchy, shared with the verifier.
-    hier: ClassHierarchy,
+    hier: std::sync::Arc<ClassHierarchy>,
     /// Declaring-class type id per method, aligned with `methods`.
     class_ids: Vec<Option<TypeId>>,
     by_sig: HashMap<String, usize>,
@@ -217,7 +217,7 @@ pub fn analyze(dex: &DexFile, config: &AnalysisConfig) -> AnalysisResult {
     let TypedDex {
         hierarchy, methods, ..
     } = verify_dex_typed(dex, &VerifyOptions::errors_only());
-    let methods: Vec<TypedIr> = methods
+    let methods: Vec<std::sync::Arc<TypedIr>> = methods
         .into_iter()
         .filter(|m| !is_framework_class(&m.class))
         .collect();

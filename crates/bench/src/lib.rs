@@ -13,9 +13,11 @@
 //! `service --router N` drives the same shape through a `dexlego-router`
 //! fleet ([`router`], emitting BENCH_router.json).
 //! `interp` compares decode-per-step against the predecoded code cache
-//! in instructions/sec ([`interp`], emitting BENCH_interp.json), and
-//! `taint_gate` is the taint-precision regression gate run by `verify.sh`
-//! ([`taint_gate`]).
+//! in instructions/sec ([`interp`], emitting BENCH_interp.json),
+//! `verifier` compares the reference sequential fixpoint against the fast
+//! verification path and its digest-keyed cache ([`verifier`], emitting
+//! BENCH_verifier.json), and `taint_gate` is the taint-precision
+//! regression gate run by `verify.sh` ([`taint_gate`]).
 
 pub mod common;
 pub mod fig5;
@@ -33,5 +35,6 @@ pub mod table6;
 pub mod table7;
 pub mod table8;
 pub mod taint_gate;
+pub mod verifier;
 
 pub use common::{reveal_sample, reveal_samples, RevealedSample};

@@ -199,20 +199,18 @@ fn finish_files(files: CollectionFiles, mut metrics: PipelineMetrics) -> Result<
         .map_err(crate::DexLegoError::Dalvik)?;
     // Verification gate: the canonicalised DEX is the artifact handed to
     // static analysis, so it is the one that must satisfy the verifier.
-    // Error-severity diagnostics abort; lints and the typed-IR sizing
-    // counters ride along in the outcome.
+    // This is the pipeline's single verification pass — the result is
+    // gated here (error-severity diagnostics abort) and its typed IR and
+    // cache counters ride along in the outcome instead of anyone
+    // re-verifying the same bytes.
     let typed = metrics.time("verify", || {
         dexlego_verifier::verify_dex_typed(&dex, &dexlego_verifier::VerifyOptions::default())
     });
+    metrics.count("verify_cache_hits", typed.cache_hits);
+    metrics.count("verify_cache_misses", typed.cache_misses);
     let typed_methods = typed.methods.len();
     let typed_insns = typed.insn_count() as u64;
-    let (errors, lints): (Vec<_>, Vec<_>) = typed
-        .diagnostics
-        .into_iter()
-        .partition(dexlego_verifier::Diagnostic::is_error);
-    if !errors.is_empty() {
-        return Err(crate::DexLegoError::Verification(errors));
-    }
+    let (_typed, lints) = crate::reassemble::gate_verified(typed)?;
     let validation = metrics.time("validate", || validate_reveal(&files, &dex));
     metrics.count("verifier_lints", lints.len() as u64);
     metrics.count("typed_methods", typed_methods as u64);

@@ -314,14 +314,39 @@ pub fn reassemble_verified(
     files: &CollectionFiles,
 ) -> Result<(DexFile, Vec<dexlego_verifier::Diagnostic>)> {
     let dex = reassemble(files)?;
-    let diags = dexlego_verifier::verify_dex(&dex, &dexlego_verifier::VerifyOptions::default());
+    let typed =
+        dexlego_verifier::verify_dex_typed(&dex, &dexlego_verifier::VerifyOptions::default());
+    let (_typed, warnings) = gate_verified(typed)?;
+    Ok((dex, warnings))
+}
+
+/// Gates an already-computed verification result: error-severity
+/// diagnostics (`V####`) abort, warning-severity lints are split out and
+/// returned alongside the (now diagnostics-free) typed result.
+///
+/// This is the single choke point for the pipeline's verification gate —
+/// callers verify once with [`dexlego_verifier::verify_dex_typed`] and
+/// hand the result here instead of re-running the verifier over the same
+/// bytes.
+///
+/// # Errors
+///
+/// Returns [`DexLegoError::Verification`] carrying every error-severity
+/// diagnostic when the DEX would not load under ART's verifier.
+pub fn gate_verified(
+    mut typed: dexlego_verifier::TypedDex,
+) -> Result<(
+    dexlego_verifier::TypedDex,
+    Vec<dexlego_verifier::Diagnostic>,
+)> {
+    let diags = std::mem::take(&mut typed.diagnostics);
     let (errors, warnings): (Vec<_>, Vec<_>) = diags
         .into_iter()
         .partition(dexlego_verifier::Diagnostic::is_error);
     if !errors.is_empty() {
         return Err(DexLegoError::Verification(errors));
     }
-    Ok((dex, warnings))
+    Ok((typed, warnings))
 }
 
 fn intern_record_method(

@@ -3,7 +3,9 @@
 pub mod dexgen;
 pub mod tree_merge;
 
-pub use dexgen::{reassemble, reassemble_verified, reassemble_with_metrics, GuardAlloc};
+pub use dexgen::{
+    gate_verified, reassemble, reassemble_verified, reassemble_with_metrics, GuardAlloc,
+};
 pub use tree_merge::merge_tree;
 
 use crate::{DexLegoError, Result};

@@ -64,6 +64,8 @@ pub fn to_cached(report: &JobReport, dex_bytes: &[u8]) -> CachedResult {
         verifier_lints: report.verifier_lints as u64,
         typed_methods: report.typed_methods as u64,
         typed_insns: report.typed_insns,
+        verify_cache_hits: report.verify_cache_hits,
+        verify_cache_misses: report.verify_cache_misses,
         validation: Vec::new(), // a cached job passed validation
         phases_us: report.phases_us.clone(),
     }
@@ -87,6 +89,8 @@ pub fn from_cached(name: &str, packer: Option<&'static str>, hit: &CachedResult)
         verifier_lints: hit.verifier_lints as usize,
         typed_methods: hit.typed_methods as usize,
         typed_insns: hit.typed_insns,
+        verify_cache_hits: hit.verify_cache_hits,
+        verify_cache_misses: hit.verify_cache_misses,
         phases_us: hit.phases_us.clone(),
         ..JobReport::empty(name.to_owned(), packer)
     }
@@ -196,6 +200,8 @@ mod tests {
             verifier_lints: 1,
             typed_methods: 2,
             typed_insns: 33,
+            verify_cache_hits: 6,
+            verify_cache_misses: 3,
             phases_us: vec![("collect".to_owned(), 7)],
             ..JobReport::empty("j".to_owned(), Some("360"))
         };
@@ -210,6 +216,8 @@ mod tests {
         assert_eq!(back.methods_collected, report.methods_collected);
         assert_eq!(back.typed_methods, report.typed_methods);
         assert_eq!(back.typed_insns, report.typed_insns);
+        assert_eq!(back.verify_cache_hits, report.verify_cache_hits);
+        assert_eq!(back.verify_cache_misses, report.verify_cache_misses);
         assert_eq!(back.phases_us, report.phases_us);
         assert_eq!(entry.dex_bytes, vec![1, 2, 3]);
     }

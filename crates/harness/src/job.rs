@@ -171,16 +171,7 @@ impl JobStatus {
     }
 }
 
-/// Extracts a panic payload's message.
-pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "panic with non-string payload".to_owned()
-    }
-}
+pub(crate) use dexlego_pool::panic_message;
 
 /// Runs a job with panic capture. Never panics itself; a panicking job
 /// yields a [`JobStatus::Panicked`] report.

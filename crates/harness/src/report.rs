@@ -53,6 +53,11 @@ pub struct JobReport {
     pub typed_methods: usize,
     /// Instructions across all typed-IR methods.
     pub typed_insns: u64,
+    /// Method verifications served from the digest-keyed verify cache
+    /// during the pipeline's verification gate.
+    pub verify_cache_hits: u64,
+    /// Method verifications that ran the fixpoint (verify-cache misses).
+    pub verify_cache_misses: u64,
     /// Per-phase pipeline timings in microseconds, in execution order
     /// (collect, serialize, tree_merge, dexgen, canonicalize, verify,
     /// validate).
@@ -81,6 +86,8 @@ impl JobReport {
             verifier_errors: 0,
             typed_methods: 0,
             typed_insns: 0,
+            verify_cache_hits: 0,
+            verify_cache_misses: 0,
             phases_us: Vec::new(),
         }
     }
@@ -93,6 +100,8 @@ impl JobReport {
         self.verifier_lints = outcome.lints.len();
         self.typed_methods = outcome.typed_methods;
         self.typed_insns = outcome.typed_insns;
+        self.verify_cache_hits = outcome.metrics.counter("verify_cache_hits").unwrap_or(0);
+        self.verify_cache_misses = outcome.metrics.counter("verify_cache_misses").unwrap_or(0);
         self.phases_us = outcome
             .metrics
             .phases()
@@ -171,6 +180,8 @@ impl JobReport {
             verifier_errors: num("verifier_errors") as usize,
             typed_methods: num("typed_methods") as usize,
             typed_insns: num("typed_insns"),
+            verify_cache_hits: num("verify_cache_hits"),
+            verify_cache_misses: num("verify_cache_misses"),
             phases_us,
         })
     }
@@ -209,6 +220,8 @@ impl JobReport {
             ("verifier_errors", self.verifier_errors.to_string()),
             ("typed_methods", self.typed_methods.to_string()),
             ("typed_insns", self.typed_insns.to_string()),
+            ("verify_cache_hits", self.verify_cache_hits.to_string()),
+            ("verify_cache_misses", self.verify_cache_misses.to_string()),
             ("phases_us", json::object(&phases)),
         ])
     }
@@ -347,6 +360,8 @@ mod tests {
             report.cached = true;
             report.insns = 12;
             report.typed_insns = 9;
+            report.verify_cache_hits = 5;
+            report.verify_cache_misses = 2;
             let value = json::parse(&report.to_json()).expect("emitted JSON parses");
             let back = JobReport::from_json(&value).expect("round trip");
             assert_eq!(back.name, report.name);
@@ -357,6 +372,8 @@ mod tests {
             assert_eq!(back.wall_us, report.wall_us);
             assert_eq!(back.insns, report.insns);
             assert_eq!(back.typed_insns, report.typed_insns);
+            assert_eq!(back.verify_cache_hits, report.verify_cache_hits);
+            assert_eq!(back.verify_cache_misses, report.verify_cache_misses);
             assert_eq!(back.phases_us, report.phases_us);
         }
         let bad = json::parse(r#"{"name": "x", "status": "warped"}"#).unwrap();

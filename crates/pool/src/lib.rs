@@ -1,0 +1,228 @@
+//! Dependency-free parallel primitives shared across the workspace.
+//!
+//! This crate sits *below* every other `dexlego-*` crate so that leaf
+//! libraries (the verifier, the bench drivers, the batch harness) can all
+//! share one worker-pool idiom without forming dependency cycles:
+//!
+//! * [`parallel_map`] / [`parallel_map_expect`] — apply a function across a
+//!   bounded pool of `std::thread` workers, preserving submission order and
+//!   capturing per-item panics.
+//! * [`run_tasks`] — the same machinery for heterogeneous named closures.
+//! * [`default_workers`] / [`resolve_workers`] / [`WORKERS_ENV`] — the
+//!   worker-count policy every driver resolves through.
+//!
+//! `dexlego-harness` re-exports everything here from its `pool` module, so
+//! existing callers keep their import paths; the verifier reaches the same
+//! machinery directly for parallel per-method verification.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Environment variable overriding the default worker count, so CI boxes
+/// can pin parallelism without threading a flag through every driver.
+pub const WORKERS_ENV: &str = "DEXLEGO_WORKERS";
+
+/// Resolves a worker count: an explicit request (CLI flag) wins, then the
+/// [`WORKERS_ENV`] environment variable, then [`default_workers`]. The
+/// result is always clamped to ≥ 1; unparseable env values are ignored.
+pub fn resolve_workers(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var(WORKERS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or_else(default_workers)
+        .max(1)
+}
+
+/// Renders a panic payload as the human-readable message it was raised
+/// with, falling back to a fixed string for non-string payloads.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// Applies `f` to every item on a pool of `workers` threads, preserving
+/// order. Each application is individually panic-captured: a panicking item
+/// yields `Err(message)` without disturbing its neighbours.
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<Result<R, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let items = &items;
+            let results = &results;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = items[i]
+                    .lock()
+                    .expect("item lock")
+                    .take()
+                    .expect("each index claimed once");
+                let out = catch_unwind(AssertUnwindSafe(|| f(item)))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                *results[i].lock().expect("result lock") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result lock")
+                .expect("every index processed")
+        })
+        .collect()
+}
+
+/// [`parallel_map`] for infallible work: panics (with the original message)
+/// if any item panicked. Bench drivers use this where a failure should
+/// fail the whole experiment.
+pub fn parallel_map_expect<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map(items, workers, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("parallel task failed: {e}")))
+        .collect()
+}
+
+/// A named unit of heterogeneous work for [`run_tasks`].
+pub struct Task<R> {
+    /// Display name (used in error reporting).
+    pub name: String,
+    /// The work itself.
+    pub run: Box<dyn FnOnce() -> R + Send>,
+}
+
+impl<R> Task<R> {
+    /// Boxes `run` under `name`.
+    pub fn new(name: &str, run: impl FnOnce() -> R + Send + 'static) -> Task<R> {
+        Task {
+            name: name.to_owned(),
+            run: Box::new(run),
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for Task<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task").field("name", &self.name).finish()
+    }
+}
+
+/// Runs named tasks across the pool, returning `(name, result)` pairs in
+/// submission order.
+pub fn run_tasks<R: Send>(tasks: Vec<Task<R>>, workers: usize) -> Vec<(String, Result<R, String>)> {
+    let names: Vec<String> = tasks.iter().map(|t| t.name.clone()).collect();
+    let results = parallel_map(tasks, workers, |t| (t.run)());
+    names.into_iter().zip(results).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..37).collect(), 4, |i: i32| i * 2);
+        assert_eq!(out.len(), 37);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i as i32 * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_map_captures_panics_per_item() {
+        let out = parallel_map(vec![1, 2, 3], 2, |i: i32| {
+            assert!(i != 2, "item two explodes");
+            i
+        });
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[2], Ok(3));
+        let err = out[1].as_ref().unwrap_err();
+        assert!(err.contains("item two explodes"), "{err}");
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single_worker() {
+        assert!(parallel_map(Vec::<i32>::new(), 4, |i| i).is_empty());
+        let out = parallel_map(vec![5, 6], 1, |i: i32| i + 1);
+        assert_eq!(out, vec![Ok(6), Ok(7)]);
+    }
+
+    #[test]
+    fn run_tasks_names_results() {
+        let tasks = vec![
+            Task::new("fine", || 1),
+            Task::new("broken", || panic!("nope")),
+        ];
+        let out = run_tasks(tasks, 2);
+        assert_eq!(out[0].0, "fine");
+        assert_eq!(out[0].1, Ok(1));
+        assert_eq!(out[1].0, "broken");
+        assert!(out[1].1.as_ref().unwrap_err().contains("nope"));
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn resolve_workers_prefers_explicit_then_env() {
+        // This is the only test touching the variable, so set/remove is
+        // safe even under the parallel test runner.
+        std::env::remove_var(WORKERS_ENV);
+        assert_eq!(resolve_workers(Some(3)), 3);
+        assert_eq!(resolve_workers(Some(0)), 1, "clamped to >= 1");
+        assert!(resolve_workers(None) >= 1);
+        std::env::set_var(WORKERS_ENV, "2");
+        assert_eq!(resolve_workers(None), 2);
+        assert_eq!(resolve_workers(Some(5)), 5, "explicit beats env");
+        std::env::set_var(WORKERS_ENV, "0");
+        assert_eq!(resolve_workers(None), 1, "env clamped to >= 1");
+        std::env::set_var(WORKERS_ENV, "not-a-number");
+        assert!(resolve_workers(None) >= 1, "garbage env ignored");
+        std::env::remove_var(WORKERS_ENV);
+    }
+
+    #[test]
+    fn panic_message_downcasts_strings() {
+        assert_eq!(panic_message(&"s" as &(dyn std::any::Any + Send)), "s");
+        let owned: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(owned.as_ref()), "owned");
+        let other: Box<dyn std::any::Any + Send> = Box::new(17_u8);
+        assert!(panic_message(other.as_ref()).contains("non-string"));
+    }
+}

@@ -168,6 +168,11 @@ struct ServiceStats {
     typed_methods: u64,
     /// Instructions across all typed-IR methods, across extractions.
     typed_insns: u64,
+    /// Method verifications served from the digest-keyed verify cache
+    /// across extractions.
+    verify_cache_hits: u64,
+    /// Method verifications that ran the fixpoint across extractions.
+    verify_cache_misses: u64,
     /// Per-phase `(count, total_us)` aggregates over fresh extractions.
     phases_us: BTreeMap<String, (u64, u64)>,
 }
@@ -182,6 +187,8 @@ impl ServiceStats {
         self.verifier_errors += report.verifier_errors as u64;
         self.typed_methods += report.typed_methods as u64;
         self.typed_insns += report.typed_insns;
+        self.verify_cache_hits += report.verify_cache_hits;
+        self.verify_cache_misses += report.verify_cache_misses;
         if report.cached {
             self.hits += 1;
         } else {
@@ -1197,6 +1204,8 @@ fn stats_reply(shared: &Shared) -> String {
         ("verifier_errors", stats.verifier_errors.to_string()),
         ("typed_methods", stats.typed_methods.to_string()),
         ("typed_insns", stats.typed_insns.to_string()),
+        ("verify_cache_hits", stats.verify_cache_hits.to_string()),
+        ("verify_cache_misses", stats.verify_cache_misses.to_string()),
         ("in_flight", shared.pool.in_flight().to_string()),
         ("store", store_json),
         ("phases_us", json::object(&phase_members)),

@@ -3,10 +3,10 @@
 //! The payload format is a simple length-prefixed binary encoding (the
 //! workspace is dependency-free, so there is no serde): little-endian
 //! integers, `u32` length prefixes, UTF-8 strings. A leading format tag
-//! (`RES3`; `RES2` lacked the typed-verifier counters, `RES1` the quickening
-//! counters — both decode as a miss)
-//! versions the payload independently of the on-disk container that wraps
-//! it (see [`crate::store`]).
+//! (`RES4`; `RES3` lacked the verify-cache counters, `RES2` the
+//! typed-verifier counters, `RES1` the quickening counters — all decode as
+//! a miss) versions the payload independently of the on-disk container
+//! that wraps it (see [`crate::store`]).
 
 /// Everything the pipeline produced for one (DEX, profile, parameters)
 /// input: the revealed DEX plus the report fields a cache hit must be able
@@ -39,13 +39,17 @@ pub struct CachedResult {
     pub typed_methods: u64,
     /// Instructions across all typed-IR methods.
     pub typed_insns: u64,
+    /// Method verifications served from the digest-keyed verify cache.
+    pub verify_cache_hits: u64,
+    /// Method verifications that ran the fixpoint (verify-cache misses).
+    pub verify_cache_misses: u64,
     /// `validate_reveal` findings (empty = validated).
     pub validation: Vec<String>,
     /// Per-phase pipeline timings in microseconds, execution order.
     pub phases_us: Vec<(String, u64)>,
 }
 
-const PAYLOAD_TAG: &[u8; 4] = b"RES3";
+const PAYLOAD_TAG: &[u8; 4] = b"RES4";
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -117,6 +121,8 @@ pub fn encode(r: &CachedResult) -> Vec<u8> {
         r.verifier_lints,
         r.typed_methods,
         r.typed_insns,
+        r.verify_cache_hits,
+        r.verify_cache_misses,
     ] {
         put_u64(&mut out, v);
     }
@@ -157,6 +163,8 @@ pub fn decode(data: &[u8]) -> Result<CachedResult, String> {
     let verifier_lints = c.u64()?;
     let typed_methods = c.u64()?;
     let typed_insns = c.u64()?;
+    let verify_cache_hits = c.u64()?;
+    let verify_cache_misses = c.u64()?;
     let n_validation = c.u32()? as usize;
     let mut validation = Vec::with_capacity(n_validation.min(1024));
     for _ in 0..n_validation {
@@ -186,6 +194,8 @@ pub fn decode(data: &[u8]) -> Result<CachedResult, String> {
         verifier_lints,
         typed_methods,
         typed_insns,
+        verify_cache_hits,
+        verify_cache_misses,
         validation,
         phases_us,
     })
@@ -210,6 +220,8 @@ mod tests {
             verifier_lints: 1,
             typed_methods: 4,
             typed_insns: 77,
+            verify_cache_hits: 12,
+            verify_cache_misses: 4,
             validation: vec!["m1: missing".to_owned(), "m2: odd".to_owned()],
             phases_us: vec![("collect".to_owned(), 42), ("verify".to_owned(), 7)],
         }

@@ -5,8 +5,30 @@
 //! every successor and re-queueing successors whose entry frame changed.
 //! Exception handlers receive the merge of the frame *before* every
 //! instruction their try range covers (the ART rule: a throw can occur at
-//! any covered instruction). Errors are deduplicated by (rule, pc), since
-//! the fixpoint revisits blocks.
+//! any covered instruction). Errors are deduplicated by (rule, pc).
+//!
+//! Two engines produce the same fixpoint:
+//!
+//! * [`Strategy::Fast`] — the production path: the worklist is a priority
+//!   queue ordered by reverse postorder (predecessors usually settle before
+//!   their successors, so blocks converge in far fewer visits), block entry
+//!   states live in one dense slab instead of per-block `Vec`s, each block
+//!   walk reuses a single scratch frame instead of cloning, instruction
+//!   effects fill a reusable buffer instead of allocating, and each
+//!   instruction's exception-handler targets are precomputed once per CFG
+//!   ([`ThrowMap`]) instead of scanning every try range per instruction.
+//! * [`Strategy::Reference`] — the pre-optimization FIFO engine with
+//!   per-visit frame clones and per-range scans, kept as the differential
+//!   baseline (`bench --bin verifier --baseline`, proptests).
+//!
+//! Diagnostics are emitted only during the post-fixpoint *replay*: the
+//! fixpoint runs muted, then each reached block is replayed once from its
+//! converged entry frame, snapshotting per-instruction pre-states into a
+//! dense [`FrameSlab`] (what [`crate::typed_ir::TypedIr`] materializes) and
+//! reporting findings against the final states. Because the converged
+//! fixpoint is unique, the diagnostics are a function of the method alone —
+//! independent of worklist order, engine, and (for whole-DEX runs) of how
+//! many threads verified sibling methods.
 //!
 //! With DEX context ([`TypeCtx::dex`]), reference writes are refined to the
 //! descriptor the instruction actually produces (`new-instance`,
@@ -15,12 +37,9 @@
 //! return types (V0011), provably-failing `check-cast` (L0004), and
 //! provably-incompatible `aput-object` (L0005). All typed checks fire only
 //! on *provable* breakage — see [`ClassHierarchy::provably_disjoint`].
-//!
-//! After the fixpoint converges, each reachable block is replayed once from
-//! its final entry frame to snapshot the per-instruction pre-states that
-//! [`crate::typed_ir::TypedIr`] materializes.
 
-use std::collections::{HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 use dexlego_dalvik::insn::{Decoded, Insn};
 use dexlego_dalvik::Opcode;
@@ -29,14 +48,104 @@ use dexlego_dex::DexFile;
 
 use crate::cfg::{Cfg, EdgeKind};
 use crate::diag::{Diagnostic, Rule};
-use crate::effects::{effects, Need, Write};
+use crate::effects::{effects_into, Effects, Need, Write};
 use crate::hierarchy::{ClassHierarchy, TypeId};
 use crate::typestate::{join_frames, RegType};
 use crate::ParamKind;
 
-/// Fixpoint pre-state of every real instruction, indexed like
-/// [`Cfg::insns`]. `None` for unreachable instructions and payloads.
-pub(crate) type Frames = Vec<Option<Vec<RegType>>>;
+/// Which fixpoint engine verifies a method. Both produce identical
+/// diagnostics and frames (enforced by the differential proptests); the
+/// reference engine exists as the measured baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum Strategy {
+    /// RPO priority worklist, dense state slabs, reusable scratch frame.
+    #[default]
+    Fast,
+    /// FIFO worklist with per-visit clones — the pre-optimization engine.
+    Reference,
+}
+
+/// Fixpoint pre-state of every real instruction, stored as one dense slab
+/// of `regs` lattice values per instruction, indexed like [`Cfg::insns`].
+/// Unreachable instructions and payloads have no state.
+pub(crate) struct FrameSlab {
+    regs: usize,
+    present: Vec<bool>,
+    data: Vec<RegType>,
+}
+
+impl FrameSlab {
+    fn new(n: usize, regs: usize) -> FrameSlab {
+        FrameSlab {
+            regs,
+            present: vec![false; n],
+            data: vec![RegType::Uninit; n * regs],
+        }
+    }
+
+    fn set(&mut self, i: usize, frame: &[RegType]) {
+        self.present[i] = true;
+        self.data[i * self.regs..(i + 1) * self.regs].copy_from_slice(frame);
+    }
+
+    /// The pre-state of instruction `i`, if it was reached.
+    pub(crate) fn get(&self, i: usize) -> Option<&[RegType]> {
+        if *self.present.get(i)? {
+            Some(&self.data[i * self.regs..(i + 1) * self.regs])
+        } else {
+            None
+        }
+    }
+}
+
+/// Alias kept for readability at use sites.
+pub(crate) type Frames = FrameSlab;
+
+/// Block entry states as one dense slab (the fast path's replacement for
+/// `Vec<Option<Vec<RegType>>>`).
+struct BlockStates {
+    regs: usize,
+    present: Vec<bool>,
+    data: Vec<RegType>,
+}
+
+impl BlockStates {
+    fn new(n: usize, regs: usize) -> BlockStates {
+        BlockStates {
+            regs,
+            present: vec![false; n],
+            data: vec![RegType::Uninit; n * regs],
+        }
+    }
+
+    fn get(&self, b: usize) -> Option<&[RegType]> {
+        if self.present[b] {
+            Some(&self.data[b * self.regs..(b + 1) * self.regs])
+        } else {
+            None
+        }
+    }
+
+    fn set(&mut self, b: usize, frame: &[RegType]) {
+        self.present[b] = true;
+        self.data[b * self.regs..(b + 1) * self.regs].copy_from_slice(frame);
+    }
+
+    /// Joins `frame` into block `b`'s entry state in place; returns whether
+    /// the state changed (i.e. the block needs requeueing).
+    fn merge(&mut self, b: usize, frame: &[RegType], hier: &ClassHierarchy) -> bool {
+        if self.present[b] {
+            join_frames(
+                &mut self.data[b * self.regs..(b + 1) * self.regs],
+                frame,
+                hier,
+            )
+        } else {
+            self.set(b, frame);
+            true
+        }
+    }
+}
 
 /// Typed verification context: the hierarchy is always present (possibly
 /// empty); the DEX pools and declared return type only when verifying with
@@ -89,12 +198,18 @@ impl TypeCtx<'_> {
 
 struct Ctx {
     regs: usize,
+    /// `true` while the fixpoint iterates: findings are suppressed so that
+    /// every diagnostic comes from the replay over converged frames.
+    mute: bool,
     seen: HashSet<(Rule, u32)>,
     out: Vec<Diagnostic>,
 }
 
 impl Ctx {
     fn report(&mut self, rule: Rule, pc: u32, message: String) {
+        if self.mute {
+            return;
+        }
         if self.seen.insert((rule, pc)) {
             self.out.push(Diagnostic::new(rule, pc, message));
         }
@@ -109,15 +224,17 @@ pub(crate) fn run(
     params: &[ParamKind],
     tcx: &TypeCtx<'_>,
     out: &mut Vec<Diagnostic>,
+    strategy: Strategy,
 ) -> Frames {
     let regs = code.registers_size as usize;
     let ins = code.ins_size as usize;
     let mut ctx = Ctx {
         regs,
+        mute: false,
         seen: HashSet::new(),
         out: Vec::new(),
     };
-    let mut frames: Frames = vec![None; cfg.insns().len()];
+    let mut frames = FrameSlab::new(cfg.insns().len(), regs);
 
     let entry = entry_frame(regs, ins, params, tcx, &mut ctx);
     if cfg.blocks().is_empty() {
@@ -126,13 +243,130 @@ pub(crate) fn run(
             0,
             "method has no instructions: execution falls off the end".to_owned(),
         );
+        ctx.out.sort_by_key(|d| (d.dex_pc, d.rule));
         out.append(&mut ctx.out);
         return frames;
     }
 
+    ctx.mute = true;
+    let in_states = match strategy {
+        Strategy::Fast => fixpoint_fast(cfg, code, &entry, tcx, &mut ctx),
+        Strategy::Reference => fixpoint_reference(cfg, code, &entry, tcx, &mut ctx),
+    };
+    ctx.mute = false;
+
+    // Replay each reached block once from its converged entry frame: this
+    // snapshots per-instruction pre-states and emits every diagnostic
+    // against the unique fixpoint (never an intermediate state).
+    let mut scratch: Vec<RegType> = Vec::with_capacity(regs);
+    let mut eff = Effects::default();
+    for (bid, block) in cfg.blocks().iter().enumerate() {
+        let Some(state) = in_states.get(bid) else {
+            continue;
+        };
+        scratch.clear();
+        scratch.extend_from_slice(state);
+        for &i in &block.insns {
+            let (pc, d) = &cfg.insns()[i];
+            let Decoded::Insn(insn) = d else { continue };
+            frames.set(i, &scratch);
+            transfer(
+                insn,
+                *pc,
+                prev_insn(cfg, i),
+                &mut scratch,
+                &mut ctx,
+                tcx,
+                &mut eff,
+            );
+        }
+    }
+
+    ctx.out.sort_by_key(|d| (d.dex_pc, d.rule));
+    out.append(&mut ctx.out);
+    frames
+}
+
+/// The fast engine: reverse-postorder priority worklist over dense block
+/// states, one reusable scratch frame, precomputed handler targets.
+fn fixpoint_fast(
+    cfg: &Cfg,
+    code: &CodeItem,
+    entry: &[RegType],
+    tcx: &TypeCtx<'_>,
+    ctx: &mut Ctx,
+) -> BlockStates {
+    let nblocks = cfg.blocks().len();
+    let mut states = BlockStates::new(nblocks, entry.len());
+    states.set(0, entry);
+
+    let rpo = rpo_positions(cfg);
+    let throw = ThrowMap::build(cfg, code);
+    let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+    let mut queued = vec![false; nblocks];
+    heap.push(Reverse((rpo[0], 0)));
+    queued[0] = true;
+
+    let mut scratch: Vec<RegType> = Vec::with_capacity(entry.len());
+    let mut eff = Effects::default();
+    while let Some(Reverse((_, bid))) = heap.pop() {
+        queued[bid] = false;
+        scratch.clear();
+        match states.get(bid) {
+            Some(state) => scratch.extend_from_slice(state),
+            None => continue,
+        }
+        let block = &cfg.blocks()[bid];
+        for &i in &block.insns {
+            let (pc, d) = &cfg.insns()[i];
+            let Decoded::Insn(insn) = d else { continue };
+            // A throwing instruction in a try range transfers the
+            // *pre*-state of that instruction to its handlers (the ART
+            // rule); `throw` already folded the range lookup away.
+            for &hb in throw.targets(i) {
+                if states.merge(hb, &scratch, tcx.hier) && !queued[hb] {
+                    queued[hb] = true;
+                    heap.push(Reverse((rpo[hb], hb)));
+                }
+            }
+            transfer(
+                insn,
+                *pc,
+                prev_insn(cfg, i),
+                &mut scratch,
+                ctx,
+                tcx,
+                &mut eff,
+            );
+        }
+        for edge in &block.succs {
+            if edge.kind == EdgeKind::Exception {
+                continue;
+            }
+            let t = edge.target;
+            if states.merge(t, &scratch, tcx.hier) && !queued[t] {
+                queued[t] = true;
+                heap.push(Reverse((rpo[t], t)));
+            }
+        }
+    }
+    states
+}
+
+/// The pre-optimization engine, kept verbatim as the measured and
+/// differential baseline: FIFO worklist, per-visit entry-frame clone,
+/// per-instruction scan over every try range, per-instruction effects
+/// allocation, per-merge `to_vec`.
+fn fixpoint_reference(
+    cfg: &Cfg,
+    code: &CodeItem,
+    entry: &[RegType],
+    tcx: &TypeCtx<'_>,
+    ctx: &mut Ctx,
+) -> BlockStates {
     let nblocks = cfg.blocks().len();
     let mut in_states: Vec<Option<Vec<RegType>>> = vec![None; nblocks];
-    in_states[0] = Some(entry);
+    in_states[0] = Some(entry.to_vec());
     let mut worklist: VecDeque<usize> = VecDeque::from([0]);
     let mut queued = vec![false; nblocks];
     queued[0] = true;
@@ -149,11 +383,6 @@ pub(crate) fn run(
         for &i in &block.insns {
             let (pc, d) = &cfg.insns()[i];
             let Decoded::Insn(insn) = d else { continue };
-
-            // A throwing instruction in a try range transfers the *pre*-state
-            // of that instruction to its handlers. Non-throwing instructions
-            // contribute nothing (the ART rule), so a handler guarding only
-            // arithmetic is never entered.
             for (lo, hi, handler_blocks) in &handler_edges {
                 if *pc >= *lo && *pc < *hi && insn.op.can_throw() {
                     for &hb in handler_blocks {
@@ -168,8 +397,8 @@ pub(crate) fn run(
                     }
                 }
             }
-
-            transfer(insn, *pc, prev_insn(cfg, i), &mut frame, &mut ctx, tcx);
+            let mut eff = Effects::default();
+            transfer(insn, *pc, prev_insn(cfg, i), &mut frame, ctx, tcx, &mut eff);
         }
         for edge in &block.succs {
             if edge.kind == EdgeKind::Exception {
@@ -186,26 +415,98 @@ pub(crate) fn run(
         }
     }
 
-    // Replay each reached block once from its fixpoint entry frame to
-    // snapshot per-instruction pre-states. Diagnostics are deduplicated by
-    // (rule, pc), and the fixpoint loop's last pass over each block already
-    // ran on the final entry frame, so the replay adds no new findings.
-    for (bid, block) in cfg.blocks().iter().enumerate() {
-        let Some(state) = &in_states[bid] else {
-            continue;
-        };
-        let mut frame = state.clone();
-        for &i in &block.insns {
-            let (pc, d) = &cfg.insns()[i];
-            let Decoded::Insn(insn) = d else { continue };
-            frames[i] = Some(frame.clone());
-            transfer(insn, *pc, prev_insn(cfg, i), &mut frame, &mut ctx, tcx);
+    let mut states = BlockStates::new(nblocks, entry.len());
+    for (b, s) in in_states.iter().enumerate() {
+        if let Some(s) = s {
+            states.set(b, s);
         }
     }
+    states
+}
 
-    ctx.out.sort_by_key(|d| (d.dex_pc, d.rule));
-    out.append(&mut ctx.out);
-    frames
+/// Reverse-postorder position of every block (DFS from block 0 over all
+/// edge kinds). Blocks unreachable from the entry — which the fixpoint
+/// never queues — get stable positions after every reachable one.
+fn rpo_positions(cfg: &Cfg) -> Vec<u32> {
+    let n = cfg.blocks().len();
+    let mut pos = vec![u32::MAX; n];
+    if n == 0 {
+        return pos;
+    }
+    let mut visited = vec![false; n];
+    let mut post: Vec<usize> = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    visited[0] = true;
+    while let Some(&(b, next)) = stack.last() {
+        let succs = &cfg.blocks()[b].succs;
+        if next < succs.len() {
+            stack.last_mut().expect("stack non-empty").1 += 1;
+            let t = succs[next].target;
+            if !visited[t] {
+                visited[t] = true;
+                stack.push((t, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    for (i, &b) in post.iter().rev().enumerate() {
+        pos[b] = i as u32;
+    }
+    let mut fill = post.len() as u32;
+    for p in pos.iter_mut() {
+        if *p == u32::MAX {
+            *p = fill;
+            fill += 1;
+        }
+    }
+    pos
+}
+
+/// Per-instruction exception-handler targets, flattened once per CFG: a
+/// `(start, len)` span per instruction index into one shared target list.
+/// Only throwing instructions inside a try range get a non-empty span, so
+/// the fixpoint's inner loop replaces the scan over every try range with
+/// one slice lookup.
+struct ThrowMap {
+    spans: Vec<(u32, u32)>,
+    targets: Vec<usize>,
+}
+
+impl ThrowMap {
+    fn build(cfg: &Cfg, code: &CodeItem) -> ThrowMap {
+        let mut spans = vec![(0u32, 0u32); cfg.insns().len()];
+        let mut targets = Vec::new();
+        if !code.tries.is_empty() {
+            let ranges = handler_ranges(cfg, code);
+            for (i, (pc, d)) in cfg.insns().iter().enumerate() {
+                let Decoded::Insn(insn) = d else { continue };
+                if !insn.op.can_throw() {
+                    continue;
+                }
+                let start = targets.len();
+                for (lo, hi, blocks) in &ranges {
+                    if *pc >= *lo && *pc < *hi {
+                        for &hb in blocks {
+                            // Merging is idempotent; deduplicate so each
+                            // handler is merged once per instruction.
+                            if !targets[start..].contains(&hb) {
+                                targets.push(hb);
+                            }
+                        }
+                    }
+                }
+                spans[i] = (start as u32, (targets.len() - start) as u32);
+            }
+        }
+        ThrowMap { spans, targets }
+    }
+
+    fn targets(&self, i: usize) -> &[usize] {
+        let (start, len) = self.spans[i];
+        &self.targets[start as usize..(start + len) as usize]
+    }
 }
 
 /// The real instruction immediately preceding instruction `i` in code
@@ -326,6 +627,7 @@ fn handler_ranges(cfg: &Cfg, code: &CodeItem) -> Vec<(u32, u32, Vec<usize>)> {
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn transfer(
     insn: &Insn,
     pc: u32,
@@ -333,6 +635,7 @@ fn transfer(
     frame: &mut [RegType],
     ctx: &mut Ctx,
     tcx: &TypeCtx<'_>,
+    eff: &mut Effects,
 ) {
     // Structural `move-result*` placement check (V0003): must directly
     // follow an invoke (or `filled-new-array` for the object form) in code
@@ -356,7 +659,7 @@ fn transfer(
         }
     }
 
-    let eff = effects(insn);
+    effects_into(insn, eff);
     for &(reg, need) in &eff.reads {
         read(reg, need, insn, pc, frame, ctx, tcx);
     }

@@ -61,13 +61,30 @@ impl Effects {
     }
 }
 
-/// The effects table. Control flow (targets, payloads) is handled by the
-/// CFG; this covers only register reads/writes.
+/// The effects table, allocating a fresh [`Effects`]. Control flow
+/// (targets, payloads) is handled by the CFG; this covers only register
+/// reads/writes.
 pub(crate) fn effects(insn: &Insn) -> Effects {
+    let mut out = Effects::default();
+    effects_into(insn, &mut out);
+    out
+}
+
+/// [`effects`] into a reusable buffer: the buffer's read list is cleared
+/// and refilled in place, so the dataflow hot loop performs no per-
+/// instruction allocation once the buffer has grown to the method's widest
+/// instruction.
+pub(crate) fn effects_into(insn: &Insn, out: &mut Effects) {
+    let mut e = std::mem::take(out);
+    e.reads.clear();
+    e.write = None;
+    *out = fill(insn, e);
+}
+
+fn fill(insn: &Insn, e: Effects) -> Effects {
     use Need::*;
     use Opcode as Op;
     use RegType as T;
-    let e = Effects::default();
     let op = insn.op;
     match op {
         Op::Nop | Op::ReturnVoid | Op::Goto | Op::Goto16 | Op::Goto32 => e,

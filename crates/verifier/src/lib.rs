@@ -44,6 +44,7 @@
 //! assert!(diags.iter().any(|d| d.rule == Rule::V0001 && d.dex_pc == 0));
 //! ```
 
+mod cache;
 pub mod cfg;
 mod dataflow;
 pub mod diag;
@@ -54,17 +55,32 @@ pub mod typed_ir;
 pub mod typestate;
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use dexlego_dex::code::CodeItem;
 use dexlego_dex::{AccessFlags, DexFile};
 
+pub use cache::VERIFIER_VERSION;
 pub use cfg::{Block, Cfg, Edge, EdgeKind};
 pub use diag::{Diagnostic, Rule, Severity};
 pub use hierarchy::{ClassHierarchy, TypeId};
 pub use typed_ir::{TypedInsn, TypedIr};
 pub use typestate::RegType;
 
-use dataflow::TypeCtx;
+use dataflow::{Strategy, TypeCtx};
+
+/// Empties the process-level verify cache (benches and tests; production
+/// callers never need this — version and epoch digests handle
+/// invalidation).
+pub fn clear_verify_cache() {
+    cache::clear();
+}
+
+/// Number of method results currently held by the process-level verify
+/// cache.
+pub fn verify_cache_len() -> usize {
+    cache::len()
+}
 
 /// Category of one declared method parameter, as seen by the register
 /// frame. Derive from descriptors with [`param_kinds`].
@@ -114,12 +130,26 @@ pub fn param_kinds<S: AsRef<str>>(is_static: bool, params: &[S]) -> Vec<ParamKin
     kinds
 }
 
-/// Verification options: lint enablement and per-rule suppression.
+/// Verification options: lint enablement, per-rule suppression, and the
+/// execution knobs of the fast path (engine, cache, worker count).
+///
+/// Defaults are the production configuration: the fast fixpoint engine,
+/// the process-level verify cache enabled, and the worker count resolved
+/// from `DEXLEGO_WORKERS`/available parallelism. Both engines and the
+/// cached/uncached paths produce identical diagnostics and IR (enforced by
+/// the differential proptests), so these knobs trade speed, never results.
 #[derive(Debug, Clone, Default)]
 pub struct VerifyOptions {
     /// Skip the lint pass entirely (errors only).
     pub errors_only: bool,
     allowed: HashSet<String>,
+    /// Use the pre-optimization FIFO engine (the measured baseline).
+    reference: bool,
+    /// Bypass the process-level verify cache.
+    no_cache: bool,
+    /// Explicit worker count for whole-DEX verification; `None` resolves
+    /// via [`dexlego_pool::resolve_workers`].
+    workers: Option<usize>,
 }
 
 impl VerifyOptions {
@@ -136,6 +166,27 @@ impl VerifyOptions {
     /// rule — use with care.
     pub fn allow(mut self, code: &str) -> VerifyOptions {
         self.allowed.insert(code.to_owned());
+        self
+    }
+
+    /// Selects the pre-optimization sequential engine: FIFO worklist,
+    /// per-visit frame clones, no parallelism. This is the `--baseline`
+    /// measured by `bench --bin verifier` and the reference side of the
+    /// differential proptests.
+    pub fn sequential_reference(mut self) -> VerifyOptions {
+        self.reference = true;
+        self
+    }
+
+    /// Disables the process-level verify cache for this run.
+    pub fn without_cache(mut self) -> VerifyOptions {
+        self.no_cache = true;
+        self
+    }
+
+    /// Pins the worker count for whole-DEX verification (1 = sequential).
+    pub fn with_workers(mut self, workers: usize) -> VerifyOptions {
+        self.workers = Some(workers.max(1));
         self
     }
 
@@ -199,7 +250,12 @@ fn verify_method_with(
             } else {
                 params
             };
-            let frames = dataflow::run(&cfg, code, params, tcx, &mut diags);
+            let strategy = if options.reference {
+                Strategy::Reference
+            } else {
+                Strategy::Fast
+            };
+            let frames = dataflow::run(&cfg, code, params, tcx, &mut diags, strategy);
             if !options.errors_only {
                 lint::run(&cfg, &mut diags);
             }
@@ -236,12 +292,19 @@ pub fn verify_dex(dex: &DexFile, options: &VerifyOptions) -> Vec<Diagnostic> {
 /// downstream analyses consume the IR instead of re-running the dataflow.
 #[derive(Debug, Clone, Default)]
 pub struct TypedDex {
-    /// The interned class hierarchy of the DEX.
-    pub hierarchy: ClassHierarchy,
-    /// Typed IR for every method body, in class-definition order.
-    pub methods: Vec<TypedIr>,
+    /// The interned class hierarchy of the DEX, shared (`Arc`) with the
+    /// epoch-keyed hierarchy cache.
+    pub hierarchy: Arc<ClassHierarchy>,
+    /// Typed IR for every method body, in class-definition order. Shared
+    /// (`Arc`) because a verify-cache hit hands out the cached IR without
+    /// cloning it.
+    pub methods: Vec<Arc<TypedIr>>,
     /// All diagnostics, as from [`verify_dex`].
     pub diagnostics: Vec<Diagnostic>,
+    /// Method results served from the process-level verify cache.
+    pub cache_hits: u64,
+    /// Method results verified from scratch in this call.
+    pub cache_misses: u64,
 }
 
 impl TypedDex {
@@ -256,38 +319,148 @@ pub fn verify_dex_typed(dex: &DexFile, options: &VerifyOptions) -> TypedDex {
     verify_dex_inner(dex, options, true)
 }
 
+/// Methods below this count are verified sequentially even when more
+/// workers are available: thread-scope setup would dominate.
+const PARALLEL_THRESHOLD: usize = 16;
+
+/// One method body to verify, in class-definition order.
+struct WorkItem<'a> {
+    method_idx: u32,
+    access: AccessFlags,
+    code: &'a CodeItem,
+}
+
 fn verify_dex_inner(dex: &DexFile, options: &VerifyOptions, want_ir: bool) -> TypedDex {
-    let hierarchy = ClassHierarchy::from_dex(dex);
-    let mut out = TypedDex::default();
+    // One epoch digest per call covers every per-method cache key and the
+    // hierarchy cache; skip the pool walk entirely when the cache is
+    // bypassed.
+    let epoch = if options.no_cache {
+        None
+    } else {
+        Some(cache::dex_epoch(dex))
+    };
+    let hierarchy = match &epoch {
+        Some(e) => cache::hierarchy_for(e, dex),
+        None => Arc::new(ClassHierarchy::from_dex(dex)),
+    };
+    let mut work: Vec<WorkItem<'_>> = Vec::new();
     for class in dex.class_defs() {
         let Some(data) = &class.class_data else {
             continue;
         };
         for method in data.methods() {
             let Some(code) = &method.code else { continue };
-            let sig = dex
-                .method_signature(method.method_idx)
-                .unwrap_or_else(|_| format!("<method#{}>", method.method_idx));
-            let kinds = method_param_kinds(dex, method.method_idx, method.access);
-            let param_refs = method_param_refs(dex, &hierarchy, method.method_idx, method.access);
-            let tcx = TypeCtx {
-                dex: Some(dex),
-                hier: &hierarchy,
-                ret: method_return_ref(dex, &hierarchy, method.method_idx),
-                param_refs: &param_refs,
+            work.push(WorkItem {
+                method_idx: method.method_idx,
+                access: method.access,
+                code,
+            });
+        }
+    }
+
+    let options_fp = cache::options_fingerprint(options, want_ir);
+
+    // Whole-DEX fast path: one digest over every method body answers an
+    // unchanged re-verification (the pipeline gate plus downstream taint
+    // tools verifying the same revealed DEX) with a single lookup.
+    let dex_key = epoch.as_ref().map(|e| {
+        cache::dex_key(
+            e,
+            &options_fp,
+            work.iter()
+                .map(|w| (w.method_idx, w.access.contains(AccessFlags::STATIC), w.code)),
+        )
+    });
+    if let Some(key) = &dex_key {
+        if let Some(hit) = cache::dex_lookup(key) {
+            return TypedDex {
+                hierarchy,
+                methods: hit.methods.clone(),
+                diagnostics: hit.diags.clone(),
+                cache_hits: hit.body_count,
+                cache_misses: 0,
             };
-            let (diags, ir) = verify_method_with(&sig, code, &kinds, &tcx, options, want_ir);
-            out.diagnostics.extend(diags);
-            if let Some(mut ir) = ir {
-                ir.method_idx = method.method_idx;
-                ir.signature = sig;
-                if let Ok(m) = dex.method_id(method.method_idx) {
-                    ir.class = dex.type_descriptor(m.class).unwrap_or_default().to_owned();
-                    ir.name = dex.string(m.name).unwrap_or_default().to_owned();
-                }
-                out.methods.push(ir);
+        }
+    }
+
+    // Verifies one method: cache lookup, else the full CFG + fixpoint.
+    // Returns (diagnostics, stamped shared IR, cache hit?). A hit pays no
+    // signature construction and no IR clone: the key pins the method by
+    // pool index, and the stored IR is already identity-stamped (valid
+    // verbatim because an equal epoch means equal pools).
+    let run_one = |w: &WorkItem<'_>| -> (Vec<Diagnostic>, Option<Arc<TypedIr>>, bool) {
+        let is_static = w.access.contains(AccessFlags::STATIC);
+        let key = epoch
+            .as_ref()
+            .map(|e| cache::method_key(e, w.method_idx, is_static, w.code, &options_fp));
+        if let Some(key) = &key {
+            if let Some(hit) = cache::lookup(key) {
+                return (hit.diags.clone(), hit.ir.clone(), true);
             }
         }
+        let sig = dex
+            .method_signature(w.method_idx)
+            .unwrap_or_else(|_| format!("<method#{}>", w.method_idx));
+        let kinds = method_param_kinds(dex, w.method_idx, w.access);
+        let param_refs = method_param_refs(dex, &hierarchy, w.method_idx, w.access);
+        let tcx = TypeCtx {
+            dex: Some(dex),
+            hier: &hierarchy,
+            ret: method_return_ref(dex, &hierarchy, w.method_idx),
+            param_refs: &param_refs,
+        };
+        let (diags, ir) = verify_method_with(&sig, w.code, &kinds, &tcx, options, want_ir);
+        let ir = ir.map(|mut ir| {
+            ir.method_idx = w.method_idx;
+            ir.signature = sig;
+            if let Ok(m) = dex.method_id(w.method_idx) {
+                ir.class = dex.type_descriptor(m.class).unwrap_or_default().to_owned();
+                ir.name = dex.string(m.name).unwrap_or_default().to_owned();
+            }
+            Arc::new(ir)
+        });
+        if let Some(key) = key {
+            cache::insert(key, diags.clone(), ir.clone());
+        }
+        (diags, ir, false)
+    };
+
+    // Methods are independent and the hierarchy is read-only after
+    // interning, so whole-DEX verification fans out per method. The pool
+    // preserves submission order, so concatenating per-method results
+    // reproduces the sequential output byte for byte regardless of worker
+    // count (each method's diagnostics are already sorted; methods stay in
+    // class-definition order).
+    let workers = dexlego_pool::resolve_workers(options.workers).min(work.len().max(1));
+    let results: Vec<(Vec<Diagnostic>, Option<Arc<TypedIr>>, bool)> =
+        if workers > 1 && !options.reference && work.len() >= PARALLEL_THRESHOLD {
+            let refs: Vec<&WorkItem<'_>> = work.iter().collect();
+            dexlego_pool::parallel_map_expect(refs, workers, run_one)
+        } else {
+            work.iter().map(run_one).collect()
+        };
+
+    let mut out = TypedDex::default();
+    for (diags, ir, hit) in results {
+        if hit {
+            out.cache_hits += 1;
+        } else {
+            out.cache_misses += 1;
+        }
+        out.diagnostics.extend(diags);
+        if let Some(ir) = ir {
+            out.methods.push(ir);
+        }
+    }
+    if let Some(key) = dex_key {
+        cache::dex_insert(
+            key,
+            cache::DexEntry {
+                diags: out.diagnostics.clone(),
+                methods: out.methods.clone(),
+                body_count: work.len() as u64,
+            },
+        );
     }
     out.hierarchy = hierarchy;
     out

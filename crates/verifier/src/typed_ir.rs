@@ -87,7 +87,7 @@ impl TypedIr {
         let mut insns = Vec::with_capacity(count);
         for (i, (pc, d)) in cfg.insns().iter().enumerate() {
             let Decoded::Insn(insn) = d else { continue };
-            let frame = frames.get(i).cloned().flatten();
+            let frame = frames.get(i).map(<[RegType]>::to_vec);
             let succs = cfg
                 .insn_successors(*pc)
                 .iter()

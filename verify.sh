@@ -25,6 +25,13 @@ cargo run -p dexlego-bench --bin interp --release -- --smoke
 # than per-step decoding either (prints the speedup ratios).
 cargo run -p dexlego-bench --bin interp --release -- --quick-smoke
 
+# Verifier fast-path smoke: the fast engine must match the reference
+# engine's diagnostics exactly, a warm cache pass must not be slower
+# than a cold one, hits must occur, and the repeated-verification
+# corpus workload must beat the reference engine. The taint gate below
+# then exercises analysis on the cached verification path.
+cargo run -p dexlego-bench --bin verifier --release -- --smoke
+
 # Service load smoke: concurrent pipelined connections against a live
 # daemon — asserts zero protocol errors, no lost replies, a fully warm
 # second pass outrunning the cold one, and pipelining beating the serial
